@@ -1,0 +1,77 @@
+//! Error type for the baseline partitioners.
+
+use std::error::Error;
+use std::fmt;
+
+use htp_model::ModelError;
+
+/// Errors raised by the FM-based baseline algorithms.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// No balanced split exists within the given bounds (e.g. a node larger
+    /// than a side's capacity).
+    NoBalancedSplit {
+        /// Total size to split.
+        total: u64,
+        /// Capacity of side 0.
+        max_side0: u64,
+        /// Capacity of side 1.
+        max_side1: u64,
+    },
+    /// The netlist is empty.
+    EmptyNetlist,
+    /// The requested block structure cannot hold the netlist.
+    Infeasible {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A model-layer error (invalid spec or partition).
+    Model(ModelError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NoBalancedSplit { total, max_side0, max_side1 } => write!(
+                f,
+                "cannot split size {total} into sides bounded by {max_side0} and {max_side1}"
+            ),
+            BaselineError::EmptyNetlist => write!(f, "cannot partition an empty netlist"),
+            BaselineError::Infeasible { message } => write!(f, "infeasible: {message}"),
+            BaselineError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for BaselineError {
+    fn from(e: ModelError) -> Self {
+        BaselineError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_numbers() {
+        let e = BaselineError::NoBalancedSplit { total: 10, max_side0: 4, max_side1: 4 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let e = BaselineError::from(ModelError::UnassignedNode { node: 1 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,441 @@
+//! Two-way Fiduccia–Mattheyses with balance bounds.
+//!
+//! One pass tentatively moves every node once, highest gain first, always
+//! respecting the side capacities, then rolls back to the best prefix.
+//! Passes repeat until a pass yields no improvement. Gains live in a lazy
+//! max-heap (entries are invalidated by a per-node version counter), which
+//! handles the fractional net capacities this workspace allows without the
+//! integral bucket array of the original paper.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::BaselineError;
+
+/// Side capacities for a bipartition: side 0 may hold at most `max_side0`
+/// total node size, side 1 at most `max_side1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BisectionBounds {
+    /// Capacity of side 0.
+    pub max_side0: u64,
+    /// Capacity of side 1.
+    pub max_side1: u64,
+}
+
+impl BisectionBounds {
+    /// Symmetric bounds.
+    pub fn symmetric(max_side: u64) -> Self {
+        BisectionBounds { max_side0: max_side, max_side1: max_side }
+    }
+}
+
+/// Result of an FM run.
+#[derive(Clone, Debug)]
+pub struct FmResult {
+    /// `side[v.index()]` — `false` for side 0, `true` for side 1.
+    pub side: Vec<bool>,
+    /// Total capacity of cut nets.
+    pub cut: f64,
+    /// Improvement passes executed.
+    pub passes: usize,
+}
+
+/// A random initial bipartition respecting `bounds`.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NoBalancedSplit`] if no prefix of any node order
+/// can satisfy both capacities (checked greedily; exact feasibility is a
+/// knapsack problem, but unit-dominated netlists never get near that edge).
+pub fn random_balanced_init<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    bounds: BisectionBounds,
+    rng: &mut R,
+) -> Result<Vec<bool>, BaselineError> {
+    let total = h.total_size();
+    if total > bounds.max_side0 + bounds.max_side1 {
+        return Err(BaselineError::NoBalancedSplit {
+            total,
+            max_side0: bounds.max_side0,
+            max_side1: bounds.max_side1,
+        });
+    }
+    let mut order: Vec<NodeId> = h.nodes().collect();
+    order.shuffle(rng);
+    let mut side = vec![true; h.num_nodes()];
+    let mut size0 = 0u64;
+    // Fill side 0 until the remainder fits side 1.
+    for &v in &order {
+        if total - size0 <= bounds.max_side1 {
+            break;
+        }
+        if size0 + h.node_size(v) <= bounds.max_side0 {
+            side[v.index()] = false;
+            size0 += h.node_size(v);
+        }
+    }
+    if total - size0 > bounds.max_side1 {
+        return Err(BaselineError::NoBalancedSplit {
+            total,
+            max_side0: bounds.max_side0,
+            max_side1: bounds.max_side1,
+        });
+    }
+    Ok(side)
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    gain: f64,
+    node: u32,
+    version: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are not NaN")
+            .then(other.node.cmp(&self.node)) // deterministic tie-break
+    }
+}
+
+/// Runs FM starting from `initial` until convergence or `max_passes`.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NoBalancedSplit`] if `initial` itself violates
+/// the bounds.
+///
+/// # Panics
+///
+/// Panics if `initial.len()` differs from the node count.
+pub fn fm_bipartition(
+    h: &Hypergraph,
+    initial: Vec<bool>,
+    bounds: BisectionBounds,
+    max_passes: usize,
+) -> Result<FmResult, BaselineError> {
+    assert_eq!(initial.len(), h.num_nodes(), "initial side count mismatch");
+    let mut side = initial;
+    let mut sizes = side_sizes(h, &side);
+    if sizes[0] > bounds.max_side0 || sizes[1] > bounds.max_side1 {
+        return Err(BaselineError::NoBalancedSplit {
+            total: h.total_size(),
+            max_side0: bounds.max_side0,
+            max_side1: bounds.max_side1,
+        });
+    }
+
+    let mut passes = 0;
+    loop {
+        if passes >= max_passes {
+            break;
+        }
+        passes += 1;
+        let improved = run_pass(h, &mut side, &mut sizes, bounds);
+        if !improved {
+            break;
+        }
+    }
+    let cut = cut_of(h, &side);
+    Ok(FmResult { side, cut, passes })
+}
+
+/// One FM pass; returns `true` if the cut strictly improved.
+fn run_pass(
+    h: &Hypergraph,
+    side: &mut [bool],
+    sizes: &mut [u64; 2],
+    bounds: BisectionBounds,
+) -> bool {
+    let n = h.num_nodes();
+    // Pin counts per net per side.
+    let mut count = vec![[0u32; 2]; h.num_nets()];
+    for e in h.nets() {
+        for &v in h.net_pins(e) {
+            count[e.index()][side[v.index()] as usize] += 1;
+        }
+    }
+    let start_cut = cut_of(h, side);
+
+    let mut gain = vec![0.0f64; n];
+    for v in h.nodes() {
+        gain[v.index()] = node_gain(h, side, &count, v);
+    }
+    let mut version = vec![0u32; n];
+    let mut free = vec![true; n];
+    let mut heap: BinaryHeap<HeapEntry> = h
+        .nodes()
+        .map(|v| HeapEntry { gain: gain[v.index()], node: v.0, version: 0 })
+        .collect();
+
+    // The tentative move sequence and the running cut.
+    let mut moves: Vec<NodeId> = Vec::new();
+    let mut cur_cut = start_cut;
+    let mut best_cut = start_cut;
+    let mut best_len = 0usize;
+    let mut stash: Vec<HeapEntry> = Vec::new();
+
+    loop {
+        // Pop the best valid, balance-feasible move.
+        let mut chosen: Option<u32> = None;
+        while let Some(entry) = heap.pop() {
+            let v = entry.node as usize;
+            if !free[v] || entry.version != version[v] {
+                continue;
+            }
+            let from = side[v] as usize;
+            let to = 1 - from;
+            let cap = if to == 0 { bounds.max_side0 } else { bounds.max_side1 };
+            if sizes[to] + h.node_size(NodeId::new(v)) <= cap {
+                chosen = Some(entry.node);
+                break;
+            }
+            stash.push(entry); // feasible later if the sizes shift back
+        }
+        heap.extend(stash.drain(..));
+        let Some(node) = chosen else { break };
+        let v = NodeId(node);
+        let from = side[v.index()] as usize;
+        let to = 1 - from;
+
+        // Standard FM gain updates around the move.
+        for &e in h.node_nets(v) {
+            let c = h.net_capacity(e);
+            let cnt = &mut count[e.index()];
+            // Before the move.
+            if cnt[to] == 0 {
+                for &u in h.net_pins(e) {
+                    if free[u.index()] && u != v {
+                        bump(&mut gain, &mut version, &mut heap, u, c);
+                    }
+                }
+            } else if cnt[to] == 1 {
+                for &u in h.net_pins(e) {
+                    if free[u.index()] && u != v && side[u.index()] as usize == to {
+                        bump(&mut gain, &mut version, &mut heap, u, -c);
+                    }
+                }
+            }
+            cnt[from] -= 1;
+            cnt[to] += 1;
+            if cnt[from] > 0 && cnt[to] == 1 {
+                cur_cut += c;
+            }
+            if cnt[from] == 0 && cnt[to] > 1 {
+                cur_cut -= c;
+            }
+            // After the move.
+            if cnt[from] == 0 {
+                for &u in h.net_pins(e) {
+                    if free[u.index()] && u != v {
+                        bump(&mut gain, &mut version, &mut heap, u, -c);
+                    }
+                }
+            } else if cnt[from] == 1 {
+                for &u in h.net_pins(e) {
+                    if free[u.index()] && u != v && side[u.index()] as usize == from {
+                        bump(&mut gain, &mut version, &mut heap, u, c);
+                    }
+                }
+            }
+        }
+
+        sizes[from] -= h.node_size(v);
+        sizes[to] += h.node_size(v);
+        side[v.index()] = to == 1;
+        free[v.index()] = false;
+        moves.push(v);
+        if cur_cut < best_cut - 1e-12 {
+            best_cut = cur_cut;
+            best_len = moves.len();
+        }
+    }
+
+    // Roll back everything after the best prefix.
+    for &v in &moves[best_len..] {
+        let cur = side[v.index()] as usize;
+        sizes[cur] -= h.node_size(v);
+        sizes[1 - cur] += h.node_size(v);
+        side[v.index()] = cur == 0;
+    }
+    best_cut < start_cut - 1e-12
+}
+
+fn bump(
+    gain: &mut [f64],
+    version: &mut [u32],
+    heap: &mut BinaryHeap<HeapEntry>,
+    u: NodeId,
+    delta: f64,
+) {
+    gain[u.index()] += delta;
+    version[u.index()] += 1;
+    heap.push(HeapEntry { gain: gain[u.index()], node: u.0, version: version[u.index()] });
+}
+
+fn node_gain(h: &Hypergraph, side: &[bool], count: &[[u32; 2]], v: NodeId) -> f64 {
+    let from = side[v.index()] as usize;
+    let to = 1 - from;
+    let mut g = 0.0;
+    for &e in h.node_nets(v) {
+        let c = h.net_capacity(e);
+        if count[e.index()][from] == 1 {
+            g += c;
+        }
+        if count[e.index()][to] == 0 {
+            g -= c;
+        }
+    }
+    g
+}
+
+fn side_sizes(h: &Hypergraph, side: &[bool]) -> [u64; 2] {
+    let mut sizes = [0u64; 2];
+    for v in h.nodes() {
+        sizes[side[v.index()] as usize] += h.node_size(v);
+    }
+    sizes
+}
+
+/// Total capacity of nets with pins on both sides.
+pub fn cut_of(h: &Hypergraph, side: &[bool]) -> f64 {
+    h.nets()
+        .filter(|&e| {
+            let pins = h.net_pins(e);
+            let first = side[pins[0].index()];
+            pins.iter().any(|v| side[v.index()] != first)
+        })
+        .map(|e| h.net_capacity(e))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_a_planted_bisection() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let params = ClusteredParams {
+            clusters: 2,
+            cluster_size: 16,
+            intra_nets: 120,
+            inter_nets: 4,
+            min_net_size: 2,
+            max_net_size: 3,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let bounds = BisectionBounds::symmetric(18);
+        let init = random_balanced_init(h, bounds, &mut rng).unwrap();
+        let r = fm_bipartition(h, init, bounds, 16).unwrap();
+        assert!(
+            r.cut <= 4.0 + 1e-9,
+            "FM should find the planted cut of 4, got {}",
+            r.cut
+        );
+        assert!((r.cut - cut_of(h, &r.side)).abs() < 1e-9);
+        // Balance held.
+        let sizes = side_sizes(h, &r.side);
+        assert!(sizes[0] <= 18 && sizes[1] <= 18);
+    }
+
+    #[test]
+    fn respects_asymmetric_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = HypergraphBuilder::with_unit_nodes(10);
+        for i in 0..9u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let bounds = BisectionBounds { max_side0: 3, max_side1: 8 };
+        let init = random_balanced_init(&h, bounds, &mut rng).unwrap();
+        let r = fm_bipartition(&h, init, bounds, 16).unwrap();
+        let sizes = side_sizes(&h, &r.side);
+        assert!(sizes[0] <= 3 && sizes[1] <= 8, "sizes {sizes:?}");
+        // A path split 2|8 or 3|7 cuts exactly one net once optimized.
+        assert!((r.cut - 1.0).abs() < 1e-9, "cut {}", r.cut);
+    }
+
+    #[test]
+    fn infeasible_bounds_error() {
+        let h = HypergraphBuilder::with_unit_nodes(10).build().unwrap();
+        let bounds = BisectionBounds::symmetric(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(matches!(
+            random_balanced_init(&h, bounds, &mut rng),
+            Err(BaselineError::NoBalancedSplit { .. })
+        ));
+        assert!(matches!(
+            fm_bipartition(&h, vec![false; 10], bounds, 4),
+            Err(BaselineError::NoBalancedSplit { .. })
+        ));
+    }
+
+    #[test]
+    fn uncut_start_stays_uncut() {
+        // Two disjoint cliques already on separate sides: gain of any move
+        // is negative, the pass must keep the zero cut.
+        let mut b = HypergraphBuilder::with_unit_nodes(6);
+        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_net(1.0, [NodeId(x), NodeId(y)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let side = vec![false, false, false, true, true, true];
+        let r = fm_bipartition(&h, side, BisectionBounds::symmetric(3), 8).unwrap();
+        assert_eq!(r.cut, 0.0);
+        assert_eq!(r.side, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn weighted_nets_steer_the_cut() {
+        // Path with one heavy net: the cut must avoid it.
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(10.0, [NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let bounds = BisectionBounds { max_side0: 3, max_side1: 3 };
+        let mut best = f64::INFINITY;
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = random_balanced_init(&h, bounds, &mut rng).unwrap();
+            let r = fm_bipartition(&h, init, bounds, 8).unwrap();
+            best = best.min(r.cut);
+        }
+        assert!((best - 1.0).abs() < 1e-9, "best cut {best}");
+    }
+
+    #[test]
+    fn pass_count_is_reported_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let bounds = BisectionBounds::symmetric(40);
+        let init = random_balanced_init(h, bounds, &mut rng).unwrap();
+        let r = fm_bipartition(h, init, bounds, 3).unwrap();
+        assert!(r.passes >= 1 && r.passes <= 3);
+    }
+}

@@ -1,0 +1,240 @@
+//! Multiway partitioning by recursive FM bisection.
+
+use rand::Rng;
+
+use htp_netlist::{Hypergraph, NodeId};
+
+use super::bipartition::{fm_bipartition, random_balanced_init, BisectionBounds};
+use crate::BaselineError;
+
+/// Partitions `h` into `k` blocks, each of total size at most
+/// `block_capacity`, by recursive bisection with `max_passes` FM passes per
+/// split. Returns the block index (`0..k`) of every node.
+///
+/// Blocks may end up empty when the netlist is much smaller than
+/// `k · block_capacity`; callers that need dense blocks can renumber.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::EmptyNetlist`] for an empty netlist, or
+/// [`BaselineError::NoBalancedSplit`] /
+/// [`BaselineError::Infeasible`] when the capacity cannot be met.
+pub fn recursive_bisection<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    k: usize,
+    block_capacity: u64,
+    max_passes: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, BaselineError> {
+    if h.num_nodes() == 0 {
+        return Err(BaselineError::EmptyNetlist);
+    }
+    assert!(k >= 1, "need at least one block");
+    let mut assignment = vec![0usize; h.num_nodes()];
+    split(h, &h.nodes().collect::<Vec<_>>(), k, 0, block_capacity, max_passes, rng, &mut assignment)?;
+    Ok(assignment)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    nodes: &[NodeId],
+    k: usize,
+    base: usize,
+    cap: u64,
+    max_passes: usize,
+    rng: &mut R,
+    assignment: &mut [usize],
+) -> Result<(), BaselineError> {
+    let total: u64 = nodes.iter().map(|&v| h.node_size(v)).sum();
+    if k == 1 {
+        if total > cap {
+            return Err(BaselineError::Infeasible {
+                message: format!("block of size {total} exceeds capacity {cap}"),
+            });
+        }
+        for &v in nodes {
+            assignment[v.index()] = base;
+        }
+        return Ok(());
+    }
+
+    let k0 = k / 2;
+    let k1 = k - k0;
+    let sub = h.induce_tracked(nodes);
+    let bounds = BisectionBounds { max_side0: k0 as u64 * cap, max_side1: k1 as u64 * cap };
+    let init = random_balanced_init(&sub.hypergraph, bounds, rng)?;
+    let r = fm_bipartition(&sub.hypergraph, init, bounds, max_passes)?;
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for v in sub.hypergraph.nodes() {
+        let orig = sub.node_map[v.index()];
+        if r.side[v.index()] {
+            right.push(orig);
+        } else {
+            left.push(orig);
+        }
+    }
+    split(h, &left, k0, base, cap, max_passes, rng, assignment)?;
+    split(h, &right, k1, base + k0, cap, max_passes, rng, assignment)?;
+    Ok(())
+}
+
+/// Direct `k`-way FM: a recursive-bisection seed refined by *flat* k-way
+/// moves (each pass may relocate any node to any block), implemented by
+/// running the hierarchical FM engine on a one-level hierarchy.
+///
+/// Direct refinement repairs the compounding greediness of pure recursive
+/// bisection; the tests assert it never loses to its own seed.
+///
+/// # Errors
+///
+/// Same as [`recursive_bisection`].
+pub fn direct_kway<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    k: usize,
+    block_capacity: u64,
+    max_passes: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, BaselineError> {
+    use htp_model::{HierarchicalPartition, TreeSpec};
+
+    let seed = recursive_bisection(h, k, block_capacity, max_passes, rng)?;
+    if k < 2 {
+        return Ok(seed);
+    }
+    let spec = TreeSpec::new(vec![
+        (block_capacity, k.max(2), 1.0),
+        (block_capacity.saturating_mul(k as u64).max(h.total_size()), k.max(2), 1.0),
+    ])
+    .map_err(BaselineError::Model)?;
+    // A flat 1-level hierarchy with exactly k leaves (pad the assignment so
+    // every block exists even if empty; the padding nodes do not exist, so
+    // use from_leaf_assignment on a widened copy is unnecessary — instead
+    // ensure index k-1 appears by construction of recursive_bisection).
+    let flat = HierarchicalPartition::from_leaf_assignment(1, &seed)
+        .map_err(BaselineError::Model)?;
+    let improved = crate::hfm::improve(h, &spec, &flat, crate::hfm::HfmParams { max_passes })?;
+    let leaves = improved.partition.leaves();
+    let rank = |q: htp_model::VertexId| {
+        leaves.iter().position(|&x| x == q).expect("leaf exists")
+    };
+    Ok(h.nodes().map(|v| rank(improved.partition.leaf_of(v))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn block_sizes(h: &Hypergraph, assignment: &[usize], k: usize) -> Vec<u64> {
+        let mut sizes = vec![0u64; k];
+        for v in h.nodes() {
+            sizes[assignment[v.index()]] += h.node_size(v);
+        }
+        sizes
+    }
+
+    #[test]
+    fn four_way_respects_capacities() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let assignment = recursive_bisection(h, 4, 18, 8, &mut rng).unwrap();
+        let sizes = block_sizes(h, &assignment, 4);
+        assert!(sizes.iter().all(|&s| s <= 18), "sizes {sizes:?}");
+        assert_eq!(sizes.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn recovers_planted_clusters_mostly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = ClusteredParams {
+            clusters: 4,
+            cluster_size: 8,
+            intra_nets: 120,
+            inter_nets: 6,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let assignment = recursive_bisection(h, 4, 10, 12, &mut rng).unwrap();
+        // Each block must be exactly one planted cluster (sizes force it);
+        // the interesting check: blocks are pure.
+        for block in 0..4 {
+            let members: Vec<usize> = h
+                .nodes()
+                .filter(|v| assignment[v.index()] == block)
+                .map(|v| inst.cluster_of[v.index()])
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let pure = members.iter().filter(|&&c| c == members[0]).count();
+            assert!(
+                pure * 10 >= members.len() * 8,
+                "block {block} is badly mixed: {members:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_k_splits_unevenly_but_fits() {
+        let h = HypergraphBuilder::with_unit_nodes(9).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let assignment = recursive_bisection(&h, 3, 3, 4, &mut rng).unwrap();
+        let sizes = block_sizes(&h, &assignment, 3);
+        assert!(sizes.iter().all(|&s| s <= 3), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn direct_kway_never_loses_to_its_seed() {
+        use htp_model::{cost, HierarchicalPartition, TreeSpec};
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = clustered_hypergraph(
+            ClusteredParams {
+                clusters: 4,
+                cluster_size: 8,
+                intra_nets: 100,
+                inter_nets: 10,
+                min_net_size: 2,
+                max_net_size: 3,
+            },
+            &mut rng,
+        );
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(10, 4, 1.0), (40, 4, 1.0)]).unwrap();
+        let eval = |assignment: &[usize]| {
+            let p = HierarchicalPartition::from_leaf_assignment(1, assignment).unwrap();
+            cost::partition_cost(h, &spec, &p)
+        };
+        let seed = recursive_bisection(h, 4, 10, 8, &mut StdRng::seed_from_u64(5)).unwrap();
+        let refined = direct_kway(h, 4, 10, 8, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert!(eval(&refined) <= eval(&seed) + 1e-9, "{} vs {}", eval(&refined), eval(&seed));
+        // Capacity still respected.
+        let sizes = block_sizes(h, &refined, 4);
+        assert!(sizes.iter().all(|&s| s <= 10), "{sizes:?}");
+    }
+
+    #[test]
+    fn impossible_capacity_errors() {
+        let h = HypergraphBuilder::with_unit_nodes(10).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(recursive_bisection(&h, 2, 4, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_netlist_errors() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(matches!(
+            recursive_bisection(&h, 2, 4, 4, &mut rng),
+            Err(BaselineError::EmptyNetlist)
+        ));
+    }
+}

@@ -1,0 +1,367 @@
+//! GFM: bottom-up hierarchical tree partitioning.
+//!
+//! GFM (from Kuo, Liu & Cheng, DAC '96) first builds a multiway partition
+//! at the bottom level — here by recursive FM bisection into the maximum
+//! number of leaves the tree admits — and then constructs the hierarchy
+//! upward, greedily merging the most strongly connected blocks under each
+//! level's `K_l`/`C_l` bounds. It optimizes each level in isolation, which
+//! is precisely the weakness the paper's global spreading-metric approach
+//! targets.
+
+use rand::Rng;
+
+use htp_model::{HierarchicalPartition, PartitionBuilder, TreeSpec, VertexId};
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::fm::recursive_bisection;
+use crate::BaselineError;
+
+/// Parameters of the GFM construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GfmParams {
+    /// FM passes per bisection of the bottom-level multiway partition.
+    pub fm_passes: usize,
+}
+
+impl Default for GfmParams {
+    fn default() -> Self {
+        GfmParams { fm_passes: 8 }
+    }
+}
+
+/// A block being merged upward: its leaf-level node sets, preserved as a
+/// subtree shape.
+#[derive(Clone, Debug)]
+enum BlockTree {
+    Leaf(Vec<NodeId>),
+    Group(Vec<BlockTree>),
+}
+
+impl BlockTree {
+    fn attach(
+        &self,
+        b: &mut PartitionBuilder,
+        parent: VertexId,
+        level: usize,
+    ) -> Result<(), BaselineError> {
+        match self {
+            BlockTree::Leaf(nodes) => {
+                let leaf = b.add_child(parent, 0)?;
+                for &v in nodes {
+                    b.assign(v, leaf)?;
+                }
+            }
+            BlockTree::Group(children) => {
+                let vertex = b.add_child(parent, level)?;
+                for child in children {
+                    child.attach(b, vertex, level - 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs GFM: bottom-up construction of a hierarchical tree partition.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::EmptyNetlist`], a split failure from the FM
+/// engine, or [`BaselineError::Infeasible`] when the merge step cannot meet
+/// `K_l`/`C_l`.
+pub fn gfm_partition<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: GfmParams,
+    rng: &mut R,
+) -> Result<HierarchicalPartition, BaselineError> {
+    if h.num_nodes() == 0 {
+        return Err(BaselineError::EmptyNetlist);
+    }
+    let levels = spec.root_level();
+    let max_leaves: usize = (1..=levels).map(|l| spec.max_children(l)).product();
+
+    // Effective bottom capacity: a group under a level-l vertex holds up to
+    // prod(K_j, j <= l) leaves, so leaves bounded by min_l C_l / that
+    // product always merge within every ancestor capacity.
+    let mut bottom_cap = spec.capacity(0);
+    let mut leaves_below = 1u64;
+    for l in 1..=levels {
+        leaves_below *= spec.max_children(l) as u64;
+        bottom_cap = bottom_cap.min(spec.capacity(l) / leaves_below);
+    }
+    if bottom_cap == 0 || h.total_size() > bottom_cap * max_leaves as u64 {
+        return Err(BaselineError::Infeasible {
+            message: format!(
+                "total size {} does not fit {max_leaves} leaves of effective capacity {bottom_cap}",
+                h.total_size()
+            ),
+        });
+    }
+
+    // Bottom level: multiway FM partition into the full leaf count.
+    let assignment = recursive_bisection(h, max_leaves, bottom_cap, params.fm_passes, rng)?;
+
+    // Non-empty leaf blocks, with each node's current block index.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); max_leaves];
+    for v in h.nodes() {
+        members[assignment[v.index()]].push(v);
+    }
+    let mut blocks: Vec<BlockTree> = Vec::new();
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut block_of = vec![usize::MAX; h.num_nodes()];
+    for nodes in members.into_iter().filter(|m| !m.is_empty()) {
+        let id = blocks.len();
+        for &v in &nodes {
+            block_of[v.index()] = id;
+        }
+        sizes.push(nodes.iter().map(|&v| h.node_size(v)).sum());
+        blocks.push(BlockTree::Leaf(nodes));
+    }
+
+    // Merge upward, level by level. The tree above level `l` can hold at
+    // most prod(K_j, j > l) groups.
+    for l in 1..levels {
+        let max_groups: usize = (l + 1..=levels).map(|j| spec.max_children(j)).product();
+        let groups = merge_level(
+            h,
+            &block_of,
+            blocks.len(),
+            &sizes,
+            spec.max_children(l),
+            spec.capacity(l),
+            max_groups,
+        )?;
+        let mut new_blocks: Vec<BlockTree> = Vec::new();
+        let mut new_sizes: Vec<u64> = Vec::new();
+        let mut relabel = vec![usize::MAX; blocks.len()];
+        let mut consumed: Vec<Option<BlockTree>> = blocks.into_iter().map(Some).collect();
+        for group in groups {
+            let id = new_blocks.len();
+            let mut children = Vec::with_capacity(group.len());
+            let mut size = 0;
+            for &old in &group {
+                relabel[old] = id;
+                size += sizes[old];
+                children.push(consumed[old].take().expect("each block joins one group"));
+            }
+            new_blocks.push(if children.len() == 1 {
+                // A lone block keeps its shape; the hierarchy level is
+                // implicit (level-skipping is legal in the model).
+                children.pop().expect("one child")
+            } else {
+                BlockTree::Group(children)
+            });
+            new_sizes.push(size);
+        }
+        for b in &mut block_of {
+            *b = relabel[*b];
+        }
+        blocks = new_blocks;
+        sizes = new_sizes;
+    }
+
+    if blocks.len() > spec.max_children(levels) {
+        return Err(BaselineError::Infeasible {
+            message: format!(
+                "{} top blocks exceed the root branching bound {}",
+                blocks.len(),
+                spec.max_children(levels)
+            ),
+        });
+    }
+
+    let mut b = PartitionBuilder::new(h.num_nodes(), levels);
+    let root = b.root();
+    for block in &blocks {
+        block.attach(&mut b, root, levels - 1)?;
+    }
+    Ok(b.build()?)
+}
+
+/// Greedy connectivity-driven grouping of the current blocks into at most
+/// `max_groups` groups of at most `k` blocks with total size at most `cap`.
+/// Falls back to size-balanced first-fit-decreasing when connectivity-greedy
+/// packing produces too many groups.
+fn merge_level(
+    h: &Hypergraph,
+    block_of: &[usize],
+    num_blocks: usize,
+    sizes: &[u64],
+    k: usize,
+    cap: u64,
+    max_groups: usize,
+) -> Result<Vec<Vec<usize>>, BaselineError> {
+    // Pairwise connectivity between blocks.
+    let mut w = vec![0.0f64; num_blocks * num_blocks];
+    let mut touched: Vec<usize> = Vec::new();
+    for e in h.nets() {
+        touched.clear();
+        touched.extend(h.net_pins(e).iter().map(|&v| block_of[v.index()]));
+        touched.sort_unstable();
+        touched.dedup();
+        for i in 0..touched.len() {
+            for j in i + 1..touched.len() {
+                w[touched[i] * num_blocks + touched[j]] += h.net_capacity(e);
+                w[touched[j] * num_blocks + touched[i]] += h.net_capacity(e);
+            }
+        }
+    }
+
+    // Seed groups from the largest blocks; absorb the most connected
+    // fitting block until k children or nothing fits.
+    let mut order: Vec<usize> = (0..num_blocks).collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(sizes[b]));
+    let mut grouped = vec![false; num_blocks];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for &seed in &order {
+        if grouped[seed] {
+            continue;
+        }
+        grouped[seed] = true;
+        let mut group = vec![seed];
+        let mut size = sizes[seed];
+        while group.len() < k {
+            // Most-connected ungrouped block that still fits.
+            let best = (0..num_blocks)
+                .filter(|&c| !grouped[c] && size + sizes[c] <= cap)
+                .max_by(|&a, &c| {
+                    let wa: f64 = group.iter().map(|&g| w[g * num_blocks + a]).sum();
+                    let wc: f64 = group.iter().map(|&g| w[g * num_blocks + c]).sum();
+                    wa.partial_cmp(&wc).expect("weights not NaN").then(c.cmp(&a))
+                });
+            match best {
+                Some(c) => {
+                    grouped[c] = true;
+                    size += sizes[c];
+                    group.push(c);
+                }
+                None => break,
+            }
+        }
+        if size > cap {
+            return Err(BaselineError::Infeasible {
+                message: format!("block of size {size} exceeds level capacity {cap}"),
+            });
+        }
+        groups.push(group);
+    }
+    if groups.len() <= max_groups {
+        return Ok(groups);
+    }
+    // Connectivity-greedy packing fragmented too much; retry with a
+    // size-balanced first-fit-decreasing into exactly `max_groups` bins.
+    balanced_grouping(num_blocks, sizes, k, cap, max_groups)
+}
+
+/// First-fit-decreasing into `num_groups` bins: each block goes to the
+/// currently smallest bin that still has a child slot and capacity.
+fn balanced_grouping(
+    num_blocks: usize,
+    sizes: &[u64],
+    k: usize,
+    cap: u64,
+    num_groups: usize,
+) -> Result<Vec<Vec<usize>>, BaselineError> {
+    let mut order: Vec<usize> = (0..num_blocks).collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(sizes[b]));
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+    let mut group_sizes = vec![0u64; num_groups];
+    for b in order {
+        let target = (0..num_groups)
+            .filter(|&g| groups[g].len() < k && group_sizes[g] + sizes[b] <= cap)
+            .min_by_key(|&g| group_sizes[g]);
+        match target {
+            Some(g) => {
+                groups[g].push(b);
+                group_sizes[g] += sizes[b];
+            }
+            None => {
+                return Err(BaselineError::Infeasible {
+                    message: format!(
+                        "cannot pack {num_blocks} blocks into {num_groups} groups of {k} within capacity {cap}"
+                    ),
+                })
+            }
+        }
+    }
+    groups.retain(|g| !g.is_empty());
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::{cost, validate};
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_valid_partitions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0).unwrap();
+        let p = gfm_partition(h, &spec, GfmParams::default(), &mut rng).unwrap();
+        validate::validate(h, &spec, &p).unwrap();
+        assert!(cost::partition_cost(h, &spec, &p) > 0.0);
+    }
+
+    #[test]
+    fn finds_the_planted_two_level_structure() {
+        // 4 clusters of 8; binary tree of height 2 must pair the clusters.
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = ClusteredParams {
+            clusters: 4,
+            cluster_size: 8,
+            intra_nets: 160,
+            inter_nets: 4,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(10, 2, 1.0), (22, 2, 1.0), (44, 2, 1.0)]).unwrap();
+        let p = gfm_partition(h, &spec, GfmParams::default(), &mut rng).unwrap();
+        validate::validate(h, &spec, &p).unwrap();
+        // Each planted inter net costs at most 2 (level 0) + 2 (level 1);
+        // perfect recovery costs <= 16; badly mixed blocks cost much more.
+        let c = cost::partition_cost(h, &spec, &p);
+        assert!(c <= 16.0, "cost {c} suggests the clusters were not recovered");
+    }
+
+    #[test]
+    fn small_netlist_leaves_empty_blocks_out() {
+        let mut b = HypergraphBuilder::with_unit_nodes(3);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = gfm_partition(&h, &spec, GfmParams::default(), &mut rng).unwrap();
+        validate::validate(&h, &spec, &p).unwrap();
+        assert!(p.leaves().len() <= 3);
+    }
+
+    #[test]
+    fn empty_netlist_errors() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            gfm_partition(&h, &spec, GfmParams::default(), &mut rng),
+            Err(BaselineError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
+        let p1 = gfm_partition(&inst.hypergraph, &spec, GfmParams::default(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let p2 = gfm_partition(&inst.hypergraph, &spec, GfmParams::default(), &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

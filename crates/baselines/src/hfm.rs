@@ -1,0 +1,575 @@
+//! Hierarchical FM iterative improvement (the `+` of GFM+/RFM+/FLOW+).
+//!
+//! Reference \[9\] improves an existing hierarchical tree partition with a
+//! Fiduccia–Mattheyses-style pass generalized to the *hierarchical* cost:
+//! a move relocates a node from its leaf to another leaf of the same tree,
+//! changing its block at every level below the two leaves' lowest common
+//! ancestor, and its gain is the exact change of
+//! `Σ_e Σ_l w_l · span(e, l) · c(e)`. Moves must respect the capacity
+//! `C_l` of every block they enter. Passes move each node at most once
+//! (highest gain first, negative gains allowed), then roll back to the best
+//! prefix; they repeat until a pass brings no improvement.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use htp_model::{cost, HierarchicalPartition, TreeSpec, VertexId};
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::BaselineError;
+
+/// Parameters of the improvement loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HfmParams {
+    /// Maximum improvement passes.
+    pub max_passes: usize,
+}
+
+impl Default for HfmParams {
+    fn default() -> Self {
+        HfmParams { max_passes: 12 }
+    }
+}
+
+/// Result of an improvement run.
+#[derive(Clone, Debug)]
+pub struct HfmResult {
+    /// The improved partition (same tree, new node assignment).
+    pub partition: HierarchicalPartition,
+    /// Cost before improvement.
+    pub cost_before: f64,
+    /// Cost after improvement (`<= cost_before`).
+    pub cost_after: f64,
+    /// Passes executed.
+    pub passes: usize,
+    /// Accepted (kept) moves across all passes.
+    pub moves: usize,
+}
+
+impl HfmResult {
+    /// Relative improvement `1 − after/before` (0 when nothing improved or
+    /// the initial cost was already 0).
+    pub fn improvement(&self) -> f64 {
+        if self.cost_before <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.cost_after / self.cost_before
+        }
+    }
+}
+
+/// Improves `p` by hierarchical FM passes.
+///
+/// # Errors
+///
+/// Returns a [`BaselineError::Model`] if `p` does not fit `h` or `spec`.
+pub fn improve(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+    params: HfmParams,
+) -> Result<HfmResult, BaselineError> {
+    htp_model::validate::validate(h, spec, p)?;
+    let cost_before = cost::partition_cost(h, spec, p);
+    let leaves = p.leaves();
+    if leaves.len() < 2 || h.num_nodes() == 0 {
+        return Ok(HfmResult {
+            partition: p.clone(),
+            cost_before,
+            cost_after: cost_before,
+            passes: 0,
+            moves: 0,
+        });
+    }
+
+    let mut engine = Engine::new(h, spec, p, &leaves);
+    let mut passes = 0;
+    let mut total_moves = 0;
+    while passes < params.max_passes {
+        passes += 1;
+        let kept = engine.run_pass();
+        total_moves += kept;
+        if kept == 0 {
+            break;
+        }
+    }
+
+    let leaf_of: Vec<VertexId> = engine
+        .leaf_rank_of
+        .iter()
+        .map(|&r| leaves[r])
+        .collect();
+    let partition = p.with_assignment(leaf_of)?;
+    let cost_after = cost::partition_cost(h, spec, &partition);
+    Ok(HfmResult { partition, cost_before, cost_after, passes, moves: total_moves })
+}
+
+#[derive(Debug)]
+struct Candidate {
+    gain: f64,
+    node: u32,
+    target: u32,
+    version: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain && self.node == other.node
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are not NaN")
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+/// Incremental state: per-level block ranks, per-net per-level pin counts,
+/// per-vertex subtree sizes.
+struct Engine<'a> {
+    h: &'a Hypergraph,
+    spec: &'a TreeSpec,
+    /// Cost levels `0..levels` (the root level never pays).
+    levels: usize,
+    /// Per leaf rank: the block rank at each cost level.
+    chain: Vec<Vec<u32>>,
+    /// Per leaf rank: ancestor vertices from the leaf up to the root.
+    ancestors: Vec<Vec<VertexId>>,
+    /// Number of blocks at each cost level.
+    num_blocks: Vec<usize>,
+    /// `counts[l][e.index() * num_blocks[l] + block_rank]`.
+    counts: Vec<Vec<u32>>,
+    /// `distinct[l][e.index()]`: blocks with non-zero count.
+    distinct: Vec<Vec<u32>>,
+    /// Subtree size per vertex (raw id indexed).
+    sizes: Vec<u64>,
+    /// Current leaf rank of every node.
+    leaf_rank_of: Vec<usize>,
+    /// Hierarchy level per vertex (raw id indexed), for capacity checks.
+    vertex_levels: Vec<usize>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        h: &'a Hypergraph,
+        spec: &'a TreeSpec,
+        p: &HierarchicalPartition,
+        leaves: &[VertexId],
+    ) -> Self {
+        let levels = p.root_level();
+        let mut leaf_rank = vec![usize::MAX; p.num_vertices()];
+        for (r, &q) in leaves.iter().enumerate() {
+            leaf_rank[q.index()] = r;
+        }
+
+        // Block chains and ranks per level.
+        let mut chain_vertices: Vec<Vec<u32>> = Vec::with_capacity(leaves.len());
+        for &q in leaves {
+            let mut row = Vec::with_capacity(levels);
+            let mut cur = q;
+            for l in 0..levels {
+                while let Some(par) = p.parent(cur) {
+                    if p.level(par) <= l {
+                        cur = par;
+                    } else {
+                        break;
+                    }
+                }
+                row.push(cur.0);
+            }
+            chain_vertices.push(row);
+        }
+        let mut num_blocks = Vec::with_capacity(levels);
+        let mut rank_at: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let mut ids: Vec<u32> = chain_vertices.iter().map(|row| row[l]).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let mut rank = vec![u32::MAX; p.num_vertices()];
+            for (r, &id) in ids.iter().enumerate() {
+                rank[id as usize] = r as u32;
+            }
+            num_blocks.push(ids.len());
+            rank_at.push(rank);
+        }
+        let chain: Vec<Vec<u32>> = chain_vertices
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(l, &id)| rank_at[l][id as usize])
+                    .collect()
+            })
+            .collect();
+
+        let ancestors: Vec<Vec<VertexId>> = leaves
+            .iter()
+            .map(|&q| {
+                let mut list = vec![q];
+                let mut cur = q;
+                while let Some(par) = p.parent(cur) {
+                    list.push(par);
+                    cur = par;
+                }
+                list
+            })
+            .collect();
+
+        let leaf_rank_of: Vec<usize> =
+            h.nodes().map(|v| leaf_rank[p.leaf_of(v).index()]).collect();
+
+        // Net pin counts per level block.
+        let mut counts: Vec<Vec<u32>> = (0..levels)
+            .map(|l| vec![0u32; h.num_nets() * num_blocks[l]])
+            .collect();
+        let mut distinct: Vec<Vec<u32>> = (0..levels).map(|_| vec![0u32; h.num_nets()]).collect();
+        for e in h.nets() {
+            for &v in h.net_pins(e) {
+                let r = leaf_rank_of[v.index()];
+                for l in 0..levels {
+                    let idx = e.index() * num_blocks[l] + chain[r][l] as usize;
+                    if counts[l][idx] == 0 {
+                        distinct[l][e.index()] += 1;
+                    }
+                    counts[l][idx] += 1;
+                }
+            }
+        }
+
+        let node_sizes: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
+        let sizes = p.subtree_sizes(&node_sizes);
+        let size_per_vertex = {
+            let mut s = vec![0u64; p.num_vertices()];
+            for (q, &v) in sizes.iter().enumerate() {
+                s[q] = v;
+            }
+            s
+        };
+        // Capture the level of every vertex for capacity checks.
+        let vertex_levels: Vec<usize> = (0..p.num_vertices())
+            .map(|q| p.level(VertexId::new(q)))
+            .collect();
+
+        Engine {
+            h,
+            spec,
+            levels,
+            chain,
+            ancestors,
+            num_blocks,
+            counts,
+            distinct,
+            sizes: size_per_vertex,
+            leaf_rank_of,
+            vertex_levels,
+        }
+    }
+
+    /// Cost contribution of a block-count `b`: `span` is 0 below 2 blocks.
+    #[inline]
+    fn val(b: u32) -> f64 {
+        if b >= 2 {
+            b as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact cost change of moving `v` from its leaf to leaf rank `to`.
+    fn move_delta(&self, v: NodeId, to: usize) -> f64 {
+        let from = self.leaf_rank_of[v.index()];
+        let mut delta = 0.0;
+        for l in 0..self.levels {
+            let a = self.chain[from][l];
+            let b = self.chain[to][l];
+            if a == b {
+                continue;
+            }
+            let w = self.spec.weight(l);
+            let nb = self.num_blocks[l];
+            for &e in self.h.node_nets(v) {
+                let base = e.index() * nb;
+                let cnt_a = self.counts[l][base + a as usize];
+                let cnt_b = self.counts[l][base + b as usize];
+                let before = self.distinct[l][e.index()];
+                let after = before - u32::from(cnt_a == 1) + u32::from(cnt_b == 0);
+                if after != before || (before >= 2) != (after >= 2) {
+                    delta += w * self.h.net_capacity(e) * (Self::val(after) - Self::val(before));
+                }
+            }
+        }
+        delta
+    }
+
+    /// The vertices whose size changes when moving between two leaf ranks:
+    /// the non-shared prefixes of the two ancestor chains.
+    fn divergent_ancestors(&self, from: usize, to: usize) -> (Vec<VertexId>, Vec<VertexId>) {
+        let fa = &self.ancestors[from];
+        let ta = &self.ancestors[to];
+        let mut fi = fa.len();
+        let mut ti = ta.len();
+        while fi > 0 && ti > 0 && fa[fi - 1] == ta[ti - 1] {
+            fi -= 1;
+            ti -= 1;
+        }
+        (fa[..fi].to_vec(), ta[..ti].to_vec())
+    }
+
+    /// Whether the target side has room for `size` at every level it gains.
+    fn move_fits(&self, v: NodeId, to: usize) -> bool {
+        let from = self.leaf_rank_of[v.index()];
+        if from == to {
+            return false;
+        }
+        let s = self.h.node_size(v);
+        let (_, gainers) = self.divergent_ancestors(from, to);
+        gainers.iter().all(|&q| {
+            self.sizes[q.index()] + s <= self.spec.capacity(self.vertex_levels[q.index()])
+        })
+    }
+
+    /// Best feasible move of `v`, if any.
+    fn best_move(&self, v: NodeId) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for to in 0..self.chain.len() {
+            if !self.move_fits(v, to) {
+                continue;
+            }
+            let gain = -self.move_delta(v, to);
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((to, gain));
+            }
+        }
+        best
+    }
+
+    /// Applies the move, maintaining counts, distinct counts, and sizes.
+    /// Returns the exact cost delta.
+    fn apply_move(&mut self, v: NodeId, to: usize) -> f64 {
+        let from = self.leaf_rank_of[v.index()];
+        let delta = self.move_delta(v, to);
+        for l in 0..self.levels {
+            let a = self.chain[from][l];
+            let b = self.chain[to][l];
+            if a == b {
+                continue;
+            }
+            let nb = self.num_blocks[l];
+            for &e in self.h.node_nets(v) {
+                let base = e.index() * nb;
+                let cnt_a = &mut self.counts[l][base + a as usize];
+                *cnt_a -= 1;
+                if *cnt_a == 0 {
+                    self.distinct[l][e.index()] -= 1;
+                }
+                let cnt_b = &mut self.counts[l][base + b as usize];
+                if *cnt_b == 0 {
+                    self.distinct[l][e.index()] += 1;
+                }
+                *cnt_b += 1;
+            }
+        }
+        let s = self.h.node_size(v);
+        let (losers, gainers) = self.divergent_ancestors(from, to);
+        for q in losers {
+            self.sizes[q.index()] -= s;
+        }
+        for q in gainers {
+            self.sizes[q.index()] += s;
+        }
+        self.leaf_rank_of[v.index()] = to;
+        delta
+    }
+
+    /// One pass; returns the number of kept (non-rolled-back) moves.
+    fn run_pass(&mut self) -> usize {
+        let n = self.h.num_nodes();
+        let mut free = vec![true; n];
+        let mut version = vec![0u32; n];
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n);
+        for v in self.h.nodes() {
+            if let Some((to, gain)) = self.best_move(v) {
+                heap.push(Candidate { gain, node: v.0, target: to as u32, version: 0 });
+            }
+        }
+
+        let mut moves: Vec<(NodeId, usize, usize)> = Vec::new();
+        let mut cum = 0.0;
+        let mut best_cum = 0.0;
+        let mut best_len = 0usize;
+
+        while let Some(c) = heap.pop() {
+            let vi = c.node as usize;
+            if !free[vi] || c.version != version[vi] {
+                continue;
+            }
+            let v = NodeId(c.node);
+            let to = c.target as usize;
+            if !self.move_fits(v, to) {
+                // Capacities shifted since the candidate was queued;
+                // recompute the node's best feasible move.
+                version[vi] += 1;
+                if let Some((t2, g2)) = self.best_move(v) {
+                    heap.push(Candidate { gain: g2, node: c.node, target: t2 as u32, version: version[vi] });
+                }
+                continue;
+            }
+            let from = self.leaf_rank_of[vi];
+            cum += self.apply_move(v, to);
+            free[vi] = false;
+            moves.push((v, from, to));
+            if cum < best_cum - 1e-12 {
+                best_cum = cum;
+                best_len = moves.len();
+            }
+
+            // Refresh candidates of the free pins sharing a net with v.
+            for &e in self.h.node_nets(v) {
+                for &u in self.h.net_pins(e) {
+                    if u != v && free[u.index()] {
+                        version[u.index()] += 1;
+                        if let Some((t, g)) = self.best_move(u) {
+                            heap.push(Candidate {
+                                gain: g,
+                                node: u.0,
+                                target: t as u32,
+                                version: version[u.index()],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Roll back past the best prefix.
+        for &(v, from, _) in moves[best_len..].iter().rev() {
+            self.apply_move(v, from);
+        }
+        if best_cum < -1e-12 {
+            best_len
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::validate;
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repairs_a_deliberately_bad_assignment() {
+        // Two tight clusters assigned half-and-half across two leaves; HFM
+        // must unscramble them down to the planted cut.
+        let mut rng = StdRng::seed_from_u64(0);
+        let params = ClusteredParams {
+            clusters: 2,
+            cluster_size: 8,
+            intra_nets: 48,
+            inter_nets: 2,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(10, 2, 1.0), (16, 2, 1.0)]).unwrap();
+        // Interleave: node i -> leaf i % 2 (maximally scrambled).
+        let scrambled: Vec<usize> = (0..16).map(|i| i % 2).collect();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &scrambled).unwrap();
+        let r = improve(h, &spec, &p, HfmParams::default()).unwrap();
+        assert!(r.cost_after < r.cost_before);
+        assert_eq!(r.cost_after, 4.0, "planted cut: 2 inter nets × span 2");
+        validate::validate(h, &spec, &r.partition).unwrap();
+        assert!(r.improvement() > 0.5);
+    }
+
+    #[test]
+    fn already_optimal_partition_is_untouched() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        let r = improve(&h, &spec, &p, HfmParams::default()).unwrap();
+        assert_eq!(r.cost_before, 0.0);
+        assert_eq!(r.cost_after, 0.0);
+        assert_eq!(r.moves, 0);
+    }
+
+    #[test]
+    fn respects_capacities_during_improvement() {
+        // A net wants everything in one leaf, but C_0 forbids it.
+        let mut b = HypergraphBuilder::with_unit_nodes(6);
+        b.add_net(1.0, (0..6).map(NodeId).collect::<Vec<_>>()).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (6, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 0, 1, 1, 1]).unwrap();
+        let r = improve(&h, &spec, &p, HfmParams::default()).unwrap();
+        validate::validate(&h, &spec, &r.partition).unwrap();
+        // The big net spans both leaves no matter what: cost stays 2.
+        assert_eq!(r.cost_after, 2.0);
+    }
+
+    #[test]
+    fn improves_multilevel_cost_not_just_leaf_cuts() {
+        // Height-2 binary tree. Nodes 0-3 form a clique, as do 4-7. A bad
+        // assignment splits each clique across the level-1 boundary, which
+        // costs at both levels; HFM should pull each clique under one
+        // level-1 vertex.
+        let mut b = HypergraphBuilder::with_unit_nodes(8);
+        for group in [0u32, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    b.add_net(1.0, [NodeId(group + i), NodeId(group + j)]).unwrap();
+                }
+            }
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        // leaves 0,1 under mid A; 2,3 under mid B. Scatter the cliques.
+        let p = HierarchicalPartition::full_kary(2, 2, &[0, 0, 2, 2, 1, 1, 3, 3]).unwrap();
+        let before = cost::partition_cost(&h, &spec, &p);
+        let r = improve(&h, &spec, &p, HfmParams::default()).unwrap();
+        assert!(r.cost_after < before);
+        // Each clique should end up inside one mid vertex, paying only at
+        // level 0: a 3|1 split cuts 3 nets (cost 6), a 2|2 split 4 (cost 8).
+        assert!(r.cost_after <= 16.0, "got {}", r.cost_after);
+    }
+
+    #[test]
+    fn single_leaf_partition_is_a_no_op() {
+        let mut b = HypergraphBuilder::with_unit_nodes(3);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 0]).unwrap();
+        let r = improve(&h, &spec, &p, HfmParams::default()).unwrap();
+        assert_eq!(r.passes, 0);
+        assert_eq!(r.partition, p);
+    }
+
+    #[test]
+    fn invalid_input_partition_is_rejected() {
+        let h = HypergraphBuilder::with_unit_nodes(4).build().unwrap();
+        let spec = TreeSpec::new(vec![(1, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        assert!(matches!(
+            improve(&h, &spec, &p, HfmParams::default()),
+            Err(BaselineError::Model(_))
+        ));
+    }
+}

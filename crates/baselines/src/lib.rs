@@ -1,0 +1,31 @@
+//! Baseline hierarchical-tree partitioners from Kuo, Liu & Cheng (DAC '96).
+//!
+//! The paper compares its network-flow algorithm against the two
+//! constructive algorithms of reference \[9\] plus an FM-based iterative
+//! improvement; all three are reimplemented here so the comparison can run
+//! on our surrogate workloads:
+//!
+//! * [`fm`] — Fiduccia–Mattheyses bipartitioning with gain updates and
+//!   balance bounds, plus recursive multiway partitioning built on it. This
+//!   is the shared engine of everything below.
+//! * [`gfm`] — **GFM**: bottom-up construction. A multiway FM partition at
+//!   the bottom level, then blocks are merged level by level, most-connected
+//!   groups first.
+//! * [`rfm`] — **RFM**: top-down recursive construction, carving each
+//!   level's blocks with FM min-cut bipartitions (the same general approach
+//!   as the paper's Algorithm 3, with FM in the `find_cut` role).
+//! * [`hfm`] — hierarchical FM iterative improvement: moves nodes between
+//!   existing leaves to reduce the *hierarchical* cost, yielding the GFM+ /
+//!   RFM+ / FLOW+ variants of the paper's Table 3.
+//! * [`spectral`] — a Fiedler-vector sweep bipartitioner (the "spectral
+//!   method" class the introduction contrasts against), usable standalone
+//!   or as an FM seed.
+
+pub mod error;
+pub mod fm;
+pub mod gfm;
+pub mod hfm;
+pub mod rfm;
+pub mod spectral;
+
+pub use error::BaselineError;

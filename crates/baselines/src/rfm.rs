@@ -1,0 +1,270 @@
+//! RFM: top-down recursive hierarchical tree partitioning with FM min-cuts.
+//!
+//! RFM (from Kuo, Liu & Cheng, DAC '96) follows the same top-down recursion
+//! as the paper's Algorithm 3 but fills the `find_cut` role with a direct
+//! FM min-cut bipartition of the hypergraph: at each level it repeatedly
+//! splits off a block whose size lies in `[s(V)/K_l, C_{l−1}]`, minimizing
+//! the *local* cut — without the global view a spreading metric provides.
+
+use rand::Rng;
+
+use htp_model::{HierarchicalPartition, PartitionBuilder, TreeSpec, VertexId};
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::fm::bipartition::{fm_bipartition, random_balanced_init, BisectionBounds};
+use crate::spectral::{spectral_bipartition, SpectralParams};
+use crate::BaselineError;
+
+/// How each RFM split is seeded before FM refinement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SplitInit {
+    /// A random balanced bipartition (the classic FM setup).
+    #[default]
+    Random,
+    /// A Fiedler-vector sweep cut (spectral seeding), falling back to a
+    /// random split when the sweep finds no feasible prefix.
+    Spectral,
+}
+
+/// Parameters of the RFM construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RfmParams {
+    /// FM passes per split.
+    pub fm_passes: usize,
+    /// Initial cut fed to FM at each split.
+    pub init: SplitInit,
+}
+
+impl Default for RfmParams {
+    fn default() -> Self {
+        RfmParams { fm_passes: 8, init: SplitInit::Random }
+    }
+}
+
+/// Runs RFM: top-down recursive construction with FM min-cut splits.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::EmptyNetlist`], [`BaselineError::Infeasible`]
+/// when the netlist exceeds the root capacity, or a split failure from the
+/// FM engine.
+pub fn rfm_partition<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: RfmParams,
+    rng: &mut R,
+) -> Result<HierarchicalPartition, BaselineError> {
+    if h.num_nodes() == 0 {
+        return Err(BaselineError::EmptyNetlist);
+    }
+    let total = h.total_size();
+    let top = spec.level_for_size(total).ok_or_else(|| BaselineError::Infeasible {
+        message: format!(
+            "netlist of size {total} exceeds the root capacity {}",
+            spec.capacity(spec.root_level())
+        ),
+    })?;
+
+    let all: Vec<NodeId> = h.nodes().collect();
+    if top == 0 {
+        let mut b = PartitionBuilder::new(h.num_nodes(), 1);
+        let leaf = b.add_child(b.root(), 0)?;
+        for v in h.nodes() {
+            b.assign(v, leaf)?;
+        }
+        return Ok(b.build()?);
+    }
+
+    let mut b = PartitionBuilder::new(h.num_nodes(), top);
+    let root = b.root();
+    split(&mut b, root, top, h, &all, spec, params, rng)?;
+    Ok(b.build()?)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split<R: Rng + ?Sized>(
+    b: &mut PartitionBuilder,
+    vertex: VertexId,
+    level: usize,
+    h: &Hypergraph,
+    map: &[NodeId],
+    spec: &TreeSpec,
+    params: RfmParams,
+    rng: &mut R,
+) -> Result<(), BaselineError> {
+    let size = h.total_size();
+    let k = spec.max_children(level) as u64;
+    let ub = spec.capacity(level - 1);
+    let lb_spec = size.div_ceil(k);
+    if size > k * ub {
+        return Err(BaselineError::Infeasible {
+            message: format!("size {size} cannot fit {k} children of capacity {ub} at level {level}"),
+        });
+    }
+
+    let mut rem_h = h.clone();
+    let mut rem_map = map.to_vec();
+    let mut children = 0u64;
+
+    loop {
+        let rem_size = rem_h.total_size();
+        if rem_size == 0 {
+            break;
+        }
+        if rem_size <= ub {
+            attach_child(b, vertex, &rem_h, &rem_map, spec, params, rng)?;
+            break;
+        }
+        let slots_left = k - children;
+        let lb = lb_spec
+            .max(rem_size.saturating_sub((slots_left - 1) * ub))
+            .min(ub);
+
+        // FM min-cut with side 0 forced into [lb, ub].
+        let bounds = BisectionBounds { max_side0: ub, max_side1: rem_size - lb };
+        let init = match params.init {
+            SplitInit::Random => random_balanced_init(&rem_h, bounds, rng)?,
+            SplitInit::Spectral => {
+                match spectral_bipartition(&rem_h, bounds, SpectralParams::default()) {
+                    Ok(sweep) => sweep.side,
+                    Err(_) => random_balanced_init(&rem_h, bounds, rng)?,
+                }
+            }
+        };
+        let r = fm_bipartition(&rem_h, init, bounds, params.fm_passes)?;
+
+        let block_local: Vec<NodeId> =
+            rem_h.nodes().filter(|v| !r.side[v.index()]).collect();
+        let rest_local: Vec<NodeId> =
+            rem_h.nodes().filter(|v| r.side[v.index()]).collect();
+
+        let block = rem_h.induce_tracked(&block_local);
+        let block_map: Vec<NodeId> =
+            block.node_map.iter().map(|&l| rem_map[l.index()]).collect();
+        attach_child(b, vertex, &block.hypergraph, &block_map, spec, params, rng)?;
+        children += 1;
+
+        let rest = rem_h.induce_tracked(&rest_local);
+        rem_map = rest.node_map.iter().map(|&l| rem_map[l.index()]).collect();
+        rem_h = rest.hypergraph;
+    }
+    Ok(())
+}
+
+fn attach_child<R: Rng + ?Sized>(
+    b: &mut PartitionBuilder,
+    parent: VertexId,
+    h: &Hypergraph,
+    map: &[NodeId],
+    spec: &TreeSpec,
+    params: RfmParams,
+    rng: &mut R,
+) -> Result<(), BaselineError> {
+    let size = h.total_size();
+    let child_level = spec.level_for_size(size).ok_or_else(|| BaselineError::Infeasible {
+        message: format!("child of size {size} fits no level"),
+    })?;
+    if child_level == 0 {
+        let leaf = b.add_child(parent, 0)?;
+        for &orig in map {
+            b.assign(orig, leaf)?;
+        }
+    } else {
+        let child = b.add_child(parent, child_level)?;
+        split(b, child, child_level, h, map, spec, params, rng)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::{cost, validate};
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_valid_partitions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0).unwrap();
+        let p = rfm_partition(h, &spec, RfmParams::default(), &mut rng).unwrap();
+        validate::validate(h, &spec, &p).unwrap();
+    }
+
+    #[test]
+    fn two_cluster_instance_is_cut_cleanly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = ClusteredParams {
+            clusters: 2,
+            cluster_size: 8,
+            intra_nets: 48,
+            inter_nets: 3,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(10, 2, 1.0), (16, 2, 1.0)]).unwrap();
+        let p = rfm_partition(h, &spec, RfmParams::default(), &mut rng).unwrap();
+        validate::validate(h, &spec, &p).unwrap();
+        assert_eq!(cost::partition_cost(h, &spec, &p), 6.0);
+    }
+
+    #[test]
+    fn tiny_netlist_becomes_one_leaf() {
+        let mut b = HypergraphBuilder::with_unit_nodes(3);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = rfm_partition(&h, &spec, RfmParams::default(), &mut rng).unwrap();
+        assert_eq!(p.leaves().len(), 1);
+        assert_eq!(cost::partition_cost(&h, &spec, &p), 0.0);
+    }
+
+    #[test]
+    fn spectral_init_also_builds_valid_partitions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0).unwrap();
+        let params = RfmParams { init: SplitInit::Spectral, ..RfmParams::default() };
+        let p = rfm_partition(h, &spec, params, &mut rng).unwrap();
+        validate::validate(h, &spec, &p).unwrap();
+        // Spectral seeding should be competitive with random seeding.
+        let random = rfm_partition(h, &spec, RfmParams::default(), &mut rng).unwrap();
+        let cs = cost::partition_cost(h, &spec, &p);
+        let cr = cost::partition_cost(h, &spec, &random);
+        assert!(cs <= cr * 2.0, "spectral {cs} vs random {cr}");
+    }
+
+    #[test]
+    fn oversized_netlist_errors() {
+        let h = HypergraphBuilder::with_unit_nodes(100).build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            rfm_partition(&h, &spec, RfmParams::default(), &mut rng),
+            Err(BaselineError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_netlists_are_partitioned() {
+        let mut b = HypergraphBuilder::with_unit_nodes(8);
+        for base in [0u32, 4] {
+            for i in 0..3 {
+                b.add_net(1.0, [NodeId(base + i), NodeId(base + i + 1)]).unwrap();
+            }
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = rfm_partition(&h, &spec, RfmParams::default(), &mut rng).unwrap();
+        validate::validate(&h, &spec, &p).unwrap();
+    }
+}

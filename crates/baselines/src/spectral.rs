@@ -1,0 +1,287 @@
+//! Spectral bipartitioning.
+//!
+//! The paper's introduction lists spectral methods among the constructive
+//! partitioners built for fixed structures. This module provides the
+//! classic variant for two-way cuts: compute the Fiedler vector (the
+//! eigenvector of the second-smallest Laplacian eigenvalue) of the netlist's
+//! clique expansion, order nodes by their Fiedler coordinate, and take the
+//! best cut over all balance-feasible prefixes of that ordering. The result
+//! is a strong starting point for FM refinement
+//! ([`spectral_fm_bipartition`]).
+//!
+//! The eigenvector is obtained matrix-free with shifted power iteration
+//! (`M = σI − L`, deflating the all-ones kernel), so no dense matrix is
+//! ever formed.
+
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::fm::bipartition::{cut_of, fm_bipartition, BisectionBounds, FmResult};
+use crate::BaselineError;
+
+/// Parameters of the spectral solver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectralParams {
+    /// Power-iteration steps.
+    pub iterations: usize,
+    /// Early-exit tolerance on the iterate's change (infinity norm).
+    pub tolerance: f64,
+}
+
+impl Default for SpectralParams {
+    fn default() -> Self {
+        SpectralParams { iterations: 300, tolerance: 1e-7 }
+    }
+}
+
+/// Applies the clique-expansion Laplacian: `out = L·x`.
+///
+/// Each net of capacity `c` and cardinality `k` contributes a clique with
+/// per-edge weight `c/(k−1)`; its Laplacian action on a pin `v` is
+/// `w·(k·x_v − Σ_{u∈e} x_u)`.
+fn laplacian_apply(h: &Hypergraph, x: &[f64], out: &mut [f64]) {
+    out.iter_mut().for_each(|o| *o = 0.0);
+    for e in h.nets() {
+        let pins = h.net_pins(e);
+        let k = pins.len() as f64;
+        let w = h.net_capacity(e) / (k - 1.0);
+        let sum: f64 = pins.iter().map(|&v| x[v.index()]).sum();
+        for &v in pins {
+            out[v.index()] += w * (k * x[v.index()] - sum);
+        }
+    }
+}
+
+/// Computes (an approximation of) the Fiedler vector of the clique
+/// expansion. The vector is normalized and orthogonal to the all-ones
+/// vector. Deterministic: the iteration starts from a fixed ramp.
+pub fn fiedler_vector(h: &Hypergraph, params: SpectralParams) -> Vec<f64> {
+    let n = h.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Shift: sigma >= lambda_max. Gershgorin: lambda_max <= 2·max weighted
+    // degree of the expansion.
+    let mut degree = vec![0.0f64; n];
+    for e in h.nets() {
+        let pins = h.net_pins(e);
+        let w = h.net_capacity(e) / (pins.len() as f64 - 1.0);
+        for &v in pins {
+            degree[v.index()] += w * (pins.len() as f64 - 1.0);
+        }
+    }
+    let sigma = 2.0 * degree.iter().cloned().fold(0.0, f64::max) + 1.0;
+
+    // Deterministic, non-constant start vector.
+    let mut x: Vec<f64> = (0..n).map(|i| i as f64 - (n as f64 - 1.0) / 2.0).collect();
+    normalize(&mut x);
+    let mut lx = vec![0.0; n];
+    for _ in 0..params.iterations {
+        // y = (sigma·I − L)·x, deflated against the ones kernel.
+        laplacian_apply(h, &x, &mut lx);
+        let mut y: Vec<f64> = x
+            .iter()
+            .zip(&lx)
+            .map(|(&xi, &lxi)| sigma * xi - lxi)
+            .collect();
+        let mean = y.iter().sum::<f64>() / n as f64;
+        y.iter_mut().for_each(|v| *v -= mean);
+        normalize(&mut y);
+        let delta = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        x = y;
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    x
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        x.iter_mut().for_each(|v| *v /= norm);
+    }
+}
+
+/// Spectral bipartition: sweep the Fiedler ordering and keep the
+/// balance-feasible prefix with minimum hypergraph cut.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NoBalancedSplit`] if no prefix satisfies the
+/// bounds.
+pub fn spectral_bipartition(
+    h: &Hypergraph,
+    bounds: BisectionBounds,
+    params: SpectralParams,
+) -> Result<FmResult, BaselineError> {
+    let n = h.num_nodes();
+    let fiedler = fiedler_vector(h, params);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        fiedler[a].partial_cmp(&fiedler[b]).expect("fiedler is finite").then(a.cmp(&b))
+    });
+
+    // Sweep: prefix = side 0. Maintain the cut incrementally.
+    let total = h.total_size();
+    let mut inside = vec![0u32; h.num_nets()];
+    let mut in_set = vec![false; n];
+    let mut cut = 0.0;
+    let mut size0 = 0u64;
+    let mut best: Option<(f64, usize)> = None;
+    for (prefix_len, &v) in order.iter().enumerate() {
+        in_set[v] = true;
+        size0 += h.node_size(NodeId::new(v));
+        for &e in h.node_nets(NodeId::new(v)) {
+            let pins = h.net_pins(e).len() as u32;
+            inside[e.index()] += 1;
+            if inside[e.index()] == 1 {
+                cut += h.net_capacity(e);
+            }
+            if inside[e.index()] == pins {
+                cut -= h.net_capacity(e);
+            }
+        }
+        let size1 = total - size0;
+        if size0 <= bounds.max_side0 && size1 <= bounds.max_side1 {
+            let better = best.is_none_or(|(bc, _)| cut < bc);
+            if better {
+                best = Some((cut, prefix_len + 1));
+            }
+        }
+        if size0 >= bounds.max_side0 {
+            break;
+        }
+    }
+    let Some((best_cut, k)) = best else {
+        return Err(BaselineError::NoBalancedSplit {
+            total,
+            max_side0: bounds.max_side0,
+            max_side1: bounds.max_side1,
+        });
+    };
+    let mut side = vec![true; n];
+    for &v in &order[..k] {
+        side[v] = false;
+    }
+    debug_assert!((cut_of(h, &side) - best_cut).abs() < 1e-9);
+    Ok(FmResult { side, cut: best_cut, passes: 0 })
+}
+
+/// The classic spectral + FM combination: a Fiedler sweep cut refined by FM
+/// passes.
+///
+/// # Errors
+///
+/// Same as [`spectral_bipartition`] and
+/// [`fm_bipartition`].
+pub fn spectral_fm_bipartition(
+    h: &Hypergraph,
+    bounds: BisectionBounds,
+    params: SpectralParams,
+    fm_passes: usize,
+) -> Result<FmResult, BaselineError> {
+    let seed = spectral_bipartition(h, bounds, params)?;
+    fm_bipartition(h, seed.side, bounds, fm_passes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_clusters() -> (Hypergraph, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = clustered_hypergraph(
+            ClusteredParams {
+                clusters: 2,
+                cluster_size: 12,
+                intra_nets: 80,
+                inter_nets: 4,
+                min_net_size: 2,
+                max_net_size: 3,
+            },
+            &mut rng,
+        );
+        (inst.hypergraph, inst.cluster_of)
+    }
+
+    #[test]
+    fn fiedler_vector_separates_planted_clusters() {
+        let (h, cluster_of) = two_clusters();
+        let f = fiedler_vector(&h, SpectralParams::default());
+        // Cluster means should land on opposite signs.
+        let mean = |c: usize| {
+            let vals: Vec<f64> = (0..h.num_nodes())
+                .filter(|&v| cluster_of[v] == c)
+                .map(|v| f[v])
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(
+            mean(0) * mean(1) < 0.0,
+            "cluster means should have opposite signs: {} vs {}",
+            mean(0),
+            mean(1)
+        );
+    }
+
+    #[test]
+    fn sweep_cut_recovers_the_planted_bisection() {
+        let (h, _) = two_clusters();
+        let r =
+            spectral_bipartition(&h, BisectionBounds::symmetric(13), SpectralParams::default())
+                .unwrap();
+        assert!(r.cut <= 4.0 + 1e-9, "planted cut is 4, got {}", r.cut);
+        assert!((cut_of(&h, &r.side) - r.cut).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_plus_fm_is_at_least_as_good_as_the_sweep() {
+        let (h, _) = two_clusters();
+        let bounds = BisectionBounds::symmetric(14);
+        let sweep = spectral_bipartition(&h, bounds, SpectralParams::default()).unwrap();
+        let refined = spectral_fm_bipartition(&h, bounds, SpectralParams::default(), 8).unwrap();
+        assert!(refined.cut <= sweep.cut + 1e-9);
+    }
+
+    #[test]
+    fn path_graph_splits_near_the_middle() {
+        let mut b = HypergraphBuilder::with_unit_nodes(10);
+        for i in 0..9u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let r = spectral_bipartition(&h, BisectionBounds::symmetric(6), SpectralParams::default())
+            .unwrap();
+        assert!((r.cut - 1.0).abs() < 1e-9, "a path has a 1-net bisection, got {}", r.cut);
+        // The prefix must be contiguous on the path (Fiedler vectors of
+        // paths are monotone).
+        let side0: Vec<usize> = (0..10).filter(|&v| !r.side[v]).collect();
+        let contiguous = side0.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(contiguous, "side 0 {side0:?}");
+    }
+
+    #[test]
+    fn infeasible_bounds_error() {
+        let h = HypergraphBuilder::with_unit_nodes(10).build().unwrap();
+        let r = spectral_bipartition(&h, BisectionBounds::symmetric(4), SpectralParams::default());
+        assert!(matches!(r, Err(BaselineError::NoBalancedSplit { .. })));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (h, _) = two_clusters();
+        let a = spectral_bipartition(&h, BisectionBounds::symmetric(13), SpectralParams::default())
+            .unwrap();
+        let b = spectral_bipartition(&h, BisectionBounds::symmetric(13), SpectralParams::default())
+            .unwrap();
+        assert_eq!(a.side, b.side);
+    }
+}

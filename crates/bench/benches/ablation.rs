@@ -1,0 +1,40 @@
+//! Criterion bench for the conclusions' extension: several constructions
+//! per spreading metric should cost little extra runtime because the
+//! metric computation dominates (paper Section 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htp_bench::paper_spec;
+use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_constructions_per_metric(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let h = rent_circuit(
+        RentParams { nodes: 360, primary_inputs: 24, locality: 0.82, ..RentParams::default() },
+        &mut rng,
+    );
+    let spec = paper_spec(&h);
+
+    let mut group = c.benchmark_group("constructions_per_metric");
+    group.sample_size(10);
+    for m in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(10);
+                let params = PartitionerParams {
+                    iterations: 1,
+                    constructions_per_metric: m,
+                    ..PartitionerParams::default()
+                };
+                black_box(FlowPartitioner::new(params).run(&h, &spec, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions_per_metric);
+criterion_main!(benches);

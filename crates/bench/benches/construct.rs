@@ -1,0 +1,40 @@
+//! Criterion bench: Algorithm 3 (partition construction from a fixed
+//! spreading metric) — per Section 3.3 this is `O((n+p) log n)` and should
+//! be far cheaper than the metric computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htp_bench::paper_spec;
+use htp_core::construct::construct_partition;
+use htp_core::injector::{compute_spreading_metric, FlowParams};
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_construct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_partition");
+    for nodes in [128usize, 512] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = rent_circuit(
+            RentParams {
+                nodes,
+                primary_inputs: (nodes / 16).max(1),
+                locality: 0.8,
+                ..RentParams::default()
+            },
+            &mut rng,
+        );
+        let spec = paper_spec(&h);
+        let (metric, _) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                black_box(construct_partition(&h, &spec, &metric, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construct);
+criterion_main!(benches);

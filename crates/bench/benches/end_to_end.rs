@@ -1,0 +1,52 @@
+//! Criterion bench: full runs of the three constructive algorithms — the
+//! runtime counterpart of the paper's Table 2 CPU column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htp_baselines::gfm::{gfm_partition, GfmParams};
+use htp_baselines::rfm::{rfm_partition, RfmParams};
+use htp_bench::paper_spec;
+use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    // A c2670-at-1/4-scale workload keeps the bench minutes, not hours.
+    let h = rent_circuit(
+        RentParams { nodes: 360, primary_inputs: 24, locality: 0.82, ..RentParams::default() },
+        &mut rng,
+    );
+    let spec = paper_spec(&h);
+
+    let mut group = c.benchmark_group("table2_runtime");
+    group.sample_size(10);
+    group.bench_function("gfm", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(gfm_partition(&h, &spec, GfmParams::default(), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("rfm", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(rfm_partition(&h, &spec, RfmParams::default(), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("flow_n1", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let params = PartitionerParams {
+                iterations: 1,
+                constructions_per_metric: 1,
+                ..PartitionerParams::default()
+            };
+            black_box(FlowPartitioner::new(params).run(&h, &spec, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

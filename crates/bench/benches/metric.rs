@@ -1,0 +1,39 @@
+//! Criterion bench: Algorithm 2 (spreading-metric computation), the runtime
+//! bottleneck the paper's complexity analysis (Section 3.3) attributes the
+//! whole algorithm's cost to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htp_bench::paper_spec;
+use htp_core::injector::{compute_spreading_metric, FlowParams};
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spreading_metric");
+    group.sample_size(10);
+    for nodes in [128usize, 256, 512] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = rent_circuit(
+            RentParams {
+                nodes,
+                primary_inputs: (nodes / 16).max(1),
+                locality: 0.8,
+                ..RentParams::default()
+            },
+            &mut rng,
+        );
+        let spec = paper_spec(&h);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metric);
+criterion_main!(benches);

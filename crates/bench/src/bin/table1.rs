@@ -1,0 +1,35 @@
+//! Regenerates the paper's Table 1: sizes of the ISCAS85 test cases.
+//!
+//! The circuits are deterministic surrogates (see `DESIGN.md`); this table
+//! reports both the published scale of the real circuits and the measured
+//! statistics of the surrogates actually used in Tables 2 and 3.
+
+use htp_bench::EXPERIMENT_SEED;
+use htp_netlist::gen::iscas::{surrogate, PROFILES};
+use htp_netlist::NetlistStats;
+
+fn main() {
+    println!("TABLE 1: THE SIZES OF THE ISCAS85 TEST CASES (surrogates)");
+    println!();
+    let mut table = htp_bench::TextTable::new([
+        "circuit",
+        "gates(real)",
+        "PIs(real)",
+        "#nodes",
+        "#nets",
+        "#pins",
+    ]);
+    for profile in PROFILES {
+        let h = surrogate(profile, EXPERIMENT_SEED);
+        let stats = NetlistStats::of(&h);
+        table.row([
+            profile.name.to_string(),
+            profile.gates.to_string(),
+            profile.primary_inputs.to_string(),
+            stats.nodes.to_string(),
+            stats.nets.to_string(),
+            stats.pins.to_string(),
+        ]);
+    }
+    println!("{table}");
+}

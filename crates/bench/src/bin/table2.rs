@@ -1,0 +1,55 @@
+//! Regenerates the paper's Table 2: constructive partitioning results of
+//! GFM, RFM, and FLOW on the five ISCAS85 surrogates, with FLOW's CPU time.
+//!
+//! Hierarchy: full binary tree of height 4 (16 leaves),
+//! `C_l = ceil(1.1·s(V)/2^(4−l))`, uniform weights. Run with `--release`;
+//! `--quick` restricts to the two smallest circuits.
+
+use htp_bench::{flow_params, paper_spec, run_flow, run_gfm, run_rfm, EXPERIMENT_SEED};
+use htp_netlist::gen::iscas::{surrogate, PROFILES};
+
+/// Outer FLOW iterations (the paper's `N`).
+const FLOW_ITERATIONS: usize = 3;
+/// Random restarts for the FM-based baselines.
+const BASELINE_RESTARTS: usize = 4;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("TABLE 2: PARTITIONING RESULTS OF THREE ALGORITHMS");
+    println!(
+        "(binary tree, height 4; FLOW: N = {FLOW_ITERATIONS} iterations, \
+         4 constructions/metric; baselines: best of {BASELINE_RESTARTS})"
+    );
+    println!();
+    let mut table = htp_bench::TextTable::new([
+        "circuit",
+        "GFM cost",
+        "RFM cost",
+        "FLOW cost",
+        "FLOW CPU(s)",
+        "FLOW/RFM",
+    ]);
+    let profiles: Vec<_> = if quick {
+        PROFILES.iter().take(2).copied().collect()
+    } else {
+        PROFILES.to_vec()
+    };
+    for profile in profiles {
+        let h = surrogate(profile, EXPERIMENT_SEED);
+        let spec = paper_spec(&h);
+        let gfm = run_gfm(&h, &spec, EXPERIMENT_SEED, BASELINE_RESTARTS);
+        let rfm = run_rfm(&h, &spec, EXPERIMENT_SEED, BASELINE_RESTARTS);
+        let (flow, _) = run_flow(&h, &spec, EXPERIMENT_SEED, flow_params(FLOW_ITERATIONS));
+        table.row([
+            profile.name.to_string(),
+            format!("{:.0}", gfm.cost),
+            format!("{:.0}", rfm.cost),
+            format!("{:.0}", flow.cost),
+            format!("{:.1}", flow.seconds),
+            format!("{:.2}", flow.cost / rfm.cost),
+        ]);
+        eprintln!("done {}", profile.name);
+    }
+    println!("{table}");
+    println!("FLOW/RFM < 1 means the network-flow approach wins (paper: all but c6288).");
+}

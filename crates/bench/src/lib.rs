@@ -1,0 +1,272 @@
+//! Experiment harness for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin/` print paper-style tables:
+//!
+//! * `table1` — surrogate circuit sizes (paper Table 1),
+//! * `table2` — GFM vs RFM vs FLOW constructive costs (paper Table 2),
+//! * `table3` — GFM+ / RFM+ / FLOW+ after hierarchical FM improvement
+//!   (paper Table 3),
+//! * `fig2` — the worked 16-node example with an exact LP lower bound
+//!   (paper Figure 2),
+//! * `ablation` — parameter sensitivity of Algorithm 2 and the
+//!   constructions-per-metric extension (paper Section 5).
+//!
+//! This library holds the shared pieces: the experiment hierarchy
+//! specification, wrapped runners with wall-clock timing, the Figure 2
+//! fixture, and a plain-text table formatter.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use htp_baselines::gfm::{gfm_partition, GfmParams};
+use htp_baselines::hfm::{improve, HfmParams, HfmResult};
+use htp_baselines::rfm::{rfm_partition, RfmParams};
+use htp_core::injector::FlowParams;
+use htp_core::partitioner::{FlowPartitioner, FlowResult, PartitionerParams};
+use htp_model::{cost, validate, HierarchicalPartition, TreeSpec};
+use htp_netlist::{Hypergraph, HypergraphBuilder, NodeId};
+
+/// The master seed all experiment binaries derive their randomness from.
+pub const EXPERIMENT_SEED: u64 = 1997; // the paper's year
+
+/// Hierarchy height used in the paper's experiments (full binary tree).
+pub const EXPERIMENT_HEIGHT: usize = 4;
+
+/// Capacity slack applied to every level (the paper leaves this implicit;
+/// exact capacities would freeze FM entirely).
+pub const EXPERIMENT_SLACK: f64 = 1.10;
+
+/// The experiment hierarchy for a netlist: a full binary tree of height 4
+/// with uniform unit weights, `C_l = ceil(1.1 · s(V) / 2^(4−l))`.
+pub fn paper_spec(h: &Hypergraph) -> TreeSpec {
+    TreeSpec::full_tree(h.total_size(), EXPERIMENT_HEIGHT, 2, EXPERIMENT_SLACK, 1.0)
+        .expect("experiment spec parameters are valid")
+}
+
+/// Outcome of one timed algorithm run.
+#[derive(Clone, Debug)]
+pub struct TimedRun {
+    /// The partition produced.
+    pub partition: HierarchicalPartition,
+    /// Its interconnection cost.
+    pub cost: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs the FLOW partitioner (Algorithm 1) with experiment defaults.
+pub fn run_flow(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    seed: u64,
+    params: PartitionerParams,
+) -> (TimedRun, FlowResult) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let result = FlowPartitioner::new(params)
+        .run(h, spec, &mut rng)
+        .expect("FLOW must succeed on the experiment instances");
+    let seconds = start.elapsed().as_secs_f64();
+    validate::validate(h, spec, &result.partition).expect("FLOW output is feasible");
+    (
+        TimedRun { partition: result.partition.clone(), cost: result.cost, seconds },
+        result,
+    )
+}
+
+/// Default FLOW parameters for the tables: `N` iterations with the
+/// conclusions' multi-construction extension.
+pub fn flow_params(iterations: usize) -> PartitionerParams {
+    PartitionerParams {
+        iterations,
+        constructions_per_metric: 4,
+        flow: FlowParams::default(),
+    }
+}
+
+/// Runs GFM best-of-`restarts`.
+pub fn run_gfm(h: &Hypergraph, spec: &TreeSpec, seed: u64, restarts: usize) -> TimedRun {
+    let start = Instant::now();
+    let mut best: Option<(HierarchicalPartition, f64)> = None;
+    for r in 0..restarts {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9 + r as u64));
+        let p = gfm_partition(h, spec, GfmParams::default(), &mut rng)
+            .expect("GFM must succeed on the experiment instances");
+        validate::validate(h, spec, &p).expect("GFM output is feasible");
+        let c = cost::partition_cost(h, spec, &p);
+        if best.as_ref().is_none_or(|(_, b)| c < *b) {
+            best = Some((p, c));
+        }
+    }
+    let (partition, cost) = best.expect("at least one restart");
+    TimedRun { partition, cost, seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Runs RFM best-of-`restarts`.
+pub fn run_rfm(h: &Hypergraph, spec: &TreeSpec, seed: u64, restarts: usize) -> TimedRun {
+    let start = Instant::now();
+    let mut best: Option<(HierarchicalPartition, f64)> = None;
+    for r in 0..restarts {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x517c_c1b7 + r as u64));
+        let p = rfm_partition(h, spec, RfmParams::default(), &mut rng)
+            .expect("RFM must succeed on the experiment instances");
+        validate::validate(h, spec, &p).expect("RFM output is feasible");
+        let c = cost::partition_cost(h, spec, &p);
+        if best.as_ref().is_none_or(|(_, b)| c < *b) {
+            best = Some((p, c));
+        }
+    }
+    let (partition, cost) = best.expect("at least one restart");
+    TimedRun { partition, cost, seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Applies the hierarchical FM improvement (the `+` pass).
+pub fn run_plus(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> HfmResult {
+    improve(h, spec, p, HfmParams::default()).expect("improvement accepts valid partitions")
+}
+
+/// The Figure 2 worked example: a 16-node, 30-edge unit graph with four
+/// natural groups of 4, pairs of groups forming the two level-1 blocks.
+///
+/// Hierarchy: `C_0 = 4, C_1 = 8, w_0 = 1, w_1 = 2` (the paper's values).
+/// The intended optimal partition cuts 6 edges at level 0 only (cost 2
+/// each) and 4 edges at both levels (cost 6 each): total 36.
+pub fn figure2() -> (Hypergraph, TreeSpec) {
+    let mut b = HypergraphBuilder::with_unit_nodes(16);
+    let edge = |b: &mut HypergraphBuilder, x: u32, y: u32| {
+        b.add_net(1.0, [NodeId(x), NodeId(y)]).expect("pins in range");
+    };
+    // Intra-group: a 4-cycle plus one chord per group (5 edges × 4 groups).
+    for g in 0..4u32 {
+        let base = 4 * g;
+        for i in 0..4 {
+            edge(&mut b, base + i, base + (i + 1) % 4);
+        }
+        edge(&mut b, base, base + 2);
+    }
+    // Level-0-only cuts: 3 edges between groups 0-1 and 3 between 2-3.
+    for (x, y) in [(0u32, 4), (1, 5), (2, 6), (8, 12), (9, 13), (10, 14)] {
+        edge(&mut b, x, y);
+    }
+    // Level-1 cuts: 4 edges across the (0,1) | (2,3) super-blocks.
+    for (x, y) in [(3u32, 8), (7, 12), (6, 9), (2, 13)] {
+        edge(&mut b, x, y);
+    }
+    let h = b.build().expect("figure 2 fixture is valid");
+    debug_assert_eq!(h.num_nets(), 30);
+    let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 2.0), (16, 2, 1.0)])
+        .expect("figure 2 spec is valid");
+    (h, spec)
+}
+
+/// The intended optimal partition of [`figure2`] (groups of 4 into leaves,
+/// paired into level-1 blocks) and its cost.
+pub fn figure2_reference_partition() -> HierarchicalPartition {
+    let assignment: Vec<usize> = (0..16).map(|v| v / 4).collect();
+    HierarchicalPartition::full_kary(2, 2, &assignment).expect("reference partition is valid")
+}
+
+/// A minimal fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::cost::partition_cost;
+
+    #[test]
+    fn figure2_reference_costs_36() {
+        let (h, spec) = figure2();
+        assert_eq!(h.num_nodes(), 16);
+        assert_eq!(h.num_nets(), 30);
+        let p = figure2_reference_partition();
+        validate::validate(&h, &spec, &p).unwrap();
+        // 6 level-0-only edges × 2 + 4 two-level edges × 6.
+        assert_eq!(partition_cost(&h, &spec, &p), 36.0);
+    }
+
+    #[test]
+    fn paper_spec_shape() {
+        let (h, _) = figure2();
+        let spec = paper_spec(&h);
+        assert_eq!(spec.root_level(), 4);
+        assert_eq!(spec.max_children(1), 2);
+        // ceil(1.1 * 16 / 16) = 2 at the leaves.
+        assert_eq!(spec.capacity(0), 2);
+    }
+
+    #[test]
+    fn runners_agree_with_reported_cost() {
+        let (h, spec) = figure2();
+        let gfm = run_gfm(&h, &spec, 7, 2);
+        assert_eq!(gfm.cost, partition_cost(&h, &spec, &gfm.partition));
+        let rfm = run_rfm(&h, &spec, 7, 2);
+        assert_eq!(rfm.cost, partition_cost(&h, &spec, &rfm.partition));
+        let (flow, _) = run_flow(&h, &spec, 7, flow_params(2));
+        assert_eq!(flow.cost, partition_cost(&h, &spec, &flow.partition));
+    }
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = TextTable::new(["circuit", "cost"]);
+        t.row(["c2670", "1234"]);
+        t.row(["c17", "9"]);
+        let s = t.to_string();
+        assert!(s.contains("circuit"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn text_table_rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

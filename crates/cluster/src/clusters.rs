@@ -1,0 +1,155 @@
+//! Size-capped agglomeration along low-congestion nets.
+//!
+//! With a congestion profile in hand, clustering is a capacitated
+//! Kruskal: visit nets from least to most congested and merge their pins'
+//! clusters whenever the merged size stays within the cap. Saturated nets
+//! are visited last and usually find their endpoints already at the cap —
+//! exactly the "saturated edges disconnect dense clusters" reading of the
+//! flow/cut duality the paper builds on.
+
+use htp_graph::UnionFind;
+use htp_netlist::Hypergraph;
+
+use crate::congestion::CongestionProfile;
+
+/// Result of a clustering pass.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Dense cluster id of every node.
+    pub cluster_of: Vec<usize>,
+    /// Number of clusters.
+    pub count: usize,
+}
+
+impl Clustering {
+    /// Total node size per cluster.
+    pub fn sizes(&self, h: &Hypergraph) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.count];
+        for v in h.nodes() {
+            sizes[self.cluster_of[v.index()]] += h.node_size(v);
+        }
+        sizes
+    }
+}
+
+/// Clusters `h` by merging along nets in ascending congestion order, never
+/// letting a cluster exceed `max_cluster_size`.
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size` is smaller than some node (that node could
+/// never be placed in any cluster, including its own).
+pub fn agglomerate(
+    h: &Hypergraph,
+    profile: &CongestionProfile,
+    max_cluster_size: u64,
+) -> Clustering {
+    assert!(
+        h.nodes().all(|v| h.node_size(v) <= max_cluster_size),
+        "max_cluster_size must fit every single node"
+    );
+    let util = profile.utilization(h);
+    let mut order: Vec<usize> = (0..h.num_nets()).collect();
+    order.sort_by(|&a, &b| {
+        util[a].partial_cmp(&util[b]).expect("utilization is finite").then(a.cmp(&b))
+    });
+
+    let mut uf = UnionFind::new(h.num_nodes());
+    let mut size: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
+    for e in order {
+        let pins = h.net_pins(htp_netlist::NetId::new(e));
+        // Try to merge all pins pairwise into the first pin's cluster.
+        for w in pins.windows(2) {
+            let (a, b) = (uf.find(w[0].index()), uf.find(w[1].index()));
+            if a == b {
+                continue;
+            }
+            if size[a] + size[b] <= max_cluster_size {
+                uf.union(a, b);
+                let root = uf.find(a);
+                size[root] = size[a] + size[b];
+            }
+        }
+    }
+
+    // Dense renumbering.
+    let mut id = vec![usize::MAX; h.num_nodes()];
+    let mut count = 0;
+    let mut cluster_of = vec![0usize; h.num_nodes()];
+    for v in 0..h.num_nodes() {
+        let root = uf.find(v);
+        if id[root] == usize::MAX {
+            id[root] = count;
+            count += 1;
+        }
+        cluster_of[v] = id[root];
+    }
+    Clustering { cluster_of, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::{flow_congestion, CongestionParams};
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = ClusteredParams {
+            clusters: 4,
+            cluster_size: 8,
+            intra_nets: 120,
+            inter_nets: 6,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let profile = flow_congestion(h, CongestionParams::default(), &mut rng);
+        let clustering = agglomerate(h, &profile, 8);
+
+        // Every cluster must be pure (all members from one planted group).
+        for c in 0..clustering.count {
+            let members: Vec<usize> = (0..h.num_nodes())
+                .filter(|&v| clustering.cluster_of[v] == c)
+                .map(|v| inst.cluster_of[v])
+                .collect();
+            assert!(
+                members.iter().all(|&g| g == members[0]),
+                "cluster {c} is mixed: {members:?}"
+            );
+        }
+        // And the planted groups should mostly stay whole: at most a couple
+        // of fragments each.
+        assert!(
+            clustering.count <= 8,
+            "4 planted groups fragmented into {} clusters",
+            clustering.count
+        );
+    }
+
+    #[test]
+    fn size_cap_is_respected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let profile = flow_congestion(h, CongestionParams::default(), &mut rng);
+        for cap in [1u64, 3, 7, 16] {
+            let clustering = agglomerate(h, &profile, cap);
+            assert!(clustering.sizes(h).iter().all(|&s| s <= cap), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn cap_one_yields_singletons() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let profile = flow_congestion(h, CongestionParams::default(), &mut rng);
+        let clustering = agglomerate(h, &profile, 1);
+        assert_eq!(clustering.count, h.num_nodes());
+    }
+}

@@ -1,0 +1,20 @@
+//! Circuit clustering by stochastic flow injection, and a cluster-coarsened
+//! FLOW pipeline.
+//!
+//! The paper's Algorithm 2 descends from the clustering method of Yeh,
+//! Cheng & Lin (its reference \[17\]): inject flow on shortest paths between
+//! randomly chosen node pairs, re-price nets exponentially in their
+//! congestion, and read the cluster structure off the resulting
+//! congestion profile — lightly-used nets are intra-cluster, saturated
+//! nets separate clusters. This crate implements that ancestor technique
+//! and puts it to work as a *coarsening stage* in front of the flow-based
+//! partitioner (the multilevel pattern that later dominated the field):
+//!
+//! * [`congestion`] — pairwise stochastic flow injection; per-net flows.
+//! * [`clusters`] — size-capped agglomeration along low-congestion nets.
+//! * [`pipeline`] — cluster → contract → FLOW on the coarse netlist →
+//!   project back → optional hierarchical-FM refinement.
+
+pub mod clusters;
+pub mod congestion;
+pub mod pipeline;

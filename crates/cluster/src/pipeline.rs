@@ -1,0 +1,240 @@
+//! The cluster-coarsened FLOW pipeline (a two-level multilevel scheme).
+//!
+//! 1. Compute a congestion profile and agglomerate nodes into clusters no
+//!    bigger than a fraction of the leaf capacity `C_0`.
+//! 2. Contract the netlist and run the flow-based partitioner on the
+//!    (much smaller) coarse netlist.
+//! 3. Project the coarse partition back to the fine netlist.
+//! 4. Optionally refine with the hierarchical FM pass.
+//!
+//! Coarsening shrinks the dominant cost of Algorithm 2 (its Dijkstra
+//! sweeps) roughly quadratically in the contraction factor, at some loss
+//! of fine-grained freedom that step 4 wins back.
+
+use rand::Rng;
+
+use htp_baselines::hfm::{improve, HfmParams};
+use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp_core::CoreError;
+use htp_model::{cost, HierarchicalPartition, PartitionBuilder, TreeSpec, VertexId};
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::clusters::{agglomerate, Clustering};
+use crate::congestion::{flow_congestion, CongestionParams};
+
+/// Parameters of the coarsened pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusteredFlowParams {
+    /// Congestion-profile parameters.
+    pub congestion: CongestionParams,
+    /// Cluster size cap as a fraction of the leaf capacity `C_0`
+    /// (must be in `(0, 1]`; smaller keeps more placement freedom).
+    pub cluster_cap_fraction: f64,
+    /// Inner partitioner parameters (run on the coarse netlist).
+    pub partitioner: PartitionerParams,
+    /// Run the hierarchical FM refinement on the projected partition.
+    pub refine: bool,
+}
+
+impl Default for ClusteredFlowParams {
+    fn default() -> Self {
+        ClusteredFlowParams {
+            congestion: CongestionParams::default(),
+            cluster_cap_fraction: 0.125,
+            partitioner: PartitionerParams::default(),
+            refine: true,
+        }
+    }
+}
+
+/// Result of the pipeline.
+#[derive(Clone, Debug)]
+pub struct ClusteredFlowResult {
+    /// The final fine-level partition.
+    pub partition: HierarchicalPartition,
+    /// Its interconnection cost.
+    pub cost: f64,
+    /// Cost right after projection, before refinement.
+    pub projected_cost: f64,
+    /// The clustering used for coarsening.
+    pub clustering: Clustering,
+    /// Size of the coarse netlist.
+    pub coarse_nodes: usize,
+}
+
+/// Runs the cluster → FLOW → project → refine pipeline.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the inner partitioner (infeasible specs,
+/// no feasible cuts) and from projection.
+///
+/// # Panics
+///
+/// Panics if `cluster_cap_fraction` is outside `(0, 1]`.
+pub fn clustered_flow_partition<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: ClusteredFlowParams,
+    rng: &mut R,
+) -> Result<ClusteredFlowResult, CoreError> {
+    assert!(
+        params.cluster_cap_fraction > 0.0 && params.cluster_cap_fraction <= 1.0,
+        "cluster_cap_fraction must be in (0, 1]"
+    );
+    if h.num_nodes() == 0 {
+        return Err(CoreError::EmptyNetlist);
+    }
+
+    // 1. Cluster under a cap that keeps coarse nodes placeable.
+    let cap = ((spec.capacity(0) as f64 * params.cluster_cap_fraction).floor() as u64).max(1);
+    let profile = flow_congestion(h, params.congestion, rng);
+    let clustering = agglomerate(h, &profile, cap);
+
+    // 2. Contract and partition the coarse netlist.
+    let coarse = h.contract(&clustering.cluster_of);
+    let coarse_result =
+        FlowPartitioner::new(params.partitioner).run(&coarse, spec, rng)?;
+
+    // 3. Project back.
+    let partition = project(&coarse_result.partition, &clustering.cluster_of, h.num_nodes())?;
+    htp_model::validate::validate(h, spec, &partition)?;
+    let projected_cost = cost::partition_cost(h, spec, &partition);
+
+    // 4. Refine.
+    let (partition, final_cost) = if params.refine {
+        match improve(h, spec, &partition, HfmParams::default()) {
+            Ok(r) => {
+                let c = r.cost_after;
+                (r.partition, c)
+            }
+            Err(htp_baselines::BaselineError::Model(m)) => return Err(CoreError::Model(m)),
+            Err(other) => {
+                unreachable!("hfm only fails on invalid partitions: {other}")
+            }
+        }
+    } else {
+        (partition, projected_cost)
+    };
+
+    Ok(ClusteredFlowResult {
+        partition,
+        cost: final_cost,
+        projected_cost,
+        clustering,
+        coarse_nodes: coarse.num_nodes(),
+    })
+}
+
+/// Replicates the coarse partition's tree for the fine netlist, assigning
+/// each fine node to its cluster's leaf.
+fn project(
+    coarse: &HierarchicalPartition,
+    cluster_of: &[usize],
+    fine_nodes: usize,
+) -> Result<HierarchicalPartition, htp_model::ModelError> {
+    let mut b = PartitionBuilder::new(fine_nodes, coarse.root_level());
+    let mut map = vec![VertexId(0); coarse.num_vertices()];
+    map[coarse.root().index()] = b.root();
+    let mut queue = vec![coarse.root()];
+    while let Some(q) = queue.pop() {
+        for &c in coarse.children(q) {
+            let fine_vertex = b.add_child(map[q.index()], coarse.level(c))?;
+            map[c.index()] = fine_vertex;
+            queue.push(c);
+        }
+    }
+    for v in 0..fine_nodes {
+        let coarse_leaf = coarse.leaf_of(NodeId::new(cluster_of[v]));
+        b.assign(NodeId::new(v), map[coarse_leaf.index()])?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::validate;
+    use htp_netlist::gen::rent::{rent_circuit, RentParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload() -> (Hypergraph, TreeSpec) {
+        let mut rng = StdRng::seed_from_u64(12);
+        let h = rent_circuit(
+            RentParams { nodes: 256, primary_inputs: 16, locality: 0.8, ..RentParams::default() },
+            &mut rng,
+        );
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0).unwrap();
+        (h, spec)
+    }
+
+    #[test]
+    fn pipeline_produces_valid_partitions() {
+        let (h, spec) = workload();
+        let mut rng = StdRng::seed_from_u64(13);
+        let r = clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng)
+            .unwrap();
+        validate::validate(&h, &spec, &r.partition).unwrap();
+        assert!(r.coarse_nodes < h.num_nodes(), "coarsening must shrink the netlist");
+        assert!(r.cost <= r.projected_cost + 1e-9, "refinement never hurts");
+        assert!((cost::partition_cost(&h, &spec, &r.partition) - r.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrefined_pipeline_reports_projected_cost() {
+        let (h, spec) = workload();
+        let mut rng = StdRng::seed_from_u64(14);
+        let params = ClusteredFlowParams { refine: false, ..Default::default() };
+        let r = clustered_flow_partition(&h, &spec, params, &mut rng).unwrap();
+        assert_eq!(r.cost, r.projected_cost);
+    }
+
+    #[test]
+    fn coarse_quality_is_in_the_same_league_as_flat_flow() {
+        let (h, spec) = workload();
+        let mut rng = StdRng::seed_from_u64(15);
+        let coarse =
+            clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng)
+                .unwrap();
+        let flat = FlowPartitioner::new(PartitionerParams::default())
+            .run(&h, &spec, &mut rng)
+            .unwrap();
+        assert!(
+            coarse.cost <= 2.0 * flat.cost,
+            "coarsened {} should not collapse vs flat {}",
+            coarse.cost,
+            flat.cost
+        );
+    }
+
+    #[test]
+    fn empty_netlist_is_rejected() {
+        let h = htp_netlist::HypergraphBuilder::new().build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng),
+            Err(CoreError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn projection_preserves_block_comembership() {
+        let (h, spec) = workload();
+        let mut rng = StdRng::seed_from_u64(16);
+        let params = ClusteredFlowParams { refine: false, ..Default::default() };
+        let r = clustered_flow_partition(&h, &spec, params, &mut rng).unwrap();
+        // Nodes in one cluster must share a leaf after projection.
+        for v in 0..h.num_nodes() {
+            for u in v + 1..h.num_nodes() {
+                if r.clustering.cluster_of[v] == r.clustering.cluster_of[u] {
+                    assert_eq!(
+                        r.partition.leaf_of(NodeId::new(v)),
+                        r.partition.leaf_of(NodeId::new(u))
+                    );
+                }
+            }
+        }
+    }
+}

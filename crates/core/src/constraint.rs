@@ -1,0 +1,345 @@
+//! The spreading-constraint oracle.
+//!
+//! Constraint (5) of the paper: for every node `v` and every prefix size
+//! `k`, the shortest-path tree `S(v, k)` must satisfy
+//! `Σ_{u ∈ S(v,k)} dist(v, u)·s(u) >= g(s(S(v, k)))`. Checking these
+//! `O(n²)` constraints is equivalent to checking constraint (3) over all
+//! subsets (Claim 4 of Even et al.), so this oracle is both the separation
+//! routine of Algorithm 2 and the feasibility test behind Lemma 1/2.
+
+use htp_model::{gfn, TreeSpec};
+use htp_netlist::{Hypergraph, NetId, NodeId};
+
+use crate::sptree::TreeGrower;
+use crate::SpreadingMetric;
+
+/// A shortest-path tree whose spreading constraint is violated.
+#[derive(Clone, Debug)]
+pub struct ViolatingTree {
+    /// The source node `v` the tree was grown from.
+    pub source: NodeId,
+    /// The settled nodes of `S(v, k)`, in distance order (source first).
+    pub nodes: Vec<NodeId>,
+    /// The distinct nets forming the tree (flow is injected on these).
+    pub nets: Vec<NetId>,
+    /// Total node size `s(S(v, k))`.
+    pub size: u64,
+    /// The violated left-hand side `Σ dist(v, u)·s(u)`.
+    pub lhs: f64,
+    /// The bound `g(s(S(v, k)))` it fell short of.
+    pub bound: f64,
+}
+
+/// Grows shortest-path trees from `source` and returns the first prefix
+/// whose spreading constraint is violated by more than `tolerance`
+/// (absolute), or `None` if every prefix up to the full reachable set
+/// satisfies its constraint.
+///
+/// This is Steps 2.1.1–2.1.3 of Algorithm 2.
+pub fn find_violation(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    source: NodeId,
+    tolerance: f64,
+) -> Option<ViolatingTree> {
+    let mut nodes = Vec::new();
+    let mut net_in_tree = vec![false; h.num_nets()];
+    let mut nets = Vec::new();
+    let mut size = 0u64;
+    let mut lhs = 0.0;
+    for step in TreeGrower::new(h, metric, source) {
+        nodes.push(step.node);
+        size += h.node_size(step.node);
+        lhs += step.dist * h.node_size(step.node) as f64;
+        if let Some(e) = step.via_net {
+            if !net_in_tree[e.index()] {
+                net_in_tree[e.index()] = true;
+                nets.push(e);
+            }
+        }
+        let bound = gfn::spreading_bound(spec, size);
+        if lhs + tolerance < bound {
+            return Some(ViolatingTree { source, nodes, nets, size, lhs, bound });
+        }
+    }
+    None
+}
+
+/// Like [`find_violation`] but using the paper's non-unit-size ordering:
+/// prefixes are taken by increasing *weighted* distance
+/// `(dist(v, u) + 1)·s(u)` (Section 3.1) rather than raw distance, which is
+/// the correct reading of "k closest nodes" when node sizes differ.
+///
+/// This requires growing the full shortest-path tree first, so it costs a
+/// full Dijkstra per call; [`find_violation`] should be preferred for
+/// unit-size netlists (where the two orderings coincide up to ties).
+pub fn find_violation_weighted(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    source: NodeId,
+    tolerance: f64,
+) -> Option<ViolatingTree> {
+    let steps: Vec<_> = TreeGrower::new(h, metric, source).collect();
+    // Order by weighted distance, keeping the source first (it is always in
+    // its own subset).
+    let mut order: Vec<usize> = (1..steps.len()).collect();
+    order.sort_by(|&a, &b| {
+        let key = |i: usize| {
+            (steps[i].dist + 1.0) * h.node_size(steps[i].node) as f64
+        };
+        key(a).partial_cmp(&key(b)).expect("distances are not NaN").then(a.cmp(&b))
+    });
+
+    let index_of: std::collections::HashMap<NodeId, usize> =
+        steps.iter().enumerate().map(|(i, s)| (s.node, i)).collect();
+    let mut in_subtree = vec![false; steps.len()];
+    let mut net_in_tree = vec![false; h.num_nets()];
+    let mut nets = Vec::new();
+    let mut nodes = vec![source];
+    let mut size = h.node_size(source);
+    let mut lhs = 0.0;
+    in_subtree[0] = true;
+
+    // Connect a member to the already-built subtree along its SPT path,
+    // recording every net on the way.
+    let connect = |i: usize,
+                       in_subtree: &mut Vec<bool>,
+                       net_in_tree: &mut Vec<bool>,
+                       nets: &mut Vec<NetId>| {
+        let mut cur = i;
+        while !in_subtree[cur] {
+            in_subtree[cur] = true;
+            let step = &steps[cur];
+            if let Some(e) = step.via_net {
+                if !net_in_tree[e.index()] {
+                    net_in_tree[e.index()] = true;
+                    nets.push(e);
+                }
+            }
+            match step.parent {
+                Some(p) => cur = index_of[&p],
+                None => break,
+            }
+        }
+    };
+
+    // Check the singleton prefix, then grow in weighted order.
+    let check = |size: u64, lhs: f64| lhs + tolerance < gfn::spreading_bound(spec, size);
+    if check(size, lhs) {
+        return Some(ViolatingTree {
+            source,
+            nodes,
+            nets,
+            size,
+            lhs,
+            bound: gfn::spreading_bound(spec, size),
+        });
+    }
+    for &i in &order {
+        let step = &steps[i];
+        nodes.push(step.node);
+        size += h.node_size(step.node);
+        lhs += step.dist * h.node_size(step.node) as f64;
+        connect(i, &mut in_subtree, &mut net_in_tree, &mut nets);
+        if check(size, lhs) {
+            let bound = gfn::spreading_bound(spec, size);
+            return Some(ViolatingTree { source, nodes, nets, size, lhs, bound });
+        }
+    }
+    None
+}
+
+/// Outcome of a full feasibility scan of a metric.
+#[derive(Clone, Debug)]
+pub struct FeasibilityReport {
+    /// `true` when no constraint is violated beyond the tolerance.
+    pub feasible: bool,
+    /// The largest shortfall `g − lhs` observed (0 when feasible).
+    pub worst_shortfall: f64,
+    /// Source node of the worst constraint, if any shortfall exists.
+    pub worst_source: Option<NodeId>,
+}
+
+/// Checks every constraint of (P1) — all sources, all prefixes — against
+/// `metric`. `O(n · (n + p) log n)`; intended for validation and the LP
+/// machinery, not for inner loops.
+pub fn check_feasibility(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    tolerance: f64,
+) -> FeasibilityReport {
+    let mut worst_shortfall = 0.0;
+    let mut worst_source = None;
+    for v in h.nodes() {
+        if let Some(t) = find_worst_shortfall(h, spec, metric, v) {
+            if t > worst_shortfall {
+                worst_shortfall = t;
+                worst_source = Some(v);
+            }
+        }
+    }
+    FeasibilityReport {
+        feasible: worst_shortfall <= tolerance,
+        worst_shortfall,
+        worst_source,
+    }
+}
+
+/// Largest `g − lhs` over all prefixes from `v`, or `None` if none positive.
+fn find_worst_shortfall(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    v: NodeId,
+) -> Option<f64> {
+    let mut size = 0u64;
+    let mut lhs = 0.0;
+    let mut worst: Option<f64> = None;
+    for step in TreeGrower::new(h, metric, v) {
+        size += h.node_size(step.node);
+        lhs += step.dist * h.node_size(step.node) as f64;
+        let shortfall = gfn::spreading_bound(spec, size) - lhs;
+        if shortfall > 0.0 && worst.is_none_or(|w| shortfall > w) {
+            worst = Some(shortfall);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::HypergraphBuilder;
+
+    /// Path of 4 unit nodes, spec C_0 = 2, C_1 = 4, w = 1.
+    fn fixture() -> (Hypergraph, TreeSpec) {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        for i in 0..3u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        (b.build().unwrap(), TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap())
+    }
+
+    #[test]
+    fn zero_metric_violates_immediately() {
+        let (h, spec) = fixture();
+        let m = SpreadingMetric::zeros(h.num_nets());
+        let t = find_violation(&h, &spec, &m, NodeId(0), 1e-9).expect("must violate");
+        // At zero lengths the third settled node pushes size to 3 > C_0
+        // with lhs = 0 < g(3) = 2.
+        assert_eq!(t.size, 3);
+        assert_eq!(t.lhs, 0.0);
+        assert_eq!(t.bound, 2.0);
+        assert_eq!(t.nodes.len(), 3);
+        assert!(!t.nets.is_empty(), "violating tree has nets to inject on");
+    }
+
+    #[test]
+    fn partition_induced_metric_is_feasible() {
+        use htp_model::HierarchicalPartition;
+        let (h, spec) = fixture();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        let m = SpreadingMetric::from_partition(&h, &spec, &p);
+        for v in h.nodes() {
+            assert!(find_violation(&h, &spec, &m, v, 1e-9).is_none(), "source {v}");
+        }
+        let report = check_feasibility(&h, &spec, &m, 1e-9);
+        assert!(report.feasible);
+        assert_eq!(report.worst_shortfall, 0.0);
+    }
+
+    #[test]
+    fn infeasibility_reports_the_shortfall() {
+        let (h, spec) = fixture();
+        let m = SpreadingMetric::zeros(h.num_nets());
+        let report = check_feasibility(&h, &spec, &m, 1e-9);
+        assert!(!report.feasible);
+        // Worst prefix is the full graph: g(4) = 2·(4−2) = 4, lhs = 0.
+        assert_eq!(report.worst_shortfall, 4.0);
+        assert!(report.worst_source.is_some());
+    }
+
+    #[test]
+    fn tolerance_forgives_tiny_shortfalls() {
+        let (h, spec) = fixture();
+        // Slightly under the feasible metric: d = 2 - 1e-12 on the cut net.
+        let m = SpreadingMetric::from_lengths(vec![0.0, 2.0 - 1e-12, 0.0]);
+        assert!(check_feasibility(&h, &spec, &m, 1e-9).feasible);
+        assert!(!check_feasibility(&h, &spec, &m, 1e-15).feasible);
+    }
+
+    #[test]
+    fn weighted_order_matches_distance_order_on_unit_sizes() {
+        let (h, spec) = fixture();
+        let m = SpreadingMetric::zeros(h.num_nets());
+        for v in h.nodes() {
+            let a = find_violation(&h, &spec, &m, v, 1e-9);
+            let b = find_violation_weighted(&h, &spec, &m, v, 1e-9);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.size, y.size, "source {v}");
+                    assert_eq!(x.bound, y.bound, "source {v}");
+                }
+                (None, None) => {}
+                other => panic!("source {v}: disagreement {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_order_prefers_small_nodes() {
+        // Source 0 (size 1); neighbours: node 1 at distance 1 with size 10,
+        // node 2 at distance 0.5 with size 1. Weighted keys: (1+1)*10 = 20
+        // vs (0.5+1)*1 = 1.5, so the weighted prefix takes node 2 first,
+        // and {0, 2} already violates: lhs = 0.5 < g(2) = 2.
+        let mut b = HypergraphBuilder::new();
+        b.add_node(1);
+        b.add_node(10);
+        b.add_node(1);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(2.0, [NodeId(0), NodeId(2)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(1, 2, 1.0), (12, 2, 1.0)]).unwrap();
+        let m = SpreadingMetric::from_lengths(vec![1.0, 0.5]);
+        let t = find_violation_weighted(&h, &spec, &m, NodeId(0), 1e-9)
+            .expect("size 2 > C_0 = 1 with small lhs");
+        assert_eq!(t.nodes, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(t.size, 2);
+    }
+
+    #[test]
+    fn weighted_tree_connects_through_intermediate_nodes() {
+        // Path 0 - 1 - 2 where node 1 is huge: the weighted order reaches
+        // node 2 before node 1, so the injection tree must still include
+        // both nets of the path to stay connected.
+        let mut b = HypergraphBuilder::new();
+        b.add_node(1);
+        b.add_node(50);
+        b.add_node(1);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(1), NodeId(2)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(1, 2, 1.0), (52, 2, 1.0)]).unwrap();
+        let m = SpreadingMetric::from_lengths(vec![0.01, 0.01]);
+        let t = find_violation_weighted(&h, &spec, &m, NodeId(0), 1e-9).expect("violated");
+        assert_eq!(t.nodes, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(t.nets.len(), 2, "both path nets are needed: {:?}", t.nets);
+    }
+
+    #[test]
+    fn oversized_single_node_violates_with_no_nets() {
+        let mut b = HypergraphBuilder::new();
+        b.add_node(5);
+        b.add_node(1);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let m = SpreadingMetric::from_lengths(vec![100.0]);
+        let t = find_violation(&h, &spec, &m, NodeId(0), 1e-9).expect("node too big");
+        assert!(t.nets.is_empty(), "no nets to inject on: instance is infeasible");
+        assert_eq!(t.size, 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the flow-based partitioner.
+
+use std::error::Error;
+use std::fmt;
+
+use htp_model::ModelError;
+
+/// Errors raised by metric computation and partition construction.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The netlist cannot fit the hierarchy at all: its total size exceeds
+    /// the root capacity.
+    Infeasible {
+        /// Total node size of the netlist.
+        total_size: u64,
+        /// Root capacity `C_L`.
+        root_capacity: u64,
+    },
+    /// The construction could not carve a block within the prescribed size
+    /// window, typically because `C_l` and `K_l` leave no slack.
+    NoFeasibleCut {
+        /// Hierarchy level being partitioned.
+        level: usize,
+        /// Remaining size that had to be split.
+        remaining: u64,
+        /// Window lower bound.
+        lb: u64,
+        /// Window upper bound.
+        ub: u64,
+    },
+    /// The netlist is empty — there is nothing to partition.
+    EmptyNetlist,
+    /// A model-layer error (invalid spec or partition).
+    Model(ModelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Infeasible { total_size, root_capacity } => write!(
+                f,
+                "netlist of size {total_size} exceeds the root capacity {root_capacity}"
+            ),
+            CoreError::NoFeasibleCut { level, remaining, lb, ub } => write!(
+                f,
+                "no cut of size within [{lb}, {ub}] found for the remaining {remaining} at level {level}"
+            ),
+            CoreError::EmptyNetlist => write!(f, "cannot partition an empty netlist"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = CoreError::Infeasible { total_size: 100, root_capacity: 64 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+        let e = CoreError::NoFeasibleCut { level: 2, remaining: 30, lb: 10, ub: 20 };
+        assert!(e.to_string().contains("level 2"));
+    }
+
+    #[test]
+    fn model_errors_convert_with_source() {
+        let e = CoreError::from(ModelError::UnassignedNode { node: 7 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,289 @@
+//! Procedure `find_cut`: Prim-style block growth along a spreading metric.
+//!
+//! Starting from a random node, the block greedily absorbs the node whose
+//! cheapest connecting net (by `d(e)`) is smallest — exactly Prim's minimum
+//! spanning tree rule, with the spreading metric as the length function.
+//! After every absorption the cut between the block and the rest is
+//! recorded; the returned block is the prefix with minimum cut among those
+//! whose size lies in the prescribed `[LB, UB]` window.
+//!
+//! Two practical extensions over the paper's listing (which assumes a
+//! connected graph):
+//!
+//! * when the frontier empties (the current component is exhausted) growth
+//!   restarts from a random untouched node, so the window is reached even on
+//!   disconnected remainders;
+//! * the caller learns via [`FindCutResult::in_window`] whether any prefix
+//!   actually landed in the window (it cannot when the whole graph is
+//!   smaller than `LB`).
+
+use rand::{Rng, RngExt};
+
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::SpreadingMetric;
+use htp_graph::IndexedMinHeap;
+
+/// The block selected by [`find_cut`].
+#[derive(Clone, Debug)]
+pub struct FindCutResult {
+    /// The selected nodes, in growth order.
+    pub nodes: Vec<NodeId>,
+    /// Total capacity of nets crossing between `nodes` and the rest at the
+    /// selected prefix.
+    pub cut: f64,
+    /// Whether the selected prefix's size lies in `[lb, ub]`.
+    pub in_window: bool,
+}
+
+/// Grows a block and returns the minimum-cut prefix with size in
+/// `[lb, ub]`.
+///
+/// If no prefix lands in the window (only possible when the total size is
+/// below `lb`), the entire grown set is returned with
+/// [`in_window`](FindCutResult::in_window) set to `false`.
+///
+/// # Panics
+///
+/// Panics if the hypergraph is empty, `lb > ub`, or the metric's net count
+/// disagrees with the hypergraph's.
+pub fn find_cut<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    metric: &SpreadingMetric,
+    lb: u64,
+    ub: u64,
+    rng: &mut R,
+) -> FindCutResult {
+    assert!(h.num_nodes() > 0, "cannot cut an empty hypergraph");
+    assert!(lb <= ub, "empty size window [{lb}, {ub}]");
+    assert_eq!(h.num_nets(), metric.len(), "metric/hypergraph net count mismatch");
+
+    let n = h.num_nodes();
+    let mut in_set = vec![false; n];
+    let mut inside = vec![0u32; h.num_nets()];
+    let mut frontier = IndexedMinHeap::new(n);
+    let mut grown: Vec<NodeId> = Vec::new();
+    let mut size = 0u64;
+    let mut cut = 0.0f64;
+    let mut best: Option<(f64, usize)> = None; // (cut, prefix length)
+
+    let absorb = |v: NodeId,
+                      in_set: &mut Vec<bool>,
+                      inside: &mut Vec<u32>,
+                      frontier: &mut IndexedMinHeap,
+                      cut: &mut f64| {
+        in_set[v.index()] = true;
+        for &e in h.node_nets(v) {
+            let pins = h.net_pins(e).len() as u32;
+            inside[e.index()] += 1;
+            let now_inside = inside[e.index()];
+            if now_inside == 1 {
+                *cut += h.net_capacity(e);
+                // The net just reached the block: its outside pins become
+                // reachable at distance d(e).
+                for &w in h.net_pins(e) {
+                    if !in_set[w.index()] {
+                        frontier.push_or_decrease(w.index(), metric.length(e));
+                    }
+                }
+            }
+            if now_inside == pins {
+                *cut -= h.net_capacity(e);
+            }
+        }
+    };
+
+    // Nodes too big for the remaining window budget are skipped for good:
+    // the block only ever grows, so they can never fit later.
+    let mut skipped = vec![false; n];
+    let start = NodeId::new(rng.random_range(0..n));
+    let mut next = Some(start);
+    while size < ub {
+        let v = match next.take() {
+            Some(v) => v,
+            None => match frontier.pop() {
+                Some((idx, _)) => NodeId::new(idx),
+                None => {
+                    // Component exhausted: restart from a random untouched
+                    // (and still fitting) node, if any remain.
+                    let remaining: Vec<usize> = (0..n)
+                        .filter(|&i| {
+                            !in_set[i]
+                                && !skipped[i]
+                                && size + h.node_size(NodeId::new(i)) <= ub
+                        })
+                        .collect();
+                    match remaining.as_slice() {
+                        [] => break,
+                        rest => NodeId::new(rest[rng.random_range(0..rest.len())]),
+                    }
+                }
+            },
+        };
+        if in_set[v.index()] || skipped[v.index()] {
+            continue;
+        }
+        if size + h.node_size(v) > ub {
+            // Absorbing v would overshoot the window; with non-unit sizes a
+            // smaller frontier node may still fit, so skip v rather than
+            // stopping (unit sizes never take this branch mid-growth).
+            skipped[v.index()] = true;
+            continue;
+        }
+        absorb(v, &mut in_set, &mut inside, &mut frontier, &mut cut);
+        grown.push(v);
+        size += h.node_size(v);
+        if (lb..=ub).contains(&size) {
+            let better = best.is_none_or(|(bc, _)| cut < bc);
+            if better {
+                best = Some((cut, grown.len()));
+            }
+        }
+    }
+
+    match best {
+        Some((best_cut, k)) => FindCutResult {
+            nodes: grown[..k].to_vec(),
+            cut: best_cut,
+            in_window: true,
+        },
+        None => FindCutResult { nodes: grown, cut, in_window: false },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Recomputes the cut of a node set by brute force.
+    fn brute_cut(h: &Hypergraph, nodes: &[NodeId]) -> f64 {
+        let in_set: Vec<bool> = {
+            let mut v = vec![false; h.num_nodes()];
+            for &x in nodes {
+                v[x.index()] = true;
+            }
+            v
+        };
+        h.nets()
+            .filter(|&e| {
+                let inside = h.net_pins(e).iter().filter(|v| in_set[v.index()]).count();
+                inside > 0 && inside < h.net_pins(e).len()
+            })
+            .map(|e| h.net_capacity(e))
+            .sum()
+    }
+
+    #[test]
+    fn respects_the_window_and_reports_the_true_cut() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let m = SpreadingMetric::from_lengths(vec![1.0; h.num_nets()]);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = find_cut(h, &m, 12, 20, &mut rng);
+            assert!(r.in_window);
+            let size = h.subset_size(r.nodes.iter().copied());
+            assert!((12..=20).contains(&size), "size {size}");
+            assert!((r.cut - brute_cut(h, &r.nodes)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn follows_small_metric_lengths_into_the_planted_cluster() {
+        // Two clusters; intra nets short, inter nets long. Growing with the
+        // window set to one cluster size must recover a planted cluster.
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = ClusteredParams {
+            clusters: 2,
+            cluster_size: 12,
+            intra_nets: 60,
+            inter_nets: 4,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let lengths: Vec<f64> = h
+            .nets()
+            .map(|e| {
+                let pins = h.net_pins(e);
+                let crosses = pins
+                    .iter()
+                    .any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()]);
+                if crosses {
+                    10.0
+                } else {
+                    0.1
+                }
+            })
+            .collect();
+        let m = SpreadingMetric::from_lengths(lengths);
+        let r = find_cut(h, &m, 12, 12, &mut StdRng::seed_from_u64(1));
+        assert!(r.in_window);
+        let clusters: Vec<usize> =
+            r.nodes.iter().map(|v| inst.cluster_of[v.index()]).collect();
+        assert!(
+            clusters.iter().all(|&c| c == clusters[0]),
+            "block should be one planted cluster, got {clusters:?}"
+        );
+        assert!((r.cut - 4.0).abs() < 1e-9, "exactly the planted inter nets: {}", r.cut);
+    }
+
+    #[test]
+    fn disconnected_remainder_restarts_growth() {
+        // Two disjoint 2-node components; window requires 3 nodes.
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let m = SpreadingMetric::from_lengths(vec![1.0, 1.0]);
+        let r = find_cut(&h, &m, 3, 3, &mut StdRng::seed_from_u64(2));
+        assert!(r.in_window);
+        assert_eq!(r.nodes.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_window_is_flagged() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let m = SpreadingMetric::from_lengths(vec![1.0]);
+        let r = find_cut(&h, &m, 5, 9, &mut StdRng::seed_from_u64(3));
+        assert!(!r.in_window);
+        assert_eq!(r.nodes.len(), 2, "everything was grown");
+    }
+
+    #[test]
+    fn window_prefers_smaller_cut_over_first_hit() {
+        // Path 0-1-2-3 with an expensive middle net; window [1, 3] should
+        // pick a prefix cutting a cheap end net, not the heavy middle one.
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(5.0, [NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let m = SpreadingMetric::from_lengths(vec![0.1, 9.0, 0.1]);
+        for seed in 0..8 {
+            let r = find_cut(&h, &m, 1, 3, &mut StdRng::seed_from_u64(seed));
+            assert!(r.in_window);
+            // Best achievable cut within the window is 1.0 (cut an end net),
+            // never the 5.0 middle net alone.
+            assert!(r.cut <= 1.0 + 1e-9, "cut {} with nodes {:?}", r.cut, r.nodes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty size window")]
+    fn inverted_window_panics() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let m = SpreadingMetric::from_lengths(vec![1.0]);
+        let _ = find_cut(&h, &m, 3, 2, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,348 @@
+//! Algorithm 2: computing a spreading metric by stochastic flow injection.
+//!
+//! Every net carries a flow `f(e)` (initially a tiny `ε`) and a length
+//! `d(e) = exp(α · f(e) / c(e)) − 1`. Nodes whose spreading constraints may
+//! still be violated live in a working set `V'`; each round visits them in
+//! a fresh random order, grows shortest-path trees until a violated
+//! constraint is found ([`crate::constraint::find_violation`]), and injects
+//! `Δ` units of flow on the violating tree's nets, exponentially penalising
+//! the congested ones. A node leaves `V'` once all its constraints hold —
+//! and because lengths only ever grow (so shortest-path distances only ever
+//! grow, while the bound `g` is fixed), a satisfied node can never become
+//! violated again, which is what makes the single-confirmation scheme of
+//! the paper sound.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use htp_model::TreeSpec;
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::constraint::{find_violation, find_violation_weighted};
+use crate::SpreadingMetric;
+
+/// How Algorithm 2 orders the "k closest nodes" when growing the trees
+/// `S(v, k)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GrowthOrder {
+    /// Pick by node size: plain distance order for unit-size netlists,
+    /// weighted order otherwise.
+    #[default]
+    Auto,
+    /// Plain shortest-path distance order (the common case).
+    Distance,
+    /// The paper's non-unit-size ordering by `(dist(v,u) + 1)·s(u)`;
+    /// requires a full Dijkstra per probe.
+    WeightedDistance,
+}
+
+/// Tuning parameters of Algorithm 2.
+///
+/// The paper leaves `ε`, `α`, and the injection amount `Δ` open; the
+/// defaults here were chosen by the ablation bench (`htp-bench`,
+/// `--bin ablation`) to give a good cost/runtime trade-off on the ISCAS85
+/// surrogates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowParams {
+    /// Initial flow `ε` on every net (keeps initial lengths positive).
+    pub epsilon: f64,
+    /// Exponent scale `α` of the length function.
+    pub alpha: f64,
+    /// Flow injected on each net of a violating tree.
+    pub delta: f64,
+    /// Safety cap on full passes over the working set; the algorithm
+    /// normally converges long before this.
+    pub max_rounds: usize,
+    /// Absolute slack when comparing `lhs` against `g` (guards against
+    /// floating-point noise near tight constraints).
+    pub tolerance: f64,
+    /// Prefix ordering used by the constraint oracle.
+    pub order: GrowthOrder,
+}
+
+impl Default for FlowParams {
+    fn default() -> Self {
+        FlowParams {
+            epsilon: 1e-3,
+            alpha: 1.0,
+            delta: 0.5,
+            max_rounds: 10_000,
+            tolerance: 1e-9,
+            order: GrowthOrder::Auto,
+        }
+    }
+}
+
+impl FlowParams {
+    fn validate(&self) {
+        assert!(self.epsilon > 0.0 && self.epsilon.is_finite(), "epsilon must be positive");
+        assert!(self.alpha > 0.0 && self.alpha.is_finite(), "alpha must be positive");
+        assert!(self.delta > 0.0 && self.delta.is_finite(), "delta must be positive");
+        assert!(self.max_rounds >= 1, "need at least one round");
+        assert!(self.tolerance >= 0.0, "tolerance must be non-negative");
+    }
+}
+
+/// Progress counters of one metric computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectionStats {
+    /// Number of flow injections performed (violating trees found).
+    pub injections: usize,
+    /// Number of passes over the working set.
+    pub rounds: usize,
+    /// `true` when every constraint was confirmed satisfied; `false` when
+    /// the round cap was hit or an unfixable (netless) violation appeared.
+    pub converged: bool,
+}
+
+/// Computes a spreading metric for (P1) by stochastic flow injection
+/// (**Algorithm 2**).
+///
+/// Returns the metric together with convergence statistics. Nodes whose
+/// violation has no nets to inject on (a single node bigger than `C_0` —
+/// an infeasible instance) are dropped from the working set and flagged via
+/// `converged = false`.
+///
+/// # Panics
+///
+/// Panics if the parameters are out of range (see [`FlowParams`]) or the
+/// netlist is empty.
+pub fn compute_spreading_metric<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: FlowParams,
+    rng: &mut R,
+) -> (SpreadingMetric, InjectionStats) {
+    params.validate();
+    assert!(h.num_nodes() > 0, "cannot compute a metric for an empty netlist");
+
+    let mut flow: Vec<f64> = vec![params.epsilon; h.num_nets()];
+    let mut metric = SpreadingMetric::from_lengths(
+        h.nets()
+            .map(|e| length_of(params.alpha, params.epsilon, h.net_capacity(e)))
+            .collect(),
+    );
+
+    let mut active: Vec<NodeId> = h.nodes().collect();
+    let mut stats = InjectionStats { converged: true, ..InjectionStats::default() };
+    let weighted = match params.order {
+        GrowthOrder::Auto => !h.has_unit_sizes(),
+        GrowthOrder::Distance => false,
+        GrowthOrder::WeightedDistance => true,
+    };
+    let probe = |metric: &SpreadingMetric, v: NodeId| {
+        if weighted {
+            find_violation_weighted(h, spec, metric, v, params.tolerance)
+        } else {
+            find_violation(h, spec, metric, v, params.tolerance)
+        }
+    };
+
+    while !active.is_empty() && stats.rounds < params.max_rounds {
+        stats.rounds += 1;
+        active.shuffle(rng);
+        let mut still_active = Vec::with_capacity(active.len());
+        for &v in &active {
+            match probe(&metric, v) {
+                Some(t) if t.nets.is_empty() => {
+                    // A single node already exceeds C_0: no amount of flow
+                    // can spread it. Drop it so the loop can terminate.
+                    stats.converged = false;
+                }
+                Some(t) => {
+                    stats.injections += 1;
+                    for &e in &t.nets {
+                        flow[e.index()] += params.delta;
+                        metric.set_length(
+                            e,
+                            length_of(params.alpha, flow[e.index()], h.net_capacity(e)),
+                        );
+                    }
+                    still_active.push(v);
+                }
+                None => {} // all constraints for v confirmed; never re-check
+            }
+        }
+        active = still_active;
+    }
+    if !active.is_empty() {
+        stats.converged = false;
+    }
+    (metric, stats)
+}
+
+/// The exponential length function `d = exp(α·f/c) − 1`.
+#[inline]
+fn length_of(alpha: f64, flow: f64, capacity: f64) -> f64 {
+    (alpha * flow / capacity).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::check_feasibility;
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(n);
+        for i in 0..n - 1 {
+            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn converges_to_a_feasible_metric_on_a_path() {
+        let h = path(8);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (m, stats) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
+        assert!(stats.converged, "stats: {stats:?}");
+        assert!(stats.injections > 0, "the zero-ish start must violate something");
+        let report = check_feasibility(&h, &spec, &m, 1e-6);
+        assert!(report.feasible, "worst shortfall {}", report.worst_shortfall);
+    }
+
+    #[test]
+    fn feasible_metric_objective_is_positive_but_bounded() {
+        let h = path(8);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (m, _) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
+        let obj = m.objective(&h);
+        assert!(obj > 0.0);
+        // The optimal partition of a path costs little; the heuristic metric
+        // should not be absurdly above the trivial upper bound of cutting
+        // every net at every level.
+        assert!(obj < 200.0, "objective exploded: {obj}");
+    }
+
+    #[test]
+    fn clustered_instance_prices_inter_cluster_nets_higher() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = ClusteredParams {
+            clusters: 2,
+            cluster_size: 8,
+            intra_nets: 40,
+            inter_nets: 3,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(8, 2, 1.0), (16, 2, 1.0)]).unwrap();
+        let (m, stats) = compute_spreading_metric(h, &spec, FlowParams::default(), &mut rng);
+        assert!(stats.converged);
+
+        let mut inter = Vec::new();
+        let mut intra = Vec::new();
+        for e in h.nets() {
+            let pins = h.net_pins(e);
+            let crosses =
+                pins.iter().any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()]);
+            if crosses {
+                inter.push(m.length(e));
+            } else {
+                intra.push(m.length(e));
+            }
+        }
+        let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(
+            avg(&inter) > avg(&intra),
+            "spreading metric should stretch the planted cut: inter {} vs intra {}",
+            avg(&inter),
+            avg(&intra)
+        );
+    }
+
+    #[test]
+    fn loose_spec_needs_no_injections() {
+        let h = path(4);
+        // Everything fits in one leaf: g == 0 everywhere.
+        let spec = TreeSpec::new(vec![(100, 2, 1.0), (100, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, stats) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
+        assert!(stats.converged);
+        assert_eq!(stats.injections, 0);
+        assert_eq!(stats.rounds, 1);
+        // Lengths stay at their epsilon initialisation.
+        for e in h.nets() {
+            assert!(m.length(e) < 0.01);
+        }
+    }
+
+    #[test]
+    fn non_unit_sizes_use_the_weighted_order_and_converge() {
+        // Mixed sizes: 4 heavy nodes and 4 light ones on a ring.
+        let mut b = HypergraphBuilder::new();
+        for i in 0..8 {
+            b.add_node(if i % 2 == 0 { 3 } else { 1 });
+        }
+        for i in 0..8u32 {
+            b.add_net(1.0, [NodeId(i), NodeId((i + 1) % 8)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(5, 2, 1.0), (9, 2, 1.0), (16, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let (m, stats) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
+        assert!(stats.converged, "stats: {stats:?}");
+        // The distance-ordered oracle must also find it feasible (its
+        // prefixes are a subset of all S, so this is a one-way check).
+        let report = check_feasibility(&h, &spec, &m, 1e-6);
+        assert!(report.feasible, "worst shortfall {}", report.worst_shortfall);
+    }
+
+    #[test]
+    fn explicit_distance_order_still_works_on_weighted_nodes() {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..6 {
+            b.add_node(2);
+        }
+        for i in 0..5u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (12, 2, 1.0)]).unwrap();
+        let params = FlowParams { order: GrowthOrder::Distance, ..FlowParams::default() };
+        let mut rng = StdRng::seed_from_u64(22);
+        let (_, stats) = compute_spreading_metric(&h, &spec, params, &mut rng);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn oversized_node_is_reported_not_looped() {
+        let mut b = HypergraphBuilder::new();
+        b.add_node(10);
+        b.add_node(1);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (16, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, stats) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
+        assert!(!stats.converged, "infeasible node must be flagged");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let h = path(10);
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
+        let (m1, s1) =
+            compute_spreading_metric(&h, &spec, FlowParams::default(), &mut StdRng::seed_from_u64(9));
+        let (m2, s2) =
+            compute_spreading_metric(&h, &spec, FlowParams::default(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn rejects_bad_params() {
+        let h = path(3);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let params = FlowParams { delta: 0.0, ..FlowParams::default() };
+        let _ = compute_spreading_metric(&h, &spec, params, &mut StdRng::seed_from_u64(0));
+    }
+}

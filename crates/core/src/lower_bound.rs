@@ -1,0 +1,99 @@
+//! Lemma 1 and Lemma 2: the partition–metric correspondence.
+//!
+//! * **Lemma 1**: for any feasible hierarchical tree partition `P`, the
+//!   induced lengths `d(e) = cost(e)/c(e)` form a feasible solution of the
+//!   linear program (P1), with objective equal to `P`'s cost.
+//! * **Lemma 2**: the optimum of (P1) lower-bounds the cost of every
+//!   feasible partition. Consequently, the optimum of any *relaxation* of
+//!   (P1) — such as the restricted LPs solved by `htp-lp`'s cutting-plane
+//!   loop — is also a valid lower bound.
+//!
+//! This module provides the Lemma 1 direction plus a verifier; the actual
+//! LP solving lives in the `htp-lp` crate.
+
+use htp_model::{HierarchicalPartition, TreeSpec};
+use htp_netlist::Hypergraph;
+
+use crate::constraint::{check_feasibility, FeasibilityReport};
+use crate::SpreadingMetric;
+
+/// The Lemma 1 metric induced by a partition: `d(e) = cost(e)/c(e)`.
+///
+/// Same as [`SpreadingMetric::from_partition`], re-exported here so callers
+/// reading the paper find it next to the verifier.
+pub fn induced_metric(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+) -> SpreadingMetric {
+    SpreadingMetric::from_partition(h, spec, p)
+}
+
+/// Verifies Lemma 1 for a concrete partition: induces its metric and checks
+/// every spreading constraint. Returns the feasibility report together with
+/// the metric's objective (= the partition's cost).
+pub fn verify_lemma1(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+    tolerance: f64,
+) -> (FeasibilityReport, f64) {
+    let m = induced_metric(h, spec, p);
+    let objective = m.objective(h);
+    (check_feasibility(h, spec, &m, tolerance), objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::{cost, validate};
+    use htp_netlist::gen::random::{random_hypergraph, RandomParams};
+    use htp_netlist::HypergraphBuilder;
+    use htp_netlist::NodeId;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn lemma1_holds_on_a_hand_built_case() {
+        let mut b = HypergraphBuilder::with_unit_nodes(6);
+        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(2.0, [NodeId(2), NodeId(3)]).unwrap();
+        b.add_net(1.0, [NodeId(3), NodeId(4), NodeId(5)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (6, 2, 2.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 0, 1, 1, 1]).unwrap();
+        validate::validate(&h, &spec, &p).unwrap();
+        let (report, obj) = verify_lemma1(&h, &spec, &p, 1e-9);
+        assert!(report.feasible, "shortfall {}", report.worst_shortfall);
+        assert!((obj - cost::partition_cost(&h, &spec, &p)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        /// Lemma 1, empirically: every *valid* random partition induces a
+        /// feasible metric whose objective equals the partition cost.
+        #[test]
+        fn lemma1_on_random_partitions(seed in 0u64..400) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = RandomParams { nodes: 12, nets: 18, min_net_size: 2, max_net_size: 3 };
+            let h = random_hypergraph(params, &mut rng);
+            let spec = TreeSpec::new(vec![(3, 2, 1.0), (6, 2, 2.0), (12, 2, 0.5)]).unwrap();
+            // Random balanced assignment: 4 leaves of 3 nodes, leaves 2·l
+            // under one level-1 block.
+            let mut slots: Vec<usize> = (0..12).map(|i| i / 3).collect();
+            // Fisher-Yates over the slot labels for a random valid partition.
+            for i in (1..slots.len()).rev() {
+                let j = rng.random_range(0..=i);
+                slots.swap(i, j);
+            }
+            let p = HierarchicalPartition::full_kary(2, 2, &slots).unwrap();
+            validate::validate(&h, &spec, &p).unwrap();
+            let (report, obj) = verify_lemma1(&h, &spec, &p, 1e-9);
+            prop_assert!(report.feasible,
+                "Lemma 1 violated: shortfall {} at {:?}",
+                report.worst_shortfall, report.worst_source);
+            prop_assert!((obj - cost::partition_cost(&h, &spec, &p)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Spreading metrics: fractional lengths on nets.
+
+use htp_model::{cost, HierarchicalPartition, TreeSpec};
+use htp_netlist::{Hypergraph, NetId};
+
+/// A spreading metric `{d(e)}`: one non-negative fractional length per net.
+///
+/// A spreading metric is a (candidate) solution to the linear program (P1);
+/// its objective value `Σ_e c(e)·d(e)` equals the interconnection cost when
+/// the metric is induced from a partition (Lemma 1), and lower-bounds the
+/// optimal cost when the metric is LP-optimal (Lemma 2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpreadingMetric {
+    d: Vec<f64>,
+}
+
+impl SpreadingMetric {
+    /// The all-zeros metric over `num_nets` nets.
+    pub fn zeros(num_nets: usize) -> Self {
+        SpreadingMetric { d: vec![0.0; num_nets] }
+    }
+
+    /// Wraps raw lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length is negative or NaN.
+    pub fn from_lengths(d: Vec<f64>) -> Self {
+        assert!(
+            d.iter().all(|&x| x >= 0.0),
+            "spreading metric lengths must be non-negative"
+        );
+        SpreadingMetric { d }
+    }
+
+    /// The metric induced by a partition per **Lemma 1**:
+    /// `d(e) = cost(e) / c(e)`. Always feasible for (P1), with objective
+    /// equal to the partition's interconnection cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hypergraph and partition disagree on the node count.
+    pub fn from_partition(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> Self {
+        let d = h
+            .nets()
+            .map(|e| cost::net_cost(h, spec, p, e) / h.net_capacity(e))
+            .collect();
+        SpreadingMetric { d }
+    }
+
+    /// Number of nets covered.
+    pub fn len(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Returns `true` if the metric covers no nets.
+    pub fn is_empty(&self) -> bool {
+        self.d.is_empty()
+    }
+
+    /// Length `d(e)` of a net.
+    #[inline]
+    pub fn length(&self, e: NetId) -> f64 {
+        self.d[e.index()]
+    }
+
+    /// Overwrites the length of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is negative or NaN.
+    #[inline]
+    pub fn set_length(&mut self, e: NetId, len: f64) {
+        assert!(len >= 0.0, "spreading metric lengths must be non-negative");
+        self.d[e.index()] = len;
+    }
+
+    /// The LP objective `Σ_e c(e)·d(e)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has a different net count.
+    pub fn objective(&self, h: &Hypergraph) -> f64 {
+        assert_eq!(h.num_nets(), self.d.len(), "net count mismatch");
+        h.nets().map(|e| h.net_capacity(e) * self.length(e)).sum()
+    }
+
+    /// The raw lengths in net order.
+    pub fn lengths(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Restricts the metric to an induced subgraph, using the net
+    /// provenance from [`Hypergraph::induce_tracked`].
+    pub fn restrict(&self, net_map: &[NetId]) -> SpreadingMetric {
+        SpreadingMetric { d: net_map.iter().map(|&e| self.length(e)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::HierarchicalPartition;
+    use htp_netlist::{HypergraphBuilder, NodeId};
+
+    fn path4() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(2.0, [NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lemma1_metric_objective_equals_partition_cost() {
+        let h = path4();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        let m = SpreadingMetric::from_partition(&h, &spec, &p);
+        let c = cost::partition_cost(&h, &spec, &p);
+        assert!((m.objective(&h) - c).abs() < 1e-12);
+        // Only the middle net (capacity 2, span 2 at level 0) is cut:
+        // cost(e) = 1*2*2 = 4, d = 4/2 = 2.
+        assert_eq!(m.length(NetId(1)), 2.0);
+        assert_eq!(m.length(NetId(0)), 0.0);
+    }
+
+    #[test]
+    fn restrict_follows_net_provenance() {
+        let h = path4();
+        let m = SpreadingMetric::from_lengths(vec![1.0, 2.0, 3.0]);
+        let sub = h.induce_tracked(&[NodeId(1), NodeId(2)]);
+        let rm = m.restrict(&sub.net_map);
+        assert_eq!(rm.lengths(), &[2.0]);
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut m = SpreadingMetric::zeros(2);
+        m.set_length(NetId(1), 4.5);
+        assert_eq!(m.length(NetId(1)), 4.5);
+        assert_eq!(m.length(NetId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_is_rejected() {
+        let _ = SpreadingMetric::from_lengths(vec![-0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "net count mismatch")]
+    fn objective_checks_net_count() {
+        let h = path4();
+        let m = SpreadingMetric::zeros(1);
+        let _ = m.objective(&h);
+    }
+}

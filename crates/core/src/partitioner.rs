@@ -1,0 +1,261 @@
+//! Algorithm 1: the outer flow-based partitioning loop.
+//!
+//! Each iteration computes a fresh spreading metric (Algorithm 2) and
+//! constructs one or more partitions from it (Algorithm 3), keeping the best
+//! feasible partition seen. Running several constructions per metric is the
+//! extension suggested in the paper's conclusions: the metric computation
+//! dominates the runtime, so re-rolling only the (randomized) construction
+//! buys extra quality almost for free.
+
+use rand::Rng;
+
+use htp_model::{cost, validate, HierarchicalPartition, TreeSpec};
+use htp_netlist::Hypergraph;
+
+use crate::injector::{compute_spreading_metric, FlowParams, InjectionStats};
+use crate::{construct::construct_partition, CoreError, SpreadingMetric};
+
+/// Parameters of the outer loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionerParams {
+    /// Number of outer iterations `N` (fresh metric each time).
+    pub iterations: usize,
+    /// Constructions attempted per metric (the conclusions' extension;
+    /// `1` reproduces the paper's Algorithm 1 exactly).
+    pub constructions_per_metric: usize,
+    /// Parameters of the metric computation.
+    pub flow: FlowParams,
+}
+
+impl Default for PartitionerParams {
+    fn default() -> Self {
+        PartitionerParams {
+            iterations: 4,
+            constructions_per_metric: 4,
+            flow: FlowParams::default(),
+        }
+    }
+}
+
+/// Record of one outer iteration, for experiment logging.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationRecord {
+    /// LP objective `Σ c(e)·d(e)` of the iteration's metric.
+    pub metric_objective: f64,
+    /// Best construction cost achieved with this metric (`None` if every
+    /// construction failed).
+    pub best_cost: Option<f64>,
+    /// Metric-computation statistics.
+    pub stats: InjectionStats,
+}
+
+/// Result of a [`FlowPartitioner`] run.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The best feasible partition found.
+    pub partition: HierarchicalPartition,
+    /// Its interconnection cost.
+    pub cost: f64,
+    /// The spreading metric that produced the best partition.
+    pub metric: SpreadingMetric,
+    /// Per-iteration log.
+    pub history: Vec<IterationRecord>,
+}
+
+/// The network-flow-based constructive partitioner (**Algorithm 1**).
+///
+/// # Examples
+///
+/// ```
+/// use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+/// use htp_model::TreeSpec;
+/// use htp_netlist::{HypergraphBuilder, NodeId};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_nodes(8);
+/// for i in 0..7u32 {
+///     b.add_net(1.0, [NodeId(i), NodeId(i + 1)])?;
+/// }
+/// let h = b.build()?;
+/// let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)])?;
+/// let result = FlowPartitioner::new(PartitionerParams::default())
+///     .run(&h, &spec, &mut StdRng::seed_from_u64(1))?;
+/// // A path cut into 4 leaves of 2 and 2 mid blocks of 4:
+/// // 3 nets are cut, the middle one at both levels.
+/// assert!(result.cost >= 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FlowPartitioner {
+    params: PartitionerParams,
+}
+
+impl FlowPartitioner {
+    /// Creates a partitioner with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` or `constructions_per_metric` is zero.
+    pub fn new(params: PartitionerParams) -> Self {
+        assert!(params.iterations >= 1, "need at least one iteration");
+        assert!(params.constructions_per_metric >= 1, "need at least one construction");
+        FlowPartitioner { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> PartitionerParams {
+        self.params
+    }
+
+    /// Runs Algorithm 1 on `h` under `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last construction error if no iteration produced a
+    /// feasible partition (empty netlist, infeasible size, or no feasible
+    /// cuts).
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        spec: &TreeSpec,
+        rng: &mut R,
+    ) -> Result<FlowResult, CoreError> {
+        let mut best: Option<FlowResult> = None;
+        let mut history = Vec::with_capacity(self.params.iterations);
+        let mut last_err = CoreError::EmptyNetlist;
+
+        for _ in 0..self.params.iterations {
+            let (metric, stats) = compute_spreading_metric(h, spec, self.params.flow, rng);
+            let metric_objective = metric.objective(h);
+            let mut iter_best: Option<f64> = None;
+
+            for _ in 0..self.params.constructions_per_metric {
+                match construct_partition(h, spec, &metric, rng) {
+                    Ok(p) => {
+                        if let Err(e) = validate::validate(h, spec, &p) {
+                            last_err = CoreError::Model(e);
+                            continue;
+                        }
+                        let c = cost::partition_cost(h, spec, &p);
+                        if iter_best.is_none_or(|b| c < b) {
+                            iter_best = Some(c);
+                        }
+                        let better = best.as_ref().is_none_or(|b| c < b.cost);
+                        if better {
+                            best = Some(FlowResult {
+                                partition: p,
+                                cost: c,
+                                metric: metric.clone(),
+                                history: Vec::new(),
+                            });
+                        }
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            history.push(IterationRecord { metric_objective, best_cost: iter_best, stats });
+        }
+
+        match best {
+            Some(mut result) => {
+                result.history = history;
+                Ok(result)
+            }
+            None => Err(last_err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+    use htp_netlist::{HypergraphBuilder, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_the_planted_two_cluster_cut() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = ClusteredParams {
+            clusters: 2,
+            cluster_size: 8,
+            intra_nets: 48,
+            inter_nets: 3,
+            min_net_size: 2,
+            max_net_size: 2,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(8, 2, 1.0), (16, 2, 1.0)]).unwrap();
+        let result = FlowPartitioner::new(PartitionerParams::default())
+            .run(h, &spec, &mut rng)
+            .unwrap();
+        // The planted optimum cuts exactly the 3 inter-cluster nets.
+        assert_eq!(result.cost, 6.0, "history: {:?}", result.history);
+        assert_eq!(result.history.len(), 4);
+    }
+
+    #[test]
+    fn history_and_metric_are_reported() {
+        let mut b = HypergraphBuilder::with_unit_nodes(8);
+        for i in 0..7u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let result = FlowPartitioner::new(PartitionerParams {
+            iterations: 2,
+            constructions_per_metric: 3,
+            flow: FlowParams::default(),
+        })
+        .run(&h, &spec, &mut StdRng::seed_from_u64(5))
+        .unwrap();
+        assert_eq!(result.history.len(), 2);
+        for rec in &result.history {
+            assert!(rec.metric_objective > 0.0);
+            assert!(rec.best_cost.is_some());
+        }
+        assert_eq!(result.metric.len(), h.num_nets());
+        // A path of 8 with C_0 = 4 needs at least one cut net: cost >= 2.
+        assert!(result.cost >= 2.0);
+    }
+
+    #[test]
+    fn propagates_infeasibility() {
+        let h = HypergraphBuilder::with_unit_nodes(100).build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let err = FlowPartitioner::new(PartitionerParams::default())
+            .run(&h, &spec, &mut StdRng::seed_from_u64(0))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
+        let p = PartitionerParams { iterations: 2, constructions_per_metric: 2, flow: FlowParams::default() };
+        let r1 = FlowPartitioner::new(p)
+            .run(&inst.hypergraph, &spec, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let r2 = FlowPartitioner::new(p)
+            .run(&inst.hypergraph, &spec, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        assert_eq!(r1.cost, r2.cost);
+        assert_eq!(r1.partition, r2.partition);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let _ = FlowPartitioner::new(PartitionerParams {
+            iterations: 0,
+            ..PartitionerParams::default()
+        });
+    }
+}

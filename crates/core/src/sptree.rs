@@ -1,0 +1,232 @@
+//! Incremental shortest-path trees on hypergraphs.
+//!
+//! Algorithm 2 grows, for a source `v`, the shortest-path trees `S(v, k)`
+//! for `k = 1, 2, …` under the current spreading metric, stopping as soon as
+//! a spreading constraint is violated. [`TreeGrower`] supports exactly that
+//! access pattern: it is an iterator that settles one node per step, in
+//! non-decreasing distance order, so the caller can stop paying as soon as
+//! it has seen enough.
+//!
+//! Distances traverse nets: stepping from any pin of net `e` to any other
+//! pin costs `d(e)` (the hypergraph generalization the paper sketches in
+//! Section 3.1). Since `d(e)` is the same from every pin, each net needs to
+//! be relaxed only once — from its first settled pin — giving the
+//! `O((n + p) log n)` bound the paper quotes.
+
+use htp_graph::IndexedMinHeap;
+use htp_netlist::{Hypergraph, NetId, NodeId};
+
+use crate::SpreadingMetric;
+
+/// One settled node of a growing shortest-path tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeStep {
+    /// The settled node.
+    pub node: NodeId,
+    /// Its distance from the source under the spreading metric.
+    pub dist: f64,
+    /// The net through which it was first reached (`None` for the source).
+    pub via_net: Option<NetId>,
+    /// The already-settled node from which that net was relaxed (`None`
+    /// for the source). Together with [`via_net`](TreeStep::via_net) this
+    /// gives the full tree structure, which the LP machinery needs to
+    /// compute the subtree weights `δ(S(v,k), e)`.
+    pub parent: Option<NodeId>,
+}
+
+/// Grows the shortest-path tree from a source node one settled node at a
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use htp_core::{sptree::TreeGrower, SpreadingMetric};
+/// use htp_netlist::{HypergraphBuilder, NodeId};
+///
+/// # fn main() -> Result<(), htp_netlist::NetlistError> {
+/// let mut b = HypergraphBuilder::with_unit_nodes(3);
+/// b.add_net(1.0, [NodeId(0), NodeId(1)])?;
+/// b.add_net(1.0, [NodeId(1), NodeId(2)])?;
+/// let h = b.build()?;
+/// let m = SpreadingMetric::from_lengths(vec![1.0, 2.0]);
+/// let dists: Vec<f64> = TreeGrower::new(&h, &m, NodeId(0)).map(|s| s.dist).collect();
+/// assert_eq!(dists, vec![0.0, 1.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TreeGrower<'a> {
+    h: &'a Hypergraph,
+    metric: &'a SpreadingMetric,
+    dist: Vec<f64>,
+    via: Vec<Option<NetId>>,
+    parent: Vec<Option<NodeId>>,
+    net_used: Vec<bool>,
+    heap: IndexedMinHeap,
+}
+
+impl<'a> TreeGrower<'a> {
+    /// Starts a tree at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or the metric's net count differs
+    /// from the hypergraph's.
+    pub fn new(h: &'a Hypergraph, metric: &'a SpreadingMetric, source: NodeId) -> Self {
+        assert!(source.index() < h.num_nodes(), "source {source} out of range");
+        assert_eq!(h.num_nets(), metric.len(), "metric/hypergraph net count mismatch");
+        let n = h.num_nodes();
+        let mut heap = IndexedMinHeap::new(n);
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source.index()] = 0.0;
+        heap.push_or_decrease(source.index(), 0.0);
+        TreeGrower {
+            h,
+            metric,
+            dist,
+            via: vec![None; n],
+            parent: vec![None; n],
+            net_used: vec![false; h.num_nets()],
+            heap,
+        }
+    }
+
+    /// Distance of a node settled so far (`INFINITY` otherwise).
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.dist[v.index()]
+    }
+}
+
+impl Iterator for TreeGrower<'_> {
+    type Item = TreeStep;
+
+    fn next(&mut self) -> Option<TreeStep> {
+        let (v, dv) = self.heap.pop()?;
+        for &e in self.h.node_nets(NodeId::new(v)) {
+            if self.net_used[e.index()] {
+                continue;
+            }
+            self.net_used[e.index()] = true;
+            let cand = dv + self.metric.length(e);
+            for &w in self.h.net_pins(e) {
+                if cand < self.dist[w.index()] {
+                    self.dist[w.index()] = cand;
+                    self.via[w.index()] = Some(e);
+                    self.parent[w.index()] = Some(NodeId::new(v));
+                    self.heap.push_or_decrease(w.index(), cand);
+                }
+            }
+        }
+        Some(TreeStep {
+            node: NodeId::new(v),
+            dist: dv,
+            via_net: self.via[v],
+            parent: self.parent[v],
+        })
+    }
+}
+
+/// Full single-source distances over the hypergraph — a convenience wrapper
+/// that drains a [`TreeGrower`].
+pub fn hypergraph_distances(h: &Hypergraph, metric: &SpreadingMetric, source: NodeId) -> Vec<f64> {
+    let mut grower = TreeGrower::new(h, metric, source);
+    while grower.next().is_some() {}
+    grower.dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::HypergraphBuilder;
+    use proptest::prelude::*;
+
+    fn chain(lengths: &[f64]) -> (Hypergraph, SpreadingMetric) {
+        let n = lengths.len() + 1;
+        let mut b = HypergraphBuilder::with_unit_nodes(n);
+        for i in 0..lengths.len() {
+            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)]).unwrap();
+        }
+        (b.build().unwrap(), SpreadingMetric::from_lengths(lengths.to_vec()))
+    }
+
+    #[test]
+    fn settles_in_distance_order() {
+        let (h, m) = chain(&[3.0, 1.0, 1.0]);
+        let steps: Vec<TreeStep> = TreeGrower::new(&h, &m, NodeId(1)).collect();
+        let order: Vec<u32> = steps.iter().map(|s| s.node.0).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+        let dists: Vec<f64> = steps.iter().map(|s| s.dist).collect();
+        assert_eq!(dists, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(steps[0].via_net, None);
+        assert_eq!(steps[0].parent, None);
+        assert_eq!(steps[1].via_net, Some(NetId(1)));
+        assert_eq!(steps[1].parent, Some(NodeId(1)));
+        assert_eq!(steps[3].parent, Some(NodeId(1))); // 0 reached through net 0
+    }
+
+    #[test]
+    fn multi_pin_net_is_a_single_hop() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let m = SpreadingMetric::from_lengths(vec![2.5]);
+        let d = hypergraph_distances(&h, &m, NodeId(0));
+        assert_eq!(d, vec![0.0, 2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let m = SpreadingMetric::from_lengths(vec![1.0, 1.0]);
+        let d = hypergraph_distances(&h, &m, NodeId(0));
+        assert!(d[2].is_infinite() && d[3].is_infinite());
+        // The iterator also terminates without visiting them.
+        assert_eq!(TreeGrower::new(&h, &m, NodeId(0)).count(), 2);
+    }
+
+    #[test]
+    fn zero_length_metric_collapses_distances() {
+        let (h, m) = chain(&[0.0, 0.0, 0.0]);
+        let d = hypergraph_distances(&h, &m, NodeId(3));
+        assert_eq!(d, vec![0.0; 4]);
+    }
+
+    proptest! {
+        /// Hypergraph Dijkstra must agree with graph Dijkstra on the star
+        /// expansion (each pin-to-pin hop through a net costs d(e)).
+        #[test]
+        fn agrees_with_star_expansion_dijkstra(seed in 0u64..60) {
+            use htp_netlist::gen::random::{random_hypergraph, RandomParams};
+            use rand::{rngs::StdRng, SeedableRng, RngExt};
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = RandomParams { nodes: 14, nets: 20, min_net_size: 2, max_net_size: 4 };
+            let h = random_hypergraph(p, &mut rng);
+            let lengths: Vec<f64> = (0..h.num_nets()).map(|_| rng.random_range(0.0..3.0)).collect();
+            let m = SpreadingMetric::from_lengths(lengths);
+
+            // Star expansion with half-lengths per spoke.
+            let mut edges = Vec::new();
+            for e in h.nets() {
+                for &v in h.net_pins(e) {
+                    edges.push((v.index(), 14 + e.index(), m.length(e) / 2.0));
+                }
+            }
+            let g = htp_graph::Graph::from_edges(14 + h.num_nets(), &edges);
+            let sp = htp_graph::dijkstra::shortest_paths(&g, 0);
+
+            let d = hypergraph_distances(&h, &m, NodeId(0));
+            for v in 0..14 {
+                if sp.dist[v].is_infinite() {
+                    prop_assert!(d[v].is_infinite());
+                } else {
+                    prop_assert!((d[v] - sp.dist[v]).abs() < 1e-9,
+                        "node {}: hyper {} vs star {}", v, d[v], sp.dist[v]);
+                }
+            }
+        }
+    }
+}

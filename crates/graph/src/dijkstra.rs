@@ -1,0 +1,167 @@
+//! Dijkstra's single-source shortest paths.
+
+use crate::{EdgeId, Graph, IndexedMinHeap};
+
+/// Result of a shortest-path computation from one source.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// `dist[v]` is the shortest distance from the source, `f64::INFINITY`
+    /// if unreachable.
+    pub dist: Vec<f64>,
+    /// `parent[v]` is the `(predecessor, edge)` on one shortest path, `None`
+    /// for the source and unreachable nodes.
+    pub parent: Vec<Option<(usize, EdgeId)>>,
+}
+
+impl ShortestPaths {
+    /// Reconstructs the node path from the source to `v`, inclusive.
+    /// Returns `None` if `v` is unreachable.
+    pub fn path_to(&self, v: usize) -> Option<Vec<usize>> {
+        if self.dist[v].is_infinite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some((p, _)) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs Dijkstra from `source` over the graph's current edge weights.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range. Negative weights are impossible by
+/// [`Graph`]'s construction invariant.
+pub fn shortest_paths(g: &Graph, source: usize) -> ShortestPaths {
+    assert!(source < g.num_nodes(), "source {source} out of range");
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap = IndexedMinHeap::new(n);
+    dist[source] = 0.0;
+    heap.push_or_decrease(source, 0.0);
+    while let Some((v, dv)) = heap.pop() {
+        for &(u, e) in g.neighbours(v) {
+            let u = u as usize;
+            if u == v {
+                continue; // self-loop never improves
+            }
+            let cand = dv + g.weight(e);
+            if cand < dist[u] {
+                dist[u] = cand;
+                parent[u] = Some((v, e));
+                heap.push_or_decrease(u, cand);
+            }
+        }
+    }
+    ShortestPaths { dist, parent }
+}
+
+/// Bellman–Ford shortest distances — `O(nm)`, used as a test oracle for
+/// [`shortest_paths`].
+pub fn bellman_ford_distances(g: &Graph, source: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            let w = g.weight(e);
+            if dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+            if dist[v] + w < dist[u] {
+                dist[u] = dist[v] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gnp_graph;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shortest_path_prefers_cheap_detour() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 1.0)]);
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.dist, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(sp.path_to(3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]);
+        let sp = shortest_paths(&g, 0);
+        assert!(sp.dist[2].is_infinite());
+        assert_eq!(sp.path_to(2), None);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_allowed() {
+        let g = Graph::from_edges(3, &[(0, 1, 0.0), (1, 2, 0.0)]);
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.dist, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let g = Graph::from_edges(2, &[(0, 1, 2.0)]);
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.path_to(0), Some(vec![0]));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_bellman_ford_on_random_graphs(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = gnp_graph(24, 0.18, 1.0..10.0, &mut rng);
+            let sp = shortest_paths(&g, 0);
+            let oracle = bellman_ford_distances(&g, 0);
+            for v in 0..g.num_nodes() {
+                if oracle[v].is_infinite() {
+                    prop_assert!(sp.dist[v].is_infinite());
+                } else {
+                    prop_assert!((sp.dist[v] - oracle[v]).abs() < 1e-9,
+                        "node {}: {} vs {}", v, sp.dist[v], oracle[v]);
+                }
+            }
+        }
+
+        #[test]
+        fn parent_pointers_reconstruct_exact_distances(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = gnp_graph(20, 0.25, 0.5..5.0, &mut rng);
+            let sp = shortest_paths(&g, 3 % g.num_nodes());
+            for v in 0..g.num_nodes() {
+                if let Some(path) = sp.path_to(v) {
+                    // Walk the path summing weights via parent edges.
+                    let mut total = 0.0;
+                    let mut cur = v;
+                    while let Some((p, e)) = sp.parent[cur] {
+                        total += g.weight(e);
+                        cur = p;
+                    }
+                    prop_assert!((total - sp.dist[v]).abs() < 1e-9);
+                    prop_assert_eq!(*path.last().unwrap(), v);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Clique and star expansions of netlist hypergraphs.
+//!
+//! The paper formulates its linear program on graphs and notes the extension
+//! to hypergraphs. These expansions convert a [`Hypergraph`] into a
+//! [`Graph`] so the pure-graph algorithms (and the LP machinery) can run on
+//! netlists, with a mapping back to the originating nets.
+
+use htp_netlist::{Hypergraph, NetId};
+
+use crate::{EdgeId, Graph};
+
+/// A graph produced from a hypergraph, with provenance.
+#[derive(Clone, Debug)]
+pub struct ExpandedGraph {
+    /// The expansion result.
+    pub graph: Graph,
+    /// `net_of[edge.index()]` is the net that produced each graph edge.
+    pub net_of: Vec<NetId>,
+    /// For star expansions, the first auxiliary (net) node index;
+    /// `None` for clique expansions (which add no nodes).
+    pub first_aux_node: Option<usize>,
+}
+
+impl ExpandedGraph {
+    /// The net that produced graph edge `e`.
+    pub fn source_net(&self, e: EdgeId) -> NetId {
+        self.net_of[e.index()]
+    }
+}
+
+/// Clique expansion: each `k`-pin net becomes a clique on its pins with
+/// per-edge weight `c(e) / (k - 1)`, the standard normalization that makes
+/// a minimum bipartition of the clique cost at most `c(e)`.
+pub fn clique_expansion(h: &Hypergraph) -> ExpandedGraph {
+    let mut edges = Vec::new();
+    let mut net_of = Vec::new();
+    for e in h.nets() {
+        let pins = h.net_pins(e);
+        let k = pins.len();
+        let w = h.net_capacity(e) / (k as f64 - 1.0);
+        for i in 0..k {
+            for j in i + 1..k {
+                edges.push((pins[i].index(), pins[j].index(), w));
+                net_of.push(e);
+            }
+        }
+    }
+    ExpandedGraph {
+        graph: Graph::from_edges(h.num_nodes(), &edges),
+        net_of,
+        first_aux_node: None,
+    }
+}
+
+/// Star expansion: each net gets an auxiliary centre node connected to every
+/// pin with weight `c(e) / 2`, so any pin–pin path through the centre costs
+/// `c(e)`. Auxiliary node for net `e` is `h.num_nodes() + e.index()`.
+pub fn star_expansion(h: &Hypergraph) -> ExpandedGraph {
+    let n = h.num_nodes();
+    let mut edges = Vec::new();
+    let mut net_of = Vec::new();
+    for e in h.nets() {
+        let centre = n + e.index();
+        let w = h.net_capacity(e) / 2.0;
+        for &v in h.net_pins(e) {
+            edges.push((v.index(), centre, w));
+            net_of.push(e);
+        }
+    }
+    ExpandedGraph {
+        graph: Graph::from_edges(n + h.num_nets(), &edges),
+        net_of,
+        first_aux_node: Some(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_paths;
+    use htp_netlist::{HypergraphBuilder, NodeId};
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(2.0, [NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clique_expansion_counts_and_weights() {
+        let h = sample();
+        let x = clique_expansion(&h);
+        // 3-pin net -> 3 edges, 2-pin net -> 1 edge.
+        assert_eq!(x.graph.num_edges(), 4);
+        assert_eq!(x.graph.num_nodes(), 4);
+        assert_eq!(x.source_net(EdgeId(0)), NetId(0));
+        assert_eq!(x.source_net(EdgeId(3)), NetId(1));
+        // 3-pin net of capacity 2 -> per-edge weight 1.
+        assert!((x.graph.weight(EdgeId(0)) - 1.0).abs() < 1e-12);
+        // 2-pin net of capacity 1 -> weight 1.
+        assert!((x.graph.weight(EdgeId(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_expansion_adds_centres() {
+        let h = sample();
+        let x = star_expansion(&h);
+        assert_eq!(x.graph.num_nodes(), 6);
+        assert_eq!(x.first_aux_node, Some(4));
+        assert_eq!(x.graph.num_edges(), 5); // 3 + 2 pins
+        // Pin-to-pin distance through the centre equals the capacity.
+        let sp = shortest_paths(&x.graph, 0);
+        assert!((sp.dist[1] - 2.0).abs() < 1e-12);
+        // Crossing both nets: 0 -> centre0 -> 2 -> centre1 -> 3.
+        assert!((sp.dist[3] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansions_of_netless_hypergraph_are_empty() {
+        let h = HypergraphBuilder::with_unit_nodes(3).build().unwrap();
+        assert_eq!(clique_expansion(&h).graph.num_edges(), 0);
+        let star = star_expansion(&h);
+        assert_eq!(star.graph.num_edges(), 0);
+        assert_eq!(star.graph.num_nodes(), 3);
+    }
+}

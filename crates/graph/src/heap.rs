@@ -1,0 +1,230 @@
+//! An indexed binary min-heap with decrease-key.
+//!
+//! Dijkstra and Prim both need a priority queue whose entries can be
+//! re-prioritised in place. This heap keys entries by a dense `usize` id and
+//! maintains an id → heap-slot index so `decrease_key` is `O(log n)` without
+//! lazy deletion.
+
+/// Indexed binary min-heap over `f64` keys.
+///
+/// Ids must be dense (`0..capacity`); each id may be in the heap at most
+/// once. Ties are broken by id so iteration order is deterministic.
+#[derive(Clone, Debug)]
+pub struct IndexedMinHeap {
+    /// Heap array of ids, `heap[0]` smallest.
+    heap: Vec<u32>,
+    /// Position of each id in `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+    /// Current key of each id (meaningful only while the id is present).
+    key: Vec<f64>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl IndexedMinHeap {
+    /// Creates a heap able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        IndexedMinHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+            key: vec![f64::INFINITY; capacity],
+        }
+    }
+
+    /// Number of entries currently in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if the heap holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Returns `true` if `id` is currently in the heap.
+    pub fn contains(&self, id: usize) -> bool {
+        self.pos[id] != ABSENT
+    }
+
+    /// Current key of `id`, if present.
+    pub fn key(&self, id: usize) -> Option<f64> {
+        self.contains(id).then(|| self.key[id])
+    }
+
+    /// Inserts `id` with `key`, or decreases its key if already present and
+    /// `key` is smaller. Returns `true` if the entry was inserted or
+    /// improved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity` or `key` is NaN.
+    pub fn push_or_decrease(&mut self, id: usize, key: f64) -> bool {
+        assert!(!key.is_nan(), "heap keys must not be NaN");
+        if self.contains(id) {
+            if key < self.key[id] {
+                self.key[id] = key;
+                self.sift_up(self.pos[id] as usize);
+                true
+            } else {
+                false
+            }
+        } else {
+            self.key[id] = key;
+            self.pos[id] = self.heap.len() as u32;
+            self.heap.push(id as u32);
+            self.sift_up(self.heap.len() - 1);
+            true
+        }
+    }
+
+    /// Removes and returns the `(id, key)` with the smallest key.
+    pub fn pop(&mut self) -> Option<(usize, f64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let key = self.key[top];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((top, key))
+    }
+
+    /// Removes every entry, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        for &id in &self.heap {
+            self.pos[id as usize] = ABSENT;
+        }
+        self.heap.clear();
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (ia, ib) = (self.heap[a] as usize, self.heap[b] as usize);
+        match self.key[ia].partial_cmp(&self.key[ib]).expect("keys are not NaN") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => ia < ib,
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(i, parent) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(l, smallest) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(r, smallest) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut h = IndexedMinHeap::new(5);
+        h.push_or_decrease(0, 3.0);
+        h.push_or_decrease(1, 1.0);
+        h.push_or_decrease(2, 2.0);
+        assert_eq!(h.pop(), Some((1, 1.0)));
+        assert_eq!(h.pop(), Some((2, 2.0)));
+        assert_eq!(h.pop(), Some((0, 3.0)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut h = IndexedMinHeap::new(3);
+        h.push_or_decrease(0, 10.0);
+        h.push_or_decrease(1, 5.0);
+        assert!(h.push_or_decrease(0, 1.0));
+        assert!(!h.push_or_decrease(0, 2.0), "increase must be ignored");
+        assert_eq!(h.pop(), Some((0, 1.0)));
+        assert_eq!(h.key(1), Some(5.0));
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut h = IndexedMinHeap::new(4);
+        for id in [3, 1, 2, 0] {
+            h.push_or_decrease(id, 7.0);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop().map(|(i, _)| i)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut h = IndexedMinHeap::new(2);
+        h.push_or_decrease(0, 1.0);
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(0));
+        h.push_or_decrease(0, 2.0);
+        assert_eq!(h.pop(), Some((0, 2.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn heap_sorts_like_a_sort(keys in proptest::collection::vec(0.0f64..1000.0, 1..120)) {
+            let mut h = IndexedMinHeap::new(keys.len());
+            for (i, &k) in keys.iter().enumerate() {
+                h.push_or_decrease(i, k);
+            }
+            let mut popped = Vec::new();
+            while let Some((_, k)) = h.pop() {
+                popped.push(k);
+            }
+            let mut expected = keys.clone();
+            expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(popped, expected);
+        }
+
+        #[test]
+        fn decrease_key_always_wins(
+            base in proptest::collection::vec(1.0f64..1000.0, 2..60),
+            idx in 0usize..59,
+        ) {
+            let idx = idx % base.len();
+            let mut h = IndexedMinHeap::new(base.len());
+            for (i, &k) in base.iter().enumerate() {
+                h.push_or_decrease(i, k);
+            }
+            h.push_or_decrease(idx, 0.5); // smaller than every base key
+            prop_assert_eq!(h.pop().map(|(i, _)| i), Some(idx));
+        }
+    }
+}

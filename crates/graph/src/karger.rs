@@ -1,0 +1,187 @@
+//! Karger's randomized contraction algorithm for global minimum cuts.
+//!
+//! The paper's conclusions point at Karger's (then-recent) work as a more
+//! sophisticated way to extract minimum cuts during construction. This
+//! module provides the classic contraction algorithm: repeatedly contract a
+//! random edge (chosen with probability proportional to its weight) until
+//! two super-nodes remain; the surviving edges form a cut that is minimum
+//! with probability `Ω(1/n²)` per trial, so `O(n² log n)` trials succeed
+//! with high probability. [`karger_min_cut`] runs a configurable number of
+//! trials and keeps the best cut, and is cross-checked against the exact
+//! Stoer–Wagner solver in the tests.
+
+use rand::{Rng, RngExt};
+
+use crate::mincut::Cut;
+use crate::{Graph, UnionFind};
+
+/// Runs `trials` independent random contractions and returns the best cut
+/// found, or `None` for graphs with fewer than 2 nodes.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn karger_min_cut<R: Rng + ?Sized>(g: &Graph, trials: usize, rng: &mut R) -> Option<Cut> {
+    assert!(trials >= 1, "need at least one trial");
+    if g.num_nodes() < 2 {
+        return None;
+    }
+    let mut best: Option<Cut> = None;
+    for _ in 0..trials {
+        let cut = contract_once(g, rng);
+        if best.as_ref().is_none_or(|b| cut.weight < b.weight) {
+            best = Some(cut);
+        }
+    }
+    best
+}
+
+/// The number of trials giving a high-probability guarantee:
+/// `ceil(n² · ln n)` (capped below at 1).
+pub fn recommended_trials(n: usize) -> usize {
+    if n < 2 {
+        return 1;
+    }
+    let nf = n as f64;
+    (nf * nf * nf.ln()).ceil() as usize
+}
+
+/// One random contraction down to two super-nodes.
+fn contract_once<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Cut {
+    let n = g.num_nodes();
+    let mut uf = UnionFind::new(n);
+    let mut components = n;
+    // Positive-weight edges drive contraction; zero-weight edges cannot be
+    // sampled (they never contribute to a cut's weight anyway, so ignoring
+    // them only makes the found cut *better*).
+    let total: f64 = g.total_weight();
+
+    while components > 2 {
+        // Weighted edge sampling by cumulative scan. Rejection: skip edges
+        // whose endpoints are already merged.
+        let mut pick = if total > 0.0 { rng.random_range(0.0..total) } else { 0.0 };
+        let mut chosen = None;
+        for e in g.edge_ids() {
+            let w = g.weight(e);
+            if w <= 0.0 {
+                continue;
+            }
+            if pick < w {
+                chosen = Some(e);
+                break;
+            }
+            pick -= w;
+        }
+        let merged = match chosen {
+            Some(e) => {
+                let (u, v) = g.endpoints(e);
+                uf.union(u, v)
+            }
+            None => {
+                // No positive-weight edges left to sample: merge arbitrary
+                // distinct components (the remaining cut weight is 0).
+                let mut it = (0..n).map(|v| uf.find(v));
+                let first = it.next().expect("non-empty graph");
+                match (0..n).map(|v| uf.find(v)).find(|&r| r != first) {
+                    Some(other) => uf.union(first, other),
+                    None => false,
+                }
+            }
+        };
+        if merged {
+            components -= 1;
+        }
+    }
+
+    // Evaluate the bipartition induced by the two super-nodes.
+    let root0 = uf.find(0);
+    let side: Vec<bool> = (0..n).map(|v| uf.find(v) == root0).collect();
+    let weight = crate::mincut::cut_weight(g, &side);
+    Cut { weight, side }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mincut::global_min_cut;
+    use crate::random::connected_graph;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_the_obvious_bridge() {
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 3.0),
+                (1, 2, 3.0),
+                (0, 2, 3.0),
+                (3, 4, 3.0),
+                (4, 5, 3.0),
+                (3, 5, 3.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let cut = karger_min_cut(&g, 64, &mut rng).unwrap();
+        assert!((cut.weight - 1.0).abs() < 1e-9, "weight {}", cut.weight);
+    }
+
+    #[test]
+    fn tiny_graphs_return_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(karger_min_cut(&Graph::from_edges(1, &[]), 4, &mut rng).is_none());
+    }
+
+    #[test]
+    fn two_node_graph_is_exact() {
+        let g = Graph::from_edges(2, &[(0, 1, 5.0)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cut = karger_min_cut(&g, 1, &mut rng).unwrap();
+        assert_eq!(cut.weight, 5.0);
+        assert_ne!(cut.side[0], cut.side[1]);
+    }
+
+    #[test]
+    fn recommended_trials_grows_superquadratically() {
+        assert_eq!(recommended_trials(1), 1);
+        assert!(recommended_trials(8) > 64);
+        assert!(recommended_trials(16) > recommended_trials(8) * 4);
+    }
+
+    #[test]
+    fn zero_weight_graph_yields_zero_cut() {
+        let g = Graph::from_edges(4, &[(0, 1, 0.0), (2, 3, 0.0)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cut = karger_min_cut(&g, 4, &mut rng).unwrap();
+        assert_eq!(cut.weight, 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(30))]
+        /// With the recommended trial count, Karger matches Stoer–Wagner on
+        /// small random graphs.
+        #[test]
+        fn matches_stoer_wagner(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = connected_graph(8, 8, 1.0..5.0, &mut rng);
+            let exact = global_min_cut(&g).unwrap();
+            let cut = karger_min_cut(&g, recommended_trials(8), &mut rng).unwrap();
+            prop_assert!((cut.weight - exact.weight).abs() < 1e-9,
+                "karger {} vs exact {}", cut.weight, exact.weight);
+        }
+
+        /// Any returned cut is a genuine bipartition with correctly
+        /// reported weight, even with few trials.
+        #[test]
+        fn reported_weight_is_consistent(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = connected_graph(10, 6, 1.0..4.0, &mut rng);
+            let cut = karger_min_cut(&g, 3, &mut rng).unwrap();
+            prop_assert!((crate::mincut::cut_weight(&g, &cut.side) - cut.weight).abs() < 1e-9);
+            prop_assert!(cut.side.iter().any(|&s| s));
+            prop_assert!(cut.side.iter().any(|&s| !s));
+        }
+    }
+}

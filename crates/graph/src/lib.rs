@@ -1,0 +1,42 @@
+//! Graph-algorithm substrate for hierarchical tree partitioning.
+//!
+//! The paper's algorithms need a toolbox of classical graph machinery:
+//! Dijkstra's shortest paths (Algorithm 2 grows shortest-path trees), Prim's
+//! minimum spanning tree (procedure `find_cut` grows blocks Prim-style),
+//! and max-flow/min-cut (the network-flow duality underlying the whole
+//! approach, and the exact comparator used in tests). This crate provides
+//! all of it over a compact CSR graph:
+//!
+//! * [`Graph`] — undirected weighted graph with stable edge ids and mutable
+//!   edge weights (spreading metrics re-price edges in place).
+//! * [`dijkstra`], [`prim`], [`traversal`] — shortest paths, MST, BFS/DFS.
+//! * [`maxflow`] (Dinic), [`mincut`] (s-t cut + Stoer–Wagner global cut),
+//!   and [`karger`] (randomized contraction, the paper's reference \[7\]).
+//! * [`expand`] — clique and star expansions of netlist hypergraphs.
+//! * [`UnionFind`], [`IndexedMinHeap`] — supporting data structures.
+//!
+//! # Examples
+//!
+//! ```
+//! use htp_graph::{Graph, dijkstra::shortest_paths};
+//!
+//! let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)]);
+//! let sp = shortest_paths(&g, 0);
+//! assert_eq!(sp.dist[2], 3.0); // via node 1, not the direct 5.0 edge
+//! ```
+
+pub mod dijkstra;
+pub mod expand;
+pub mod graph;
+pub mod heap;
+pub mod karger;
+pub mod maxflow;
+pub mod mincut;
+pub mod prim;
+pub mod random;
+pub mod traversal;
+pub mod unionfind;
+
+pub use graph::{EdgeId, Graph};
+pub use heap::IndexedMinHeap;
+pub use unionfind::UnionFind;

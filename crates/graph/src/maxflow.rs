@@ -1,0 +1,235 @@
+//! Dinic's maximum-flow algorithm on a directed flow network.
+//!
+//! The max-flow min-cut duality is the theoretical root of the paper's whole
+//! approach, and exact min-cuts serve as oracles when testing the heuristic
+//! components.
+
+use std::collections::VecDeque;
+
+/// Floating-point slack for residual-capacity comparisons.
+const EPS: f64 = 1e-12;
+
+/// A directed flow network under construction / after solving.
+///
+/// Arcs are added with [`add_arc`](FlowNetwork::add_arc); each arc implicitly
+/// creates a residual reverse arc of capacity 0. For an undirected edge, add
+/// two opposing arcs with the same capacity.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    // Arc i and its reverse are paired as (2k, 2k+1).
+    head: Vec<u32>,
+    cap: Vec<f64>,
+    adj: Vec<Vec<u32>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            head: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed arc `from -> to` with capacity `capacity` and returns
+    /// its arc index (use it with [`flow_on`](FlowNetwork::flow_on)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the capacity is negative/NaN.
+    pub fn add_arc(&mut self, from: usize, to: usize, capacity: f64) -> usize {
+        assert!(from < self.adj.len() && to < self.adj.len(), "arc endpoint out of range");
+        assert!(capacity >= 0.0, "arc capacity must be non-negative");
+        let id = self.head.len();
+        self.adj[from].push(id as u32);
+        self.head.push(to as u32);
+        self.cap.push(capacity);
+        self.adj[to].push((id + 1) as u32);
+        self.head.push(from as u32);
+        self.cap.push(0.0);
+        id
+    }
+
+    /// Adds an undirected edge as a pair of opposing arcs of capacity
+    /// `capacity` each; returns the forward arc index.
+    pub fn add_undirected(&mut self, a: usize, b: usize, capacity: f64) -> usize {
+        assert!(a < self.adj.len() && b < self.adj.len(), "edge endpoint out of range");
+        assert!(capacity >= 0.0, "edge capacity must be non-negative");
+        // An undirected edge is one arc pair whose *reverse* also has full
+        // capacity, so flow can use either direction.
+        let id = self.head.len();
+        self.adj[a].push(id as u32);
+        self.head.push(b as u32);
+        self.cap.push(capacity);
+        self.adj[b].push((id + 1) as u32);
+        self.head.push(a as u32);
+        self.cap.push(capacity);
+        id
+    }
+
+    /// Flow currently routed through the arc returned by `add_arc`
+    /// (original capacity minus residual).
+    pub fn flow_on(&self, arc: usize, original_capacity: f64) -> f64 {
+        original_capacity - self.cap[arc]
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut q = VecDeque::new();
+        self.level[s] = 0;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &a in &self.adj[v] {
+                let u = self.head[a as usize] as usize;
+                if self.cap[a as usize] > EPS && self.level[u] < 0 {
+                    self.level[u] = self.level[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, pushed: f64) -> f64 {
+        if v == t {
+            return pushed;
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let a = self.adj[v][self.iter[v]] as usize;
+            let u = self.head[a] as usize;
+            if self.cap[a] > EPS && self.level[u] == self.level[v] + 1 {
+                let d = self.dfs(u, t, pushed.min(self.cap[a]));
+                if d > EPS {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum `s`→`t` flow, mutating residual capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After [`max_flow`](FlowNetwork::max_flow), returns the source side of
+    /// a minimum cut: every node reachable from `s` in the residual network.
+    pub fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.adj.len()];
+        let mut q = VecDeque::new();
+        side[s] = true;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &a in &self.adj[v] {
+                let u = self.head[a as usize] as usize;
+                if self.cap[a as usize] > EPS && !side[u] {
+                    side[u] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_diamond() {
+        // s -> a, b -> t with a cross edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3.0);
+        net.add_arc(0, 2, 2.0);
+        net.add_arc(1, 2, 5.0);
+        net.add_arc(1, 3, 2.0);
+        net.add_arc(2, 3, 3.0);
+        assert!((net.max_flow(0, 3) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 10.0);
+        net.add_arc(1, 2, 1.5);
+        assert!((net.max_flow(0, 2) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_terminals_have_zero_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1.0);
+        net.add_arc(2, 3, 1.0);
+        assert_eq!(net.max_flow(0, 3), 0.0);
+        let side = net.min_cut_side(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn min_cut_side_is_a_real_cut() {
+        let mut net = FlowNetwork::new(4);
+        net.add_undirected(0, 1, 1.0);
+        net.add_undirected(1, 2, 1.0);
+        net.add_undirected(2, 3, 1.0);
+        net.add_undirected(0, 2, 1.0);
+        let f = net.max_flow(0, 3);
+        assert!((f - 1.0).abs() < 1e-9, "single bridge to node 3");
+        let side = net.min_cut_side(0);
+        assert!(side[0] && !side[3]);
+    }
+
+    #[test]
+    fn undirected_edges_carry_flow_both_ways() {
+        let mut net = FlowNetwork::new(3);
+        net.add_undirected(0, 1, 2.0);
+        net.add_undirected(1, 2, 2.0);
+        assert!((net.max_flow(2, 0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_on_reports_arc_utilisation() {
+        let mut net = FlowNetwork::new(2);
+        let arc = net.add_arc(0, 1, 4.0);
+        let f = net.max_flow(0, 1);
+        assert!((f - 4.0).abs() < 1e-9);
+        assert!((net.flow_on(arc, 4.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_terminal_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.max_flow(1, 1);
+    }
+}

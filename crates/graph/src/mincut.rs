@@ -1,0 +1,222 @@
+//! Minimum cuts: s–t cuts via max-flow and global cuts via Stoer–Wagner.
+
+use crate::maxflow::FlowNetwork;
+use crate::Graph;
+
+/// An s–t or global minimum cut.
+#[derive(Clone, Debug)]
+pub struct Cut {
+    /// Total weight of edges crossing the cut.
+    pub weight: f64,
+    /// `side[v]` is `true` for nodes on the source (first) side.
+    pub side: Vec<bool>,
+}
+
+impl Cut {
+    /// Nodes on the source side.
+    pub fn source_side(&self) -> Vec<usize> {
+        self.side
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &s)| s.then_some(v))
+            .collect()
+    }
+}
+
+/// Computes a minimum `s`–`t` cut of the undirected weighted graph `g`
+/// (edge weights act as capacities) using Dinic's algorithm.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either is out of range.
+pub fn st_min_cut(g: &Graph, s: usize, t: usize) -> Cut {
+    let mut net = FlowNetwork::new(g.num_nodes());
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        if u != v {
+            net.add_undirected(u, v, g.weight(e));
+        }
+    }
+    let weight = net.max_flow(s, t);
+    let side = net.min_cut_side(s);
+    Cut { weight, side }
+}
+
+/// Computes a global minimum cut with the Stoer–Wagner algorithm in
+/// `O(n³)` (dense implementation — intended for moderate `n` and for use as
+/// an exact oracle in tests).
+///
+/// Returns `None` if the graph has fewer than 2 nodes. For a disconnected
+/// graph the cut weight is 0.
+pub fn global_min_cut(g: &Graph) -> Option<Cut> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    // Dense adjacency matrix of merged super-nodes.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        if u != v {
+            w[u][v] += g.weight(e);
+            w[v][u] += g.weight(e);
+        }
+    }
+    // members[i] lists the original nodes merged into super-node i.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best_weight = f64::INFINITY;
+    let mut best_group: Vec<usize> = Vec::new();
+
+    while active.len() > 1 {
+        // Maximum-adjacency (minimum-cut-phase) ordering.
+        let mut in_a = vec![false; n];
+        let mut conn = vec![0.0f64; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by(|&&a, &&b| {
+                    conn[a]
+                        .partial_cmp(&conn[b])
+                        .expect("weights are not NaN")
+                        .then(b.cmp(&a)) // deterministic tie-break by smaller id
+                })
+                .expect("active set is non-empty");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    conn[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().expect("phase order non-empty");
+        let s = order[order.len() - 2];
+        let cut_of_phase = conn[t];
+        if cut_of_phase < best_weight {
+            best_weight = cut_of_phase;
+            best_group = members[t].clone();
+        }
+        // Merge t into s.
+        let t_members = std::mem::take(&mut members[t]);
+        members[s].extend(t_members);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+
+    let mut side = vec![false; n];
+    for v in best_group {
+        side[v] = true;
+    }
+    Some(Cut { weight: best_weight, side })
+}
+
+/// Total weight of edges of `g` crossing the node bipartition `side` —
+/// the brute-force cut evaluator used to cross-check the solvers.
+pub fn cut_weight(g: &Graph, side: &[bool]) -> f64 {
+    g.edge_ids()
+        .filter(|&e| {
+            let (u, v) = g.endpoints(e);
+            side[u] != side[v]
+        })
+        .map(|e| g.weight(e))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gnp_graph;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn barbell() -> Graph {
+        // Two triangles joined by a single light edge.
+        Graph::from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 2.0),
+                (0, 2, 2.0),
+                (3, 4, 2.0),
+                (4, 5, 2.0),
+                (3, 5, 2.0),
+                (2, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn st_cut_finds_the_bridge() {
+        let g = barbell();
+        let cut = st_min_cut(&g, 0, 5);
+        assert!((cut.weight - 1.0).abs() < 1e-9);
+        assert_eq!(cut.source_side(), vec![0, 1, 2]);
+        assert!((cut_weight(&g, &cut.side) - cut.weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_cut_finds_the_bridge_without_terminals() {
+        let g = barbell();
+        let cut = global_min_cut(&g).unwrap();
+        assert!((cut.weight - 1.0).abs() < 1e-9);
+        let side_nodes = cut.source_side();
+        assert!(side_nodes == vec![0, 1, 2] || side_nodes == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn global_cut_of_disconnected_graph_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1, 3.0), (2, 3, 3.0)]);
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 0.0);
+    }
+
+    #[test]
+    fn tiny_graphs_return_none() {
+        assert!(global_min_cut(&Graph::from_edges(1, &[])).is_none());
+        assert!(global_min_cut(&Graph::from_edges(0, &[])).is_none());
+    }
+
+    /// Brute-force global min cut by enumerating all bipartitions.
+    fn brute_force_cut(g: &Graph) -> f64 {
+        let n = g.num_nodes();
+        let mut best = f64::INFINITY;
+        for mask in 1..(1u32 << n) - 1 {
+            let side: Vec<bool> = (0..n).map(|v| mask & (1 << v) != 0).collect();
+            best = best.min(cut_weight(g, &side));
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn stoer_wagner_matches_brute_force(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = gnp_graph(8, 0.45, 1.0..5.0, &mut rng);
+            if let Some(cut) = global_min_cut(&g) {
+                let expected = brute_force_cut(&g);
+                prop_assert!((cut.weight - expected).abs() < 1e-9,
+                    "sw {} vs brute {}", cut.weight, expected);
+                prop_assert!((cut_weight(&g, &cut.side) - cut.weight).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn st_cut_is_never_below_global_cut(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = gnp_graph(9, 0.5, 1.0..4.0, &mut rng);
+            let global = global_min_cut(&g).unwrap();
+            let st = st_min_cut(&g, 0, g.num_nodes() - 1);
+            prop_assert!(st.weight >= global.weight - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Prim's minimum spanning tree / forest.
+
+use crate::{EdgeId, Graph, IndexedMinHeap};
+
+/// A minimum spanning forest.
+#[derive(Clone, Debug)]
+pub struct SpanningForest {
+    /// Chosen edges, one per non-root node of each tree.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the chosen edges.
+    pub total_weight: f64,
+    /// Number of connected components (trees in the forest).
+    pub components: usize,
+}
+
+/// Computes a minimum spanning forest with Prim's algorithm, restarting from
+/// the lowest-indexed unvisited node for each component.
+pub fn minimum_spanning_forest(g: &Graph) -> SpanningForest {
+    let n = g.num_nodes();
+    let mut in_tree = vec![false; n];
+    let mut best_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = IndexedMinHeap::new(n);
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+    let mut components = 0;
+
+    for root in 0..n {
+        if in_tree[root] {
+            continue;
+        }
+        components += 1;
+        heap.clear();
+        heap.push_or_decrease(root, 0.0);
+        best_edge[root] = None;
+        while let Some((v, key)) = heap.pop() {
+            if in_tree[v] {
+                continue;
+            }
+            in_tree[v] = true;
+            if let Some(e) = best_edge[v] {
+                edges.push(e);
+                total_weight += key;
+            }
+            for &(u, e) in g.neighbours(v) {
+                let u = u as usize;
+                if u == v || in_tree[u] {
+                    continue;
+                }
+                if heap.push_or_decrease(u, g.weight(e)) {
+                    best_edge[u] = Some(e);
+                }
+            }
+        }
+    }
+    SpanningForest { edges, total_weight, components }
+}
+
+/// Kruskal's algorithm — used as a test oracle for
+/// [`minimum_spanning_forest`] (total weights of minimum spanning forests
+/// are unique even when the edge sets are not).
+pub fn kruskal_weight(g: &Graph) -> f64 {
+    let mut ids: Vec<EdgeId> = g.edge_ids().collect();
+    ids.sort_by(|&a, &b| g.weight(a).partial_cmp(&g.weight(b)).expect("weights not NaN"));
+    let mut uf = crate::UnionFind::new(g.num_nodes());
+    let mut total = 0.0;
+    for e in ids {
+        let (u, v) = g.endpoints(e);
+        if uf.union(u, v) {
+            total += g.weight(e);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gnp_graph;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_the_cheap_triangle_edges() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 10.0)]);
+        let f = minimum_spanning_forest(&g);
+        assert_eq!(f.components, 1);
+        assert_eq!(f.edges.len(), 2);
+        assert_eq!(f.total_weight, 3.0);
+        assert!(!f.edges.contains(&EdgeId(2)));
+    }
+
+    #[test]
+    fn counts_components_in_a_forest() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let f = minimum_spanning_forest(&g);
+        assert_eq!(f.components, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(f.edges.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let f = minimum_spanning_forest(&Graph::from_edges(0, &[]));
+        assert_eq!(f.components, 0);
+        assert!(f.edges.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_kruskal_on_random_graphs(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = gnp_graph(20, 0.2, 1.0..9.0, &mut rng);
+            let f = minimum_spanning_forest(&g);
+            let oracle = kruskal_weight(&g);
+            prop_assert!((f.total_weight - oracle).abs() < 1e-9,
+                "prim {} vs kruskal {}", f.total_weight, oracle);
+            // A forest over n nodes with c components has n - c edges.
+            prop_assert_eq!(f.edges.len(), g.num_nodes() - f.components);
+        }
+    }
+}

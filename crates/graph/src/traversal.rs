@@ -1,0 +1,79 @@
+//! Breadth-first traversal and connectivity queries.
+
+use std::collections::VecDeque;
+
+use crate::Graph;
+
+/// Nodes in BFS order from `source`, following edges regardless of weight.
+pub fn bfs_order(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.num_nodes(), "source {source} out of range");
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &(u, _) in g.neighbours(v) {
+            let u = u as usize;
+            if !seen[u] {
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Labels each node with its connected-component index (components numbered
+/// in order of their smallest node). Returns `(labels, component_count)`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_nodes();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    for root in 0..n {
+        if label[root] != usize::MAX {
+            continue;
+        }
+        for v in bfs_order(g, root) {
+            label[v] = count;
+        }
+        count += 1;
+    }
+    (label, count)
+}
+
+/// Returns `true` if the graph is connected (vacuously true when empty).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() == 0 || bfs_order(g, 0).len() == g.num_nodes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_visits_reachable_nodes_once() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 0);
+        assert!(order.contains(&1) && order.contains(&2));
+    }
+
+    #[test]
+    fn components_are_labeled_in_min_node_order() {
+        let g = Graph::from_edges(6, &[(4, 5, 1.0), (0, 1, 1.0), (2, 3, 1.0)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&Graph::from_edges(0, &[])));
+        assert!(is_connected(&Graph::from_edges(1, &[])));
+        assert!(is_connected(&Graph::from_edges(2, &[(0, 1, 1.0)])));
+        assert!(!is_connected(&Graph::from_edges(3, &[(0, 1, 1.0)])));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the LP machinery.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or solving linear programs.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The restricted LP was reported infeasible — impossible for (P1)
+    /// (d = large is always feasible), so it indicates a malformed row.
+    Infeasible,
+    /// The restricted LP is unbounded — impossible for (P1) with
+    /// non-negative objective coefficients; indicates a malformed program.
+    Unbounded,
+    /// Dimensions of a constraint row disagree with the variable count.
+    DimensionMismatch {
+        /// Columns supplied.
+        got: usize,
+        /// Columns expected.
+        expected: usize,
+    },
+    /// A coefficient was NaN or infinite.
+    BadCoefficient,
+    /// The simplex hit its anti-cycling iteration cap without certifying an
+    /// optimum.
+    Stalled,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::DimensionMismatch { got, expected } => {
+                write!(f, "constraint row has {got} columns, expected {expected}")
+            }
+            LpError::BadCoefficient => write!(f, "coefficient is NaN or infinite"),
+            LpError::Stalled => write!(f, "simplex stalled before certifying an optimum"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        let e = LpError::DimensionMismatch { got: 3, expected: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+}

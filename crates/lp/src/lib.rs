@@ -1,0 +1,34 @@
+//! Linear-programming machinery for the spreading-metric formulation (P1).
+//!
+//! The paper's linear program
+//!
+//! ```text
+//! (P1)  min  Σ_e c(e)·d(e)
+//!       s.t. Σ_{u∈S} dist(v,u)·s(u) >= g(s(S))   for all S ⊆ V, v ∈ S
+//!            d(e) >= 0
+//! ```
+//!
+//! has exponentially many constraints, but each constraint is *linear in
+//! `d` once a shortest-path tree is fixed* (Equation 6 of the paper:
+//! `Σ_u dist(v,u)·s(u) = Σ_e d(e)·δ(S(v,k), e)`). This crate solves (P1)
+//! exactly on small instances by **row generation**:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex for
+//!   `min c·x, A·x >= b, x >= 0`.
+//! * [`separation`] — turns violating shortest-path trees (found with
+//!   `htp-core`'s oracle) into constraint rows `Σ_e δ·d(e) >= g`.
+//! * [`cutting`] — the loop: solve the restricted LP, separate, add rows,
+//!   repeat. Every restricted optimum is a relaxation optimum and therefore
+//!   a **valid lower bound** on the cost of any hierarchical tree partition
+//!   (Lemma 2); at convergence the bound equals the (P1) optimum over the
+//!   paper's constraint family (5).
+
+pub mod cutting;
+pub mod duality;
+pub mod error;
+pub mod problem;
+pub mod separation;
+pub mod simplex;
+
+pub use error::LpError;
+pub use problem::{LinearProgram, LpOutcome};

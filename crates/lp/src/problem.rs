@@ -1,0 +1,136 @@
+//! LP model: `min c·x` subject to `A·x >= b`, `x >= 0`.
+
+use crate::LpError;
+
+/// A linear program in the form this crate solves:
+/// `min c·x` subject to `A·x >= b` and `x >= 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// A program over `objective.len()` variables with no constraints yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::BadCoefficient`] for non-finite objective entries.
+    pub fn new(objective: Vec<f64>) -> Result<Self, LpError> {
+        if objective.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::BadCoefficient);
+        }
+        Ok(LinearProgram { objective, rows: Vec::new(), rhs: Vec::new() })
+    }
+
+    /// Adds the constraint `row · x >= rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::DimensionMismatch`] or [`LpError::BadCoefficient`].
+    pub fn add_ge_constraint(&mut self, row: Vec<f64>, rhs: f64) -> Result<(), LpError> {
+        if row.len() != self.objective.len() {
+            return Err(LpError::DimensionMismatch {
+                got: row.len(),
+                expected: self.objective.len(),
+            });
+        }
+        if row.iter().any(|c| !c.is_finite()) || !rhs.is_finite() {
+            return Err(LpError::BadCoefficient);
+        }
+        self.rows.push(row);
+        self.rhs.push(rhs);
+        Ok(())
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Constraint rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Right-hand sides.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Evaluates the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Returns `true` if `x >= 0` satisfies every constraint within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.iter().all(|&v| v >= -tol)
+            && self
+                .rows
+                .iter()
+                .zip(&self.rhs)
+                .all(|(row, &b)| row.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() >= b - tol)
+    }
+}
+
+/// Outcome of solving a [`LinearProgram`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex was found.
+    Optimal {
+        /// The optimal point.
+        x: Vec<f64>,
+        /// The optimal objective value.
+        objective: f64,
+    },
+    /// No point satisfies the constraints.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+    /// The solver hit its anti-cycling iteration cap; the program is
+    /// feasible but no optimum (and hence no valid bound) was certified.
+    Stalled,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut lp = LinearProgram::new(vec![1.0, 2.0]).unwrap();
+        lp.add_ge_constraint(vec![1.0, 1.0], 4.0).unwrap();
+        assert_eq!(lp.num_variables(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.objective_value(&[3.0, 1.0]), 5.0);
+        assert!(lp.is_feasible(&[3.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[-1.0, 6.0], 1e-9));
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut lp = LinearProgram::new(vec![1.0]).unwrap();
+        assert!(matches!(
+            lp.add_ge_constraint(vec![1.0, 2.0], 0.0),
+            Err(LpError::DimensionMismatch { got: 2, expected: 1 })
+        ));
+        assert!(matches!(
+            lp.add_ge_constraint(vec![f64::NAN], 0.0),
+            Err(LpError::BadCoefficient)
+        ));
+        assert!(LinearProgram::new(vec![f64::INFINITY]).is_err());
+    }
+}

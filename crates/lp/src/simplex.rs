@@ -1,0 +1,381 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min c·x` subject to `A·x >= b`, `x >= 0` by converting to
+//! equality form with surplus variables, running a phase-1 simplex on
+//! artificial variables to find a basic feasible solution, then a phase-2
+//! simplex on the real objective. Bland's rule guarantees termination on
+//! degenerate instances. Everything is dense and `O(m²·n)` per phase —
+//! built for the small row-generated programs of (P1), not for scale.
+
+use crate::{LinearProgram, LpOutcome};
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// `m` rows over all columns (structural + surplus + artificial).
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+}
+
+/// Result of one simplex phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PhaseResult {
+    Optimal,
+    Unbounded,
+    /// The iteration cap was hit (numerical cycling); the tableau holds a
+    /// feasible but not provably optimal basis.
+    Stalled,
+}
+
+impl Tableau {
+    /// One simplex phase minimizing `cost` (length = column count).
+    /// Only the first `allowed_cols` columns may *enter* the basis — phase 2
+    /// passes the structural+surplus count so retired artificials can never
+    /// come back.
+    ///
+    /// Degeneracy is handled with the lexicographic ratio test (each
+    /// candidate row is compared by `(rhs, row) / pivot` lexicographically),
+    /// which prevents cycling; a generous iteration cap remains as a last
+    /// line of defence against floating-point pathologies.
+    fn minimize(&mut self, cost: &[f64], allowed_cols: usize) -> PhaseResult {
+        let max_iters = 2_000 + 200 * (self.rows.len() + allowed_cols);
+        for _ in 0..max_iters {
+            // Reduced costs r_j = c_j - c_B · column_j.
+            let m = self.rows.len();
+            let mut entering = None;
+            for j in 0..allowed_cols {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut r = cost[j];
+                for i in 0..m {
+                    r -= cost[self.basis[i]] * self.rows[i][j];
+                }
+                if r < -EPS {
+                    entering = Some(j); // Bland: smallest improving index
+                    break;
+                }
+            }
+            let Some(j) = entering else { return PhaseResult::Optimal };
+
+            // Lexicographic ratio test.
+            let mut leaving: Option<usize> = None;
+            for i in 0..m {
+                if self.rows[i][j] <= EPS {
+                    continue;
+                }
+                match leaving {
+                    None => leaving = Some(i),
+                    Some(l) => {
+                        if self.lex_less(i, l, j) {
+                            leaving = Some(i);
+                        }
+                    }
+                }
+            }
+            let Some(i) = leaving else { return PhaseResult::Unbounded };
+            self.pivot(i, j);
+        }
+        PhaseResult::Stalled
+    }
+
+    /// Lexicographic comparison of candidate leaving rows `a` and `b` for
+    /// entering column `j`: compares `(rhs, row) / pivot` entry by entry.
+    fn lex_less(&self, a: usize, b: usize, j: usize) -> bool {
+        let pa = self.rows[a][j];
+        let pb = self.rows[b][j];
+        let ra = self.rhs[a] / pa;
+        let rb = self.rhs[b] / pb;
+        if (ra - rb).abs() > EPS {
+            return ra < rb;
+        }
+        for col in 0..self.rows[a].len() {
+            let va = self.rows[a][col] / pa;
+            let vb = self.rows[b][col] / pb;
+            if (va - vb).abs() > EPS {
+                return va < vb;
+            }
+        }
+        false // identical up to tolerance; keep the incumbent
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.rows[row][col];
+        for a in &mut self.rows[row] {
+            *a /= p;
+        }
+        self.rhs[row] /= p;
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let f = self.rows[i][col];
+            if f.abs() <= EPS {
+                self.rows[i][col] = 0.0;
+                continue;
+            }
+            for j in 0..self.rows[i].len() {
+                let delta = f * self.rows[row][j];
+                self.rows[i][j] -= delta;
+            }
+            self.rhs[i] -= f * self.rhs[row];
+            self.rows[i][col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+/// Solves the linear program.
+///
+/// Returns [`LpOutcome::Optimal`] with a vertex solution,
+/// [`LpOutcome::Infeasible`], or [`LpOutcome::Unbounded`].
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    let n = lp.num_variables();
+    let m = lp.num_constraints();
+    if m == 0 {
+        // x = 0 is optimal for any c >= 0; negative c makes it unbounded.
+        if lp.objective().iter().any(|&c| c < -EPS) {
+            return LpOutcome::Unbounded;
+        }
+        return LpOutcome::Optimal { x: vec![0.0; n], objective: 0.0 };
+    }
+
+    // Columns: structural (n) + surplus (m) + artificial (<= m, appended).
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs = Vec::with_capacity(m);
+    let mut basis = Vec::with_capacity(m);
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    // First lay out structural + surplus columns.
+    for i in 0..m {
+        let flip = lp.rhs()[i] < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        let mut row = vec![0.0; n + m];
+        for j in 0..n {
+            row[j] = sign * lp.rows()[i][j];
+        }
+        // Surplus: A·x - s = b  becomes  -A·x + s = -b when flipped.
+        row[n + i] = -sign;
+        rows.push(row);
+        rhs.push(sign * lp.rhs()[i]);
+        basis.push(usize::MAX); // fixed below
+    }
+    // Surplus columns with +1 coefficient can start basic; the rest need an
+    // artificial.
+    for i in 0..m {
+        if rows[i][n + i] > 0.5 {
+            basis[i] = n + i;
+        }
+    }
+    let needed: Vec<usize> = (0..m).filter(|&i| basis[i] == usize::MAX).collect();
+    let total = n + m + needed.len();
+    for row in &mut rows {
+        row.resize(total, 0.0);
+    }
+    for (k, &i) in needed.iter().enumerate() {
+        let col = n + m + k;
+        rows[i][col] = 1.0;
+        basis[i] = col;
+        artificial_cols.push(col);
+    }
+
+    let mut t = Tableau { rows, rhs, basis };
+
+    // Phase 1: minimize the artificial sum.
+    if !artificial_cols.is_empty() {
+        let mut cost = vec![0.0; total];
+        for &c in &artificial_cols {
+            cost[c] = 1.0;
+        }
+        match t.minimize(&cost, total) {
+            PhaseResult::Optimal => {}
+            PhaseResult::Unbounded => unreachable!("phase 1 is bounded below by 0"),
+            PhaseResult::Stalled => return LpOutcome::Stalled,
+        }
+        let phase1: f64 = (0..m)
+            .filter(|&i| artificial_cols.contains(&t.basis[i]))
+            .map(|i| t.rhs[i])
+            .sum();
+        if phase1 > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any residual artificial out of the basis.
+        for i in 0..m {
+            if artificial_cols.contains(&t.basis[i]) {
+                if let Some(j) = (0..n + m).find(|&j| t.rows[i][j].abs() > EPS) {
+                    t.pivot(i, j);
+                }
+                // A row with no structural pivot is redundant; its rhs is 0
+                // (phase 1 succeeded), so leaving the artificial basic at
+                // value 0 is harmless for phase 2 as long as its column
+                // cost is 0.
+            }
+        }
+    }
+
+    // Phase 2: the real objective (zero cost on surplus and artificials).
+    let mut cost = vec![0.0; total];
+    cost[..n].copy_from_slice(lp.objective());
+    match t.minimize(&cost, n + m) {
+        PhaseResult::Optimal => {}
+        PhaseResult::Unbounded => return LpOutcome::Unbounded,
+        PhaseResult::Stalled => return LpOutcome::Stalled,
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if t.basis[i] < n {
+            x[t.basis[i]] = t.rhs[i];
+        }
+    }
+    let objective = lp.objective_value(&x);
+    LpOutcome::Optimal { x, objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearProgram;
+    use proptest::prelude::*;
+
+    fn lp(c: Vec<f64>, rows: Vec<(Vec<f64>, f64)>) -> LinearProgram {
+        let mut lp = LinearProgram::new(c).unwrap();
+        for (row, b) in rows {
+            lp.add_ge_constraint(row, b).unwrap();
+        }
+        lp
+    }
+
+    fn optimal(outcome: LpOutcome) -> (Vec<f64>, f64) {
+        match outcome {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_covering_lp() {
+        // min x + 2y s.t. x + y >= 4, x <= 3 (i.e. -x >= -3).
+        let p = lp(
+            vec![1.0, 2.0],
+            vec![(vec![1.0, 1.0], 4.0), (vec![-1.0, 0.0], -3.0)],
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj - 5.0).abs() < 1e-7, "obj {obj}");
+        assert!((x[0] - 3.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_constraints_zero_solution() {
+        let p = lp(vec![3.0, 1.0], vec![]);
+        let (x, obj) = optimal(solve(&p));
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(obj, 0.0);
+    }
+
+    #[test]
+    fn unbounded_without_constraints() {
+        let p = lp(vec![-1.0], vec![]);
+        assert_eq!(solve(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn unbounded_with_constraints() {
+        // min -x s.t. x >= 1: can push x to infinity.
+        let p = lp(vec![-1.0], vec![(vec![1.0], 1.0)]);
+        assert_eq!(solve(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_system() {
+        // x >= 5 and -x >= -2 (x <= 2).
+        let p = lp(vec![1.0], vec![(vec![1.0], 5.0), (vec![-1.0], -2.0)]);
+        assert_eq!(solve(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_constraints_terminate() {
+        // Multiple identical tight constraints (Bland's rule must not cycle).
+        let p = lp(
+            vec![1.0, 1.0],
+            vec![
+                (vec![1.0, 1.0], 2.0),
+                (vec![1.0, 1.0], 2.0),
+                (vec![2.0, 2.0], 4.0),
+                (vec![1.0, 0.0], 0.0),
+            ],
+        );
+        let (_, obj) = optimal(solve(&p));
+        assert!((obj - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn diet_style_lp() {
+        // min 2x + 3y s.t. x + 2y >= 8, 3x + y >= 9.
+        // Optimum at intersection: x = 2, y = 3 -> 13.
+        let p = lp(
+            vec![2.0, 3.0],
+            vec![(vec![1.0, 2.0], 8.0), (vec![3.0, 1.0], 9.0)],
+        );
+        let (x, obj) = optimal(solve(&p));
+        assert!((obj - 13.0).abs() < 1e-7, "obj {obj}");
+        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 3.0).abs() < 1e-7);
+    }
+
+    /// Brute-force optimum by enumerating all vertices (intersections of
+    /// `n` tight constraints among rows and axes). Only for tiny LPs.
+    fn brute_force(p: &LinearProgram) -> Option<f64> {
+        let n = p.num_variables();
+        assert!(n == 2, "oracle written for 2 variables");
+        let mut candidates: Vec<Vec<f64>> = vec![vec![0.0, 0.0]];
+        // All pairs of tight hyperplanes among constraints and axes.
+        let mut planes: Vec<(Vec<f64>, f64)> = p
+            .rows()
+            .iter()
+            .zip(p.rhs())
+            .map(|(r, &b)| (r.clone(), b))
+            .collect();
+        planes.push((vec![1.0, 0.0], 0.0));
+        planes.push((vec![0.0, 1.0], 0.0));
+        for i in 0..planes.len() {
+            for j in i + 1..planes.len() {
+                let (a1, b1) = (&planes[i].0, planes[i].1);
+                let (a2, b2) = (&planes[j].0, planes[j].1);
+                let det = a1[0] * a2[1] - a1[1] * a2[0];
+                if det.abs() < 1e-9 {
+                    continue;
+                }
+                let x0 = (b1 * a2[1] - a1[1] * b2) / det;
+                let x1 = (a1[0] * b2 - b1 * a2[0]) / det;
+                candidates.push(vec![x0, x1]);
+            }
+        }
+        candidates
+            .into_iter()
+            .filter(|x| p.is_feasible(x, 1e-7))
+            .map(|x| p.objective_value(&x))
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(60))]
+        #[test]
+        fn matches_vertex_enumeration_on_random_2d_lps(
+            c in proptest::collection::vec(0.1f64..5.0, 2),
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(0.1f64..4.0, 2), 0.5f64..8.0), 1..5),
+        ) {
+            // Positive coefficients everywhere -> feasible and bounded.
+            let mut p = LinearProgram::new(c).unwrap();
+            for (row, b) in rows {
+                p.add_ge_constraint(row, b).unwrap();
+            }
+            let (x, obj) = optimal(solve(&p));
+            prop_assert!(p.is_feasible(&x, 1e-6), "simplex point infeasible: {:?}", x);
+            let brute = brute_force(&p).expect("oracle finds a feasible vertex");
+            prop_assert!((obj - brute).abs() < 1e-5,
+                "simplex {} vs brute force {}", obj, brute);
+        }
+    }
+}

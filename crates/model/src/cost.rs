@@ -1,0 +1,177 @@
+//! The HTP objective: per-net spans and the weighted interconnection cost.
+//!
+//! For a net `e` and level `l`, `span(e, l)` is 0 when all pins share one
+//! level-`l` block and the number of spanned blocks otherwise (Section 2.1
+//! of the paper). The total cost of a partition is
+//! `Σ_e Σ_{0 <= l < L} w_l · span(e, l) · c(e)`.
+
+use htp_netlist::{Hypergraph, NetId};
+
+use crate::{HierarchicalPartition, TreeSpec};
+
+/// Number of distinct level-`l` blocks touched by net `e`, mapped to 0 when
+/// the net is uncut at that level (the paper's `span(e, l)`).
+pub fn span(h: &Hypergraph, p: &HierarchicalPartition, e: NetId, l: usize) -> usize {
+    let mut blocks: Vec<u32> = h.net_pins(e).iter().map(|&v| p.block_at(v, l).0).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    if blocks.len() <= 1 {
+        0
+    } else {
+        blocks.len()
+    }
+}
+
+/// The spans of net `e` at every level `0..root_level` (root excluded —
+/// everything shares the root, so its span is always 0).
+pub fn net_spans(h: &Hypergraph, p: &HierarchicalPartition, e: NetId) -> Vec<usize> {
+    (0..p.root_level()).map(|l| span(h, p, e, l)).collect()
+}
+
+/// Total interconnection cost of net `e` under spec weights:
+/// `Σ_{0 <= l < L} w_l · span(e, l) · c(e)`.
+pub fn net_cost(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition, e: NetId) -> f64 {
+    let c = h.net_capacity(e);
+    net_spans(h, p, e)
+        .iter()
+        .enumerate()
+        .map(|(l, &s)| spec.weight(l) * s as f64 * c)
+        .sum()
+}
+
+/// Per-level breakdown of a partition's cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostBreakdown {
+    /// `per_level[l]` is `Σ_e w_l · span(e, l) · c(e)`.
+    pub per_level: Vec<f64>,
+    /// Sum of the per-level costs.
+    pub total: f64,
+}
+
+/// Computes the full cost breakdown of a partition.
+///
+/// Uses the partition's [`block_matrix`](HierarchicalPartition::block_matrix)
+/// so each net's pins are resolved with array lookups rather than tree
+/// walks.
+///
+/// # Panics
+///
+/// Panics if the hypergraph and partition disagree on the node count, or if
+/// the partition's height exceeds the spec's.
+pub fn cost_breakdown(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+) -> CostBreakdown {
+    assert_eq!(h.num_nodes(), p.num_nodes(), "node count mismatch");
+    assert!(
+        p.root_level() <= spec.root_level(),
+        "partition height {} exceeds spec height {}",
+        p.root_level(),
+        spec.root_level()
+    );
+    let matrix = p.block_matrix();
+    let levels = p.root_level();
+    let mut per_level = vec![0.0; levels];
+    let mut scratch: Vec<u32> = Vec::new();
+    for e in h.nets() {
+        let c = h.net_capacity(e);
+        for (l, acc) in per_level.iter_mut().enumerate() {
+            let row = &matrix[l];
+            scratch.clear();
+            scratch.extend(h.net_pins(e).iter().map(|&v| row[v.index()]));
+            scratch.sort_unstable();
+            scratch.dedup();
+            if scratch.len() > 1 {
+                *acc += spec.weight(l) * scratch.len() as f64 * c;
+            }
+        }
+    }
+    let total = per_level.iter().sum();
+    CostBreakdown { per_level, total }
+}
+
+/// Total partition cost `Σ_e cost(e)`.
+///
+/// # Panics
+///
+/// Same as [`cost_breakdown`].
+pub fn partition_cost(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> f64 {
+    cost_breakdown(h, spec, p).total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::{HypergraphBuilder, NodeId};
+
+    /// 4 nodes on a path; leaves {0,1} and {2,3} under a 2-level root.
+    fn path_fixture() -> (Hypergraph, TreeSpec, HierarchicalPartition) {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 2.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        (h, spec, p)
+    }
+
+    #[test]
+    fn span_counts_blocks_or_zero() {
+        let (h, _, p) = path_fixture();
+        assert_eq!(span(&h, &p, NetId(0), 0), 0, "uncut net");
+        assert_eq!(span(&h, &p, NetId(1), 0), 2, "cut net");
+    }
+
+    #[test]
+    fn only_the_middle_net_costs() {
+        let (h, spec, p) = path_fixture();
+        assert_eq!(net_cost(&h, &spec, &p, NetId(0)), 0.0);
+        // span(e,0) = 2 with w_0 = 1; the root level never counts.
+        assert_eq!(net_cost(&h, &spec, &p, NetId(1)), 2.0);
+        assert_eq!(partition_cost(&h, &spec, &p), 2.0);
+    }
+
+    #[test]
+    fn deeper_hierarchy_multiplies_cost_per_level() {
+        // Same 4-node path in a height-2 binary tree, one node per leaf.
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(1), NodeId(2)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(1, 2, 1.0), (2, 2, 2.0), (4, 2, 4.0)]).unwrap();
+        let p = HierarchicalPartition::full_kary(2, 2, &[0, 1, 2, 3]).unwrap();
+        // Net {1,2} crosses the level-1 boundary: span 2 at levels 0 and 1.
+        // cost = 1*2 + 2*2 = 6 (the Figure 2 arithmetic with w_1 = 2).
+        assert_eq!(net_cost(&h, &spec, &p, NetId(0)), 6.0);
+        let bd = cost_breakdown(&h, &spec, &p);
+        assert_eq!(bd.per_level, vec![2.0, 4.0]);
+        assert_eq!(bd.total, 6.0);
+    }
+
+    #[test]
+    fn multiway_span_pays_per_block() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(2.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(1, 4, 1.0), (4, 4, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1, 2, 3]).unwrap();
+        // span = 4 blocks, capacity 2 -> cost 8.
+        assert_eq!(partition_cost(&h, &spec, &p), 8.0);
+    }
+
+    #[test]
+    fn breakdown_matches_per_net_sum() {
+        let (h, spec, p) = path_fixture();
+        let by_nets: f64 = h.nets().map(|e| net_cost(&h, &spec, &p, e)).sum();
+        assert!((by_nets - partition_cost(&h, &spec, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn node_count_mismatch_panics() {
+        let (h, spec, _) = path_fixture();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1]).unwrap();
+        let _ = partition_cost(&h, &spec, &p);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for the HTP problem model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building tree specifications or partitions, or when
+/// validating a partition against a specification.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The specification is malformed (empty, non-monotone capacities,
+    /// invalid weights or branching bounds).
+    BadSpec {
+        /// Description of the defect.
+        message: String,
+    },
+    /// A tree vertex id was out of range or used in the wrong role.
+    BadVertex {
+        /// Description of the defect.
+        message: String,
+    },
+    /// A netlist node was never assigned to a leaf.
+    UnassignedNode {
+        /// The raw node index.
+        node: u32,
+    },
+    /// A node was assigned to a vertex that is not a level-0 leaf.
+    NotALeaf {
+        /// The raw vertex index.
+        vertex: u32,
+    },
+    /// A block exceeds its level's size bound `C_l`.
+    CapacityExceeded {
+        /// The raw vertex index.
+        vertex: u32,
+        /// The vertex's level.
+        level: usize,
+        /// Actual total node size in the block.
+        size: u64,
+        /// The bound `C_l`.
+        bound: u64,
+    },
+    /// A vertex has more children than its level's bound `K_l`.
+    TooManyChildren {
+        /// The raw vertex index.
+        vertex: u32,
+        /// The vertex's level.
+        level: usize,
+        /// Actual child count.
+        children: usize,
+        /// The bound `K_l`.
+        bound: usize,
+    },
+    /// The partition and the hypergraph disagree on the node count.
+    NodeCountMismatch {
+        /// Nodes in the partition.
+        partition: usize,
+        /// Nodes in the hypergraph.
+        hypergraph: usize,
+    },
+    /// The partition tree uses a level the specification does not define.
+    LevelOutOfRange {
+        /// The offending level.
+        level: usize,
+        /// Root level of the specification.
+        root_level: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadSpec { message } => write!(f, "bad tree specification: {message}"),
+            ModelError::BadVertex { message } => write!(f, "bad tree vertex: {message}"),
+            ModelError::UnassignedNode { node } => {
+                write!(f, "node {node} is not assigned to any leaf")
+            }
+            ModelError::NotALeaf { vertex } => {
+                write!(f, "vertex {vertex} holds nodes but is not a level-0 leaf")
+            }
+            ModelError::CapacityExceeded { vertex, level, size, bound } => write!(
+                f,
+                "vertex {vertex} at level {level} holds size {size}, exceeding C_{level} = {bound}"
+            ),
+            ModelError::TooManyChildren { vertex, level, children, bound } => write!(
+                f,
+                "vertex {vertex} at level {level} has {children} children, exceeding K_{level} = {bound}"
+            ),
+            ModelError::NodeCountMismatch { partition, hypergraph } => write!(
+                f,
+                "partition assigns {partition} nodes but the hypergraph has {hypergraph}"
+            ),
+            ModelError::LevelOutOfRange { level, root_level } => write!(
+                f,
+                "partition uses level {level} but the specification tops out at {root_level}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_the_numbers() {
+        let e = ModelError::CapacityExceeded { vertex: 3, level: 1, size: 9, bound: 8 };
+        let s = e.to_string();
+        assert!(s.contains("vertex 3"));
+        assert!(s.contains("C_1 = 8"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

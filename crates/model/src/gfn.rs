@@ -1,0 +1,90 @@
+//! The spreading bound `g(x)` of linear program (P1).
+//!
+//! For a subset of nodes with total size `x`, the paper requires every node
+//! `v` of the subset to satisfy `Σ_u dist(v, u)·s(u) >= g(x)` where
+//!
+//! ```text
+//! g(x) = 0                                 if x <= C_0
+//! g(x) = 2 · Σ_{0 <= i <= l} (x − C_i)·w_i if C_l < x <= C_{l+1}
+//! ```
+//!
+//! Intuitively: a subset too big for a level-`l` block must be spread over a
+//! radius proportional to how much it overflows each level it cannot fit in.
+
+use crate::TreeSpec;
+
+/// Evaluates `g(x)` for the given specification.
+///
+/// For `x` larger than even the root capacity (an infeasible subset) the sum
+/// extends over every level below the root, which keeps `g` monotone and
+/// finite — useful while a metric is still being computed.
+pub fn spreading_bound(spec: &TreeSpec, x: u64) -> f64 {
+    if x <= spec.capacity(0) {
+        return 0.0;
+    }
+    // Find l with C_l < x <= C_{l+1}; clamp to the root for oversized x.
+    let l = (0..spec.root_level())
+        .rev()
+        .find(|&i| spec.capacity(i) < x)
+        .expect("x > C_0 guarantees some level qualifies");
+    2.0 * (0..=l)
+        .map(|i| (x.saturating_sub(spec.capacity(i))) as f64 * spec.weight(i))
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn figure2_spec() -> TreeSpec {
+        TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn zero_below_leaf_capacity() {
+        let spec = figure2_spec();
+        for x in 0..=4 {
+            assert_eq!(spreading_bound(&spec, x), 0.0);
+        }
+    }
+
+    #[test]
+    fn linear_above_leaf_capacity() {
+        let spec = figure2_spec();
+        // C_0 = 4 < x <= C_1 = 8: g(x) = 2(x - 4)·w_0 = 2(x - 4).
+        assert_eq!(spreading_bound(&spec, 5), 2.0);
+        assert_eq!(spreading_bound(&spec, 8), 8.0);
+    }
+
+    #[test]
+    fn accumulates_over_levels() {
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 2.0), (16, 2, 1.0)]).unwrap();
+        // C_1 = 8 < 10 <= C_2 = 16: g = 2[(10-4)·1 + (10-8)·2] = 20.
+        assert_eq!(spreading_bound(&spec, 10), 20.0);
+    }
+
+    #[test]
+    fn oversized_subsets_stay_finite_and_monotone() {
+        let spec = figure2_spec();
+        let g9 = spreading_bound(&spec, 9);
+        let g100 = spreading_bound(&spec, 100);
+        assert!(g9.is_finite() && g100.is_finite());
+        assert!(g100 > g9);
+    }
+
+    proptest! {
+        #[test]
+        fn g_is_monotone_nondecreasing(c0 in 1u64..20, steps in 1u64..30, x in 0u64..200) {
+            let spec = TreeSpec::new(vec![
+                (c0, 2, 1.0),
+                (c0 + steps, 2, 2.0),
+                (c0 + 2 * steps, 2, 0.5),
+            ]).unwrap();
+            let g1 = spreading_bound(&spec, x);
+            let g2 = spreading_bound(&spec, x + 1);
+            prop_assert!(g2 >= g1, "g({}) = {} > g({}) = {}", x, g1, x + 1, g2);
+            prop_assert!(g1 >= 0.0);
+        }
+    }
+}

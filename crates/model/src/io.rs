@@ -1,0 +1,226 @@
+//! Saving and loading hierarchical tree partitions.
+//!
+//! A small line-oriented text format:
+//!
+//! ```text
+//! htp-partition v1
+//! vertex <id> <level> <parent-id|->
+//! ...
+//! assign <node-index> <leaf-vertex-id>
+//! ...
+//! ```
+//!
+//! Vertices must appear parents-first (the writer emits them in id order,
+//! which satisfies this because builders allocate parents before children).
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use htp_netlist::NodeId;
+
+use crate::{HierarchicalPartition, ModelError, PartitionBuilder, VertexId};
+
+const MAGIC: &str = "htp-partition v1";
+
+/// Writes `p` in the `htp-partition v1` format.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadSpec`] wrapping the underlying I/O failure.
+pub fn write<W: Write>(p: &HierarchicalPartition, mut w: W) -> Result<(), ModelError> {
+    let io_err = |e: std::io::Error| ModelError::BadSpec { message: format!("write failed: {e}") };
+    writeln!(w, "{MAGIC}").map_err(io_err)?;
+    for q in p.vertices() {
+        let parent = match p.parent(q) {
+            Some(par) => par.0.to_string(),
+            None => "-".to_string(),
+        };
+        writeln!(w, "vertex {} {} {}", q.0, p.level(q), parent).map_err(io_err)?;
+    }
+    for v in 0..p.num_nodes() {
+        writeln!(w, "assign {} {}", v, p.leaf_of(NodeId::new(v)).0).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Serializes `p` to a string.
+pub fn to_string(p: &HierarchicalPartition) -> String {
+    let mut buf = Vec::new();
+    write(p, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("partition text is ASCII")
+}
+
+/// Reads a partition in the `htp-partition v1` format.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadSpec`] for malformed input (missing magic, bad
+/// records, out-of-order vertices) and the usual builder errors for
+/// structurally invalid trees.
+pub fn read<R: BufRead>(r: R) -> Result<HierarchicalPartition, ModelError> {
+    let bad = |line: usize, message: String| ModelError::BadSpec {
+        message: format!("line {line}: {message}"),
+    };
+    let mut lines = r.lines().enumerate();
+    let (_, magic) = lines
+        .next()
+        .ok_or_else(|| bad(1, "empty input".into()))
+        .and_then(|(i, l)| l.map(|l| (i, l)).map_err(|e| bad(i + 1, e.to_string())))?;
+    if magic.trim() != MAGIC {
+        return Err(bad(1, format!("expected `{MAGIC}`, got `{}`", magic.trim())));
+    }
+
+    // First pass: collect records.
+    struct VertexRec {
+        id: u32,
+        level: usize,
+        parent: Option<u32>,
+    }
+    let mut vertices: Vec<VertexRec> = Vec::new();
+    let mut assigns: Vec<(usize, u32)> = Vec::new();
+    for (i, line) in lines {
+        let lno = i + 1;
+        let line = line.map_err(|e| bad(lno, e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["vertex", id, level, parent] => vertices.push(VertexRec {
+                id: id.parse().map_err(|_| bad(lno, format!("bad vertex id `{id}`")))?,
+                level: level.parse().map_err(|_| bad(lno, format!("bad level `{level}`")))?,
+                parent: match *parent {
+                    "-" => None,
+                    raw => Some(
+                        raw.parse().map_err(|_| bad(lno, format!("bad parent `{raw}`")))?,
+                    ),
+                },
+            }),
+            ["assign", node, leaf] => assigns.push((
+                node.parse().map_err(|_| bad(lno, format!("bad node `{node}`")))?,
+                leaf.parse().map_err(|_| bad(lno, format!("bad leaf `{leaf}`")))?,
+            )),
+            _ => return Err(bad(lno, format!("unrecognized record `{line}`"))),
+        }
+    }
+
+    // Rebuild through the builder so every structural invariant is
+    // re-checked. File vertex ids map to fresh builder ids.
+    let root = vertices
+        .iter()
+        .find(|v| v.parent.is_none())
+        .ok_or_else(|| ModelError::BadSpec { message: "no root vertex".into() })?;
+    if vertices.iter().filter(|v| v.parent.is_none()).count() > 1 {
+        return Err(ModelError::BadSpec { message: "multiple root vertices".into() });
+    }
+    let num_nodes = assigns.len();
+    let mut b = PartitionBuilder::new(num_nodes, root.level);
+    let mut id_map: HashMap<u32, VertexId> = HashMap::new();
+    id_map.insert(root.id, b.root());
+    for v in &vertices {
+        let Some(parent) = v.parent else { continue };
+        let parent = *id_map.get(&parent).ok_or_else(|| ModelError::BadSpec {
+            message: format!("vertex {} references unknown/later parent {parent}", v.id),
+        })?;
+        let id = b.add_child(parent, v.level)?;
+        if id_map.insert(v.id, id).is_some() {
+            return Err(ModelError::BadSpec { message: format!("duplicate vertex id {}", v.id) });
+        }
+    }
+    let mut seen = vec![false; num_nodes];
+    for (node, leaf) in assigns {
+        if node >= num_nodes || seen[node] {
+            return Err(ModelError::BadSpec {
+                message: format!("node {node} assigned twice or out of range"),
+            });
+        }
+        seen[node] = true;
+        let leaf = *id_map.get(&leaf).ok_or_else(|| ModelError::BadSpec {
+            message: format!("assignment references unknown vertex {leaf}"),
+        })?;
+        b.assign(NodeId::new(node), leaf)?;
+    }
+    b.build()
+}
+
+/// Parses a partition from a string.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn from_str(s: &str) -> Result<HierarchicalPartition, ModelError> {
+    read(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HierarchicalPartition {
+        HierarchicalPartition::full_kary(2, 2, &[0, 1, 2, 3, 0, 2]).unwrap()
+    }
+
+    #[test]
+    fn round_trips() {
+        let p = sample();
+        let text = to_string(&p);
+        let q = from_str(&text).unwrap();
+        // Tree shape and assignments survive; ids are renumbered
+        // consistently, so block equality is checked via co-membership.
+        assert_eq!(q.num_nodes(), p.num_nodes());
+        assert_eq!(q.num_vertices(), p.num_vertices());
+        assert_eq!(q.root_level(), p.root_level());
+        for a in 0..p.num_nodes() {
+            for b in 0..p.num_nodes() {
+                for l in 0..=p.root_level() {
+                    let na = NodeId::new(a);
+                    let nb = NodeId::new(b);
+                    assert_eq!(
+                        p.block_at(na, l) == p.block_at(nb, l),
+                        q.block_at(na, l) == q.block_at(nb, l),
+                        "nodes {a},{b} level {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_missing_magic() {
+        assert!(from_str("vertex 0 1 -\n").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_records() {
+        let err = from_str("htp-partition v1\nfrobnicate 1 2\n").unwrap_err();
+        assert!(err.to_string().contains("unrecognized record"));
+    }
+
+    #[test]
+    fn rejects_double_assignment() {
+        let text = "htp-partition v1\nvertex 0 1 -\nvertex 1 0 0\nassign 0 1\nassign 0 1\n";
+        let err = from_str(text).unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_multiple_roots() {
+        let text = "htp-partition v1\nvertex 0 1 -\nvertex 1 2 -\n";
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_parent() {
+        let text = "htp-partition v1\nvertex 0 2 -\nvertex 1 1 9\n";
+        let err = from_str(text).unwrap_err();
+        assert!(err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "htp-partition v1\n# a tree\n\nvertex 0 1 -\nvertex 1 0 0\nassign 0 1\n";
+        let p = from_str(text).unwrap();
+        assert_eq!(p.num_nodes(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Block-level quality metrics: I/O pins, balance, and per-level cuts.
+//!
+//! The HTP objective is phrased as *total weighted I/O pin cost*: every
+//! block a net spans at a paying level contributes that net's capacity to
+//! the block's I/O pin count. This module reports those physical
+//! quantities per block — the numbers a board/FPGA engineer actually
+//! checks against a datasheet — and aggregates them per level.
+
+use htp_netlist::Hypergraph;
+
+use crate::{HierarchicalPartition, TreeSpec, VertexId};
+
+/// Per-block report at one level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockMetrics {
+    /// The block (tree vertex).
+    pub vertex: VertexId,
+    /// Total node size hosted in the block's subtree.
+    pub size: u64,
+    /// Number of nets crossing the block boundary (unweighted).
+    pub external_nets: usize,
+    /// I/O pin demand: summed capacity of crossing nets.
+    pub io_pins: f64,
+}
+
+/// Per-level aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelMetrics {
+    /// The level.
+    pub level: usize,
+    /// Metrics of every block at this level, ordered by vertex id.
+    pub blocks: Vec<BlockMetrics>,
+    /// Summed I/O pins over the level's blocks (`Σ_e span(e,l)·c(e)`,
+    /// i.e. the cost contribution at this level divided by `w_l`).
+    pub total_io_pins: f64,
+    /// Size imbalance: `max block size / mean block size` over non-empty
+    /// blocks (1.0 = perfectly balanced; 0.0 for a level with no blocks).
+    pub imbalance: f64,
+}
+
+/// Computes per-block and per-level metrics for every paying level
+/// `0..root_level`.
+///
+/// # Panics
+///
+/// Panics if the hypergraph and partition disagree on the node count.
+pub fn level_metrics(
+    h: &Hypergraph,
+    p: &HierarchicalPartition,
+) -> Vec<LevelMetrics> {
+    assert_eq!(h.num_nodes(), p.num_nodes(), "node count mismatch");
+    let node_sizes: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
+    let subtree_sizes = p.subtree_sizes(&node_sizes);
+    let matrix = p.block_matrix();
+
+    let mut out = Vec::new();
+    for (l, row) in matrix.iter().enumerate().take(p.root_level()) {
+        // Distinct blocks at this level.
+        let mut block_ids: Vec<u32> = row.clone();
+        block_ids.sort_unstable();
+        block_ids.dedup();
+        let rank = |id: u32| block_ids.binary_search(&id).expect("id is present");
+
+        let mut external_nets = vec![0usize; block_ids.len()];
+        let mut io_pins = vec![0.0f64; block_ids.len()];
+        let mut scratch: Vec<u32> = Vec::new();
+        for e in h.nets() {
+            scratch.clear();
+            scratch.extend(h.net_pins(e).iter().map(|&v| row[v.index()]));
+            scratch.sort_unstable();
+            scratch.dedup();
+            if scratch.len() > 1 {
+                for &b in &scratch {
+                    external_nets[rank(b)] += 1;
+                    io_pins[rank(b)] += h.net_capacity(e);
+                }
+            }
+        }
+
+        let blocks: Vec<BlockMetrics> = block_ids
+            .iter()
+            .enumerate()
+            .map(|(r, &id)| BlockMetrics {
+                vertex: VertexId(id),
+                size: subtree_sizes[id as usize],
+                external_nets: external_nets[r],
+                io_pins: io_pins[r],
+            })
+            .collect();
+        let total_io_pins = blocks.iter().map(|b| b.io_pins).sum();
+        let sizes: Vec<u64> = blocks.iter().map(|b| b.size).filter(|&s| s > 0).collect();
+        let imbalance = if sizes.is_empty() {
+            0.0
+        } else {
+            let max = *sizes.iter().max().expect("non-empty") as f64;
+            let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+            max / mean
+        };
+        out.push(LevelMetrics { level: l, blocks, total_io_pins, imbalance });
+    }
+    out
+}
+
+/// Checks I/O pin demand against per-level budgets: returns the blocks
+/// whose pin demand exceeds `budgets[level]` (a missing budget means
+/// unlimited).
+pub fn io_violations(
+    h: &Hypergraph,
+    p: &HierarchicalPartition,
+    budgets: &[f64],
+) -> Vec<(usize, BlockMetrics)> {
+    level_metrics(h, p)
+        .into_iter()
+        .flat_map(|lm| {
+            let budget = budgets.get(lm.level).copied();
+            lm.blocks
+                .into_iter()
+                .filter(move |b| budget.is_some_and(|cap| b.io_pins > cap))
+                .map(move |b| (lm.level, b))
+        })
+        .collect()
+}
+
+/// Consistency check between the metrics view and the cost objective:
+/// `Σ_l w_l · total_io_pins(l)` must equal the partition cost.
+pub fn io_cost_identity(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+) -> (f64, f64) {
+    let from_metrics: f64 = level_metrics(h, p)
+        .iter()
+        .map(|lm| spec.weight(lm.level) * lm.total_io_pins)
+        .sum();
+    let from_cost = crate::cost::partition_cost(h, spec, p);
+    (from_metrics, from_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchicalPartition;
+    use htp_netlist::{HypergraphBuilder, NodeId};
+
+    fn fixture() -> (Hypergraph, TreeSpec, HierarchicalPartition) {
+        // 4 nodes, 2 leaves under a root; one crossing net of capacity 2,
+        // one internal net.
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(2.0, [NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 3.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        (h, spec, p)
+    }
+
+    #[test]
+    fn per_block_io_pins() {
+        let (h, _, p) = fixture();
+        let metrics = level_metrics(&h, &p);
+        assert_eq!(metrics.len(), 1);
+        let lm = &metrics[0];
+        assert_eq!(lm.blocks.len(), 2);
+        for b in &lm.blocks {
+            assert_eq!(b.size, 2);
+            assert_eq!(b.external_nets, 1);
+            assert_eq!(b.io_pins, 2.0, "the capacity-2 net crosses");
+        }
+        assert_eq!(lm.total_io_pins, 4.0);
+        assert_eq!(lm.imbalance, 1.0);
+    }
+
+    #[test]
+    fn identity_with_the_cost_objective() {
+        let (h, spec, p) = fixture();
+        let (from_metrics, from_cost) = io_cost_identity(&h, &spec, &p);
+        // span 2 × capacity 2 × w_0 = 3 -> 12.
+        assert_eq!(from_cost, 12.0);
+        assert!((from_metrics - from_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_violations_are_reported_per_level() {
+        let (h, _, p) = fixture();
+        let violations = io_violations(&h, &p, &[1.0]);
+        assert_eq!(violations.len(), 2, "both leaves exceed a 1-pin budget");
+        assert!(io_violations(&h, &p, &[10.0]).is_empty());
+        assert!(io_violations(&h, &p, &[]).is_empty(), "no budget, no violation");
+    }
+
+    #[test]
+    fn imbalance_reflects_skew() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 0, 1]).unwrap();
+        let metrics = level_metrics(&h, &p);
+        // Sizes 3 and 1: max/mean = 3/2.
+        assert!((metrics[0].imbalance - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,558 @@
+//! Hierarchical tree partitions: the tree of blocks plus node assignments.
+
+use htp_netlist::NodeId;
+
+use crate::ModelError;
+
+/// Index of a vertex (block) in a [`HierarchicalPartition`] tree.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Creates a vertex id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+
+    /// Returns the id as a `usize` suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A hierarchical tree partition `P = (T, {V_q})`.
+///
+/// The tree `T` is rooted; each vertex has a level, the root has the highest
+/// level and every vertex that holds netlist nodes is a *leaf at level 0*
+/// (as the paper requires). A child's level is strictly below its parent's
+/// but need not be exactly one less — Algorithm 3 can attach a small
+/// subtree whose root sits several levels down. For such level gaps, the
+/// block of a node at an intermediate level `l` is its highest ancestor with
+/// level `<= l` (see [`block_at`](HierarchicalPartition::block_at)).
+///
+/// Instances are immutable; construct them through [`PartitionBuilder`] or
+/// the convenience constructors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HierarchicalPartition {
+    parent: Vec<Option<VertexId>>,
+    children: Vec<Vec<VertexId>>,
+    level: Vec<u32>,
+    /// Leaf vertex of each netlist node.
+    leaf_of: Vec<VertexId>,
+    root: VertexId,
+}
+
+impl HierarchicalPartition {
+    /// A two-level partition: leaves indexed by `assignment` values directly
+    /// under a root at level `root_level`. `assignment[v]` is the leaf index
+    /// of node `v`; leaves are created densely up to the maximum index.
+    ///
+    /// With `root_level > 1` the intermediate levels simply inherit the leaf
+    /// blocks, which is the natural reading of a flat multiway partition
+    /// inside a deeper hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadVertex`] if `assignment` is empty or
+    /// `root_level == 0`.
+    pub fn from_leaf_assignment(
+        root_level: usize,
+        assignment: &[usize],
+    ) -> Result<Self, ModelError> {
+        if root_level == 0 {
+            return Err(ModelError::BadVertex {
+                message: "root level must be at least 1".into(),
+            });
+        }
+        let leaves = match assignment.iter().max() {
+            Some(&m) => m + 1,
+            None => {
+                return Err(ModelError::BadVertex { message: "no nodes to assign".into() })
+            }
+        };
+        let mut b = PartitionBuilder::new(assignment.len(), root_level);
+        let root = b.root();
+        let leaf_ids: Vec<VertexId> =
+            (0..leaves).map(|_| b.add_child(root, 0).expect("root accepts leaves")).collect();
+        for (v, &leaf) in assignment.iter().enumerate() {
+            b.assign(NodeId::new(v), leaf_ids[leaf]).expect("fresh leaf accepts nodes");
+        }
+        b.build()
+    }
+
+    /// A complete `k`-ary tree of the given `height` with `k^height` leaves
+    /// in left-to-right order; `assignment[v]` is the leaf index of node
+    /// `v`. Empty leaves are kept (they cost nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadVertex`] if `height == 0`, `k < 2`, or an
+    /// assignment index is out of range.
+    pub fn full_kary(height: usize, k: usize, assignment: &[usize]) -> Result<Self, ModelError> {
+        if height == 0 || k < 2 {
+            return Err(ModelError::BadVertex {
+                message: "full k-ary tree needs height >= 1 and k >= 2".into(),
+            });
+        }
+        let num_leaves = k.checked_pow(height as u32).ok_or_else(|| ModelError::BadVertex {
+            message: "tree too large".into(),
+        })?;
+        let mut b = PartitionBuilder::new(assignment.len(), height);
+        // Build level by level; `frontier` holds the vertices of the level
+        // being expanded.
+        let mut frontier = vec![b.root()];
+        for depth in 1..=height {
+            let level = height - depth;
+            let mut next = Vec::with_capacity(frontier.len() * k);
+            for &p in &frontier {
+                for _ in 0..k {
+                    next.push(b.add_child(p, level).expect("levels decrease by one"));
+                }
+            }
+            frontier = next;
+        }
+        debug_assert_eq!(frontier.len(), num_leaves);
+        for (v, &leaf) in assignment.iter().enumerate() {
+            let leaf_vertex = *frontier.get(leaf).ok_or_else(|| ModelError::BadVertex {
+                message: format!("leaf index {leaf} out of range 0..{num_leaves}"),
+            })?;
+            b.assign(NodeId::new(v), leaf_vertex).expect("leaves accept nodes");
+        }
+        b.build()
+    }
+
+    /// Number of tree vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Number of netlist nodes assigned.
+    pub fn num_nodes(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Level of a vertex (leaves are 0, the root is highest).
+    pub fn level(&self, q: VertexId) -> usize {
+        self.level[q.index()] as usize
+    }
+
+    /// The root's level, i.e. the height `L` of the hierarchy.
+    pub fn root_level(&self) -> usize {
+        self.level(self.root)
+    }
+
+    /// Parent of a vertex (`None` for the root).
+    pub fn parent(&self, q: VertexId) -> Option<VertexId> {
+        self.parent[q.index()]
+    }
+
+    /// Children of a vertex.
+    pub fn children(&self, q: VertexId) -> &[VertexId] {
+        &self.children[q.index()]
+    }
+
+    /// Returns `true` if `q` has no children.
+    pub fn is_leaf(&self, q: VertexId) -> bool {
+        self.children[q.index()].is_empty()
+    }
+
+    /// The level-0 leaf holding node `v`.
+    pub fn leaf_of(&self, v: NodeId) -> VertexId {
+        self.leaf_of[v.index()]
+    }
+
+    /// The block containing node `v` at level `l`: the highest ancestor of
+    /// `v`'s leaf whose level is at most `l`.
+    pub fn block_at(&self, v: NodeId, l: usize) -> VertexId {
+        let mut cur = self.leaf_of(v);
+        while let Some(p) = self.parent(cur) {
+            if self.level(p) <= l as usize {
+                cur = p;
+            } else {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// For each level `0..=root_level`, the block of every node:
+    /// `matrix[l][v.index()]` is the raw vertex index of `block_at(v, l)`.
+    /// One pass over the leaf-to-root chains; used by the cost evaluator.
+    pub fn block_matrix(&self) -> Vec<Vec<u32>> {
+        let levels = self.root_level() + 1;
+        let mut matrix = vec![vec![0u32; self.num_nodes()]; levels];
+        for v in 0..self.num_nodes() {
+            let node = NodeId::new(v);
+            let mut cur = self.leaf_of(node);
+            let mut next_parent = self.parent(cur);
+            for (l, row) in matrix.iter_mut().enumerate() {
+                while let Some(p) = next_parent {
+                    if self.level(p) <= l {
+                        cur = p;
+                        next_parent = self.parent(cur);
+                    } else {
+                        break;
+                    }
+                }
+                row[v] = cur.0;
+            }
+        }
+        matrix
+    }
+
+    /// All vertex ids.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> + Clone {
+        (0..self.level.len() as u32).map(VertexId)
+    }
+
+    /// Vertices whose level equals `l`.
+    pub fn vertices_at_level(&self, l: usize) -> Vec<VertexId> {
+        self.vertices().filter(|&q| self.level(q) == l).collect()
+    }
+
+    /// The level-0 leaves in id order.
+    pub fn leaves(&self) -> Vec<VertexId> {
+        self.vertices().filter(|&q| self.level(q) == 0).collect()
+    }
+
+    /// Nodes assigned to each vertex's subtree: `sizes[q.index()]` is the
+    /// total `node_sizes` mass under `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_sizes.len()` differs from the assigned node count.
+    pub fn subtree_sizes(&self, node_sizes: &[u64]) -> Vec<u64> {
+        assert_eq!(node_sizes.len(), self.num_nodes(), "node count mismatch");
+        let mut sizes = vec![0u64; self.num_vertices()];
+        for (v, &s) in node_sizes.iter().enumerate() {
+            let mut cur = self.leaf_of(NodeId::new(v));
+            sizes[cur.index()] += s;
+            while let Some(p) = self.parent(cur) {
+                sizes[p.index()] += s;
+                cur = p;
+            }
+        }
+        sizes
+    }
+
+    /// A partition with the same tree but a different node assignment:
+    /// `leaf_of[v.index()]` is the new leaf of node `v`. Useful for
+    /// iterative-improvement passes that move nodes between existing
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotALeaf`] if some target vertex is not a
+    /// level-0 leaf, or [`ModelError::BadVertex`] if one is out of range.
+    pub fn with_assignment(&self, leaf_of: Vec<VertexId>) -> Result<Self, ModelError> {
+        for &leaf in &leaf_of {
+            if leaf.index() >= self.level.len() {
+                return Err(ModelError::BadVertex {
+                    message: format!("leaf {leaf} does not exist"),
+                });
+            }
+            if self.level[leaf.index()] != 0 {
+                return Err(ModelError::NotALeaf { vertex: leaf.0 });
+            }
+        }
+        Ok(HierarchicalPartition { leaf_of, ..self.clone() })
+    }
+
+    /// The nodes assigned to leaf `q` (empty for internal vertices).
+    pub fn nodes_in(&self, q: VertexId) -> Vec<NodeId> {
+        (0..self.leaf_of.len())
+            .filter(|&v| self.leaf_of[v] == q)
+            .map(NodeId::new)
+            .collect()
+    }
+
+    /// Renders the tree as indented ASCII, one vertex per line, with each
+    /// vertex's level, node count, and total size under `node_sizes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_sizes.len()` differs from the assigned node count.
+    pub fn render(&self, node_sizes: &[u64]) -> String {
+        let sizes = self.subtree_sizes(node_sizes);
+        let mut node_count = vec![0usize; self.num_vertices()];
+        for v in 0..self.leaf_of.len() {
+            let mut cur = self.leaf_of[v];
+            node_count[cur.index()] += 1;
+            while let Some(p) = self.parent(cur) {
+                node_count[p.index()] += 1;
+                cur = p;
+            }
+        }
+        let mut out = String::new();
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((q, depth)) = stack.pop() {
+            use std::fmt::Write;
+            let _ = writeln!(
+                out,
+                "{}{} level {} ({} nodes, size {})",
+                "  ".repeat(depth),
+                q,
+                self.level(q),
+                node_count[q.index()],
+                sizes[q.index()],
+            );
+            for &child in self.children(q).iter().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`HierarchicalPartition`].
+///
+/// Start with a root at the requested level, grow the tree with
+/// [`add_child`](PartitionBuilder::add_child), assign every node to a
+/// level-0 leaf, then [`build`](PartitionBuilder::build).
+#[derive(Clone, Debug)]
+pub struct PartitionBuilder {
+    parent: Vec<Option<VertexId>>,
+    children: Vec<Vec<VertexId>>,
+    level: Vec<u32>,
+    leaf_of: Vec<Option<VertexId>>,
+}
+
+impl PartitionBuilder {
+    /// Creates a builder for `num_nodes` nodes with a root at `root_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root_level == 0` (the root cannot itself be a leaf unless
+    /// the netlist is trivial — and then the partition is meaningless).
+    pub fn new(num_nodes: usize, root_level: usize) -> Self {
+        assert!(root_level >= 1, "root level must be at least 1");
+        PartitionBuilder {
+            parent: vec![None],
+            children: vec![Vec::new()],
+            level: vec![root_level as u32],
+            leaf_of: vec![None; num_nodes],
+        }
+    }
+
+    /// The root vertex id.
+    pub fn root(&self) -> VertexId {
+        VertexId(0)
+    }
+
+    /// Adds a child of `parent` at the given `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadVertex`] if `parent` is out of range or
+    /// `level` is not strictly below the parent's level.
+    pub fn add_child(&mut self, parent: VertexId, level: usize) -> Result<VertexId, ModelError> {
+        if parent.index() >= self.level.len() {
+            return Err(ModelError::BadVertex {
+                message: format!("parent {parent} does not exist"),
+            });
+        }
+        let parent_level = self.level[parent.index()] as usize;
+        if level >= parent_level {
+            return Err(ModelError::BadVertex {
+                message: format!(
+                    "child level {level} must be below parent level {parent_level}"
+                ),
+            });
+        }
+        let id = VertexId::new(self.level.len());
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.children[parent.index()].push(id);
+        self.level.push(level as u32);
+        Ok(id)
+    }
+
+    /// Assigns node `v` to leaf `leaf` (overwriting any previous
+    /// assignment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadVertex`] if `v` or `leaf` is out of range,
+    /// or [`ModelError::NotALeaf`] if `leaf` is not at level 0.
+    pub fn assign(&mut self, v: NodeId, leaf: VertexId) -> Result<(), ModelError> {
+        if leaf.index() >= self.level.len() {
+            return Err(ModelError::BadVertex { message: format!("leaf {leaf} does not exist") });
+        }
+        if self.level[leaf.index()] != 0 {
+            return Err(ModelError::NotALeaf { vertex: leaf.0 });
+        }
+        if v.index() >= self.leaf_of.len() {
+            return Err(ModelError::BadVertex { message: format!("node {v} out of range") });
+        }
+        self.leaf_of[v.index()] = Some(leaf);
+        Ok(())
+    }
+
+    /// Finalizes the partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnassignedNode`] if a node has no leaf, or
+    /// [`ModelError::NotALeaf`] if a node-bearing vertex grew children.
+    pub fn build(self) -> Result<HierarchicalPartition, ModelError> {
+        let mut leaf_of = Vec::with_capacity(self.leaf_of.len());
+        for (v, assigned) in self.leaf_of.iter().enumerate() {
+            let leaf = assigned.ok_or(ModelError::UnassignedNode { node: v as u32 })?;
+            if !self.children[leaf.index()].is_empty() {
+                return Err(ModelError::NotALeaf { vertex: leaf.0 });
+            }
+            leaf_of.push(leaf);
+        }
+        Ok(HierarchicalPartition {
+            parent: self.parent,
+            children: self.children,
+            level: self.level,
+            leaf_of,
+            root: VertexId(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_a_two_level_tree() {
+        let mut b = PartitionBuilder::new(4, 1);
+        let root = b.root();
+        let l0 = b.add_child(root, 0).unwrap();
+        let l1 = b.add_child(root, 0).unwrap();
+        for v in 0..2 {
+            b.assign(NodeId(v), l0).unwrap();
+        }
+        for v in 2..4 {
+            b.assign(NodeId(v), l1).unwrap();
+        }
+        let p = b.build().unwrap();
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.root_level(), 1);
+        assert_eq!(p.leaf_of(NodeId(0)), l0);
+        assert_eq!(p.block_at(NodeId(0), 0), l0);
+        assert_eq!(p.block_at(NodeId(0), 1), p.root());
+        assert_eq!(p.children(root), &[l0, l1]);
+        assert!(p.is_leaf(l0));
+    }
+
+    #[test]
+    fn unassigned_node_fails_build() {
+        let mut b = PartitionBuilder::new(2, 1);
+        let leaf = b.add_child(b.root(), 0).unwrap();
+        b.assign(NodeId(0), leaf).unwrap();
+        assert_eq!(b.build().unwrap_err(), ModelError::UnassignedNode { node: 1 });
+    }
+
+    #[test]
+    fn assignment_to_internal_vertex_fails() {
+        let mut b = PartitionBuilder::new(1, 2);
+        let mid = b.add_child(b.root(), 1).unwrap();
+        assert_eq!(b.assign(NodeId(0), mid).unwrap_err(), ModelError::NotALeaf { vertex: 1 });
+    }
+
+    #[test]
+    fn child_level_must_decrease() {
+        let mut b = PartitionBuilder::new(1, 2);
+        assert!(b.add_child(b.root(), 2).is_err());
+        let mid = b.add_child(b.root(), 1).unwrap();
+        assert!(b.add_child(mid, 1).is_err());
+        assert!(b.add_child(mid, 0).is_ok());
+    }
+
+    #[test]
+    fn level_gaps_resolve_blocks_to_lower_ancestor() {
+        // root(3) -> a(1) -> leaf(0): at level 2 the block is a.
+        let mut b = PartitionBuilder::new(1, 3);
+        let a = b.add_child(b.root(), 1).unwrap();
+        let leaf = b.add_child(a, 0).unwrap();
+        b.assign(NodeId(0), leaf).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.block_at(NodeId(0), 0), leaf);
+        assert_eq!(p.block_at(NodeId(0), 1), a);
+        assert_eq!(p.block_at(NodeId(0), 2), a);
+        assert_eq!(p.block_at(NodeId(0), 3), p.root());
+        let m = p.block_matrix();
+        assert_eq!(m[2][0], a.0);
+        assert_eq!(m[3][0], p.root().0);
+    }
+
+    #[test]
+    fn full_kary_has_complete_shape() {
+        let p = HierarchicalPartition::full_kary(2, 2, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(p.num_vertices(), 1 + 2 + 4);
+        assert_eq!(p.root_level(), 2);
+        assert_eq!(p.leaves().len(), 4);
+        assert_eq!(p.vertices_at_level(1).len(), 2);
+        // Nodes 0 and 1 share their level-1 block; 0 and 2 do not.
+        assert_eq!(p.block_at(NodeId(0), 1), p.block_at(NodeId(1), 1));
+        assert_ne!(p.block_at(NodeId(0), 1), p.block_at(NodeId(2), 1));
+    }
+
+    #[test]
+    fn full_kary_rejects_out_of_range_leaf() {
+        assert!(HierarchicalPartition::full_kary(1, 2, &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn from_leaf_assignment_builds_flat_partition() {
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1, 0, 2]).unwrap();
+        assert_eq!(p.leaves().len(), 3);
+        assert_eq!(p.nodes_in(p.leaf_of(NodeId(0))), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn render_shows_every_vertex_once() {
+        let p = HierarchicalPartition::full_kary(2, 2, &[0, 1, 2, 3]).unwrap();
+        let text = p.render(&[1, 2, 3, 4]);
+        assert_eq!(text.lines().count(), p.num_vertices());
+        assert!(text.contains("level 2 (4 nodes, size 10)"));
+        assert!(text.starts_with("q0"));
+        // Leaves are indented two levels deep.
+        assert!(text.contains("    q"));
+    }
+
+    #[test]
+    fn with_assignment_swaps_nodes_between_leaves() {
+        let p = HierarchicalPartition::full_kary(1, 2, &[0, 0, 1, 1]).unwrap();
+        let leaves = p.leaves();
+        let moved = p
+            .with_assignment(vec![leaves[0], leaves[1], leaves[1], leaves[1]])
+            .unwrap();
+        assert_eq!(moved.leaf_of(NodeId(1)), leaves[1]);
+        assert_eq!(moved.root(), p.root());
+        // Internal vertices are rejected as targets.
+        assert!(p.with_assignment(vec![p.root(); 4]).is_err());
+    }
+
+    #[test]
+    fn subtree_sizes_accumulate_upwards() {
+        let p = HierarchicalPartition::full_kary(2, 2, &[0, 0, 1, 3]).unwrap();
+        let sizes = p.subtree_sizes(&[1, 2, 3, 4]);
+        assert_eq!(sizes[p.root().index()], 10);
+        let leaf0 = p.leaf_of(NodeId(0));
+        assert_eq!(sizes[leaf0.index()], 3);
+        let mid = p.parent(leaf0).unwrap();
+        assert_eq!(sizes[mid.index()], 6); // leaves 0 and 1 hold sizes 3 and 3
+    }
+}

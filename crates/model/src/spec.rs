@@ -1,0 +1,219 @@
+//! Tree hierarchy specifications: the `(C_l, K_l, w_l)` triples.
+
+use crate::ModelError;
+
+/// Parameters of one hierarchy level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelSpec {
+    /// `C_l`: upper bound on the total node size assigned to a vertex at
+    /// this level.
+    pub capacity: u64,
+    /// `K_l`: upper bound on the number of children of a vertex at this
+    /// level. Unused at level 0 (leaves have no children).
+    pub max_children: usize,
+    /// `w_l`: weighting factor of the interconnection cost counted at this
+    /// level. The root level's weight is irrelevant (the root always
+    /// contains every node) but stored for uniformity.
+    pub weight: f64,
+}
+
+/// A rooted tree hierarchy specification.
+///
+/// Level 0 holds the leaves; the highest level `L` (the *root level*) holds
+/// the root. A vertex at level `l` may hold nodes of total size at most
+/// `C_l` and have at most `K_l` children; a net spanning `f >= 2` blocks at
+/// level `l` pays `w_l · f · c(e)` there.
+///
+/// Invariants enforced at construction: at least two levels, capacities
+/// non-decreasing in the level, every capacity positive, every weight finite
+/// and non-negative, every `K_l >= 2` for `l >= 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeSpec {
+    levels: Vec<LevelSpec>,
+}
+
+impl TreeSpec {
+    /// Builds a specification from `(capacity, max_children, weight)`
+    /// triples, one per level starting at level 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadSpec`] if any invariant fails.
+    pub fn new(levels: Vec<(u64, usize, f64)>) -> Result<Self, ModelError> {
+        let levels: Vec<LevelSpec> = levels
+            .into_iter()
+            .map(|(capacity, max_children, weight)| LevelSpec { capacity, max_children, weight })
+            .collect();
+        let spec = TreeSpec { levels };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let bad = |message: String| Err(ModelError::BadSpec { message });
+        if self.levels.len() < 2 {
+            return bad(format!("need at least 2 levels, got {}", self.levels.len()));
+        }
+        for (l, level) in self.levels.iter().enumerate() {
+            if level.capacity == 0 {
+                return bad(format!("C_{l} must be positive"));
+            }
+            if !(level.weight.is_finite() && level.weight >= 0.0) {
+                return bad(format!("w_{l} must be finite and non-negative"));
+            }
+            if l >= 1 && level.max_children < 2 {
+                return bad(format!("K_{l} must be at least 2"));
+            }
+            if l >= 1 && level.capacity < self.levels[l - 1].capacity {
+                return bad(format!(
+                    "capacities must be non-decreasing: C_{} = {} > C_{l} = {}",
+                    l - 1,
+                    self.levels[l - 1].capacity,
+                    level.capacity
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the hierarchy used in the paper's experiments: a full `k`-ary
+    /// tree of the given `height` over a netlist of total size `total_size`,
+    /// with `C_l = ceil(slack · total_size / k^(height - l))` and uniform
+    /// weight `weight` at every level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadSpec`] if `height == 0`, `k < 2`,
+    /// `slack < 1.0`, or the derived capacities are invalid.
+    pub fn full_tree(
+        total_size: u64,
+        height: usize,
+        k: usize,
+        slack: f64,
+        weight: f64,
+    ) -> Result<Self, ModelError> {
+        if height == 0 {
+            return Err(ModelError::BadSpec { message: "height must be at least 1".into() });
+        }
+        if k < 2 {
+            return Err(ModelError::BadSpec { message: "arity must be at least 2".into() });
+        }
+        if !(slack >= 1.0 && slack.is_finite()) {
+            return Err(ModelError::BadSpec { message: "slack must be at least 1.0".into() });
+        }
+        let mut levels = Vec::with_capacity(height + 1);
+        for l in 0..=height {
+            let denom = (k as f64).powi((height - l) as i32);
+            let capacity = ((slack * total_size as f64) / denom).ceil().max(1.0) as u64;
+            levels.push((capacity, k, weight));
+        }
+        TreeSpec::new(levels)
+    }
+
+    /// Number of levels including the leaf and root levels (`L + 1`).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The root level `L`.
+    pub fn root_level(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The level specs in level order.
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// `C_l` for level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` exceeds the root level.
+    pub fn capacity(&self, l: usize) -> u64 {
+        self.levels[l].capacity
+    }
+
+    /// `K_l` for level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` exceeds the root level.
+    pub fn max_children(&self, l: usize) -> usize {
+        self.levels[l].max_children
+    }
+
+    /// `w_l` for level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` exceeds the root level.
+    pub fn weight(&self, l: usize) -> f64 {
+        self.levels[l].weight
+    }
+
+    /// The smallest level whose capacity can hold `size`, or `None` if even
+    /// the root cannot (the instance is then infeasible).
+    ///
+    /// This is the level computation of Algorithm 3, step 2.
+    pub fn level_for_size(&self, size: u64) -> Option<usize> {
+        self.levels.iter().position(|l| size <= l.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_spec_round_trips() {
+        // The paper's Figure 2: C_0 = 4, C_1 = 8, w_0 = 1, w_1 = 2.
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 2.0)]).unwrap();
+        assert_eq!(spec.num_levels(), 2);
+        assert_eq!(spec.root_level(), 1);
+        assert_eq!(spec.capacity(0), 4);
+        assert_eq!(spec.capacity(1), 8);
+        assert_eq!(spec.weight(1), 2.0);
+    }
+
+    #[test]
+    fn level_for_size_picks_the_smallest_fitting_level() {
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 1.0), (16, 2, 1.0)]).unwrap();
+        assert_eq!(spec.level_for_size(1), Some(0));
+        assert_eq!(spec.level_for_size(4), Some(0));
+        assert_eq!(spec.level_for_size(5), Some(1));
+        assert_eq!(spec.level_for_size(16), Some(2));
+        assert_eq!(spec.level_for_size(17), None);
+    }
+
+    #[test]
+    fn full_tree_scales_capacities_geometrically() {
+        let spec = TreeSpec::full_tree(160, 4, 2, 1.1, 1.0).unwrap();
+        assert_eq!(spec.num_levels(), 5);
+        // ceil(1.1 * 160 / 16) = 11 at the leaves, 176 at the root.
+        assert_eq!(spec.capacity(0), 11);
+        assert_eq!(spec.capacity(4), 176);
+        for l in 1..=4 {
+            assert!(spec.capacity(l) >= spec.capacity(l - 1));
+            assert_eq!(spec.max_children(l), 2);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(TreeSpec::new(vec![]).is_err());
+        assert!(TreeSpec::new(vec![(4, 2, 1.0)]).is_err(), "single level");
+        assert!(TreeSpec::new(vec![(0, 2, 1.0), (8, 2, 1.0)]).is_err(), "zero capacity");
+        assert!(TreeSpec::new(vec![(8, 2, 1.0), (4, 2, 1.0)]).is_err(), "decreasing capacity");
+        assert!(TreeSpec::new(vec![(4, 2, 1.0), (8, 1, 1.0)]).is_err(), "K < 2");
+        assert!(TreeSpec::new(vec![(4, 2, -1.0), (8, 2, 1.0)]).is_err(), "negative weight");
+        assert!(TreeSpec::new(vec![(4, 2, f64::NAN), (8, 2, 1.0)]).is_err(), "nan weight");
+    }
+
+    #[test]
+    fn rejects_bad_full_tree_parameters() {
+        assert!(TreeSpec::full_tree(100, 0, 2, 1.1, 1.0).is_err());
+        assert!(TreeSpec::full_tree(100, 4, 1, 1.1, 1.0).is_err());
+        assert!(TreeSpec::full_tree(100, 4, 2, 0.9, 1.0).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Validation of a partition against a tree specification.
+
+use htp_netlist::Hypergraph;
+
+use crate::{HierarchicalPartition, ModelError, TreeSpec};
+
+/// Checks that `p` is a feasible hierarchical tree partition of `h` under
+/// `spec`:
+///
+/// * the node counts agree,
+/// * the tree's height does not exceed the spec's,
+/// * every vertex at level `l` holds subtree size at most `C_l`,
+/// * every vertex at level `l >= 1` has at most `K_l` children.
+///
+/// # Errors
+///
+/// Returns the first violated constraint as a [`ModelError`].
+pub fn validate(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+) -> Result<(), ModelError> {
+    if h.num_nodes() != p.num_nodes() {
+        return Err(ModelError::NodeCountMismatch {
+            partition: p.num_nodes(),
+            hypergraph: h.num_nodes(),
+        });
+    }
+    if p.root_level() > spec.root_level() {
+        return Err(ModelError::LevelOutOfRange {
+            level: p.root_level(),
+            root_level: spec.root_level(),
+        });
+    }
+    let node_sizes: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
+    let sizes = p.subtree_sizes(&node_sizes);
+    for q in p.vertices() {
+        let level = p.level(q);
+        let bound = spec.capacity(level);
+        if sizes[q.index()] > bound {
+            return Err(ModelError::CapacityExceeded {
+                vertex: q.0,
+                level,
+                size: sizes[q.index()],
+                bound,
+            });
+        }
+        if level >= 1 {
+            let k = spec.max_children(level);
+            if p.children(q).len() > k {
+                return Err(ModelError::TooManyChildren {
+                    vertex: q.0,
+                    level,
+                    children: p.children(q).len(),
+                    bound: k,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::HypergraphBuilder;
+
+    fn four_nodes() -> Hypergraph {
+        HypergraphBuilder::with_unit_nodes(4).build().unwrap()
+    }
+
+    #[test]
+    fn balanced_partition_validates() {
+        let h = four_nodes();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        assert!(validate(&h, &spec, &p).is_ok());
+    }
+
+    #[test]
+    fn oversized_leaf_is_rejected() {
+        let h = four_nodes();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 0, 1]).unwrap();
+        assert!(matches!(
+            validate(&h, &spec, &p),
+            Err(ModelError::CapacityExceeded { level: 0, size: 3, bound: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_children_is_rejected() {
+        let h = four_nodes();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1, 2, 3]).unwrap();
+        assert!(matches!(
+            validate(&h, &spec, &p),
+            Err(ModelError::TooManyChildren { children: 4, bound: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn node_count_mismatch_is_rejected() {
+        let h = four_nodes();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1]).unwrap();
+        assert!(matches!(validate(&h, &spec, &p), Err(ModelError::NodeCountMismatch { .. })));
+    }
+
+    #[test]
+    fn partition_taller_than_spec_is_rejected() {
+        let h = four_nodes();
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::full_kary(2, 2, &[0, 1, 2, 3]).unwrap();
+        assert!(matches!(validate(&h, &spec, &p), Err(ModelError::LevelOutOfRange { .. })));
+    }
+
+    #[test]
+    fn weighted_nodes_count_against_capacity() {
+        let mut b = HypergraphBuilder::new();
+        for s in [3, 1] {
+            b.add_node(s);
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1]).unwrap();
+        assert!(matches!(
+            validate(&h, &spec, &p),
+            Err(ModelError::CapacityExceeded { size: 3, bound: 2, .. })
+        ));
+    }
+}

@@ -1,0 +1,265 @@
+//! Incremental construction of [`Hypergraph`] values.
+
+use crate::{Hypergraph, NetId, NetlistError, NodeId};
+
+/// Builder for [`Hypergraph`].
+///
+/// Nodes are added first (each call returns the dense [`NodeId`]), then nets
+/// over those nodes. [`HypergraphBuilder::build`] packs everything into CSR
+/// form and checks the structural invariants.
+///
+/// # Examples
+///
+/// ```
+/// use htp_netlist::HypergraphBuilder;
+///
+/// # fn main() -> Result<(), htp_netlist::NetlistError> {
+/// let mut b = HypergraphBuilder::new();
+/// let u = b.add_node(1);
+/// let v = b.add_node(1);
+/// b.add_net(1.0, [u, v])?;
+/// let h = b.build()?;
+/// assert_eq!(h.num_pins(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HypergraphBuilder {
+    node_size: Vec<u64>,
+    net_capacity: Vec<f64>,
+    net_pins: Vec<Vec<NodeId>>,
+}
+
+impl HypergraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` nodes of unit size.
+    pub fn with_unit_nodes(n: usize) -> Self {
+        Self {
+            node_size: vec![1; n],
+            ..Self::default()
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_size.len()
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.net_capacity.len()
+    }
+
+    /// Adds a node with size `size` and returns its id.
+    ///
+    /// A size of zero is permitted here but rejected at [`build`] time, so
+    /// callers that compute sizes can fail once with a useful error instead
+    /// of panicking mid-construction.
+    ///
+    /// [`build`]: HypergraphBuilder::build
+    pub fn add_node(&mut self, size: u64) -> NodeId {
+        let id = NodeId::new(self.node_size.len());
+        self.node_size.push(size);
+        id
+    }
+
+    /// Adds a net with capacity `capacity` over the given pins and returns
+    /// its id. Duplicate pins are collapsed.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UnknownNode`] if a pin references a node that has
+    ///   not been added yet.
+    /// * [`NetlistError::NetTooSmall`] if fewer than two *distinct* pins are
+    ///   given (the HTP formulation requires `|e| >= 2`).
+    /// * [`NetlistError::InvalidWeight`] if `capacity` is not finite and
+    ///   positive.
+    pub fn add_net<I>(&mut self, capacity: f64, pins: I) -> Result<NetId, NetlistError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(NetlistError::InvalidWeight {
+                what: "net capacity must be finite and positive",
+            });
+        }
+        let mut pins: Vec<NodeId> = pins.into_iter().collect();
+        pins.sort_unstable();
+        pins.dedup();
+        for &p in &pins {
+            if p.index() >= self.node_size.len() {
+                return Err(NetlistError::UnknownNode {
+                    node: p.0,
+                    num_nodes: self.node_size.len(),
+                });
+            }
+        }
+        if pins.len() < 2 {
+            return Err(NetlistError::NetTooSmall { pins: pins.len() });
+        }
+        let id = NetId::new(self.net_capacity.len());
+        self.net_capacity.push(capacity);
+        self.net_pins.push(pins);
+        Ok(id)
+    }
+
+    /// Like [`add_net`](HypergraphBuilder::add_net) but silently drops nets
+    /// with fewer than two distinct pins instead of failing. Returns the id
+    /// if the net was added.
+    ///
+    /// Generators that thin out pin lists probabilistically use this to
+    /// avoid an error path for degenerate nets.
+    ///
+    /// # Errors
+    ///
+    /// Same as `add_net` except that [`NetlistError::NetTooSmall`] is mapped
+    /// to `Ok(None)`.
+    pub fn add_net_lenient<I>(
+        &mut self,
+        capacity: f64,
+        pins: I,
+    ) -> Result<Option<NetId>, NetlistError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        match self.add_net(capacity, pins) {
+            Ok(id) => Ok(Some(id)),
+            Err(NetlistError::NetTooSmall { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Packs the builder into an immutable [`Hypergraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidWeight`] if any node has size zero.
+    pub fn build(self) -> Result<Hypergraph, NetlistError> {
+        if self.node_size.iter().any(|&s| s == 0) {
+            return Err(NetlistError::InvalidWeight {
+                what: "node size must be at least 1",
+            });
+        }
+
+        let n = self.node_size.len();
+        let m = self.net_capacity.len();
+        let total_pins: usize = self.net_pins.iter().map(Vec::len).sum();
+
+        // Net -> pins CSR.
+        let mut net_off = Vec::with_capacity(m + 1);
+        let mut pins = Vec::with_capacity(total_pins);
+        net_off.push(0u32);
+        for p in &self.net_pins {
+            pins.extend_from_slice(p);
+            net_off.push(pins.len() as u32);
+        }
+
+        // Node -> nets CSR via counting sort.
+        let mut degree = vec![0u32; n];
+        for p in &self.net_pins {
+            for &v in p {
+                degree[v.index()] += 1;
+            }
+        }
+        let mut node_off = Vec::with_capacity(n + 1);
+        node_off.push(0u32);
+        for v in 0..n {
+            node_off.push(node_off[v] + degree[v]);
+        }
+        let mut cursor: Vec<u32> = node_off[..n].to_vec();
+        let mut node_nets = vec![NetId(0); total_pins];
+        for (e, p) in self.net_pins.iter().enumerate() {
+            for &v in p {
+                node_nets[cursor[v.index()] as usize] = NetId::new(e);
+                cursor[v.index()] += 1;
+            }
+        }
+
+        Ok(Hypergraph {
+            node_size: self.node_size,
+            net_capacity: self.net_capacity,
+            net_off,
+            pins,
+            node_off,
+            node_nets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_pins_are_collapsed() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        let e = b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(0)]).unwrap();
+        let h = b.build().unwrap();
+        assert_eq!(h.net_pins(e), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let mut b = HypergraphBuilder::with_unit_nodes(1);
+        let err = b.add_net(1.0, [NodeId(0), NodeId(5)]).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownNode { node: 5, .. }));
+    }
+
+    #[test]
+    fn single_pin_net_is_rejected_strictly_but_dropped_leniently() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        assert!(matches!(
+            b.add_net(1.0, [NodeId(0), NodeId(0)]),
+            Err(NetlistError::NetTooSmall { pins: 1 })
+        ));
+        assert_eq!(b.add_net_lenient(1.0, [NodeId(0)]).unwrap(), None);
+        assert!(b.add_net_lenient(1.0, [NodeId(0), NodeId(1)]).unwrap().is_some());
+        assert_eq!(b.build().unwrap().num_nets(), 1);
+    }
+
+    #[test]
+    fn nonpositive_capacity_is_rejected() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(b.add_net(bad, [NodeId(0), NodeId(1)]).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_size_node_fails_at_build() {
+        let mut b = HypergraphBuilder::new();
+        b.add_node(0);
+        assert!(matches!(b.build(), Err(NetlistError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn empty_hypergraph_builds() {
+        let h = HypergraphBuilder::new().build().unwrap();
+        assert_eq!(h.num_nodes(), 0);
+        assert_eq!(h.num_nets(), 0);
+        assert_eq!(h.num_pins(), 0);
+    }
+
+    #[test]
+    fn node_net_csr_matches_net_pin_csr() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        b.add_net(1.0, [NodeId(0), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        for v in h.nodes() {
+            for &e in h.node_nets(v) {
+                assert!(h.net_pins(e).contains(&v));
+            }
+        }
+        for e in h.nets() {
+            for &v in h.net_pins(e) {
+                assert!(h.node_nets(v).contains(&e));
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for netlist construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, validating, reading, or writing netlists.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net referenced a node id that has not been added.
+    UnknownNode {
+        /// The offending raw node index.
+        node: u32,
+        /// Number of nodes that exist.
+        num_nodes: usize,
+    },
+    /// A net was given fewer than two distinct pins.
+    ///
+    /// The hierarchical tree partitioning formulation requires `|e| >= 2`;
+    /// single-pin nets never contribute cost and are rejected so that they
+    /// cannot silently skew pin statistics.
+    NetTooSmall {
+        /// Distinct pin count supplied.
+        pins: usize,
+    },
+    /// A node size or net capacity was invalid (zero, negative, or NaN).
+    InvalidWeight {
+        /// Human-readable description of what was invalid.
+        what: &'static str,
+    },
+    /// A text format could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode { node, num_nodes } => {
+                write!(f, "net references node {node} but only {num_nodes} nodes exist")
+            }
+            NetlistError::NetTooSmall { pins } => {
+                write!(f, "net has {pins} distinct pins, at least 2 are required")
+            }
+            NetlistError::InvalidWeight { what } => write!(f, "invalid weight: {what}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetlistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetlistError {
+    fn from(e: io::Error) -> Self {
+        NetlistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = NetlistError::UnknownNode { node: 9, num_nodes: 4 };
+        assert_eq!(e.to_string(), "net references node 9 but only 4 nodes exist");
+        let e = NetlistError::NetTooSmall { pins: 1 };
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = NetlistError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Planted-cluster hypergraphs with a known ground-truth partition.
+
+use rand::{Rng, RngExt};
+
+use crate::{Hypergraph, HypergraphBuilder, NodeId};
+
+/// Parameters for [`clustered_hypergraph`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusteredParams {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Nodes per cluster.
+    pub cluster_size: usize,
+    /// Nets fully inside some cluster.
+    pub intra_nets: usize,
+    /// Nets spanning exactly two clusters.
+    pub inter_nets: usize,
+    /// Net cardinality range (inclusive), at least 2.
+    pub min_net_size: usize,
+    /// Maximum net cardinality (inclusive).
+    pub max_net_size: usize,
+}
+
+impl Default for ClusteredParams {
+    fn default() -> Self {
+        ClusteredParams {
+            clusters: 4,
+            cluster_size: 16,
+            intra_nets: 160,
+            inter_nets: 12,
+            min_net_size: 2,
+            max_net_size: 3,
+        }
+    }
+}
+
+/// A generated planted-cluster instance.
+#[derive(Clone, Debug)]
+pub struct ClusteredInstance {
+    /// The hypergraph.
+    pub hypergraph: Hypergraph,
+    /// `cluster_of[v.index()]` is the planted cluster of node `v`.
+    pub cluster_of: Vec<usize>,
+}
+
+/// Generates a hypergraph whose nodes fall into `clusters` equal groups.
+/// `intra_nets` nets have all pins inside one uniformly chosen cluster;
+/// `inter_nets` nets split their pins across two distinct clusters. The
+/// planted assignment is returned so tests can measure recovery.
+///
+/// # Panics
+///
+/// Panics if the net-size range is invalid or a cluster is smaller than the
+/// largest net.
+pub fn clustered_hypergraph<R: Rng + ?Sized>(
+    params: ClusteredParams,
+    rng: &mut R,
+) -> ClusteredInstance {
+    assert!(params.min_net_size >= 2, "nets need at least 2 pins");
+    assert!(params.min_net_size <= params.max_net_size, "empty net-size range");
+    assert!(
+        params.cluster_size >= params.max_net_size,
+        "cluster smaller than the largest net"
+    );
+    assert!(params.clusters >= 1, "need at least one cluster");
+
+    let n = params.clusters * params.cluster_size;
+    let mut b = HypergraphBuilder::with_unit_nodes(n);
+    let node_in = |cluster: usize, offset: usize| NodeId::new(cluster * params.cluster_size + offset);
+
+    let mut scratch: Vec<NodeId> = Vec::new();
+    let sample_in_cluster = |rng: &mut R, cluster: usize, k: usize, scratch: &mut Vec<NodeId>| {
+        while scratch.len() < k {
+            let v = node_in(cluster, rng.random_range(0..params.cluster_size));
+            if !scratch.contains(&v) {
+                scratch.push(v);
+            }
+        }
+    };
+
+    for _ in 0..params.intra_nets {
+        let k = rng.random_range(params.min_net_size..=params.max_net_size);
+        let c = rng.random_range(0..params.clusters);
+        scratch.clear();
+        sample_in_cluster(rng, c, k, &mut scratch);
+        b.add_net(1.0, scratch.iter().copied()).expect("valid intra-cluster net");
+    }
+
+    for _ in 0..params.inter_nets {
+        let k = rng.random_range(params.min_net_size..=params.max_net_size);
+        let c1 = rng.random_range(0..params.clusters);
+        let c2 = if params.clusters == 1 {
+            c1
+        } else {
+            // Rejection-free pick of a second, distinct cluster.
+            let raw = rng.random_range(0..params.clusters - 1);
+            if raw >= c1 { raw + 1 } else { raw }
+        };
+        scratch.clear();
+        // At least one pin in each side.
+        sample_in_cluster(rng, c1, k / 2 + k % 2, &mut scratch);
+        let first_half = scratch.len();
+        while scratch.len() < k + first_half.saturating_sub(k / 2 + k % 2) {
+            let v = node_in(c2, rng.random_range(0..params.cluster_size));
+            if !scratch.contains(&v) {
+                scratch.push(v);
+            }
+            if scratch.len() - first_half == k - (k / 2 + k % 2) {
+                break;
+            }
+        }
+        b.add_net(1.0, scratch.iter().copied()).expect("valid inter-cluster net");
+    }
+
+    let cluster_of = (0..n).map(|v| v / params.cluster_size).collect();
+    ClusteredInstance {
+        hypergraph: b.build().expect("generated hypergraph is structurally valid"),
+        cluster_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_structure_holds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = ClusteredParams::default();
+        let inst = clustered_hypergraph(p, &mut rng);
+        let h = &inst.hypergraph;
+        assert_eq!(h.num_nodes(), 64);
+        assert_eq!(h.num_nets(), p.intra_nets + p.inter_nets);
+        validate::assert_valid(h);
+
+        // Count how many nets actually span more than one planted cluster.
+        let spanning = h
+            .nets()
+            .filter(|&e| {
+                let pins = h.net_pins(e);
+                let c0 = inst.cluster_of[pins[0].index()];
+                pins.iter().any(|v| inst.cluster_of[v.index()] != c0)
+            })
+            .count();
+        assert_eq!(spanning, p.inter_nets);
+    }
+
+    #[test]
+    fn single_cluster_degenerates_gracefully() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ClusteredParams { clusters: 1, inter_nets: 4, ..ClusteredParams::default() };
+        let inst = clustered_hypergraph(p, &mut rng);
+        assert_eq!(inst.hypergraph.num_nodes(), 16);
+        validate::assert_valid(&inst.hypergraph);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let p = ClusteredParams::default();
+        let a = clustered_hypergraph(p, &mut StdRng::seed_from_u64(5)).hypergraph;
+        let b = clustered_hypergraph(p, &mut StdRng::seed_from_u64(5)).hypergraph;
+        assert_eq!(a, b);
+    }
+}

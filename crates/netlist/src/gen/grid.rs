@@ -1,0 +1,136 @@
+//! Regular adder-array circuits (the c6288 structure class).
+//!
+//! The ISCAS85 circuit c6288 is a 16×16 combinational multiplier: a dense,
+//! completely regular carry-save adder array with only nearest-neighbour
+//! wiring plus operand-broadcast nets. Such meshes have *no* cluster
+//! hierarchy — every balanced cut costs about the same — which is exactly why
+//! the paper's flow-based method loses its advantage there. This generator
+//! reproduces that structure at arbitrary scale.
+
+use crate::{Hypergraph, HypergraphBuilder, NodeId};
+
+/// Parameters for [`grid_array`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridParams {
+    /// Number of cell rows.
+    pub rows: usize,
+    /// Number of cell columns.
+    pub cols: usize,
+    /// Number of operand-driver nodes per side (broadcast nets). Zero
+    /// disables operand nets.
+    pub operand_drivers: usize,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        GridParams { rows: 16, cols: 16, operand_drivers: 16 }
+    }
+}
+
+/// Generates a carry-save-adder-array surrogate.
+///
+/// Layout: `rows × cols` unit-size full-adder cells in row-major order,
+/// followed by `2 · operand_drivers` operand drivers. Nets:
+///
+/// * **sum nets** — each cell drives the cell directly below (2 pins),
+/// * **carry nets** — each cell drives the cell below-left (2 pins),
+/// * **operand nets** — driver `a_i` broadcasts to the cells of row-group
+///   `i`, driver `b_j` to column-group `j` (high fan-out, like partial
+///   product inputs).
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn grid_array(params: GridParams) -> Hypergraph {
+    assert!(params.rows >= 1 && params.cols >= 1, "grid must be non-empty");
+    let GridParams { rows, cols, operand_drivers } = params;
+
+    let cell = |r: usize, c: usize| NodeId::new(r * cols + c);
+    let num_cells = rows * cols;
+    let mut b = HypergraphBuilder::with_unit_nodes(num_cells + 2 * operand_drivers);
+
+    // Sum chains: straight down.
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols {
+            b.add_net(1.0, [cell(r, c), cell(r + 1, c)])
+                .expect("grid pins are in range");
+        }
+    }
+    // Carry chains: down-left diagonal.
+    for r in 0..rows.saturating_sub(1) {
+        for c in 1..cols {
+            b.add_net(1.0, [cell(r, c), cell(r + 1, c - 1)])
+                .expect("grid pins are in range");
+        }
+    }
+    // Final-row ripple: horizontal chain along the bottom.
+    for c in 0..cols.saturating_sub(1) {
+        b.add_net(1.0, [cell(rows - 1, c), cell(rows - 1, c + 1)])
+            .expect("grid pins are in range");
+    }
+
+    // Operand broadcasts.
+    if operand_drivers > 0 {
+        for i in 0..operand_drivers {
+            let a_driver = NodeId::new(num_cells + i);
+            let row_lo = i * rows / operand_drivers;
+            let row_hi = ((i + 1) * rows / operand_drivers).max(row_lo + 1).min(rows);
+            let pins = std::iter::once(a_driver)
+                .chain((row_lo..row_hi).flat_map(|r| (0..cols).map(move |c| r * cols + c)).map(NodeId::new));
+            b.add_net_lenient(1.0, pins).expect("pins in range");
+
+            let b_driver = NodeId::new(num_cells + operand_drivers + i);
+            let col_lo = i * cols / operand_drivers;
+            let col_hi = ((i + 1) * cols / operand_drivers).max(col_lo + 1).min(cols);
+            let pins = std::iter::once(b_driver)
+                .chain((0..rows).flat_map(|r| (col_lo..col_hi).map(move |c| r * cols + c)).map(NodeId::new));
+            b.add_net_lenient(1.0, pins).expect("pins in range");
+        }
+    }
+
+    b.build().expect("generated hypergraph is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn shape_matches_formula() {
+        let p = GridParams { rows: 4, cols: 5, operand_drivers: 2 };
+        let h = grid_array(p);
+        assert_eq!(h.num_nodes(), 20 + 4);
+        // sums: 3*5, carries: 3*4, ripple: 4, operands: 4.
+        assert_eq!(h.num_nets(), 15 + 12 + 4 + 4);
+        validate::assert_valid(&h);
+    }
+
+    #[test]
+    fn local_nets_are_two_pin() {
+        let h = grid_array(GridParams { rows: 3, cols: 3, operand_drivers: 0 });
+        for e in h.nets() {
+            assert_eq!(h.net_pins(e).len(), 2);
+        }
+    }
+
+    #[test]
+    fn operand_nets_are_high_fanout() {
+        let p = GridParams { rows: 8, cols: 8, operand_drivers: 4 };
+        let h = grid_array(p);
+        assert!(h.max_net_size() >= 1 + 2 * 8, "broadcast nets should be wide");
+    }
+
+    #[test]
+    fn single_cell_grid_has_no_local_nets() {
+        let h = grid_array(GridParams { rows: 1, cols: 1, operand_drivers: 0 });
+        assert_eq!(h.num_nodes(), 1);
+        assert_eq!(h.num_nets(), 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let p = GridParams::default();
+        assert_eq!(grid_array(p), grid_array(p));
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic surrogates for the ISCAS85 circuits used in the paper.
+//!
+//! The original MCNC netlists cannot be redistributed, so each circuit is
+//! replaced by a generated surrogate of the same scale and structure class
+//! (see `DESIGN.md` for the substitution argument):
+//!
+//! * c2670, c3540, c5315, c7552 — Rent's-rule hierarchical random logic
+//!   ([`crate::gen::rent`]), with locality chosen per circuit: control-heavy
+//!   c2670/c7552 are strongly clustered, the ALU-like c3540/c5315 less so.
+//! * c6288 — a regular multiplier array ([`crate::gen::grid`]).
+//!
+//! Node counts equal the published gate + primary-input counts of the real
+//! circuits.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::grid::{grid_array, GridParams};
+use crate::gen::rent::{rent_circuit, RentParams};
+use crate::Hypergraph;
+
+/// The structure class used for a surrogate circuit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CircuitStyle {
+    /// Hierarchical random logic with the given locality.
+    RandomLogic {
+        /// Locality parameter passed to [`RentParams`].
+        locality: f64,
+    },
+    /// Regular multiplier-style adder array.
+    MultiplierArray {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+}
+
+/// Profile of one ISCAS85 circuit: published scale plus surrogate style.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CircuitProfile {
+    /// Circuit name, e.g. `"c2670"`.
+    pub name: &'static str,
+    /// Published gate count of the real circuit.
+    pub gates: usize,
+    /// Published primary-input count of the real circuit.
+    pub primary_inputs: usize,
+    /// Surrogate structure class.
+    pub style: CircuitStyle,
+}
+
+impl CircuitProfile {
+    /// Total node count of the surrogate (gates plus input drivers).
+    pub fn nodes(&self) -> usize {
+        match self.style {
+            CircuitStyle::RandomLogic { .. } => self.gates + self.primary_inputs,
+            CircuitStyle::MultiplierArray { rows, cols } => {
+                rows * cols + 2 * (self.primary_inputs / 2)
+            }
+        }
+    }
+}
+
+/// The five test cases of the paper's Table 1, in table order.
+pub const PROFILES: [CircuitProfile; 5] = [
+    CircuitProfile {
+        name: "c2670",
+        gates: 1193,
+        primary_inputs: 233,
+        style: CircuitStyle::RandomLogic { locality: 0.82 },
+    },
+    CircuitProfile {
+        name: "c3540",
+        gates: 1669,
+        primary_inputs: 50,
+        style: CircuitStyle::RandomLogic { locality: 0.72 },
+    },
+    CircuitProfile {
+        name: "c5315",
+        gates: 2307,
+        primary_inputs: 178,
+        style: CircuitStyle::RandomLogic { locality: 0.74 },
+    },
+    CircuitProfile {
+        name: "c6288",
+        gates: 2406,
+        primary_inputs: 32,
+        style: CircuitStyle::MultiplierArray { rows: 48, cols: 50 },
+    },
+    CircuitProfile {
+        name: "c7552",
+        gates: 3512,
+        primary_inputs: 207,
+        style: CircuitStyle::RandomLogic { locality: 0.80 },
+    },
+];
+
+/// Looks up a profile by circuit name.
+pub fn profile(name: &str) -> Option<CircuitProfile> {
+    PROFILES.iter().copied().find(|p| p.name == name)
+}
+
+/// Generates the surrogate netlist of `profile`, deterministically derived
+/// from `seed`.
+pub fn surrogate(profile: CircuitProfile, seed: u64) -> Hypergraph {
+    // Mix in a stable per-circuit tag so `seed` can be shared across circuits
+    // without producing correlated instances.
+    let tag: u64 = profile
+        .name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
+    let mut rng = StdRng::seed_from_u64(seed ^ tag);
+
+    match profile.style {
+        CircuitStyle::RandomLogic { locality } => rent_circuit(
+            RentParams {
+                nodes: profile.gates + profile.primary_inputs,
+                primary_inputs: profile.primary_inputs,
+                locality,
+                branching: 4,
+                leaf_size: 8,
+                min_fanin: 1,
+                max_fanin: 3,
+                pi_input_fraction: 0.04,
+            },
+            &mut rng,
+        ),
+        CircuitStyle::MultiplierArray { rows, cols } => grid_array(GridParams {
+            rows,
+            cols,
+            operand_drivers: profile.primary_inputs / 2,
+        }),
+    }
+}
+
+/// Generates the surrogate for a circuit by name.
+///
+/// Returns `None` for names outside the paper's five test cases.
+pub fn surrogate_by_name(name: &str, seed: u64) -> Option<Hypergraph> {
+    profile(name).map(|p| surrogate(p, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn all_profiles_generate_valid_netlists() {
+        for p in PROFILES {
+            let h = surrogate(p, 1);
+            validate::assert_valid(&h);
+            assert_eq!(h.num_nodes(), p.nodes(), "{}", p.name);
+            assert!(h.num_nets() > p.nodes() / 2, "{} too few nets", p.name);
+        }
+    }
+
+    #[test]
+    fn scale_tracks_the_published_counts() {
+        assert_eq!(profile("c2670").unwrap().nodes(), 1426);
+        assert_eq!(profile("c7552").unwrap().nodes(), 3719);
+        assert_eq!(profile("c6288").unwrap().nodes(), 48 * 50 + 32);
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        assert!(profile("c17").is_none());
+        assert!(surrogate_by_name("s38417", 0).is_none());
+    }
+
+    #[test]
+    fn per_circuit_seeding_is_decorrelated_but_deterministic() {
+        let a1 = surrogate_by_name("c2670", 3).unwrap();
+        let a2 = surrogate_by_name("c2670", 3).unwrap();
+        assert_eq!(a1, a2);
+        let b = surrogate_by_name("c3540", 3).unwrap();
+        assert_ne!(a1.num_nodes(), b.num_nodes());
+    }
+
+    #[test]
+    fn c6288_is_mostly_two_pin_nets() {
+        let h = surrogate_by_name("c6288", 0).unwrap();
+        let two_pin = h.nets().filter(|&e| h.net_pins(e).len() == 2).count();
+        assert!(two_pin as f64 > 0.9 * h.num_nets() as f64);
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthetic netlist generators.
+//!
+//! The paper evaluates on MCNC/ISCAS85 netlists that are not redistributable;
+//! these generators produce deterministic surrogates with the same scale and
+//! — more importantly — the same *structure* classes:
+//!
+//! * [`random`] — structureless uniform hypergraphs (null model),
+//! * [`clustered`] — planted-cluster hypergraphs with a known ground truth,
+//! * [`rent`] — Rent's-rule hierarchical random logic, the structure class of
+//!   c2670/c3540/c5315/c7552,
+//! * [`grid`] — regular adder-array circuits, the structure class of the
+//!   c6288 multiplier,
+//! * [`iscas`] — named surrogate profiles tying the above to the five
+//!   ISCAS85 circuits of the paper's Table 1.
+
+pub mod clustered;
+pub mod grid;
+pub mod iscas;
+pub mod random;
+pub mod rent;

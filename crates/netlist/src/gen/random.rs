@@ -1,0 +1,104 @@
+//! Structureless uniform random hypergraphs.
+
+use rand::{Rng, RngExt};
+
+use crate::{Hypergraph, HypergraphBuilder, NodeId};
+
+/// Parameters for [`random_hypergraph`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Minimum net cardinality (at least 2).
+    pub min_net_size: usize,
+    /// Maximum net cardinality (inclusive).
+    pub max_net_size: usize,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        RandomParams { nodes: 64, nets: 128, min_net_size: 2, max_net_size: 4 }
+    }
+}
+
+/// Generates a uniform random hypergraph: each net's cardinality is drawn
+/// uniformly from `[min_net_size, max_net_size]` and its pins uniformly
+/// without replacement from all nodes. All sizes and capacities are 1.
+///
+/// This is the structureless null model: partitioning it well is essentially
+/// impossible, which makes it useful for sanity-checking that algorithms do
+/// not hallucinate structure.
+///
+/// # Panics
+///
+/// Panics if `nodes < max_net_size` or `min_net_size < 2` or
+/// `min_net_size > max_net_size`.
+pub fn random_hypergraph<R: Rng + ?Sized>(params: RandomParams, rng: &mut R) -> Hypergraph {
+    assert!(params.min_net_size >= 2, "nets need at least 2 pins");
+    assert!(params.min_net_size <= params.max_net_size, "empty net-size range");
+    assert!(params.nodes >= params.max_net_size, "not enough nodes for the largest net");
+
+    let mut b = HypergraphBuilder::with_unit_nodes(params.nodes);
+    let mut scratch: Vec<usize> = Vec::new();
+    for _ in 0..params.nets {
+        let k = rng.random_range(params.min_net_size..=params.max_net_size);
+        scratch.clear();
+        while scratch.len() < k {
+            let v = rng.random_range(0..params.nodes);
+            if !scratch.contains(&v) {
+                scratch.push(v);
+            }
+        }
+        b.add_net(1.0, scratch.iter().map(|&v| NodeId::new(v)))
+            .expect("sampled pins are distinct and in range");
+    }
+    b.build().expect("generated hypergraph is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = RandomParams { nodes: 50, nets: 80, min_net_size: 2, max_net_size: 5 };
+        let h = random_hypergraph(p, &mut rng);
+        assert_eq!(h.num_nodes(), 50);
+        assert_eq!(h.num_nets(), 80);
+        for e in h.nets() {
+            let k = h.net_pins(e).len();
+            assert!((2..=5).contains(&k));
+        }
+        validate::assert_valid(&h);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let p = RandomParams::default();
+        let h1 = random_hypergraph(p, &mut StdRng::seed_from_u64(42));
+        let h2 = random_hypergraph(p, &mut StdRng::seed_from_u64(42));
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = RandomParams::default();
+        let h1 = random_hypergraph(p, &mut StdRng::seed_from_u64(1));
+        let h2 = random_hypergraph(p, &mut StdRng::seed_from_u64(2));
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 pins")]
+    fn rejects_tiny_nets() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = RandomParams { min_net_size: 1, ..RandomParams::default() };
+        let _ = random_hypergraph(p, &mut rng);
+    }
+}

@@ -1,0 +1,214 @@
+//! Rent's-rule hierarchical random logic.
+//!
+//! Real random-logic circuits (the c2670/c3540/c5315/c7552 class) exhibit
+//! *hierarchical locality*: most connections stay inside small modules, and
+//! the number of wires crossing a module boundary grows sublinearly with
+//! module size (Rent's rule). This generator reproduces that structure by
+//! laying nodes out on an implicit module hierarchy and sampling each gate
+//! input from an enclosing module whose level follows a geometric
+//! distribution — the classic GNL/statistical-design approach.
+
+use rand::{Rng, RngExt};
+
+use crate::{Hypergraph, HypergraphBuilder, NodeId};
+
+/// Parameters for [`rent_circuit`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RentParams {
+    /// Total node count (gates plus primary-input drivers).
+    pub nodes: usize,
+    /// Number of primary-input driver nodes, spread uniformly through the
+    /// index space so every module sees some.
+    pub primary_inputs: usize,
+    /// Probability that an input connection stays at the current hierarchy
+    /// level instead of escalating one level up. Higher values mean stronger
+    /// clustering; `0.0` degenerates to uniform random wiring.
+    pub locality: f64,
+    /// Fan-out factor of the module hierarchy (children per module).
+    pub branching: usize,
+    /// Size of the smallest (leaf) modules.
+    pub leaf_size: usize,
+    /// Minimum gate fan-in.
+    pub min_fanin: usize,
+    /// Maximum gate fan-in (inclusive).
+    pub max_fanin: usize,
+    /// Probability that an input is rewired to a random primary input,
+    /// modelling global control/data signals.
+    pub pi_input_fraction: f64,
+}
+
+impl Default for RentParams {
+    fn default() -> Self {
+        RentParams {
+            nodes: 512,
+            primary_inputs: 32,
+            locality: 0.72,
+            branching: 4,
+            leaf_size: 8,
+            min_fanin: 1,
+            max_fanin: 3,
+            pi_input_fraction: 0.05,
+        }
+    }
+}
+
+impl RentParams {
+    /// Number of levels in the implicit module hierarchy above the leaves.
+    pub fn depth(&self) -> usize {
+        let mut width = self.leaf_size.max(1);
+        let mut depth = 0;
+        while width < self.nodes {
+            width = width.saturating_mul(self.branching.max(2));
+            depth += 1;
+        }
+        depth
+    }
+
+    fn validate(&self) {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(self.primary_inputs >= 1, "need at least one primary input");
+        assert!(self.primary_inputs < self.nodes, "primary inputs must leave room for gates");
+        assert!((0.0..=1.0).contains(&self.locality), "locality must be a probability");
+        assert!((0.0..=1.0).contains(&self.pi_input_fraction), "pi fraction must be a probability");
+        assert!(self.branching >= 2, "branching must be at least 2");
+        assert!(self.leaf_size >= 2, "leaf modules must hold at least 2 nodes");
+        assert!(self.min_fanin >= 1 && self.min_fanin <= self.max_fanin, "bad fan-in range");
+    }
+}
+
+/// Generates a hierarchical random-logic netlist.
+///
+/// Every node is unit size; every net is the output net of one driver node
+/// (the driver plus its sampled sinks), capacity 1. Nodes whose output is
+/// never used produce no net, exactly like unloaded gates in a real netlist.
+///
+/// # Panics
+///
+/// Panics if the parameters are out of range (see [`RentParams`] field docs).
+pub fn rent_circuit<R: Rng + ?Sized>(params: RentParams, rng: &mut R) -> Hypergraph {
+    params.validate();
+    let n = params.nodes;
+    let depth = params.depth();
+
+    // Primary inputs are spread with a fixed stride so each region of the
+    // hierarchy has local access to some.
+    let pi_stride = n / params.primary_inputs;
+    let is_pi = |v: usize| v % pi_stride == 0 && v / pi_stride < params.primary_inputs;
+    let pi_index = |k: usize| k * pi_stride;
+
+    // sinks[u] collects the gates whose inputs are driven by u.
+    let mut sinks: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    for gate in 0..n {
+        if is_pi(gate) {
+            continue; // primary inputs have no inputs of their own
+        }
+        let fanin = rng.random_range(params.min_fanin..=params.max_fanin);
+        for _ in 0..fanin {
+            let src = if rng.random_bool(params.pi_input_fraction) {
+                pi_index(rng.random_range(0..params.primary_inputs))
+            } else {
+                // Escalate the module level geometrically, then sample
+                // uniformly inside the chosen enclosing module.
+                let mut level = 0;
+                while level < depth && !rng.random_bool(params.locality) {
+                    level += 1;
+                }
+                let width = module_width(params, level).min(n);
+                let start = (gate / width) * width;
+                let end = (start + width).min(n);
+                rng.random_range(start..end)
+            };
+            if src != gate {
+                sinks[src].push(gate as u32);
+            }
+        }
+    }
+
+    let mut b = HypergraphBuilder::with_unit_nodes(n);
+    for (driver, sink_list) in sinks.iter().enumerate() {
+        if sink_list.is_empty() {
+            continue;
+        }
+        let pins = std::iter::once(NodeId::new(driver))
+            .chain(sink_list.iter().map(|&s| NodeId(s)));
+        b.add_net_lenient(1.0, pins)
+            .expect("pins reference existing nodes");
+    }
+    b.build().expect("generated hypergraph is structurally valid")
+}
+
+fn module_width(params: RentParams, level: usize) -> usize {
+    let mut width = params.leaf_size;
+    for _ in 0..level {
+        width = width.saturating_mul(params.branching);
+    }
+    width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn external_nets(h: &Hypergraph, block: std::ops::Range<usize>) -> usize {
+        h.nets()
+            .filter(|&e| {
+                let pins = h.net_pins(e);
+                let inside = pins.iter().filter(|v| block.contains(&v.index())).count();
+                inside > 0 && inside < pins.len()
+            })
+            .count()
+    }
+
+    #[test]
+    fn produces_valid_netlist_of_requested_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RentParams::default();
+        let h = rent_circuit(p, &mut rng);
+        assert_eq!(h.num_nodes(), 512);
+        assert!(h.num_nets() > 300, "most drivers should be loaded");
+        assert!(h.num_pins() > h.num_nets());
+        validate::assert_valid(&h);
+    }
+
+    #[test]
+    fn locality_reduces_boundary_crossings() {
+        // With strong locality the first quarter of the index space (one
+        // aligned module) should have far fewer external nets than with no
+        // locality at all.
+        let tight = RentParams { locality: 0.9, ..RentParams::default() };
+        let loose = RentParams { locality: 0.0, ..RentParams::default() };
+        let h_tight = rent_circuit(tight, &mut StdRng::seed_from_u64(9));
+        let h_loose = rent_circuit(loose, &mut StdRng::seed_from_u64(9));
+        let cut_tight = external_nets(&h_tight, 0..128);
+        let cut_loose = external_nets(&h_loose, 0..128);
+        assert!(
+            cut_tight * 2 < cut_loose,
+            "expected locality to at least halve the cut: {cut_tight} vs {cut_loose}"
+        );
+    }
+
+    #[test]
+    fn depth_matches_geometry() {
+        let p = RentParams { nodes: 512, leaf_size: 8, branching: 4, ..RentParams::default() };
+        assert_eq!(p.depth(), 3); // 8 -> 32 -> 128 -> 512
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let p = RentParams::default();
+        let a = rent_circuit(p, &mut StdRng::seed_from_u64(77));
+        let b = rent_circuit(p, &mut StdRng::seed_from_u64(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality")]
+    fn rejects_bad_locality() {
+        let p = RentParams { locality: 1.5, ..RentParams::default() };
+        let _ = rent_circuit(p, &mut StdRng::seed_from_u64(0));
+    }
+}

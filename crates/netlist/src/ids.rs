@@ -1,0 +1,96 @@
+//! Typed indices for nodes and nets.
+
+use std::fmt;
+
+/// Index of a node (cell) in a [`crate::Hypergraph`].
+///
+/// Node ids are dense: a hypergraph with `n` nodes uses exactly the ids
+/// `0..n`. The newtype prevents accidentally using a node id where a net id
+/// is expected and vice versa.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+/// Index of a net (hyperedge) in a [`crate::Hypergraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NetId(pub u32);
+
+macro_rules! impl_id {
+    ($name:ident, $letter:literal) => {
+        impl $name {
+            /// Creates an id from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index exceeds u32::MAX"))
+            }
+
+            /// Returns the id as a `usize` suitable for slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "v");
+impl_id!(NetId, "e");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_usize() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn display_uses_domain_prefixes() {
+        assert_eq!(NodeId::new(3).to_string(), "v3");
+        assert_eq!(NetId::new(7).to_string(), "e7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(NetId::new(0) < NetId::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

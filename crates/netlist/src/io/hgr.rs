@@ -1,0 +1,250 @@
+//! hMETIS `.hgr` hypergraph format.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! % comments start with a percent sign
+//! <num_nets> <num_nodes> [fmt]
+//! [net capacity] pin pin pin ...        (one line per net, pins 1-indexed)
+//! ...
+//! [node size]                           (one line per node, if fmt has 10-bit)
+//! ```
+//!
+//! `fmt` is `1` when nets carry capacities, `10` when nodes carry sizes, and
+//! `11` for both; it is omitted (or `0`) for the fully unweighted case.
+
+use std::io::{BufRead, Write};
+
+use crate::{Hypergraph, HypergraphBuilder, NetlistError, NodeId};
+
+/// Reads a hypergraph in hMETIS format from `reader`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed content (wrong counts,
+/// out-of-range pins, bad weights, unknown fmt code) and
+/// [`NetlistError::Io`] on read failures.
+pub fn read<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
+    let mut lines = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        lines.push((idx + 1, trimmed.to_owned()));
+    }
+    let mut it = lines.into_iter();
+
+    let (hline, header) = it.next().ok_or(NetlistError::Parse {
+        line: 1,
+        message: "missing header line".into(),
+    })?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 2 || fields.len() > 3 {
+        return Err(NetlistError::Parse {
+            line: hline,
+            message: format!("header must be `<nets> <nodes> [fmt]`, got {} fields", fields.len()),
+        });
+    }
+    let num_nets: usize = parse(fields[0], hline)?;
+    let num_nodes: usize = parse(fields[1], hline)?;
+    let fmt: u32 = if fields.len() == 3 { parse(fields[2], hline)? } else { 0 };
+    let (net_weights, node_weights) = match fmt {
+        0 => (false, false),
+        1 => (true, false),
+        10 => (false, true),
+        11 => (true, true),
+        other => {
+            return Err(NetlistError::Parse {
+                line: hline,
+                message: format!("unknown fmt code {other}"),
+            })
+        }
+    };
+
+    let mut builder = HypergraphBuilder::with_unit_nodes(num_nodes);
+    let mut nets = Vec::with_capacity(num_nets);
+    for _ in 0..num_nets {
+        let (lno, line) = it.next().ok_or(NetlistError::Parse {
+            line: hline,
+            message: format!("expected {num_nets} net lines, file ended early"),
+        })?;
+        let mut fields = line.split_whitespace();
+        let capacity = if net_weights {
+            let raw = fields.next().ok_or_else(|| NetlistError::Parse {
+                line: lno,
+                message: "missing net capacity".into(),
+            })?;
+            parse::<f64>(raw, lno)?
+        } else {
+            1.0
+        };
+        let mut pins = Vec::new();
+        for raw in fields {
+            let one_based: usize = parse(raw, lno)?;
+            if one_based == 0 || one_based > num_nodes {
+                return Err(NetlistError::Parse {
+                    line: lno,
+                    message: format!("pin {one_based} out of range 1..={num_nodes}"),
+                });
+            }
+            pins.push(NodeId::new(one_based - 1));
+        }
+        nets.push((lno, capacity, pins));
+    }
+
+    if node_weights {
+        let mut sizes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let (lno, line) = it.next().ok_or(NetlistError::Parse {
+                line: hline,
+                message: format!("expected {num_nodes} node-weight lines, file ended early"),
+            })?;
+            sizes.push(parse::<u64>(line.split_whitespace().next().unwrap_or(""), lno)?);
+        }
+        builder = HypergraphBuilder::new();
+        for s in sizes {
+            builder.add_node(s);
+        }
+    }
+
+    if let Some((lno, _)) = it.next() {
+        return Err(NetlistError::Parse {
+            line: lno,
+            message: "trailing content after all declared records".into(),
+        });
+    }
+
+    for (lno, capacity, pins) in nets {
+        builder.add_net(capacity, pins).map_err(|e| NetlistError::Parse {
+            line: lno,
+            message: e.to_string(),
+        })?;
+    }
+    builder.build()
+}
+
+/// Reads a hypergraph in hMETIS format from a string.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn from_str(s: &str) -> Result<Hypergraph, NetlistError> {
+    read(s.as_bytes())
+}
+
+/// Writes `h` in hMETIS format.
+///
+/// Capacities are written only when some net is non-unit; sizes only when
+/// some node is non-unit. The output always round-trips through [`read`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] on write failures.
+pub fn write<W: Write>(h: &Hypergraph, mut writer: W) -> Result<(), NetlistError> {
+    let net_weights = !h.has_unit_capacities();
+    let node_weights = !h.has_unit_sizes();
+    let fmt = match (net_weights, node_weights) {
+        (false, false) => String::new(),
+        (true, false) => " 1".into(),
+        (false, true) => " 10".into(),
+        (true, true) => " 11".into(),
+    };
+    writeln!(writer, "{} {}{}", h.num_nets(), h.num_nodes(), fmt)?;
+    for e in h.nets() {
+        if net_weights {
+            write!(writer, "{} ", h.net_capacity(e))?;
+        }
+        let pins: Vec<String> = h.net_pins(e).iter().map(|v| (v.index() + 1).to_string()).collect();
+        writeln!(writer, "{}", pins.join(" "))?;
+    }
+    if node_weights {
+        for v in h.nodes() {
+            writeln!(writer, "{}", h.node_size(v))?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `h` to an hMETIS-format string.
+pub fn to_string(h: &Hypergraph) -> String {
+    let mut buf = Vec::new();
+    write(h, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("hgr output is ASCII")
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, line: usize) -> Result<T, NetlistError> {
+    raw.parse().map_err(|_| NetlistError::Parse {
+        line,
+        message: format!("cannot parse `{raw}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn reads_unweighted() {
+        let h = from_str("% example\n2 3\n1 2\n2 3\n").unwrap();
+        assert_eq!(h.num_nets(), 2);
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.net_pins(crate::NetId(0)), &[NodeId(0), NodeId(1)]);
+        validate::assert_valid(&h);
+    }
+
+    #[test]
+    fn reads_fully_weighted() {
+        let src = "3 4 11\n2 1 2\n5 2 3 4\n1 1 4\n7\n1\n1\n3\n";
+        let h = from_str(src).unwrap();
+        assert_eq!(h.node_size(NodeId(0)), 7);
+        assert_eq!(h.node_size(NodeId(3)), 3);
+        assert!((h.net_capacity(crate::NetId(1)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips() {
+        let src = "3 4 11\n2 1 2\n5 2 3 4\n1 1 4\n7\n1\n1\n3\n";
+        let h = from_str(src).unwrap();
+        let h2 = from_str(&to_string(&h)).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_pin() {
+        let err = from_str("1 2\n1 3\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let err = from_str("2 3\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("ended early"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = from_str("1 2\n1 2\n9 9 9\n").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_unknown_fmt() {
+        let err = from_str("1 2 7\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("unknown fmt"));
+    }
+
+    #[test]
+    fn rejects_single_pin_net_with_line_number() {
+        let err = from_str("1 3\n2\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("at least 2"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Reading and writing netlists.
+//!
+//! Two formats are supported:
+//!
+//! * [`hgr`] — the hMETIS hypergraph format, the de-facto interchange format
+//!   for partitioning benchmarks.
+//! * [`netl`] — a small self-describing text format with explicit node and
+//!   net records, convenient for hand-written fixtures.
+//! * [`verilog`] — a gate-level structural Verilog reader (the format
+//!   ISCAS85-style benchmarks circulate in).
+
+pub mod hgr;
+pub mod netl;
+pub mod verilog;

@@ -1,0 +1,205 @@
+//! A small named-netlist text format.
+//!
+//! Unlike `.hgr`, records are explicit and order-independent within their
+//! section, which makes hand-written fixtures readable:
+//!
+//! ```text
+//! # comment
+//! node <name> [size]
+//! net <name> [cap=<capacity>] <node-name> <node-name> ...
+//! ```
+//!
+//! Node names are arbitrary whitespace-free strings; ids are assigned in
+//! declaration order.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use crate::{Hypergraph, HypergraphBuilder, NetlistError, NodeId};
+
+/// A parsed named netlist: the hypergraph plus the node and net names in id
+/// order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NamedNetlist {
+    /// The structural hypergraph.
+    pub hypergraph: Hypergraph,
+    /// `node_names[v.index()]` is the declared name of node `v`.
+    pub node_names: Vec<String>,
+    /// `net_names[e.index()]` is the declared name of net `e`.
+    pub net_names: Vec<String>,
+}
+
+impl NamedNetlist {
+    /// Looks up a node id by name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(NodeId::new)
+    }
+}
+
+/// Reads a named netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for unknown record kinds, duplicate or
+/// undeclared names, and malformed weights; [`NetlistError::Io`] on read
+/// failure.
+pub fn read<R: BufRead>(reader: R) -> Result<NamedNetlist, NetlistError> {
+    let mut builder = HypergraphBuilder::new();
+    let mut node_names: Vec<String> = Vec::new();
+    let mut net_names: Vec<String> = Vec::new();
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let kind = fields.next().expect("non-empty line has a first field");
+        match kind {
+            "node" => {
+                let name = fields.next().ok_or_else(|| err(lno, "node needs a name"))?;
+                if by_name.contains_key(name) {
+                    return Err(err(lno, format!("duplicate node name `{name}`")));
+                }
+                let size = match fields.next() {
+                    Some(raw) => raw
+                        .parse::<u64>()
+                        .map_err(|_| err(lno, format!("bad node size `{raw}`")))?,
+                    None => 1,
+                };
+                if let Some(extra) = fields.next() {
+                    return Err(err(lno, format!("unexpected trailing field `{extra}`")));
+                }
+                let id = builder.add_node(size);
+                by_name.insert(name.to_owned(), id);
+                node_names.push(name.to_owned());
+            }
+            "net" => {
+                let name = fields.next().ok_or_else(|| err(lno, "net needs a name"))?;
+                if net_names.contains(&name.to_owned()) {
+                    return Err(err(lno, format!("duplicate net name `{name}`")));
+                }
+                let mut capacity = 1.0;
+                let mut pins = Vec::new();
+                for raw in fields {
+                    if let Some(c) = raw.strip_prefix("cap=") {
+                        capacity = c
+                            .parse::<f64>()
+                            .map_err(|_| err(lno, format!("bad capacity `{c}`")))?;
+                    } else {
+                        let id = by_name
+                            .get(raw)
+                            .copied()
+                            .ok_or_else(|| err(lno, format!("unknown node `{raw}`")))?;
+                        pins.push(id);
+                    }
+                }
+                builder
+                    .add_net(capacity, pins)
+                    .map_err(|e| err(lno, e.to_string()))?;
+                net_names.push(name.to_owned());
+            }
+            other => return Err(err(lno, format!("unknown record kind `{other}`"))),
+        }
+    }
+
+    Ok(NamedNetlist {
+        hypergraph: builder.build()?,
+        node_names,
+        net_names,
+    })
+}
+
+/// Reads a named netlist from a string.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn from_str(s: &str) -> Result<NamedNetlist, NetlistError> {
+    read(s.as_bytes())
+}
+
+/// Writes a named netlist in the `netl` format.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] on write failure.
+pub fn write<W: Write>(nl: &NamedNetlist, mut w: W) -> Result<(), NetlistError> {
+    let h = &nl.hypergraph;
+    for v in h.nodes() {
+        writeln!(w, "node {} {}", nl.node_names[v.index()], h.node_size(v))?;
+    }
+    for e in h.nets() {
+        let pins: Vec<&str> = h
+            .net_pins(e)
+            .iter()
+            .map(|v| nl.node_names[v.index()].as_str())
+            .collect();
+        writeln!(
+            w,
+            "net {} cap={} {}",
+            nl.net_names[e.index()],
+            h.net_capacity(e),
+            pins.join(" ")
+        )?;
+    }
+    Ok(())
+}
+
+fn err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse { line, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = "\
+# two inverters driving a nand
+node inv_a 1
+node inv_b 1
+node nand 2
+net na inv_a nand
+net nb cap=2.5 inv_b nand
+";
+
+    #[test]
+    fn parses_fixture() {
+        let nl = from_str(FIXTURE).unwrap();
+        assert_eq!(nl.hypergraph.num_nodes(), 3);
+        assert_eq!(nl.hypergraph.num_nets(), 2);
+        assert_eq!(nl.node("nand"), Some(NodeId(2)));
+        assert_eq!(nl.hypergraph.node_size(NodeId(2)), 2);
+        assert!((nl.hypergraph.net_capacity(crate::NetId(1)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips() {
+        let nl = from_str(FIXTURE).unwrap();
+        let mut buf = Vec::new();
+        write(&nl, &mut buf).unwrap();
+        let nl2 = read(&buf[..]).unwrap();
+        assert_eq!(nl, nl2);
+    }
+
+    #[test]
+    fn unknown_node_reference_fails() {
+        let err = from_str("node a\nnode b\nnet x a ghost\n").unwrap_err();
+        assert!(err.to_string().contains("unknown node `ghost`"));
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn duplicate_names_fail() {
+        assert!(from_str("node a\nnode a\n").is_err());
+        assert!(from_str("node a\nnode b\nnet x a b\nnet x a b\n").is_err());
+    }
+
+    #[test]
+    fn unknown_record_kind_fails() {
+        assert!(from_str("wire w a b\n").is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! A structural-Verilog netlist reader (gate-level subset).
+//!
+//! Supports the subset that gate-level ISCAS-style netlists use:
+//!
+//! ```verilog
+//! // comments, both styles
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire N10, N11, N16, N19;
+//!   nand g0 (N10, N1, N3);
+//!   nand g1 (N11, N3, N6);
+//!   nand g2 (N16, N2, N11);
+//!   nand g3 (N19, N11, N7);
+//!   nand g4 (N22, N10, N16);
+//!   nand g5 (N23, N16, N19);
+//! endmodule
+//! ```
+//!
+//! Mapping to the partitioning hypergraph: every gate instance and every
+//! primary input becomes a unit-size node; every signal becomes a net whose
+//! pins are its driver (the gate listing it first, or the input port) and
+//! all its readers. Signals with fewer than two pins (e.g. unread outputs)
+//! are dropped, exactly like unloaded nets in the generators.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+
+use crate::{Hypergraph, HypergraphBuilder, NetlistError, NodeId};
+
+/// A parsed gate-level module.
+#[derive(Clone, Debug)]
+pub struct VerilogModule {
+    /// The module name.
+    pub name: String,
+    /// The structural hypergraph (gates + primary inputs as nodes).
+    pub hypergraph: Hypergraph,
+    /// `node_names[v.index()]` — instance name, or the port name for
+    /// primary-input driver nodes.
+    pub node_names: Vec<String>,
+    /// `net_names[e.index()]` — the signal name of each net.
+    pub net_names: Vec<String>,
+}
+
+impl VerilogModule {
+    /// Looks up a node id by instance/port name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(NodeId::new)
+    }
+}
+
+/// Reads a single structural module.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors, undeclared signals,
+/// multiple drivers, or unsupported constructs; [`NetlistError::Io`] on
+/// read failure.
+pub fn read<R: BufRead>(mut reader: R) -> Result<VerilogModule, NetlistError> {
+    let mut source = String::new();
+    reader.read_to_string(&mut source)?;
+    parse(&source)
+}
+
+/// Parses a single structural module from a string.
+///
+/// # Errors
+///
+/// See [`read`].
+pub fn from_str(source: &str) -> Result<VerilogModule, NetlistError> {
+    parse(source)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SignalKind {
+    Input,
+    Output,
+    Wire,
+}
+
+fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
+    let stripped = strip_comments(source);
+    // Statements end at ';' except `module ... );` which also ends at ';'.
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    let mut current = String::new();
+    let mut line = 1usize;
+    let mut start_line = 1usize;
+    for ch in stripped.chars() {
+        if ch == '\n' {
+            line += 1;
+        }
+        if ch == ';' {
+            statements.push((start_line, current.trim().to_owned()));
+            current.clear();
+        } else {
+            if current.trim().is_empty() && !ch.is_whitespace() {
+                start_line = line; // first real character of the statement
+            }
+            current.push(ch);
+        }
+    }
+    let trailer = current.trim().to_owned();
+
+    let err = |line: usize, message: String| NetlistError::Parse { line, message };
+
+    let mut name = None;
+    let mut kinds: HashMap<String, SignalKind> = HashMap::new();
+    let mut gates: Vec<(usize, String, String, Vec<String>)> = Vec::new(); // (line, type, inst, ports)
+
+    for (lno, stmt) in &statements {
+        let stmt = stmt.as_str();
+        if stmt.is_empty() {
+            continue;
+        }
+        let mut words = stmt.split_whitespace();
+        let keyword = words.next().expect("statement is non-empty");
+        match keyword {
+            "module" => {
+                if name.is_some() {
+                    return Err(err(*lno, "only a single module is supported".into()));
+                }
+                let rest = stmt["module".len()..].trim();
+                let modname = rest
+                    .split(|c: char| c == '(' || c.is_whitespace())
+                    .find(|s| !s.is_empty())
+                    .ok_or_else(|| err(*lno, "module needs a name".into()))?;
+                name = Some(modname.to_owned());
+                // The port list itself carries no direction info; skip it.
+            }
+            "endmodule" => {
+                return Err(err(*lno, "unexpected `endmodule;` — it takes no semicolon".into()))
+            }
+            "input" | "output" | "wire" => {
+                let kind = match keyword {
+                    "input" => SignalKind::Input,
+                    "output" => SignalKind::Output,
+                    _ => SignalKind::Wire,
+                };
+                for sig in stmt[keyword.len()..].split(',') {
+                    let sig = sig.trim();
+                    if sig.is_empty() {
+                        continue;
+                    }
+                    if !is_identifier(sig) {
+                        return Err(err(*lno, format!("bad signal name `{sig}`")));
+                    }
+                    kinds.insert(sig.to_owned(), kind);
+                }
+            }
+            gate_type => {
+                // `TYPE INSTANCE ( out , in , in ... )`
+                let open = stmt
+                    .find('(')
+                    .ok_or_else(|| err(*lno, format!("gate `{gate_type}` missing port list")))?;
+                let close = stmt
+                    .rfind(')')
+                    .ok_or_else(|| err(*lno, format!("gate `{gate_type}` missing `)`")))?;
+                let header: Vec<&str> = stmt[..open].split_whitespace().collect();
+                let [ty, inst] = header.as_slice() else {
+                    return Err(err(*lno, format!("expected `TYPE NAME (...)`, got `{stmt}`")));
+                };
+                let ports: Vec<String> = stmt[open + 1..close]
+                    .split(',')
+                    .map(|p| p.trim().to_owned())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                if ports.len() < 2 {
+                    return Err(err(*lno, format!("gate `{inst}` needs an output and inputs")));
+                }
+                gates.push((*lno, (*ty).to_owned(), (*inst).to_owned(), ports));
+            }
+        }
+    }
+    if trailer != "endmodule" {
+        return Err(err(line, format!("expected trailing `endmodule`, got `{trailer}`")));
+    }
+    let name = name.ok_or_else(|| err(1, "no module declaration found".into()))?;
+
+    // Nodes: primary inputs first (declaration order), then gates.
+    let mut b = HypergraphBuilder::new();
+    let mut node_names = Vec::new();
+    let mut driver: HashMap<&str, NodeId> = HashMap::new();
+    let mut readers: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    let mut input_order: Vec<&str> = Vec::new();
+    for (lno, stmt) in &statements {
+        if let Some(rest) = stmt.strip_prefix("input") {
+            for sig in rest.split(',') {
+                let sig = sig.trim();
+                if sig.is_empty() {
+                    continue;
+                }
+                let sig_key = kinds.get_key_value(sig).expect("declared above").0.as_str();
+                if driver.contains_key(sig_key) {
+                    return Err(err(*lno, format!("input `{sig}` declared twice")));
+                }
+                let id = b.add_node(1);
+                node_names.push(sig.to_owned());
+                driver.insert(sig_key, id);
+                input_order.push(sig_key);
+            }
+        }
+    }
+    for (lno, _ty, inst, ports) in &gates {
+        let id = b.add_node(1);
+        node_names.push(inst.clone());
+        for (i, port) in ports.iter().enumerate() {
+            let key = kinds
+                .get_key_value(port.as_str())
+                .ok_or_else(|| err(*lno, format!("undeclared signal `{port}`")))?
+                .0
+                .as_str();
+            if i == 0 {
+                if driver.contains_key(key) {
+                    return Err(err(*lno, format!("signal `{port}` has multiple drivers")));
+                }
+                driver.insert(key, id);
+            } else {
+                readers.entry(key).or_default().push(id);
+            }
+        }
+    }
+
+    // Nets in a stable order: inputs first, then gate outputs.
+    let mut net_names = Vec::new();
+    let emit = |sig: &str, b: &mut HypergraphBuilder, net_names: &mut Vec<String>| {
+        let Some(&drv) = driver.get(sig) else { return Ok(()) };
+        let sinks = readers.get(sig).cloned().unwrap_or_default();
+        let pins = std::iter::once(drv).chain(sinks);
+        if b.add_net_lenient(1.0, pins)?.is_some() {
+            net_names.push(sig.to_owned());
+        }
+        Ok::<(), NetlistError>(())
+    };
+    for sig in &input_order {
+        emit(sig, &mut b, &mut net_names)?;
+    }
+    for (_, _, _, ports) in &gates {
+        let key = kinds.get_key_value(ports[0].as_str()).expect("validated").0.as_str();
+        emit(key, &mut b, &mut net_names)?;
+    }
+
+    Ok(VerilogModule { name, hypergraph: b.build()?, node_names, net_names })
+}
+
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for d in chars.by_ref() {
+                        if d == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for d in chars.by_ref() {
+                        if d == '\n' {
+                            out.push('\n'); // keep line numbers aligned
+                        }
+                        if prev == '*' && d == '/' {
+                            break;
+                        }
+                        prev = d;
+                    }
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_alphabetic() || c == '_')
+        && chars.all(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+// ISCAS85 c17
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g0 (N10, N1, N3);
+  nand g1 (N11, N3, N6);
+  nand g2 (N16, N2, N11);
+  nand g3 (N19, N11, N7);
+  nand g4 (N22, N10, N16);
+  nand g5 (N23, N16, N19);
+endmodule
+";
+
+    #[test]
+    fn parses_c17() {
+        let m = from_str(C17).unwrap();
+        assert_eq!(m.name, "c17");
+        // 5 inputs + 6 gates.
+        assert_eq!(m.hypergraph.num_nodes(), 11);
+        // Nets: N1,N2,N3,N6,N7 (inputs), N10,N11,N16,N19 (read wires);
+        // N22/N23 have no readers and are dropped.
+        assert_eq!(m.hypergraph.num_nets(), 9);
+        assert!(m.net_names.contains(&"N11".to_owned()));
+        assert!(!m.net_names.contains(&"N22".to_owned()));
+        crate::validate::assert_valid(&m.hypergraph);
+    }
+
+    #[test]
+    fn fanout_becomes_one_net() {
+        let m = from_str(C17).unwrap();
+        // N11 drives g2 and g3: net = {g1, g2, g3}.
+        let e = m.net_names.iter().position(|n| n == "N11").unwrap();
+        let pins = m.hypergraph.net_pins(crate::NetId::new(e));
+        assert_eq!(pins.len(), 3);
+        assert!(pins.contains(&m.node("g1").unwrap()));
+        assert!(pins.contains(&m.node("g2").unwrap()));
+        assert!(pins.contains(&m.node("g3").unwrap()));
+    }
+
+    #[test]
+    fn comments_are_stripped_with_line_numbers_kept() {
+        let src = "module m (a, b);\n/* block\ncomment */ input a;\noutput b;\nbuf g (b, a);\nendmodule\n";
+        let m = from_str(src).unwrap();
+        assert_eq!(m.hypergraph.num_nodes(), 2);
+    }
+
+    #[test]
+    fn undeclared_signal_errors_with_line() {
+        let src = "module m (a, y);\ninput a;\noutput y;\nand g (y, a, ghost);\nendmodule\n";
+        let e = from_str(src).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("ghost"), "{msg}");
+        assert!(msg.contains("line 4"), "{msg}");
+    }
+
+    #[test]
+    fn multiple_drivers_error() {
+        let src = "module m (a, y);\ninput a;\noutput y;\nwire w;\nbuf g1 (w, a);\nbuf g2 (w, a);\nbuf g3 (y, w);\nendmodule\n";
+        let e = from_str(src).unwrap_err();
+        assert!(e.to_string().contains("multiple drivers"));
+    }
+
+    #[test]
+    fn missing_endmodule_errors() {
+        let e = from_str("module m (a);\ninput a;\n").unwrap_err();
+        assert!(e.to_string().contains("endmodule"));
+    }
+
+    #[test]
+    fn two_modules_error() {
+        let src = "module a (x);\ninput x;\nendmodule\nmodule b (y);\ninput y;\nendmodule\n";
+        let e = from_str(src).unwrap_err();
+        // The first `endmodule` (no semicolon) ends up inside the next
+        // statement, so this surfaces as a parse error either way.
+        assert!(matches!(e, NetlistError::Parse { .. }));
+    }
+}

@@ -1,0 +1,100 @@
+//! Summary statistics for netlists (the raw material of the paper's Table 1).
+
+use std::fmt;
+
+use crate::Hypergraph;
+
+/// Aggregate statistics of a hypergraph.
+///
+/// Produced by [`NetlistStats::of`]; rendered by `Display` as a single
+/// human-readable line. The `nodes`/`nets`/`pins` triple is exactly what the
+/// paper's Table 1 reports for the ISCAS85 test cases.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetlistStats {
+    /// Number of nodes `|V|`.
+    pub nodes: usize,
+    /// Number of nets `|E|`.
+    pub nets: usize,
+    /// Total pin count.
+    pub pins: usize,
+    /// Total node size `s(V)`.
+    pub total_size: u64,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Maximum net cardinality.
+    pub max_net_size: usize,
+    /// Mean net cardinality (0 for a netless graph).
+    pub avg_net_size: f64,
+    /// Mean node degree (0 for an empty graph).
+    pub avg_degree: f64,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `h`.
+    pub fn of(h: &Hypergraph) -> Self {
+        let nodes = h.num_nodes();
+        let nets = h.num_nets();
+        let pins = h.num_pins();
+        NetlistStats {
+            nodes,
+            nets,
+            pins,
+            total_size: h.total_size(),
+            max_degree: h.nodes().map(|v| h.node_degree(v)).max().unwrap_or(0),
+            max_net_size: h.max_net_size(),
+            avg_net_size: if nets == 0 { 0.0 } else { pins as f64 / nets as f64 },
+            avg_degree: if nodes == 0 { 0.0 } else { pins as f64 / nodes as f64 },
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} nets, {} pins (size {}, avg net {:.2}, avg deg {:.2})",
+            self.nodes, self.nets, self.pins, self.total_size, self.avg_net_size, self.avg_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HypergraphBuilder, NodeId};
+
+    #[test]
+    fn stats_of_small_netlist() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let s = NetlistStats::of(&b.build().unwrap());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.nets, 2);
+        assert_eq!(s.pins, 6);
+        assert_eq!(s.total_size, 4);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.max_net_size, 4);
+        assert!((s.avg_net_size - 3.0).abs() < 1e-12);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_netlist_are_zero() {
+        let s = NetlistStats::of(&HypergraphBuilder::new().build().unwrap());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_net_size, 0.0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_the_triple() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let s = NetlistStats::of(&b.build().unwrap());
+        let line = s.to_string();
+        assert!(line.contains("2 nodes"));
+        assert!(line.contains("1 nets"));
+        assert!(line.contains("2 pins"));
+    }
+}

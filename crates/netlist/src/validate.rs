@@ -1,0 +1,139 @@
+//! Structural validation of hypergraphs.
+//!
+//! [`crate::HypergraphBuilder`] guarantees these invariants by construction;
+//! this module re-checks them independently so that tests (and readers of
+//! untrusted files) can assert internal consistency.
+
+use crate::Hypergraph;
+
+/// A violated structural invariant, as reported by [`check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The net→pin and node→net CSR offsets disagree with the payload
+    /// lengths.
+    OffsetsInconsistent,
+    /// A pin references a node id out of range.
+    PinOutOfRange { net: u32, node: u32 },
+    /// A net's pin list is not strictly ascending (unsorted or duplicated).
+    PinsNotStrictlySorted { net: u32 },
+    /// A net has fewer than two pins.
+    NetTooSmall { net: u32 },
+    /// A node size is zero.
+    ZeroNodeSize { node: u32 },
+    /// A net capacity is not finite and positive.
+    BadCapacity { net: u32 },
+    /// The two CSR directions disagree about a (node, net) incidence.
+    IncidenceMismatch { node: u32, net: u32 },
+}
+
+/// Checks every structural invariant of `h` and returns all violations.
+///
+/// An empty vector means the hypergraph is internally consistent.
+pub fn check(h: &Hypergraph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = h.num_nodes();
+    let m = h.num_nets();
+
+    if h.net_off.len() != m + 1
+        || h.node_off.len() != n + 1
+        || *h.net_off.last().unwrap_or(&0) as usize != h.pins.len()
+        || *h.node_off.last().unwrap_or(&0) as usize != h.node_nets.len()
+        || h.pins.len() != h.node_nets.len()
+    {
+        out.push(Violation::OffsetsInconsistent);
+        return out; // Further indexing may be unsafe; stop here.
+    }
+
+    for (v, &s) in h.node_size.iter().enumerate() {
+        if s == 0 {
+            out.push(Violation::ZeroNodeSize { node: v as u32 });
+        }
+    }
+    for e in h.nets() {
+        let c = h.net_capacity(e);
+        if !(c.is_finite() && c > 0.0) {
+            out.push(Violation::BadCapacity { net: e.0 });
+        }
+        let pins = h.net_pins(e);
+        if pins.len() < 2 {
+            out.push(Violation::NetTooSmall { net: e.0 });
+        }
+        for w in pins.windows(2) {
+            if w[0] >= w[1] {
+                out.push(Violation::PinsNotStrictlySorted { net: e.0 });
+                break;
+            }
+        }
+        for &v in pins {
+            if v.index() >= n {
+                out.push(Violation::PinOutOfRange { net: e.0, node: v.0 });
+            } else if !h.node_nets(v).contains(&e) {
+                out.push(Violation::IncidenceMismatch { node: v.0, net: e.0 });
+            }
+        }
+    }
+    for v in h.nodes() {
+        for &e in h.node_nets(v) {
+            if e.index() >= m || !h.net_pins(e).contains(&v) {
+                out.push(Violation::IncidenceMismatch { node: v.0, net: e.0 });
+            }
+        }
+    }
+    out
+}
+
+/// Panics with a readable message if `h` violates any invariant.
+///
+/// # Panics
+///
+/// Panics when [`check`] reports at least one violation.
+pub fn assert_valid(h: &Hypergraph) {
+    let violations = check(h);
+    assert!(violations.is_empty(), "hypergraph invariants violated: {violations:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HypergraphBuilder, NodeId};
+
+    #[test]
+    fn builder_output_is_valid() {
+        let mut b = HypergraphBuilder::with_unit_nodes(5);
+        for i in 0..4u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        assert!(check(&h).is_empty());
+        assert_valid(&h);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut b = HypergraphBuilder::with_unit_nodes(3);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let mut h = b.build().unwrap();
+        h.net_capacity[0] = -1.0;
+        assert!(check(&h).contains(&Violation::BadCapacity { net: 0 }));
+
+        let mut h2 = {
+            let mut b = HypergraphBuilder::with_unit_nodes(3);
+            b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+            b.build().unwrap()
+        };
+        h2.pins[0] = NodeId(1); // now [1, 1]: unsorted-dup and mismatch
+        assert!(check(&h2)
+            .iter()
+            .any(|v| matches!(v, Violation::PinsNotStrictlySorted { .. })));
+    }
+
+    #[test]
+    fn truncated_offsets_are_detected() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let mut h = b.build().unwrap();
+        h.net_off.pop();
+        assert_eq!(check(&h), vec![Violation::OffsetsInconsistent]);
+    }
+}

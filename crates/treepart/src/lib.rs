@@ -1,0 +1,31 @@
+//! Min-cost tree partitioning — Vijayan's formulation (the paper's
+//! reference \[16\]).
+//!
+//! Vijayan generalized min-cut partitioning to tree structures: map the
+//! nodes of a hypergraph onto the vertices of a **fixed routed tree** `T`
+//! with weighted edges, subject to per-vertex capacities, minimizing the
+//! cost of globally routing every net on `T` — each net pays its capacity
+//! times the weight of the minimal (Steiner) subtree of `T` spanning the
+//! vertices that host its pins.
+//!
+//! Hierarchical tree partitioning is the flexible-hierarchy sibling of this
+//! problem, and the two objectives coincide on a fixed hierarchy: a
+//! hierarchical partition's span cost equals the routing cost on its tree
+//! when the edge from a level-`l` vertex to its parent carries weight
+//! `Σ_{l <= i < parent_level} w_i` (verified in this crate's tests and in
+//! the workspace integration suite).
+//!
+//! Modules:
+//!
+//! * [`tree`] — routed trees: distances, LCAs, Steiner subtree weights, and
+//!   the conversion from a [`htp_model::HierarchicalPartition`].
+//! * [`mapping`] — node→vertex assignments, their routing cost, and
+//!   validation.
+//! * [`optimize`] — greedy construction and move-based improvement.
+
+pub mod mapping;
+pub mod optimize;
+pub mod tree;
+
+pub use mapping::Mapping;
+pub use tree::RoutedTree;

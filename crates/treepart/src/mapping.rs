@@ -1,0 +1,164 @@
+//! Node→vertex mappings and their routing cost.
+
+use htp_netlist::{Hypergraph, NetId, NodeId};
+
+use crate::RoutedTree;
+
+/// A mapping of netlist nodes onto tree vertices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mapping {
+    /// `vertex_of[v.index()]` — host vertex of each node.
+    vertex_of: Vec<u32>,
+}
+
+/// A violated mapping constraint.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MappingViolation {
+    /// A node references a vertex outside the tree.
+    VertexOutOfRange { node: u32, vertex: u32 },
+    /// A vertex holds more size than its capacity.
+    OverCapacity { vertex: u32, size: u64, capacity: u64 },
+}
+
+impl Mapping {
+    /// Wraps raw vertex indices.
+    pub fn new(vertex_of: Vec<u32>) -> Self {
+        Mapping { vertex_of }
+    }
+
+    /// The vertex hosting node `v`.
+    pub fn vertex_of(&self, v: NodeId) -> usize {
+        self.vertex_of[v.index()] as usize
+    }
+
+    /// Moves node `v` to `vertex`.
+    pub fn relocate(&mut self, v: NodeId, vertex: usize) {
+        self.vertex_of[v.index()] = vertex as u32;
+    }
+
+    /// Number of mapped nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.vertex_of.len()
+    }
+
+    /// Total node size hosted on each vertex.
+    pub fn loads(&self, h: &Hypergraph, tree: &RoutedTree) -> Vec<u64> {
+        let mut loads = vec![0u64; tree.num_vertices()];
+        for v in h.nodes() {
+            loads[self.vertex_of(v)] += h.node_size(v);
+        }
+        loads
+    }
+
+    /// Checks range and capacity constraints (`capacities[t]` bounds the
+    /// size directly hosted on vertex `t`).
+    pub fn violations(
+        &self,
+        h: &Hypergraph,
+        tree: &RoutedTree,
+        capacities: &[u64],
+    ) -> Vec<MappingViolation> {
+        let mut out = Vec::new();
+        for v in h.nodes() {
+            let t = self.vertex_of[v.index()];
+            if t as usize >= tree.num_vertices() {
+                out.push(MappingViolation::VertexOutOfRange { node: v.0, vertex: t });
+            }
+        }
+        if out.is_empty() {
+            for (t, &size) in self.loads(h, tree).iter().enumerate() {
+                if size > capacities[t] {
+                    out.push(MappingViolation::OverCapacity {
+                        vertex: t as u32,
+                        size,
+                        capacity: capacities[t],
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Routing cost of net `e`: `c(e) ·` Steiner weight of its hosts.
+    pub fn net_cost(&self, h: &Hypergraph, tree: &RoutedTree, e: NetId) -> f64 {
+        let hosts: Vec<usize> =
+            h.net_pins(e).iter().map(|&v| self.vertex_of(v)).collect();
+        h.net_capacity(e) * tree.steiner_weight(&hosts)
+    }
+
+    /// Total routing cost `Σ_e c(e) · steiner(e)`.
+    pub fn total_cost(&self, h: &Hypergraph, tree: &RoutedTree) -> f64 {
+        h.nets().map(|e| self.net_cost(h, tree, e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::HypergraphBuilder;
+
+    /// Star tree: root 0 with three leaves at weights 1, 2, 3.
+    fn star() -> RoutedTree {
+        RoutedTree::new(
+            vec![None, Some(0), Some(0), Some(0)],
+            vec![0.0, 1.0, 2.0, 3.0],
+        )
+    }
+
+    fn pair_net() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        b.add_net(2.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cost_is_capacity_times_steiner() {
+        let tree = star();
+        let h = pair_net();
+        let m = Mapping::new(vec![1, 3]);
+        // Route leaf1 -> root -> leaf3: weight 4, capacity 2 -> 8.
+        assert_eq!(m.net_cost(&h, &tree, NetId(0)), 8.0);
+        assert_eq!(m.total_cost(&h, &tree), 8.0);
+        // Same vertex: zero.
+        let m = Mapping::new(vec![2, 2]);
+        assert_eq!(m.total_cost(&h, &tree), 0.0);
+    }
+
+    #[test]
+    fn relocation_updates_cost() {
+        let tree = star();
+        let h = pair_net();
+        let mut m = Mapping::new(vec![1, 3]);
+        m.relocate(NodeId(1), 1);
+        assert_eq!(m.total_cost(&h, &tree), 0.0);
+        assert_eq!(m.vertex_of(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn violations_catch_overloads_and_ranges() {
+        let tree = star();
+        let h = pair_net();
+        let m = Mapping::new(vec![1, 1]);
+        let caps = vec![10, 1, 10, 10];
+        let v = m.violations(&h, &tree, &caps);
+        assert_eq!(
+            v,
+            vec![MappingViolation::OverCapacity { vertex: 1, size: 2, capacity: 1 }]
+        );
+        let m = Mapping::new(vec![9, 1]);
+        assert!(matches!(
+            m.violations(&h, &tree, &caps)[0],
+            MappingViolation::VertexOutOfRange { vertex: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn internal_vertices_may_host_nodes() {
+        // Vijayan's formulation allows nodes anywhere, including the root.
+        let tree = star();
+        let h = pair_net();
+        let m = Mapping::new(vec![0, 2]);
+        assert_eq!(m.total_cost(&h, &tree), 2.0 * 2.0);
+    }
+}

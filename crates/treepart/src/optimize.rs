@@ -1,0 +1,219 @@
+//! Constructing and improving tree mappings.
+//!
+//! Vijayan's paper gives an exact algorithm for special cases and
+//! heuristics in general; here we provide the practical pair every fixed
+//! tree needs: a randomized capacity-respecting construction and a
+//! steepest-descent relocation pass (move one node to the vertex that most
+//! reduces its nets' routing cost, capacities permitting).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use htp_netlist::{Hypergraph, NodeId};
+
+use crate::{Mapping, RoutedTree};
+
+/// Error raised when a netlist cannot be placed on a tree at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacementError {
+    /// Total size that had to be placed.
+    pub total_size: u64,
+    /// Sum of vertex capacities.
+    pub total_capacity: u64,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "netlist of size {} exceeds the tree's total capacity {}",
+            self.total_size, self.total_capacity
+        )
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Randomly places every node on a vertex with remaining capacity
+/// (first-fit over a shuffled vertex order per node).
+///
+/// # Errors
+///
+/// Returns [`PlacementError`] when the total size exceeds the total
+/// capacity (first-fit then cannot succeed for unit-dominated sizes).
+pub fn random_placement<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    tree: &RoutedTree,
+    capacities: &[u64],
+    rng: &mut R,
+) -> Result<Mapping, PlacementError> {
+    assert_eq!(capacities.len(), tree.num_vertices(), "capacity per vertex");
+    let total_size = h.total_size();
+    let total_capacity: u64 = capacities.iter().sum();
+    if total_size > total_capacity {
+        return Err(PlacementError { total_size, total_capacity });
+    }
+    let mut remaining: Vec<u64> = capacities.to_vec();
+    let mut vertex_of = vec![0u32; h.num_nodes()];
+    let mut order: Vec<usize> = (0..tree.num_vertices()).collect();
+    let mut nodes: Vec<NodeId> = h.nodes().collect();
+    nodes.shuffle(rng);
+    for v in nodes {
+        order.shuffle(rng);
+        let s = h.node_size(v);
+        let slot = order
+            .iter()
+            .copied()
+            .find(|&t| remaining[t] >= s)
+            .or_else(|| {
+                // Fall back to the single largest remaining slot.
+                (0..tree.num_vertices()).max_by_key(|&t| remaining[t])
+            })
+            .ok_or(PlacementError { total_size, total_capacity })?;
+        if remaining[slot] < s {
+            return Err(PlacementError { total_size, total_capacity });
+        }
+        remaining[slot] -= s;
+        vertex_of[v.index()] = slot as u32;
+    }
+    Ok(Mapping::new(vertex_of))
+}
+
+/// Result of an improvement run.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// The improved mapping.
+    pub mapping: Mapping,
+    /// Cost before.
+    pub cost_before: f64,
+    /// Cost after (`<= cost_before`).
+    pub cost_after: f64,
+    /// Relocations applied.
+    pub moves: usize,
+}
+
+/// Steepest-descent relocation: passes over all nodes, moving each to its
+/// best-cost vertex under the capacities, until a pass makes no move or
+/// `max_passes` is reached.
+pub fn relocate_improve(
+    h: &Hypergraph,
+    tree: &RoutedTree,
+    capacities: &[u64],
+    start: &Mapping,
+    max_passes: usize,
+) -> OptimizeResult {
+    let mut mapping = start.clone();
+    let cost_before = mapping.total_cost(h, tree);
+    let mut loads = mapping.loads(h, tree);
+    let mut moves = 0;
+
+    for _ in 0..max_passes {
+        let mut moved_this_pass = false;
+        for v in h.nodes() {
+            let current = mapping.vertex_of(v);
+            let size = h.node_size(v);
+            // Cost of v's nets as a function of v's host.
+            let local = |m: &Mapping| -> f64 {
+                h.node_nets(v).iter().map(|&e| m.net_cost(h, tree, e)).sum()
+            };
+            let before = local(&mapping);
+            let mut best = (current, before);
+            for t in 0..tree.num_vertices() {
+                if t == current || loads[t] + size > capacities[t] {
+                    continue;
+                }
+                mapping.relocate(v, t);
+                let cost = local(&mapping);
+                if cost < best.1 - 1e-12 {
+                    best = (t, cost);
+                }
+            }
+            mapping.relocate(v, best.0);
+            if best.0 != current {
+                loads[current] -= size;
+                loads[best.0] += size;
+                moves += 1;
+                moved_this_pass = true;
+            }
+        }
+        if !moved_this_pass {
+            break;
+        }
+    }
+    let cost_after = mapping.total_cost(h, tree);
+    OptimizeResult { mapping, cost_before, cost_after, moves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two leaves under a root, heavy edges.
+    fn vee() -> RoutedTree {
+        RoutedTree::new(vec![None, Some(0), Some(0)], vec![0.0, 1.0, 1.0])
+    }
+
+    #[test]
+    fn random_placement_respects_capacities() {
+        let mut b = HypergraphBuilder::new();
+        for s in [3, 2, 2, 1] {
+            b.add_node(s);
+        }
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let tree = vee();
+        let caps = vec![3, 4, 4];
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = random_placement(&h, &tree, &caps, &mut rng).unwrap();
+            assert!(m.violations(&h, &tree, &caps).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn impossible_placement_errors() {
+        let h = HypergraphBuilder::with_unit_nodes(10).build().unwrap();
+        let tree = vee();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = random_placement(&h, &tree, &[2, 2, 2], &mut rng).unwrap_err();
+        assert_eq!(err.total_size, 10);
+        assert_eq!(err.total_capacity, 6);
+    }
+
+    #[test]
+    fn relocation_pulls_connected_nodes_together() {
+        // Two cliques placed adversarially across the two leaves.
+        let mut b = HypergraphBuilder::with_unit_nodes(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    b.add_net(1.0, [NodeId(base + i), NodeId(base + j)]).unwrap();
+                }
+            }
+        }
+        let h = b.build().unwrap();
+        let tree = vee();
+        let caps = vec![0, 5, 5];
+        // Interleaved start: clique members alternate leaves.
+        let start = Mapping::new(vec![1, 2, 1, 2, 2, 1, 2, 1]);
+        let r = relocate_improve(&h, &tree, &caps, &start, 10);
+        assert!(r.cost_after < r.cost_before);
+        assert_eq!(r.cost_after, 0.0, "each clique fits one leaf");
+        assert!(r.mapping.violations(&h, &tree, &caps).is_empty());
+    }
+
+    #[test]
+    fn optimum_start_is_left_alone() {
+        let mut b = HypergraphBuilder::with_unit_nodes(2);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        let h = b.build().unwrap();
+        let tree = vee();
+        let start = Mapping::new(vec![1, 1]);
+        let r = relocate_improve(&h, &tree, &[2, 2, 2], &start, 5);
+        assert_eq!(r.moves, 0);
+        assert_eq!(r.cost_after, 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Routed trees: the fixed target structure of min-cost tree partitioning.
+
+use htp_model::{HierarchicalPartition, TreeSpec};
+
+/// A rooted tree with non-negative edge weights (each non-root vertex
+/// carries the weight of the edge to its parent).
+///
+/// Vertices are dense indices; vertex 0 need not be the root.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutedTree {
+    parent: Vec<Option<u32>>,
+    up_weight: Vec<f64>,
+    children: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+    /// Distance from the root along tree edges.
+    root_dist: Vec<f64>,
+    /// Euler/DFS discovery order of each vertex, for Steiner evaluation.
+    tour_pos: Vec<u32>,
+    root: u32,
+}
+
+impl RoutedTree {
+    /// Builds a tree from parent pointers (`None` exactly once, at the
+    /// root) and per-vertex up-edge weights (ignored for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays disagree in length, there is not exactly one
+    /// root, a weight is negative/NaN, or the structure contains a cycle.
+    pub fn new(parent: Vec<Option<u32>>, up_weight: Vec<f64>) -> Self {
+        assert_eq!(parent.len(), up_weight.len(), "arrays must align");
+        let n = parent.len();
+        assert!(n > 0, "tree needs at least one vertex");
+        assert!(
+            up_weight.iter().all(|w| *w >= 0.0),
+            "edge weights must be non-negative"
+        );
+        let roots: Vec<usize> =
+            (0..n).filter(|&v| parent[v].is_none()).collect();
+        assert_eq!(roots.len(), 1, "exactly one root required, got {}", roots.len());
+        let root = roots[0] as u32;
+
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                assert!((p as usize) < n, "parent out of range");
+                children[p as usize].push(v as u32);
+            }
+        }
+
+        // Iterative DFS computes depth, root distance, tour order, and
+        // detects unreachable vertices (cycles).
+        let mut depth = vec![u32::MAX; n];
+        let mut root_dist = vec![f64::INFINITY; n];
+        let mut tour_pos = vec![u32::MAX; n];
+        let mut stack = vec![root];
+        depth[root as usize] = 0;
+        root_dist[root as usize] = 0.0;
+        let mut counter = 0;
+        while let Some(v) = stack.pop() {
+            tour_pos[v as usize] = counter;
+            counter += 1;
+            for &c in children[v as usize].iter().rev() {
+                depth[c as usize] = depth[v as usize] + 1;
+                root_dist[c as usize] = root_dist[v as usize] + up_weight[c as usize];
+                stack.push(c);
+            }
+        }
+        assert!(
+            depth.iter().all(|&d| d != u32::MAX),
+            "tree contains a cycle or disconnected vertex"
+        );
+
+        RoutedTree { parent, up_weight, children, depth, root_dist, tour_pos, root }
+    }
+
+    /// A complete `k`-ary tree of the given height whose level-`l` up-edges
+    /// carry weight `Σ_{l <= i < l+1} w_i = w_l` from `spec` — the routed
+    /// tree on which HTP span cost equals routing cost.
+    pub fn full_kary_from_spec(spec: &TreeSpec, k: usize, height: usize) -> Self {
+        assert!(height >= 1 && k >= 2, "need height >= 1 and k >= 2");
+        assert!(height <= spec.root_level(), "spec too shallow for the tree");
+        let mut parent = vec![None];
+        let mut up_weight = vec![0.0];
+        let mut frontier = vec![(0u32, height)];
+        while let Some((p, level)) = frontier.pop() {
+            if level == 0 {
+                continue;
+            }
+            for _ in 0..k {
+                let id = parent.len() as u32;
+                parent.push(Some(p));
+                up_weight.push(spec.weight(level - 1));
+                frontier.push((id, level - 1));
+            }
+        }
+        RoutedTree::new(parent, up_weight)
+    }
+
+    /// The routed tree of a hierarchical partition: same vertices, with the
+    /// up-edge of a vertex at level `l` whose parent sits at level `lp`
+    /// carrying `Σ_{l <= i < lp} w_i` (level gaps collapse the skipped
+    /// weights onto one edge).
+    pub fn from_partition(p: &HierarchicalPartition, spec: &TreeSpec) -> Self {
+        let n = p.num_vertices();
+        let mut parent = vec![None; n];
+        let mut up_weight = vec![0.0; n];
+        for q in p.vertices() {
+            if let Some(par) = p.parent(q) {
+                parent[q.index()] = Some(par.0);
+                let lo = p.level(q);
+                let hi = p.level(par);
+                up_weight[q.index()] = (lo..hi).map(|l| spec.weight(l)).sum();
+            }
+        }
+        RoutedTree::new(parent, up_weight)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> usize {
+        self.root as usize
+    }
+
+    /// Parent of a vertex.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v].map(|p| p as usize)
+    }
+
+    /// Children of a vertex.
+    pub fn children(&self, v: usize) -> &[u32] {
+        &self.children[v]
+    }
+
+    /// Weight of the edge from `v` to its parent (0 for the root).
+    pub fn up_weight(&self, v: usize) -> f64 {
+        self.up_weight[v]
+    }
+
+    /// Depth of a vertex (root = 0).
+    pub fn depth(&self, v: usize) -> usize {
+        self.depth[v] as usize
+    }
+
+    /// Lowest common ancestor of two vertices.
+    pub fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        while self.depth[a] > self.depth[b] {
+            a = self.parent[a].expect("deeper vertex has a parent") as usize;
+        }
+        while self.depth[b] > self.depth[a] {
+            b = self.parent[b].expect("deeper vertex has a parent") as usize;
+        }
+        while a != b {
+            a = self.parent[a].expect("non-root on the walk") as usize;
+            b = self.parent[b].expect("non-root on the walk") as usize;
+        }
+        a
+    }
+
+    /// Weighted tree distance between two vertices.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        let l = self.lca(a, b);
+        self.root_dist[a] + self.root_dist[b] - 2.0 * self.root_dist[l]
+    }
+
+    /// Total edge weight of the minimal subtree spanning `terminals`
+    /// (0 for fewer than two distinct terminals).
+    ///
+    /// Uses the classic tour-order identity: with terminals sorted by DFS
+    /// discovery order `t_1..t_k`, the Steiner weight is
+    /// `(Σ dist(t_i, t_{i+1}) + dist(t_k, t_1)) / 2`.
+    pub fn steiner_weight(&self, terminals: &[usize]) -> f64 {
+        let mut ts: Vec<usize> = terminals.to_vec();
+        ts.sort_unstable();
+        ts.dedup();
+        if ts.len() < 2 {
+            return 0.0;
+        }
+        ts.sort_by_key(|&v| self.tour_pos[v]);
+        let mut total = 0.0;
+        for i in 0..ts.len() {
+            let next = ts[(i + 1) % ts.len()];
+            total += self.distance(ts[i], next);
+        }
+        total / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A caterpillar: 0 - 1 - 2 with leaves 3 (on 1) and 4 (on 2).
+    fn caterpillar() -> RoutedTree {
+        RoutedTree::new(
+            vec![None, Some(0), Some(1), Some(1), Some(2)],
+            vec![0.0, 1.0, 2.0, 5.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn distances_and_lcas() {
+        let t = caterpillar();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.depth(4), 3);
+        assert_eq!(t.lca(3, 4), 1);
+        assert_eq!(t.distance(3, 4), 5.0 + 2.0 + 3.0);
+        assert_eq!(t.distance(0, 0), 0.0);
+        assert_eq!(t.distance(0, 2), 3.0);
+    }
+
+    #[test]
+    fn steiner_weights() {
+        let t = caterpillar();
+        assert_eq!(t.steiner_weight(&[]), 0.0);
+        assert_eq!(t.steiner_weight(&[3]), 0.0);
+        assert_eq!(t.steiner_weight(&[3, 3]), 0.0, "duplicates collapse");
+        assert_eq!(t.steiner_weight(&[3, 4]), 10.0);
+        // {0, 3, 4}: edges 1(up 1.0), 3(5.0), 2(2.0), 4(3.0) -> 11.
+        assert_eq!(t.steiner_weight(&[0, 3, 4]), 11.0);
+        // All vertices: every edge once.
+        assert_eq!(t.steiner_weight(&[0, 1, 2, 3, 4]), 11.0);
+    }
+
+    #[test]
+    fn full_kary_from_spec_has_level_weights() {
+        let spec = TreeSpec::new(vec![(2, 2, 1.5), (4, 2, 4.0), (8, 2, 1.0)]).unwrap();
+        let t = RoutedTree::full_kary_from_spec(&spec, 2, 2);
+        assert_eq!(t.num_vertices(), 7);
+        // Depth-1 vertices sit at level 1: up-weight w_1 = 4; depth-2
+        // leaves have w_0 = 1.5.
+        for v in 0..7 {
+            match t.depth(v) {
+                0 => assert_eq!(t.up_weight(v), 0.0),
+                1 => assert_eq!(t.up_weight(v), 4.0),
+                2 => assert_eq!(t.up_weight(v), 1.5),
+                d => panic!("unexpected depth {d}"),
+            }
+        }
+    }
+
+    #[test]
+    fn from_partition_collapses_level_gaps() {
+        use htp_model::PartitionBuilder;
+        use htp_netlist::NodeId;
+        // root(3) -> a(1) -> leaf(0): the a-edge spans levels 1..3.
+        let mut b = PartitionBuilder::new(1, 3);
+        let a = b.add_child(b.root(), 1).unwrap();
+        let leaf = b.add_child(a, 0).unwrap();
+        b.assign(NodeId(0), leaf).unwrap();
+        let p = b.build().unwrap();
+        let spec =
+            TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 2.0), (16, 2, 4.0), (32, 2, 1.0)]).unwrap();
+        let t = RoutedTree::from_partition(&p, &spec);
+        assert_eq!(t.up_weight(a.index()), 2.0 + 4.0, "levels 1 and 2 collapse");
+        assert_eq!(t.up_weight(leaf.index()), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn two_roots_panic() {
+        let _ = RoutedTree::new(vec![None, None], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_panics() {
+        let _ = RoutedTree::new(vec![None, Some(2), Some(1)], vec![0.0, 1.0, 1.0]);
+    }
+}

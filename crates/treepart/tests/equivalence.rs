@@ -1,0 +1,88 @@
+//! The HTP ↔ min-cost tree partitioning equivalence: on a fixed hierarchy,
+//! the span-based HTP objective equals the Steiner routing cost of the same
+//! assignment on the corresponding routed tree. This links the paper's
+//! formulation to Vijayan's (reference \[16\]) and cross-validates both cost
+//! evaluators against each other.
+
+use htp_model::{cost, HierarchicalPartition, TreeSpec};
+use htp_netlist::gen::random::{random_hypergraph, RandomParams};
+use htp_netlist::NodeId;
+use htp_treepart::{Mapping, RoutedTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn mapping_of(p: &HierarchicalPartition) -> Mapping {
+    Mapping::new(
+        (0..p.num_nodes())
+            .map(|v| p.leaf_of(NodeId::new(v)).0)
+            .collect(),
+    )
+}
+
+#[test]
+fn hand_checked_case() {
+    // 4 nodes, one net crossing the level-1 boundary.
+    let mut b = htp_netlist::HypergraphBuilder::with_unit_nodes(4);
+    b.add_net(1.0, [NodeId(1), NodeId(2)]).unwrap();
+    let h = b.build().unwrap();
+    let spec = TreeSpec::new(vec![(1, 2, 1.0), (2, 2, 2.0), (4, 2, 1.0)]).unwrap();
+    let p = HierarchicalPartition::full_kary(2, 2, &[0, 1, 2, 3]).unwrap();
+    let htp_cost = cost::partition_cost(&h, &spec, &p);
+    assert_eq!(htp_cost, 6.0);
+
+    let tree = RoutedTree::from_partition(&p, &spec);
+    let routed = mapping_of(&p).total_cost(&h, &tree);
+    assert_eq!(routed, htp_cost);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Equivalence on random hypergraphs and random balanced assignments
+    /// over a height-2 binary hierarchy with non-uniform weights.
+    #[test]
+    fn span_cost_equals_routing_cost(seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_hypergraph(
+            RandomParams { nodes: 16, nets: 28, min_net_size: 2, max_net_size: 5 },
+            &mut rng,
+        );
+        let spec = TreeSpec::new(vec![(6, 2, 1.0), (10, 2, 3.0), (16, 2, 1.0)]).unwrap();
+        let assignment: Vec<usize> =
+            (0..16).map(|_| rng.random_range(0..4)).collect();
+        let p = HierarchicalPartition::full_kary(2, 2, &assignment).unwrap();
+
+        let htp_cost = cost::partition_cost(&h, &spec, &p);
+        let tree = RoutedTree::from_partition(&p, &spec);
+        let routed = mapping_of(&p).total_cost(&h, &tree);
+        prop_assert!(
+            (htp_cost - routed).abs() < 1e-9,
+            "span {htp_cost} vs routed {routed}"
+        );
+    }
+
+    /// The equivalence also survives level gaps (a flat multiway partition
+    /// inside a deeper spec).
+    #[test]
+    fn equivalence_with_level_gaps(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_hypergraph(
+            RandomParams { nodes: 12, nets: 20, min_net_size: 2, max_net_size: 3 },
+            &mut rng,
+        );
+        let spec = TreeSpec::new(vec![(5, 4, 2.0), (8, 4, 1.0), (12, 4, 0.5)]).unwrap();
+        // Leaves hang directly under a level-2 root: levels 0 and 1 share
+        // blocks, and the routed tree collapses w_0 + w_1 onto one edge.
+        let assignment: Vec<usize> = (0..12).map(|_| rng.random_range(0..3)).collect();
+        let p = HierarchicalPartition::from_leaf_assignment(2, &assignment).unwrap();
+
+        let htp_cost = cost::partition_cost(&h, &spec, &p);
+        let tree = RoutedTree::from_partition(&p, &spec);
+        let routed = mapping_of(&p).total_cost(&h, &tree);
+        prop_assert!(
+            (htp_cost - routed).abs() < 1e-9,
+            "span {htp_cost} vs routed {routed}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Fixed-tree routing: Vijayan's min-cost tree partitioning (the paper's
+//! reference \[16\]) next to the flexible-hierarchy FLOW partitioner.
+//!
+//! The two formulations share their objective on a fixed hierarchy: a
+//! hierarchical tree partition's span cost equals the Steiner routing cost
+//! of its leaf assignment on the corresponding routed tree. This example
+//! shows both directions:
+//!
+//! 1. run FLOW, convert the result to a routed-tree mapping, and confirm
+//!    the costs agree;
+//! 2. improve the mapping with Vijayan-style relocation on the fixed tree
+//!    and report the final routing cost.
+//!
+//! Run with `cargo run --release --example fixed_tree_routing`.
+
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::model::{cost, TreeSpec};
+use htp::netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+use htp::netlist::NodeId;
+use htp::treepart::{optimize, Mapping, RoutedTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(16);
+    let inst = clustered_hypergraph(
+        ClusteredParams {
+            clusters: 8,
+            cluster_size: 12,
+            intra_nets: 400,
+            inter_nets: 40,
+            min_net_size: 2,
+            max_net_size: 3,
+        },
+        &mut rng,
+    );
+    let h = &inst.hypergraph;
+    println!("netlist: {}", htp::netlist::NetlistStats::of(h));
+
+    let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0)?;
+    let flow = FlowPartitioner::new(PartitionerParams::default()).run(h, &spec, &mut rng)?;
+    println!("FLOW span cost                : {}", flow.cost);
+
+    // Convert to the routed-tree view.
+    let tree = RoutedTree::from_partition(&flow.partition, &spec);
+    let mapping = Mapping::new(
+        (0..h.num_nodes())
+            .map(|v| flow.partition.leaf_of(NodeId::new(v)).0)
+            .collect(),
+    );
+    let routed = mapping.total_cost(h, &tree);
+    println!("same assignment, routing cost : {routed}");
+    assert!((routed - cost::partition_cost(h, &spec, &flow.partition)).abs() < 1e-9);
+
+    // Capacities per vertex: leaves take C_0; internal vertices host
+    // nothing in the HTP view.
+    let capacities: Vec<u64> = (0..tree.num_vertices())
+        .map(|t| {
+            if tree.children(t).is_empty() {
+                spec.capacity(0)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let improved = optimize::relocate_improve(h, &tree, &capacities, &mapping, 8);
+    println!(
+        "after fixed-tree relocation   : {} ({} moves)",
+        improved.cost_after, improved.moves
+    );
+    Ok(())
+}

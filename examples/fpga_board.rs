@@ -1,0 +1,78 @@
+//! Multi-FPGA prototyping board scenario — the application that motivated
+//! hierarchical tree partitioning (the paper's first author worked on the
+//! Aptix field-programmable interconnect systems).
+//!
+//! A design is mapped onto a hardware hierarchy: the system has boards,
+//! each board carries FPGAs, each FPGA has a pin budget. Crossing an FPGA
+//! boundary consumes FPGA pins; crossing a board boundary consumes
+//! backplane connectors, which are far more expensive — hence a higher
+//! cost weight at the board level.
+//!
+//! Run with `cargo run --release --example fpga_board`.
+
+use htp::baselines::rfm::{rfm_partition, RfmParams};
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::model::{cost, validate, TreeSpec};
+use htp::netlist::gen::rent::{rent_circuit, RentParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2000-gate design with realistic Rent-style locality.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let h = rent_circuit(
+        RentParams { nodes: 2000, primary_inputs: 96, ..RentParams::default() },
+        &mut rng,
+    );
+    println!("design: {}", htp::netlist::NetlistStats::of(&h));
+
+    // Hardware hierarchy: 2 boards x 4 FPGAs. Level 0 = FPGA (<= 560
+    // gate-equivalents), level 1 = board (<= 1120), level 2 = system.
+    // Board crossings cost 5x an FPGA crossing.
+    let spec = TreeSpec::new(vec![
+        (560, 4, 1.0),  // FPGA capacity; weight = FPGA pin cost
+        (1120, 2, 5.0), // board capacity; weight = backplane cost
+        (2240, 2, 1.0), // system (root) — never pays
+    ])?;
+
+    println!("\nFLOW (spreading metric) vs RFM (recursive min-cut):");
+    let flow = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
+    validate::validate(&h, &spec, &flow.partition)?;
+    let rfm = rfm_partition(&h, &spec, RfmParams::default(), &mut rng)?;
+    validate::validate(&h, &spec, &rfm)?;
+    let rfm_cost = cost::partition_cost(&h, &spec, &rfm);
+
+    for (name, p, total) in [
+        ("FLOW", &flow.partition, flow.cost),
+        ("RFM ", &rfm, rfm_cost),
+    ] {
+        let bd = cost::cost_breakdown(&h, &spec, p);
+        println!(
+            "  {name}: total {:>7.0}   FPGA-level {:>7.0}   board-level {:>7.0}",
+            total, bd.per_level[0], bd.per_level[1]
+        );
+    }
+
+    // Pin-budget report per FPGA for the FLOW result.
+    println!("\nFLOW pin usage per FPGA (nets crossing each leaf):");
+    let p = &flow.partition;
+    for leaf in p.leaves() {
+        let members = p.nodes_in(leaf);
+        if members.is_empty() {
+            continue;
+        }
+        let mut inside = vec![false; h.num_nodes()];
+        for &v in &members {
+            inside[v.index()] = true;
+        }
+        let pins = h
+            .nets()
+            .filter(|&e| {
+                let k = h.net_pins(e).iter().filter(|v| inside[v.index()]).count();
+                k > 0 && k < h.net_pins(e).len()
+            })
+            .count();
+        println!("  FPGA {leaf}: {} gates, {pins} I/O pins", members.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Compare all three constructive algorithms plus the FM post-pass on one
+//! ISCAS85 surrogate circuit — a single-circuit slice of the paper's
+//! Tables 2 and 3.
+//!
+//! Run with `cargo run --release --example iscas_compare -- c2670`
+//! (any of c2670, c3540, c5315, c6288, c7552; default c2670).
+
+use htp::baselines::gfm::{gfm_partition, GfmParams};
+use htp::baselines::hfm::{improve, HfmParams};
+use htp::baselines::rfm::{rfm_partition, RfmParams};
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::model::{cost, TreeSpec};
+use htp::netlist::gen::iscas::{profile, surrogate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "c2670".into());
+    let profile = profile(&name)
+        .ok_or_else(|| format!("unknown circuit `{name}` (try c2670/c3540/c5315/c6288/c7552)"))?;
+    let h = surrogate(profile, 1997);
+    println!("{name}: {}", htp::netlist::NetlistStats::of(&h));
+
+    // The paper's experiment hierarchy: full binary tree of height 4.
+    let spec = TreeSpec::full_tree(h.total_size(), 4, 2, 1.10, 1.0)?;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let gfm = gfm_partition(&h, &spec, GfmParams::default(), &mut rng)?;
+    let rfm = rfm_partition(&h, &spec, RfmParams::default(), &mut rng)?;
+    let flow = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
+
+    println!("\n{:<6} {:>12} {:>12} {:>10}", "algo", "constructive", "after FM(+)", "improv.");
+    for (algo, p) in [("GFM", &gfm), ("RFM", &rfm), ("FLOW", &flow.partition)] {
+        let before = cost::partition_cost(&h, &spec, p);
+        let plus = improve(&h, &spec, p, HfmParams::default())?;
+        println!(
+            "{algo:<6} {before:>12.0} {:>12.0} {:>9.1}%",
+            plus.cost_after,
+            100.0 * plus.improvement()
+        );
+    }
+    Ok(())
+}

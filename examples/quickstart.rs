@@ -1,0 +1,50 @@
+//! Quickstart: build a small netlist, define a hierarchy, run the FLOW
+//! partitioner, and inspect the result (the Figure 1 workflow of the paper).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::model::{cost, validate, TreeSpec};
+use htp::netlist::{HypergraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A netlist of two 4-gate clusters joined by one net: the classic case
+    // where the hierarchy should respect the natural structure.
+    let mut b = HypergraphBuilder::with_unit_nodes(8);
+    for base in [0u32, 4] {
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_net(1.0, [NodeId(base + i), NodeId(base + j)])?;
+            }
+        }
+    }
+    b.add_net(1.0, [NodeId(3), NodeId(4)])?; // the bridge
+    let h = b.build()?;
+    println!("netlist: {}", htp::netlist::NetlistStats::of(&h));
+
+    // A rooted binary hierarchy of height 2 (like the paper's Figure 1):
+    // leaves hold up to 3 nodes, level-1 blocks up to 5, the root all 8.
+    let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (8, 2, 1.0)])?;
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let result = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
+    validate::validate(&h, &spec, &result.partition)?;
+
+    println!("interconnection cost: {}", result.cost);
+    let breakdown = cost::cost_breakdown(&h, &spec, &result.partition);
+    for (l, c) in breakdown.per_level.iter().enumerate() {
+        println!("  level {l}: {c}");
+    }
+
+    // Show which leaf each node landed in.
+    for q in result.partition.leaves() {
+        let members = result.partition.nodes_in(q);
+        if !members.is_empty() {
+            let names: Vec<String> = members.iter().map(|v| v.to_string()).collect();
+            println!("leaf {q}: {}", names.join(" "));
+        }
+    }
+    Ok(())
+}

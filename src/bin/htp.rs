@@ -1,0 +1,246 @@
+//! `htp` — command-line front end for the hierarchical tree partitioner.
+//!
+//! ```text
+//! htp stats <netlist.hgr>
+//! htp gen   <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
+//! htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
+//!               [--slack X] [--seed S] [--improve] [--out assignment.txt]
+//! htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
+//! ```
+//!
+//! Netlists are read in hMETIS `.hgr` format; assignments are written as
+//! `<node-index> <leaf-index>` lines.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use htp::baselines::gfm::{gfm_partition, GfmParams};
+use htp::baselines::hfm::{improve, HfmParams};
+use htp::baselines::rfm::{rfm_partition, RfmParams};
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::lp::cutting::{lower_bound, CuttingPlaneParams};
+use htp::model::{cost, validate, HierarchicalPartition, TreeSpec};
+use htp::netlist::gen::grid::{grid_array, GridParams};
+use htp::netlist::gen::iscas::surrogate_by_name;
+use htp::netlist::gen::rent::{rent_circuit, RentParams};
+use htp::netlist::{io::hgr, Hypergraph, NetlistStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "\
+usage:
+  htp stats <netlist.hgr>
+  htp gen <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
+  htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
+                [--slack X] [--seed S] [--improve] [--out assignment.txt]
+  htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]";
+
+/// Minimal flag parser: positional arguments plus `--key value` pairs and
+/// bare `--flag` switches.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Self {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match raw.peek() {
+                    Some(next) if !next.starts_with("--") => raw.next(),
+                    _ => None,
+                };
+                options.push((key.to_owned(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, options }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+
+    fn value(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value(key) {
+            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: `{raw}`")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1));
+    let command = args.positional.first().cloned().ok_or("missing command")?;
+    match command.as_str() {
+        "stats" => cmd_stats(&args),
+        "gen" => cmd_gen(&args),
+        "partition" => cmd_partition(&args),
+        "bound" => cmd_bound(&args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn read_netlist(args: &Args) -> Result<Hypergraph, String> {
+    let path = args.positional.get(1).ok_or("missing netlist path")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    if path.ends_with(".v") {
+        htp::netlist::io::verilog::read(reader)
+            .map(|m| m.hypergraph)
+            .map_err(|e| format!("cannot parse {path}: {e}"))
+    } else {
+        hgr::read(reader).map_err(|e| format!("cannot parse {path}: {e}"))
+    }
+}
+
+fn spec_from(args: &Args, h: &Hypergraph) -> Result<TreeSpec, String> {
+    let height: usize = args.parsed("height", 4)?;
+    let arity: usize = args.parsed("arity", 2)?;
+    let slack: f64 = args.parsed("slack", 1.10)?;
+    TreeSpec::full_tree(h.total_size(), height, arity, slack, 1.0).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let h = read_netlist(args)?;
+    println!("{}", NetlistStats::of(&h));
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let what = args.positional.get(1).ok_or("missing generator spec")?;
+    let seed: u64 = args.parsed("seed", 1997)?;
+    let h = if let Some(n) = what.strip_prefix("rent:") {
+        let nodes: usize = n.parse().map_err(|_| format!("bad node count `{n}`"))?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        rent_circuit(
+            RentParams { nodes, primary_inputs: (nodes / 16).max(1), ..RentParams::default() },
+            &mut rng,
+        )
+    } else if let Some(dims) = what.strip_prefix("grid:") {
+        let (r, c) = dims.split_once('x').ok_or_else(|| format!("bad grid spec `{dims}`"))?;
+        let rows = r.parse().map_err(|_| format!("bad rows `{r}`"))?;
+        let cols = c.parse().map_err(|_| format!("bad cols `{c}`"))?;
+        grid_array(GridParams { rows, cols, operand_drivers: rows.min(cols) / 2 })
+    } else {
+        surrogate_by_name(what, seed)
+            .ok_or_else(|| format!("unknown circuit `{what}` (try c2670 or rent:1000)"))?
+    };
+    let text = hgr::to_string(&h);
+    match args.value("out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} ({})", path, NetlistStats::of(&h));
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    let h = read_netlist(args)?;
+    let spec = spec_from(args, &h)?;
+    let seed: u64 = args.parsed("seed", 1997)?;
+    let algo = args.value("algo").unwrap_or("flow");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let partition: HierarchicalPartition = match algo {
+        "flow" => FlowPartitioner::new(PartitionerParams::default())
+            .run(&h, &spec, &mut rng)
+            .map_err(|e| e.to_string())?
+            .partition,
+        "gfm" => gfm_partition(&h, &spec, GfmParams::default(), &mut rng)
+            .map_err(|e| e.to_string())?,
+        "rfm" => rfm_partition(&h, &spec, RfmParams::default(), &mut rng)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    validate::validate(&h, &spec, &partition).map_err(|e| e.to_string())?;
+
+    let partition = if args.flag("improve") {
+        let r = improve(&h, &spec, &partition, HfmParams::default()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "FM improvement: {} -> {} ({:.1}%)",
+            r.cost_before,
+            r.cost_after,
+            100.0 * r.improvement()
+        );
+        r.partition
+    } else {
+        partition
+    };
+
+    let breakdown = cost::cost_breakdown(&h, &spec, &partition);
+    eprintln!("algorithm {algo}, cost {}", breakdown.total);
+    for (l, c) in breakdown.per_level.iter().enumerate() {
+        eprintln!("  level {l}: {c}");
+    }
+
+    if let Some(path) = args.value("partition-out") {
+        std::fs::write(path, htp::model::io::to_string(&partition))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote partition tree to {path}");
+    }
+
+    // Dense leaf numbering in leaf-id order.
+    let leaves = partition.leaves();
+    let rank = |q: htp::model::VertexId| leaves.iter().position(|&x| x == q).expect("leaf");
+    match args.value("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            for v in h.nodes() {
+                writeln!(w, "{} {}", v.index(), rank(partition.leaf_of(v)))
+                    .map_err(|e| e.to_string())?;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => {
+            for v in h.nodes() {
+                println!("{} {}", v.index(), rank(partition.leaf_of(v)));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bound(args: &Args) -> Result<(), String> {
+    let h = read_netlist(args)?;
+    if h.num_nodes() > 200 {
+        eprintln!(
+            "warning: the exact LP bound is intended for small instances; \
+             {} nodes may take a long time",
+            h.num_nodes()
+        );
+    }
+    let spec = spec_from(args, &h)?;
+    let r = lower_bound(&h, &spec, CuttingPlaneParams::default()).map_err(|e| e.to_string())?;
+    println!(
+        "lower bound {:.4} (converged: {}, rows: {}, rounds: {})",
+        r.lower_bound, r.converged, r.constraints, r.rounds
+    );
+    Ok(())
+}

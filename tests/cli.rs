@@ -1,0 +1,154 @@
+//! Integration tests for the `htp` command-line tool, driving the real
+//! binary through its public interface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn htp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_htp"))
+        .args(args)
+        .output()
+        .expect("the htp binary runs")
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("htp-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = htp(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    let out = htp(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_stats_partition_pipeline() {
+    let netlist = tmp_path("pipeline.hgr");
+    let assignment = tmp_path("pipeline.assign");
+    let tree = tmp_path("pipeline.tree");
+
+    // gen: a small Rent circuit.
+    let out = htp(&["gen", "rent:96", "--seed", "5", "--out", netlist.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stats: reports the triple.
+    let out = htp(&["stats", netlist.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("96 nodes"), "{text}");
+
+    // partition: writes one assignment line per node plus a partition tree.
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--algo",
+        "flow",
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+        "--seed",
+        "3",
+        "--improve",
+        "--out",
+        assignment.to_str().unwrap(),
+        "--partition-out",
+        tree.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cost"), "{stderr}");
+
+    let lines: Vec<String> = std::fs::read_to_string(&assignment)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines.len(), 96);
+    for line in &lines {
+        let mut f = line.split_whitespace();
+        let _node: usize = f.next().unwrap().parse().unwrap();
+        let leaf: usize = f.next().unwrap().parse().unwrap();
+        assert!(leaf < 4, "height-2 binary tree has at most 4 leaves");
+    }
+
+    // The saved tree parses back through the model layer.
+    let text = std::fs::read_to_string(&tree).unwrap();
+    let p = htp::model::io::from_str(&text).unwrap();
+    assert_eq!(p.num_nodes(), 96);
+    assert_eq!(p.root_level(), 2);
+
+    for path in [netlist, assignment, tree] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn partition_all_algorithms_agree_on_format() {
+    let netlist = tmp_path("algos.hgr");
+    let out = htp(&["gen", "rent:64", "--seed", "9", "--out", netlist.to_str().unwrap()]);
+    assert!(out.status.success());
+    for algo in ["flow", "gfm", "rfm"] {
+        let out = htp(&[
+            "partition",
+            netlist.to_str().unwrap(),
+            "--algo",
+            algo,
+            "--height",
+            "2",
+            "--slack",
+            "1.4",
+        ]);
+        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(stdout.lines().count(), 64, "{algo}");
+    }
+    let _ = std::fs::remove_file(netlist);
+}
+
+#[test]
+fn bound_runs_on_tiny_instances() {
+    let netlist = tmp_path("bound.hgr");
+    std::fs::write(&netlist, "3 4\n1 2\n2 3\n3 4\n").unwrap();
+    let out = htp(&["bound", netlist.to_str().unwrap(), "--height", "1", "--arity", "2", "--slack", "1.0"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lower bound"), "{text}");
+    let _ = std::fs::remove_file(netlist);
+}
+
+#[test]
+fn verilog_input_is_recognized_by_extension() {
+    let netlist = tmp_path("c17.v");
+    std::fs::write(
+        &netlist,
+        "module c17 (N1, N2, N3, N6, N7, N22, N23);\n\
+         input N1, N2, N3, N6, N7;\noutput N22, N23;\nwire N10, N11, N16, N19;\n\
+         nand g0 (N10, N1, N3);\nnand g1 (N11, N3, N6);\nnand g2 (N16, N2, N11);\n\
+         nand g3 (N19, N11, N7);\nnand g4 (N22, N10, N16);\nnand g5 (N23, N16, N19);\n\
+         endmodule\n",
+    )
+    .unwrap();
+    let out = htp(&["stats", netlist.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("11 nodes"));
+    let _ = std::fs::remove_file(netlist);
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = htp(&["stats", "/nonexistent/nowhere.hgr"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}

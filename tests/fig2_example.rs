@@ -1,0 +1,79 @@
+//! The paper's Figure 2 worked example, reproduced exactly:
+//! a 16-node, 30-edge unit graph under the hierarchy
+//! `C_0 = 4, C_1 = 8, w_0 = 1, w_1 = 2`.
+
+use htp::core::lower_bound::verify_lemma1;
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::lp::cutting::{lower_bound, CuttingPlaneParams};
+use htp::model::{cost, validate};
+use htp_bench::{figure2, figure2_reference_partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn reference_partition_matches_the_figure_arithmetic() {
+    let (h, spec) = figure2();
+    let p = figure2_reference_partition();
+    validate::validate(&h, &spec, &p).unwrap();
+    // 6 edges cut at level 0 only (cost w_0·2 = 2 each) and 4 edges cut at
+    // both levels (cost 1·2 + 2·2 = 6 each): 12 + 24 = 36.
+    assert_eq!(cost::partition_cost(&h, &spec, &p), 36.0);
+
+    // The induced metric takes exactly the figure's labelled values.
+    let metric = htp::core::SpreadingMetric::from_partition(&h, &spec, &p);
+    let mut twos = 0;
+    let mut sixes = 0;
+    let mut zeros = 0;
+    for e in h.nets() {
+        match metric.length(e) as i64 {
+            0 => zeros += 1,
+            2 => twos += 1,
+            6 => sixes += 1,
+            other => panic!("unexpected d(e) = {other}"),
+        }
+    }
+    assert_eq!((zeros, twos, sixes), (20, 6, 4));
+}
+
+#[test]
+fn lemma1_holds_for_the_reference_partition() {
+    let (h, spec) = figure2();
+    let p = figure2_reference_partition();
+    let (report, objective) = verify_lemma1(&h, &spec, &p, 1e-9);
+    assert!(report.feasible, "shortfall {}", report.worst_shortfall);
+    assert_eq!(objective, 36.0);
+}
+
+#[test]
+fn flow_finds_a_partition_close_to_the_reference() {
+    let (h, spec) = figure2();
+    let mut rng = StdRng::seed_from_u64(1997);
+    let result = FlowPartitioner::new(PartitionerParams {
+        iterations: 8,
+        constructions_per_metric: 4,
+        ..PartitionerParams::default()
+    })
+    .run(&h, &spec, &mut rng)
+    .unwrap();
+    validate::validate(&h, &spec, &result.partition).unwrap();
+    assert!(
+        result.cost <= 44.0,
+        "FLOW should land near the reference cost 36, got {}",
+        result.cost
+    );
+}
+
+#[test]
+fn lp_lower_bound_brackets_the_reference_cost() {
+    let (h, spec) = figure2();
+    // A modest round cap keeps the test quick; every intermediate
+    // restricted optimum is already a valid (if looser) bound.
+    let params = CuttingPlaneParams { max_rounds: 10, ..CuttingPlaneParams::default() };
+    let lb = lower_bound(&h, &spec, params).unwrap();
+    assert!(lb.lower_bound > 0.0, "spreading constraints force a positive bound");
+    assert!(
+        lb.lower_bound <= 36.0 + 1e-6,
+        "Lemma 2: the LP optimum cannot exceed a feasible partition's cost, got {}",
+        lb.lower_bound
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate Lemma 2 checks: the cutting-plane lower bound must sit below
+//! the cost of every partition any algorithm produces.
+
+use htp::baselines::gfm::{gfm_partition, GfmParams};
+use htp::baselines::rfm::{rfm_partition, RfmParams};
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::lp::cutting::{lower_bound, CuttingPlaneParams};
+use htp::model::{cost, TreeSpec};
+use htp::netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lower_bound_sits_below_every_algorithm_on_small_instances() {
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = clustered_hypergraph(
+            ClusteredParams {
+                clusters: 4,
+                cluster_size: 6,
+                intra_nets: 60,
+                inter_nets: 8,
+                min_net_size: 2,
+                max_net_size: 3,
+            },
+            &mut rng,
+        );
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(8, 2, 1.0), (14, 2, 1.0), (24, 2, 1.0)]).unwrap();
+
+        let params = CuttingPlaneParams { max_rounds: 8, ..CuttingPlaneParams::default() };
+        let lb = lower_bound(h, &spec, params).unwrap();
+        assert!(lb.lower_bound >= 0.0);
+
+        let flow = FlowPartitioner::new(PartitionerParams::default())
+            .run(h, &spec, &mut rng)
+            .unwrap();
+        let gfm = gfm_partition(h, &spec, GfmParams::default(), &mut rng).unwrap();
+        let rfm = rfm_partition(h, &spec, RfmParams::default(), &mut rng).unwrap();
+
+        for (name, c) in [
+            ("flow", flow.cost),
+            ("gfm", cost::partition_cost(h, &spec, &gfm)),
+            ("rfm", cost::partition_cost(h, &spec, &rfm)),
+        ] {
+            assert!(
+                lb.lower_bound <= c + 1e-6,
+                "seed {seed}: bound {} exceeds {name} cost {c}",
+                lb.lower_bound
+            );
+        }
+    }
+}
+
+#[test]
+fn heuristic_metric_objective_tracks_the_lp_optimum() {
+    // Algorithm 2's heuristic metric is approximately feasible, so its
+    // objective should come out at or above the LP optimum (which is over a
+    // superset of feasible points), but within a small factor on an easy
+    // instance.
+    let mut rng = StdRng::seed_from_u64(4);
+    let inst = clustered_hypergraph(
+        ClusteredParams {
+            clusters: 2,
+            cluster_size: 8,
+            intra_nets: 40,
+            inter_nets: 3,
+            min_net_size: 2,
+            max_net_size: 2,
+        },
+        &mut rng,
+    );
+    let h = &inst.hypergraph;
+    let spec = TreeSpec::new(vec![(10, 2, 1.0), (16, 2, 1.0)]).unwrap();
+
+    let params = CuttingPlaneParams { max_rounds: 12, ..CuttingPlaneParams::default() };
+    let lb = lower_bound(h, &spec, params).unwrap();
+    let (metric, stats) = htp::core::injector::compute_spreading_metric(
+        h,
+        &spec,
+        htp::core::injector::FlowParams::default(),
+        &mut rng,
+    );
+    assert!(stats.converged);
+    let heuristic = metric.objective(h);
+    assert!(
+        heuristic >= lb.lower_bound - 1e-6,
+        "a feasible point cannot beat the relaxation optimum: {heuristic} < {}",
+        lb.lower_bound
+    );
+    assert!(
+        heuristic <= 40.0 * lb.lower_bound.max(0.5),
+        "heuristic metric objective is wildly above the optimum: {heuristic} vs {}",
+        lb.lower_bound
+    );
+}

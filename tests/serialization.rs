@@ -1,0 +1,79 @@
+//! Persistence round-trips across the stack: netlists through `.hgr` and
+//! `netl`, partitions through the `htp-partition` text format — with costs
+//! preserved exactly.
+
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::model::{cost, io as partition_io, TreeSpec};
+use htp::netlist::gen::rent::{rent_circuit, RentParams};
+use htp::netlist::io::{hgr, netl};
+use htp::netlist::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn partition_survives_a_save_load_cycle_with_identical_cost() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let h = rent_circuit(
+        RentParams { nodes: 120, primary_inputs: 8, ..RentParams::default() },
+        &mut rng,
+    );
+    let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
+    let result = FlowPartitioner::new(PartitionerParams::default())
+        .run(&h, &spec, &mut rng)
+        .unwrap();
+
+    let text = partition_io::to_string(&result.partition);
+    let loaded = partition_io::from_str(&text).unwrap();
+    assert_eq!(loaded.num_nodes(), h.num_nodes());
+    assert_eq!(loaded.root_level(), result.partition.root_level());
+    assert_eq!(
+        cost::partition_cost(&h, &spec, &loaded),
+        result.cost,
+        "cost must be identical after reload"
+    );
+}
+
+#[test]
+fn netlist_survives_hgr_and_netl_round_trips() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let h = rent_circuit(
+        RentParams { nodes: 90, primary_inputs: 6, ..RentParams::default() },
+        &mut rng,
+    );
+
+    // hgr: bit-exact.
+    let back = hgr::from_str(&hgr::to_string(&h)).unwrap();
+    assert_eq!(h, back);
+
+    // netl: attach names, round-trip, compare structure.
+    let named = netl::NamedNetlist {
+        hypergraph: h.clone(),
+        node_names: (0..h.num_nodes()).map(|v| format!("g{v}")).collect(),
+        net_names: (0..h.num_nets()).map(|e| format!("n{e}")).collect(),
+    };
+    let mut buf = Vec::new();
+    netl::write(&named, &mut buf).unwrap();
+    let reloaded = netl::read(&buf[..]).unwrap();
+    assert_eq!(reloaded.hypergraph, h);
+    assert_eq!(reloaded.node_names[3], "g3");
+}
+
+#[test]
+fn renders_are_consistent_with_structure() {
+    let mut rng = StdRng::seed_from_u64(79);
+    let h = rent_circuit(
+        RentParams { nodes: 40, primary_inputs: 4, ..RentParams::default() },
+        &mut rng,
+    );
+    let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.3, 1.0).unwrap();
+    let result = FlowPartitioner::new(PartitionerParams::default())
+        .run(&h, &spec, &mut rng)
+        .unwrap();
+    let sizes: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
+    let text = result.partition.render(&sizes);
+    assert_eq!(text.lines().count(), result.partition.num_vertices());
+    assert!(text.contains(&format!("size {}", h.total_size())), "{text}");
+    // Every node is reachable through some rendered leaf.
+    let leaf = result.partition.leaf_of(NodeId(0));
+    assert!(text.contains(&leaf.to_string()));
+}

@@ -1,0 +1,72 @@
+//! Shape checks for the paper's Table 2 narrative, at reduced scale so the
+//! suite stays fast:
+//!
+//! * on clustered random logic (the c2670/c7552 structure class), FLOW
+//!   beats the local RFM construction;
+//! * on a regular multiplier array (the c6288 class), FLOW loses its edge —
+//!   the paper's one negative result.
+
+use htp::baselines::rfm::{rfm_partition, RfmParams};
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::model::{cost, TreeSpec};
+use htp::netlist::gen::grid::{grid_array, GridParams};
+use htp::netlist::gen::rent::{rent_circuit, RentParams};
+use htp::netlist::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn best_rfm(h: &Hypergraph, spec: &TreeSpec, restarts: u64) -> f64 {
+    (0..restarts)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(1000 + s);
+            let p = rfm_partition(h, spec, RfmParams::default(), &mut rng).unwrap();
+            cost::partition_cost(h, spec, &p)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn flow_cost(h: &Hypergraph, spec: &TreeSpec) -> f64 {
+    let mut rng = StdRng::seed_from_u64(2000);
+    FlowPartitioner::new(PartitionerParams {
+        iterations: 3,
+        constructions_per_metric: 4,
+        ..PartitionerParams::default()
+    })
+    .run(h, spec, &mut rng)
+    .unwrap()
+    .cost
+}
+
+#[test]
+fn flow_wins_on_clustered_random_logic() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let h = rent_circuit(
+        RentParams {
+            nodes: 512,
+            primary_inputs: 32,
+            locality: 0.82,
+            ..RentParams::default()
+        },
+        &mut rng,
+    );
+    let spec = TreeSpec::full_tree(h.total_size(), 4, 2, 1.10, 1.0).unwrap();
+    let flow = flow_cost(&h, &spec);
+    let rfm = best_rfm(&h, &spec, 4);
+    assert!(
+        flow < rfm,
+        "paper shape: FLOW should beat RFM on clustered logic ({flow} vs {rfm})"
+    );
+}
+
+#[test]
+fn flow_loses_its_edge_on_the_regular_array() {
+    let h = grid_array(GridParams { rows: 20, cols: 20, operand_drivers: 8 });
+    let spec = TreeSpec::full_tree(h.total_size(), 4, 2, 1.10, 1.0).unwrap();
+    let flow = flow_cost(&h, &spec);
+    let rfm = best_rfm(&h, &spec, 4);
+    assert!(
+        flow > 0.9 * rfm,
+        "paper shape: on the c6288-like mesh FLOW has no real advantage \
+         ({flow} vs {rfm})"
+    );
+}
