@@ -33,7 +33,11 @@ pub enum BaselineError {
 impl fmt::Display for BaselineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BaselineError::NoBalancedSplit { total, max_side0, max_side1 } => write!(
+            BaselineError::NoBalancedSplit {
+                total,
+                max_side0,
+                max_side1,
+            } => write!(
                 f,
                 "cannot split size {total} into sides bounded by {max_side0} and {max_side1}"
             ),
@@ -65,7 +69,11 @@ mod tests {
 
     #[test]
     fn displays_carry_numbers() {
-        let e = BaselineError::NoBalancedSplit { total: 10, max_side0: 4, max_side1: 4 };
+        let e = BaselineError::NoBalancedSplit {
+            total: 10,
+            max_side0: 4,
+            max_side1: 4,
+        };
         assert!(e.to_string().contains("10"));
     }
 

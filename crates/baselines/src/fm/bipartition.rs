@@ -30,7 +30,10 @@ pub struct BisectionBounds {
 impl BisectionBounds {
     /// Symmetric bounds.
     pub fn symmetric(max_side: u64) -> Self {
-        BisectionBounds { max_side0: max_side, max_side1: max_side }
+        BisectionBounds {
+            max_side0: max_side,
+            max_side1: max_side,
+        }
     }
 }
 
@@ -183,7 +186,11 @@ fn run_pass(
     let mut free = vec![true; n];
     let mut heap: BinaryHeap<HeapEntry> = h
         .nodes()
-        .map(|v| HeapEntry { gain: gain[v.index()], node: v.0, version: 0 })
+        .map(|v| HeapEntry {
+            gain: gain[v.index()],
+            node: v.0,
+            version: 0,
+        })
         .collect();
 
     // The tentative move sequence and the running cut.
@@ -203,7 +210,11 @@ fn run_pass(
             }
             let from = side[v] as usize;
             let to = 1 - from;
-            let cap = if to == 0 { bounds.max_side0 } else { bounds.max_side1 };
+            let cap = if to == 0 {
+                bounds.max_side0
+            } else {
+                bounds.max_side1
+            };
             if sizes[to] + h.node_size(NodeId::new(v)) <= cap {
                 chosen = Some(entry.node);
                 break;
@@ -288,7 +299,11 @@ fn bump(
 ) {
     gain[u.index()] += delta;
     version[u.index()] += 1;
-    heap.push(HeapEntry { gain: gain[u.index()], node: u.0, version: version[u.index()] });
+    heap.push(HeapEntry {
+        gain: gain[u.index()],
+        node: u.0,
+        version: version[u.index()],
+    });
 }
 
 fn node_gain(h: &Hypergraph, side: &[bool], count: &[[u32; 2]], v: NodeId) -> f64 {
@@ -370,7 +385,10 @@ mod tests {
             b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
         }
         let h = b.build().unwrap();
-        let bounds = BisectionBounds { max_side0: 3, max_side1: 8 };
+        let bounds = BisectionBounds {
+            max_side0: 3,
+            max_side1: 8,
+        };
         let init = random_balanced_init(&h, bounds, &mut rng).unwrap();
         let r = fm_bipartition(&h, init, bounds, 16).unwrap();
         let sizes = side_sizes(&h, &r.side);
@@ -417,7 +435,10 @@ mod tests {
         b.add_net(10.0, [NodeId(1), NodeId(2)]).unwrap();
         b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
         let h = b.build().unwrap();
-        let bounds = BisectionBounds { max_side0: 3, max_side1: 3 };
+        let bounds = BisectionBounds {
+            max_side0: 3,
+            max_side1: 3,
+        };
         let mut best = f64::INFINITY;
         for seed in 0..6 {
             let mut rng = StdRng::seed_from_u64(seed);

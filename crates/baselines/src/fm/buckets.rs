@@ -215,7 +215,11 @@ fn run_pass(
         // Best feasible move across both sides (higher gain wins; ties go
         // to side 0 for determinism).
         let pick = |b: &mut Buckets, to: usize, sizes: &[u64; 2]| -> Option<(usize, i64)> {
-            let cap = if to == 0 { bounds.max_side0 } else { bounds.max_side1 };
+            let cap = if to == 0 {
+                bounds.max_side0
+            } else {
+                bounds.max_side1
+            };
             let target = sizes[to];
             let found = b.best(|v| target + h.node_size(NodeId::new(v)) <= cap)?;
             Some((found, b.gain(found)))
@@ -361,7 +365,10 @@ mod tests {
         let r = fm_bipartition_buckets(
             &h,
             vec![false; 4],
-            BisectionBounds { max_side0: 2, max_side1: 4 },
+            BisectionBounds {
+                max_side0: 2,
+                max_side1: 4,
+            },
             4,
         );
         assert!(matches!(r, Err(BaselineError::NoBalancedSplit { .. })));

@@ -228,7 +228,9 @@ fn merge_level(
                 .max_by(|&a, &c| {
                     let wa: f64 = group.iter().map(|&g| w[g * num_blocks + a]).sum();
                     let wc: f64 = group.iter().map(|&g| w[g * num_blocks + c]).sum();
-                    wa.partial_cmp(&wc).expect("weights not NaN").then(c.cmp(&a))
+                    wa.partial_cmp(&wc)
+                        .expect("weights not NaN")
+                        .then(c.cmp(&a))
                 });
             match best {
                 Some(c) => {
@@ -329,7 +331,10 @@ mod tests {
         // Each planted inter net costs at most 2 (level 0) + 2 (level 1);
         // perfect recovery costs <= 16; badly mixed blocks cost much more.
         let c = cost::partition_cost(h, &spec, &p);
-        assert!(c <= 16.0, "cost {c} suggests the clusters were not recovered");
+        assert!(
+            c <= 16.0,
+            "cost {c} suggests the clusters were not recovered"
+        );
     }
 
     #[test]
@@ -360,8 +365,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
         let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
-        let p1 = gfm_partition(&inst.hypergraph, &spec, GfmParams::default(), &mut StdRng::seed_from_u64(9)).unwrap();
-        let p2 = gfm_partition(&inst.hypergraph, &spec, GfmParams::default(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let p1 = gfm_partition(
+            &inst.hypergraph,
+            &spec,
+            GfmParams::default(),
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
+        let p2 = gfm_partition(
+            &inst.hypergraph,
+            &spec,
+            GfmParams::default(),
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
         assert_eq!(p1, p2);
     }
 }

@@ -94,14 +94,16 @@ pub fn improve(
         }
     }
 
-    let leaf_of: Vec<VertexId> = engine
-        .leaf_rank_of
-        .iter()
-        .map(|&r| leaves[r])
-        .collect();
+    let leaf_of: Vec<VertexId> = engine.leaf_rank_of.iter().map(|&r| leaves[r]).collect();
     let partition = p.with_assignment(leaf_of)?;
     let cost_after = cost::partition_cost(h, spec, &partition);
-    Ok(HfmResult { partition, cost_before, cost_after, passes, moves: total_moves })
+    Ok(HfmResult {
+        partition,
+        cost_before,
+        cost_after,
+        passes,
+        moves: total_moves,
+    })
 }
 
 #[derive(Debug)]
@@ -223,8 +225,7 @@ impl<'a> Engine<'a> {
             })
             .collect();
 
-        let leaf_rank_of: Vec<usize> =
-            h.nodes().map(|v| leaf_rank[p.leaf_of(v).index()]).collect();
+        let leaf_rank_of: Vec<usize> = h.nodes().map(|v| leaf_rank[p.leaf_of(v).index()]).collect();
 
         // Net pin counts per level block.
         let mut counts: Vec<Vec<u32>> = (0..levels)
@@ -397,7 +398,12 @@ impl<'a> Engine<'a> {
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n);
         for v in self.h.nodes() {
             if let Some((to, gain)) = self.best_move(v) {
-                heap.push(Candidate { gain, node: v.0, target: to as u32, version: 0 });
+                heap.push(Candidate {
+                    gain,
+                    node: v.0,
+                    target: to as u32,
+                    version: 0,
+                });
             }
         }
 
@@ -418,7 +424,12 @@ impl<'a> Engine<'a> {
                 // recompute the node's best feasible move.
                 version[vi] += 1;
                 if let Some((t2, g2)) = self.best_move(v) {
-                    heap.push(Candidate { gain: g2, node: c.node, target: t2 as u32, version: version[vi] });
+                    heap.push(Candidate {
+                        gain: g2,
+                        node: c.node,
+                        target: t2 as u32,
+                        version: version[vi],
+                    });
                 }
                 continue;
             }
@@ -514,7 +525,8 @@ mod tests {
     fn respects_capacities_during_improvement() {
         // A net wants everything in one leaf, but C_0 forbids it.
         let mut b = HypergraphBuilder::with_unit_nodes(6);
-        b.add_net(1.0, (0..6).map(NodeId).collect::<Vec<_>>()).unwrap();
+        b.add_net(1.0, (0..6).map(NodeId).collect::<Vec<_>>())
+            .unwrap();
         let h = b.build().unwrap();
         let spec = TreeSpec::new(vec![(3, 2, 1.0), (6, 2, 1.0)]).unwrap();
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 0, 1, 1, 1]).unwrap();
@@ -534,7 +546,8 @@ mod tests {
         for group in [0u32, 4] {
             for i in 0..4 {
                 for j in i + 1..4 {
-                    b.add_net(1.0, [NodeId(group + i), NodeId(group + j)]).unwrap();
+                    b.add_net(1.0, [NodeId(group + i), NodeId(group + j)])
+                        .unwrap();
                 }
             }
         }

@@ -37,7 +37,10 @@ pub struct RfmParams {
 
 impl Default for RfmParams {
     fn default() -> Self {
-        RfmParams { fm_passes: 8, init: SplitInit::Random }
+        RfmParams {
+            fm_passes: 8,
+            init: SplitInit::Random,
+        }
     }
 }
 
@@ -58,12 +61,14 @@ pub fn rfm_partition<R: Rng + ?Sized>(
         return Err(BaselineError::EmptyNetlist);
     }
     let total = h.total_size();
-    let top = spec.level_for_size(total).ok_or_else(|| BaselineError::Infeasible {
-        message: format!(
-            "netlist of size {total} exceeds the root capacity {}",
-            spec.capacity(spec.root_level())
-        ),
-    })?;
+    let top = spec
+        .level_for_size(total)
+        .ok_or_else(|| BaselineError::Infeasible {
+            message: format!(
+                "netlist of size {total} exceeds the root capacity {}",
+                spec.capacity(spec.root_level())
+            ),
+        })?;
 
     let all: Vec<NodeId> = h.nodes().collect();
     if top == 0 {
@@ -98,7 +103,9 @@ fn split<R: Rng + ?Sized>(
     let lb_spec = size.div_ceil(k);
     if size > k * ub {
         return Err(BaselineError::Infeasible {
-            message: format!("size {size} cannot fit {k} children of capacity {ub} at level {level}"),
+            message: format!(
+                "size {size} cannot fit {k} children of capacity {ub} at level {level}"
+            ),
         });
     }
 
@@ -121,7 +128,10 @@ fn split<R: Rng + ?Sized>(
             .min(ub);
 
         // FM min-cut with side 0 forced into [lb, ub].
-        let bounds = BisectionBounds { max_side0: ub, max_side1: rem_size - lb };
+        let bounds = BisectionBounds {
+            max_side0: ub,
+            max_side1: rem_size - lb,
+        };
         let init = match params.init {
             SplitInit::Random => random_balanced_init(&rem_h, bounds, rng)?,
             SplitInit::Spectral => {
@@ -133,14 +143,11 @@ fn split<R: Rng + ?Sized>(
         };
         let r = fm_bipartition(&rem_h, init, bounds, params.fm_passes)?;
 
-        let block_local: Vec<NodeId> =
-            rem_h.nodes().filter(|v| !r.side[v.index()]).collect();
-        let rest_local: Vec<NodeId> =
-            rem_h.nodes().filter(|v| r.side[v.index()]).collect();
+        let block_local: Vec<NodeId> = rem_h.nodes().filter(|v| !r.side[v.index()]).collect();
+        let rest_local: Vec<NodeId> = rem_h.nodes().filter(|v| r.side[v.index()]).collect();
 
         let block = rem_h.induce_tracked(&block_local);
-        let block_map: Vec<NodeId> =
-            block.node_map.iter().map(|&l| rem_map[l.index()]).collect();
+        let block_map: Vec<NodeId> = block.node_map.iter().map(|&l| rem_map[l.index()]).collect();
         attach_child(b, vertex, &block.hypergraph, &block_map, spec, params, rng)?;
         children += 1;
 
@@ -161,9 +168,11 @@ fn attach_child<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(), BaselineError> {
     let size = h.total_size();
-    let child_level = spec.level_for_size(size).ok_or_else(|| BaselineError::Infeasible {
-        message: format!("child of size {size} fits no level"),
-    })?;
+    let child_level = spec
+        .level_for_size(size)
+        .ok_or_else(|| BaselineError::Infeasible {
+            message: format!("child of size {size} fits no level"),
+        })?;
     if child_level == 0 {
         let leaf = b.add_child(parent, 0)?;
         for &orig in map {
@@ -232,7 +241,10 @@ mod tests {
         let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
         let h = &inst.hypergraph;
         let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0).unwrap();
-        let params = RfmParams { init: SplitInit::Spectral, ..RfmParams::default() };
+        let params = RfmParams {
+            init: SplitInit::Spectral,
+            ..RfmParams::default()
+        };
         let p = rfm_partition(h, &spec, params, &mut rng).unwrap();
         validate::validate(h, &spec, &p).unwrap();
         // Spectral seeding should be competitive with random seeding.
@@ -258,7 +270,8 @@ mod tests {
         let mut b = HypergraphBuilder::with_unit_nodes(8);
         for base in [0u32, 4] {
             for i in 0..3 {
-                b.add_net(1.0, [NodeId(base + i), NodeId(base + i + 1)]).unwrap();
+                b.add_net(1.0, [NodeId(base + i), NodeId(base + i + 1)])
+                    .unwrap();
             }
         }
         let h = b.build().unwrap();

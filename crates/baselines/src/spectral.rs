@@ -29,7 +29,10 @@ pub struct SpectralParams {
 
 impl Default for SpectralParams {
     fn default() -> Self {
-        SpectralParams { iterations: 300, tolerance: 1e-7 }
+        SpectralParams {
+            iterations: 300,
+            tolerance: 1e-7,
+        }
     }
 }
 
@@ -122,7 +125,10 @@ pub fn spectral_bipartition(
     let fiedler = fiedler_vector(h, params);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        fiedler[a].partial_cmp(&fiedler[b]).expect("fiedler is finite").then(a.cmp(&b))
+        fiedler[a]
+            .partial_cmp(&fiedler[b])
+            .expect("fiedler is finite")
+            .then(a.cmp(&b))
     });
 
     // Sweep: prefix = side 0. Maintain the cut incrementally.
@@ -168,7 +174,11 @@ pub fn spectral_bipartition(
         side[v] = false;
     }
     debug_assert!((cut_of(h, &side) - best_cut).abs() < 1e-9);
-    Ok(FmResult { side, cut: best_cut, passes: 0 })
+    Ok(FmResult {
+        side,
+        cut: best_cut,
+        passes: 0,
+    })
 }
 
 /// The classic spectral + FM combination: a Fiedler sweep cut refined by FM
@@ -235,9 +245,12 @@ mod tests {
     #[test]
     fn sweep_cut_recovers_the_planted_bisection() {
         let (h, _) = two_clusters();
-        let r =
-            spectral_bipartition(&h, BisectionBounds::symmetric(13), SpectralParams::default())
-                .unwrap();
+        let r = spectral_bipartition(
+            &h,
+            BisectionBounds::symmetric(13),
+            SpectralParams::default(),
+        )
+        .unwrap();
         assert!(r.cut <= 4.0 + 1e-9, "planted cut is 4, got {}", r.cut);
         assert!((cut_of(&h, &r.side) - r.cut).abs() < 1e-9);
     }
@@ -260,7 +273,11 @@ mod tests {
         let h = b.build().unwrap();
         let r = spectral_bipartition(&h, BisectionBounds::symmetric(6), SpectralParams::default())
             .unwrap();
-        assert!((r.cut - 1.0).abs() < 1e-9, "a path has a 1-net bisection, got {}", r.cut);
+        assert!(
+            (r.cut - 1.0).abs() < 1e-9,
+            "a path has a 1-net bisection, got {}",
+            r.cut
+        );
         // The prefix must be contiguous on the path (Fiedler vectors of
         // paths are monotone).
         let side0: Vec<usize> = (0..10).filter(|&v| !r.side[v]).collect();
@@ -278,10 +295,18 @@ mod tests {
     #[test]
     fn deterministic() {
         let (h, _) = two_clusters();
-        let a = spectral_bipartition(&h, BisectionBounds::symmetric(13), SpectralParams::default())
-            .unwrap();
-        let b = spectral_bipartition(&h, BisectionBounds::symmetric(13), SpectralParams::default())
-            .unwrap();
+        let a = spectral_bipartition(
+            &h,
+            BisectionBounds::symmetric(13),
+            SpectralParams::default(),
+        )
+        .unwrap();
+        let b = spectral_bipartition(
+            &h,
+            BisectionBounds::symmetric(13),
+            SpectralParams::default(),
+        )
+        .unwrap();
         assert_eq!(a.side, b.side);
     }
 }

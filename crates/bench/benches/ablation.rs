@@ -13,7 +13,12 @@ use std::hint::black_box;
 fn bench_constructions_per_metric(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
     let h = rent_circuit(
-        RentParams { nodes: 360, primary_inputs: 24, locality: 0.82, ..RentParams::default() },
+        RentParams {
+            nodes: 360,
+            primary_inputs: 24,
+            locality: 0.82,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let spec = paper_spec(&h);
@@ -29,7 +34,11 @@ fn bench_constructions_per_metric(c: &mut Criterion) {
                     constructions_per_metric: m,
                     ..PartitionerParams::default()
                 };
-                black_box(FlowPartitioner::new(params).run(&h, &spec, &mut rng).unwrap())
+                black_box(
+                    FlowPartitioner::new(params)
+                        .run(&h, &spec, &mut rng)
+                        .unwrap(),
+                )
             })
         });
     }

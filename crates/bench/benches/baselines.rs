@@ -37,7 +37,11 @@ fn bench_fm(c: &mut Criterion) {
 fn bench_hfm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(8);
     let h = rent_circuit(
-        RentParams { nodes: 512, primary_inputs: 32, ..RentParams::default() },
+        RentParams {
+            nodes: 512,
+            primary_inputs: 32,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let spec = paper_spec(&h);

@@ -15,7 +15,12 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     // A c2670-at-1/4-scale workload keeps the bench minutes, not hours.
     let h = rent_circuit(
-        RentParams { nodes: 360, primary_inputs: 24, locality: 0.82, ..RentParams::default() },
+        RentParams {
+            nodes: 360,
+            primary_inputs: 24,
+            locality: 0.82,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let spec = paper_spec(&h);
@@ -42,7 +47,11 @@ fn bench_end_to_end(c: &mut Criterion) {
                 constructions_per_metric: 1,
                 ..PartitionerParams::default()
             };
-            black_box(FlowPartitioner::new(params).run(&h, &spec, &mut rng).unwrap())
+            black_box(
+                FlowPartitioner::new(params)
+                    .run(&h, &spec, &mut rng)
+                    .unwrap(),
+            )
         })
     });
     group.finish();

@@ -16,7 +16,11 @@ use std::hint::black_box;
 fn bench_fm_engines(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let h = rent_circuit(
-        RentParams { nodes: 1024, primary_inputs: 64, ..RentParams::default() },
+        RentParams {
+            nodes: 1024,
+            primary_inputs: 64,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let bounds = BisectionBounds::symmetric((h.total_size() * 11).div_ceil(20));
@@ -31,9 +35,7 @@ fn bench_fm_engines(c: &mut Criterion) {
     });
     group.bench_function("spectral_seed_plus_fm", |b| {
         b.iter(|| {
-            black_box(
-                spectral_fm_bipartition(&h, bounds, SpectralParams::default(), 8).unwrap(),
-            )
+            black_box(spectral_fm_bipartition(&h, bounds, SpectralParams::default(), 8).unwrap())
         })
     });
     group.finish();
@@ -42,7 +44,12 @@ fn bench_fm_engines(c: &mut Criterion) {
 fn bench_multilevel(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(12);
     let h = rent_circuit(
-        RentParams { nodes: 700, primary_inputs: 48, locality: 0.8, ..RentParams::default() },
+        RentParams {
+            nodes: 700,
+            primary_inputs: 48,
+            locality: 0.8,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let spec = paper_spec(&h);

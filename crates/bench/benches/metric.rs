@@ -28,12 +28,50 @@ fn bench_metric(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                black_box(compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng))
+                black_box(compute_spreading_metric(
+                    &h,
+                    &spec,
+                    FlowParams::default(),
+                    &mut rng,
+                ))
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_metric);
+/// Thread scaling of the speculative-parallel probe engine on a
+/// rent:2000-class instance. The metric is bit-identical at every thread
+/// count; only the wall-clock should move.
+fn bench_metric_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spreading_metric_threads");
+    group.sample_size(10);
+    let nodes = 2000usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let h = rent_circuit(
+        RentParams {
+            nodes,
+            primary_inputs: (nodes / 16).max(1),
+            locality: 0.8,
+            ..RentParams::default()
+        },
+        &mut rng,
+    );
+    let spec = paper_spec(&h);
+    for threads in [1usize, 2, 4, 8] {
+        let params = FlowParams {
+            threads,
+            ..FlowParams::default()
+        };
+        group.bench_with_input(BenchmarkId::new("rent2000", threads), &threads, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(compute_spreading_metric(&h, &spec, params, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metric, bench_metric_threads);
 criterion_main!(benches);

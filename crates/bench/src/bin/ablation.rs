@@ -53,7 +53,11 @@ fn run(h: &Hypergraph, params: PartitionerParams) -> (f64, f64) {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let h = workload(quick);
-    println!("ABLATION on {} nodes / {} nets", h.num_nodes(), h.num_nets());
+    println!(
+        "ABLATION on {} nodes / {} nets",
+        h.num_nodes(),
+        h.num_nets()
+    );
 
     println!("\n(a) Exponential re-pricing: alpha x delta sweep (N = 2, M = 2)");
     let mut t = htp_bench::TextTable::new(["alpha", "delta", "cost", "secs"]);
@@ -62,7 +66,11 @@ fn main() {
             let params = PartitionerParams {
                 iterations: 2,
                 constructions_per_metric: 2,
-                flow: FlowParams { alpha, delta, ..FlowParams::default() },
+                flow: FlowParams {
+                    alpha,
+                    delta,
+                    ..FlowParams::default()
+                },
             };
             let (cost, secs) = run(&h, params);
             t.row([
@@ -106,11 +114,22 @@ fn main() {
         use htp_model::cost::partition_cost;
         let spec = paper_spec(&h);
         let mut t = htp_bench::TextTable::new(["init", "cost", "secs"]);
-        for (name, init) in [("random", SplitInit::Random), ("spectral", SplitInit::Spectral)] {
+        for (name, init) in [
+            ("random", SplitInit::Random),
+            ("spectral", SplitInit::Spectral),
+        ] {
             let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
             let start = Instant::now();
-            let p = rfm_partition(&h, &spec, RfmParams { init, ..RfmParams::default() }, &mut rng)
-                .expect("RFM succeeds on the ablation workload");
+            let p = rfm_partition(
+                &h,
+                &spec,
+                RfmParams {
+                    init,
+                    ..RfmParams::default()
+                },
+                &mut rng,
+            )
+            .expect("RFM succeeds on the ablation workload");
             let secs = start.elapsed().as_secs_f64();
             t.row([
                 name.to_string(),
@@ -120,7 +139,6 @@ fn main() {
         }
         println!("{t}");
     }
-
 
     println!("(e) Multilevel: flow-injection clustering + coarse FLOW vs flat FLOW");
     {
@@ -132,7 +150,11 @@ fn main() {
         let flat = FlowPartitioner::new(PartitionerParams::default())
             .run(&h, &spec, &mut rng)
             .expect("flat FLOW succeeds");
-        t.row(["flat".to_string(), format!("{:.0}", flat.cost), format!("{:.1}", start.elapsed().as_secs_f64())]);
+        t.row([
+            "flat".to_string(),
+            format!("{:.0}", flat.cost),
+            format!("{:.1}", start.elapsed().as_secs_f64()),
+        ]);
         let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
         let start = Instant::now();
         let multi = clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng)

@@ -26,7 +26,10 @@ fn main() {
 
     let (flow, result) = run_flow(&h, &spec, 1997, flow_params(8));
     println!("FLOW best cost (8 iterations)     : {}", flow.cost);
-    println!("FLOW metric objective             : {:.3}", result.metric.objective(&h));
+    println!(
+        "FLOW metric objective             : {:.3}",
+        result.metric.objective(&h)
+    );
 
     let lb = lower_bound(&h, &spec, CuttingPlaneParams::default())
         .expect("the (P1) relaxation is well-formed");
@@ -46,7 +49,9 @@ fn main() {
     let metric = htp_core::SpreadingMetric::from_partition(&h, &spec, &reference);
     let mut counts = std::collections::BTreeMap::new();
     for e in h.nets() {
-        *counts.entry(format!("{:.0}", metric.length(e))).or_insert(0) += 1;
+        *counts
+            .entry(format!("{:.0}", metric.length(e)))
+            .or_insert(0) += 1;
     }
     for (d, n) in counts {
         println!("  d = {d}: {n} edges");

@@ -71,18 +71,38 @@ pub fn run_flow(
     let seconds = start.elapsed().as_secs_f64();
     validate::validate(h, spec, &result.partition).expect("FLOW output is feasible");
     (
-        TimedRun { partition: result.partition.clone(), cost: result.cost, seconds },
+        TimedRun {
+            partition: result.partition.clone(),
+            cost: result.cost,
+            seconds,
+        },
         result,
     )
 }
 
+/// Probe-worker threads for Algorithm 2, read from `HTP_THREADS`
+/// (default 1; `0` means all cores). Thread count only changes wall-clock
+/// time — the computed metrics, and hence every table, are bit-identical —
+/// so an environment knob keeps the experiment binaries' interfaces
+/// unchanged.
+pub fn threads_from_env() -> usize {
+    std::env::var("HTP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Default FLOW parameters for the tables: `N` iterations with the
-/// conclusions' multi-construction extension.
+/// conclusions' multi-construction extension. Honors `HTP_THREADS` (see
+/// [`threads_from_env`]).
 pub fn flow_params(iterations: usize) -> PartitionerParams {
     PartitionerParams {
         iterations,
         constructions_per_metric: 4,
-        flow: FlowParams::default(),
+        flow: FlowParams {
+            threads: threads_from_env(),
+            ..FlowParams::default()
+        },
     }
 }
 
@@ -101,7 +121,11 @@ pub fn run_gfm(h: &Hypergraph, spec: &TreeSpec, seed: u64, restarts: usize) -> T
         }
     }
     let (partition, cost) = best.expect("at least one restart");
-    TimedRun { partition, cost, seconds: start.elapsed().as_secs_f64() }
+    TimedRun {
+        partition,
+        cost,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Runs RFM best-of-`restarts`.
@@ -119,7 +143,11 @@ pub fn run_rfm(h: &Hypergraph, spec: &TreeSpec, seed: u64, restarts: usize) -> T
         }
     }
     let (partition, cost) = best.expect("at least one restart");
-    TimedRun { partition, cost, seconds: start.elapsed().as_secs_f64() }
+    TimedRun {
+        partition,
+        cost,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Applies the hierarchical FM improvement (the `+` pass).
@@ -136,7 +164,8 @@ pub fn run_plus(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> H
 pub fn figure2() -> (Hypergraph, TreeSpec) {
     let mut b = HypergraphBuilder::with_unit_nodes(16);
     let edge = |b: &mut HypergraphBuilder, x: u32, y: u32| {
-        b.add_net(1.0, [NodeId(x), NodeId(y)]).expect("pins in range");
+        b.add_net(1.0, [NodeId(x), NodeId(y)])
+            .expect("pins in range");
     };
     // Intra-group: a 4-cycle plus one chord per group (5 edges × 4 groups).
     for g in 0..4u32 {
@@ -178,7 +207,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Self {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).

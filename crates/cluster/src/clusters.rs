@@ -51,7 +51,10 @@ pub fn agglomerate(
     let util = profile.utilization(h);
     let mut order: Vec<usize> = (0..h.num_nets()).collect();
     order.sort_by(|&a, &b| {
-        util[a].partial_cmp(&util[b]).expect("utilization is finite").then(a.cmp(&b))
+        util[a]
+            .partial_cmp(&util[b])
+            .expect("utilization is finite")
+            .then(a.cmp(&b))
     });
 
     let mut uf = UnionFind::new(h.num_nodes());
@@ -76,13 +79,13 @@ pub fn agglomerate(
     let mut id = vec![usize::MAX; h.num_nodes()];
     let mut count = 0;
     let mut cluster_of = vec![0usize; h.num_nodes()];
-    for v in 0..h.num_nodes() {
+    for (v, slot) in cluster_of.iter_mut().enumerate() {
         let root = uf.find(v);
         if id[root] == usize::MAX {
             id[root] = count;
             count += 1;
         }
-        cluster_of[v] = id[root];
+        *slot = id[root];
     }
     Clustering { cluster_of, count }
 }

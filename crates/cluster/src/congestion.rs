@@ -28,7 +28,12 @@ pub struct CongestionParams {
 
 impl Default for CongestionParams {
     fn default() -> Self {
-        CongestionParams { pairs: 256, alpha: 1.0, epsilon: 1e-3, delta: 1.0 }
+        CongestionParams {
+            pairs: 256,
+            alpha: 1.0,
+            epsilon: 1e-3,
+            delta: 1.0,
+        }
     }
 }
 
@@ -45,7 +50,9 @@ impl CongestionProfile {
     /// Flow normalized by capacity, the congestion measure used for
     /// clustering decisions.
     pub fn utilization(&self, h: &Hypergraph) -> Vec<f64> {
-        h.nets().map(|e| self.flow[e.index()] / h.net_capacity(e)).collect()
+        h.nets()
+            .map(|e| self.flow[e.index()] / h.net_capacity(e))
+            .collect()
     }
 }
 
@@ -60,7 +67,10 @@ pub fn flow_congestion<R: Rng + ?Sized>(
     params: CongestionParams,
     rng: &mut R,
 ) -> CongestionProfile {
-    assert!(h.num_nodes() >= 2, "need at least two nodes to route between");
+    assert!(
+        h.num_nodes() >= 2,
+        "need at least two nodes to route between"
+    );
     assert!(
         params.alpha > 0.0 && params.epsilon > 0.0 && params.delta > 0.0,
         "parameters must be positive"
@@ -100,7 +110,10 @@ pub fn flow_congestion<R: Rng + ?Sized>(
         let mut cur = t;
         while let (Some(e), Some(p)) = (parent_net[cur.index()], parent_node[cur.index()]) {
             flow[e.index()] += params.delta;
-            metric.set_length(e, length_of(params.alpha, flow[e.index()], h.net_capacity(e)));
+            metric.set_length(
+                e,
+                length_of(params.alpha, flow[e.index()], h.net_capacity(e)),
+            );
             cur = p;
         }
     }
@@ -138,7 +151,8 @@ mod tests {
 
         let crosses = |e: htp_netlist::NetId| {
             let pins = h.net_pins(e);
-            pins.iter().any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()])
+            pins.iter()
+                .any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()])
         };
         let avg = |filter: bool| {
             let vals: Vec<f64> = h
@@ -163,8 +177,14 @@ mod tests {
         b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
         let h = b.build().unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let profile =
-            flow_congestion(&h, CongestionParams { pairs: 64, ..Default::default() }, &mut rng);
+        let profile = flow_congestion(
+            &h,
+            CongestionParams {
+                pairs: 64,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!(profile.routed < 64, "cross-component pairs cannot route");
         assert!(profile.routed > 0);
     }
@@ -173,7 +193,10 @@ mod tests {
     fn deterministic_under_fixed_seed() {
         let mut rng = StdRng::seed_from_u64(3);
         let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
-        let p = CongestionParams { pairs: 100, ..Default::default() };
+        let p = CongestionParams {
+            pairs: 100,
+            ..Default::default()
+        };
         let a = flow_congestion(&inst.hypergraph, p, &mut StdRng::seed_from_u64(4));
         let b = flow_congestion(&inst.hypergraph, p, &mut StdRng::seed_from_u64(4));
         assert_eq!(a.flow, b.flow);

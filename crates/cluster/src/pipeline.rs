@@ -93,11 +93,14 @@ pub fn clustered_flow_partition<R: Rng + ?Sized>(
 
     // 2. Contract and partition the coarse netlist.
     let coarse = h.contract(&clustering.cluster_of);
-    let coarse_result =
-        FlowPartitioner::new(params.partitioner).run(&coarse, spec, rng)?;
+    let coarse_result = FlowPartitioner::new(params.partitioner).run(&coarse, spec, rng)?;
 
     // 3. Project back.
-    let partition = project(&coarse_result.partition, &clustering.cluster_of, h.num_nodes())?;
+    let partition = project(
+        &coarse_result.partition,
+        &clustering.cluster_of,
+        h.num_nodes(),
+    )?;
     htp_model::validate::validate(h, spec, &partition)?;
     let projected_cost = cost::partition_cost(h, spec, &partition);
 
@@ -144,8 +147,8 @@ fn project(
             queue.push(c);
         }
     }
-    for v in 0..fine_nodes {
-        let coarse_leaf = coarse.leaf_of(NodeId::new(cluster_of[v]));
+    for (v, &cl) in cluster_of.iter().enumerate().take(fine_nodes) {
+        let coarse_leaf = coarse.leaf_of(NodeId::new(cl));
         b.assign(NodeId::new(v), map[coarse_leaf.index()])?;
     }
     b.build()
@@ -162,7 +165,12 @@ mod tests {
     fn workload() -> (Hypergraph, TreeSpec) {
         let mut rng = StdRng::seed_from_u64(12);
         let h = rent_circuit(
-            RentParams { nodes: 256, primary_inputs: 16, locality: 0.8, ..RentParams::default() },
+            RentParams {
+                nodes: 256,
+                primary_inputs: 16,
+                locality: 0.8,
+                ..RentParams::default()
+            },
             &mut rng,
         );
         let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0).unwrap();
@@ -173,10 +181,13 @@ mod tests {
     fn pipeline_produces_valid_partitions() {
         let (h, spec) = workload();
         let mut rng = StdRng::seed_from_u64(13);
-        let r = clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng)
-            .unwrap();
+        let r =
+            clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng).unwrap();
         validate::validate(&h, &spec, &r.partition).unwrap();
-        assert!(r.coarse_nodes < h.num_nodes(), "coarsening must shrink the netlist");
+        assert!(
+            r.coarse_nodes < h.num_nodes(),
+            "coarsening must shrink the netlist"
+        );
         assert!(r.cost <= r.projected_cost + 1e-9, "refinement never hurts");
         assert!((cost::partition_cost(&h, &spec, &r.partition) - r.cost).abs() < 1e-9);
     }
@@ -185,7 +196,10 @@ mod tests {
     fn unrefined_pipeline_reports_projected_cost() {
         let (h, spec) = workload();
         let mut rng = StdRng::seed_from_u64(14);
-        let params = ClusteredFlowParams { refine: false, ..Default::default() };
+        let params = ClusteredFlowParams {
+            refine: false,
+            ..Default::default()
+        };
         let r = clustered_flow_partition(&h, &spec, params, &mut rng).unwrap();
         assert_eq!(r.cost, r.projected_cost);
     }
@@ -195,8 +209,7 @@ mod tests {
         let (h, spec) = workload();
         let mut rng = StdRng::seed_from_u64(15);
         let coarse =
-            clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng)
-                .unwrap();
+            clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng).unwrap();
         let flat = FlowPartitioner::new(PartitionerParams::default())
             .run(&h, &spec, &mut rng)
             .unwrap();
@@ -223,7 +236,10 @@ mod tests {
     fn projection_preserves_block_comembership() {
         let (h, spec) = workload();
         let mut rng = StdRng::seed_from_u64(16);
-        let params = ClusteredFlowParams { refine: false, ..Default::default() };
+        let params = ClusteredFlowParams {
+            refine: false,
+            ..Default::default()
+        };
         let r = clustered_flow_partition(&h, &spec, params, &mut rng).unwrap();
         // Nodes in one cluster must share a leaf after projection.
         for v in 0..h.num_nodes() {

@@ -10,7 +10,7 @@
 use htp_model::{gfn, TreeSpec};
 use htp_netlist::{Hypergraph, NetId, NodeId};
 
-use crate::sptree::TreeGrower;
+use crate::sptree::{GrowerScratch, TreeGrower, TreeStep};
 use crate::SpreadingMetric;
 
 /// A shortest-path tree whose spreading constraint is violated.
@@ -22,12 +22,70 @@ pub struct ViolatingTree {
     pub nodes: Vec<NodeId>,
     /// The distinct nets forming the tree (flow is injected on these).
     pub nets: Vec<NetId>,
+    /// Subtree weight `W(e)` per entry of [`nets`](ViolatingTree::nets):
+    /// the total size of tree nodes whose source-path crosses `e`. The
+    /// tree's left-hand side decomposes as `lhs = Σ_e d(e)·W(e)`, which is
+    /// what lets [`repriced_lhs`](ViolatingTree::repriced_lhs) re-evaluate
+    /// the constraint under an updated metric without re-running Dijkstra.
+    pub net_weights: Vec<f64>,
     /// Total node size `s(S(v, k))`.
     pub size: u64,
     /// The violated left-hand side `Σ dist(v, u)·s(u)`.
     pub lhs: f64,
     /// The bound `g(s(S(v, k)))` it fell short of.
     pub bound: f64,
+}
+
+impl ViolatingTree {
+    /// Re-prices the tree's left-hand side under `metric`, routing every
+    /// tree node along the path it was found on: `Σ_e d(e)·W(e)`.
+    ///
+    /// Shortest-path distances under `metric` can only be smaller than
+    /// these fixed-path distances, so the returned value is an *upper
+    /// bound* on the true `lhs` of the tree's node set. In particular, if
+    /// it still falls short of [`bound`](ViolatingTree::bound), the set is
+    /// certifiably still violated — the soundness condition behind the
+    /// parallel injector's speculative commits.
+    pub fn repriced_lhs(&self, metric: &SpreadingMetric) -> f64 {
+        self.nets
+            .iter()
+            .zip(&self.net_weights)
+            .map(|(&e, &w)| metric.length(e) * w)
+            .sum()
+    }
+
+    /// Whether the tree's constraint is still violated (beyond
+    /// `tolerance`) when re-priced under `metric`; see
+    /// [`repriced_lhs`](ViolatingTree::repriced_lhs) for why `true` is a
+    /// sound certificate.
+    pub fn still_violated(&self, metric: &SpreadingMetric, tolerance: f64) -> bool {
+        self.repriced_lhs(metric) + tolerance < self.bound
+    }
+}
+
+/// Computes the subtree weights `W(e)` of a grown tree: `steps` in settle
+/// order (so every parent precedes its children), `weight[i]` initialized
+/// to the member size of `steps[i]` (zero for pure connectors). Weights
+/// accumulate bottom-up; each node deposits its accumulated weight on the
+/// net it was reached through.
+fn subtree_net_weights(
+    steps: &[TreeStep],
+    index_of: impl Fn(NodeId) -> usize,
+    mut weight: Vec<f64>,
+    nets: &[NetId],
+    num_nets: usize,
+) -> Vec<f64> {
+    let mut per_net = vec![0.0f64; num_nets];
+    for i in (1..steps.len()).rev() {
+        if weight[i] == 0.0 {
+            continue;
+        }
+        if let (Some(e), Some(p)) = (steps[i].via_net, steps[i].parent) {
+            per_net[e.index()] += weight[i];
+            weight[index_of(p)] += weight[i];
+        }
+    }
+    nets.iter().map(|e| per_net[e.index()]).collect()
 }
 
 /// Grows shortest-path trees from `source` and returns the first prefix
@@ -43,13 +101,36 @@ pub fn find_violation(
     source: NodeId,
     tolerance: f64,
 ) -> Option<ViolatingTree> {
-    let mut nodes = Vec::new();
+    find_violation_in(
+        h,
+        spec,
+        metric,
+        source,
+        tolerance,
+        &mut GrowerScratch::new(h),
+    )
+}
+
+/// [`find_violation`] with caller-provided tree-growing buffers — the hot
+/// entry point for Algorithm 2's probe workers, which keep one
+/// [`GrowerScratch`] per thread across thousands of probes.
+pub fn find_violation_in(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    source: NodeId,
+    tolerance: f64,
+    scratch: &mut GrowerScratch,
+) -> Option<ViolatingTree> {
+    let mut steps: Vec<TreeStep> = Vec::new();
+    let mut index_of = vec![usize::MAX; h.num_nodes()];
     let mut net_in_tree = vec![false; h.num_nets()];
     let mut nets = Vec::new();
     let mut size = 0u64;
     let mut lhs = 0.0;
-    for step in TreeGrower::new(h, metric, source) {
-        nodes.push(step.node);
+    for step in TreeGrower::with_scratch(h, metric, source, scratch) {
+        index_of[step.node.index()] = steps.len();
+        steps.push(step);
         size += h.node_size(step.node);
         lhs += step.dist * h.node_size(step.node) as f64;
         if let Some(e) = step.via_net {
@@ -60,7 +141,25 @@ pub fn find_violation(
         }
         let bound = gfn::spreading_bound(spec, size);
         if lhs + tolerance < bound {
-            return Some(ViolatingTree { source, nodes, nets, size, lhs, bound });
+            let weight = steps.iter().map(|s| h.node_size(s.node) as f64).collect();
+            let net_weights =
+                subtree_net_weights(&steps, |v| index_of[v.index()], weight, &nets, h.num_nets());
+            let nodes = steps.iter().map(|s| s.node).collect();
+            let tree = ViolatingTree {
+                source,
+                nodes,
+                nets,
+                net_weights,
+                size,
+                lhs,
+                bound,
+            };
+            debug_assert!(
+                (tree.repriced_lhs(metric) - lhs).abs() <= 1e-6 * lhs.max(1.0),
+                "net weights must reconstruct the lhs: {} vs {lhs}",
+                tree.repriced_lhs(metric)
+            );
+            return Some(tree);
         }
     }
     None
@@ -81,15 +180,36 @@ pub fn find_violation_weighted(
     source: NodeId,
     tolerance: f64,
 ) -> Option<ViolatingTree> {
-    let steps: Vec<_> = TreeGrower::new(h, metric, source).collect();
+    find_violation_weighted_in(
+        h,
+        spec,
+        metric,
+        source,
+        tolerance,
+        &mut GrowerScratch::new(h),
+    )
+}
+
+/// [`find_violation_weighted`] with caller-provided tree-growing buffers;
+/// see [`find_violation_in`].
+pub fn find_violation_weighted_in(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    source: NodeId,
+    tolerance: f64,
+    scratch: &mut GrowerScratch,
+) -> Option<ViolatingTree> {
+    let steps: Vec<_> = TreeGrower::with_scratch(h, metric, source, scratch).collect();
     // Order by weighted distance, keeping the source first (it is always in
     // its own subset).
     let mut order: Vec<usize> = (1..steps.len()).collect();
     order.sort_by(|&a, &b| {
-        let key = |i: usize| {
-            (steps[i].dist + 1.0) * h.node_size(steps[i].node) as f64
-        };
-        key(a).partial_cmp(&key(b)).expect("distances are not NaN").then(a.cmp(&b))
+        let key = |i: usize| (steps[i].dist + 1.0) * h.node_size(steps[i].node) as f64;
+        key(a)
+            .partial_cmp(&key(b))
+            .expect("distances are not NaN")
+            .then(a.cmp(&b))
     });
 
     let index_of: std::collections::HashMap<NodeId, usize> =
@@ -98,6 +218,12 @@ pub fn find_violation_weighted(
     let mut net_in_tree = vec![false; h.num_nets()];
     let mut nets = Vec::new();
     let mut nodes = vec![source];
+    // Member sizes per settle index; connector-only nodes keep weight 0 so
+    // they relay — but do not add — subtree weight.
+    let mut member_weight = vec![0.0f64; steps.len()];
+    if !steps.is_empty() {
+        member_weight[0] = h.node_size(source) as f64;
+    }
     let mut size = h.node_size(source);
     let mut lhs = 0.0;
     in_subtree[0] = true;
@@ -105,9 +231,9 @@ pub fn find_violation_weighted(
     // Connect a member to the already-built subtree along its SPT path,
     // recording every net on the way.
     let connect = |i: usize,
-                       in_subtree: &mut Vec<bool>,
-                       net_in_tree: &mut Vec<bool>,
-                       nets: &mut Vec<NetId>| {
+                   in_subtree: &mut Vec<bool>,
+                   net_in_tree: &mut Vec<bool>,
+                   nets: &mut Vec<NetId>| {
         let mut cur = i;
         while !in_subtree[cur] {
             in_subtree[cur] = true;
@@ -132,6 +258,7 @@ pub fn find_violation_weighted(
             source,
             nodes,
             nets,
+            net_weights: Vec::new(),
             size,
             lhs,
             bound: gfn::spreading_bound(spec, size),
@@ -140,12 +267,29 @@ pub fn find_violation_weighted(
     for &i in &order {
         let step = &steps[i];
         nodes.push(step.node);
+        member_weight[i] = h.node_size(step.node) as f64;
         size += h.node_size(step.node);
         lhs += step.dist * h.node_size(step.node) as f64;
         connect(i, &mut in_subtree, &mut net_in_tree, &mut nets);
         if check(size, lhs) {
             let bound = gfn::spreading_bound(spec, size);
-            return Some(ViolatingTree { source, nodes, nets, size, lhs, bound });
+            let net_weights =
+                subtree_net_weights(&steps, |v| index_of[&v], member_weight, &nets, h.num_nets());
+            let tree = ViolatingTree {
+                source,
+                nodes,
+                nets,
+                net_weights,
+                size,
+                lhs,
+                bound,
+            };
+            debug_assert!(
+                (tree.repriced_lhs(metric) - lhs).abs() <= 1e-6 * lhs.max(1.0),
+                "net weights must reconstruct the lhs: {} vs {lhs}",
+                tree.repriced_lhs(metric)
+            );
+            return Some(tree);
         }
     }
     None
@@ -173,8 +317,9 @@ pub fn check_feasibility(
 ) -> FeasibilityReport {
     let mut worst_shortfall = 0.0;
     let mut worst_source = None;
+    let mut scratch = GrowerScratch::new(h);
     for v in h.nodes() {
-        if let Some(t) = find_worst_shortfall(h, spec, metric, v) {
+        if let Some(t) = find_worst_shortfall(h, spec, metric, v, &mut scratch) {
             if t > worst_shortfall {
                 worst_shortfall = t;
                 worst_source = Some(v);
@@ -194,11 +339,12 @@ fn find_worst_shortfall(
     spec: &TreeSpec,
     metric: &SpreadingMetric,
     v: NodeId,
+    scratch: &mut GrowerScratch,
 ) -> Option<f64> {
     let mut size = 0u64;
     let mut lhs = 0.0;
     let mut worst: Option<f64> = None;
-    for step in TreeGrower::new(h, metric, v) {
+    for step in TreeGrower::with_scratch(h, metric, v, scratch) {
         size += h.node_size(step.node);
         lhs += step.dist * h.node_size(step.node) as f64;
         let shortfall = gfn::spreading_bound(spec, size) - lhs;
@@ -220,7 +366,10 @@ mod tests {
         for i in 0..3u32 {
             b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
         }
-        (b.build().unwrap(), TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap())
+        (
+            b.build().unwrap(),
+            TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap(),
+        )
     }
 
     #[test]
@@ -244,7 +393,10 @@ mod tests {
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
         let m = SpreadingMetric::from_partition(&h, &spec, &p);
         for v in h.nodes() {
-            assert!(find_violation(&h, &spec, &m, v, 1e-9).is_none(), "source {v}");
+            assert!(
+                find_violation(&h, &spec, &m, v, 1e-9).is_none(),
+                "source {v}"
+            );
         }
         let report = check_feasibility(&h, &spec, &m, 1e-9);
         assert!(report.feasible);
@@ -339,7 +491,10 @@ mod tests {
         let spec = TreeSpec::new(vec![(2, 2, 1.0), (8, 2, 1.0)]).unwrap();
         let m = SpreadingMetric::from_lengths(vec![100.0]);
         let t = find_violation(&h, &spec, &m, NodeId(0), 1e-9).expect("node too big");
-        assert!(t.nets.is_empty(), "no nets to inject on: instance is infeasible");
+        assert!(
+            t.nets.is_empty(),
+            "no nets to inject on: instance is infeasible"
+        );
         assert_eq!(t.size, 5);
     }
 }

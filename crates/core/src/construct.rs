@@ -80,7 +80,12 @@ fn split<R: Rng + ?Sized>(
     let ub = spec.capacity(level - 1);
     let lb_spec = size.div_ceil(k);
     if size > k * ub {
-        return Err(CoreError::NoFeasibleCut { level, remaining: size, lb: lb_spec, ub });
+        return Err(CoreError::NoFeasibleCut {
+            level,
+            remaining: size,
+            lb: lb_spec,
+            ub,
+        });
     }
 
     // Owned state for the shrinking remainder.
@@ -118,15 +123,31 @@ fn split<R: Rng + ?Sized>(
             cut = find_cut(&rem_h, &rem_metric, retry_lb, ub, rng);
         }
         if !cut.in_window {
-            return Err(CoreError::NoFeasibleCut { level, remaining: rem_size, lb: lb_floor, ub });
+            return Err(CoreError::NoFeasibleCut {
+                level,
+                remaining: rem_size,
+                lb: lb_floor,
+                ub,
+            });
         }
 
         // Carve the block off as a child.
         let block = rem_h.induce_tracked(&cut.nodes);
-        let block_map: Vec<NodeId> =
-            block.node_map.iter().map(|&local| rem_map[local.index()]).collect();
+        let block_map: Vec<NodeId> = block
+            .node_map
+            .iter()
+            .map(|&local| rem_map[local.index()])
+            .collect();
         let block_metric = rem_metric.restrict(&block.net_map);
-        attach_child(b, vertex, &block.hypergraph, &block_map, &block_metric, spec, rng)?;
+        attach_child(
+            b,
+            vertex,
+            &block.hypergraph,
+            &block_map,
+            &block_metric,
+            spec,
+            rng,
+        )?;
         children += 1;
 
         // Re-induce the remainder without the carved block.
@@ -134,10 +155,13 @@ fn split<R: Rng + ?Sized>(
         for &v in &cut.nodes {
             carved[v.index()] = true;
         }
-        let keep: Vec<NodeId> =
-            rem_h.nodes().filter(|v| !carved[v.index()]).collect();
+        let keep: Vec<NodeId> = rem_h.nodes().filter(|v| !carved[v.index()]).collect();
         let rest = rem_h.induce_tracked(&keep);
-        rem_map = rest.node_map.iter().map(|&local| rem_map[local.index()]).collect();
+        rem_map = rest
+            .node_map
+            .iter()
+            .map(|&local| rem_map[local.index()])
+            .collect();
         rem_metric = rem_metric.restrict(&rest.net_map);
         rem_h = rest.hypergraph;
     }
@@ -205,8 +229,9 @@ mod tests {
         let h = &inst.hypergraph;
         let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
         for seed in 0..10 {
-            let p = construct_partition(h, &spec, &unit_metric(h), &mut StdRng::seed_from_u64(seed))
-                .unwrap();
+            let p =
+                construct_partition(h, &spec, &unit_metric(h), &mut StdRng::seed_from_u64(seed))
+                    .unwrap();
             validate::validate(h, &spec, &p).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
@@ -231,7 +256,9 @@ mod tests {
             .nets()
             .map(|e| {
                 let pins = h.net_pins(e);
-                if pins.iter().any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()])
+                if pins
+                    .iter()
+                    .any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()])
                 {
                     10.0
                 } else {
@@ -252,7 +279,13 @@ mod tests {
         let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
         let err = construct_partition(&h, &spec, &unit_metric(&h), &mut StdRng::seed_from_u64(0))
             .unwrap_err();
-        assert!(matches!(err, CoreError::Infeasible { total_size: 10, root_capacity: 4 }));
+        assert!(matches!(
+            err,
+            CoreError::Infeasible {
+                total_size: 10,
+                root_capacity: 4
+            }
+        ));
     }
 
     #[test]
@@ -267,7 +300,10 @@ mod tests {
         let spec = TreeSpec::new(vec![(3, 2, 1.0), (7, 2, 1.0)]).unwrap();
         let err = construct_partition(&h, &spec, &unit_metric(&h), &mut StdRng::seed_from_u64(0))
             .unwrap_err();
-        assert!(matches!(err, CoreError::NoFeasibleCut { .. }), "got {err:?}");
+        assert!(
+            matches!(err, CoreError::NoFeasibleCut { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -285,7 +321,8 @@ mod tests {
         let mut b = HypergraphBuilder::with_unit_nodes(8);
         for base in [0u32, 4] {
             for i in 0..3 {
-                b.add_net(1.0, [NodeId(base + i), NodeId(base + i + 1)]).unwrap();
+                b.add_net(1.0, [NodeId(base + i), NodeId(base + i + 1)])
+                    .unwrap();
             }
         }
         let h = b.build().unwrap();

@@ -73,10 +73,18 @@ mod tests {
 
     #[test]
     fn displays_are_specific() {
-        let e = CoreError::Infeasible { total_size: 100, root_capacity: 64 };
+        let e = CoreError::Infeasible {
+            total_size: 100,
+            root_capacity: 64,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("64"));
-        let e = CoreError::NoFeasibleCut { level: 2, remaining: 30, lb: 10, ub: 20 };
+        let e = CoreError::NoFeasibleCut {
+            level: 2,
+            remaining: 30,
+            lb: 10,
+            ub: 20,
+        };
         assert!(e.to_string().contains("level 2"));
     }
 

@@ -56,7 +56,11 @@ pub fn find_cut<R: Rng + ?Sized>(
 ) -> FindCutResult {
     assert!(h.num_nodes() > 0, "cannot cut an empty hypergraph");
     assert!(lb <= ub, "empty size window [{lb}, {ub}]");
-    assert_eq!(h.num_nets(), metric.len(), "metric/hypergraph net count mismatch");
+    assert_eq!(
+        h.num_nets(),
+        metric.len(),
+        "metric/hypergraph net count mismatch"
+    );
 
     let n = h.num_nodes();
     let mut in_set = vec![false; n];
@@ -68,10 +72,10 @@ pub fn find_cut<R: Rng + ?Sized>(
     let mut best: Option<(f64, usize)> = None; // (cut, prefix length)
 
     let absorb = |v: NodeId,
-                      in_set: &mut Vec<bool>,
-                      inside: &mut Vec<u32>,
-                      frontier: &mut IndexedMinHeap,
-                      cut: &mut f64| {
+                  in_set: &mut Vec<bool>,
+                  inside: &mut Vec<u32>,
+                  frontier: &mut IndexedMinHeap,
+                  cut: &mut f64| {
         in_set[v.index()] = true;
         for &e in h.node_nets(v) {
             let pins = h.net_pins(e).len() as u32;
@@ -108,9 +112,7 @@ pub fn find_cut<R: Rng + ?Sized>(
                     // (and still fitting) node, if any remain.
                     let remaining: Vec<usize> = (0..n)
                         .filter(|&i| {
-                            !in_set[i]
-                                && !skipped[i]
-                                && size + h.node_size(NodeId::new(i)) <= ub
+                            !in_set[i] && !skipped[i] && size + h.node_size(NodeId::new(i)) <= ub
                         })
                         .collect();
                     match remaining.as_slice() {
@@ -147,7 +149,11 @@ pub fn find_cut<R: Rng + ?Sized>(
             cut: best_cut,
             in_window: true,
         },
-        None => FindCutResult { nodes: grown, cut, in_window: false },
+        None => FindCutResult {
+            nodes: grown,
+            cut,
+            in_window: false,
+        },
     }
 }
 
@@ -225,13 +231,16 @@ mod tests {
         let m = SpreadingMetric::from_lengths(lengths);
         let r = find_cut(h, &m, 12, 12, &mut StdRng::seed_from_u64(1));
         assert!(r.in_window);
-        let clusters: Vec<usize> =
-            r.nodes.iter().map(|v| inst.cluster_of[v.index()]).collect();
+        let clusters: Vec<usize> = r.nodes.iter().map(|v| inst.cluster_of[v.index()]).collect();
         assert!(
             clusters.iter().all(|&c| c == clusters[0]),
             "block should be one planted cluster, got {clusters:?}"
         );
-        assert!((r.cut - 4.0).abs() < 1e-9, "exactly the planted inter nets: {}", r.cut);
+        assert!(
+            (r.cut - 4.0).abs() < 1e-9,
+            "exactly the planted inter nets: {}",
+            r.cut
+        );
     }
 
     #[test]
@@ -273,7 +282,12 @@ mod tests {
             assert!(r.in_window);
             // Best achievable cut within the window is 1.0 (cut an end net),
             // never the 5.0 middle net alone.
-            assert!(r.cut <= 1.0 + 1e-9, "cut {} with nodes {:?}", r.cut, r.nodes);
+            assert!(
+                r.cut <= 1.0 + 1e-9,
+                "cut {} with nodes {:?}",
+                r.cut,
+                r.nodes
+            );
         }
     }
 

@@ -11,6 +11,32 @@
 //! grow, while the bound `g` is fixed), a satisfied node can never become
 //! violated again, which is what makes the single-confirmation scheme of
 //! the paper sound.
+//!
+//! # Speculative parallel probing
+//!
+//! The expensive part of a round is the probes — one truncated Dijkstra
+//! per active node — while the injections themselves are cheap vector
+//! updates. The engine therefore snapshots the metric at the start of each
+//! round, fans the shuffled working set out across a scoped worker pool
+//! ([`FlowParams::threads`]) that runs the read-only probes concurrently,
+//! and then *commits* the resulting candidate trees sequentially, in the
+//! round's shuffled order. Commits after the first one see a metric the
+//! probes did not; each such candidate is re-validated against the updated
+//! metric via [`ViolatingTree::still_violated`], which re-prices the tree
+//! along its recorded paths — an upper bound on the true `lhs`, so a
+//! candidate that still falls short of its bound is certifiably still
+//! violated and safe to inject on. Candidates that fail re-validation are
+//! dropped (counted as [`InjectionStats::wasted_probes`]) and their nodes
+//! stay in the working set for the next round; retirement still only
+//! happens on a clean `None` probe against the snapshot, which the
+//! monotonicity argument above makes sound.
+//!
+//! Because the RNG is consumed only by the per-round shuffle and every
+//! probe depends only on the snapshot metric, the computed metric and all
+//! deterministic counters are **bit-identical for a fixed seed at any
+//! thread count** — threads change wall-clock time, nothing else.
+
+use std::time::{Duration, Instant};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -18,7 +44,8 @@ use rand::Rng;
 use htp_model::TreeSpec;
 use htp_netlist::{Hypergraph, NodeId};
 
-use crate::constraint::{find_violation, find_violation_weighted};
+use crate::constraint::{find_violation_in, find_violation_weighted_in, ViolatingTree};
+use crate::sptree::GrowerScratch;
 use crate::SpreadingMetric;
 
 /// How Algorithm 2 orders the "k closest nodes" when growing the trees
@@ -58,6 +85,10 @@ pub struct FlowParams {
     pub tolerance: f64,
     /// Prefix ordering used by the constraint oracle.
     pub order: GrowthOrder,
+    /// Worker threads for the probe phase of each round: `1` probes inline
+    /// on the calling thread, `0` uses all available parallelism. The
+    /// computed metric is bit-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for FlowParams {
@@ -69,34 +100,72 @@ impl Default for FlowParams {
             max_rounds: 10_000,
             tolerance: 1e-9,
             order: GrowthOrder::Auto,
+            threads: 1,
         }
     }
 }
 
 impl FlowParams {
     fn validate(&self) {
-        assert!(self.epsilon > 0.0 && self.epsilon.is_finite(), "epsilon must be positive");
-        assert!(self.alpha > 0.0 && self.alpha.is_finite(), "alpha must be positive");
-        assert!(self.delta > 0.0 && self.delta.is_finite(), "delta must be positive");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon.is_finite(),
+            "epsilon must be positive"
+        );
+        assert!(
+            self.alpha > 0.0 && self.alpha.is_finite(),
+            "alpha must be positive"
+        );
+        assert!(
+            self.delta > 0.0 && self.delta.is_finite(),
+            "delta must be positive"
+        );
         assert!(self.max_rounds >= 1, "need at least one round");
         assert!(self.tolerance >= 0.0, "tolerance must be non-negative");
     }
 }
 
-/// Progress counters of one metric computation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Progress counters and phase timings of one metric computation.
+///
+/// Equality compares the deterministic counters only — the wall-clock
+/// fields ([`probe_time`](InjectionStats::probe_time),
+/// [`commit_time`](InjectionStats::commit_time)) vary run to run and are
+/// excluded, so determinism tests can `assert_eq!` whole stats.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct InjectionStats {
-    /// Number of flow injections performed (violating trees found).
+    /// Number of flow injections performed (violating trees committed).
     pub injections: usize,
     /// Number of passes over the working set.
     pub rounds: usize,
     /// `true` when every constraint was confirmed satisfied; `false` when
     /// the round cap was hit or an unfixable (netless) violation appeared.
     pub converged: bool,
+    /// Constraint-oracle probes run (one per active node per round).
+    pub probes: usize,
+    /// Speculative probes whose candidate tree failed commit-time
+    /// re-validation against the updated metric and was discarded.
+    pub wasted_probes: usize,
+    /// Wall-clock time spent in the (parallel) probe phases.
+    pub probe_time: Duration,
+    /// Wall-clock time spent in the sequential commit phases.
+    pub commit_time: Duration,
 }
 
+impl PartialEq for InjectionStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.injections == other.injections
+            && self.rounds == other.rounds
+            && self.converged == other.converged
+            && self.probes == other.probes
+            && self.wasted_probes == other.wasted_probes
+    }
+}
+
+impl Eq for InjectionStats {}
+
 /// Computes a spreading metric for (P1) by stochastic flow injection
-/// (**Algorithm 2**).
+/// (**Algorithm 2**), probing the working set in parallel when
+/// [`FlowParams::threads`] allows (see the [module docs](self) for the
+/// speculative commit scheme).
 ///
 /// Returns the metric together with convergence statistics. Nodes whose
 /// violation has no nets to inject on (a single node bigger than `C_0` —
@@ -114,7 +183,10 @@ pub fn compute_spreading_metric<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (SpreadingMetric, InjectionStats) {
     params.validate();
-    assert!(h.num_nodes() > 0, "cannot compute a metric for an empty netlist");
+    assert!(
+        h.num_nodes() > 0,
+        "cannot compute a metric for an empty netlist"
+    );
 
     let mut flow: Vec<f64> = vec![params.epsilon; h.num_nets()];
     let mut metric = SpreadingMetric::from_lengths(
@@ -124,45 +196,102 @@ pub fn compute_spreading_metric<R: Rng + ?Sized>(
     );
 
     let mut active: Vec<NodeId> = h.nodes().collect();
-    let mut stats = InjectionStats { converged: true, ..InjectionStats::default() };
+    let mut stats = InjectionStats {
+        converged: true,
+        ..InjectionStats::default()
+    };
     let weighted = match params.order {
         GrowthOrder::Auto => !h.has_unit_sizes(),
         GrowthOrder::Distance => false,
         GrowthOrder::WeightedDistance => true,
     };
-    let probe = |metric: &SpreadingMetric, v: NodeId| {
+    // Shared by every probe worker; captures only immutable borrows, so it
+    // can be called concurrently against the round's metric snapshot.
+    let probe = |metric: &SpreadingMetric, v: NodeId, scratch: &mut GrowerScratch| {
         if weighted {
-            find_violation_weighted(h, spec, metric, v, params.tolerance)
+            find_violation_weighted_in(h, spec, metric, v, params.tolerance, scratch)
         } else {
-            find_violation(h, spec, metric, v, params.tolerance)
+            find_violation_in(h, spec, metric, v, params.tolerance, scratch)
         }
     };
+    let threads = match params.threads {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        t => t,
+    };
 
+    let mut candidates: Vec<Option<ViolatingTree>> = Vec::new();
+    let mut inline_scratch = GrowerScratch::new(h);
     while !active.is_empty() && stats.rounds < params.max_rounds {
         stats.rounds += 1;
         active.shuffle(rng);
+
+        // Probe phase: every active node against the round-start snapshot.
+        // `candidates[i]` is the probe result for `active[i]`; workers get
+        // disjoint index ranges, so the outcome is independent of how many
+        // there are.
+        let probe_start = Instant::now();
+        candidates.clear();
+        candidates.resize_with(active.len(), || None);
+        let workers = threads.min(active.len());
+        if workers <= 1 {
+            for (v, slot) in active.iter().zip(candidates.iter_mut()) {
+                *slot = probe(&metric, *v, &mut inline_scratch);
+            }
+        } else {
+            let chunk = active.len().div_ceil(workers);
+            let (metric_ref, probe_ref) = (&metric, &probe);
+            std::thread::scope(|s| {
+                for (nodes, out) in active.chunks(chunk).zip(candidates.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        let mut scratch = GrowerScratch::new(h);
+                        for (v, slot) in nodes.iter().zip(out.iter_mut()) {
+                            *slot = probe_ref(metric_ref, *v, &mut scratch);
+                        }
+                    });
+                }
+            });
+        }
+        stats.probes += active.len();
+        stats.probe_time += probe_start.elapsed();
+
+        // Commit phase: sequential, in shuffled order. The first commit
+        // sees exactly the snapshot the probes used; later candidates are
+        // re-validated against the updated metric before injecting.
+        let commit_start = Instant::now();
+        let mut dirty = false;
         let mut still_active = Vec::with_capacity(active.len());
-        for &v in &active {
-            match probe(&metric, v) {
+        for (slot, &v) in candidates.iter_mut().zip(&active) {
+            match slot.take() {
                 Some(t) if t.nets.is_empty() => {
                     // A single node already exceeds C_0: no amount of flow
                     // can spread it. Drop it so the loop can terminate.
                     stats.converged = false;
                 }
                 Some(t) => {
-                    stats.injections += 1;
-                    for &e in &t.nets {
-                        flow[e.index()] += params.delta;
-                        metric.set_length(
-                            e,
-                            length_of(params.alpha, flow[e.index()], h.net_capacity(e)),
-                        );
+                    if !dirty || t.still_violated(&metric, params.tolerance) {
+                        stats.injections += 1;
+                        for &e in &t.nets {
+                            flow[e.index()] += params.delta;
+                            metric.set_length(
+                                e,
+                                length_of(params.alpha, flow[e.index()], h.net_capacity(e)),
+                            );
+                        }
+                        dirty = true;
+                    } else {
+                        // The injections committed earlier this round
+                        // already satisfied this tree; the node re-probes
+                        // against the fresh metric next round.
+                        stats.wasted_probes += 1;
                     }
                     still_active.push(v);
                 }
                 None => {} // all constraints for v confirmed; never re-check
             }
         }
+        stats.commit_time += commit_start.elapsed();
         active = still_active;
     }
     if !active.is_empty() {
@@ -189,7 +318,8 @@ mod tests {
     fn path(n: usize) -> Hypergraph {
         let mut b = HypergraphBuilder::with_unit_nodes(n);
         for i in 0..n - 1 {
-            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)]).unwrap();
+            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -201,9 +331,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let (m, stats) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
         assert!(stats.converged, "stats: {stats:?}");
-        assert!(stats.injections > 0, "the zero-ish start must violate something");
+        assert!(
+            stats.injections > 0,
+            "the zero-ish start must violate something"
+        );
         let report = check_feasibility(&h, &spec, &m, 1e-6);
-        assert!(report.feasible, "worst shortfall {}", report.worst_shortfall);
+        assert!(
+            report.feasible,
+            "worst shortfall {}",
+            report.worst_shortfall
+        );
     }
 
     #[test]
@@ -241,8 +378,9 @@ mod tests {
         let mut intra = Vec::new();
         for e in h.nets() {
             let pins = h.net_pins(e);
-            let crosses =
-                pins.iter().any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()]);
+            let crosses = pins
+                .iter()
+                .any(|v| inst.cluster_of[v.index()] != inst.cluster_of[pins[0].index()]);
             if crosses {
                 inter.push(m.length(e));
             } else {
@@ -292,7 +430,11 @@ mod tests {
         // The distance-ordered oracle must also find it feasible (its
         // prefixes are a subset of all S, so this is a one-way check).
         let report = check_feasibility(&h, &spec, &m, 1e-6);
-        assert!(report.feasible, "worst shortfall {}", report.worst_shortfall);
+        assert!(
+            report.feasible,
+            "worst shortfall {}",
+            report.worst_shortfall
+        );
     }
 
     #[test]
@@ -306,7 +448,10 @@ mod tests {
         }
         let h = b.build().unwrap();
         let spec = TreeSpec::new(vec![(4, 2, 1.0), (12, 2, 1.0)]).unwrap();
-        let params = FlowParams { order: GrowthOrder::Distance, ..FlowParams::default() };
+        let params = FlowParams {
+            order: GrowthOrder::Distance,
+            ..FlowParams::default()
+        };
         let mut rng = StdRng::seed_from_u64(22);
         let (_, stats) = compute_spreading_metric(&h, &spec, params, &mut rng);
         assert!(stats.converged);
@@ -329,12 +474,70 @@ mod tests {
     fn deterministic_under_fixed_seed() {
         let h = path(10);
         let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
-        let (m1, s1) =
-            compute_spreading_metric(&h, &spec, FlowParams::default(), &mut StdRng::seed_from_u64(9));
-        let (m2, s2) =
-            compute_spreading_metric(&h, &spec, FlowParams::default(), &mut StdRng::seed_from_u64(9));
+        let (m1, s1) = compute_spreading_metric(
+            &h,
+            &spec,
+            FlowParams::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let (m2, s2) = compute_spreading_metric(
+            &h,
+            &spec,
+            FlowParams::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
         assert_eq!(m1, m2);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_metric() {
+        // The speculative-parallel engine must be bit-identical at any
+        // thread count: probes only read the round-start snapshot and
+        // commits are sequential in shuffled order.
+        let mut rng = StdRng::seed_from_u64(1997);
+        let params = ClusteredParams {
+            clusters: 4,
+            cluster_size: 10,
+            intra_nets: 30,
+            inter_nets: 6,
+            min_net_size: 2,
+            max_net_size: 3,
+        };
+        let inst = clustered_hypergraph(params, &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(10, 2, 1.0), (20, 2, 1.0), (40, 2, 1.0)]).unwrap();
+        let run = |threads: usize| {
+            let flow = FlowParams {
+                threads,
+                ..FlowParams::default()
+            };
+            compute_spreading_metric(h, &spec, flow, &mut StdRng::seed_from_u64(42))
+        };
+        let (m1, s1) = run(1);
+        for threads in [2, 4, 0] {
+            let (mt, st) = run(threads);
+            assert_eq!(m1, mt, "metric diverged at threads={threads}");
+            assert_eq!(s1, st, "stats diverged at threads={threads}");
+        }
+        assert!(s1.converged);
+    }
+
+    #[test]
+    fn stats_counters_are_consistent() {
+        let h = path(10);
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
+        let flow = FlowParams {
+            threads: 4,
+            ..FlowParams::default()
+        };
+        let (_, stats) = compute_spreading_metric(&h, &spec, flow, &mut StdRng::seed_from_u64(5));
+        assert!(stats.converged);
+        // Every active node is probed once per round, and each probe either
+        // retires the node, commits an injection, or is wasted.
+        assert!(stats.probes >= stats.rounds, "at least one probe per round");
+        assert!(stats.probes >= stats.injections + stats.wasted_probes);
+        assert!(stats.injections > 0);
     }
 
     #[test]
@@ -342,7 +545,10 @@ mod tests {
     fn rejects_bad_params() {
         let h = path(3);
         let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
-        let params = FlowParams { delta: 0.0, ..FlowParams::default() };
+        let params = FlowParams {
+            delta: 0.0,
+            ..FlowParams::default()
+        };
         let _ = compute_spreading_metric(&h, &spec, params, &mut StdRng::seed_from_u64(0));
     }
 }

@@ -11,7 +11,10 @@
 //!   a hypergraph Dijkstra ([`sptree`]); whenever a tree violates its
 //!   spreading constraint ([`constraint`]), flow is injected on its nets and
 //!   lengths are re-priced with the exponential function
-//!   `d(e) = exp(α·f(e)/c(e)) − 1`.
+//!   `d(e) = exp(α·f(e)/c(e)) − 1`. The probe phase of each round runs on a
+//!   speculative worker pool ([`injector::FlowParams::threads`]) with
+//!   sequential, re-validated commits — bit-identical results at any
+//!   thread count.
 //! * [`construct`] — **Algorithm 3**: recursive top-down construction of a
 //!   hierarchical tree partition, with the Prim-style [`findcut`] procedure
 //!   growing blocks along small `d(e)` and recording the cheapest cut in the

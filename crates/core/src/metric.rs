@@ -17,7 +17,9 @@ pub struct SpreadingMetric {
 impl SpreadingMetric {
     /// The all-zeros metric over `num_nets` nets.
     pub fn zeros(num_nets: usize) -> Self {
-        SpreadingMetric { d: vec![0.0; num_nets] }
+        SpreadingMetric {
+            d: vec![0.0; num_nets],
+        }
     }
 
     /// Wraps raw lengths.
@@ -93,7 +95,9 @@ impl SpreadingMetric {
     /// Restricts the metric to an induced subgraph, using the net
     /// provenance from [`Hypergraph::induce_tracked`].
     pub fn restrict(&self, net_map: &[NetId]) -> SpreadingMetric {
-        SpreadingMetric { d: net_map.iter().map(|&e| self.length(e)).collect() }
+        SpreadingMetric {
+            d: net_map.iter().map(|&e| self.length(e)).collect(),
+        }
     }
 }
 

@@ -23,7 +23,9 @@ pub struct PartitionerParams {
     /// Constructions attempted per metric (the conclusions' extension;
     /// `1` reproduces the paper's Algorithm 1 exactly).
     pub constructions_per_metric: usize,
-    /// Parameters of the metric computation.
+    /// Parameters of the metric computation, including the probe-worker
+    /// thread count ([`FlowParams::threads`]) — the partitioner's output
+    /// is bit-identical at any thread setting.
     pub flow: FlowParams,
 }
 
@@ -101,7 +103,10 @@ impl FlowPartitioner {
     /// Panics if `iterations` or `constructions_per_metric` is zero.
     pub fn new(params: PartitionerParams) -> Self {
         assert!(params.iterations >= 1, "need at least one iteration");
-        assert!(params.constructions_per_metric >= 1, "need at least one construction");
+        assert!(
+            params.constructions_per_metric >= 1,
+            "need at least one construction"
+        );
         FlowPartitioner { params }
     }
 
@@ -156,7 +161,11 @@ impl FlowPartitioner {
                     Err(e) => last_err = e,
                 }
             }
-            history.push(IterationRecord { metric_objective, best_cost: iter_best, stats });
+            history.push(IterationRecord {
+                metric_objective,
+                best_cost: iter_best,
+                stats,
+            });
         }
 
         match best {
@@ -239,7 +248,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
         let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
-        let p = PartitionerParams { iterations: 2, constructions_per_metric: 2, flow: FlowParams::default() };
+        let p = PartitionerParams {
+            iterations: 2,
+            constructions_per_metric: 2,
+            flow: FlowParams::default(),
+        };
         let r1 = FlowPartitioner::new(p)
             .run(&inst.hypergraph, &spec, &mut StdRng::seed_from_u64(11))
             .unwrap();

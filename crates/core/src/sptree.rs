@@ -34,8 +34,98 @@ pub struct TreeStep {
     pub parent: Option<NodeId>,
 }
 
+/// Reusable buffers for growing shortest-path trees.
+///
+/// Every tree grow needs distance/parent/visited arrays sized by the
+/// hypergraph. Allocating (and zeroing) them per probe dominates the cost
+/// of small trees, which is exactly what Algorithm 2 grows most of the
+/// time — the constraint oracle stops at the first violated prefix. A
+/// `GrowerScratch` is allocated once per worker and reset in time
+/// proportional to the *touched* region only.
+#[derive(Debug)]
+pub struct GrowerScratch {
+    dist: Vec<f64>,
+    via: Vec<Option<NetId>>,
+    parent: Vec<Option<NodeId>>,
+    net_used: Vec<bool>,
+    heap: IndexedMinHeap,
+    touched_nodes: Vec<usize>,
+    touched_nets: Vec<usize>,
+}
+
+impl GrowerScratch {
+    /// Buffers sized for `h`.
+    pub fn new(h: &Hypergraph) -> Self {
+        let n = h.num_nodes();
+        GrowerScratch {
+            dist: vec![f64::INFINITY; n],
+            via: vec![None; n],
+            parent: vec![None; n],
+            net_used: vec![false; h.num_nets()],
+            heap: IndexedMinHeap::new(n),
+            touched_nodes: Vec::new(),
+            touched_nets: Vec::new(),
+        }
+    }
+
+    /// Restores the pristine state, in `O(touched)`.
+    fn reset(&mut self) {
+        for &i in &self.touched_nodes {
+            self.dist[i] = f64::INFINITY;
+            self.via[i] = None;
+            self.parent[i] = None;
+        }
+        self.touched_nodes.clear();
+        for &e in &self.touched_nets {
+            self.net_used[e] = false;
+        }
+        self.touched_nets.clear();
+        self.heap.clear();
+    }
+
+    fn start(&mut self, source: NodeId) {
+        self.reset();
+        self.dist[source.index()] = 0.0;
+        self.touched_nodes.push(source.index());
+        self.heap.push_or_decrease(source.index(), 0.0);
+    }
+
+    fn step(&mut self, h: &Hypergraph, metric: &SpreadingMetric) -> Option<TreeStep> {
+        let (v, dv) = self.heap.pop()?;
+        for &e in h.node_nets(NodeId::new(v)) {
+            if self.net_used[e.index()] {
+                continue;
+            }
+            self.net_used[e.index()] = true;
+            self.touched_nets.push(e.index());
+            let cand = dv + metric.length(e);
+            for &w in h.net_pins(e) {
+                if cand < self.dist[w.index()] {
+                    if self.dist[w.index()].is_infinite() {
+                        self.touched_nodes.push(w.index());
+                    }
+                    self.dist[w.index()] = cand;
+                    self.via[w.index()] = Some(e);
+                    self.parent[w.index()] = Some(NodeId::new(v));
+                    self.heap.push_or_decrease(w.index(), cand);
+                }
+            }
+        }
+        Some(TreeStep {
+            node: NodeId::new(v),
+            dist: dv,
+            via_net: self.via[v],
+            parent: self.parent[v],
+        })
+    }
+}
+
 /// Grows the shortest-path tree from a source node one settled node at a
 /// time.
+///
+/// An iterator: each [`next`](Iterator::next) settles the closest
+/// unsettled node and reports how it was reached. Callers that only need
+/// a prefix of the tree (the violation oracles) simply stop iterating.
 ///
 /// # Examples
 ///
@@ -58,42 +148,92 @@ pub struct TreeStep {
 pub struct TreeGrower<'a> {
     h: &'a Hypergraph,
     metric: &'a SpreadingMetric,
-    dist: Vec<f64>,
-    via: Vec<Option<NetId>>,
-    parent: Vec<Option<NodeId>>,
-    net_used: Vec<bool>,
-    heap: IndexedMinHeap,
+    scratch: Scratch<'a>,
+}
+
+#[derive(Debug)]
+enum Scratch<'a> {
+    Owned(Box<GrowerScratch>),
+    Borrowed(&'a mut GrowerScratch),
+}
+
+impl Scratch<'_> {
+    fn get(&self) -> &GrowerScratch {
+        match self {
+            Scratch::Owned(s) => s,
+            Scratch::Borrowed(s) => s,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut GrowerScratch {
+        match self {
+            Scratch::Owned(s) => s,
+            Scratch::Borrowed(s) => s,
+        }
+    }
 }
 
 impl<'a> TreeGrower<'a> {
-    /// Starts a tree at `source`.
+    /// Starts a tree at `source`, with freshly allocated buffers.
     ///
     /// # Panics
     ///
     /// Panics if `source` is out of range or the metric's net count differs
     /// from the hypergraph's.
     pub fn new(h: &'a Hypergraph, metric: &'a SpreadingMetric, source: NodeId) -> Self {
-        assert!(source.index() < h.num_nodes(), "source {source} out of range");
-        assert_eq!(h.num_nets(), metric.len(), "metric/hypergraph net count mismatch");
-        let n = h.num_nodes();
-        let mut heap = IndexedMinHeap::new(n);
-        let mut dist = vec![f64::INFINITY; n];
-        dist[source.index()] = 0.0;
-        heap.push_or_decrease(source.index(), 0.0);
-        TreeGrower {
-            h,
-            metric,
-            dist,
-            via: vec![None; n],
-            parent: vec![None; n],
-            net_used: vec![false; h.num_nets()],
-            heap,
-        }
+        let scratch = Scratch::Owned(Box::new(GrowerScratch::new(h)));
+        Self::start(h, metric, source, scratch)
+    }
+
+    /// Starts a tree at `source` reusing `scratch` (reset on entry). This
+    /// is the hot-loop entry point: Algorithm 2's probe workers keep one
+    /// scratch per thread across thousands of probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`TreeGrower::new`], and additionally if `scratch` was
+    /// built for a different-shaped hypergraph.
+    pub fn with_scratch(
+        h: &'a Hypergraph,
+        metric: &'a SpreadingMetric,
+        source: NodeId,
+        scratch: &'a mut GrowerScratch,
+    ) -> Self {
+        assert_eq!(
+            scratch.dist.len(),
+            h.num_nodes(),
+            "scratch sized for a different node count"
+        );
+        assert_eq!(
+            scratch.net_used.len(),
+            h.num_nets(),
+            "scratch sized for a different net count"
+        );
+        Self::start(h, metric, source, Scratch::Borrowed(scratch))
+    }
+
+    fn start(
+        h: &'a Hypergraph,
+        metric: &'a SpreadingMetric,
+        source: NodeId,
+        mut scratch: Scratch<'a>,
+    ) -> Self {
+        assert!(
+            source.index() < h.num_nodes(),
+            "source {source} out of range"
+        );
+        assert_eq!(
+            h.num_nets(),
+            metric.len(),
+            "metric/hypergraph net count mismatch"
+        );
+        scratch.get_mut().start(source);
+        TreeGrower { h, metric, scratch }
     }
 
     /// Distance of a node settled so far (`INFINITY` otherwise).
     pub fn distance(&self, v: NodeId) -> f64 {
-        self.dist[v.index()]
+        self.scratch.get().dist[v.index()]
     }
 }
 
@@ -101,28 +241,8 @@ impl Iterator for TreeGrower<'_> {
     type Item = TreeStep;
 
     fn next(&mut self) -> Option<TreeStep> {
-        let (v, dv) = self.heap.pop()?;
-        for &e in self.h.node_nets(NodeId::new(v)) {
-            if self.net_used[e.index()] {
-                continue;
-            }
-            self.net_used[e.index()] = true;
-            let cand = dv + self.metric.length(e);
-            for &w in self.h.net_pins(e) {
-                if cand < self.dist[w.index()] {
-                    self.dist[w.index()] = cand;
-                    self.via[w.index()] = Some(e);
-                    self.parent[w.index()] = Some(NodeId::new(v));
-                    self.heap.push_or_decrease(w.index(), cand);
-                }
-            }
-        }
-        Some(TreeStep {
-            node: NodeId::new(v),
-            dist: dv,
-            via_net: self.via[v],
-            parent: self.parent[v],
-        })
+        let (h, metric) = (self.h, self.metric);
+        self.scratch.get_mut().step(h, metric)
     }
 }
 
@@ -131,7 +251,7 @@ impl Iterator for TreeGrower<'_> {
 pub fn hypergraph_distances(h: &Hypergraph, metric: &SpreadingMetric, source: NodeId) -> Vec<f64> {
     let mut grower = TreeGrower::new(h, metric, source);
     while grower.next().is_some() {}
-    grower.dist
+    grower.scratch.get().dist.clone()
 }
 
 #[cfg(test)]
@@ -144,9 +264,13 @@ mod tests {
         let n = lengths.len() + 1;
         let mut b = HypergraphBuilder::with_unit_nodes(n);
         for i in 0..lengths.len() {
-            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)]).unwrap();
+            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)])
+                .unwrap();
         }
-        (b.build().unwrap(), SpreadingMetric::from_lengths(lengths.to_vec()))
+        (
+            b.build().unwrap(),
+            SpreadingMetric::from_lengths(lengths.to_vec()),
+        )
     }
 
     #[test]
@@ -167,7 +291,8 @@ mod tests {
     #[test]
     fn multi_pin_net_is_a_single_hop() {
         let mut b = HypergraphBuilder::with_unit_nodes(4);
-        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
         let h = b.build().unwrap();
         let m = SpreadingMetric::from_lengths(vec![2.5]);
         let d = hypergraph_distances(&h, &m, NodeId(0));

@@ -109,7 +109,7 @@ mod tests {
         assert_eq!(x.graph.num_nodes(), 6);
         assert_eq!(x.first_aux_node, Some(4));
         assert_eq!(x.graph.num_edges(), 5); // 3 + 2 pins
-        // Pin-to-pin distance through the centre equals the capacity.
+                                            // Pin-to-pin distance through the centre equals the capacity.
         let sp = shortest_paths(&x.graph, 0);
         assert!((sp.dist[1] - 2.0).abs() < 1e-12);
         // Crossing both nets: 0 -> centre0 -> 2 -> centre1 -> 3.

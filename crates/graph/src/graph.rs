@@ -87,7 +87,12 @@ impl Graph {
             edge_list.push((u as u32, v as u32));
             weights.push(w);
         }
-        Graph { edges: edge_list, weights, off, adj }
+        Graph {
+            edges: edge_list,
+            weights,
+            off,
+            adj,
+        }
     }
 
     /// Number of nodes.

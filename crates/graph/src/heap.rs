@@ -104,7 +104,10 @@ impl IndexedMinHeap {
 
     fn less(&self, a: usize, b: usize) -> bool {
         let (ia, ib) = (self.heap[a] as usize, self.heap[b] as usize);
-        match self.key[ia].partial_cmp(&self.key[ib]).expect("keys are not NaN") {
+        match self.key[ia]
+            .partial_cmp(&self.key[ib])
+            .expect("keys are not NaN")
+        {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => ia < ib,

@@ -59,7 +59,11 @@ fn contract_once<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Cut {
     while components > 2 {
         // Weighted edge sampling by cumulative scan. Rejection: skip edges
         // whose endpoints are already merged.
-        let mut pick = if total > 0.0 { rng.random_range(0.0..total) } else { 0.0 };
+        let mut pick = if total > 0.0 {
+            rng.random_range(0.0..total)
+        } else {
+            0.0
+        };
         let mut chosen = None;
         for e in g.edge_ids() {
             let w = g.weight(e);

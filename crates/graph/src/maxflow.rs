@@ -48,7 +48,10 @@ impl FlowNetwork {
     ///
     /// Panics if an endpoint is out of range or the capacity is negative/NaN.
     pub fn add_arc(&mut self, from: usize, to: usize, capacity: f64) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "arc endpoint out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "arc endpoint out of range"
+        );
         assert!(capacity >= 0.0, "arc capacity must be non-negative");
         let id = self.head.len();
         self.adj[from].push(id as u32);
@@ -63,7 +66,10 @@ impl FlowNetwork {
     /// Adds an undirected edge as a pair of opposing arcs of capacity
     /// `capacity` each; returns the forward arc index.
     pub fn add_undirected(&mut self, a: usize, b: usize, capacity: f64) -> usize {
-        assert!(a < self.adj.len() && b < self.adj.len(), "edge endpoint out of range");
+        assert!(
+            a < self.adj.len() && b < self.adj.len(),
+            "edge endpoint out of range"
+        );
         assert!(capacity >= 0.0, "edge capacity must be non-negative");
         // An undirected edge is one arc pair whose *reverse* also has full
         // capacity, so flow can use either direction.
@@ -126,7 +132,10 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
-        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "terminal out of range"
+        );
         assert_ne!(s, t, "source and sink must differ");
         let mut flow = 0.0;
         while self.bfs(s, t) {

@@ -115,7 +115,10 @@ pub fn global_min_cut(g: &Graph) -> Option<Cut> {
     for v in best_group {
         side[v] = true;
     }
-    Some(Cut { weight: best_weight, side })
+    Some(Cut {
+        weight: best_weight,
+        side,
+    })
 }
 
 /// Total weight of edges of `g` crossing the node bipartition `side` —

@@ -52,7 +52,11 @@ pub fn minimum_spanning_forest(g: &Graph) -> SpanningForest {
             }
         }
     }
-    SpanningForest { edges, total_weight, components }
+    SpanningForest {
+        edges,
+        total_weight,
+        components,
+    }
 }
 
 /// Kruskal's algorithm — used as a test oracle for
@@ -60,7 +64,11 @@ pub fn minimum_spanning_forest(g: &Graph) -> SpanningForest {
 /// are unique even when the edge sets are not).
 pub fn kruskal_weight(g: &Graph) -> f64 {
     let mut ids: Vec<EdgeId> = g.edge_ids().collect();
-    ids.sort_by(|&a, &b| g.weight(a).partial_cmp(&g.weight(b)).expect("weights not NaN"));
+    ids.sort_by(|&a, &b| {
+        g.weight(a)
+            .partial_cmp(&g.weight(b))
+            .expect("weights not NaN")
+    });
     let mut uf = crate::UnionFind::new(g.num_nodes());
     let mut total = 0.0;
     for e in ids {

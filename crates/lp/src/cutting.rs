@@ -32,7 +32,11 @@ pub struct CuttingPlaneParams {
 
 impl Default for CuttingPlaneParams {
     fn default() -> Self {
-        CuttingPlaneParams { max_rounds: 60, tolerance: 1e-7, rows_per_round: 24 }
+        CuttingPlaneParams {
+            max_rounds: 60,
+            tolerance: 1e-7,
+            rows_per_round: 24,
+        }
     }
 }
 
@@ -111,9 +115,7 @@ pub fn lower_bound(
         }
         match solve(&lp) {
             LpOutcome::Optimal { x, objective } => {
-                metric = SpreadingMetric::from_lengths(
-                    x.into_iter().map(|d| d.max(0.0)).collect(),
-                );
+                metric = SpreadingMetric::from_lengths(x.into_iter().map(|d| d.max(0.0)).collect());
                 bound = objective;
             }
             LpOutcome::Infeasible => return Err(LpError::Infeasible),
@@ -164,7 +166,11 @@ mod tests {
         // The optimal partition {0,1}|{2,3} costs 2 and its induced metric
         // is LP-feasible, so the LP optimum is at most 2; spreading
         // constraints force at least 2 here (g(3) = 2 from either end).
-        assert!((r.lower_bound - 2.0).abs() < 1e-6, "bound {}", r.lower_bound);
+        assert!(
+            (r.lower_bound - 2.0).abs() < 1e-6,
+            "bound {}",
+            r.lower_bound
+        );
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
         assert!((cost::partition_cost(&h, &spec, &p) - 2.0).abs() < 1e-12);
     }
@@ -173,7 +179,16 @@ mod tests {
     fn bound_never_exceeds_any_valid_partition_cost() {
         // A 2-cluster instance: check the bound against several partitions.
         let mut b = HypergraphBuilder::with_unit_nodes(8);
-        for (x, y) in [(0u32, 1), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (6, 7), (4, 7)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 7),
+        ] {
             b.add_net(1.0, [NodeId(x), NodeId(y)]).unwrap();
         }
         b.add_net(1.0, [NodeId(3), NodeId(4)]).unwrap();
@@ -197,15 +212,18 @@ mod tests {
             );
         }
         // And here the bound certifies the planted optimum.
-        assert!((r.lower_bound - 2.0).abs() < 1e-6, "bound {}", r.lower_bound);
+        assert!(
+            (r.lower_bound - 2.0).abs() < 1e-6,
+            "bound {}",
+            r.lower_bound
+        );
     }
 
     #[test]
     fn converged_metric_is_feasible_for_p1() {
         let (h, spec) = path4();
         let r = lower_bound(&h, &spec, CuttingPlaneParams::default()).unwrap();
-        let report =
-            htp_core::constraint::check_feasibility(&h, &spec, &r.metric, 1e-6);
+        let report = htp_core::constraint::check_feasibility(&h, &spec, &r.metric, 1e-6);
         assert!(report.feasible, "shortfall {}", report.worst_shortfall);
     }
 

@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn textbook_pair() {
         // min 2x + 3y s.t. x + 2y >= 8, 3x + y >= 9 (optimum 13).
-        let p = lp(vec![2.0, 3.0], vec![(vec![1.0, 2.0], 8.0), (vec![3.0, 1.0], 9.0)]);
+        let p = lp(
+            vec![2.0, 3.0],
+            vec![(vec![1.0, 2.0], 8.0), (vec![3.0, 1.0], 9.0)],
+        );
         let (dual_opt, y) = solve_dual(&p).unwrap();
         assert!((dual_opt - 13.0).abs() < 1e-7, "dual {dual_opt}");
         // Dual feasibility: Aᵀy <= c.
@@ -138,10 +141,8 @@ mod tests {
         // at the final metric (none exist: it is feasible), and verify the
         // primal/dual agreement on what we do have.
         let zero = htp_core::SpreadingMetric::zeros(h.num_nets());
-        let mut p = LinearProgram::new(
-            h.nets().map(|e| h.net_capacity(e)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let mut p =
+            LinearProgram::new(h.nets().map(|e| h.net_capacity(e)).collect::<Vec<_>>()).unwrap();
         for v in h.nodes() {
             if let Some(row) = crate::separation::most_violated_row(&h, &spec, &zero, v, 1e-9) {
                 p.add_ge_constraint(row.coeffs, row.rhs).unwrap();

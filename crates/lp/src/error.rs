@@ -50,7 +50,10 @@ mod tests {
     #[test]
     fn displays() {
         assert!(LpError::Infeasible.to_string().contains("infeasible"));
-        let e = LpError::DimensionMismatch { got: 3, expected: 5 };
+        let e = LpError::DimensionMismatch {
+            got: 3,
+            expected: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
     }
 }

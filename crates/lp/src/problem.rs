@@ -21,7 +21,11 @@ impl LinearProgram {
         if objective.iter().any(|c| !c.is_finite()) {
             return Err(LpError::BadCoefficient);
         }
-        Ok(LinearProgram { objective, rows: Vec::new(), rhs: Vec::new() })
+        Ok(LinearProgram {
+            objective,
+            rows: Vec::new(),
+            rhs: Vec::new(),
+        })
     }
 
     /// Adds the constraint `row · x >= rhs`.
@@ -125,7 +129,10 @@ mod tests {
         let mut lp = LinearProgram::new(vec![1.0]).unwrap();
         assert!(matches!(
             lp.add_ge_constraint(vec![1.0, 2.0], 0.0),
-            Err(LpError::DimensionMismatch { got: 2, expected: 1 })
+            Err(LpError::DimensionMismatch {
+                got: 2,
+                expected: 1
+            })
         ));
         assert!(matches!(
             lp.add_ge_constraint(vec![f64::NAN], 0.0),

@@ -77,7 +77,11 @@ fn row_for_prefix(
             subtree[parent.index()] += subtree[step.node.index()];
         }
     }
-    ConstraintRow { coeffs, rhs: gfn::spreading_bound(spec, size), source }
+    ConstraintRow {
+        coeffs,
+        rhs: gfn::spreading_bound(spec, size),
+        source,
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +138,10 @@ mod tests {
         // Generous lengths: everything is well spread.
         let m = SpreadingMetric::from_lengths(vec![10.0; 4]);
         for v in h.nodes() {
-            assert!(most_violated_row(&h, &spec, &m, v, 1e-9).is_none(), "source {v}");
+            assert!(
+                most_violated_row(&h, &spec, &m, v, 1e-9).is_none(),
+                "source {v}"
+            );
         }
     }
 
@@ -149,6 +156,9 @@ mod tests {
             .enumerate()
             .map(|(e, &delta)| delta * m.length(htp_netlist::NetId::new(e)))
             .sum();
-        assert!(lhs < row.rhs, "the returned row must cut off the current point");
+        assert!(
+            lhs < row.rhs,
+            "the returned row must cut off the current point"
+        );
     }
 }

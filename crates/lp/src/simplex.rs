@@ -57,7 +57,9 @@ impl Tableau {
                     break;
                 }
             }
-            let Some(j) = entering else { return PhaseResult::Optimal };
+            let Some(j) = entering else {
+                return PhaseResult::Optimal;
+            };
 
             // Lexicographic ratio test.
             let mut leaving: Option<usize> = None;
@@ -74,7 +76,9 @@ impl Tableau {
                     }
                 }
             }
-            let Some(i) = leaving else { return PhaseResult::Unbounded };
+            let Some(i) = leaving else {
+                return PhaseResult::Unbounded;
+            };
             self.pivot(i, j);
         }
         PhaseResult::Stalled
@@ -138,7 +142,10 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
         if lp.objective().iter().any(|&c| c < -EPS) {
             return LpOutcome::Unbounded;
         }
-        return LpOutcome::Optimal { x: vec![0.0; n], objective: 0.0 };
+        return LpOutcome::Optimal {
+            x: vec![0.0; n],
+            objective: 0.0,
+        };
     }
 
     // Columns: structural (n) + surplus (m) + artificial (<= m, appended).
@@ -152,8 +159,8 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
         let flip = lp.rhs()[i] < 0.0;
         let sign = if flip { -1.0 } else { 1.0 };
         let mut row = vec![0.0; n + m];
-        for j in 0..n {
-            row[j] = sign * lp.rows()[i][j];
+        for (rj, &a) in row.iter_mut().zip(lp.rows()[i].iter()) {
+            *rj = sign * a;
         }
         // Surplus: A·x - s = b  becomes  -A·x + s = -b when flipped.
         row[n + i] = -sign;

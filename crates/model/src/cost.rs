@@ -58,11 +58,7 @@ pub struct CostBreakdown {
 ///
 /// Panics if the hypergraph and partition disagree on the node count, or if
 /// the partition's height exceeds the spec's.
-pub fn cost_breakdown(
-    h: &Hypergraph,
-    spec: &TreeSpec,
-    p: &HierarchicalPartition,
-) -> CostBreakdown {
+pub fn cost_breakdown(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> CostBreakdown {
     assert_eq!(h.num_nodes(), p.num_nodes(), "node count mismatch");
     assert!(
         p.root_level() <= spec.root_level(),
@@ -152,7 +148,8 @@ mod tests {
     #[test]
     fn multiway_span_pays_per_block() {
         let mut b = HypergraphBuilder::with_unit_nodes(4);
-        b.add_net(2.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        b.add_net(2.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
         let h = b.build().unwrap();
         let spec = TreeSpec::new(vec![(1, 4, 1.0), (4, 4, 1.0)]).unwrap();
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1, 2, 3]).unwrap();

@@ -106,7 +106,12 @@ mod tests {
 
     #[test]
     fn messages_carry_the_numbers() {
-        let e = ModelError::CapacityExceeded { vertex: 3, level: 1, size: 9, bound: 8 };
+        let e = ModelError::CapacityExceeded {
+            vertex: 3,
+            level: 1,
+            size: 9,
+            bound: 8,
+        };
         let s = e.to_string();
         assert!(s.contains("vertex 3"));
         assert!(s.contains("C_1 = 8"));

@@ -28,7 +28,9 @@ const MAGIC: &str = "htp-partition v1";
 ///
 /// Returns [`ModelError::BadSpec`] wrapping the underlying I/O failure.
 pub fn write<W: Write>(p: &HierarchicalPartition, mut w: W) -> Result<(), ModelError> {
-    let io_err = |e: std::io::Error| ModelError::BadSpec { message: format!("write failed: {e}") };
+    let io_err = |e: std::io::Error| ModelError::BadSpec {
+        message: format!("write failed: {e}"),
+    };
     writeln!(w, "{MAGIC}").map_err(io_err)?;
     for q in p.vertices() {
         let parent = match p.parent(q) {
@@ -67,7 +69,10 @@ pub fn read<R: BufRead>(r: R) -> Result<HierarchicalPartition, ModelError> {
         .ok_or_else(|| bad(1, "empty input".into()))
         .and_then(|(i, l)| l.map(|l| (i, l)).map_err(|e| bad(i + 1, e.to_string())))?;
     if magic.trim() != MAGIC {
-        return Err(bad(1, format!("expected `{MAGIC}`, got `{}`", magic.trim())));
+        return Err(bad(
+            1,
+            format!("expected `{MAGIC}`, got `{}`", magic.trim()),
+        ));
     }
 
     // First pass: collect records.
@@ -88,18 +93,25 @@ pub fn read<R: BufRead>(r: R) -> Result<HierarchicalPartition, ModelError> {
         let fields: Vec<&str> = line.split_whitespace().collect();
         match fields.as_slice() {
             ["vertex", id, level, parent] => vertices.push(VertexRec {
-                id: id.parse().map_err(|_| bad(lno, format!("bad vertex id `{id}`")))?,
-                level: level.parse().map_err(|_| bad(lno, format!("bad level `{level}`")))?,
+                id: id
+                    .parse()
+                    .map_err(|_| bad(lno, format!("bad vertex id `{id}`")))?,
+                level: level
+                    .parse()
+                    .map_err(|_| bad(lno, format!("bad level `{level}`")))?,
                 parent: match *parent {
                     "-" => None,
                     raw => Some(
-                        raw.parse().map_err(|_| bad(lno, format!("bad parent `{raw}`")))?,
+                        raw.parse()
+                            .map_err(|_| bad(lno, format!("bad parent `{raw}`")))?,
                     ),
                 },
             }),
             ["assign", node, leaf] => assigns.push((
-                node.parse().map_err(|_| bad(lno, format!("bad node `{node}`")))?,
-                leaf.parse().map_err(|_| bad(lno, format!("bad leaf `{leaf}`")))?,
+                node.parse()
+                    .map_err(|_| bad(lno, format!("bad node `{node}`")))?,
+                leaf.parse()
+                    .map_err(|_| bad(lno, format!("bad leaf `{leaf}`")))?,
             )),
             _ => return Err(bad(lno, format!("unrecognized record `{line}`"))),
         }
@@ -110,9 +122,13 @@ pub fn read<R: BufRead>(r: R) -> Result<HierarchicalPartition, ModelError> {
     let root = vertices
         .iter()
         .find(|v| v.parent.is_none())
-        .ok_or_else(|| ModelError::BadSpec { message: "no root vertex".into() })?;
+        .ok_or_else(|| ModelError::BadSpec {
+            message: "no root vertex".into(),
+        })?;
     if vertices.iter().filter(|v| v.parent.is_none()).count() > 1 {
-        return Err(ModelError::BadSpec { message: "multiple root vertices".into() });
+        return Err(ModelError::BadSpec {
+            message: "multiple root vertices".into(),
+        });
     }
     let num_nodes = assigns.len();
     let mut b = PartitionBuilder::new(num_nodes, root.level);
@@ -125,7 +141,9 @@ pub fn read<R: BufRead>(r: R) -> Result<HierarchicalPartition, ModelError> {
         })?;
         let id = b.add_child(parent, v.level)?;
         if id_map.insert(v.id, id).is_some() {
-            return Err(ModelError::BadSpec { message: format!("duplicate vertex id {}", v.id) });
+            return Err(ModelError::BadSpec {
+                message: format!("duplicate vertex id {}", v.id),
+            });
         }
     }
     let mut seen = vec![false; num_nodes];

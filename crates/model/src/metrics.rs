@@ -44,10 +44,7 @@ pub struct LevelMetrics {
 /// # Panics
 ///
 /// Panics if the hypergraph and partition disagree on the node count.
-pub fn level_metrics(
-    h: &Hypergraph,
-    p: &HierarchicalPartition,
-) -> Vec<LevelMetrics> {
+pub fn level_metrics(h: &Hypergraph, p: &HierarchicalPartition) -> Vec<LevelMetrics> {
     assert_eq!(h.num_nodes(), p.num_nodes(), "node count mismatch");
     let node_sizes: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
     let subtree_sizes = p.subtree_sizes(&node_sizes);
@@ -96,7 +93,12 @@ pub fn level_metrics(
             let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
             max / mean
         };
-        out.push(LevelMetrics { level: l, blocks, total_io_pins, imbalance });
+        out.push(LevelMetrics {
+            level: l,
+            blocks,
+            total_io_pins,
+            imbalance,
+        });
     }
     out
 }
@@ -123,11 +125,7 @@ pub fn io_violations(
 
 /// Consistency check between the metrics view and the cost objective:
 /// `Σ_l w_l · total_io_pins(l)` must equal the partition cost.
-pub fn io_cost_identity(
-    h: &Hypergraph,
-    spec: &TreeSpec,
-    p: &HierarchicalPartition,
-) -> (f64, f64) {
+pub fn io_cost_identity(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> (f64, f64) {
     let from_metrics: f64 = level_metrics(h, p)
         .iter()
         .map(|lm| spec.weight(lm.level) * lm.total_io_pins)
@@ -185,7 +183,10 @@ mod tests {
         let violations = io_violations(&h, &p, &[1.0]);
         assert_eq!(violations.len(), 2, "both leaves exceed a 1-pin budget");
         assert!(io_violations(&h, &p, &[10.0]).is_empty());
-        assert!(io_violations(&h, &p, &[]).is_empty(), "no budget, no violation");
+        assert!(
+            io_violations(&h, &p, &[]).is_empty(),
+            "no budget, no violation"
+        );
     }
 
     #[test]

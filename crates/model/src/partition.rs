@@ -79,15 +79,19 @@ impl HierarchicalPartition {
         let leaves = match assignment.iter().max() {
             Some(&m) => m + 1,
             None => {
-                return Err(ModelError::BadVertex { message: "no nodes to assign".into() })
+                return Err(ModelError::BadVertex {
+                    message: "no nodes to assign".into(),
+                })
             }
         };
         let mut b = PartitionBuilder::new(assignment.len(), root_level);
         let root = b.root();
-        let leaf_ids: Vec<VertexId> =
-            (0..leaves).map(|_| b.add_child(root, 0).expect("root accepts leaves")).collect();
+        let leaf_ids: Vec<VertexId> = (0..leaves)
+            .map(|_| b.add_child(root, 0).expect("root accepts leaves"))
+            .collect();
         for (v, &leaf) in assignment.iter().enumerate() {
-            b.assign(NodeId::new(v), leaf_ids[leaf]).expect("fresh leaf accepts nodes");
+            b.assign(NodeId::new(v), leaf_ids[leaf])
+                .expect("fresh leaf accepts nodes");
         }
         b.build()
     }
@@ -106,9 +110,11 @@ impl HierarchicalPartition {
                 message: "full k-ary tree needs height >= 1 and k >= 2".into(),
             });
         }
-        let num_leaves = k.checked_pow(height as u32).ok_or_else(|| ModelError::BadVertex {
-            message: "tree too large".into(),
-        })?;
+        let num_leaves = k
+            .checked_pow(height as u32)
+            .ok_or_else(|| ModelError::BadVertex {
+                message: "tree too large".into(),
+            })?;
         let mut b = PartitionBuilder::new(assignment.len(), height);
         // Build level by level; `frontier` holds the vertices of the level
         // being expanded.
@@ -128,7 +134,8 @@ impl HierarchicalPartition {
             let leaf_vertex = *frontier.get(leaf).ok_or_else(|| ModelError::BadVertex {
                 message: format!("leaf index {leaf} out of range 0..{num_leaves}"),
             })?;
-            b.assign(NodeId::new(v), leaf_vertex).expect("leaves accept nodes");
+            b.assign(NodeId::new(v), leaf_vertex)
+                .expect("leaves accept nodes");
         }
         b.build()
     }
@@ -183,7 +190,7 @@ impl HierarchicalPartition {
     pub fn block_at(&self, v: NodeId, l: usize) -> VertexId {
         let mut cur = self.leaf_of(v);
         while let Some(p) = self.parent(cur) {
-            if self.level(p) <= l as usize {
+            if self.level(p) <= l {
                 cur = p;
             } else {
                 break;
@@ -272,7 +279,10 @@ impl HierarchicalPartition {
                 return Err(ModelError::NotALeaf { vertex: leaf.0 });
             }
         }
-        Ok(HierarchicalPartition { leaf_of, ..self.clone() })
+        Ok(HierarchicalPartition {
+            leaf_of,
+            ..self.clone()
+        })
     }
 
     /// The nodes assigned to leaf `q` (empty for internal vertices).
@@ -371,9 +381,7 @@ impl PartitionBuilder {
         let parent_level = self.level[parent.index()] as usize;
         if level >= parent_level {
             return Err(ModelError::BadVertex {
-                message: format!(
-                    "child level {level} must be below parent level {parent_level}"
-                ),
+                message: format!("child level {level} must be below parent level {parent_level}"),
             });
         }
         let id = VertexId::new(self.level.len());
@@ -393,13 +401,17 @@ impl PartitionBuilder {
     /// or [`ModelError::NotALeaf`] if `leaf` is not at level 0.
     pub fn assign(&mut self, v: NodeId, leaf: VertexId) -> Result<(), ModelError> {
         if leaf.index() >= self.level.len() {
-            return Err(ModelError::BadVertex { message: format!("leaf {leaf} does not exist") });
+            return Err(ModelError::BadVertex {
+                message: format!("leaf {leaf} does not exist"),
+            });
         }
         if self.level[leaf.index()] != 0 {
             return Err(ModelError::NotALeaf { vertex: leaf.0 });
         }
         if v.index() >= self.leaf_of.len() {
-            return Err(ModelError::BadVertex { message: format!("node {v} out of range") });
+            return Err(ModelError::BadVertex {
+                message: format!("node {v} out of range"),
+            });
         }
         self.leaf_of[v.index()] = Some(leaf);
         Ok(())
@@ -461,14 +473,20 @@ mod tests {
         let mut b = PartitionBuilder::new(2, 1);
         let leaf = b.add_child(b.root(), 0).unwrap();
         b.assign(NodeId(0), leaf).unwrap();
-        assert_eq!(b.build().unwrap_err(), ModelError::UnassignedNode { node: 1 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::UnassignedNode { node: 1 }
+        );
     }
 
     #[test]
     fn assignment_to_internal_vertex_fails() {
         let mut b = PartitionBuilder::new(1, 2);
         let mid = b.add_child(b.root(), 1).unwrap();
-        assert_eq!(b.assign(NodeId(0), mid).unwrap_err(), ModelError::NotALeaf { vertex: 1 });
+        assert_eq!(
+            b.assign(NodeId(0), mid).unwrap_err(),
+            ModelError::NotALeaf { vertex: 1 }
+        );
     }
 
     #[test]

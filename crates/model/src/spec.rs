@@ -42,7 +42,11 @@ impl TreeSpec {
     pub fn new(levels: Vec<(u64, usize, f64)>) -> Result<Self, ModelError> {
         let levels: Vec<LevelSpec> = levels
             .into_iter()
-            .map(|(capacity, max_children, weight)| LevelSpec { capacity, max_children, weight })
+            .map(|(capacity, max_children, weight)| LevelSpec {
+                capacity,
+                max_children,
+                weight,
+            })
             .collect();
         let spec = TreeSpec { levels };
         spec.validate()?;
@@ -93,13 +97,19 @@ impl TreeSpec {
         weight: f64,
     ) -> Result<Self, ModelError> {
         if height == 0 {
-            return Err(ModelError::BadSpec { message: "height must be at least 1".into() });
+            return Err(ModelError::BadSpec {
+                message: "height must be at least 1".into(),
+            });
         }
         if k < 2 {
-            return Err(ModelError::BadSpec { message: "arity must be at least 2".into() });
+            return Err(ModelError::BadSpec {
+                message: "arity must be at least 2".into(),
+            });
         }
         if !(slack >= 1.0 && slack.is_finite()) {
-            return Err(ModelError::BadSpec { message: "slack must be at least 1.0".into() });
+            return Err(ModelError::BadSpec {
+                message: "slack must be at least 1.0".into(),
+            });
         }
         let mut levels = Vec::with_capacity(height + 1);
         for l in 0..=height {
@@ -203,11 +213,26 @@ mod tests {
     fn rejects_malformed_specs() {
         assert!(TreeSpec::new(vec![]).is_err());
         assert!(TreeSpec::new(vec![(4, 2, 1.0)]).is_err(), "single level");
-        assert!(TreeSpec::new(vec![(0, 2, 1.0), (8, 2, 1.0)]).is_err(), "zero capacity");
-        assert!(TreeSpec::new(vec![(8, 2, 1.0), (4, 2, 1.0)]).is_err(), "decreasing capacity");
-        assert!(TreeSpec::new(vec![(4, 2, 1.0), (8, 1, 1.0)]).is_err(), "K < 2");
-        assert!(TreeSpec::new(vec![(4, 2, -1.0), (8, 2, 1.0)]).is_err(), "negative weight");
-        assert!(TreeSpec::new(vec![(4, 2, f64::NAN), (8, 2, 1.0)]).is_err(), "nan weight");
+        assert!(
+            TreeSpec::new(vec![(0, 2, 1.0), (8, 2, 1.0)]).is_err(),
+            "zero capacity"
+        );
+        assert!(
+            TreeSpec::new(vec![(8, 2, 1.0), (4, 2, 1.0)]).is_err(),
+            "decreasing capacity"
+        );
+        assert!(
+            TreeSpec::new(vec![(4, 2, 1.0), (8, 1, 1.0)]).is_err(),
+            "K < 2"
+        );
+        assert!(
+            TreeSpec::new(vec![(4, 2, -1.0), (8, 2, 1.0)]).is_err(),
+            "negative weight"
+        );
+        assert!(
+            TreeSpec::new(vec![(4, 2, f64::NAN), (8, 2, 1.0)]).is_err(),
+            "nan weight"
+        );
     }
 
     #[test]

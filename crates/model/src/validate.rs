@@ -84,7 +84,12 @@ mod tests {
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 0, 1]).unwrap();
         assert!(matches!(
             validate(&h, &spec, &p),
-            Err(ModelError::CapacityExceeded { level: 0, size: 3, bound: 2, .. })
+            Err(ModelError::CapacityExceeded {
+                level: 0,
+                size: 3,
+                bound: 2,
+                ..
+            })
         ));
     }
 
@@ -95,7 +100,11 @@ mod tests {
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1, 2, 3]).unwrap();
         assert!(matches!(
             validate(&h, &spec, &p),
-            Err(ModelError::TooManyChildren { children: 4, bound: 2, .. })
+            Err(ModelError::TooManyChildren {
+                children: 4,
+                bound: 2,
+                ..
+            })
         ));
     }
 
@@ -104,7 +113,10 @@ mod tests {
         let h = four_nodes();
         let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1]).unwrap();
-        assert!(matches!(validate(&h, &spec, &p), Err(ModelError::NodeCountMismatch { .. })));
+        assert!(matches!(
+            validate(&h, &spec, &p),
+            Err(ModelError::NodeCountMismatch { .. })
+        ));
     }
 
     #[test]
@@ -112,7 +124,10 @@ mod tests {
         let h = four_nodes();
         let spec = TreeSpec::new(vec![(4, 2, 1.0), (4, 2, 1.0)]).unwrap();
         let p = HierarchicalPartition::full_kary(2, 2, &[0, 1, 2, 3]).unwrap();
-        assert!(matches!(validate(&h, &spec, &p), Err(ModelError::LevelOutOfRange { .. })));
+        assert!(matches!(
+            validate(&h, &spec, &p),
+            Err(ModelError::LevelOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -126,7 +141,11 @@ mod tests {
         let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 1]).unwrap();
         assert!(matches!(
             validate(&h, &spec, &p),
-            Err(ModelError::CapacityExceeded { size: 3, bound: 2, .. })
+            Err(ModelError::CapacityExceeded {
+                size: 3,
+                bound: 2,
+                ..
+            })
         ));
     }
 }

@@ -139,7 +139,7 @@ impl HypergraphBuilder {
     ///
     /// Returns [`NetlistError::InvalidWeight`] if any node has size zero.
     pub fn build(self) -> Result<Hypergraph, NetlistError> {
-        if self.node_size.iter().any(|&s| s == 0) {
+        if self.node_size.contains(&0) {
             return Err(NetlistError::InvalidWeight {
                 what: "node size must be at least 1",
             });
@@ -217,7 +217,10 @@ mod tests {
             Err(NetlistError::NetTooSmall { pins: 1 })
         ));
         assert_eq!(b.add_net_lenient(1.0, [NodeId(0)]).unwrap(), None);
-        assert!(b.add_net_lenient(1.0, [NodeId(0), NodeId(1)]).unwrap().is_some());
+        assert!(b
+            .add_net_lenient(1.0, [NodeId(0), NodeId(1)])
+            .unwrap()
+            .is_some());
         assert_eq!(b.build().unwrap().num_nets(), 1);
     }
 

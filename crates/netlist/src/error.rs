@@ -44,7 +44,10 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::UnknownNode { node, num_nodes } => {
-                write!(f, "net references node {node} but only {num_nodes} nodes exist")
+                write!(
+                    f,
+                    "net references node {node} but only {num_nodes} nodes exist"
+                )
             }
             NetlistError::NetTooSmall { pins } => {
                 write!(f, "net has {pins} distinct pins, at least 2 are required")
@@ -79,8 +82,14 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_specific() {
-        let e = NetlistError::UnknownNode { node: 9, num_nodes: 4 };
-        assert_eq!(e.to_string(), "net references node 9 but only 4 nodes exist");
+        let e = NetlistError::UnknownNode {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "net references node 9 but only 4 nodes exist"
+        );
         let e = NetlistError::NetTooSmall { pins: 1 };
         assert!(e.to_string().contains("at least 2"));
     }

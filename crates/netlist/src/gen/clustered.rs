@@ -57,7 +57,10 @@ pub fn clustered_hypergraph<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> ClusteredInstance {
     assert!(params.min_net_size >= 2, "nets need at least 2 pins");
-    assert!(params.min_net_size <= params.max_net_size, "empty net-size range");
+    assert!(
+        params.min_net_size <= params.max_net_size,
+        "empty net-size range"
+    );
     assert!(
         params.cluster_size >= params.max_net_size,
         "cluster smaller than the largest net"
@@ -66,7 +69,8 @@ pub fn clustered_hypergraph<R: Rng + ?Sized>(
 
     let n = params.clusters * params.cluster_size;
     let mut b = HypergraphBuilder::with_unit_nodes(n);
-    let node_in = |cluster: usize, offset: usize| NodeId::new(cluster * params.cluster_size + offset);
+    let node_in =
+        |cluster: usize, offset: usize| NodeId::new(cluster * params.cluster_size + offset);
 
     let mut scratch: Vec<NodeId> = Vec::new();
     let sample_in_cluster = |rng: &mut R, cluster: usize, k: usize, scratch: &mut Vec<NodeId>| {
@@ -83,7 +87,8 @@ pub fn clustered_hypergraph<R: Rng + ?Sized>(
         let c = rng.random_range(0..params.clusters);
         scratch.clear();
         sample_in_cluster(rng, c, k, &mut scratch);
-        b.add_net(1.0, scratch.iter().copied()).expect("valid intra-cluster net");
+        b.add_net(1.0, scratch.iter().copied())
+            .expect("valid intra-cluster net");
     }
 
     for _ in 0..params.inter_nets {
@@ -94,7 +99,11 @@ pub fn clustered_hypergraph<R: Rng + ?Sized>(
         } else {
             // Rejection-free pick of a second, distinct cluster.
             let raw = rng.random_range(0..params.clusters - 1);
-            if raw >= c1 { raw + 1 } else { raw }
+            if raw >= c1 {
+                raw + 1
+            } else {
+                raw
+            }
         };
         scratch.clear();
         // At least one pin in each side.
@@ -109,12 +118,15 @@ pub fn clustered_hypergraph<R: Rng + ?Sized>(
                 break;
             }
         }
-        b.add_net(1.0, scratch.iter().copied()).expect("valid inter-cluster net");
+        b.add_net(1.0, scratch.iter().copied())
+            .expect("valid inter-cluster net");
     }
 
     let cluster_of = (0..n).map(|v| v / params.cluster_size).collect();
     ClusteredInstance {
-        hypergraph: b.build().expect("generated hypergraph is structurally valid"),
+        hypergraph: b
+            .build()
+            .expect("generated hypergraph is structurally valid"),
         cluster_of,
     }
 }
@@ -151,7 +163,11 @@ mod tests {
     #[test]
     fn single_cluster_degenerates_gracefully() {
         let mut rng = StdRng::seed_from_u64(3);
-        let p = ClusteredParams { clusters: 1, inter_nets: 4, ..ClusteredParams::default() };
+        let p = ClusteredParams {
+            clusters: 1,
+            inter_nets: 4,
+            ..ClusteredParams::default()
+        };
         let inst = clustered_hypergraph(p, &mut rng);
         assert_eq!(inst.hypergraph.num_nodes(), 16);
         validate::assert_valid(&inst.hypergraph);

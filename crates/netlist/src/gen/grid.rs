@@ -23,7 +23,11 @@ pub struct GridParams {
 
 impl Default for GridParams {
     fn default() -> Self {
-        GridParams { rows: 16, cols: 16, operand_drivers: 16 }
+        GridParams {
+            rows: 16,
+            cols: 16,
+            operand_drivers: 16,
+        }
     }
 }
 
@@ -42,8 +46,15 @@ impl Default for GridParams {
 ///
 /// Panics if `rows` or `cols` is zero.
 pub fn grid_array(params: GridParams) -> Hypergraph {
-    assert!(params.rows >= 1 && params.cols >= 1, "grid must be non-empty");
-    let GridParams { rows, cols, operand_drivers } = params;
+    assert!(
+        params.rows >= 1 && params.cols >= 1,
+        "grid must be non-empty"
+    );
+    let GridParams {
+        rows,
+        cols,
+        operand_drivers,
+    } = params;
 
     let cell = |r: usize, c: usize| NodeId::new(r * cols + c);
     let num_cells = rows * cols;
@@ -75,20 +86,27 @@ pub fn grid_array(params: GridParams) -> Hypergraph {
             let a_driver = NodeId::new(num_cells + i);
             let row_lo = i * rows / operand_drivers;
             let row_hi = ((i + 1) * rows / operand_drivers).max(row_lo + 1).min(rows);
-            let pins = std::iter::once(a_driver)
-                .chain((row_lo..row_hi).flat_map(|r| (0..cols).map(move |c| r * cols + c)).map(NodeId::new));
+            let pins = std::iter::once(a_driver).chain(
+                (row_lo..row_hi)
+                    .flat_map(|r| (0..cols).map(move |c| r * cols + c))
+                    .map(NodeId::new),
+            );
             b.add_net_lenient(1.0, pins).expect("pins in range");
 
             let b_driver = NodeId::new(num_cells + operand_drivers + i);
             let col_lo = i * cols / operand_drivers;
             let col_hi = ((i + 1) * cols / operand_drivers).max(col_lo + 1).min(cols);
-            let pins = std::iter::once(b_driver)
-                .chain((0..rows).flat_map(|r| (col_lo..col_hi).map(move |c| r * cols + c)).map(NodeId::new));
+            let pins = std::iter::once(b_driver).chain(
+                (0..rows)
+                    .flat_map(|r| (col_lo..col_hi).map(move |c| r * cols + c))
+                    .map(NodeId::new),
+            );
             b.add_net_lenient(1.0, pins).expect("pins in range");
         }
     }
 
-    b.build().expect("generated hypergraph is structurally valid")
+    b.build()
+        .expect("generated hypergraph is structurally valid")
 }
 
 #[cfg(test)]
@@ -98,7 +116,11 @@ mod tests {
 
     #[test]
     fn shape_matches_formula() {
-        let p = GridParams { rows: 4, cols: 5, operand_drivers: 2 };
+        let p = GridParams {
+            rows: 4,
+            cols: 5,
+            operand_drivers: 2,
+        };
         let h = grid_array(p);
         assert_eq!(h.num_nodes(), 20 + 4);
         // sums: 3*5, carries: 3*4, ripple: 4, operands: 4.
@@ -108,7 +130,11 @@ mod tests {
 
     #[test]
     fn local_nets_are_two_pin() {
-        let h = grid_array(GridParams { rows: 3, cols: 3, operand_drivers: 0 });
+        let h = grid_array(GridParams {
+            rows: 3,
+            cols: 3,
+            operand_drivers: 0,
+        });
         for e in h.nets() {
             assert_eq!(h.net_pins(e).len(), 2);
         }
@@ -116,14 +142,25 @@ mod tests {
 
     #[test]
     fn operand_nets_are_high_fanout() {
-        let p = GridParams { rows: 8, cols: 8, operand_drivers: 4 };
+        let p = GridParams {
+            rows: 8,
+            cols: 8,
+            operand_drivers: 4,
+        };
         let h = grid_array(p);
-        assert!(h.max_net_size() >= 1 + 2 * 8, "broadcast nets should be wide");
+        assert!(
+            h.max_net_size() >= 1 + 2 * 8,
+            "broadcast nets should be wide"
+        );
     }
 
     #[test]
     fn single_cell_grid_has_no_local_nets() {
-        let h = grid_array(GridParams { rows: 1, cols: 1, operand_drivers: 0 });
+        let h = grid_array(GridParams {
+            rows: 1,
+            cols: 1,
+            operand_drivers: 0,
+        });
         assert_eq!(h.num_nodes(), 1);
         assert_eq!(h.num_nets(), 0);
     }

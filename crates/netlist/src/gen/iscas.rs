@@ -105,10 +105,9 @@ pub fn profile(name: &str) -> Option<CircuitProfile> {
 pub fn surrogate(profile: CircuitProfile, seed: u64) -> Hypergraph {
     // Mix in a stable per-circuit tag so `seed` can be shared across circuits
     // without producing correlated instances.
-    let tag: u64 = profile
-        .name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
+    let tag: u64 = profile.name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
     let mut rng = StdRng::seed_from_u64(seed ^ tag);
 
     match profile.style {

@@ -19,7 +19,12 @@ pub struct RandomParams {
 
 impl Default for RandomParams {
     fn default() -> Self {
-        RandomParams { nodes: 64, nets: 128, min_net_size: 2, max_net_size: 4 }
+        RandomParams {
+            nodes: 64,
+            nets: 128,
+            min_net_size: 2,
+            max_net_size: 4,
+        }
     }
 }
 
@@ -37,8 +42,14 @@ impl Default for RandomParams {
 /// `min_net_size > max_net_size`.
 pub fn random_hypergraph<R: Rng + ?Sized>(params: RandomParams, rng: &mut R) -> Hypergraph {
     assert!(params.min_net_size >= 2, "nets need at least 2 pins");
-    assert!(params.min_net_size <= params.max_net_size, "empty net-size range");
-    assert!(params.nodes >= params.max_net_size, "not enough nodes for the largest net");
+    assert!(
+        params.min_net_size <= params.max_net_size,
+        "empty net-size range"
+    );
+    assert!(
+        params.nodes >= params.max_net_size,
+        "not enough nodes for the largest net"
+    );
 
     let mut b = HypergraphBuilder::with_unit_nodes(params.nodes);
     let mut scratch: Vec<usize> = Vec::new();
@@ -54,7 +65,8 @@ pub fn random_hypergraph<R: Rng + ?Sized>(params: RandomParams, rng: &mut R) -> 
         b.add_net(1.0, scratch.iter().map(|&v| NodeId::new(v)))
             .expect("sampled pins are distinct and in range");
     }
-    b.build().expect("generated hypergraph is structurally valid")
+    b.build()
+        .expect("generated hypergraph is structurally valid")
 }
 
 #[cfg(test)]
@@ -67,7 +79,12 @@ mod tests {
     #[test]
     fn respects_requested_shape() {
         let mut rng = StdRng::seed_from_u64(7);
-        let p = RandomParams { nodes: 50, nets: 80, min_net_size: 2, max_net_size: 5 };
+        let p = RandomParams {
+            nodes: 50,
+            nets: 80,
+            min_net_size: 2,
+            max_net_size: 5,
+        };
         let h = random_hypergraph(p, &mut rng);
         assert_eq!(h.num_nodes(), 50);
         assert_eq!(h.num_nets(), 80);
@@ -98,7 +115,10 @@ mod tests {
     #[should_panic(expected = "at least 2 pins")]
     fn rejects_tiny_nets() {
         let mut rng = StdRng::seed_from_u64(0);
-        let p = RandomParams { min_net_size: 1, ..RandomParams::default() };
+        let p = RandomParams {
+            min_net_size: 1,
+            ..RandomParams::default()
+        };
         let _ = random_hypergraph(p, &mut rng);
     }
 }

@@ -67,12 +67,27 @@ impl RentParams {
     fn validate(&self) {
         assert!(self.nodes >= 2, "need at least two nodes");
         assert!(self.primary_inputs >= 1, "need at least one primary input");
-        assert!(self.primary_inputs < self.nodes, "primary inputs must leave room for gates");
-        assert!((0.0..=1.0).contains(&self.locality), "locality must be a probability");
-        assert!((0.0..=1.0).contains(&self.pi_input_fraction), "pi fraction must be a probability");
+        assert!(
+            self.primary_inputs < self.nodes,
+            "primary inputs must leave room for gates"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.locality),
+            "locality must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.pi_input_fraction),
+            "pi fraction must be a probability"
+        );
         assert!(self.branching >= 2, "branching must be at least 2");
-        assert!(self.leaf_size >= 2, "leaf modules must hold at least 2 nodes");
-        assert!(self.min_fanin >= 1 && self.min_fanin <= self.max_fanin, "bad fan-in range");
+        assert!(
+            self.leaf_size >= 2,
+            "leaf modules must hold at least 2 nodes"
+        );
+        assert!(
+            self.min_fanin >= 1 && self.min_fanin <= self.max_fanin,
+            "bad fan-in range"
+        );
     }
 }
 
@@ -93,7 +108,7 @@ pub fn rent_circuit<R: Rng + ?Sized>(params: RentParams, rng: &mut R) -> Hypergr
     // Primary inputs are spread with a fixed stride so each region of the
     // hierarchy has local access to some.
     let pi_stride = n / params.primary_inputs;
-    let is_pi = |v: usize| v % pi_stride == 0 && v / pi_stride < params.primary_inputs;
+    let is_pi = |v: usize| v.is_multiple_of(pi_stride) && v / pi_stride < params.primary_inputs;
     let pi_index = |k: usize| k * pi_stride;
 
     // sinks[u] collects the gates whose inputs are driven by u.
@@ -130,12 +145,12 @@ pub fn rent_circuit<R: Rng + ?Sized>(params: RentParams, rng: &mut R) -> Hypergr
         if sink_list.is_empty() {
             continue;
         }
-        let pins = std::iter::once(NodeId::new(driver))
-            .chain(sink_list.iter().map(|&s| NodeId(s)));
+        let pins = std::iter::once(NodeId::new(driver)).chain(sink_list.iter().map(|&s| NodeId(s)));
         b.add_net_lenient(1.0, pins)
             .expect("pins reference existing nodes");
     }
-    b.build().expect("generated hypergraph is structurally valid")
+    b.build()
+        .expect("generated hypergraph is structurally valid")
 }
 
 fn module_width(params: RentParams, level: usize) -> usize {
@@ -179,8 +194,14 @@ mod tests {
         // With strong locality the first quarter of the index space (one
         // aligned module) should have far fewer external nets than with no
         // locality at all.
-        let tight = RentParams { locality: 0.9, ..RentParams::default() };
-        let loose = RentParams { locality: 0.0, ..RentParams::default() };
+        let tight = RentParams {
+            locality: 0.9,
+            ..RentParams::default()
+        };
+        let loose = RentParams {
+            locality: 0.0,
+            ..RentParams::default()
+        };
         let h_tight = rent_circuit(tight, &mut StdRng::seed_from_u64(9));
         let h_loose = rent_circuit(loose, &mut StdRng::seed_from_u64(9));
         let cut_tight = external_nets(&h_tight, 0..128);
@@ -193,7 +214,12 @@ mod tests {
 
     #[test]
     fn depth_matches_geometry() {
-        let p = RentParams { nodes: 512, leaf_size: 8, branching: 4, ..RentParams::default() };
+        let p = RentParams {
+            nodes: 512,
+            leaf_size: 8,
+            branching: 4,
+            ..RentParams::default()
+        };
         assert_eq!(p.depth(), 3); // 8 -> 32 -> 128 -> 512
     }
 
@@ -208,7 +234,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "locality")]
     fn rejects_bad_locality() {
-        let p = RentParams { locality: 1.5, ..RentParams::default() };
+        let p = RentParams {
+            locality: 1.5,
+            ..RentParams::default()
+        };
         let _ = rent_circuit(p, &mut StdRng::seed_from_u64(0));
     }
 }

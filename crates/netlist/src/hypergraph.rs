@@ -118,7 +118,10 @@ impl Hypergraph {
 
     /// Largest net cardinality, or 0 for a netless graph.
     pub fn max_net_size(&self) -> usize {
-        self.nets().map(|e| self.net_pins(e).len()).max().unwrap_or(0)
+        self.nets()
+            .map(|e| self.net_pins(e).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The neighbours of `v`: every distinct node sharing at least one net
@@ -188,7 +191,9 @@ impl Hypergraph {
             }
         }
         InducedSubgraph {
-            hypergraph: b.build().expect("induced hypergraph is valid by construction"),
+            hypergraph: b
+                .build()
+                .expect("induced hypergraph is valid by construction"),
             node_map: keep.to_vec(),
             net_map,
         }
@@ -211,7 +216,11 @@ impl Hypergraph {
     /// Panics if `cluster_of` has the wrong length or the ids are not dense
     /// (some id in `0..max+1` unused).
     pub fn contract(&self, cluster_of: &[usize]) -> Hypergraph {
-        assert_eq!(cluster_of.len(), self.num_nodes(), "one cluster id per node");
+        assert_eq!(
+            cluster_of.len(),
+            self.num_nodes(),
+            "one cluster id per node"
+        );
         let k = match cluster_of.iter().max() {
             Some(&m) => m + 1,
             None => 0,

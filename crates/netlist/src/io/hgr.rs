@@ -44,12 +44,19 @@ pub fn read<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
     if fields.len() < 2 || fields.len() > 3 {
         return Err(NetlistError::Parse {
             line: hline,
-            message: format!("header must be `<nets> <nodes> [fmt]`, got {} fields", fields.len()),
+            message: format!(
+                "header must be `<nets> <nodes> [fmt]`, got {} fields",
+                fields.len()
+            ),
         });
     }
     let num_nets: usize = parse(fields[0], hline)?;
     let num_nodes: usize = parse(fields[1], hline)?;
-    let fmt: u32 = if fields.len() == 3 { parse(fields[2], hline)? } else { 0 };
+    let fmt: u32 = if fields.len() == 3 {
+        parse(fields[2], hline)?
+    } else {
+        0
+    };
     let (net_weights, node_weights) = match fmt {
         0 => (false, false),
         1 => (true, false),
@@ -101,7 +108,10 @@ pub fn read<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
                 line: hline,
                 message: format!("expected {num_nodes} node-weight lines, file ended early"),
             })?;
-            sizes.push(parse::<u64>(line.split_whitespace().next().unwrap_or(""), lno)?);
+            sizes.push(parse::<u64>(
+                line.split_whitespace().next().unwrap_or(""),
+                lno,
+            )?);
         }
         builder = HypergraphBuilder::new();
         for s in sizes {
@@ -117,10 +127,12 @@ pub fn read<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
     }
 
     for (lno, capacity, pins) in nets {
-        builder.add_net(capacity, pins).map_err(|e| NetlistError::Parse {
-            line: lno,
-            message: e.to_string(),
-        })?;
+        builder
+            .add_net(capacity, pins)
+            .map_err(|e| NetlistError::Parse {
+                line: lno,
+                message: e.to_string(),
+            })?;
     }
     builder.build()
 }
@@ -156,7 +168,11 @@ pub fn write<W: Write>(h: &Hypergraph, mut writer: W) -> Result<(), NetlistError
         if net_weights {
             write!(writer, "{} ", h.net_capacity(e))?;
         }
-        let pins: Vec<String> = h.net_pins(e).iter().map(|v| (v.index() + 1).to_string()).collect();
+        let pins: Vec<String> = h
+            .net_pins(e)
+            .iter()
+            .map(|v| (v.index() + 1).to_string())
+            .collect();
         writeln!(writer, "{}", pins.join(" "))?;
     }
     if node_weights {

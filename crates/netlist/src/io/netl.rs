@@ -32,7 +32,10 @@ pub struct NamedNetlist {
 impl NamedNetlist {
     /// Looks up a node id by name.
     pub fn node(&self, name: &str) -> Option<NodeId> {
-        self.node_names.iter().position(|n| n == name).map(NodeId::new)
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId::new)
     }
 }
 
@@ -150,7 +153,10 @@ pub fn write<W: Write>(nl: &NamedNetlist, mut w: W) -> Result<(), NetlistError> 
 }
 
 fn err(line: usize, message: impl Into<String>) -> NetlistError {
-    NetlistError::Parse { line, message: message.into() }
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 #[cfg(test)]

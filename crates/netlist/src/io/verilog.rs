@@ -45,7 +45,10 @@ pub struct VerilogModule {
 impl VerilogModule {
     /// Looks up a node id by instance/port name.
     pub fn node(&self, name: &str) -> Option<NodeId> {
-        self.node_names.iter().position(|n| n == name).map(NodeId::new)
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId::new)
     }
 }
 
@@ -128,7 +131,10 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
                 // The port list itself carries no direction info; skip it.
             }
             "endmodule" => {
-                return Err(err(*lno, "unexpected `endmodule;` — it takes no semicolon".into()))
+                return Err(err(
+                    *lno,
+                    "unexpected `endmodule;` — it takes no semicolon".into(),
+                ))
             }
             "input" | "output" | "wire" => {
                 let kind = match keyword {
@@ -157,7 +163,10 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
                     .ok_or_else(|| err(*lno, format!("gate `{gate_type}` missing `)`")))?;
                 let header: Vec<&str> = stmt[..open].split_whitespace().collect();
                 let [ty, inst] = header.as_slice() else {
-                    return Err(err(*lno, format!("expected `TYPE NAME (...)`, got `{stmt}`")));
+                    return Err(err(
+                        *lno,
+                        format!("expected `TYPE NAME (...)`, got `{stmt}`"),
+                    ));
                 };
                 let ports: Vec<String> = stmt[open + 1..close]
                     .split(',')
@@ -165,14 +174,20 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
                     .filter(|p| !p.is_empty())
                     .collect();
                 if ports.len() < 2 {
-                    return Err(err(*lno, format!("gate `{inst}` needs an output and inputs")));
+                    return Err(err(
+                        *lno,
+                        format!("gate `{inst}` needs an output and inputs"),
+                    ));
                 }
                 gates.push((*lno, (*ty).to_owned(), (*inst).to_owned(), ports));
             }
         }
     }
     if trailer != "endmodule" {
-        return Err(err(line, format!("expected trailing `endmodule`, got `{trailer}`")));
+        return Err(err(
+            line,
+            format!("expected trailing `endmodule`, got `{trailer}`"),
+        ));
     }
     let name = name.ok_or_else(|| err(1, "no module declaration found".into()))?;
 
@@ -223,7 +238,9 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
     // Nets in a stable order: inputs first, then gate outputs.
     let mut net_names = Vec::new();
     let emit = |sig: &str, b: &mut HypergraphBuilder, net_names: &mut Vec<String>| {
-        let Some(&drv) = driver.get(sig) else { return Ok(()) };
+        let Some(&drv) = driver.get(sig) else {
+            return Ok(());
+        };
         let sinks = readers.get(sig).cloned().unwrap_or_default();
         let pins = std::iter::once(drv).chain(sinks);
         if b.add_net_lenient(1.0, pins)?.is_some() {
@@ -235,11 +252,20 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
         emit(sig, &mut b, &mut net_names)?;
     }
     for (_, _, _, ports) in &gates {
-        let key = kinds.get_key_value(ports[0].as_str()).expect("validated").0.as_str();
+        let key = kinds
+            .get_key_value(ports[0].as_str())
+            .expect("validated")
+            .0
+            .as_str();
         emit(key, &mut b, &mut net_names)?;
     }
 
-    Ok(VerilogModule { name, hypergraph: b.build()?, node_names, net_names })
+    Ok(VerilogModule {
+        name,
+        hypergraph: b.build()?,
+        node_names,
+        net_names,
+    })
 }
 
 fn strip_comments(src: &str) -> String {

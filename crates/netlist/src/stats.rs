@@ -42,8 +42,16 @@ impl NetlistStats {
             total_size: h.total_size(),
             max_degree: h.nodes().map(|v| h.node_degree(v)).max().unwrap_or(0),
             max_net_size: h.max_net_size(),
-            avg_net_size: if nets == 0 { 0.0 } else { pins as f64 / nets as f64 },
-            avg_degree: if nodes == 0 { 0.0 } else { pins as f64 / nodes as f64 },
+            avg_net_size: if nets == 0 {
+                0.0
+            } else {
+                pins as f64 / nets as f64
+            },
+            avg_degree: if nodes == 0 {
+                0.0
+            } else {
+                pins as f64 / nodes as f64
+            },
         }
     }
 }
@@ -67,7 +75,8 @@ mod tests {
     fn stats_of_small_netlist() {
         let mut b = HypergraphBuilder::with_unit_nodes(4);
         b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
-        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
         let s = NetlistStats::of(&b.build().unwrap());
         assert_eq!(s.nodes, 4);
         assert_eq!(s.nets, 2);

@@ -67,16 +67,25 @@ pub fn check(h: &Hypergraph) -> Vec<Violation> {
         }
         for &v in pins {
             if v.index() >= n {
-                out.push(Violation::PinOutOfRange { net: e.0, node: v.0 });
+                out.push(Violation::PinOutOfRange {
+                    net: e.0,
+                    node: v.0,
+                });
             } else if !h.node_nets(v).contains(&e) {
-                out.push(Violation::IncidenceMismatch { node: v.0, net: e.0 });
+                out.push(Violation::IncidenceMismatch {
+                    node: v.0,
+                    net: e.0,
+                });
             }
         }
     }
     for v in h.nodes() {
         for &e in h.node_nets(v) {
             if e.index() >= m || !h.net_pins(e).contains(&v) {
-                out.push(Violation::IncidenceMismatch { node: v.0, net: e.0 });
+                out.push(Violation::IncidenceMismatch {
+                    node: v.0,
+                    net: e.0,
+                });
             }
         }
     }
@@ -90,7 +99,10 @@ pub fn check(h: &Hypergraph) -> Vec<Violation> {
 /// Panics when [`check`] reports at least one violation.
 pub fn assert_valid(h: &Hypergraph) {
     let violations = check(h);
-    assert!(violations.is_empty(), "hypergraph invariants violated: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "hypergraph invariants violated: {violations:?}"
+    );
 }
 
 #[cfg(test)]

@@ -18,7 +18,11 @@ pub enum MappingViolation {
     /// A node references a vertex outside the tree.
     VertexOutOfRange { node: u32, vertex: u32 },
     /// A vertex holds more size than its capacity.
-    OverCapacity { vertex: u32, size: u64, capacity: u64 },
+    OverCapacity {
+        vertex: u32,
+        size: u64,
+        capacity: u64,
+    },
 }
 
 impl Mapping {
@@ -63,7 +67,10 @@ impl Mapping {
         for v in h.nodes() {
             let t = self.vertex_of[v.index()];
             if t as usize >= tree.num_vertices() {
-                out.push(MappingViolation::VertexOutOfRange { node: v.0, vertex: t });
+                out.push(MappingViolation::VertexOutOfRange {
+                    node: v.0,
+                    vertex: t,
+                });
             }
         }
         if out.is_empty() {
@@ -82,8 +89,7 @@ impl Mapping {
 
     /// Routing cost of net `e`: `c(e) ·` Steiner weight of its hosts.
     pub fn net_cost(&self, h: &Hypergraph, tree: &RoutedTree, e: NetId) -> f64 {
-        let hosts: Vec<usize> =
-            h.net_pins(e).iter().map(|&v| self.vertex_of(v)).collect();
+        let hosts: Vec<usize> = h.net_pins(e).iter().map(|&v| self.vertex_of(v)).collect();
         h.net_capacity(e) * tree.steiner_weight(&hosts)
     }
 
@@ -144,7 +150,11 @@ mod tests {
         let v = m.violations(&h, &tree, &caps);
         assert_eq!(
             v,
-            vec![MappingViolation::OverCapacity { vertex: 1, size: 2, capacity: 1 }]
+            vec![MappingViolation::OverCapacity {
+                vertex: 1,
+                size: 2,
+                capacity: 1
+            }]
         );
         let m = Mapping::new(vec![9, 1]);
         assert!(matches!(

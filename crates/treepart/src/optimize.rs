@@ -51,7 +51,10 @@ pub fn random_placement<R: Rng + ?Sized>(
     let total_size = h.total_size();
     let total_capacity: u64 = capacities.iter().sum();
     if total_size > total_capacity {
-        return Err(PlacementError { total_size, total_capacity });
+        return Err(PlacementError {
+            total_size,
+            total_capacity,
+        });
     }
     let mut remaining: Vec<u64> = capacities.to_vec();
     let mut vertex_of = vec![0u32; h.num_nodes()];
@@ -69,9 +72,15 @@ pub fn random_placement<R: Rng + ?Sized>(
                 // Fall back to the single largest remaining slot.
                 (0..tree.num_vertices()).max_by_key(|&t| remaining[t])
             })
-            .ok_or(PlacementError { total_size, total_capacity })?;
+            .ok_or(PlacementError {
+                total_size,
+                total_capacity,
+            })?;
         if remaining[slot] < s {
-            return Err(PlacementError { total_size, total_capacity });
+            return Err(PlacementError {
+                total_size,
+                total_capacity,
+            });
         }
         remaining[slot] -= s;
         vertex_of[v.index()] = slot as u32;
@@ -141,7 +150,12 @@ pub fn relocate_improve(
         }
     }
     let cost_after = mapping.total_cost(h, tree);
-    OptimizeResult { mapping, cost_before, cost_after, moves }
+    OptimizeResult {
+        mapping,
+        cost_before,
+        cost_after,
+        moves,
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +204,8 @@ mod tests {
         for base in [0u32, 4] {
             for i in 0..4 {
                 for j in i + 1..4 {
-                    b.add_net(1.0, [NodeId(base + i), NodeId(base + j)]).unwrap();
+                    b.add_net(1.0, [NodeId(base + i), NodeId(base + j)])
+                        .unwrap();
                 }
             }
         }

@@ -35,14 +35,18 @@ impl RoutedTree {
             up_weight.iter().all(|w| *w >= 0.0),
             "edge weights must be non-negative"
         );
-        let roots: Vec<usize> =
-            (0..n).filter(|&v| parent[v].is_none()).collect();
-        assert_eq!(roots.len(), 1, "exactly one root required, got {}", roots.len());
+        let roots: Vec<usize> = (0..n).filter(|&v| parent[v].is_none()).collect();
+        assert_eq!(
+            roots.len(),
+            1,
+            "exactly one root required, got {}",
+            roots.len()
+        );
         let root = roots[0] as u32;
 
         let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some(p) = parent[v] {
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
                 assert!((p as usize) < n, "parent out of range");
                 children[p as usize].push(v as u32);
             }
@@ -71,7 +75,15 @@ impl RoutedTree {
             "tree contains a cycle or disconnected vertex"
         );
 
-        RoutedTree { parent, up_weight, children, depth, root_dist, tour_pos, root }
+        RoutedTree {
+            parent,
+            up_weight,
+            children,
+            depth,
+            root_dist,
+            tour_pos,
+            root,
+        }
     }
 
     /// A complete `k`-ary tree of the given height whose level-`l` up-edges

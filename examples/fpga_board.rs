@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2000-gate design with realistic Rent-style locality.
     let mut rng = StdRng::seed_from_u64(2024);
     let h = rent_circuit(
-        RentParams { nodes: 2000, primary_inputs: 96, ..RentParams::default() },
+        RentParams {
+            nodes: 2000,
+            primary_inputs: 96,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     println!("design: {}", htp::netlist::NetlistStats::of(&h));

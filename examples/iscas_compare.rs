@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rfm = rfm_partition(&h, &spec, RfmParams::default(), &mut rng)?;
     let flow = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
 
-    println!("\n{:<6} {:>12} {:>12} {:>10}", "algo", "constructive", "after FM(+)", "improv.");
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>10}",
+        "algo", "constructive", "after FM(+)", "improv."
+    );
     for (algo, p) in [("GFM", &gfm), ("RFM", &rfm), ("FLOW", &flow.partition)] {
         let before = cost::partition_cost(&h, &spec, p);
         let plus = improve(&h, &spec, p, HfmParams::default())?;

@@ -22,7 +22,12 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2026);
     let h = rent_circuit(
-        RentParams { nodes: 1500, primary_inputs: 90, locality: 0.8, ..RentParams::default() },
+        RentParams {
+            nodes: 1500,
+            primary_inputs: 90,
+            locality: 0.8,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     println!("design: {}", htp::netlist::NetlistStats::of(&h));
@@ -36,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let multi = clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng)?;
     let multi_secs = start.elapsed().as_secs_f64();
 
-    println!("\nflat FLOW        : cost {:>7.0}  in {flat_secs:.2}s", flat.cost);
+    println!(
+        "\nflat FLOW        : cost {:>7.0}  in {flat_secs:.2}s",
+        flat.cost
+    );
     println!(
         "multilevel FLOW  : cost {:>7.0}  in {multi_secs:.2}s \
          ({} coarse nodes, projected {:.0}, refined {:.0})",

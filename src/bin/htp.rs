@@ -4,7 +4,8 @@
 //! htp stats <netlist.hgr>
 //! htp gen   <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
 //! htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
-//!               [--slack X] [--seed S] [--improve] [--out assignment.txt]
+//!               [--slack X] [--seed S] [--threads N] [--improve]
+//!               [--out assignment.txt]
 //! htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
 //! ```
 //!
@@ -33,7 +34,10 @@ usage:
   htp stats <netlist.hgr>
   htp gen <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
   htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
-                [--slack X] [--seed S] [--improve] [--out assignment.txt]
+                [--slack X] [--seed S] [--threads N] [--improve]
+                [--out assignment.txt]
+                (--threads 0 uses all cores; the result is identical at
+                 any thread count for a fixed seed)
   htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]";
 
 /// Minimal flag parser: positional arguments plus `--key value` pairs and
@@ -59,7 +63,10 @@ impl Args {
                 positional.push(a);
             }
         }
-        Args { positional, options }
+        Args {
+            positional,
+            options,
+        }
     }
 
     fn flag(&self, key: &str) -> bool {
@@ -75,7 +82,9 @@ impl Args {
 
     fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.value(key) {
-            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: `{raw}`")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: `{raw}`")),
             None => Ok(default),
         }
     }
@@ -137,14 +146,24 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         let nodes: usize = n.parse().map_err(|_| format!("bad node count `{n}`"))?;
         let mut rng = StdRng::seed_from_u64(seed);
         rent_circuit(
-            RentParams { nodes, primary_inputs: (nodes / 16).max(1), ..RentParams::default() },
+            RentParams {
+                nodes,
+                primary_inputs: (nodes / 16).max(1),
+                ..RentParams::default()
+            },
             &mut rng,
         )
     } else if let Some(dims) = what.strip_prefix("grid:") {
-        let (r, c) = dims.split_once('x').ok_or_else(|| format!("bad grid spec `{dims}`"))?;
+        let (r, c) = dims
+            .split_once('x')
+            .ok_or_else(|| format!("bad grid spec `{dims}`"))?;
         let rows = r.parse().map_err(|_| format!("bad rows `{r}`"))?;
         let cols = c.parse().map_err(|_| format!("bad cols `{c}`"))?;
-        grid_array(GridParams { rows, cols, operand_drivers: rows.min(cols) / 2 })
+        grid_array(GridParams {
+            rows,
+            cols,
+            operand_drivers: rows.min(cols) / 2,
+        })
     } else {
         surrogate_by_name(what, seed)
             .ok_or_else(|| format!("unknown circuit `{what}` (try c2670 or rent:1000)"))?
@@ -164,20 +183,26 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     let h = read_netlist(args)?;
     let spec = spec_from(args, &h)?;
     let seed: u64 = args.parsed("seed", 1997)?;
+    let threads: usize = args.parsed("threads", 1)?;
     let algo = args.value("algo").unwrap_or("flow");
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let partition: HierarchicalPartition = match algo {
-        "flow" => FlowPartitioner::new(PartitionerParams::default())
-            .run(&h, &spec, &mut rng)
-            .map_err(|e| e.to_string())?
-            .partition,
-        "gfm" => gfm_partition(&h, &spec, GfmParams::default(), &mut rng)
-            .map_err(|e| e.to_string())?,
-        "rfm" => rfm_partition(&h, &spec, RfmParams::default(), &mut rng)
-            .map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown algorithm `{other}`")),
-    };
+    let partition: HierarchicalPartition =
+        match algo {
+            "flow" => {
+                let mut params = PartitionerParams::default();
+                params.flow.threads = threads;
+                FlowPartitioner::new(params)
+                    .run(&h, &spec, &mut rng)
+                    .map_err(|e| e.to_string())?
+                    .partition
+            }
+            "gfm" => gfm_partition(&h, &spec, GfmParams::default(), &mut rng)
+                .map_err(|e| e.to_string())?,
+            "rfm" => rfm_partition(&h, &spec, RfmParams::default(), &mut rng)
+                .map_err(|e| e.to_string())?,
+            other => return Err(format!("unknown algorithm `{other}`")),
+        };
     validate::validate(&h, &spec, &partition).map_err(|e| e.to_string())?;
 
     let partition = if args.flag("improve") {

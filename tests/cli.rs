@@ -39,8 +39,19 @@ fn gen_stats_partition_pipeline() {
     let tree = tmp_path("pipeline.tree");
 
     // gen: a small Rent circuit.
-    let out = htp(&["gen", "rent:96", "--seed", "5", "--out", netlist.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = htp(&[
+        "gen",
+        "rent:96",
+        "--seed",
+        "5",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // stats: reports the triple.
     let out = htp(&["stats", netlist.to_str().unwrap()]);
@@ -66,7 +77,11 @@ fn gen_stats_partition_pipeline() {
         "--partition-out",
         tree.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("cost"), "{stderr}");
 
@@ -97,7 +112,14 @@ fn gen_stats_partition_pipeline() {
 #[test]
 fn partition_all_algorithms_agree_on_format() {
     let netlist = tmp_path("algos.hgr");
-    let out = htp(&["gen", "rent:64", "--seed", "9", "--out", netlist.to_str().unwrap()]);
+    let out = htp(&[
+        "gen",
+        "rent:64",
+        "--seed",
+        "9",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     for algo in ["flow", "gfm", "rfm"] {
         let out = htp(&[
@@ -110,7 +132,11 @@ fn partition_all_algorithms_agree_on_format() {
             "--slack",
             "1.4",
         ]);
-        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert_eq!(stdout.lines().count(), 64, "{algo}");
     }
@@ -121,8 +147,21 @@ fn partition_all_algorithms_agree_on_format() {
 fn bound_runs_on_tiny_instances() {
     let netlist = tmp_path("bound.hgr");
     std::fs::write(&netlist, "3 4\n1 2\n2 3\n3 4\n").unwrap();
-    let out = htp(&["bound", netlist.to_str().unwrap(), "--height", "1", "--arity", "2", "--slack", "1.0"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = htp(&[
+        "bound",
+        netlist.to_str().unwrap(),
+        "--height",
+        "1",
+        "--arity",
+        "2",
+        "--slack",
+        "1.0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("lower bound"), "{text}");
     let _ = std::fs::remove_file(netlist);
@@ -141,7 +180,11 @@ fn verilog_input_is_recognized_by_extension() {
     )
     .unwrap();
     let out = htp(&["stats", netlist.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("11 nodes"));
     let _ = std::fs::remove_file(netlist);
 }

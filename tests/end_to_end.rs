@@ -15,7 +15,12 @@ use rand::SeedableRng;
 fn workload() -> (Hypergraph, TreeSpec) {
     let mut rng = StdRng::seed_from_u64(99);
     let h = rent_circuit(
-        RentParams { nodes: 400, primary_inputs: 24, locality: 0.8, ..RentParams::default() },
+        RentParams {
+            nodes: 400,
+            primary_inputs: 24,
+            locality: 0.8,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0).unwrap();
@@ -52,8 +57,14 @@ fn fm_post_pass_never_hurts_and_outputs_stay_valid() {
     let mut rng = StdRng::seed_from_u64(6);
 
     let constructive: Vec<(&str, htp::model::HierarchicalPartition)> = vec![
-        ("gfm", gfm_partition(&h, &spec, GfmParams::default(), &mut rng).unwrap()),
-        ("rfm", rfm_partition(&h, &spec, RfmParams::default(), &mut rng).unwrap()),
+        (
+            "gfm",
+            gfm_partition(&h, &spec, GfmParams::default(), &mut rng).unwrap(),
+        ),
+        (
+            "rfm",
+            rfm_partition(&h, &spec, RfmParams::default(), &mut rng).unwrap(),
+        ),
     ];
     for (name, p) in constructive {
         let r = improve(&h, &spec, &p, HfmParams::default()).unwrap();

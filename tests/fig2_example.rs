@@ -68,9 +68,15 @@ fn lp_lower_bound_brackets_the_reference_cost() {
     let (h, spec) = figure2();
     // A modest round cap keeps the test quick; every intermediate
     // restricted optimum is already a valid (if looser) bound.
-    let params = CuttingPlaneParams { max_rounds: 10, ..CuttingPlaneParams::default() };
+    let params = CuttingPlaneParams {
+        max_rounds: 10,
+        ..CuttingPlaneParams::default()
+    };
     let lb = lower_bound(&h, &spec, params).unwrap();
-    assert!(lb.lower_bound > 0.0, "spreading constraints force a positive bound");
+    assert!(
+        lb.lower_bound > 0.0,
+        "spreading constraints force a positive bound"
+    );
     assert!(
         lb.lower_bound <= 36.0 + 1e-6,
         "Lemma 2: the LP optimum cannot exceed a feasible partition's cost, got {}",

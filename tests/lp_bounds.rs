@@ -28,7 +28,10 @@ fn lower_bound_sits_below_every_algorithm_on_small_instances() {
         let h = &inst.hypergraph;
         let spec = TreeSpec::new(vec![(8, 2, 1.0), (14, 2, 1.0), (24, 2, 1.0)]).unwrap();
 
-        let params = CuttingPlaneParams { max_rounds: 8, ..CuttingPlaneParams::default() };
+        let params = CuttingPlaneParams {
+            max_rounds: 8,
+            ..CuttingPlaneParams::default()
+        };
         let lb = lower_bound(h, &spec, params).unwrap();
         assert!(lb.lower_bound >= 0.0);
 
@@ -73,7 +76,10 @@ fn heuristic_metric_objective_tracks_the_lp_optimum() {
     let h = &inst.hypergraph;
     let spec = TreeSpec::new(vec![(10, 2, 1.0), (16, 2, 1.0)]).unwrap();
 
-    let params = CuttingPlaneParams { max_rounds: 12, ..CuttingPlaneParams::default() };
+    let params = CuttingPlaneParams {
+        max_rounds: 12,
+        ..CuttingPlaneParams::default()
+    };
     let lb = lower_bound(h, &spec, params).unwrap();
     let (metric, stats) = htp::core::injector::compute_spreading_metric(
         h,

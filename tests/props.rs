@@ -2,7 +2,7 @@
 //! generated workloads.
 
 use htp::baselines::hfm::{improve, HfmParams};
-use htp::core::constraint::check_feasibility;
+use htp::core::constraint::{check_feasibility, find_violation, find_violation_weighted};
 use htp::core::construct::construct_partition;
 use htp::core::injector::{compute_spreading_metric, FlowParams};
 use htp::core::SpreadingMetric;
@@ -16,7 +16,12 @@ use rand::SeedableRng;
 fn small_instance(seed: u64) -> htp::netlist::Hypergraph {
     let mut rng = StdRng::seed_from_u64(seed);
     random_hypergraph(
-        RandomParams { nodes: 24, nets: 40, min_net_size: 2, max_net_size: 4 },
+        RandomParams {
+            nodes: 24,
+            nets: 40,
+            min_net_size: 2,
+            max_net_size: 4,
+        },
         &mut rng,
     )
 }
@@ -73,6 +78,40 @@ proptest! {
         prop_assert!(r.cost_after <= r.cost_before + 1e-9);
         prop_assert!(validate::validate(&h, &spec, &r.partition).is_ok());
         prop_assert!((cost::partition_cost(&h, &spec, &r.partition) - r.cost_after).abs() < 1e-9);
+    }
+
+    /// On unit-size netlists the weighted prefix order `(dist+1)·s(u)`
+    /// degenerates to plain distance order, so the two violation oracles
+    /// must agree: same verdict and, because any two distance-sorted
+    /// enumerations share the distance multiset at every prefix length,
+    /// identical size/lhs/bound at the first violating prefix.
+    #[test]
+    fn violation_oracles_agree_on_unit_sizes(seed in 0u64..40, scale in 0.0f64..3.0) {
+        let h = small_instance(seed);
+        let spec = TreeSpec::new(vec![(5, 2, 1.0), (10, 2, 1.0), (24, 2, 1.0)]).unwrap();
+        let lengths: Vec<f64> =
+            (0..h.num_nets()).map(|e| scale * ((e % 5) as f64) * 0.25).collect();
+        let metric = SpreadingMetric::from_lengths(lengths);
+        for v in h.nodes() {
+            let a = find_violation(&h, &spec, &metric, v, 1e-9);
+            let b = find_violation_weighted(&h, &spec, &metric, v, 1e-9);
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!(x.size, y.size, "source {}", v);
+                    prop_assert_eq!(x.bound, y.bound, "source {}", v);
+                    prop_assert!(
+                        (x.lhs - y.lhs).abs() <= 1e-9 * x.lhs.max(1.0),
+                        "source {}: lhs {} vs {}", v, x.lhs, y.lhs
+                    );
+                }
+                (None, None) => {}
+                _ => prop_assert!(
+                    false,
+                    "source {}: oracles disagree ({} vs {})",
+                    v, a.is_some(), b.is_some()
+                ),
+            }
+        }
     }
 
     /// Lemma 1 across the whole stack: any valid partition produced by the

@@ -1,0 +1,106 @@
+//! Regression guards for failures recorded against the seed suite, pinned
+//! as plain tests so they run on every `cargo test` without depending on
+//! the property-test RNG stream.
+
+use htp::core::constraint::check_feasibility;
+use htp::core::construct::construct_partition;
+use htp::core::injector::{compute_spreading_metric, FlowParams};
+use htp::core::SpreadingMetric;
+use htp::model::{validate, TreeSpec};
+use htp::netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+use htp::netlist::gen::random::{random_hypergraph, RandomParams};
+use htp::netlist::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_instance(seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_hypergraph(
+        RandomParams {
+            nodes: 24,
+            nets: 40,
+            min_net_size: 2,
+            max_net_size: 4,
+        },
+        &mut rng,
+    )
+}
+
+/// Recorded in `props.proptest-regressions`: `construction_is_always_valid`
+/// once failed at `seed = 0, scale = 0.0`, i.e. an all-zero spreading
+/// metric (every shortest-path tree collapses to distance 0, so the
+/// constructor's window ordering degenerates to ties everywhere).
+#[test]
+fn regression_construction_zero_metric() {
+    let h = small_instance(0);
+    let spec = TreeSpec::new(vec![(7, 2, 1.0), (13, 2, 1.0), (25, 2, 1.0)]).unwrap();
+    let metric = SpreadingMetric::from_lengths(vec![0.0; h.num_nets()]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let p = construct_partition(&h, &spec, &metric, &mut rng).unwrap();
+    validate::validate(&h, &spec, &p).unwrap();
+}
+
+/// Broader sweep of the same failure mode: degenerate (zero and highly
+/// tied) metrics through the constructor on many generated instances.
+#[test]
+fn regression_construction_degenerate_metrics() {
+    for seed in 0u64..60 {
+        let h = small_instance(seed);
+        let spec = TreeSpec::new(vec![(7, 2, 1.0), (13, 2, 1.0), (25, 2, 1.0)]).unwrap();
+        for (tag, metric) in [
+            (
+                "zero",
+                SpreadingMetric::from_lengths(vec![0.0; h.num_nets()]),
+            ),
+            (
+                "mod7",
+                SpreadingMetric::from_lengths((0..h.num_nets()).map(|e| (e % 7) as f64).collect()),
+            ),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9999);
+            let p = construct_partition(&h, &spec, &metric, &mut rng)
+                .unwrap_or_else(|e| panic!("seed {seed} ({tag}): construct failed: {e}"));
+            validate::validate(&h, &spec, &p)
+                .unwrap_or_else(|e| panic!("seed {seed} ({tag}): invalid partition: {e}"));
+        }
+    }
+}
+
+/// The speculative-parallel Algorithm 2 engine must produce a bit-identical
+/// metric for a fixed seed at any thread count: probes only ever read the
+/// round-start snapshot, and commits are sequential in the round's
+/// shuffled order.
+#[test]
+fn regression_metric_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(1997);
+    let params = ClusteredParams {
+        clusters: 4,
+        cluster_size: 12,
+        intra_nets: 36,
+        inter_nets: 8,
+        min_net_size: 2,
+        max_net_size: 3,
+    };
+    let inst = clustered_hypergraph(params, &mut rng);
+    let h = &inst.hypergraph;
+    let spec = TreeSpec::new(vec![(12, 2, 1.0), (24, 2, 1.0), (48, 2, 1.0)]).unwrap();
+
+    let run = |threads: usize| {
+        let flow = FlowParams {
+            threads,
+            ..FlowParams::default()
+        };
+        compute_spreading_metric(h, &spec, flow, &mut StdRng::seed_from_u64(42))
+    };
+    let (m1, s1) = run(1);
+    let (m4, s4) = run(4);
+    assert_eq!(m1, m4, "metric diverged between threads=1 and threads=4");
+    assert_eq!(s1, s4, "stats diverged between threads=1 and threads=4");
+    assert!(s1.converged);
+    let report = check_feasibility(h, &spec, &m1, 1e-6);
+    assert!(
+        report.feasible,
+        "worst shortfall {}",
+        report.worst_shortfall
+    );
+}

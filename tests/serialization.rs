@@ -14,7 +14,11 @@ use rand::SeedableRng;
 fn partition_survives_a_save_load_cycle_with_identical_cost() {
     let mut rng = StdRng::seed_from_u64(77);
     let h = rent_circuit(
-        RentParams { nodes: 120, primary_inputs: 8, ..RentParams::default() },
+        RentParams {
+            nodes: 120,
+            primary_inputs: 8,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
@@ -37,7 +41,11 @@ fn partition_survives_a_save_load_cycle_with_identical_cost() {
 fn netlist_survives_hgr_and_netl_round_trips() {
     let mut rng = StdRng::seed_from_u64(78);
     let h = rent_circuit(
-        RentParams { nodes: 90, primary_inputs: 6, ..RentParams::default() },
+        RentParams {
+            nodes: 90,
+            primary_inputs: 6,
+            ..RentParams::default()
+        },
         &mut rng,
     );
 
@@ -62,7 +70,11 @@ fn netlist_survives_hgr_and_netl_round_trips() {
 fn renders_are_consistent_with_structure() {
     let mut rng = StdRng::seed_from_u64(79);
     let h = rent_circuit(
-        RentParams { nodes: 40, primary_inputs: 4, ..RentParams::default() },
+        RentParams {
+            nodes: 40,
+            primary_inputs: 4,
+            ..RentParams::default()
+        },
         &mut rng,
     );
     let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.3, 1.0).unwrap();

@@ -60,7 +60,11 @@ fn flow_wins_on_clustered_random_logic() {
 
 #[test]
 fn flow_loses_its_edge_on_the_regular_array() {
-    let h = grid_array(GridParams { rows: 20, cols: 20, operand_drivers: 8 });
+    let h = grid_array(GridParams {
+        rows: 20,
+        cols: 20,
+        operand_drivers: 8,
+    });
     let spec = TreeSpec::full_tree(h.total_size(), 4, 2, 1.10, 1.0).unwrap();
     let flow = flow_cost(&h, &spec);
     let rfm = best_rfm(&h, &spec, 4);
