@@ -21,6 +21,9 @@
 //!   method" class the introduction contrasts against), usable standalone
 //!   or as an FM seed.
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod error;
 pub mod fm;
 pub mod gfm;

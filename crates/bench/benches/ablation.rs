@@ -35,7 +35,8 @@ fn bench_constructions_per_metric(c: &mut Criterion) {
                     ..PartitionerParams::default()
                 };
                 black_box(
-                    FlowPartitioner::new(params)
+                    FlowPartitioner::try_new(params)
+                        .unwrap()
                         .run(&h, &spec, &mut rng)
                         .unwrap(),
                 )

@@ -48,7 +48,8 @@ fn bench_end_to_end(c: &mut Criterion) {
                 ..PartitionerParams::default()
             };
             black_box(
-                FlowPartitioner::new(params)
+                FlowPartitioner::try_new(params)
+                    .unwrap()
                     .run(&h, &spec, &mut rng)
                     .unwrap(),
             )

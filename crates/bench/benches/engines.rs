@@ -60,7 +60,8 @@ fn bench_multilevel(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(13);
             black_box(
-                FlowPartitioner::new(PartitionerParams::default())
+                FlowPartitioner::try_new(PartitionerParams::default())
+                    .unwrap()
                     .run(&h, &spec, &mut rng)
                     .unwrap(),
             )

@@ -44,7 +44,8 @@ fn run(h: &Hypergraph, params: PartitionerParams) -> (f64, f64) {
     let spec = paper_spec(h);
     let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
     let start = Instant::now();
-    let result = FlowPartitioner::new(params)
+    let result = FlowPartitioner::try_new(params)
+        .expect("valid partitioner parameters")
         .run(h, &spec, &mut rng)
         .expect("FLOW succeeds on the ablation workload");
     (result.cost, start.elapsed().as_secs_f64())
@@ -147,7 +148,8 @@ fn main() {
         let mut t = htp_bench::TextTable::new(["variant", "cost", "secs"]);
         let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
         let start = Instant::now();
-        let flat = FlowPartitioner::new(PartitionerParams::default())
+        let flat = FlowPartitioner::try_new(PartitionerParams::default())
+            .expect("valid partitioner parameters")
             .run(&h, &spec, &mut rng)
             .expect("flat FLOW succeeds");
         t.row([

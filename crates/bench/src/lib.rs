@@ -25,6 +25,7 @@ use htp_baselines::hfm::{improve, HfmParams, HfmResult};
 use htp_baselines::rfm::{rfm_partition, RfmParams};
 use htp_core::injector::FlowParams;
 use htp_core::partitioner::{FlowPartitioner, FlowResult, PartitionerParams};
+use htp_core::{Budget, RunOutcome};
 use htp_model::{cost, validate, HierarchicalPartition, TreeSpec};
 use htp_netlist::{Hypergraph, HypergraphBuilder, NodeId};
 
@@ -65,7 +66,8 @@ pub fn run_flow(
 ) -> (TimedRun, FlowResult) {
     let mut rng = StdRng::seed_from_u64(seed);
     let start = Instant::now();
-    let result = FlowPartitioner::new(params)
+    let result = FlowPartitioner::try_new(params)
+        .expect("valid partitioner parameters")
         .run(h, spec, &mut rng)
         .expect("FLOW must succeed on the experiment instances");
     let seconds = start.elapsed().as_secs_f64();
@@ -78,6 +80,54 @@ pub fn run_flow(
         },
         result,
     )
+}
+
+/// Outcome of one timed, budget-bounded FLOW run.
+#[derive(Clone, Debug)]
+pub struct BudgetedTimedRun {
+    /// The timed partition (best found within the budget).
+    pub run: TimedRun,
+    /// How the run ended (complete / degraded / deadline / cancelled).
+    pub outcome: RunOutcome,
+    /// Injection rounds charged against the budget.
+    pub rounds_used: u64,
+    /// Constraint probes charged against the budget.
+    pub probes_used: u64,
+}
+
+/// Runs the FLOW partitioner under a [`Budget`], recording the outcome and
+/// the budget counters next to the usual cost/time pair. The best-so-far
+/// partition is validated like a full run's.
+///
+/// # Panics
+///
+/// Panics when the budget expires before any feasible partition exists —
+/// experiment tables have no row to print for such a run.
+pub fn run_flow_with_budget(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    seed: u64,
+    params: PartitionerParams,
+    budget: &Budget,
+) -> BudgetedTimedRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let run = FlowPartitioner::try_new(params)
+        .expect("valid partitioner parameters")
+        .run_with_budget(h, spec, &mut rng, budget)
+        .expect("the budget left time for at least one salvage partition");
+    let seconds = start.elapsed().as_secs_f64();
+    validate::validate(h, spec, &run.result.partition).expect("FLOW output is feasible");
+    BudgetedTimedRun {
+        run: TimedRun {
+            partition: run.result.partition.clone(),
+            cost: run.result.cost,
+            seconds,
+        },
+        outcome: run.outcome,
+        rounds_used: budget.rounds_used(),
+        probes_used: budget.probes_used(),
+    }
 }
 
 /// Probe-worker threads for Algorithm 2, read from `HTP_THREADS`

@@ -15,6 +15,9 @@
 //! * [`pipeline`] — cluster → contract → FLOW on the coarse netlist →
 //!   project back → optional hierarchical-FM refinement.
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod clusters;
 pub mod congestion;
 pub mod pipeline;

@@ -93,7 +93,7 @@ pub fn clustered_flow_partition<R: Rng + ?Sized>(
 
     // 2. Contract and partition the coarse netlist.
     let coarse = h.contract(&clustering.cluster_of);
-    let coarse_result = FlowPartitioner::new(params.partitioner).run(&coarse, spec, rng)?;
+    let coarse_result = FlowPartitioner::try_new(params.partitioner)?.run(&coarse, spec, rng)?;
 
     // 3. Project back.
     let partition = project(
@@ -210,7 +210,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(15);
         let coarse =
             clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng).unwrap();
-        let flat = FlowPartitioner::new(PartitionerParams::default())
+        let flat = FlowPartitioner::try_new(PartitionerParams::default())
+            .unwrap()
             .run(&h, &spec, &mut rng)
             .unwrap();
         assert!(

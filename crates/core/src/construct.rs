@@ -18,7 +18,8 @@ use rand::Rng;
 use htp_model::{HierarchicalPartition, PartitionBuilder, TreeSpec, VertexId};
 use htp_netlist::{Hypergraph, NodeId};
 
-use crate::findcut::find_cut;
+use crate::findcut::find_cut_budgeted;
+use crate::runtime::Budget;
 use crate::{CoreError, SpreadingMetric};
 
 /// Builds a hierarchical tree partition guided by `metric` (**Algorithm 3**).
@@ -34,6 +35,24 @@ pub fn construct_partition<R: Rng + ?Sized>(
     spec: &TreeSpec,
     metric: &SpreadingMetric,
     rng: &mut R,
+) -> Result<HierarchicalPartition, CoreError> {
+    construct_partition_budgeted(h, spec, metric, rng, &Budget::unlimited())
+}
+
+/// [`construct_partition`] under a [`Budget`]: the carve loop checks the
+/// budget before every block and inside [`find_cut_budgeted`]'s growth.
+///
+/// # Errors
+///
+/// As [`construct_partition`], plus [`CoreError::Interrupted`] when a
+/// budget limit or cancellation fires mid-construction (the partial
+/// partition is discarded — the caller keeps its previous best).
+pub fn construct_partition_budgeted<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    rng: &mut R,
+    budget: &Budget,
 ) -> Result<HierarchicalPartition, CoreError> {
     if h.num_nodes() == 0 {
         return Err(CoreError::EmptyNetlist);
@@ -57,7 +76,7 @@ pub fn construct_partition<R: Rng + ?Sized>(
 
     let mut b = PartitionBuilder::new(h.num_nodes(), top);
     let root = b.root();
-    split(&mut b, root, top, h, &all, metric, spec, rng)?;
+    split(&mut b, root, top, h, &all, metric, spec, rng, budget)?;
     Ok(b.build()?)
 }
 
@@ -73,6 +92,7 @@ fn split<R: Rng + ?Sized>(
     metric: &SpreadingMetric,
     spec: &TreeSpec,
     rng: &mut R,
+    budget: &Budget,
 ) -> Result<(), CoreError> {
     debug_assert!(level >= 1);
     let size = h.total_size();
@@ -95,6 +115,7 @@ fn split<R: Rng + ?Sized>(
     let mut children = 0u64;
 
     loop {
+        budget.check().map_err(CoreError::Interrupted)?;
         let rem_size = rem_h.total_size();
         if rem_size == 0 {
             break;
@@ -104,7 +125,7 @@ fn split<R: Rng + ?Sized>(
 
         if rem_size <= ub {
             // The remainder fits in one final child.
-            attach_child(b, vertex, &rem_h, &rem_map, &rem_metric, spec, rng)?;
+            attach_child(b, vertex, &rem_h, &rem_map, &rem_metric, spec, rng, budget)?;
             break;
         }
 
@@ -114,13 +135,15 @@ fn split<R: Rng + ?Sized>(
         // when node sizes are chunky, so it is dropped on retry.
         let lb_floor = rem_size.saturating_sub((slots_left - 1) * ub).min(ub);
         let lb = lb_spec.max(lb_floor).min(ub);
-        let mut cut = find_cut(&rem_h, &rem_metric, lb, ub, rng);
+        let mut cut = find_cut_budgeted(&rem_h, &rem_metric, lb, ub, rng, budget)
+            .map_err(CoreError::Interrupted)?;
         for attempt in 0..5 {
             if cut.in_window {
                 break;
             }
             let retry_lb = if attempt < 2 { lb } else { lb_floor };
-            cut = find_cut(&rem_h, &rem_metric, retry_lb, ub, rng);
+            cut = find_cut_budgeted(&rem_h, &rem_metric, retry_lb, ub, rng, budget)
+                .map_err(CoreError::Interrupted)?;
         }
         if !cut.in_window {
             return Err(CoreError::NoFeasibleCut {
@@ -147,6 +170,7 @@ fn split<R: Rng + ?Sized>(
             &block_metric,
             spec,
             rng,
+            budget,
         )?;
         children += 1;
 
@@ -170,6 +194,7 @@ fn split<R: Rng + ?Sized>(
 
 /// Attaches the node set of `h` under `parent` as one child subtree whose
 /// level follows from its size (Algorithm 3's level computation).
+#[allow(clippy::too_many_arguments)]
 fn attach_child<R: Rng + ?Sized>(
     b: &mut PartitionBuilder,
     parent: VertexId,
@@ -178,6 +203,7 @@ fn attach_child<R: Rng + ?Sized>(
     metric: &SpreadingMetric,
     spec: &TreeSpec,
     rng: &mut R,
+    budget: &Budget,
 ) -> Result<(), CoreError> {
     let size = h.total_size();
     let child_level = spec.level_for_size(size).ok_or(CoreError::Infeasible {
@@ -191,7 +217,7 @@ fn attach_child<R: Rng + ?Sized>(
         }
     } else {
         let child = b.add_child(parent, child_level)?;
-        split(b, child, child_level, h, map, metric, spec, rng)?;
+        split(b, child, child_level, h, map, metric, spec, rng, budget)?;
     }
     Ok(())
 }
@@ -313,6 +339,48 @@ mod tests {
         let err = construct_partition(&h, &spec, &unit_metric(&h), &mut StdRng::seed_from_u64(0))
             .unwrap_err();
         assert_eq!(err, CoreError::EmptyNetlist);
+    }
+
+    #[test]
+    fn cancelled_budget_yields_interrupted() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let err = construct_partition_budgeted(
+            h,
+            &spec,
+            &unit_metric(h),
+            &mut StdRng::seed_from_u64(0),
+            &budget,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::Interrupted(crate::Interrupt::Cancelled),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_plain_call() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
+        let p1 =
+            construct_partition(h, &spec, &unit_metric(h), &mut StdRng::seed_from_u64(6)).unwrap();
+        let p2 = construct_partition_budgeted(
+            h,
+            &spec,
+            &unit_metric(h),
+            &mut StdRng::seed_from_u64(6),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(p1, p2);
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::fmt;
 
 use htp_model::ModelError;
 
+use crate::runtime::Interrupt;
+
 /// Errors raised by metric computation and partition construction.
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
@@ -33,6 +35,15 @@ pub enum CoreError {
     EmptyNetlist,
     /// A model-layer error (invalid spec or partition).
     Model(ModelError),
+    /// A parameter is out of range (e.g. zero iterations, non-positive
+    /// `delta`); the message names the offending field.
+    InvalidParams {
+        /// What was wrong, e.g. `"need at least one iteration"`.
+        what: &'static str,
+    },
+    /// The run was stopped by its [`crate::runtime::Budget`] before any
+    /// feasible partition was found, so there is nothing to return.
+    Interrupted(Interrupt),
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +59,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::EmptyNetlist => write!(f, "cannot partition an empty netlist"),
             CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::InvalidParams { what } => write!(f, "invalid parameters: {what}"),
+            CoreError::Interrupted(i) => {
+                write!(f, "run interrupted before any feasible partition: {i}")
+            }
         }
     }
 }
@@ -86,6 +101,16 @@ mod tests {
             ub: 20,
         };
         assert!(e.to_string().contains("level 2"));
+    }
+
+    #[test]
+    fn invalid_params_and_interrupts_display() {
+        let e = CoreError::InvalidParams {
+            what: "need at least one iteration",
+        };
+        assert!(e.to_string().contains("need at least one iteration"));
+        let e = CoreError::Interrupted(Interrupt::Deadline);
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

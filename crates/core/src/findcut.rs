@@ -21,8 +21,16 @@ use rand::{Rng, RngExt};
 
 use htp_netlist::{Hypergraph, NodeId};
 
+use crate::runtime::{Budget, Interrupt};
 use crate::SpreadingMetric;
 use htp_graph::IndexedMinHeap;
+
+/// How many growth-loop iterations pass between budget checks in
+/// [`find_cut_budgeted`]. Each iteration is a cheap heap operation, so
+/// checking the (possibly `Instant::now()`-backed) budget every iteration
+/// would dominate; 256 keeps the interrupt latency well under a
+/// millisecond while making the check cost invisible.
+const BUDGET_CHECK_STRIDE: u32 = 256;
 
 /// The block selected by [`find_cut`].
 #[derive(Clone, Debug)]
@@ -54,6 +62,31 @@ pub fn find_cut<R: Rng + ?Sized>(
     ub: u64,
     rng: &mut R,
 ) -> FindCutResult {
+    match find_cut_budgeted(h, metric, lb, ub, rng, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(_) => unreachable!("an unlimited budget never interrupts"),
+    }
+}
+
+/// [`find_cut`] under a [`Budget`]: the growth loop checks the budget
+/// every `BUDGET_CHECK_STRIDE` (256) iterations and returns the interrupt
+/// instead of a block when a limit fires mid-growth.
+///
+/// # Errors
+///
+/// The [`Interrupt`] that stopped the growth.
+///
+/// # Panics
+///
+/// As [`find_cut`].
+pub fn find_cut_budgeted<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    metric: &SpreadingMetric,
+    lb: u64,
+    ub: u64,
+    rng: &mut R,
+    budget: &Budget,
+) -> Result<FindCutResult, Interrupt> {
     assert!(h.num_nodes() > 0, "cannot cut an empty hypergraph");
     assert!(lb <= ub, "empty size window [{lb}, {ub}]");
     assert_eq!(
@@ -102,7 +135,12 @@ pub fn find_cut<R: Rng + ?Sized>(
     let mut skipped = vec![false; n];
     let start = NodeId::new(rng.random_range(0..n));
     let mut next = Some(start);
+    let mut ticks: u32 = 0;
     while size < ub {
+        ticks = ticks.wrapping_add(1);
+        if ticks.is_multiple_of(BUDGET_CHECK_STRIDE) {
+            budget.check()?;
+        }
         let v = match next.take() {
             Some(v) => v,
             None => match frontier.pop() {
@@ -143,7 +181,7 @@ pub fn find_cut<R: Rng + ?Sized>(
         }
     }
 
-    match best {
+    Ok(match best {
         Some((best_cut, k)) => FindCutResult {
             nodes: grown[..k].to_vec(),
             cut: best_cut,
@@ -154,7 +192,7 @@ pub fn find_cut<R: Rng + ?Sized>(
             cut,
             in_window: false,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -289,6 +327,43 @@ mod tests {
                 r.nodes
             );
         }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_growth() {
+        // A pre-cancelled budget must surface within one check stride even
+        // on a sizeable instance.
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let m = SpreadingMetric::from_lengths(vec![1.0; h.num_nets()]);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        // Small instances may finish before the first stride check; both
+        // outcomes are legal, but an interrupt must be `Cancelled`.
+        if let Err(irq) = find_cut_budgeted(h, &m, 12, 20, &mut rng, &budget) {
+            assert_eq!(irq, Interrupt::Cancelled);
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_plain_call() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let m = SpreadingMetric::from_lengths(vec![1.0; h.num_nets()]);
+        let r1 = find_cut(h, &m, 12, 20, &mut StdRng::seed_from_u64(4));
+        let r2 = find_cut_budgeted(
+            h,
+            &m,
+            12,
+            20,
+            &mut StdRng::seed_from_u64(4),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(r1.nodes, r2.nodes);
+        assert_eq!(r1.cut, r2.cut);
     }
 
     #[test]

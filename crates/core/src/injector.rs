@@ -35,7 +35,26 @@
 //! probe depends only on the snapshot metric, the computed metric and all
 //! deterministic counters are **bit-identical for a fixed seed at any
 //! thread count** — threads change wall-clock time, nothing else.
+//!
+//! # Resilience
+//!
+//! [`compute_spreading_metric_budgeted`] threads a [`Budget`] through the
+//! loop: each round charges [`Budget::round_tick`] and each probe
+//! [`Budget::probe_tick`], so deadlines, caps, and cancellation interrupt
+//! the computation mid-round with at most one probe of latency. An
+//! interrupted round commits the probes that did finish and keeps every
+//! unprobed node in the working set — the partial metric is still a valid
+//! length assignment, just not yet converged
+//! ([`InjectionStats::interrupt`] says why it stopped). Every probe also
+//! runs under [`std::panic::catch_unwind`]: a panicking probe is contained
+//! (counted in [`InjectionStats::panicked_probes`]), its node simply stays
+//! active and is re-probed next round, and the round's other probes are
+//! unaffected. The probe scratch re-initialises itself on entry, so a
+//! half-poisoned buffer from a contained panic self-heals on the next
+//! probe. Budget checks consume no randomness: a budgeted run that is
+//! never interrupted is bit-identical to an unbudgeted one.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use rand::seq::SliceRandom;
@@ -45,6 +64,7 @@ use htp_model::TreeSpec;
 use htp_netlist::{Hypergraph, NodeId};
 
 use crate::constraint::{find_violation_in, find_violation_weighted_in, ViolatingTree};
+use crate::runtime::{Budget, Interrupt, InterruptCell};
 use crate::sptree::GrowerScratch;
 use crate::SpreadingMetric;
 
@@ -106,21 +126,34 @@ impl Default for FlowParams {
 }
 
 impl FlowParams {
+    /// Validates the parameters, naming the first offending field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description such as `"delta must be positive"`.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
+            return Err("epsilon must be positive");
+        }
+        if !(self.alpha > 0.0 && self.alpha.is_finite()) {
+            return Err("alpha must be positive");
+        }
+        if !(self.delta > 0.0 && self.delta.is_finite()) {
+            return Err("delta must be positive");
+        }
+        if self.max_rounds < 1 {
+            return Err("need at least one round");
+        }
+        if self.tolerance.is_nan() || self.tolerance < 0.0 {
+            return Err("tolerance must be non-negative");
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(
-            self.epsilon > 0.0 && self.epsilon.is_finite(),
-            "epsilon must be positive"
-        );
-        assert!(
-            self.alpha > 0.0 && self.alpha.is_finite(),
-            "alpha must be positive"
-        );
-        assert!(
-            self.delta > 0.0 && self.delta.is_finite(),
-            "delta must be positive"
-        );
-        assert!(self.max_rounds >= 1, "need at least one round");
-        assert!(self.tolerance >= 0.0, "tolerance must be non-negative");
+        if let Err(what) = self.check() {
+            panic!("{what}");
+        }
     }
 }
 
@@ -144,6 +177,17 @@ pub struct InjectionStats {
     /// Speculative probes whose candidate tree failed commit-time
     /// re-validation against the updated metric and was discarded.
     pub wasted_probes: usize,
+    /// Probes that panicked and were contained by the engine: the round's
+    /// other probes are unaffected and the node stays in the working set,
+    /// to be re-probed next round.
+    pub panicked_probes: usize,
+    /// Injected oracle errors observed (the `fault-injection` harness);
+    /// handled like contained panics.
+    pub oracle_faults: usize,
+    /// Why the computation stopped early, when a budget limit or
+    /// cancellation interrupted it before convergence (`None` for a
+    /// natural finish).
+    pub interrupt: Option<Interrupt>,
     /// Wall-clock time spent in the (parallel) probe phases.
     pub probe_time: Duration,
     /// Wall-clock time spent in the sequential commit phases.
@@ -157,6 +201,9 @@ impl PartialEq for InjectionStats {
             && self.converged == other.converged
             && self.probes == other.probes
             && self.wasted_probes == other.wasted_probes
+            && self.panicked_probes == other.panicked_probes
+            && self.oracle_faults == other.oracle_faults
+            && self.interrupt == other.interrupt
     }
 }
 
@@ -181,6 +228,48 @@ pub fn compute_spreading_metric<R: Rng + ?Sized>(
     spec: &TreeSpec,
     params: FlowParams,
     rng: &mut R,
+) -> (SpreadingMetric, InjectionStats) {
+    compute_spreading_metric_budgeted(h, spec, params, rng, &Budget::unlimited())
+}
+
+/// Outcome of one probe slot in a round, consumed by the commit phase.
+enum Probe {
+    /// The worker never reached this node (budget interrupt mid-round):
+    /// its status is unknown, so it stays in the working set.
+    NotRun,
+    /// Every constraint for the node holds against the snapshot.
+    Clear,
+    /// A violated constraint with its tree, ready to commit.
+    Violated(ViolatingTree),
+    /// The probe panicked and was contained; the node stays active.
+    Panicked,
+    /// An injected oracle error (`fault-injection` harness only).
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    OracleError,
+}
+
+/// [`compute_spreading_metric`] under a [`Budget`]: deadlines, round and
+/// probe caps, and cancellation interrupt the computation cooperatively
+/// (see the [module docs](self)).
+///
+/// On an interrupt the function still returns the metric accumulated so
+/// far — a valid, partially-converged length assignment — with
+/// [`InjectionStats::interrupt`] naming the reason and
+/// [`InjectionStats::converged`] `false`. Probe panics are contained per
+/// probe and counted in [`InjectionStats::panicked_probes`]; the panic
+/// payload itself goes through the process's panic hook, so set a quiet
+/// hook in tests that inject panics on purpose.
+///
+/// # Panics
+///
+/// Panics if the parameters are out of range (see [`FlowParams::check`])
+/// or the netlist is empty.
+pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: FlowParams,
+    rng: &mut R,
+    budget: &Budget,
 ) -> (SpreadingMetric, InjectionStats) {
     params.validate();
     assert!(
@@ -214,6 +303,54 @@ pub fn compute_spreading_metric<R: Rng + ?Sized>(
             find_violation_in(h, spec, metric, v, params.tolerance, scratch)
         }
     };
+    // Probes one contiguous chunk of the round's shuffled working set
+    // (global probe indices `base..`) into `out`. Shared by the inline and
+    // scoped-worker paths; stops early — leaving `Probe::NotRun` slots —
+    // once any worker records a budget interrupt in `stop`. The fault
+    // index is taken from the deterministic slot position, never from the
+    // shared probe counter, so fault plans fire identically at any thread
+    // count.
+    let run_chunk = |metric: &SpreadingMetric,
+                     nodes: &[NodeId],
+                     out: &mut [Probe],
+                     base: u64,
+                     scratch: &mut GrowerScratch,
+                     stop: &InterruptCell| {
+        for (i, (v, slot)) in nodes.iter().zip(out.iter_mut()).enumerate() {
+            if stop.get().is_some() {
+                return;
+            }
+            if let Err(irq) = budget.probe_tick() {
+                stop.set(irq);
+                return;
+            }
+            let _index = base + i as u64;
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = budget.fault_plan() {
+                if plan.should_fail_oracle(_index) {
+                    *slot = Probe::OracleError;
+                    continue;
+                }
+            }
+            // Contain a panicking probe: the scratch re-initialises itself
+            // on entry, so whatever state the unwound probe left behind is
+            // wiped before the next use.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                if let Some(plan) = budget.fault_plan() {
+                    if plan.should_panic(_index) {
+                        panic!("injected probe fault at probe {_index}");
+                    }
+                }
+                probe(metric, *v, scratch)
+            }));
+            *slot = match outcome {
+                Ok(Some(t)) => Probe::Violated(t),
+                Ok(None) => Probe::Clear,
+                Err(_) => Probe::Panicked,
+            };
+        }
+    };
     let threads = match params.threads {
         0 => std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -221,9 +358,13 @@ pub fn compute_spreading_metric<R: Rng + ?Sized>(
         t => t,
     };
 
-    let mut candidates: Vec<Option<ViolatingTree>> = Vec::new();
+    let mut candidates: Vec<Probe> = Vec::new();
     let mut inline_scratch = GrowerScratch::new(h);
     while !active.is_empty() && stats.rounds < params.max_rounds {
+        if let Err(irq) = budget.round_tick() {
+            stats.interrupt = Some(irq);
+            break;
+        }
         stats.rounds += 1;
         active.shuffle(rng);
 
@@ -233,43 +374,76 @@ pub fn compute_spreading_metric<R: Rng + ?Sized>(
         // there are.
         let probe_start = Instant::now();
         candidates.clear();
-        candidates.resize_with(active.len(), || None);
+        candidates.resize_with(active.len(), || Probe::NotRun);
+        let stop = InterruptCell::new();
+        let probe_base = stats.probes as u64;
         let workers = threads.min(active.len());
         if workers <= 1 {
-            for (v, slot) in active.iter().zip(candidates.iter_mut()) {
-                *slot = probe(&metric, *v, &mut inline_scratch);
-            }
+            run_chunk(
+                &metric,
+                &active,
+                &mut candidates,
+                probe_base,
+                &mut inline_scratch,
+                &stop,
+            );
         } else {
             let chunk = active.len().div_ceil(workers);
-            let (metric_ref, probe_ref) = (&metric, &probe);
+            let (metric_ref, stop_ref, run_ref) = (&metric, &stop, &run_chunk);
             std::thread::scope(|s| {
-                for (nodes, out) in active.chunks(chunk).zip(candidates.chunks_mut(chunk)) {
+                for (ci, (nodes, out)) in active
+                    .chunks(chunk)
+                    .zip(candidates.chunks_mut(chunk))
+                    .enumerate()
+                {
                     s.spawn(move || {
                         let mut scratch = GrowerScratch::new(h);
-                        for (v, slot) in nodes.iter().zip(out.iter_mut()) {
-                            *slot = probe_ref(metric_ref, *v, &mut scratch);
-                        }
+                        let base = probe_base + (ci * chunk) as u64;
+                        run_ref(metric_ref, nodes, out, base, &mut scratch, stop_ref);
                     });
                 }
             });
         }
-        stats.probes += active.len();
         stats.probe_time += probe_start.elapsed();
 
         // Commit phase: sequential, in shuffled order. The first commit
         // sees exactly the snapshot the probes used; later candidates are
-        // re-validated against the updated metric before injecting.
+        // re-validated against the updated metric before injecting. On an
+        // interrupted round this commits whatever the workers finished —
+        // injections only ever tighten the metric, so partial rounds are
+        // as sound as full ones.
         let commit_start = Instant::now();
         let mut dirty = false;
         let mut still_active = Vec::with_capacity(active.len());
         for (slot, &v) in candidates.iter_mut().zip(&active) {
-            match slot.take() {
-                Some(t) if t.nets.is_empty() => {
+            match std::mem::replace(slot, Probe::NotRun) {
+                Probe::NotRun => {
+                    // Interrupted before this probe ran: status unknown,
+                    // the node must stay in the working set.
+                    still_active.push(v);
+                }
+                Probe::Clear => {
+                    // All constraints for v confirmed; never re-check.
+                    stats.probes += 1;
+                }
+                Probe::Panicked => {
+                    stats.probes += 1;
+                    stats.panicked_probes += 1;
+                    still_active.push(v);
+                }
+                Probe::OracleError => {
+                    stats.probes += 1;
+                    stats.oracle_faults += 1;
+                    still_active.push(v);
+                }
+                Probe::Violated(t) if t.nets.is_empty() => {
                     // A single node already exceeds C_0: no amount of flow
                     // can spread it. Drop it so the loop can terminate.
+                    stats.probes += 1;
                     stats.converged = false;
                 }
-                Some(t) => {
+                Probe::Violated(t) => {
+                    stats.probes += 1;
                     if !dirty || t.still_violated(&metric, params.tolerance) {
                         stats.injections += 1;
                         for &e in &t.nets {
@@ -288,11 +462,14 @@ pub fn compute_spreading_metric<R: Rng + ?Sized>(
                     }
                     still_active.push(v);
                 }
-                None => {} // all constraints for v confirmed; never re-check
             }
         }
         stats.commit_time += commit_start.elapsed();
         active = still_active;
+        if let Some(irq) = stop.get() {
+            stats.interrupt = Some(irq);
+            break;
+        }
     }
     if !active.is_empty() {
         stats.converged = false;
@@ -538,6 +715,118 @@ mod tests {
         assert!(stats.probes >= stats.rounds, "at least one probe per round");
         assert!(stats.probes >= stats.injections + stats.wasted_probes);
         assert!(stats.injections > 0);
+    }
+
+    #[test]
+    fn unbudgeted_and_unlimited_budget_agree() {
+        let h = path(10);
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
+        let (m1, s1) = compute_spreading_metric(
+            &h,
+            &spec,
+            FlowParams::default(),
+            &mut StdRng::seed_from_u64(13),
+        );
+        let (m2, s2) = compute_spreading_metric_budgeted(
+            &h,
+            &spec,
+            FlowParams::default(),
+            &mut StdRng::seed_from_u64(13),
+            &Budget::unlimited(),
+        );
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2);
+        assert_eq!(s2.interrupt, None);
+        assert_eq!(s2.panicked_probes, 0);
+    }
+
+    #[test]
+    fn probe_cap_interrupts_and_keeps_a_valid_partial_metric() {
+        let h = path(10);
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
+        let budget = Budget::unlimited().with_max_probes(5);
+        let (m, stats) = compute_spreading_metric_budgeted(
+            &h,
+            &spec,
+            FlowParams::default(),
+            &mut StdRng::seed_from_u64(3),
+            &budget,
+        );
+        assert_eq!(stats.interrupt, Some(crate::Interrupt::ProbeLimit));
+        assert!(!stats.converged);
+        assert!(stats.probes <= 5);
+        // The partial metric is still a valid (positive, finite) length
+        // assignment over every net.
+        for e in h.nets() {
+            assert!(m.length(e).is_finite() && m.length(e) > 0.0);
+        }
+    }
+
+    #[test]
+    fn round_cap_interrupts_before_the_capped_round() {
+        let h = path(10);
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
+        let budget = Budget::unlimited().with_max_rounds(2);
+        let (_, stats) = compute_spreading_metric_budgeted(
+            &h,
+            &spec,
+            FlowParams::default(),
+            &mut StdRng::seed_from_u64(3),
+            &budget,
+        );
+        assert_eq!(stats.interrupt, Some(crate::Interrupt::RoundLimit));
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(budget.rounds_used(), 3, "the refused round is charged");
+    }
+
+    #[test]
+    fn cancelled_budget_stops_immediately() {
+        let h = path(10);
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let (_, stats) = compute_spreading_metric_budgeted(
+            &h,
+            &spec,
+            FlowParams::default(),
+            &mut StdRng::seed_from_u64(3),
+            &budget,
+        );
+        assert_eq!(stats.interrupt, Some(crate::Interrupt::Cancelled));
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.probes, 0);
+    }
+
+    #[test]
+    fn interrupted_runs_are_identical_across_thread_counts() {
+        // A budget interrupt changes *which* probes run, but the committed
+        // rounds before the interrupt are deterministic; with a round cap
+        // (deterministic interrupt point) the partial metric must match at
+        // every thread count.
+        let mut rng = StdRng::seed_from_u64(77);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::new(vec![(10, 2, 1.0), (20, 2, 1.0), (40, 2, 1.0)]).unwrap();
+        let run = |threads: usize| {
+            let flow = FlowParams {
+                threads,
+                ..FlowParams::default()
+            };
+            compute_spreading_metric_budgeted(
+                h,
+                &spec,
+                flow,
+                &mut StdRng::seed_from_u64(4),
+                &Budget::unlimited().with_max_rounds(3),
+            )
+        };
+        let (m1, s1) = run(1);
+        assert_eq!(s1.interrupt, Some(crate::Interrupt::RoundLimit));
+        for threads in [2, 4] {
+            let (mt, st) = run(threads);
+            assert_eq!(m1, mt, "partial metric diverged at threads={threads}");
+            assert_eq!(s1, st, "stats diverged at threads={threads}");
+        }
     }
 
     #[test]

@@ -38,13 +38,16 @@
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
 //! let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.15, 1.0)?;
-//! let result = FlowPartitioner::new(PartitionerParams::default())
+//! let result = FlowPartitioner::try_new(PartitionerParams::default())?
 //!     .run(&inst.hypergraph, &spec, &mut rng)?;
 //! assert!(result.cost >= 0.0);
 //! # Ok(())
 //! # }
 //! ```
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod constraint;
 pub mod construct;
 pub mod error;
@@ -53,7 +56,11 @@ pub mod injector;
 pub mod lower_bound;
 pub mod metric;
 pub mod partitioner;
+pub mod runtime;
 pub mod sptree;
 
 pub use error::CoreError;
 pub use metric::SpreadingMetric;
+#[cfg(feature = "fault-injection")]
+pub use runtime::FaultPlan;
+pub use runtime::{Budget, CancelToken, Interrupt, RunOutcome};

@@ -12,8 +12,10 @@ use rand::Rng;
 use htp_model::{cost, validate, HierarchicalPartition, TreeSpec};
 use htp_netlist::Hypergraph;
 
-use crate::injector::{compute_spreading_metric, FlowParams, InjectionStats};
-use crate::{construct::construct_partition, CoreError, SpreadingMetric};
+use crate::construct::construct_partition_budgeted;
+use crate::injector::{compute_spreading_metric_budgeted, FlowParams, InjectionStats};
+use crate::runtime::{Budget, Interrupt, RunOutcome};
+use crate::{CoreError, SpreadingMetric};
 
 /// Parameters of the outer loop.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,6 +66,19 @@ pub struct FlowResult {
     pub history: Vec<IterationRecord>,
 }
 
+/// Result of a budgeted [`FlowPartitioner::run_with_budget`] run: the best
+/// feasible partition found, plus how the run ended.
+#[derive(Clone, Debug)]
+pub struct BudgetedRun {
+    /// How the run ended (complete, degraded, out of budget, cancelled).
+    pub outcome: RunOutcome,
+    /// The best feasible partition found before the run ended. On a
+    /// [`RunOutcome::Degraded`] outcome this was constructed from a
+    /// partially-converged metric — still a valid partition, possibly of
+    /// lower quality than a full run's.
+    pub result: FlowResult,
+}
+
 /// The network-flow-based constructive partitioner (**Algorithm 1**).
 ///
 /// # Examples
@@ -82,7 +97,7 @@ pub struct FlowResult {
 /// }
 /// let h = b.build()?;
 /// let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)])?;
-/// let result = FlowPartitioner::new(PartitionerParams::default())
+/// let result = FlowPartitioner::try_new(PartitionerParams::default())?
 ///     .run(&h, &spec, &mut StdRng::seed_from_u64(1))?;
 /// // A path cut into 4 leaves of 2 and 2 mid blocks of 4:
 /// // 3 nets are cut, the middle one at both levels.
@@ -98,16 +113,42 @@ pub struct FlowPartitioner {
 impl FlowPartitioner {
     /// Creates a partitioner with the given parameters.
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParams`] if `iterations` or
+    /// `constructions_per_metric` is zero, or the flow parameters are out
+    /// of range (see [`FlowParams::check`]).
+    pub fn try_new(params: PartitionerParams) -> Result<Self, CoreError> {
+        if params.iterations < 1 {
+            return Err(CoreError::InvalidParams {
+                what: "need at least one iteration",
+            });
+        }
+        if params.constructions_per_metric < 1 {
+            return Err(CoreError::InvalidParams {
+                what: "need at least one construction",
+            });
+        }
+        params
+            .flow
+            .check()
+            .map_err(|what| CoreError::InvalidParams { what })?;
+        Ok(FlowPartitioner { params })
+    }
+
+    /// Creates a partitioner with the given parameters, panicking on
+    /// invalid ones.
+    ///
     /// # Panics
     ///
-    /// Panics if `iterations` or `constructions_per_metric` is zero.
+    /// Panics if `iterations` or `constructions_per_metric` is zero, or
+    /// the flow parameters are out of range.
+    #[deprecated(since = "0.2.0", note = "use the fallible `try_new` instead")]
     pub fn new(params: PartitionerParams) -> Self {
-        assert!(params.iterations >= 1, "need at least one iteration");
-        assert!(
-            params.constructions_per_metric >= 1,
-            "need at least one construction"
-        );
-        FlowPartitioner { params }
+        match FlowPartitioner::try_new(params) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The configured parameters.
@@ -116,6 +157,10 @@ impl FlowPartitioner {
     }
 
     /// Runs Algorithm 1 on `h` under `spec`.
+    ///
+    /// Equivalent to [`run_with_budget`](FlowPartitioner::run_with_budget)
+    /// with an unlimited budget — and implemented as exactly that, so
+    /// budgeted runs that are never interrupted are bit-identical to this.
     ///
     /// # Errors
     ///
@@ -128,17 +173,79 @@ impl FlowPartitioner {
         spec: &TreeSpec,
         rng: &mut R,
     ) -> Result<FlowResult, CoreError> {
+        self.run_with_budget(h, spec, rng, &Budget::unlimited())
+            .map(|r| r.result)
+    }
+
+    /// Runs Algorithm 1 under a [`Budget`]: wall-clock deadline, global
+    /// round/probe caps, and cooperative cancellation.
+    ///
+    /// The run degrades gracefully instead of discarding work:
+    ///
+    /// * A limit firing **mid-metric** stops the injection loop, then
+    ///   constructs from the partially-converged metric anyway (it is
+    ///   still a valid length assignment). If that salvage produces the
+    ///   best partition of the run, the outcome is
+    ///   [`RunOutcome::Degraded`]; if the best came from an earlier,
+    ///   fully-converged iteration, it is [`RunOutcome::DeadlineExceeded`]
+    ///   (or [`RunOutcome::Cancelled`] for an explicit cancel, which
+    ///   always takes that name).
+    /// * A limit firing **between iterations** (or mid-construction)
+    ///   returns the best partition found so far as
+    ///   [`RunOutcome::DeadlineExceeded`]/[`RunOutcome::Cancelled`].
+    /// * Contained probe faults (panicked probes, injected oracle errors)
+    ///   mark an otherwise-finished run [`RunOutcome::Degraded`].
+    ///
+    /// Budget checks never consume randomness: with no interrupt and no
+    /// fault, the result is **bit-identical** to [`run`](FlowPartitioner::run)
+    /// at any thread count, and the outcome is [`RunOutcome::Complete`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](FlowPartitioner::run); additionally
+    /// [`CoreError::Interrupted`] when the budget fired before *any*
+    /// feasible partition existed (nothing to salvage).
+    pub fn run_with_budget<R: Rng + ?Sized>(
+        &self,
+        h: &Hypergraph,
+        spec: &TreeSpec,
+        rng: &mut R,
+        budget: &Budget,
+    ) -> Result<BudgetedRun, CoreError> {
         let mut best: Option<FlowResult> = None;
+        let mut best_from_partial = false;
         let mut history = Vec::with_capacity(self.params.iterations);
         let mut last_err = CoreError::EmptyNetlist;
+        let mut interrupt: Option<Interrupt> = None;
+        let mut faulted = false;
 
         for _ in 0..self.params.iterations {
-            let (metric, stats) = compute_spreading_metric(h, spec, self.params.flow, rng);
+            if let Err(irq) = budget.check() {
+                interrupt = Some(irq);
+                break;
+            }
+            let (metric, stats) =
+                compute_spreading_metric_budgeted(h, spec, self.params.flow, rng, budget);
+            if stats.panicked_probes > 0 || stats.oracle_faults > 0 {
+                faulted = true;
+            }
+            let metric_irq = stats.interrupt;
             let metric_objective = metric.objective(h);
             let mut iter_best: Option<f64> = None;
 
+            // Constructions from an interrupted metric are salvage work:
+            // run them unbudgeted (construction is a small fraction of the
+            // metric's cost, and the expired budget would abort them
+            // immediately), then stop after this iteration.
+            let salvage = Budget::unlimited();
+            let construct_budget = if metric_irq.is_some() {
+                &salvage
+            } else {
+                budget
+            };
+
             for _ in 0..self.params.constructions_per_metric {
-                match construct_partition(h, spec, &metric, rng) {
+                match construct_partition_budgeted(h, spec, &metric, rng, construct_budget) {
                     Ok(p) => {
                         if let Err(e) = validate::validate(h, spec, &p) {
                             last_err = CoreError::Model(e);
@@ -156,7 +263,12 @@ impl FlowPartitioner {
                                 metric: metric.clone(),
                                 history: Vec::new(),
                             });
+                            best_from_partial = metric_irq.is_some();
                         }
+                    }
+                    Err(CoreError::Interrupted(irq)) => {
+                        interrupt = Some(irq);
+                        break;
                     }
                     Err(e) => last_err = e,
                 }
@@ -166,14 +278,38 @@ impl FlowPartitioner {
                 best_cost: iter_best,
                 stats,
             });
+            if interrupt.is_some() || metric_irq.is_some() {
+                interrupt = interrupt.or(metric_irq);
+                break;
+            }
         }
 
         match best {
             Some(mut result) => {
                 result.history = history;
-                Ok(result)
+                let outcome = match interrupt {
+                    None => {
+                        if faulted {
+                            RunOutcome::Degraded
+                        } else {
+                            RunOutcome::Complete
+                        }
+                    }
+                    Some(Interrupt::Cancelled) => RunOutcome::Cancelled,
+                    Some(_) => {
+                        if best_from_partial {
+                            RunOutcome::Degraded
+                        } else {
+                            RunOutcome::DeadlineExceeded
+                        }
+                    }
+                };
+                Ok(BudgetedRun { outcome, result })
             }
-            None => Err(last_err),
+            None => match interrupt {
+                Some(irq) => Err(CoreError::Interrupted(irq)),
+                None => Err(last_err),
+            },
         }
     }
 }
@@ -200,7 +336,8 @@ mod tests {
         let inst = clustered_hypergraph(params, &mut rng);
         let h = &inst.hypergraph;
         let spec = TreeSpec::new(vec![(8, 2, 1.0), (16, 2, 1.0)]).unwrap();
-        let result = FlowPartitioner::new(PartitionerParams::default())
+        let result = FlowPartitioner::try_new(PartitionerParams::default())
+            .unwrap()
             .run(h, &spec, &mut rng)
             .unwrap();
         // The planted optimum cuts exactly the 3 inter-cluster nets.
@@ -216,11 +353,12 @@ mod tests {
         }
         let h = b.build().unwrap();
         let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 1.0)]).unwrap();
-        let result = FlowPartitioner::new(PartitionerParams {
+        let result = FlowPartitioner::try_new(PartitionerParams {
             iterations: 2,
             constructions_per_metric: 3,
             flow: FlowParams::default(),
         })
+        .unwrap()
         .run(&h, &spec, &mut StdRng::seed_from_u64(5))
         .unwrap();
         assert_eq!(result.history.len(), 2);
@@ -237,7 +375,8 @@ mod tests {
     fn propagates_infeasibility() {
         let h = HypergraphBuilder::with_unit_nodes(100).build().unwrap();
         let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
-        let err = FlowPartitioner::new(PartitionerParams::default())
+        let err = FlowPartitioner::try_new(PartitionerParams::default())
+            .unwrap()
             .run(&h, &spec, &mut StdRng::seed_from_u64(0))
             .unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
@@ -253,10 +392,12 @@ mod tests {
             constructions_per_metric: 2,
             flow: FlowParams::default(),
         };
-        let r1 = FlowPartitioner::new(p)
+        let r1 = FlowPartitioner::try_new(p)
+            .unwrap()
             .run(&inst.hypergraph, &spec, &mut StdRng::seed_from_u64(11))
             .unwrap();
-        let r2 = FlowPartitioner::new(p)
+        let r2 = FlowPartitioner::try_new(p)
+            .unwrap()
             .run(&inst.hypergraph, &spec, &mut StdRng::seed_from_u64(11))
             .unwrap();
         assert_eq!(r1.cost, r2.cost);
@@ -264,11 +405,111 @@ mod tests {
     }
 
     #[test]
+    fn zero_iterations_is_an_invalid_params_error() {
+        let err = FlowPartitioner::try_new(PartitionerParams {
+            iterations: 0,
+            ..PartitionerParams::default()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::InvalidParams {
+                what: "need at least one iteration"
+            }
+        );
+        let err = FlowPartitioner::try_new(PartitionerParams {
+            constructions_per_metric: 0,
+            ..PartitionerParams::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParams { .. }));
+        let err = FlowPartitioner::try_new(PartitionerParams {
+            flow: FlowParams {
+                delta: f64::NAN,
+                ..FlowParams::default()
+            },
+            ..PartitionerParams::default()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::InvalidParams {
+                what: "delta must be positive"
+            }
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one iteration")]
-    fn zero_iterations_panics() {
+    fn deprecated_constructor_still_panics() {
+        #[allow(deprecated)]
         let _ = FlowPartitioner::new(PartitionerParams {
             iterations: 0,
             ..PartitionerParams::default()
         });
+    }
+
+    #[test]
+    fn run_with_budget_matches_run_when_unlimited() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
+        let part = FlowPartitioner::try_new(PartitionerParams {
+            iterations: 2,
+            constructions_per_metric: 2,
+            flow: FlowParams::default(),
+        })
+        .unwrap();
+        let plain = part
+            .run(&inst.hypergraph, &spec, &mut StdRng::seed_from_u64(23))
+            .unwrap();
+        let budgeted = part
+            .run_with_budget(
+                &inst.hypergraph,
+                &spec,
+                &mut StdRng::seed_from_u64(23),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(budgeted.outcome, RunOutcome::Complete);
+        assert_eq!(plain.partition, budgeted.result.partition);
+        assert_eq!(plain.cost, budgeted.result.cost);
+        assert_eq!(plain.history, budgeted.result.history);
+    }
+
+    #[test]
+    fn pre_cancelled_budget_has_nothing_to_salvage() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let err = FlowPartitioner::try_new(PartitionerParams::default())
+            .unwrap()
+            .run_with_budget(&inst.hypergraph, &spec, &mut rng, &budget)
+            .unwrap_err();
+        assert_eq!(err, CoreError::Interrupted(crate::Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn round_capped_run_degrades_to_a_valid_partition() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.2, 1.0).unwrap();
+        // One injection round is nowhere near convergence on this
+        // instance, so the first metric is interrupted and the partition
+        // is salvaged from it.
+        let budget = Budget::unlimited().with_max_rounds(1);
+        let run = FlowPartitioner::try_new(PartitionerParams::default())
+            .unwrap()
+            .run_with_budget(h, &spec, &mut StdRng::seed_from_u64(23), &budget)
+            .unwrap();
+        assert_eq!(run.outcome, RunOutcome::Degraded);
+        assert_eq!(run.result.history.len(), 1);
+        let stats = run.result.history[0].stats;
+        assert_eq!(stats.interrupt, Some(crate::Interrupt::RoundLimit));
+        assert!(!stats.converged);
+        htp_model::validate::validate(h, &spec, &run.result.partition).unwrap();
     }
 }

@@ -1,0 +1,193 @@
+//! End-to-end resilience contract of the budgeted runtime: bit-identity
+//! with the unbudgeted path, graceful degradation under deadlines, and
+//! cooperative cancellation that still salvages the best partition so far.
+
+use std::time::{Duration, Instant};
+
+use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp_core::{Budget, CancelToken, CoreError, Interrupt, RunOutcome};
+use htp_model::{validate, TreeSpec};
+use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn params(threads: usize) -> PartitionerParams {
+    let mut p = PartitionerParams {
+        iterations: 2,
+        constructions_per_metric: 2,
+        ..PartitionerParams::default()
+    };
+    p.flow.threads = threads;
+    p
+}
+
+/// Acceptance (c): with no faults and no deadline, `run_with_budget` is
+/// bit-identical to `run`, and both are invariant under the probe-worker
+/// thread count.
+#[test]
+fn unlimited_budget_is_bit_identical_to_run_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+    let h = &inst.hypergraph;
+    let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.2, 1.0).unwrap();
+
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let part = FlowPartitioner::try_new(params(threads)).unwrap();
+
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let plain = part.run(h, &spec, &mut rng_a).unwrap();
+
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let budgeted = part
+            .run_with_budget(h, &spec, &mut rng_b, &Budget::unlimited())
+            .unwrap();
+
+        assert_eq!(budgeted.outcome, RunOutcome::Complete);
+        assert_eq!(
+            plain.partition, budgeted.result.partition,
+            "threads={threads}"
+        );
+        assert_eq!(plain.cost.to_bits(), budgeted.result.cost.to_bits());
+        outputs.push((budgeted.result.partition.clone(), budgeted.result.cost));
+    }
+    for (p, c) in &outputs[1..] {
+        assert_eq!(*p, outputs[0].0, "partition must not depend on threads");
+        assert_eq!(c.to_bits(), outputs[0].1.to_bits());
+    }
+}
+
+/// Acceptance (a): a deadline that expires before any work produces a typed
+/// interrupt error — there is nothing to salvage, and it must not panic.
+#[test]
+fn already_expired_deadline_is_a_typed_interrupt() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+    let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
+
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    let err = FlowPartitioner::try_new(params(1))
+        .unwrap()
+        .run_with_budget(&inst.hypergraph, &spec, &mut rng, &budget)
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::Interrupted(Interrupt::Deadline)),
+        "got {err:?}"
+    );
+}
+
+/// A short (but nonzero) wall-clock deadline on a long run ends early with
+/// the best partition found so far; the partition is always feasible.
+#[test]
+fn short_deadline_salvages_a_valid_partition_or_interrupts_cleanly() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+    let h = &inst.hypergraph;
+    let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.2, 1.0).unwrap();
+
+    // Far more iterations than the deadline allows.
+    let mut p = params(2);
+    p.iterations = 100_000;
+    let budget = Budget::unlimited().with_deadline(Duration::from_millis(120));
+
+    let started = Instant::now();
+    let outcome = FlowPartitioner::try_new(p)
+        .unwrap()
+        .run_with_budget(h, &spec, &mut rng, &budget);
+    // The run must actually respect the deadline (generous slack for CI).
+    assert!(started.elapsed() < Duration::from_secs(30));
+
+    match outcome {
+        Ok(run) => {
+            assert!(
+                matches!(
+                    run.outcome,
+                    RunOutcome::DeadlineExceeded | RunOutcome::Degraded
+                ),
+                "got {:?}",
+                run.outcome
+            );
+            validate::validate(h, &spec, &run.result.partition).unwrap();
+            assert!(run.result.cost.is_finite());
+        }
+        // A very slow machine may not finish even one salvage; that must
+        // still surface as the typed interrupt, not a panic.
+        Err(e) => assert!(matches!(e, CoreError::Interrupted(Interrupt::Deadline))),
+    }
+}
+
+/// Cancellation from another thread stops the run cooperatively and keeps
+/// the best feasible partition found before the token fired.
+#[test]
+fn cross_thread_cancellation_salvages_the_best_so_far() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+    let h = &inst.hypergraph;
+    let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.2, 1.0).unwrap();
+
+    let mut p = params(2);
+    p.iterations = 100_000;
+    let token = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel_token(token.clone());
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(250));
+            token.cancel();
+        })
+    };
+    let outcome = FlowPartitioner::try_new(p)
+        .unwrap()
+        .run_with_budget(h, &spec, &mut rng, &budget);
+    canceller.join().unwrap();
+    assert!(token.is_cancelled());
+
+    match outcome {
+        Ok(run) => {
+            assert_eq!(run.outcome, RunOutcome::Cancelled);
+            validate::validate(h, &spec, &run.result.partition).unwrap();
+        }
+        Err(e) => assert!(matches!(e, CoreError::Interrupted(Interrupt::Cancelled))),
+    }
+}
+
+/// Budget counters are shared with the caller and observable after the run.
+#[test]
+fn budget_counters_report_work_performed() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+    let spec = TreeSpec::full_tree(inst.hypergraph.total_size(), 2, 2, 1.2, 1.0).unwrap();
+
+    let budget = Budget::unlimited();
+    let run = FlowPartitioner::try_new(params(1))
+        .unwrap()
+        .run_with_budget(&inst.hypergraph, &spec, &mut rng, &budget)
+        .unwrap();
+    assert_eq!(run.outcome, RunOutcome::Complete);
+    assert!(budget.rounds_used() > 0);
+    assert!(budget.probes_used() > 0);
+    let probes_in_history: usize = run.result.history.iter().map(|r| r.stats.probes).sum();
+    assert_eq!(budget.probes_used(), probes_in_history as u64);
+}
+
+/// A round cap interrupts the metric mid-computation, and the salvage
+/// construction from the partially-converged metric is marked `Degraded`.
+#[test]
+fn round_cap_degrades_but_yields_a_feasible_partition() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+    let h = &inst.hypergraph;
+    let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.2, 1.0).unwrap();
+
+    let budget = Budget::unlimited().with_max_rounds(2);
+    let run = FlowPartitioner::try_new(params(1))
+        .unwrap()
+        .run_with_budget(h, &spec, &mut rng, &budget)
+        .expect("salvage constructions succeed on this instance");
+    assert_eq!(run.outcome, RunOutcome::Degraded);
+    validate::validate(h, &spec, &run.result.partition).unwrap();
+    let stats = &run.result.history[0].stats;
+    assert_eq!(stats.interrupt, Some(Interrupt::RoundLimit));
+    assert!(!stats.converged);
+}

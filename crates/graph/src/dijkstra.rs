@@ -134,12 +134,12 @@ mod tests {
             let g = gnp_graph(24, 0.18, 1.0..10.0, &mut rng);
             let sp = shortest_paths(&g, 0);
             let oracle = bellman_ford_distances(&g, 0);
-            for v in 0..g.num_nodes() {
-                if oracle[v].is_infinite() {
+            for (v, &want) in oracle.iter().enumerate() {
+                if want.is_infinite() {
                     prop_assert!(sp.dist[v].is_infinite());
                 } else {
-                    prop_assert!((sp.dist[v] - oracle[v]).abs() < 1e-9,
-                        "node {}: {} vs {}", v, sp.dist[v], oracle[v]);
+                    prop_assert!((sp.dist[v] - want).abs() < 1e-9,
+                        "node {}: {} vs {}", v, sp.dist[v], want);
                 }
             }
         }

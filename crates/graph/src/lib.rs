@@ -25,6 +25,9 @@
 //! assert_eq!(sp.dist[2], 3.0); // via node 1, not the direct 5.0 edge
 //! ```
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod dijkstra;
 pub mod expand;
 pub mod graph;

@@ -23,6 +23,9 @@
 //!   (Lemma 2); at convergence the bound equals the (P1) optimum over the
 //!   paper's constraint family (5).
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod cutting;
 pub mod duality;
 pub mod error;

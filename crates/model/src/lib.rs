@@ -33,6 +33,9 @@
 //! # }
 //! ```
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod cost;
 pub mod error;
 pub mod gfn;

@@ -148,10 +148,7 @@ mod tests {
             operand_drivers: 4,
         };
         let h = grid_array(p);
-        assert!(
-            h.max_net_size() >= 1 + 2 * 8,
-            "broadcast nets should be wide"
-        );
+        assert!(h.max_net_size() > 2 * 8, "broadcast nets should be wide");
     }
 
     #[test]

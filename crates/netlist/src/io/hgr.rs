@@ -52,6 +52,16 @@ pub fn read<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
     }
     let num_nets: usize = parse(fields[0], hline)?;
     let num_nodes: usize = parse(fields[1], hline)?;
+    if num_nets > u32::MAX as usize || num_nodes > u32::MAX as usize {
+        return Err(NetlistError::Parse {
+            line: hline,
+            message: format!(
+                "header declares {num_nets} nets and {num_nodes} nodes; ids are \
+                 32-bit, at most {} of each are supported",
+                u32::MAX
+            ),
+        });
+    }
     let fmt: u32 = if fields.len() == 3 {
         parse(fields[2], hline)?
     } else {
@@ -70,6 +80,18 @@ pub fn read<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
         }
     };
 
+    // Bound allocations by the actual file size, not the (untrusted) header:
+    // every declared net needs its own record line below.
+    if num_nets > it.len() {
+        return Err(NetlistError::Parse {
+            line: hline,
+            message: format!(
+                "file ended early: header declares {num_nets} nets but only {} \
+                 record lines follow",
+                it.len()
+            ),
+        });
+    }
     let mut builder = HypergraphBuilder::with_unit_nodes(num_nodes);
     let mut nets = Vec::with_capacity(num_nets);
     for _ in 0..num_nets {

@@ -60,7 +60,9 @@ pub fn read<R: BufRead>(reader: R) -> Result<NamedNetlist, NetlistError> {
             continue;
         }
         let mut fields = trimmed.split_whitespace();
-        let kind = fields.next().expect("non-empty line has a first field");
+        let Some(kind) = fields.next() else {
+            continue; // unreachable: `trimmed` is non-empty
+        };
         match kind {
             "node" => {
                 let name = fields.next().ok_or_else(|| err(lno, "node needs a name"))?;

@@ -116,7 +116,9 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
             continue;
         }
         let mut words = stmt.split_whitespace();
-        let keyword = words.next().expect("statement is non-empty");
+        let Some(keyword) = words.next() else {
+            continue; // unreachable: empty statements were skipped above
+        };
         match keyword {
             "module" => {
                 if name.is_some() {
@@ -198,13 +200,19 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
     let mut readers: HashMap<&str, Vec<NodeId>> = HashMap::new();
     let mut input_order: Vec<&str> = Vec::new();
     for (lno, stmt) in &statements {
-        if let Some(rest) = stmt.strip_prefix("input") {
+        // Match the whole keyword: `strip_prefix` alone would also fire on
+        // e.g. an `inputx g (y, a)` gate instance and feed garbage below.
+        if stmt.split_whitespace().next() == Some("input") {
+            let rest = &stmt["input".len()..];
             for sig in rest.split(',') {
                 let sig = sig.trim();
                 if sig.is_empty() {
                     continue;
                 }
-                let sig_key = kinds.get_key_value(sig).expect("declared above").0.as_str();
+                let Some((sig_key, _)) = kinds.get_key_value(sig) else {
+                    return Err(err(*lno, format!("undeclared signal `{sig}`")));
+                };
+                let sig_key = sig_key.as_str();
                 if driver.contains_key(sig_key) {
                     return Err(err(*lno, format!("input `{sig}` declared twice")));
                 }
@@ -252,12 +260,11 @@ fn parse(source: &str) -> Result<VerilogModule, NetlistError> {
         emit(sig, &mut b, &mut net_names)?;
     }
     for (_, _, _, ports) in &gates {
-        let key = kinds
-            .get_key_value(ports[0].as_str())
-            .expect("validated")
-            .0
-            .as_str();
-        emit(key, &mut b, &mut net_names)?;
+        // Every gate port was resolved against `kinds` in the driver pass.
+        let Some((key, _)) = kinds.get_key_value(ports[0].as_str()) else {
+            continue;
+        };
+        emit(key.as_str(), &mut b, &mut net_names)?;
     }
 
     Ok(VerilogModule {

@@ -32,6 +32,9 @@
 //! # }
 //! ```
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod builder;
 pub mod error;
 pub mod gen;

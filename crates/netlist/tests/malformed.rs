@@ -1,0 +1,179 @@
+//! Malformed-input robustness: every reader must turn hostile bytes into a
+//! typed [`NetlistError`], never a panic.
+//!
+//! The cases mirror the failure classes a user can hit with hand-edited or
+//! truncated files: empty input, files cut off mid-record, indices past the
+//! declared ranges, non-finite weights, and plain garbage.
+
+use htp_netlist::io::{hgr, netl, verilog};
+use htp_netlist::NetlistError;
+
+fn parse_err(r: Result<impl Sized, NetlistError>) -> String {
+    match r {
+        Ok(_) => panic!("malformed input was accepted"),
+        Err(e) => {
+            assert!(
+                matches!(e, NetlistError::Parse { .. }),
+                "expected a parse error, got {e:?}"
+            );
+            e.to_string()
+        }
+    }
+}
+
+// --- .hgr -----------------------------------------------------------------
+
+#[test]
+fn hgr_empty_input_is_a_parse_error() {
+    let msg = parse_err(hgr::from_str(""));
+    assert!(msg.contains("missing header"), "{msg}");
+}
+
+#[test]
+fn hgr_comments_only_is_a_parse_error() {
+    let msg = parse_err(hgr::from_str("% nothing\n\n% here\n"));
+    assert!(msg.contains("missing header"), "{msg}");
+}
+
+#[test]
+fn hgr_truncated_net_section_is_a_parse_error() {
+    // Header promises 3 nets, file ends after 1.
+    let msg = parse_err(hgr::from_str("3 4\n1 2\n"));
+    assert!(msg.contains("ended early"), "{msg}");
+}
+
+#[test]
+fn hgr_truncated_node_weight_section_is_a_parse_error() {
+    // fmt=10: node sizes required, but only one of three follows.
+    let msg = parse_err(hgr::from_str("1 3 10\n1 2\n5\n"));
+    assert!(msg.contains("ended early"), "{msg}");
+}
+
+#[test]
+fn hgr_oversized_pin_index_is_a_parse_error() {
+    let msg = parse_err(hgr::from_str("1 3\n1 4\n"));
+    assert!(msg.contains("out of range"), "{msg}");
+}
+
+#[test]
+fn hgr_zero_pin_index_is_a_parse_error() {
+    // Pins are 1-indexed; 0 must be rejected, not wrap to node u32::MAX.
+    let msg = parse_err(hgr::from_str("1 3\n0 2\n"));
+    assert!(msg.contains("out of range"), "{msg}");
+}
+
+#[test]
+fn hgr_header_counts_beyond_u32_are_a_parse_error() {
+    // 2^32 nodes cannot be addressed by 32-bit ids; also guards the
+    // allocator against absurd claims from a ten-byte file.
+    let msg = parse_err(hgr::from_str("1 4294967296\n1 2\n"));
+    assert!(msg.contains("32-bit"), "{msg}");
+    let msg = parse_err(hgr::from_str("4294967296 2\n1 2\n"));
+    assert!(msg.contains("32-bit"), "{msg}");
+}
+
+#[test]
+fn hgr_net_count_beyond_file_length_is_a_parse_error() {
+    // A huge (but representable) net count must fail fast on the line
+    // budget instead of pre-allocating gigabytes.
+    let msg = parse_err(hgr::from_str("1000000000 2\n1 2\n"));
+    assert!(msg.contains("ended early"), "{msg}");
+}
+
+#[test]
+fn hgr_nan_net_capacity_is_rejected() {
+    // `NaN` parses as an f64, so the structural builder must catch it.
+    let msg = parse_err(hgr::from_str("1 2 1\nNaN 1 2\n"));
+    assert!(
+        msg.to_lowercase().contains("nan") || msg.contains("capacity"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn hgr_negative_and_zero_capacities_are_rejected() {
+    parse_err(hgr::from_str("1 2 1\n-1.5 1 2\n"));
+    parse_err(hgr::from_str("1 2 1\n0 1 2\n"));
+}
+
+#[test]
+fn hgr_garbage_tokens_are_a_parse_error() {
+    let msg = parse_err(hgr::from_str("1 2\n1 two\n"));
+    assert!(msg.contains("cannot parse"), "{msg}");
+    parse_err(hgr::from_str("\u{1F4A3} boom\n"));
+}
+
+// --- .netl ----------------------------------------------------------------
+
+#[test]
+fn netl_empty_input_builds_an_empty_netlist() {
+    // Unlike .hgr there is no mandatory header; empty means zero records.
+    let nl = netl::from_str("").expect("empty netl is a valid empty netlist");
+    assert_eq!(nl.hypergraph.num_nodes(), 0);
+    assert_eq!(nl.hypergraph.num_nets(), 0);
+}
+
+#[test]
+fn netl_truncated_records_are_a_parse_error() {
+    let msg = parse_err(netl::from_str("node a\nnode b\nnet\n"));
+    assert!(msg.contains("net needs a name"), "{msg}");
+    let msg = parse_err(netl::from_str("node\n"));
+    assert!(msg.contains("node needs a name"), "{msg}");
+}
+
+#[test]
+fn netl_undeclared_pin_is_a_parse_error() {
+    let msg = parse_err(netl::from_str("node a\nnet x a b999\n"));
+    assert!(msg.contains("unknown node `b999`"), "{msg}");
+}
+
+#[test]
+fn netl_nan_capacity_is_rejected() {
+    let msg = parse_err(netl::from_str("node a\nnode b\nnet x cap=NaN a b\n"));
+    assert!(
+        msg.to_lowercase().contains("nan") || msg.contains("capacity"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn netl_bad_node_size_is_a_parse_error() {
+    // Sizes are unsigned integers; floats and negatives must not panic.
+    parse_err(netl::from_str("node a 3.5\n"));
+    parse_err(netl::from_str("node a -2\n"));
+}
+
+#[test]
+fn netl_garbage_record_kind_is_a_parse_error() {
+    let msg = parse_err(netl::from_str("blob a b c\n"));
+    assert!(msg.contains("unknown record kind"), "{msg}");
+}
+
+// --- structural verilog ---------------------------------------------------
+
+#[test]
+fn verilog_empty_input_is_a_parse_error() {
+    let msg = parse_err(verilog::from_str(""));
+    assert!(msg.contains("endmodule"), "{msg}");
+}
+
+#[test]
+fn verilog_truncated_module_is_a_parse_error() {
+    parse_err(verilog::from_str("module m (a, y);\ninput a;\n"));
+}
+
+#[test]
+fn verilog_garbage_is_a_parse_error() {
+    parse_err(verilog::from_str("]] not verilog at all [[ ;;; endmodule"));
+}
+
+#[test]
+fn verilog_input_prefixed_gate_does_not_panic() {
+    // `inputx` passes pass one as a gate type but also string-prefixes
+    // `input`; the declaration collector must match whole keywords.
+    let src = "module m (a, y);\ninput a;\noutput y;\nwire w;\ninputx g (w, a);\nbuf g2 (y, w);\nendmodule\n";
+    match verilog::from_str(src) {
+        Ok(m) => assert!(m.hypergraph.num_nodes() > 0),
+        Err(e) => assert!(matches!(e, NetlistError::Parse { .. })),
+    }
+}

@@ -23,6 +23,9 @@
 //!   validation.
 //! * [`optimize`] — greedy construction and move-based improvement.
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod mapping;
 pub mod optimize;
 pub mod tree;

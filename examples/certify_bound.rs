@@ -33,10 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let spec = TreeSpec::new(vec![(10, 2, 1.0), (20, 2, 1.0), (32, 2, 1.0)])?;
 
-    let flow = FlowPartitioner::new(PartitionerParams {
+    let flow = FlowPartitioner::try_new(PartitionerParams {
         iterations: 8,
         ..PartitionerParams::default()
-    })
+    })?
     .run(h, &spec, &mut rng)?;
     println!("FLOW cost        : {}", flow.cost);
 

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("netlist: {}", htp::netlist::NetlistStats::of(h));
 
     let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.15, 1.0)?;
-    let flow = FlowPartitioner::new(PartitionerParams::default()).run(h, &spec, &mut rng)?;
+    let flow = FlowPartitioner::try_new(PartitionerParams::default())?.run(h, &spec, &mut rng)?;
     println!("FLOW span cost                : {}", flow.cost);
 
     // Convert to the routed-tree view.

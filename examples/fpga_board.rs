@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
 
     println!("\nFLOW (spreading metric) vs RFM (recursive min-cut):");
-    let flow = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
+    let flow = FlowPartitioner::try_new(PartitionerParams::default())?.run(&h, &spec, &mut rng)?;
     validate::validate(&h, &spec, &flow.partition)?;
     let rfm = rfm_partition(&h, &spec, RfmParams::default(), &mut rng)?;
     validate::validate(&h, &spec, &rfm)?;

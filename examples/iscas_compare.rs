@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
     let gfm = gfm_partition(&h, &spec, GfmParams::default(), &mut rng)?;
     let rfm = rfm_partition(&h, &spec, RfmParams::default(), &mut rng)?;
-    let flow = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
+    let flow = FlowPartitioner::try_new(PartitionerParams::default())?.run(&h, &spec, &mut rng)?;
 
     println!(
         "\n{:<6} {:>12} {:>12} {:>10}",

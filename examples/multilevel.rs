@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = TreeSpec::full_tree(h.total_size(), 4, 2, 1.10, 1.0)?;
 
     let start = Instant::now();
-    let flat = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
+    let flat = FlowPartitioner::try_new(PartitionerParams::default())?.run(&h, &spec, &mut rng)?;
     let flat_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();

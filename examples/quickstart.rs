@@ -29,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = TreeSpec::new(vec![(3, 2, 1.0), (5, 2, 1.0), (8, 2, 1.0)])?;
 
     let mut rng = StdRng::seed_from_u64(42);
-    let result = FlowPartitioner::new(PartitionerParams::default()).run(&h, &spec, &mut rng)?;
+    let result =
+        FlowPartitioner::try_new(PartitionerParams::default())?.run(&h, &spec, &mut rng)?;
     validate::validate(&h, &spec, &result.partition)?;
 
     println!("interconnection cost: {}", result.cost);

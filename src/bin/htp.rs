@@ -5,21 +5,30 @@
 //! htp gen   <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
 //! htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
 //!               [--slack X] [--seed S] [--threads N] [--improve]
+//!               [--timeout-ms MS] [--max-rounds N]
 //!               [--out assignment.txt]
 //! htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
 //! ```
 //!
 //! Netlists are read in hMETIS `.hgr` format; assignments are written as
 //! `<node-index> <leaf-index>` lines.
+//!
+//! `partition --algo flow` is budget-aware: `--timeout-ms`/`--max-rounds`
+//! bound the run, and the first Ctrl-C cancels it cooperatively (a second
+//! aborts). A bounded or cancelled run still emits the best partition
+//! found so far and exits with code 3 so scripts can tell a partial result
+//! from a complete one (code 0) or an error (code 1).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use htp::baselines::gfm::{gfm_partition, GfmParams};
 use htp::baselines::hfm::{improve, HfmParams};
 use htp::baselines::rfm::{rfm_partition, RfmParams};
 use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::core::{Budget, RunOutcome};
 use htp::lp::cutting::{lower_bound, CuttingPlaneParams};
 use htp::model::{cost, validate, HierarchicalPartition, TreeSpec};
 use htp::netlist::gen::grid::{grid_array, GridParams};
@@ -35,10 +44,63 @@ usage:
   htp gen <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
   htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
                 [--slack X] [--seed S] [--threads N] [--improve]
+                [--timeout-ms MS] [--max-rounds N]
                 [--out assignment.txt]
                 (--threads 0 uses all cores; the result is identical at
-                 any thread count for a fixed seed)
+                 any thread count for a fixed seed. --timeout-ms and
+                 --max-rounds bound the flow engine: a bounded, cancelled,
+                 or degraded run still writes the best partition found and
+                 exits with code 3. Ctrl-C cancels cooperatively.)
   htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]";
+
+/// Exit code for a run that ended early (deadline, round cap, or Ctrl-C)
+/// but still produced a valid best-so-far partition.
+const EXIT_PARTIAL: u8 = 3;
+
+/// First Ctrl-C cancels the run cooperatively (the engine emits its best
+/// partition so far); a second Ctrl-C aborts the process.
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use htp::core::CancelToken;
+
+    static FIRED: AtomicBool = AtomicBool::new(false);
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_sig: i32) {
+        // Only async-signal-safe operations here: one atomic swap, and
+        // abort on the second delivery.
+        if FIRED.swap(true, Ordering::SeqCst) {
+            std::process::abort();
+        }
+    }
+
+    /// Installs the SIGINT handler (once) and bridges it to `token` via a
+    /// small watcher thread, since a signal handler must not touch the
+    /// token's `Arc` directly.
+    pub fn install(token: CancelToken) {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            if !ARMED.swap(true, Ordering::SeqCst) {
+                unsafe {
+                    signal(SIGINT, handle);
+                }
+            }
+            std::thread::spawn(move || {
+                while !FIRED.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                token.cancel();
+            });
+        }
+        #[cfg(not(unix))]
+        let _ = token;
+    }
+}
 
 /// Minimal flag parser: positional arguments plus `--key value` pairs and
 /// bare `--flag` switches.
@@ -92,7 +154,7 @@ impl Args {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("{USAGE}");
@@ -101,14 +163,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args = Args::parse(std::env::args().skip(1));
     let command = args.positional.first().cloned().ok_or("missing command")?;
     match command.as_str() {
-        "stats" => cmd_stats(&args),
-        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args).map(|()| ExitCode::SUCCESS),
+        "gen" => cmd_gen(&args).map(|()| ExitCode::SUCCESS),
         "partition" => cmd_partition(&args),
-        "bound" => cmd_bound(&args),
+        "bound" => cmd_bound(&args).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -179,23 +241,54 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_partition(args: &Args) -> Result<(), String> {
+fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
     let h = read_netlist(args)?;
     let spec = spec_from(args, &h)?;
     let seed: u64 = args.parsed("seed", 1997)?;
     let threads: usize = args.parsed("threads", 1)?;
     let algo = args.value("algo").unwrap_or("flow");
+    let timeout_ms: Option<u64> = match args.value("timeout-ms") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("bad value for --timeout-ms: `{raw}`"))?,
+        ),
+        None => None,
+    };
+    let max_rounds: Option<u64> = match args.value("max-rounds") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("bad value for --max-rounds: `{raw}`"))?,
+        ),
+        None => None,
+    };
+    if algo != "flow" && (timeout_ms.is_some() || max_rounds.is_some()) {
+        return Err(format!(
+            "--timeout-ms/--max-rounds bound the flow engine; they are not \
+             supported by --algo {algo}"
+        ));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
 
+    let mut outcome = RunOutcome::Complete;
     let partition: HierarchicalPartition =
         match algo {
             "flow" => {
                 let mut params = PartitionerParams::default();
                 params.flow.threads = threads;
-                FlowPartitioner::new(params)
-                    .run(&h, &spec, &mut rng)
+                let mut budget = Budget::unlimited();
+                if let Some(ms) = timeout_ms {
+                    budget = budget.with_deadline(Duration::from_millis(ms));
+                }
+                if let Some(rounds) = max_rounds {
+                    budget = budget.with_max_rounds(rounds);
+                }
+                sigint::install(budget.cancel_token());
+                let run = FlowPartitioner::try_new(params)
                     .map_err(|e| e.to_string())?
-                    .partition
+                    .run_with_budget(&h, &spec, &mut rng, &budget)
+                    .map_err(|e| e.to_string())?;
+                outcome = run.outcome;
+                run.result.partition
             }
             "gfm" => gfm_partition(&h, &spec, GfmParams::default(), &mut rng)
                 .map_err(|e| e.to_string())?,
@@ -219,7 +312,10 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     };
 
     let breakdown = cost::cost_breakdown(&h, &spec, &partition);
-    eprintln!("algorithm {algo}, cost {}", breakdown.total);
+    eprintln!(
+        "algorithm {algo}, outcome {outcome}, cost {}",
+        breakdown.total
+    );
     for (l, c) in breakdown.per_level.iter().enumerate() {
         eprintln!("  level {l}: {c}");
     }
@@ -249,7 +345,12 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    if outcome.is_complete() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("run ended early ({outcome}); the emitted partition is the best found so far");
+        Ok(ExitCode::from(EXIT_PARTIAL))
+    }
 }
 
 fn cmd_bound(args: &Args) -> Result<(), String> {

@@ -35,13 +35,16 @@
 //! }
 //! let h = b.build()?;
 //! let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.2, 1.0)?;
-//! let result = FlowPartitioner::new(PartitionerParams::default())
+//! let result = FlowPartitioner::try_new(PartitionerParams::default())?
 //!     .run(&h, &spec, &mut StdRng::seed_from_u64(7))?;
 //! println!("cost {}", result.cost);
 //! # Ok(())
 //! # }
 //! ```
 
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub use htp_baselines as baselines;
 pub use htp_cluster as cluster;
 pub use htp_core as core;

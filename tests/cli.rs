@@ -195,3 +195,157 @@ fn missing_file_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
 }
+
+#[test]
+fn timeout_emits_partial_result_with_exit_code_3() {
+    let netlist = tmp_path("timeout.hgr");
+    let assignment = tmp_path("timeout.assign");
+    let out = htp(&[
+        "gen",
+        "rent:600",
+        "--seed",
+        "5",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // A deadline far below the full runtime: the run must still emit a
+    // complete, valid assignment and flag the partial result via exit 3.
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--algo",
+        "flow",
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+        "--seed",
+        "3",
+        "--timeout-ms",
+        "20",
+        "--out",
+        assignment.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(
+        stderr.contains("deadline-exceeded") || stderr.contains("degraded"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("best found so far"), "{stderr}");
+
+    let lines = std::fs::read_to_string(&assignment).unwrap();
+    assert_eq!(
+        lines.lines().count(),
+        600,
+        "partial result covers every node"
+    );
+
+    for path in [netlist, assignment] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn max_rounds_cap_also_exits_with_code_3() {
+    let netlist = tmp_path("rounds.hgr");
+    let out = htp(&[
+        "gen",
+        "rent:128",
+        "--seed",
+        "7",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+        "--max-rounds",
+        "1",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("degraded"), "{stderr}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 128);
+    let _ = std::fs::remove_file(netlist);
+}
+
+#[test]
+fn budget_flags_are_rejected_for_non_flow_algorithms() {
+    let netlist = tmp_path("budget-algo.hgr");
+    std::fs::write(&netlist, "3 4\n1 2\n2 3\n3 4\n").unwrap();
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--algo",
+        "gfm",
+        "--height",
+        "1",
+        "--slack",
+        "1.5",
+        "--timeout-ms",
+        "100",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not"));
+    let _ = std::fs::remove_file(netlist);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_cancels_cooperatively_and_emits_the_partial_result() {
+    let netlist = tmp_path("sigint.hgr");
+    let assignment = tmp_path("sigint.assign");
+    let out = htp(&[
+        "gen",
+        "rent:2000",
+        "--seed",
+        "11",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Start a run that would take many seconds, interrupt it almost
+    // immediately, and expect a cooperative shutdown with salvage.
+    let child = Command::new(env!("CARGO_BIN_EXE_htp"))
+        .args([
+            "partition",
+            netlist.to_str().unwrap(),
+            "--height",
+            "2",
+            "--slack",
+            "1.3",
+            "--out",
+            assignment.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("the htp binary runs");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+
+    let out = child.wait_with_output().expect("child exits");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("cancelled"), "{stderr}");
+
+    let lines = std::fs::read_to_string(&assignment).unwrap();
+    assert_eq!(lines.lines().count(), 2000);
+
+    for path in [netlist, assignment] {
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -34,7 +34,8 @@ fn all_algorithms_produce_valid_partitions_with_consistent_costs() {
 
     let gfm = gfm_partition(&h, &spec, GfmParams::default(), &mut rng).unwrap();
     let rfm = rfm_partition(&h, &spec, RfmParams::default(), &mut rng).unwrap();
-    let flow = FlowPartitioner::new(PartitionerParams::default())
+    let flow = FlowPartitioner::try_new(PartitionerParams::default())
+        .unwrap()
         .run(&h, &spec, &mut rng)
         .unwrap();
 
@@ -86,7 +87,8 @@ fn fm_post_pass_never_hurts_and_outputs_stay_valid() {
 fn flow_beats_random_assignment_by_a_wide_margin() {
     let (h, spec) = workload();
     let mut rng = StdRng::seed_from_u64(7);
-    let flow = FlowPartitioner::new(PartitionerParams::default())
+    let flow = FlowPartitioner::try_new(PartitionerParams::default())
+        .unwrap()
         .run(&h, &spec, &mut rng)
         .unwrap();
 
@@ -110,11 +112,12 @@ fn pipeline_is_deterministic_under_fixed_seeds() {
     let (h, spec) = workload();
     let run = |seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let flow = FlowPartitioner::new(PartitionerParams {
+        let flow = FlowPartitioner::try_new(PartitionerParams {
             iterations: 2,
             constructions_per_metric: 2,
             ..PartitionerParams::default()
         })
+        .unwrap()
         .run(&h, &spec, &mut rng)
         .unwrap();
         let plus = improve(&h, &spec, &flow.partition, HfmParams::default()).unwrap();

@@ -48,11 +48,12 @@ fn lemma1_holds_for_the_reference_partition() {
 fn flow_finds_a_partition_close_to_the_reference() {
     let (h, spec) = figure2();
     let mut rng = StdRng::seed_from_u64(1997);
-    let result = FlowPartitioner::new(PartitionerParams {
+    let result = FlowPartitioner::try_new(PartitionerParams {
         iterations: 8,
         constructions_per_metric: 4,
         ..PartitionerParams::default()
     })
+    .unwrap()
     .run(&h, &spec, &mut rng)
     .unwrap();
     validate::validate(&h, &spec, &result.partition).unwrap();

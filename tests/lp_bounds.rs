@@ -35,7 +35,8 @@ fn lower_bound_sits_below_every_algorithm_on_small_instances() {
         let lb = lower_bound(h, &spec, params).unwrap();
         assert!(lb.lower_bound >= 0.0);
 
-        let flow = FlowPartitioner::new(PartitionerParams::default())
+        let flow = FlowPartitioner::try_new(PartitionerParams::default())
+            .unwrap()
             .run(h, &spec, &mut rng)
             .unwrap();
         let gfm = gfm_partition(h, &spec, GfmParams::default(), &mut rng).unwrap();

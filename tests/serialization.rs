@@ -22,7 +22,8 @@ fn partition_survives_a_save_load_cycle_with_identical_cost() {
         &mut rng,
     );
     let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
-    let result = FlowPartitioner::new(PartitionerParams::default())
+    let result = FlowPartitioner::try_new(PartitionerParams::default())
+        .unwrap()
         .run(&h, &spec, &mut rng)
         .unwrap();
 
@@ -78,7 +79,8 @@ fn renders_are_consistent_with_structure() {
         &mut rng,
     );
     let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.3, 1.0).unwrap();
-    let result = FlowPartitioner::new(PartitionerParams::default())
+    let result = FlowPartitioner::try_new(PartitionerParams::default())
+        .unwrap()
         .run(&h, &spec, &mut rng)
         .unwrap();
     let sizes: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();

@@ -27,11 +27,12 @@ fn best_rfm(h: &Hypergraph, spec: &TreeSpec, restarts: u64) -> f64 {
 
 fn flow_cost(h: &Hypergraph, spec: &TreeSpec) -> f64 {
     let mut rng = StdRng::seed_from_u64(2000);
-    FlowPartitioner::new(PartitionerParams {
+    FlowPartitioner::try_new(PartitionerParams {
         iterations: 3,
         constructions_per_metric: 4,
         ..PartitionerParams::default()
     })
+    .unwrap()
     .run(h, spec, &mut rng)
     .unwrap()
     .cost
