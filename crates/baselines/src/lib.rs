@@ -20,6 +20,8 @@
 //! * [`spectral`] — a Fiedler-vector sweep bipartitioner (the "spectral
 //!   method" class the introduction contrasts against), usable standalone
 //!   or as an FM seed.
+//! * [`suite`] — the named registry of all of the above, as run by the
+//!   differential conformance harness.
 
 // Library code must surface failures as typed errors, not panics.
 #![warn(clippy::unwrap_used)]
@@ -30,5 +32,6 @@ pub mod gfm;
 pub mod hfm;
 pub mod rfm;
 pub mod spectral;
+pub mod suite;
 
 pub use error::BaselineError;

@@ -1,0 +1,109 @@
+//! A named registry of the baseline partitioners.
+//!
+//! The differential conformance harness runs "every baseline" against
+//! FLOW on every generated instance family; this module is the single
+//! place that defines what "every baseline" means, so the harness, the
+//! `differential` experiment binary, and future tables cannot drift
+//! apart. Each entry is deterministic in the seed it is handed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use htp_model::{HierarchicalPartition, TreeSpec};
+use htp_netlist::Hypergraph;
+
+use crate::error::BaselineError;
+use crate::gfm::{gfm_partition, GfmParams};
+use crate::hfm::{improve, HfmParams};
+use crate::rfm::{rfm_partition, RfmParams, SplitInit};
+
+/// One baseline's output on an instance.
+#[derive(Clone, Debug)]
+pub struct BaselineRun {
+    /// The baseline's registry name (`gfm`, `rfm`, `rfm-spectral`,
+    /// `gfm+`).
+    pub name: &'static str,
+    /// The partition it produced.
+    pub partition: HierarchicalPartition,
+}
+
+/// Runs every registered baseline on `(h, spec)` with randomness derived
+/// from `seed`:
+///
+/// * `gfm` — bottom-up FM construction,
+/// * `rfm` — top-down recursive FM with random initial splits,
+/// * `rfm-spectral` — top-down recursive FM seeded by the Fiedler sweep
+///   (the "spectral" contender),
+/// * `gfm+` — GFM followed by the hierarchical FM improvement pass.
+///
+/// Each baseline gets its own decorrelated seed, so adding or reordering
+/// entries never changes another entry's output.
+///
+/// # Errors
+///
+/// The first [`BaselineError`] any baseline reports (on well-formed
+/// feasible instances they all succeed).
+pub fn run_all(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    seed: u64,
+) -> Result<Vec<BaselineRun>, BaselineError> {
+    let mut runs = Vec::new();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6766_6d00); // "gfm"
+    let gfm = gfm_partition(h, spec, GfmParams::default(), &mut rng)?;
+    runs.push(BaselineRun {
+        name: "gfm",
+        partition: gfm.clone(),
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7266_6d00); // "rfm"
+    runs.push(BaselineRun {
+        name: "rfm",
+        partition: rfm_partition(h, spec, RfmParams::default(), &mut rng)?,
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7370_6563); // "spec"
+    runs.push(BaselineRun {
+        name: "rfm-spectral",
+        partition: rfm_partition(
+            h,
+            spec,
+            RfmParams {
+                init: SplitInit::Spectral,
+                ..RfmParams::default()
+            },
+            &mut rng,
+        )?,
+    });
+
+    runs.push(BaselineRun {
+        name: "gfm+",
+        partition: improve(h, spec, &gfm, HfmParams::default())?.partition,
+    });
+
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::{HypergraphBuilder, NodeId};
+
+    #[test]
+    fn the_suite_runs_and_is_deterministic() {
+        let mut b = HypergraphBuilder::with_unit_nodes(16);
+        for i in 0..15u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::full_tree(16, 2, 2, 1.25, 1.0).unwrap();
+        let a = run_all(&h, &spec, 42).unwrap();
+        let b2 = run_all(&h, &spec, 42).unwrap();
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b2) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.partition, y.partition);
+        }
+    }
+}

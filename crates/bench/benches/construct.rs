@@ -3,7 +3,7 @@
 //! be far cheaper than the metric computation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use htp_bench::paper_spec;
+use htp_bench::{paper_spec, threads_from_env};
 use htp_core::construct::construct_partition;
 use htp_core::injector::{compute_spreading_metric, FlowParams};
 use htp_netlist::gen::rent::{rent_circuit, RentParams};
@@ -25,7 +25,13 @@ fn bench_construct(c: &mut Criterion) {
             &mut rng,
         );
         let spec = paper_spec(&h);
-        let (metric, _) = compute_spreading_metric(&h, &spec, FlowParams::default(), &mut rng);
+        // The metric is only setup here, but it dominates wall-clock, so
+        // honour the shared HTP_THREADS knob like every other harness.
+        let params = FlowParams {
+            threads: threads_from_env(),
+            ..FlowParams::default()
+        };
+        let (metric, _) = compute_spreading_metric(&h, &spec, params, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(3);

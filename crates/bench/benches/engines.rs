@@ -5,8 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use htp_baselines::fm::bipartition::{fm_bipartition, random_balanced_init, BisectionBounds};
 use htp_baselines::fm::buckets::fm_bipartition_buckets;
 use htp_baselines::spectral::{spectral_fm_bipartition, SpectralParams};
-use htp_bench::paper_spec;
+use htp_bench::{paper_spec, threads_from_env};
 use htp_cluster::pipeline::{clustered_flow_partition, ClusteredFlowParams};
+use htp_core::injector::FlowParams;
 use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
 use htp_netlist::gen::rent::{rent_circuit, RentParams};
 use rand::rngs::StdRng;
@@ -54,13 +55,23 @@ fn bench_multilevel(c: &mut Criterion) {
     );
     let spec = paper_spec(&h);
 
+    // Both pipelines honour the shared HTP_THREADS knob; results are
+    // bit-identical at any thread count, only the wall-clock moves.
+    let partitioner = PartitionerParams {
+        flow: FlowParams {
+            threads: threads_from_env(),
+            ..FlowParams::default()
+        },
+        ..PartitionerParams::default()
+    };
+
     let mut group = c.benchmark_group("multilevel_vs_flat");
     group.sample_size(10);
     group.bench_function("flat_flow", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(13);
             black_box(
-                FlowPartitioner::try_new(PartitionerParams::default())
+                FlowPartitioner::try_new(partitioner)
                     .unwrap()
                     .run(&h, &spec, &mut rng)
                     .unwrap(),
@@ -70,10 +81,11 @@ fn bench_multilevel(c: &mut Criterion) {
     group.bench_function("clustered_flow", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(13);
-            black_box(
-                clustered_flow_partition(&h, &spec, ClusteredFlowParams::default(), &mut rng)
-                    .unwrap(),
-            )
+            let params = ClusteredFlowParams {
+                partitioner,
+                ..ClusteredFlowParams::default()
+            };
+            black_box(clustered_flow_partition(&h, &spec, params, &mut rng).unwrap())
         })
     });
     group.finish();

@@ -3,7 +3,7 @@
 //! whole algorithm's cost to.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use htp_bench::paper_spec;
+use htp_bench::{paper_spec, threads_from_env};
 use htp_core::injector::{compute_spreading_metric, FlowParams};
 use htp_netlist::gen::rent::{rent_circuit, RentParams};
 use rand::rngs::StdRng;
@@ -25,15 +25,16 @@ fn bench_metric(c: &mut Criterion) {
             &mut rng,
         );
         let spec = paper_spec(&h);
+        // HTP_THREADS steers this timing bench; the computed metric is
+        // bit-identical at any thread count.
+        let params = FlowParams {
+            threads: threads_from_env(),
+            ..FlowParams::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                black_box(compute_spreading_metric(
-                    &h,
-                    &spec,
-                    FlowParams::default(),
-                    &mut rng,
-                ))
+                black_box(compute_spreading_metric(&h, &spec, params, &mut rng))
             })
         });
     }

@@ -3,7 +3,7 @@
 //!
 //! The top level is determined by the netlist's total size; at each level
 //! `l` the node set is carved into children by repeatedly calling
-//! [`find_cut`] with the window
+//! [`find_cut`](crate::findcut::find_cut) with the window
 //! `[s(V)/K_l, C_{l−1}]`, and each child is partitioned recursively on its
 //! induced sub-hypergraph with the metric restricted to the surviving nets.
 //!

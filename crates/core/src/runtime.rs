@@ -18,7 +18,7 @@
 //! another thread. Budget checks never consume randomness, which is what
 //! keeps budgeted and unbudgeted runs bit-identical when no limit fires.
 //!
-//! With the `fault-injection` cargo feature, a [`FaultPlan`] rides inside
+//! With the `fault-injection` cargo feature, a `FaultPlan` rides inside
 //! the budget and deterministically injects probe panics, oracle errors,
 //! and forced deadline expiry — the harness behind the resilience tests.
 

@@ -1,0 +1,163 @@
+//! Property and concurrency tests for `runtime::Budget` / `CancelToken`:
+//! cap saturation, cancel-before-start, and monotonic shared counters
+//! under concurrent probes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use htp_core::{Budget, CancelToken, Interrupt};
+use proptest::prelude::*;
+
+#[test]
+fn cancel_before_start_interrupts_the_first_check() {
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel_token(token);
+    assert_eq!(budget.check(), Err(Interrupt::Cancelled));
+    // Ticks report the cancellation too (and still charge the counter).
+    assert_eq!(budget.round_tick(), Err(Interrupt::Cancelled));
+    assert_eq!(budget.probe_tick(), Err(Interrupt::Cancelled));
+    assert_eq!(budget.rounds_used(), 1);
+    assert_eq!(budget.probes_used(), 1);
+}
+
+#[test]
+fn cancellation_wins_over_an_expired_deadline() {
+    // An already-expired deadline AND a cancelled token: the explicit
+    // user abort must not be misattributed to a timeout.
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited()
+        .with_deadline(std::time::Duration::ZERO)
+        .with_cancel_token(token);
+    assert_eq!(budget.check(), Err(Interrupt::Cancelled));
+}
+
+#[test]
+fn probe_cap_saturates_exactly_at_the_cap() {
+    let budget = Budget::unlimited().with_max_probes(5);
+    for i in 0..5 {
+        assert_eq!(budget.probe_tick(), Ok(()), "tick {i} is within the cap");
+    }
+    // Once saturated, every further tick reports the limit, forever, and
+    // the usage counter keeps recording the attempts.
+    for i in 0..10 {
+        assert_eq!(
+            budget.probe_tick(),
+            Err(Interrupt::ProbeLimit),
+            "tick {} is over the cap",
+            5 + i
+        );
+    }
+    assert_eq!(budget.probes_used(), 15);
+    assert_eq!(budget.check(), Err(Interrupt::ProbeLimit));
+}
+
+#[test]
+fn round_cap_saturates_exactly_at_the_cap() {
+    let budget = Budget::unlimited().with_max_rounds(3);
+    assert_eq!(budget.check(), Ok(()));
+    for _ in 0..3 {
+        assert_eq!(budget.round_tick(), Ok(()));
+    }
+    assert_eq!(budget.round_tick(), Err(Interrupt::RoundLimit));
+    assert_eq!(budget.rounds_used(), 4);
+    assert_eq!(budget.check(), Err(Interrupt::RoundLimit));
+}
+
+#[test]
+fn clones_share_counters_and_cancel_flag() {
+    let budget = Budget::unlimited().with_max_probes(2);
+    let clone = budget.clone();
+    assert_eq!(budget.probe_tick(), Ok(()));
+    assert_eq!(clone.probe_tick(), Ok(()));
+    assert_eq!(budget.probe_tick(), Err(Interrupt::ProbeLimit));
+    assert_eq!(clone.probes_used(), 3);
+
+    budget.cancel_token().cancel();
+    assert_eq!(clone.check(), Err(Interrupt::Cancelled));
+}
+
+#[test]
+fn counters_are_monotone_under_concurrent_probes() {
+    const THREADS: usize = 4;
+    const TICKS: u64 = 2_000;
+
+    let budget = Budget::unlimited().with_max_probes(THREADS as u64 * TICKS / 2);
+    let done = Arc::new(AtomicBool::new(false));
+
+    // A watcher samples the shared counters while the workers hammer
+    // them: every sample must be >= the previous one.
+    let watcher = {
+        let budget = budget.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut last_probes = 0;
+            let mut last_rounds = 0;
+            while !done.load(Ordering::Acquire) {
+                let probes = budget.probes_used();
+                let rounds = budget.rounds_used();
+                assert!(probes >= last_probes, "probes_used went backwards");
+                assert!(rounds >= last_rounds, "rounds_used went backwards");
+                last_probes = probes;
+                last_rounds = rounds;
+                thread::yield_now();
+            }
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let budget = budget.clone();
+            thread::spawn(move || {
+                let mut ok = 0u64;
+                for _ in 0..TICKS {
+                    if budget.probe_tick().is_ok() {
+                        ok += 1;
+                    }
+                    // Rounds are uncapped here; ticking them alongside
+                    // probes checks the counters stay independent.
+                    let _ = budget.round_tick();
+                }
+                ok
+            })
+        })
+        .collect();
+
+    let granted: u64 = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+    done.store(true, Ordering::Release);
+    watcher.join().expect("watcher");
+
+    // Every attempt is recorded; exactly the capped number succeeded.
+    assert_eq!(budget.probes_used(), THREADS as u64 * TICKS);
+    assert_eq!(budget.rounds_used(), THREADS as u64 * TICKS);
+    assert_eq!(granted, THREADS as u64 * TICKS / 2);
+}
+
+proptest! {
+    // For any cap and attempt count, exactly min(cap, attempts) probe
+    // ticks succeed and the counter records every attempt.
+    #[test]
+    fn probe_grants_match_the_cap(cap in 0u64..200, attempts in 0u64..200) {
+        let budget = Budget::unlimited().with_max_probes(cap);
+        let granted = (0..attempts).filter(|_| budget.probe_tick().is_ok()).count() as u64;
+        prop_assert_eq!(granted, cap.min(attempts));
+        prop_assert_eq!(budget.probes_used(), attempts);
+    }
+
+    // An unlimited budget never interrupts, whatever the tick pattern.
+    #[test]
+    fn unlimited_budgets_never_interrupt(rounds in 0u64..64, probes in 0u64..64) {
+        let budget = Budget::unlimited();
+        prop_assert_eq!(budget.check(), Ok(()));
+        for _ in 0..rounds {
+            prop_assert_eq!(budget.round_tick(), Ok(()));
+        }
+        for _ in 0..probes {
+            prop_assert_eq!(budget.probe_tick(), Ok(()));
+        }
+        prop_assert_eq!(budget.rounds_used(), rounds);
+        prop_assert_eq!(budget.probes_used(), probes);
+    }
+}

@@ -1,0 +1,209 @@
+//! Strict parsing of `<node-index> <leaf-index>` assignment files.
+//!
+//! This is the format `htp partition --out` writes and `htp verify`
+//! reads back. External tools produce these files too, so the parser
+//! trusts nothing: every defect is a typed [`AssignmentError`], never a
+//! panic, and the CLI maps them to exit code 2.
+
+/// Why an assignment file was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssignmentError {
+    /// A line was not two whitespace-separated non-negative integers.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line's content (trimmed).
+        content: String,
+    },
+    /// A node index at or beyond the netlist's node count.
+    NodeOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range node index.
+        node: usize,
+        /// The netlist's node count.
+        num_nodes: usize,
+    },
+    /// A leaf index at or beyond the declared leaf count.
+    LeafOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range leaf index.
+        leaf: usize,
+        /// The number of available leaves.
+        num_leaves: usize,
+    },
+    /// The same node was assigned twice.
+    DuplicateNode {
+        /// 1-based line number of the second assignment.
+        line: usize,
+        /// The node assigned twice.
+        node: usize,
+    },
+    /// The file ended before every node was assigned (truncated file).
+    MissingNodes {
+        /// How many nodes have no assignment.
+        missing: usize,
+        /// The smallest unassigned node index.
+        first: usize,
+    },
+}
+
+impl std::fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignmentError::Syntax { line, content } => {
+                write!(f, "line {line}: expected `<node> <leaf>`, got `{content}`")
+            }
+            AssignmentError::NodeOutOfRange {
+                line,
+                node,
+                num_nodes,
+            } => write!(
+                f,
+                "line {line}: node {node} out of range (netlist has {num_nodes} nodes)"
+            ),
+            AssignmentError::LeafOutOfRange {
+                line,
+                leaf,
+                num_leaves,
+            } => write!(
+                f,
+                "line {line}: leaf {leaf} out of range ({num_leaves} leaves available)"
+            ),
+            AssignmentError::DuplicateNode { line, node } => {
+                write!(f, "line {line}: node {node} assigned twice")
+            }
+            AssignmentError::MissingNodes { missing, first } => write!(
+                f,
+                "truncated assignment: {missing} nodes unassigned (first: node {first})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+/// Parses an assignment file into `leaf_of[node]`, requiring totality:
+/// exactly one line per node of the netlist, every leaf index below
+/// `num_leaves`. Blank lines and `#` comment lines are skipped.
+///
+/// # Errors
+///
+/// The first defect found, as an [`AssignmentError`].
+pub fn parse_assignment(
+    text: &str,
+    num_nodes: usize,
+    num_leaves: usize,
+) -> Result<Vec<usize>, AssignmentError> {
+    let mut leaf_of: Vec<Option<usize>> = vec![None; num_nodes];
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let (node, leaf) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(a), Some(b), None) => match (a.parse::<usize>(), b.parse::<usize>()) {
+                (Ok(node), Ok(leaf)) => (node, leaf),
+                _ => {
+                    return Err(AssignmentError::Syntax {
+                        line,
+                        content: trimmed.to_owned(),
+                    })
+                }
+            },
+            _ => {
+                return Err(AssignmentError::Syntax {
+                    line,
+                    content: trimmed.to_owned(),
+                })
+            }
+        };
+        if node >= num_nodes {
+            return Err(AssignmentError::NodeOutOfRange {
+                line,
+                node,
+                num_nodes,
+            });
+        }
+        if leaf >= num_leaves {
+            return Err(AssignmentError::LeafOutOfRange {
+                line,
+                leaf,
+                num_leaves,
+            });
+        }
+        if leaf_of[node].is_some() {
+            return Err(AssignmentError::DuplicateNode { line, node });
+        }
+        leaf_of[node] = Some(leaf);
+    }
+    let missing = leaf_of.iter().filter(|a| a.is_none()).count();
+    if missing > 0 {
+        let first = leaf_of.iter().position(Option::is_none).unwrap_or_default();
+        return Err(AssignmentError::MissingNodes { missing, first });
+    }
+    Ok(leaf_of.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_complete_file_parses() {
+        let text = "0 1\n1 0\n# comment\n\n2 1\n";
+        assert_eq!(parse_assignment(text, 3, 2), Ok(vec![1, 0, 1]));
+    }
+
+    #[test]
+    fn garbage_is_a_syntax_error() {
+        for bad in ["zero one", "0", "0 1 2", "0 -1", "1.5 0"] {
+            assert!(
+                matches!(
+                    parse_assignment(bad, 3, 2),
+                    Err(AssignmentError::Syntax { line: 1, .. })
+                ),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_are_typed() {
+        assert_eq!(
+            parse_assignment("5 0\n", 3, 2),
+            Err(AssignmentError::NodeOutOfRange {
+                line: 1,
+                node: 5,
+                num_nodes: 3
+            })
+        );
+        assert_eq!(
+            parse_assignment("0 9\n", 3, 2),
+            Err(AssignmentError::LeafOutOfRange {
+                line: 1,
+                leaf: 9,
+                num_leaves: 2
+            })
+        );
+    }
+
+    #[test]
+    fn duplicates_and_truncation_are_typed() {
+        assert_eq!(
+            parse_assignment("0 0\n1 1\n0 1\n", 3, 2),
+            Err(AssignmentError::DuplicateNode { line: 3, node: 0 })
+        );
+        assert_eq!(
+            parse_assignment("0 0\n", 3, 2),
+            Err(AssignmentError::MissingNodes {
+                missing: 2,
+                first: 1
+            })
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Spreading-metric audits: an independent Dijkstra and `g(x)`.
+//!
+//! Linear program (P1) requires, for every node `v` and every prefix of
+//! the shortest-path order from `v`, that
+//! `Σ_{u ∈ S(v,k)} dist(v,u)·s(u) >= g(s(S(v,k)))` where
+//!
+//! ```text
+//! g(x) = 0                                  if x <= C_0
+//! g(x) = 2 · Σ_{0 <= i <= l} (x − C_i)·w_i  if C_l < x <= C_{l+1}
+//! ```
+//!
+//! and for any feasible metric, `Σ_e c(e)·d(e)` lower-bounds the cost of
+//! every feasible partition (Lemma 2). [`audit_metric`] re-derives both
+//! facts for a *claimed* metric using this module's own binary-heap
+//! Dijkstra over the hypergraph (stepping between any two pins of a net
+//! `e` costs `d(e)`) — none of `htp-core`'s `sptree`/`constraint` code is
+//! involved.
+
+use htp_model::TreeSpec;
+use htp_netlist::{Hypergraph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap entry ordered by total distance.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+/// Single-source shortest distances over the hypergraph under the net
+/// lengths `d`, where moving between any two pins of net `e` costs
+/// `d[e]`. Unreachable nodes get `f64::INFINITY`.
+///
+/// A lazy-deletion binary-heap Dijkstra; every net is relaxed once, from
+/// its first settled pin (any later pin could only offer a longer path).
+///
+/// # Panics
+///
+/// Panics if `d.len()` differs from the net count or `source` is out of
+/// range.
+pub fn shortest_distances(h: &Hypergraph, d: &[f64], source: NodeId) -> Vec<f64> {
+    assert_eq!(d.len(), h.num_nets(), "one length per net");
+    assert!(source.index() < h.num_nodes(), "source out of range");
+    let mut dist = vec![f64::INFINITY; h.num_nodes()];
+    let mut done = vec![false; h.num_nodes()];
+    let mut net_done = vec![false; h.num_nets()];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse(HeapEntry {
+        dist: 0.0,
+        node: source.index(),
+    }));
+    while let Some(Reverse(HeapEntry { dist: dv, node: v })) = heap.pop() {
+        if done[v] {
+            continue;
+        }
+        done[v] = true;
+        for &e in h.node_nets(NodeId::new(v)) {
+            if net_done[e.index()] {
+                continue;
+            }
+            net_done[e.index()] = true;
+            let through = dv + d[e.index()];
+            for &w in h.net_pins(e) {
+                if !done[w.index()] && through < dist[w.index()] {
+                    dist[w.index()] = through;
+                    heap.push(Reverse(HeapEntry {
+                        dist: through,
+                        node: w.index(),
+                    }));
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// The spreading bound `g(x)` of (P1), implemented from the paper's
+/// formula: zero up to the leaf capacity, then
+/// `2·Σ_{0<=i<=l}(x − C_i)·w_i` for `C_l < x <= C_{l+1}` (the sum runs
+/// over every level below the root for oversized `x`).
+pub fn spreading_bound(spec: &TreeSpec, x: u64) -> f64 {
+    let mut g = 0.0;
+    for l in 0..spec.root_level() {
+        if x > spec.capacity(l) {
+            g += 2.0 * (x - spec.capacity(l)) as f64 * spec.weight(l);
+        }
+    }
+    g
+}
+
+/// Outcome of auditing a claimed spreading metric.
+#[derive(Clone, Debug)]
+pub struct MetricAudit {
+    /// `true` when every checked (P1) constraint holds within the
+    /// tolerance.
+    pub constraints_hold: bool,
+    /// The largest shortfall `g(s(S)) − Σ dist·s(u)` observed (0 when
+    /// feasible).
+    pub worst_shortfall: f64,
+    /// Source of the worst shortfall, if any.
+    pub worst_source: Option<NodeId>,
+    /// The metric's LP objective `Σ_e c(e)·d(e)`.
+    pub objective: f64,
+    /// How many source nodes were audited.
+    pub sources_checked: usize,
+}
+
+impl MetricAudit {
+    /// `true` when the metric's objective really lower-bounds
+    /// `achieved_cost` (within `tolerance`) — only meaningful when
+    /// [`constraints_hold`](MetricAudit::constraints_hold), since Lemma 2
+    /// needs a feasible metric.
+    pub fn bounds_cost(&self, achieved_cost: f64, tolerance: f64) -> bool {
+        self.objective <= achieved_cost + tolerance
+    }
+}
+
+/// Audits the claimed net lengths `d` against the (P1) constraints.
+///
+/// For every source in `sources` the full shortest-path order is grown
+/// with [`shortest_distances`] and every reachable prefix is checked:
+/// `Σ dist(v,u)·s(u) >= g(s(prefix)) − tolerance`. Pass `h.nodes()` for
+/// an exhaustive audit or a seeded sample for a spot check.
+pub fn audit_metric<I>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    d: &[f64],
+    sources: I,
+    tolerance: f64,
+) -> MetricAudit
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut worst_shortfall = 0.0f64;
+    let mut worst_source = None;
+    let mut sources_checked = 0;
+    for v in sources {
+        sources_checked += 1;
+        let dist = shortest_distances(h, d, v);
+        // Prefixes of the distance order: sort reachable nodes by
+        // distance (ties broken by index, matching the heap's order).
+        let mut order: Vec<usize> = (0..h.num_nodes())
+            .filter(|&u| dist[u].is_finite())
+            .collect();
+        order.sort_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
+        let mut size = 0u64;
+        let mut lhs = 0.0f64;
+        for &u in &order {
+            let s = h.node_size(NodeId::new(u));
+            size += s;
+            lhs += dist[u] * s as f64;
+            let shortfall = spreading_bound(spec, size) - lhs;
+            if shortfall > worst_shortfall {
+                worst_shortfall = shortfall;
+                worst_source = Some(v);
+            }
+        }
+    }
+    let objective = h
+        .nets()
+        .map(|e| h.net_capacity(e) * d[e.index()])
+        .sum::<f64>();
+    MetricAudit {
+        constraints_hold: worst_shortfall <= tolerance,
+        worst_shortfall,
+        worst_source,
+        objective,
+        sources_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::TreeSpec;
+    use htp_netlist::{HypergraphBuilder, NodeId};
+
+    fn path(lengths: &[f64]) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(lengths.len() + 1);
+        for i in 0..lengths.len() as u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distances_accumulate_along_a_path() {
+        let h = path(&[1.0, 2.0, 0.5]);
+        let d = shortest_distances(&h, &[1.0, 2.0, 0.5], NodeId(0));
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 3.5]);
+    }
+
+    #[test]
+    fn multi_pin_nets_are_single_hops() {
+        // One 4-pin net: every node is one hop (= its length) away.
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
+        let h = b.build().unwrap();
+        let d = shortest_distances(&h, &[2.5], NodeId(1));
+        assert_eq!(d, vec![2.5, 0.0, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_infinite() {
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = b.build().unwrap();
+        let d = shortest_distances(&h, &[1.0, 1.0], NodeId(0));
+        assert!(d[2].is_infinite() && d[3].is_infinite());
+    }
+
+    #[test]
+    fn spreading_bound_matches_the_paper_shape() {
+        // Figure 2: C_0 = 4 (w 1), C_1 = 8 (w 2), root at 2.
+        let spec = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 2.0), (16, 2, 1.0)]).unwrap();
+        assert_eq!(spreading_bound(&spec, 4), 0.0);
+        assert_eq!(spreading_bound(&spec, 5), 2.0); // 2(5-4)·1
+        assert_eq!(spreading_bound(&spec, 8), 8.0); // 2(8-4)·1
+        assert_eq!(spreading_bound(&spec, 10), 20.0); // 2(10-4)·1 + 2(10-8)·2
+    }
+
+    #[test]
+    fn zero_metric_fails_the_audit_on_an_overflowing_instance() {
+        // 4 unit nodes, C_0 = 2: the all-zero metric cannot spread
+        // anything, so some prefix must fall short of g.
+        let h = path(&[1.0, 1.0, 1.0]);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let audit = audit_metric(&h, &spec, &[0.0, 0.0, 0.0], h.nodes(), 1e-9);
+        assert!(!audit.constraints_hold);
+        assert!(audit.worst_shortfall > 0.0);
+        assert_eq!(audit.objective, 0.0);
+    }
+
+    #[test]
+    fn a_generous_metric_passes_the_audit() {
+        // Unit lengths on a 4-path with C_0 = 2, w_0 = 1: the worst
+        // prefix is the full set from an end, lhs = 0+1+2+3 = 6 >=
+        // g(4) = 2(4-2) = 4; from the middle lhs = 0+1+1+2 = 4 >= 4.
+        let h = path(&[1.0, 1.0, 1.0]);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let audit = audit_metric(&h, &spec, &[1.0, 1.0, 1.0], h.nodes(), 1e-9);
+        assert!(
+            audit.constraints_hold,
+            "shortfall {}",
+            audit.worst_shortfall
+        );
+        assert_eq!(audit.objective, 3.0);
+        assert_eq!(audit.sources_checked, 4);
+        assert!(audit.bounds_cost(4.0, 1e-9));
+        assert!(!audit.bounds_cost(2.0, 1e-9));
+    }
+}

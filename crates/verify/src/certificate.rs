@@ -1,0 +1,433 @@
+//! Partition certificates: independent re-validation and re-pricing.
+//!
+//! [`certify`] answers "is this partition feasible under this spec, and
+//! what does it really cost?" using only the partition's raw accessors
+//! (`leaf_of`, `parent`, `level`, `children`). Subtree sizes are
+//! re-accumulated with per-node leaf-to-root walks and spans are counted
+//! from per-pin ancestor chains, so none of `htp-model`'s `subtree_sizes`
+//! / `block_matrix` / `cost` machinery is on the trusted path.
+
+use htp_model::{HierarchicalPartition, TreeSpec};
+use htp_netlist::Hypergraph;
+
+/// One independently detected defect of a claimed partition.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The partition assigns a different number of nodes than the netlist
+    /// has.
+    NodeCountMismatch {
+        /// Nodes assigned by the partition.
+        partition: usize,
+        /// Nodes in the netlist.
+        hypergraph: usize,
+    },
+    /// The partition tree is taller than the specification allows.
+    HeightExceeded {
+        /// The partition's root level.
+        partition: usize,
+        /// The spec's root level.
+        spec: usize,
+    },
+    /// A node's assigned vertex is not a level-0 leaf.
+    NodeNotAtLeaf {
+        /// The netlist node.
+        node: u32,
+        /// The level of the vertex it was assigned to.
+        level: usize,
+    },
+    /// A vertex's parent chain does not climb strictly in level towards
+    /// the root (a malformed tree).
+    BrokenParentChain {
+        /// The vertex whose chain is broken.
+        vertex: u32,
+    },
+    /// A vertex holds more total node size than its level's capacity
+    /// `C_l`.
+    CapacityExceeded {
+        /// The offending vertex.
+        vertex: u32,
+        /// Its level.
+        level: usize,
+        /// Total size of the nodes in its subtree.
+        size: u64,
+        /// The capacity bound `C_l`.
+        bound: u64,
+    },
+    /// A vertex has more children than its level's fanout bound `K_l`.
+    FanoutExceeded {
+        /// The offending vertex.
+        vertex: u32,
+        /// Its level.
+        level: usize,
+        /// Its child count.
+        children: usize,
+        /// The fanout bound `K_l`.
+        bound: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NodeCountMismatch {
+                partition,
+                hypergraph,
+            } => write!(
+                f,
+                "partition assigns {partition} nodes but the netlist has {hypergraph}"
+            ),
+            Violation::HeightExceeded { partition, spec } => write!(
+                f,
+                "partition root level {partition} exceeds spec root level {spec}"
+            ),
+            Violation::NodeNotAtLeaf { node, level } => {
+                write!(f, "node {node} is assigned to a level-{level} vertex")
+            }
+            Violation::BrokenParentChain { vertex } => {
+                write!(f, "vertex {vertex} has a malformed parent chain")
+            }
+            Violation::CapacityExceeded {
+                vertex,
+                level,
+                size,
+                bound,
+            } => write!(
+                f,
+                "vertex {vertex} at level {level} holds size {size} > C_{level} = {bound}"
+            ),
+            Violation::FanoutExceeded {
+                vertex,
+                level,
+                children,
+                bound,
+            } => write!(
+                f,
+                "vertex {vertex} at level {level} has {children} children > K_{level} = {bound}"
+            ),
+        }
+    }
+}
+
+/// The result of independently certifying a partition.
+#[derive(Clone, Debug)]
+pub struct PartitionCertificate {
+    /// Every defect found; empty for a valid partition.
+    pub violations: Vec<Violation>,
+    /// The independently recomputed cost `Σ_e Σ_l w_l·span(e,l)·c(e)`,
+    /// or `None` when the structure is too malformed to price (node
+    /// count or height mismatch).
+    pub cost: Option<f64>,
+    /// Per-level slices of [`cost`](PartitionCertificate::cost) (empty
+    /// when `cost` is `None`).
+    pub per_level_cost: Vec<f64>,
+}
+
+impl PartitionCertificate {
+    /// `true` when no violation was found.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The leaf-to-root vertex chain of one node, or `None` if malformed.
+///
+/// Chains are valid when levels strictly increase and the walk ends at
+/// the root within `num_vertices` steps.
+fn parent_chain(p: &HierarchicalPartition, leaf: htp_model::VertexId) -> Option<Vec<(usize, u32)>> {
+    let mut chain = Vec::new();
+    let mut q = leaf;
+    for _ in 0..=p.num_vertices() {
+        chain.push((p.level(q), q.0));
+        match p.parent(q) {
+            Some(up) => {
+                if p.level(up) <= p.level(q) {
+                    return None;
+                }
+                q = up;
+            }
+            None => {
+                return if q == p.root() { Some(chain) } else { None };
+            }
+        }
+    }
+    None
+}
+
+/// Expands a leaf-to-root chain into the per-level block ids
+/// `block[l]` for `l` in `0..levels`: the highest ancestor with level
+/// `<= l` (level gaps inherit the block below them).
+fn blocks_per_level(chain: &[(usize, u32)], levels: usize) -> Vec<u32> {
+    let mut blocks = vec![0u32; levels];
+    for window in chain.windows(2) {
+        let (lo, id) = window[0];
+        let (hi, _) = window[1];
+        for slot in blocks.iter_mut().take(hi.min(levels)).skip(lo) {
+            *slot = id;
+        }
+    }
+    if let Some(&(lo, id)) = chain.last() {
+        for slot in blocks.iter_mut().skip(lo) {
+            *slot = id;
+        }
+    }
+    blocks
+}
+
+/// Independently certifies `p` as a hierarchical tree partition of `h`
+/// under `spec`.
+///
+/// Checks, from the raw structure only:
+///
+/// * assignment totality (node counts agree, every node sits on a
+///   level-0 leaf, every leaf's chain reaches the root),
+/// * tree height within the spec,
+/// * subtree size `<= C_l` for every vertex at level `l`,
+/// * child count `<= K_l` for every vertex at level `l >= 1`,
+///
+/// and re-prices the paper objective `Σ_e Σ_{0<=l<L} w_l·span(e,l)·c(e)`
+/// with its own span counter. All violations are collected, not just the
+/// first.
+pub fn certify(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> PartitionCertificate {
+    let mut violations = Vec::new();
+
+    if p.num_nodes() != h.num_nodes() {
+        violations.push(Violation::NodeCountMismatch {
+            partition: p.num_nodes(),
+            hypergraph: h.num_nodes(),
+        });
+    }
+    if p.root_level() > spec.root_level() {
+        violations.push(Violation::HeightExceeded {
+            partition: p.root_level(),
+            spec: spec.root_level(),
+        });
+    }
+    if !violations.is_empty() {
+        return PartitionCertificate {
+            violations,
+            cost: None,
+            per_level_cost: Vec::new(),
+        };
+    }
+
+    // Leaf-to-root chains, independently re-walked per node.
+    let levels = p.root_level();
+    let mut subtree_size = vec![0u64; p.num_vertices()];
+    let mut node_blocks: Vec<Vec<u32>> = Vec::with_capacity(h.num_nodes());
+    let mut chains_ok = true;
+    for v in h.nodes() {
+        let leaf = p.leaf_of(v);
+        if p.level(leaf) != 0 {
+            violations.push(Violation::NodeNotAtLeaf {
+                node: v.0,
+                level: p.level(leaf),
+            });
+            chains_ok = false;
+            node_blocks.push(vec![0; levels]);
+            continue;
+        }
+        match parent_chain(p, leaf) {
+            Some(chain) => {
+                for &(_, id) in &chain {
+                    subtree_size[id as usize] += h.node_size(v);
+                }
+                node_blocks.push(blocks_per_level(&chain, levels));
+            }
+            None => {
+                violations.push(Violation::BrokenParentChain { vertex: leaf.0 });
+                chains_ok = false;
+                node_blocks.push(vec![0; levels]);
+            }
+        }
+    }
+
+    // Capacity and fanout, vertex by vertex. Vertices holding no node
+    // (empty leaves) have accumulated size 0 and trivially pass.
+    for q in p.vertices() {
+        let level = p.level(q);
+        let bound = spec.capacity(level);
+        if subtree_size[q.index()] > bound {
+            violations.push(Violation::CapacityExceeded {
+                vertex: q.0,
+                level,
+                size: subtree_size[q.index()],
+                bound,
+            });
+        }
+        if level >= 1 && p.children(q).len() > spec.max_children(level) {
+            violations.push(Violation::FanoutExceeded {
+                vertex: q.0,
+                level,
+                children: p.children(q).len(),
+                bound: spec.max_children(level),
+            });
+        }
+    }
+
+    if !chains_ok {
+        return PartitionCertificate {
+            violations,
+            cost: None,
+            per_level_cost: Vec::new(),
+        };
+    }
+
+    // Re-price the objective: at each level, a net spanning f >= 2
+    // distinct blocks pays w_l·f·c(e); uncut nets pay nothing. The root
+    // level never counts (everything shares the root).
+    let mut per_level_cost = vec![0.0f64; levels];
+    let mut distinct: Vec<u32> = Vec::new();
+    for e in h.nets() {
+        let c = h.net_capacity(e);
+        for (l, acc) in per_level_cost.iter_mut().enumerate() {
+            distinct.clear();
+            distinct.extend(h.net_pins(e).iter().map(|&v| node_blocks[v.index()][l]));
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() >= 2 {
+                *acc += spec.weight(l) * distinct.len() as f64 * c;
+            }
+        }
+    }
+    let cost = per_level_cost.iter().sum();
+    PartitionCertificate {
+        violations,
+        cost: Some(cost),
+        per_level_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_model::{HierarchicalPartition, PartitionBuilder, TreeSpec};
+    use htp_netlist::{HypergraphBuilder, NodeId};
+
+    fn chain_graph(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(n);
+        for i in 0..n as u32 - 1 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_partition_certifies_with_the_expected_cost() {
+        // 4-node chain split into [0,1] | [2,3]: exactly the middle net
+        // is cut, span 2 at level 0.
+        let h = chain_graph(4);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        let cert = certify(&h, &spec, &p);
+        assert!(cert.is_valid(), "{:?}", cert.violations);
+        assert_eq!(cert.cost, Some(2.0));
+        assert_eq!(cert.per_level_cost, vec![2.0]);
+    }
+
+    #[test]
+    fn weighted_levels_multiply_the_span() {
+        // Same cut seen at two levels with w_0 = 1, w_1 = 3.
+        let h = chain_graph(4);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 3.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(2, &[0, 0, 1, 1]).unwrap();
+        let cert = certify(&h, &spec, &p);
+        assert!(cert.is_valid(), "{:?}", cert.violations);
+        // Level 0: span 2 · w 1; level 1 (leaf blocks inherited): span 2 · w 3.
+        assert_eq!(cert.cost, Some(2.0 + 6.0));
+    }
+
+    #[test]
+    fn capacity_violations_are_reported_per_vertex() {
+        let h = chain_graph(4);
+        let spec = TreeSpec::new(vec![(1, 2, 1.0), (4, 4, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1]).unwrap();
+        let cert = certify(&h, &spec, &p);
+        assert!(!cert.is_valid());
+        let caps = cert
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::CapacityExceeded { level: 0, .. }))
+            .count();
+        assert_eq!(caps, 2, "{:?}", cert.violations);
+        // A capacity violation still prices the partition.
+        assert_eq!(cert.cost, Some(2.0));
+    }
+
+    #[test]
+    fn fanout_violations_are_reported() {
+        let h = chain_graph(6);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (6, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1, 1, 2, 2]).unwrap();
+        let cert = certify(&h, &spec, &p);
+        assert!(cert.violations.iter().any(|v| matches!(
+            v,
+            Violation::FanoutExceeded {
+                children: 3,
+                bound: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn node_count_mismatch_short_circuits() {
+        let h = chain_graph(4);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(1, &[0, 0, 1]).unwrap();
+        let cert = certify(&h, &spec, &p);
+        assert!(matches!(
+            cert.violations.as_slice(),
+            [Violation::NodeCountMismatch {
+                partition: 3,
+                hypergraph: 4
+            }]
+        ));
+        assert_eq!(cert.cost, None);
+    }
+
+    #[test]
+    fn height_mismatch_is_caught() {
+        let h = chain_graph(4);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0)]).unwrap();
+        let p = HierarchicalPartition::from_leaf_assignment(2, &[0, 0, 1, 1]).unwrap();
+        let cert = certify(&h, &spec, &p);
+        assert!(matches!(
+            cert.violations.as_slice(),
+            [Violation::HeightExceeded {
+                partition: 2,
+                spec: 1
+            }]
+        ));
+    }
+
+    #[test]
+    fn level_gaps_inherit_the_block_below() {
+        // A three-level tree where one leaf hangs directly off the root
+        // (levels 0 -> 2): at level 1 it must count as its own block.
+        let h = chain_graph(3);
+        let spec = TreeSpec::new(vec![(1, 2, 1.0), (2, 2, 1.0), (3, 2, 1.0)]).unwrap();
+        let mut b = PartitionBuilder::new(3, 2);
+        let root = b.root();
+        let mid = b.add_child(root, 1).unwrap();
+        let l0 = b.add_child(mid, 0).unwrap();
+        let l1 = b.add_child(mid, 0).unwrap();
+        let l2 = b.add_child(root, 0).unwrap(); // the level gap
+        b.assign(NodeId(0), l0).unwrap();
+        b.assign(NodeId(1), l1).unwrap();
+        b.assign(NodeId(2), l2).unwrap();
+        let p = b.build().unwrap();
+
+        let cert = certify(&h, &spec, &p);
+        assert!(cert.is_valid(), "{:?}", cert.violations);
+        // Net (0,1): level 0 span 2, level 1 uncut. Net (1,2): span 2 at
+        // both levels (leaf l2 represents itself at level 1).
+        assert_eq!(cert.cost, Some(2.0 + 2.0 + 2.0));
+        // Cross-check the whole certificate against the reference
+        // implementation (allowed here: tests are not the trusted path).
+        assert_eq!(
+            cert.cost,
+            Some(htp_model::cost::partition_cost(&h, &spec, &p))
+        );
+    }
+}

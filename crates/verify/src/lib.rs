@@ -1,0 +1,45 @@
+//! Independent verification oracles for hierarchical tree partitioning.
+//!
+//! Every correctness claim the FLOW pipeline makes — "this partition is
+//! feasible", "its cost is `Σ_l w_l·span(e,l)·c(e)`", "this metric
+//! satisfies the spreading constraints", "`Σ c(e)·d(e)` lower-bounds the
+//! achieved cost" — is normally asserted by the same `htp-core`/`htp-model`
+//! code that produced the result, so a shared bug would be invisible. This
+//! crate re-derives those claims from scratch:
+//!
+//! * [`certificate`] — [`certify`] re-checks leaf
+//!   capacities `C_l`, fanout bounds `K_l`, and assignment totality, and
+//!   recomputes the HTP cost from the raw netlist with its own span
+//!   counter (per-pin ancestor walks, no
+//!   [`block_matrix`](htp_model::HierarchicalPartition::block_matrix)),
+//!   returning typed [`Violation`]s.
+//! * [`audit`] — its own binary-heap hypergraph Dijkstra and its own
+//!   spreading bound `g(x)`, used to spot-check the (P1) constraints
+//!   `Σ dist(v,u)·s(u) >= g(s(S(v,k)))` of a claimed metric and to
+//!   cross-check the `Σ c(e)·d(e)` lower bound against an achieved cost.
+//! * [`gen`] — seeded instance-family generators (rent-like, geometric,
+//!   star/clique/chain pathologies, zero-weight and duplicate-net edge
+//!   cases) feeding the differential conformance harness.
+//! * [`assignment`] — a strict parser for `<node> <leaf>` assignment
+//!   files with typed errors for truncated, out-of-range, and duplicate
+//!   entries (the `htp verify` CLI input format).
+//!
+//! The only `htp` imports here are the problem *types* ([`Hypergraph`],
+//! [`TreeSpec`], [`HierarchicalPartition`]) and their pure accessors —
+//! no computation code is shared with the system under test.
+//!
+//! [`Hypergraph`]: htp_netlist::Hypergraph
+//! [`TreeSpec`]: htp_model::TreeSpec
+//! [`HierarchicalPartition`]: htp_model::HierarchicalPartition
+
+// Library code must surface failures as typed errors, not panics.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+pub mod assignment;
+pub mod audit;
+pub mod certificate;
+pub mod gen;
+
+pub use assignment::{parse_assignment, AssignmentError};
+pub use audit::{audit_metric, shortest_distances, spreading_bound, MetricAudit};
+pub use certificate::{certify, PartitionCertificate, Violation};

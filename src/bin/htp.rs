@@ -8,10 +8,18 @@
 //!               [--timeout-ms MS] [--max-rounds N]
 //!               [--out assignment.txt]
 //! htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
+//! htp verify <netlist.hgr> <assignment.txt> [--tree partition.tree]
+//!            [--height H] [--arity K] [--slack X]
 //! ```
 //!
 //! Netlists are read in hMETIS `.hgr` format; assignments are written as
 //! `<node-index> <leaf-index>` lines.
+//!
+//! `verify` independently certifies an assignment (from this tool or any
+//! external one) against the spec: capacities, fanout, totality, and the
+//! recomputed HTP cost, via the clean-room `htp-verify` oracles. It exits
+//! 0 when the partition certifies, 1 when violations are found, and 2
+//! when an input file is malformed — it never panics on bad input.
 //!
 //! `partition --algo flow` is budget-aware: `--timeout-ms`/`--max-rounds`
 //! bound the run, and the first Ctrl-C cancels it cooperatively (a second
@@ -51,11 +59,26 @@ usage:
                  --max-rounds bound the flow engine: a bounded, cancelled,
                  or degraded run still writes the best partition found and
                  exits with code 3. Ctrl-C cancels cooperatively.)
-  htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]";
+  htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
+  htp verify <netlist.hgr> <assignment.txt> [--tree partition.tree]
+             [--height H] [--arity K] [--slack X]
+             (certifies an assignment independently: exit 0 = valid,
+              1 = violations found, 2 = malformed input. Without --tree
+              the assignment is read as leaves of the full --arity-ary
+              tree of --height; with --tree the saved partition tree is
+              certified and cross-checked against the assignment.)";
 
 /// Exit code for a run that ended early (deadline, round cap, or Ctrl-C)
 /// but still produced a valid best-so-far partition.
 const EXIT_PARTIAL: u8 = 3;
+
+/// Exit code for `verify` when an input file is malformed (unreadable,
+/// unparsable, truncated, out-of-range, or internally inconsistent).
+const EXIT_MALFORMED: u8 = 2;
+
+/// Exit code for `verify` when the inputs parsed but the partition
+/// violates the specification.
+const EXIT_INVALID: u8 = 1;
 
 /// First Ctrl-C cancels the run cooperatively (the engine emits its best
 /// partition so far); a second Ctrl-C aborts the process.
@@ -171,6 +194,7 @@ fn run() -> Result<ExitCode, String> {
         "gen" => cmd_gen(&args).map(|()| ExitCode::SUCCESS),
         "partition" => cmd_partition(&args),
         "bound" => cmd_bound(&args).map(|()| ExitCode::SUCCESS),
+        "verify" => cmd_verify(&args),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -350,6 +374,104 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
     } else {
         eprintln!("run ended early ({outcome}); the emitted partition is the best found so far");
         Ok(ExitCode::from(EXIT_PARTIAL))
+    }
+}
+
+fn cmd_verify(args: &Args) -> Result<ExitCode, String> {
+    // Defective input files exit with code 2 and never panic; the
+    // generic error path (exit 1 + usage) is kept for usage mistakes
+    // like a missing argument.
+    fn malformed(message: String) -> Result<ExitCode, String> {
+        eprintln!("error: {message}");
+        Ok(ExitCode::from(EXIT_MALFORMED))
+    }
+
+    let assignment_path = args
+        .positional
+        .get(2)
+        .ok_or("missing assignment path")?
+        .clone();
+    let h = match read_netlist(args) {
+        Ok(h) => h,
+        Err(e) => return malformed(e),
+    };
+    let spec = spec_from(args, &h)?;
+    let text = match std::fs::read_to_string(&assignment_path) {
+        Ok(text) => text,
+        Err(e) => return malformed(format!("cannot open {assignment_path}: {e}")),
+    };
+
+    let partition = if let Some(tree_path) = args.value("tree") {
+        // Certify the saved partition tree itself, after checking the
+        // assignment file agrees with it (same dense leaf numbering that
+        // `partition --out` writes).
+        let tree_text = match std::fs::read_to_string(tree_path) {
+            Ok(t) => t,
+            Err(e) => return malformed(format!("cannot open {tree_path}: {e}")),
+        };
+        let p = match htp::model::io::from_str(&tree_text) {
+            Ok(p) => p,
+            Err(e) => return malformed(format!("cannot parse {tree_path}: {e}")),
+        };
+        let leaves = p.leaves();
+        let assignment = match htp::verify::parse_assignment(&text, h.num_nodes(), leaves.len()) {
+            Ok(a) => a,
+            Err(e) => return malformed(format!("{assignment_path}: {e}")),
+        };
+        if p.num_nodes() == h.num_nodes() {
+            for v in h.nodes() {
+                let rank = leaves
+                    .iter()
+                    .position(|&q| q == p.leaf_of(v))
+                    .unwrap_or(usize::MAX);
+                if assignment[v.index()] != rank {
+                    return malformed(format!(
+                        "{assignment_path}: node {} assigned to leaf {} but {tree_path} \
+                         puts it in leaf {rank}",
+                        v.index(),
+                        assignment[v.index()]
+                    ));
+                }
+            }
+        }
+        p
+    } else {
+        // Without a tree, the assignment indexes the leaves of the full
+        // --arity-ary tree of --height, left to right.
+        let height: usize = args.parsed("height", 4)?;
+        let arity: usize = args.parsed("arity", 2)?;
+        let num_leaves = match arity.checked_pow(height as u32) {
+            Some(n) => n,
+            None => {
+                return malformed(format!(
+                    "tree with arity {arity}, height {height} is too large"
+                ))
+            }
+        };
+        let assignment = match htp::verify::parse_assignment(&text, h.num_nodes(), num_leaves) {
+            Ok(a) => a,
+            Err(e) => return malformed(format!("{assignment_path}: {e}")),
+        };
+        match HierarchicalPartition::full_kary(height, arity, &assignment) {
+            Ok(p) => p,
+            Err(e) => return malformed(format!("{assignment_path}: {e}")),
+        }
+    };
+
+    let cert = htp::verify::certify(&h, &spec, &partition);
+    if cert.is_valid() {
+        let cost = cert.cost.unwrap_or(f64::NAN);
+        println!("certified valid, cost {cost}");
+        for (l, c) in cert.per_level_cost.iter().enumerate() {
+            eprintln!("  level {l}: {c}");
+        }
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &cert.violations {
+            eprintln!("violation: {v}");
+        }
+        eprintln!("certificate failed: {} violation(s)", cert.violations.len());
+        Ok(ExitCode::from(EXIT_INVALID))
     }
 }
 

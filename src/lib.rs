@@ -17,6 +17,9 @@
 //!   the fixed-tree sibling of HTP.
 //! * [`cluster`] — stochastic flow-injection clustering (reference \[17\])
 //!   and a cluster-coarsened FLOW pipeline.
+//! * [`verify`] — clean-room verification oracles: partition
+//!   certificates, spreading-metric audits, and adversarial instance
+//!   generators (shares no computation code with [`core`]).
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@ pub use htp_lp as lp;
 pub use htp_model as model;
 pub use htp_netlist as netlist;
 pub use htp_treepart as treepart;
+pub use htp_verify as verify;
 
 /// The crate version, for tooling.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

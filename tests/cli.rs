@@ -299,6 +299,178 @@ fn budget_flags_are_rejected_for_non_flow_algorithms() {
     let _ = std::fs::remove_file(netlist);
 }
 
+/// Sets up a tiny netlist + partition on disk and returns the three file
+/// paths (netlist, assignment, tree) for `verify` tests to use.
+fn verified_pipeline(name: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let netlist = tmp_path(&format!("{name}.hgr"));
+    let assignment = tmp_path(&format!("{name}.assign"));
+    let tree = tmp_path(&format!("{name}.tree"));
+    let out = htp(&[
+        "gen",
+        "rent:48",
+        "--seed",
+        "21",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+        "--seed",
+        "3",
+        "--out",
+        assignment.to_str().unwrap(),
+        "--partition-out",
+        tree.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (netlist, assignment, tree)
+}
+
+#[test]
+fn verify_certifies_a_partition_round_trip() {
+    let (netlist, assignment, tree) = verified_pipeline("verify-ok");
+    let out = htp(&[
+        "verify",
+        netlist.to_str().unwrap(),
+        assignment.to_str().unwrap(),
+        "--tree",
+        tree.to_str().unwrap(),
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("certified valid"),
+        "{stderr}"
+    );
+    for path in [netlist, assignment, tree] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn verify_rejects_a_truncated_assignment_with_exit_2() {
+    let (netlist, assignment, tree) = verified_pipeline("verify-trunc");
+    // Drop the last line: the assignment no longer covers every node.
+    let text = std::fs::read_to_string(&assignment).unwrap();
+    let truncated: Vec<&str> = text.lines().take(47).collect();
+    std::fs::write(&assignment, truncated.join("\n")).unwrap();
+
+    let out = htp(&[
+        "verify",
+        netlist.to_str().unwrap(),
+        assignment.to_str().unwrap(),
+        "--tree",
+        tree.to_str().unwrap(),
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("unassigned"), "{stderr}");
+    for path in [netlist, assignment, tree] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn verify_rejects_out_of_range_and_duplicate_assignments_with_exit_2() {
+    let (netlist, assignment, tree) = verified_pipeline("verify-range");
+    let original = std::fs::read_to_string(&assignment).unwrap();
+
+    // An out-of-range leaf index (height-2 binary tree has 4 leaves).
+    let mut lines: Vec<String> = original.lines().map(str::to_owned).collect();
+    lines[0] = "0 99".to_owned();
+    std::fs::write(&assignment, lines.join("\n")).unwrap();
+    let out = htp(&[
+        "verify",
+        netlist.to_str().unwrap(),
+        assignment.to_str().unwrap(),
+        "--tree",
+        tree.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("leaf"), "{stderr}");
+
+    // A node listed twice.
+    let mut lines: Vec<String> = original.lines().map(str::to_owned).collect();
+    lines[1] = lines[0].clone();
+    std::fs::write(&assignment, lines.join("\n")).unwrap();
+    let out = htp(&[
+        "verify",
+        netlist.to_str().unwrap(),
+        assignment.to_str().unwrap(),
+        "--tree",
+        tree.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(
+        stderr.contains("twice") || stderr.contains("duplicate"),
+        "{stderr}"
+    );
+
+    // Outright garbage never panics.
+    std::fs::write(&assignment, "this is not\nan assignment file\n").unwrap();
+    let out = htp(&[
+        "verify",
+        netlist.to_str().unwrap(),
+        assignment.to_str().unwrap(),
+        "--tree",
+        tree.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    for path in [netlist, assignment, tree] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn verify_reports_capacity_violations_with_exit_1() {
+    let netlist = tmp_path("verify-violation.hgr");
+    let assignment = tmp_path("verify-violation.assign");
+    std::fs::write(&netlist, "3 4\n1 2\n2 3\n3 4\n").unwrap();
+    // All four nodes crammed into leaf 0 of a height-1 binary tree with
+    // capacity 2: total and in-range, but over capacity.
+    std::fs::write(&assignment, "0 0\n1 0\n2 0\n3 0\n").unwrap();
+    let out = htp(&[
+        "verify",
+        netlist.to_str().unwrap(),
+        assignment.to_str().unwrap(),
+        "--height",
+        "1",
+        "--slack",
+        "1.0",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("violation"), "{stderr}");
+    assert!(stderr.contains("> C_"), "{stderr}");
+    for path in [netlist, assignment] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 #[cfg(unix)]
 #[test]
 fn sigint_cancels_cooperatively_and_emits_the_partial_result() {

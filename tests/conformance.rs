@@ -1,0 +1,205 @@
+//! Differential conformance harness: FLOW and the baseline suite are run
+//! over every generated instance family, every partition is re-checked by
+//! the clean-room `htp-verify` oracles, and the resulting (cost, leaf
+//! assignment) digests are pinned against a golden file.
+//!
+//! The golden digests double as a determinism contract: FLOW must produce
+//! **bit-identical** digests at 1, 2, and 4 probe threads, and a
+//! budget-degraded run must still hand back a certified-valid partition.
+//!
+//! Regenerate the golden file after an intentional algorithm change with:
+//!
+//! ```text
+//! HTP_UPDATE_GOLDEN=1 cargo test --test conformance
+//! ```
+
+use std::fmt::Write as _;
+
+use htp::baselines::suite::run_all;
+use htp::core::injector::FlowParams;
+use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp::core::Budget;
+use htp::model::{HierarchicalPartition, TreeSpec};
+use htp::netlist::Hypergraph;
+use htp::verify::gen::all_families;
+use htp::verify::{audit_metric, certify};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed for every family and every solver in this harness.
+const SEED: u64 = 1997;
+/// Feasibility tolerance for the metric audit and cost cross-checks.
+const TOLERANCE: f64 = 1e-6;
+/// Outer FLOW iterations: small, so the whole matrix stays fast in debug.
+const FLOW_ITERATIONS: usize = 2;
+
+const GOLDEN_PATH: &str = "tests/golden/conformance.txt";
+
+fn flow_params(threads: usize) -> PartitionerParams {
+    PartitionerParams {
+        iterations: FLOW_ITERATIONS,
+        constructions_per_metric: 4,
+        flow: FlowParams {
+            threads,
+            ..FlowParams::default()
+        },
+    }
+}
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digests a partition as (cost bits, per-node leaf ranks). Leaf ranks —
+/// the index of each node's leaf in `leaves()` order — are stable under
+/// internal vertex renumbering, so the digest pins the *assignment*, not
+/// incidental ids.
+fn digest(h: &Hypergraph, p: &HierarchicalPartition, cost: f64) -> u64 {
+    let leaves = p.leaves();
+    let rank_of = |v| {
+        leaves
+            .iter()
+            .position(|&l| l == p.leaf_of(v))
+            .expect("every node maps to a leaf") as u64
+    };
+    let mut acc = fnv1a(0xcbf2_9ce4_8422_2325, &cost.to_bits().to_le_bytes());
+    for v in h.nodes() {
+        acc = fnv1a(acc, &rank_of(v).to_le_bytes());
+    }
+    acc
+}
+
+/// Certifies `p` with the clean-room oracle and cross-checks the claimed
+/// cost against the independently re-priced one.
+fn certify_and_price(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+    claimed: f64,
+    what: &str,
+) -> f64 {
+    let cert = certify(h, spec, p);
+    assert!(
+        cert.is_valid(),
+        "{what}: certification failed: {:?}",
+        cert.violations
+    );
+    let cost = cert.cost.expect("valid certificates carry a cost");
+    assert!(
+        (cost - claimed).abs() <= TOLERANCE,
+        "{what}: claims cost {claimed} but the oracle certifies {cost}"
+    );
+    cost
+}
+
+/// One golden line per (family, solver): certified cost and digest.
+fn conformance_report(threads: usize) -> String {
+    let mut out = String::new();
+    for inst in all_families(SEED) {
+        let h = &inst.hypergraph;
+        let spec = &inst.spec;
+
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let flow = FlowPartitioner::try_new(flow_params(threads))
+            .expect("harness parameters are valid")
+            .run(h, spec, &mut rng)
+            .expect("FLOW succeeds on generated families");
+        let what = format!("{}/flow", inst.family);
+        let cost = certify_and_price(h, spec, &flow.partition, flow.cost, &what);
+
+        // The winning metric must satisfy every (P1) constraint.
+        let audit = audit_metric(h, spec, flow.metric.lengths(), h.nodes(), TOLERANCE);
+        assert!(
+            audit.constraints_hold,
+            "{}: winning metric violates (P1) by {}",
+            inst.family, audit.worst_shortfall
+        );
+
+        writeln!(
+            out,
+            "{} flow cost={cost:.6} digest={:016x}",
+            inst.family,
+            digest(h, &flow.partition, cost)
+        )
+        .expect("writing to a String");
+
+        for run in run_all(h, spec, SEED).expect("baselines succeed on generated families") {
+            let what = format!("{}/{}", inst.family, run.name);
+            let cert = certify(h, spec, &run.partition);
+            assert!(
+                cert.is_valid(),
+                "{what}: certification failed: {:?}",
+                cert.violations
+            );
+            let cost = cert.cost.expect("valid certificates carry a cost");
+            writeln!(
+                out,
+                "{} {} cost={cost:.6} digest={:016x}",
+                inst.family,
+                run.name,
+                digest(h, &run.partition, cost)
+            )
+            .expect("writing to a String");
+        }
+    }
+    out
+}
+
+/// FLOW + every baseline on every family, certified, matching the golden
+/// digests. Set `HTP_UPDATE_GOLDEN=1` to rewrite the golden file instead.
+#[test]
+fn certified_costs_and_assignments_match_the_golden_digests() {
+    let report = conformance_report(1);
+    if std::env::var_os("HTP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &report).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (regenerate with HTP_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        report, golden,
+        "conformance drift: rerun with HTP_UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+/// The full certified report — costs and assignment digests — is
+/// bit-identical at 1, 2, and 4 probe threads.
+#[test]
+fn flow_digests_are_identical_across_thread_counts() {
+    let single = conformance_report(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            conformance_report(threads),
+            single,
+            "thread count {threads} changed a certified digest"
+        );
+    }
+}
+
+/// A budget that fires almost immediately still yields a partition the
+/// independent oracle certifies as valid — degraded, never invalid.
+#[test]
+fn budget_degraded_runs_still_certify() {
+    for inst in all_families(SEED) {
+        let h = &inst.hypergraph;
+        let spec = &inst.spec;
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let budget = Budget::unlimited().with_max_rounds(1);
+        let run = FlowPartitioner::try_new(flow_params(1))
+            .expect("harness parameters are valid")
+            .run_with_budget(h, spec, &mut rng, &budget)
+            .expect("one round is enough to salvage a partition");
+        assert!(
+            !run.outcome.is_complete(),
+            "{}: a one-round budget cannot complete the run",
+            inst.family
+        );
+        let what = format!("{}/degraded", inst.family);
+        certify_and_price(h, spec, &run.result.partition, run.result.cost, &what);
+    }
+}
