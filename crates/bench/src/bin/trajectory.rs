@@ -1,0 +1,211 @@
+//! Machine-readable perf trajectory for the Algorithm-2 hot path.
+//!
+//! Runs the two reference instances (rent:2000 and a planted-cluster
+//! netlist of comparable size), times the spreading-metric phase and one
+//! construction separately, and writes the measurements to `BENCH_5.json`
+//! so every future perf PR has a pinned before/after. The JSON is
+//! hand-rolled (the workspace vendors no serde); the schema is validated
+//! by CI's `bench-smoke` job.
+//!
+//! Usage: `trajectory [--quick] [--out PATH]`
+//!
+//! * `--quick` shrinks both instances (~400 nodes) for CI smoke runs.
+//! * `--out PATH` changes the output path (default `BENCH_5.json`).
+//!
+//! Thread count comes from `HTP_THREADS` (default 1). The metric itself is
+//! bit-identical at any thread count; only wall-clock moves.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use htp_bench::{paper_spec, threads_from_env, EXPERIMENT_SEED};
+use htp_core::construct::construct_partition;
+use htp_core::injector::{compute_spreading_metric, FlowParams, InjectionStats};
+use htp_model::{cost, validate, TreeSpec};
+use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use htp_netlist::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One instance's measurements.
+struct Sample {
+    name: String,
+    nodes: usize,
+    nets: usize,
+    metric_seconds: f64,
+    construct_seconds: f64,
+    stats: InjectionStats,
+    cost: f64,
+}
+
+fn rent_instance(nodes: usize) -> (String, Hypergraph) {
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED ^ 1);
+    let h = rent_circuit(
+        RentParams {
+            nodes,
+            primary_inputs: (nodes / 16).max(1),
+            locality: 0.8,
+            ..RentParams::default()
+        },
+        &mut rng,
+    );
+    (format!("rent:{nodes}"), h)
+}
+
+fn clustered_instance(clusters: usize, cluster_size: usize) -> (String, Hypergraph) {
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED ^ 2);
+    let nodes = clusters * cluster_size;
+    let inst = clustered_hypergraph(
+        ClusteredParams {
+            clusters,
+            cluster_size,
+            intra_nets: nodes * 5 / 2,
+            inter_nets: nodes / 5,
+            ..ClusteredParams::default()
+        },
+        &mut rng,
+    );
+    (
+        format!("clustered:{clusters}x{cluster_size}"),
+        inst.hypergraph,
+    )
+}
+
+fn measure(name: String, h: &Hypergraph, spec: &TreeSpec, threads: usize) -> Sample {
+    let params = FlowParams {
+        threads,
+        ..FlowParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+    let start = Instant::now();
+    let (metric, stats) = compute_spreading_metric(h, spec, params, &mut rng);
+    let metric_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let partition =
+        construct_partition(h, spec, &metric, &mut rng).expect("construction must succeed");
+    let construct_seconds = start.elapsed().as_secs_f64();
+    validate::validate(h, spec, &partition).expect("construction output is feasible");
+    let cost = cost::partition_cost(h, spec, &partition);
+
+    eprintln!(
+        "{name}: metric {metric_seconds:.3}s ({} rounds, {} probes, {} wasted), \
+         construct {construct_seconds:.3}s, cost {cost}",
+        stats.rounds, stats.probes, stats.wasted_probes
+    );
+    Sample {
+        name,
+        nodes: h.num_nodes(),
+        nets: h.num_nets(),
+        metric_seconds,
+        construct_seconds,
+        stats,
+        cost,
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or 0 when
+/// the platform does not expose it.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render(samples: &[Sample], threads: usize, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"trajectory\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"peak_rss_bytes\": {},", peak_rss_bytes());
+    out.push_str("  \"instances\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let st = &s.stats;
+        let wasted_ratio = if st.probes > 0 {
+            st.wasted_probes as f64 / st.probes as f64
+        } else {
+            0.0
+        };
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(&s.name));
+        let _ = writeln!(out, "      \"nodes\": {},", s.nodes);
+        let _ = writeln!(out, "      \"nets\": {},", s.nets);
+        let _ = writeln!(out, "      \"metric_seconds\": {:.6},", s.metric_seconds);
+        let _ = writeln!(
+            out,
+            "      \"construct_seconds\": {:.6},",
+            s.construct_seconds
+        );
+        let _ = writeln!(
+            out,
+            "      \"probe_seconds\": {:.6},",
+            st.probe_time.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "      \"commit_seconds\": {:.6},",
+            st.commit_time.as_secs_f64()
+        );
+        let _ = writeln!(out, "      \"rounds\": {},", st.rounds);
+        let _ = writeln!(out, "      \"probes\": {},", st.probes);
+        let _ = writeln!(out, "      \"wasted_probes\": {},", st.wasted_probes);
+        let _ = writeln!(out, "      \"wasted_probe_ratio\": {wasted_ratio:.6},");
+        let _ = writeln!(out, "      \"deferrals\": {},", st.deferrals);
+        let _ = writeln!(out, "      \"injections\": {},", st.injections);
+        let _ = writeln!(out, "      \"converged\": {},", st.converged);
+        let _ = writeln!(out, "      \"cost\": {}", s.cost);
+        out.push_str(if i + 1 == samples.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
+    let threads = threads_from_env();
+
+    let (rent_nodes, clusters, cluster_size) = if quick { (400, 4, 100) } else { (2000, 8, 250) };
+
+    let mut samples = Vec::new();
+    for (name, h) in [
+        rent_instance(rent_nodes),
+        clustered_instance(clusters, cluster_size),
+    ] {
+        let spec = paper_spec(&h);
+        samples.push(measure(name, &h, &spec, threads));
+    }
+
+    let json = render(&samples, threads, quick);
+    std::fs::write(&out_path, &json).expect("writing the trajectory JSON");
+    println!("wrote {out_path}");
+}

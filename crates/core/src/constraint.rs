@@ -63,19 +63,83 @@ impl ViolatingTree {
     }
 }
 
+/// Reusable buffers for the violation oracle, wrapping a
+/// [`GrowerScratch`] plus the probe-level bookkeeping (settle order, tree
+/// nets, subtree-weight accumulators) that used to be allocated per probe.
+/// One `ProbeScratch` per worker thread turns a probe into an
+/// allocation-free operation whose reset cost is proportional to the
+/// *touched* region of the previous probe only.
+#[derive(Debug)]
+pub struct ProbeScratch {
+    grower: GrowerScratch,
+    /// Settle-order index per node (`usize::MAX` when not in `steps`).
+    index_of: Vec<usize>,
+    /// Whether a net is already recorded in `nets`.
+    net_in_tree: Vec<bool>,
+    /// Per-net subtree-weight accumulator (zeroed outside `nets`).
+    per_net: Vec<f64>,
+    /// Settled steps of the current probe, in settle order.
+    steps: Vec<TreeStep>,
+    /// Distinct nets of the current tree, in first-use order.
+    nets: Vec<NetId>,
+}
+
+impl ProbeScratch {
+    /// Buffers sized for `h`.
+    pub fn new(h: &Hypergraph) -> Self {
+        ProbeScratch {
+            grower: GrowerScratch::new(h),
+            index_of: vec![usize::MAX; h.num_nodes()],
+            net_in_tree: vec![false; h.num_nets()],
+            per_net: vec![0.0; h.num_nets()],
+            steps: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Restores the pristine state in `O(touched)`. Called on probe entry,
+    /// so a probe that panicked mid-way self-heals on the next use — steps
+    /// and nets are pushed *before* their slot markers are written, which
+    /// makes the touched lists a complete record of every dirty slot.
+    fn reset(&mut self) {
+        for s in &self.steps {
+            self.index_of[s.node.index()] = usize::MAX;
+        }
+        self.steps.clear();
+        for e in &self.nets {
+            self.net_in_tree[e.index()] = false;
+            self.per_net[e.index()] = 0.0;
+        }
+        self.nets.clear();
+    }
+}
+
+/// What a single probe of one source learned.
+#[derive(Clone, Debug)]
+pub struct ProbeReport {
+    /// The first violated prefix, if any.
+    pub violation: Option<ViolatingTree>,
+    /// Minimum relative slack `(lhs − g) / g` over the checked prefixes
+    /// with a positive bound (violated prefixes excluded).
+    /// `f64::INFINITY` when no such prefix was seen — every checked bound
+    /// was zero, or the very first prefix violated. The adaptive scheduler
+    /// keys its re-probe backoff on this.
+    pub min_rel_slack: f64,
+}
+
 /// Computes the subtree weights `W(e)` of a grown tree: `steps` in settle
 /// order (so every parent precedes its children), `weight[i]` initialized
 /// to the member size of `steps[i]` (zero for pure connectors). Weights
 /// accumulate bottom-up; each node deposits its accumulated weight on the
-/// net it was reached through.
+/// net it was reached through. `per_net` must be zeroed on entry; it is
+/// re-zeroed before returning (every deposit lands on a net in `nets`).
 fn subtree_net_weights(
     steps: &[TreeStep],
     index_of: impl Fn(NodeId) -> usize,
     mut weight: Vec<f64>,
     nets: &[NetId],
-    num_nets: usize,
+    per_net: &mut [f64],
 ) -> Vec<f64> {
-    let mut per_net = vec![0.0f64; num_nets];
     for i in (1..steps.len()).rev() {
         if weight[i] == 0.0 {
             continue;
@@ -85,7 +149,21 @@ fn subtree_net_weights(
             weight[index_of(p)] += weight[i];
         }
     }
-    nets.iter().map(|e| per_net[e.index()]).collect()
+    let out = nets.iter().map(|e| per_net[e.index()]).collect();
+    for e in nets {
+        per_net[e.index()] = 0.0;
+    }
+    out
+}
+
+/// The largest slope `g` can attain on `[0, total]`:
+/// `2 · Σ_{l : C_l < total} w_l`. Together with convexity this bounds
+/// `g(x) − g(k) <= max_slope · (x − k)` for `k <= x <= total`.
+fn max_bound_slope(spec: &TreeSpec, total: u64) -> f64 {
+    2.0 * (0..spec.root_level())
+        .filter(|&l| spec.capacity(l) < total)
+        .map(|l| spec.weight(l))
+        .sum::<f64>()
 }
 
 /// Grows shortest-path trees from `source` and returns the first prefix
@@ -101,54 +179,78 @@ pub fn find_violation(
     source: NodeId,
     tolerance: f64,
 ) -> Option<ViolatingTree> {
-    find_violation_in(
+    probe_source(
         h,
         spec,
         metric,
         source,
         tolerance,
-        &mut GrowerScratch::new(h),
+        &mut ProbeScratch::new(h),
     )
+    .violation
 }
 
-/// [`find_violation`] with caller-provided tree-growing buffers — the hot
-/// entry point for Algorithm 2's probe workers, which keep one
-/// [`GrowerScratch`] per thread across thousands of probes.
-pub fn find_violation_in(
+/// [`find_violation`] with caller-provided buffers and slack telemetry —
+/// the hot entry point for Algorithm 2's probe workers, which keep one
+/// [`ProbeScratch`] per thread across thousands of probes.
+///
+/// Beyond the scratch reuse, the grow loop exits early once *no* future
+/// prefix can violate, by two sound bounds (each prefix's `lhs` only grows
+/// as the tree grows, while `g` is fixed and convex):
+///
+/// * once `lhs + tolerance >= g(s(V))`, no bound `g(x) <= g(s(V))` can
+///   ever exceed a future `lhs`;
+/// * once the settled distance reaches the largest slope of `g` while the
+///   current prefix is satisfied, every future prefix gains `lhs` at least
+///   as fast as `g` can grow (`lhs_x − lhs_k >= d_k·(x−k) >=
+///   max_slope·(x−k) >= g(x) − g(k)`, using Dijkstra's non-decreasing
+///   settle distances and convexity of `g`).
+///
+/// Both exits return `None` exactly when the full grow would have.
+pub fn probe_source(
     h: &Hypergraph,
     spec: &TreeSpec,
     metric: &SpreadingMetric,
     source: NodeId,
     tolerance: f64,
-    scratch: &mut GrowerScratch,
-) -> Option<ViolatingTree> {
-    let mut steps: Vec<TreeStep> = Vec::new();
-    let mut index_of = vec![usize::MAX; h.num_nodes()];
-    let mut net_in_tree = vec![false; h.num_nets()];
-    let mut nets = Vec::new();
+    scratch: &mut ProbeScratch,
+) -> ProbeReport {
+    scratch.reset();
+    let g_total = gfn::spreading_bound(spec, h.total_size());
+    let max_slope = max_bound_slope(spec, h.total_size());
+    let ProbeScratch {
+        grower,
+        index_of,
+        net_in_tree,
+        per_net,
+        steps,
+        nets,
+    } = scratch;
     let mut size = 0u64;
     let mut lhs = 0.0;
-    for step in TreeGrower::with_scratch(h, metric, source, scratch) {
-        index_of[step.node.index()] = steps.len();
+    let mut min_rel_slack = f64::INFINITY;
+    let tree_iter = TreeGrower::with_scratch(h, metric, source, grower);
+    for step in tree_iter {
         steps.push(step);
+        index_of[step.node.index()] = steps.len() - 1;
         size += h.node_size(step.node);
         lhs += step.dist * h.node_size(step.node) as f64;
         if let Some(e) = step.via_net {
             if !net_in_tree[e.index()] {
-                net_in_tree[e.index()] = true;
                 nets.push(e);
+                net_in_tree[e.index()] = true;
             }
         }
         let bound = gfn::spreading_bound(spec, size);
         if lhs + tolerance < bound {
             let weight = steps.iter().map(|s| h.node_size(s.node) as f64).collect();
             let net_weights =
-                subtree_net_weights(&steps, |v| index_of[v.index()], weight, &nets, h.num_nets());
+                subtree_net_weights(steps, |v| index_of[v.index()], weight, nets, per_net);
             let nodes = steps.iter().map(|s| s.node).collect();
             let tree = ViolatingTree {
                 source,
                 nodes,
-                nets,
+                nets: nets.clone(),
                 net_weights,
                 size,
                 lhs,
@@ -159,10 +261,23 @@ pub fn find_violation_in(
                 "net weights must reconstruct the lhs: {} vs {lhs}",
                 tree.repriced_lhs(metric)
             );
-            return Some(tree);
+            return ProbeReport {
+                violation: Some(tree),
+                min_rel_slack,
+            };
+        }
+        if bound > 0.0 {
+            min_rel_slack = min_rel_slack.min((lhs - bound) / bound);
+        }
+        // Early exits: every remaining prefix is provably satisfied.
+        if lhs + tolerance >= g_total || step.dist >= max_slope {
+            break;
         }
     }
-    None
+    ProbeReport {
+        violation: None,
+        min_rel_slack,
+    }
 }
 
 /// Like [`find_violation`] but using the paper's non-unit-size ordering:
@@ -180,27 +295,46 @@ pub fn find_violation_weighted(
     source: NodeId,
     tolerance: f64,
 ) -> Option<ViolatingTree> {
-    find_violation_weighted_in(
+    probe_source_weighted(
         h,
         spec,
         metric,
         source,
         tolerance,
-        &mut GrowerScratch::new(h),
+        &mut ProbeScratch::new(h),
     )
+    .violation
 }
 
-/// [`find_violation_weighted`] with caller-provided tree-growing buffers;
-/// see [`find_violation_in`].
-pub fn find_violation_weighted_in(
+/// [`find_violation_weighted`] with caller-provided buffers and slack
+/// telemetry; see [`probe_source`]. The full shortest-path tree is grown
+/// regardless (the weighted prefix order needs every distance), but the
+/// prefix scan still exits once `lhs + tolerance >= g(s(V))` — the `lhs`
+/// accumulated along the weighted order also only ever grows, so no later
+/// prefix can fall below a bound capped by `g(s(V))`.
+pub fn probe_source_weighted(
     h: &Hypergraph,
     spec: &TreeSpec,
     metric: &SpreadingMetric,
     source: NodeId,
     tolerance: f64,
-    scratch: &mut GrowerScratch,
-) -> Option<ViolatingTree> {
-    let steps: Vec<_> = TreeGrower::with_scratch(h, metric, source, scratch).collect();
+    scratch: &mut ProbeScratch,
+) -> ProbeReport {
+    scratch.reset();
+    let g_total = gfn::spreading_bound(spec, h.total_size());
+    let ProbeScratch {
+        grower,
+        index_of,
+        net_in_tree,
+        per_net,
+        steps,
+        nets,
+    } = scratch;
+    let tree_iter = TreeGrower::with_scratch(h, metric, source, grower);
+    for step in tree_iter {
+        steps.push(step);
+        index_of[step.node.index()] = steps.len() - 1;
+    }
     // Order by weighted distance, keeping the source first (it is always in
     // its own subset).
     let mut order: Vec<usize> = (1..steps.len()).collect();
@@ -212,11 +346,7 @@ pub fn find_violation_weighted_in(
             .then(a.cmp(&b))
     });
 
-    let index_of: std::collections::HashMap<NodeId, usize> =
-        steps.iter().enumerate().map(|(i, s)| (s.node, i)).collect();
     let mut in_subtree = vec![false; steps.len()];
-    let mut net_in_tree = vec![false; h.num_nets()];
-    let mut nets = Vec::new();
     let mut nodes = vec![source];
     // Member sizes per settle index; connector-only nodes keep weight 0 so
     // they relay — but do not add — subtree weight.
@@ -226,43 +356,51 @@ pub fn find_violation_weighted_in(
     }
     let mut size = h.node_size(source);
     let mut lhs = 0.0;
-    in_subtree[0] = true;
+    let mut min_rel_slack = f64::INFINITY;
+    if !in_subtree.is_empty() {
+        in_subtree[0] = true;
+    }
 
     // Connect a member to the already-built subtree along its SPT path,
     // recording every net on the way.
-    let connect = |i: usize,
-                   in_subtree: &mut Vec<bool>,
-                   net_in_tree: &mut Vec<bool>,
-                   nets: &mut Vec<NetId>| {
-        let mut cur = i;
-        while !in_subtree[cur] {
-            in_subtree[cur] = true;
-            let step = &steps[cur];
-            if let Some(e) = step.via_net {
-                if !net_in_tree[e.index()] {
-                    net_in_tree[e.index()] = true;
-                    nets.push(e);
+    let connect =
+        |i: usize, in_subtree: &mut Vec<bool>, net_in_tree: &mut [bool], nets: &mut Vec<NetId>| {
+            let mut cur = i;
+            while !in_subtree[cur] {
+                in_subtree[cur] = true;
+                let step = &steps[cur];
+                if let Some(e) = step.via_net {
+                    if !net_in_tree[e.index()] {
+                        nets.push(e);
+                        net_in_tree[e.index()] = true;
+                    }
+                }
+                match step.parent {
+                    Some(p) => cur = index_of[p.index()],
+                    None => break,
                 }
             }
-            match step.parent {
-                Some(p) => cur = index_of[&p],
-                None => break,
-            }
-        }
-    };
+        };
 
     // Check the singleton prefix, then grow in weighted order.
     let check = |size: u64, lhs: f64| lhs + tolerance < gfn::spreading_bound(spec, size);
     if check(size, lhs) {
-        return Some(ViolatingTree {
-            source,
-            nodes,
-            nets,
-            net_weights: Vec::new(),
-            size,
-            lhs,
-            bound: gfn::spreading_bound(spec, size),
-        });
+        return ProbeReport {
+            violation: Some(ViolatingTree {
+                source,
+                nodes,
+                nets: Vec::new(),
+                net_weights: Vec::new(),
+                size,
+                lhs,
+                bound: gfn::spreading_bound(spec, size),
+            }),
+            min_rel_slack,
+        };
+    }
+    let singleton_bound = gfn::spreading_bound(spec, size);
+    if singleton_bound > 0.0 {
+        min_rel_slack = (lhs - singleton_bound) / singleton_bound;
     }
     for &i in &order {
         let step = &steps[i];
@@ -270,15 +408,15 @@ pub fn find_violation_weighted_in(
         member_weight[i] = h.node_size(step.node) as f64;
         size += h.node_size(step.node);
         lhs += step.dist * h.node_size(step.node) as f64;
-        connect(i, &mut in_subtree, &mut net_in_tree, &mut nets);
+        connect(i, &mut in_subtree, net_in_tree, nets);
         if check(size, lhs) {
             let bound = gfn::spreading_bound(spec, size);
             let net_weights =
-                subtree_net_weights(&steps, |v| index_of[&v], member_weight, &nets, h.num_nets());
+                subtree_net_weights(steps, |v| index_of[v.index()], member_weight, nets, per_net);
             let tree = ViolatingTree {
                 source,
                 nodes,
-                nets,
+                nets: nets.clone(),
                 net_weights,
                 size,
                 lhs,
@@ -289,10 +427,23 @@ pub fn find_violation_weighted_in(
                 "net weights must reconstruct the lhs: {} vs {lhs}",
                 tree.repriced_lhs(metric)
             );
-            return Some(tree);
+            return ProbeReport {
+                violation: Some(tree),
+                min_rel_slack,
+            };
+        }
+        let bound = gfn::spreading_bound(spec, size);
+        if bound > 0.0 {
+            min_rel_slack = min_rel_slack.min((lhs - bound) / bound);
+        }
+        if lhs + tolerance >= g_total {
+            break;
         }
     }
-    None
+    ProbeReport {
+        violation: None,
+        min_rel_slack,
+    }
 }
 
 /// Outcome of a full feasibility scan of a metric.
@@ -334,6 +485,10 @@ pub fn check_feasibility(
 }
 
 /// Largest `g − lhs` over all prefixes from `v`, or `None` if none positive.
+///
+/// Uses the same sound early exits as [`probe_source`] (with zero
+/// tolerance): once no future prefix can have a positive shortfall, the
+/// remaining grow cannot change the maximum.
 fn find_worst_shortfall(
     h: &Hypergraph,
     spec: &TreeSpec,
@@ -341,6 +496,8 @@ fn find_worst_shortfall(
     v: NodeId,
     scratch: &mut GrowerScratch,
 ) -> Option<f64> {
+    let g_total = gfn::spreading_bound(spec, h.total_size());
+    let max_slope = max_bound_slope(spec, h.total_size());
     let mut size = 0u64;
     let mut lhs = 0.0;
     let mut worst: Option<f64> = None;
@@ -350,6 +507,9 @@ fn find_worst_shortfall(
         let shortfall = gfn::spreading_bound(spec, size) - lhs;
         if shortfall > 0.0 && worst.is_none_or(|w| shortfall > w) {
             worst = Some(shortfall);
+        }
+        if lhs >= g_total || (shortfall <= 0.0 && step.dist >= max_slope) {
+            break;
         }
     }
     worst

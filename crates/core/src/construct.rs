@@ -3,9 +3,16 @@
 //!
 //! The top level is determined by the netlist's total size; at each level
 //! `l` the node set is carved into children by repeatedly calling
-//! [`find_cut`](crate::findcut::find_cut) with the window
-//! `[s(V)/K_l, C_{l−1}]`, and each child is partitioned recursively on its
-//! induced sub-hypergraph with the metric restricted to the surviving nets.
+//! [`find_cut_scoped`] with the window
+//! `[s(V)/K_l, C_{l−1}]`, and each child is partitioned recursively.
+//!
+//! The carving is **in place**: instead of cloning the remainder and
+//! re-inducing a sub-hypergraph (plus a restricted metric) per child, the
+//! whole recursion walks the original hypergraph under an alive-node mask
+//! with an incrementally maintained per-net alive-pin count. Carving a
+//! block off just flips its mask bits and decrements the pin counts of its
+//! nets; recursing into a block flips them back. Node ids stay the
+//! original ones throughout, so no id-translation maps are carried either.
 //!
 //! One refinement over the paper's listing: the window's lower bound is
 //! raised to `s(remaining) − (slots_left − 1)·UB` so that the nodes not yet
@@ -18,9 +25,53 @@ use rand::Rng;
 use htp_model::{HierarchicalPartition, PartitionBuilder, TreeSpec, VertexId};
 use htp_netlist::{Hypergraph, NodeId};
 
-use crate::findcut::find_cut_budgeted;
+use crate::findcut::{find_cut_scoped, FindCutScratch};
 use crate::runtime::Budget;
 use crate::{CoreError, SpreadingMetric};
+
+/// Reusable state for the in-place carve: the alive mask, the per-net
+/// alive-pin counts it implies, and the cut-growth scratch.
+struct CarveScratch {
+    /// Whether each (original) node belongs to the region being split.
+    alive: Vec<bool>,
+    /// Number of alive pins of each (original) net.
+    alive_pins: Vec<u32>,
+    /// Growth buffers shared by every `find_cut_scoped` call.
+    cut: FindCutScratch,
+}
+
+impl CarveScratch {
+    /// Creates the scratch with every node alive.
+    fn new(h: &Hypergraph) -> Self {
+        CarveScratch {
+            alive: vec![true; h.num_nodes()],
+            alive_pins: h.nets().map(|e| h.net_pins(e).len() as u32).collect(),
+            cut: FindCutScratch::new(h),
+        }
+    }
+
+    /// Removes `nodes` from the alive region.
+    fn deactivate(&mut self, h: &Hypergraph, nodes: &[NodeId]) {
+        for &v in nodes {
+            debug_assert!(self.alive[v.index()]);
+            self.alive[v.index()] = false;
+            for &e in h.node_nets(v) {
+                self.alive_pins[e.index()] -= 1;
+            }
+        }
+    }
+
+    /// Adds `nodes` back to the alive region.
+    fn activate(&mut self, h: &Hypergraph, nodes: &[NodeId]) {
+        for &v in nodes {
+            debug_assert!(!self.alive[v.index()]);
+            self.alive[v.index()] = true;
+            for &e in h.node_nets(v) {
+                self.alive_pins[e.index()] += 1;
+            }
+        }
+    }
+}
 
 /// Builds a hierarchical tree partition guided by `metric` (**Algorithm 3**).
 ///
@@ -39,13 +90,16 @@ pub fn construct_partition<R: Rng + ?Sized>(
     construct_partition_budgeted(h, spec, metric, rng, &Budget::unlimited())
 }
 
-/// [`construct_partition`] under a [`Budget`]: the carve loop checks the
-/// budget before every block and inside [`find_cut_budgeted`]'s growth.
+/// [`construct_partition`] under a [`Budget`]: the carve loop polls
+/// [`Budget::check_time`] before every block and inside the cut growth.
+/// Only cancellation and the wall-clock deadline can interrupt —
+/// construction consumes no rounds or probes, so a round/probe cap spent
+/// by the metric phase does not abort building on the metric in hand.
 ///
 /// # Errors
 ///
-/// As [`construct_partition`], plus [`CoreError::Interrupted`] when a
-/// budget limit or cancellation fires mid-construction (the partial
+/// As [`construct_partition`], plus [`CoreError::Interrupted`] when the
+/// deadline passes or the run is cancelled mid-construction (the partial
 /// partition is discarded — the caller keeps its previous best).
 pub fn construct_partition_budgeted<R: Rng + ?Sized>(
     h: &Hypergraph,
@@ -63,7 +117,6 @@ pub fn construct_partition_budgeted<R: Rng + ?Sized>(
         root_capacity: spec.capacity(spec.root_level()),
     })?;
 
-    let all: Vec<NodeId> = h.nodes().collect();
     if top == 0 {
         // Everything fits in a single leaf; hang it under a 1-level root.
         let mut b = PartitionBuilder::new(h.num_nodes(), 1);
@@ -76,26 +129,46 @@ pub fn construct_partition_budgeted<R: Rng + ?Sized>(
 
     let mut b = PartitionBuilder::new(h.num_nodes(), top);
     let root = b.root();
-    split(&mut b, root, top, h, &all, metric, spec, rng, budget)?;
+    let mut scratch = CarveScratch::new(h);
+    let all: Vec<NodeId> = h.nodes().collect();
+    split(
+        &mut b,
+        root,
+        top,
+        h,
+        all,
+        metric,
+        spec,
+        rng,
+        budget,
+        &mut scratch,
+    )?;
     Ok(b.build()?)
 }
 
-/// Carves the nodes of `h` (whose original ids are `map`) into children of
-/// `vertex`, which sits at `level >= 1`, recursing per child.
+/// Carves `nodes` into children of `vertex`, which sits at `level >= 1`,
+/// recursing per child.
+///
+/// On entry the alive mask covers exactly `nodes`; on exit all of them are
+/// masked out again (each carve deactivates a block, and the recursive
+/// descent re-activates a block only for its own `split`, which restores
+/// the invariant before returning).
 #[allow(clippy::too_many_arguments)]
 fn split<R: Rng + ?Sized>(
     b: &mut PartitionBuilder,
     vertex: VertexId,
     level: usize,
     h: &Hypergraph,
-    map: &[NodeId],
+    nodes: Vec<NodeId>,
     metric: &SpreadingMetric,
     spec: &TreeSpec,
     rng: &mut R,
     budget: &Budget,
+    scratch: &mut CarveScratch,
 ) -> Result<(), CoreError> {
     debug_assert!(level >= 1);
-    let size = h.total_size();
+    debug_assert!(nodes.iter().all(|&v| scratch.alive[v.index()]));
+    let size = h.subset_size(nodes.iter().copied());
     let k = spec.max_children(level) as u64;
     let ub = spec.capacity(level - 1);
     let lb_spec = size.div_ceil(k);
@@ -108,15 +181,13 @@ fn split<R: Rng + ?Sized>(
         });
     }
 
-    // Owned state for the shrinking remainder.
-    let mut rem_h = h.clone();
-    let mut rem_map = map.to_vec();
-    let mut rem_metric = metric.clone();
+    let mut rem = nodes;
+    let mut rem_size = size;
+    let mut blocks: Vec<Vec<NodeId>> = Vec::new();
     let mut children = 0u64;
 
     loop {
-        budget.check().map_err(CoreError::Interrupted)?;
-        let rem_size = rem_h.total_size();
+        budget.check_time().map_err(CoreError::Interrupted)?;
         if rem_size == 0 {
             break;
         }
@@ -125,7 +196,8 @@ fn split<R: Rng + ?Sized>(
 
         if rem_size <= ub {
             // The remainder fits in one final child.
-            attach_child(b, vertex, &rem_h, &rem_map, &rem_metric, spec, rng, budget)?;
+            scratch.deactivate(h, &rem);
+            blocks.push(std::mem::take(&mut rem));
             break;
         }
 
@@ -135,15 +207,37 @@ fn split<R: Rng + ?Sized>(
         // when node sizes are chunky, so it is dropped on retry.
         let lb_floor = rem_size.saturating_sub((slots_left - 1) * ub).min(ub);
         let lb = lb_spec.max(lb_floor).min(ub);
-        let mut cut = find_cut_budgeted(&rem_h, &rem_metric, lb, ub, rng, budget)
-            .map_err(CoreError::Interrupted)?;
+        let mut cut = find_cut_scoped(
+            h,
+            metric,
+            &rem,
+            &scratch.alive,
+            &scratch.alive_pins,
+            lb,
+            ub,
+            rng,
+            budget,
+            &mut scratch.cut,
+        )
+        .map_err(CoreError::Interrupted)?;
         for attempt in 0..5 {
             if cut.in_window {
                 break;
             }
             let retry_lb = if attempt < 2 { lb } else { lb_floor };
-            cut = find_cut_budgeted(&rem_h, &rem_metric, retry_lb, ub, rng, budget)
-                .map_err(CoreError::Interrupted)?;
+            cut = find_cut_scoped(
+                h,
+                metric,
+                &rem,
+                &scratch.alive,
+                &scratch.alive_pins,
+                retry_lb,
+                ub,
+                rng,
+                budget,
+                &mut scratch.cut,
+            )
+            .map_err(CoreError::Interrupted)?;
         }
         if !cut.in_window {
             return Err(CoreError::NoFeasibleCut {
@@ -154,70 +248,64 @@ fn split<R: Rng + ?Sized>(
             });
         }
 
-        // Carve the block off as a child.
-        let block = rem_h.induce_tracked(&cut.nodes);
-        let block_map: Vec<NodeId> = block
-            .node_map
-            .iter()
-            .map(|&local| rem_map[local.index()])
-            .collect();
-        let block_metric = rem_metric.restrict(&block.net_map);
-        attach_child(
-            b,
-            vertex,
-            &block.hypergraph,
-            &block_map,
-            &block_metric,
-            spec,
-            rng,
-            budget,
-        )?;
+        // Carve the block off: mask it out and compact the remainder.
+        rem_size -= h.subset_size(cut.nodes.iter().copied());
+        scratch.deactivate(h, &cut.nodes);
+        rem.retain(|&v| scratch.alive[v.index()]);
+        blocks.push(cut.nodes);
         children += 1;
+    }
 
-        // Re-induce the remainder without the carved block.
-        let mut carved = vec![false; rem_h.num_nodes()];
-        for &v in &cut.nodes {
-            carved[v.index()] = true;
-        }
-        let keep: Vec<NodeId> = rem_h.nodes().filter(|v| !carved[v.index()]).collect();
-        let rest = rem_h.induce_tracked(&keep);
-        rem_map = rest
-            .node_map
-            .iter()
-            .map(|&local| rem_map[local.index()])
-            .collect();
-        rem_metric = rem_metric.restrict(&rest.net_map);
-        rem_h = rest.hypergraph;
+    // The whole level is carved (and masked out); attach each block,
+    // re-activating its nodes only for the recursive descent.
+    for block in blocks {
+        attach_child(b, vertex, h, block, metric, spec, rng, budget, scratch)?;
     }
     Ok(())
 }
 
-/// Attaches the node set of `h` under `parent` as one child subtree whose
-/// level follows from its size (Algorithm 3's level computation).
+/// Attaches `block` under `parent` as one child subtree whose level
+/// follows from its size (Algorithm 3's level computation).
+///
+/// Expects the block's nodes masked out; re-activates them only when the
+/// child is internal and must itself be split.
 #[allow(clippy::too_many_arguments)]
 fn attach_child<R: Rng + ?Sized>(
     b: &mut PartitionBuilder,
     parent: VertexId,
     h: &Hypergraph,
-    map: &[NodeId],
+    block: Vec<NodeId>,
     metric: &SpreadingMetric,
     spec: &TreeSpec,
     rng: &mut R,
     budget: &Budget,
+    scratch: &mut CarveScratch,
 ) -> Result<(), CoreError> {
-    let size = h.total_size();
+    let size = h.subset_size(block.iter().copied());
     let child_level = spec.level_for_size(size).ok_or(CoreError::Infeasible {
         total_size: size,
         root_capacity: spec.capacity(spec.root_level()),
     })?;
     if child_level == 0 {
         let leaf = b.add_child(parent, 0)?;
-        for &orig in map {
-            b.assign(orig, leaf)?;
+        for &v in &block {
+            b.assign(v, leaf)?;
         }
     } else {
         let child = b.add_child(parent, child_level)?;
-        split(b, child, child_level, h, map, metric, spec, rng, budget)?;
+        scratch.activate(h, &block);
+        split(
+            b,
+            child,
+            child_level,
+            h,
+            block,
+            metric,
+            spec,
+            rng,
+            budget,
+            scratch,
+        )?;
     }
     Ok(())
 }

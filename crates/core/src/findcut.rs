@@ -12,14 +12,24 @@
 //!
 //! * when the frontier empties (the current component is exhausted) growth
 //!   restarts from a random untouched node, so the window is reached even on
-//!   disconnected remainders;
+//!   disconnected remainders. Restart candidates live in a compacting pool:
+//!   a uniform sample whose entry has gone stale (absorbed, skipped, or too
+//!   big to ever fit — all permanent states) is `swap_remove`d on contact,
+//!   so the total restart work is `O(n)` over the whole growth instead of a
+//!   full `O(n)` rescan per restart;
 //! * the caller learns via [`FindCutResult::in_window`] whether any prefix
 //!   actually landed in the window (it cannot when the whole graph is
 //!   smaller than `LB`).
+//!
+//! [`find_cut_scoped`] grows inside an *alive mask* over a larger host
+//! hypergraph: dead pins are invisible and per-net pin counts come from the
+//! caller-maintained `alive_pins` table. This is what lets Algorithm 3
+//! carve a shrinking remainder in place instead of re-inducing a fresh
+//! hypergraph per child.
 
 use rand::{Rng, RngExt};
 
-use htp_netlist::{Hypergraph, NodeId};
+use htp_netlist::{Hypergraph, NetId, NodeId};
 
 use crate::runtime::{Budget, Interrupt};
 use crate::SpreadingMetric;
@@ -42,6 +52,104 @@ pub struct FindCutResult {
     pub cut: f64,
     /// Whether the selected prefix's size lies in `[lb, ub]`.
     pub in_window: bool,
+}
+
+/// Reusable working state for repeated cut growths over one hypergraph.
+///
+/// All buffers are sized for the *host* hypergraph once and reset lazily:
+/// every marker written during a growth is also recorded in a touched list,
+/// and the next call clears exactly those entries on entry. A growth that
+/// unwinds through a panic therefore leaves the scratch self-healing — the
+/// stale markers are still on the touched lists and vanish at the next use.
+#[derive(Debug)]
+pub struct FindCutScratch {
+    /// Nodes absorbed into the growing block.
+    in_set: Vec<bool>,
+    /// Nodes skipped for good because they can no longer fit the window.
+    skipped: Vec<bool>,
+    /// Absorbed-pin count per net.
+    inside: Vec<u32>,
+    /// Prim frontier keyed by the cheapest connecting net length.
+    frontier: IndexedMinHeap,
+    /// Compacting restart pool (node ids; stale entries purged on contact).
+    candidates: Vec<u32>,
+    /// Every node id written into `in_set` or `skipped` this growth.
+    touched_nodes: Vec<u32>,
+    /// Every net with a nonzero `inside` count this growth.
+    touched_nets: Vec<u32>,
+}
+
+impl FindCutScratch {
+    /// Creates scratch sized for `h`.
+    pub fn new(h: &Hypergraph) -> Self {
+        FindCutScratch {
+            in_set: vec![false; h.num_nodes()],
+            skipped: vec![false; h.num_nodes()],
+            inside: vec![0; h.num_nets()],
+            frontier: IndexedMinHeap::new(h.num_nodes()),
+            candidates: Vec::with_capacity(h.num_nodes()),
+            touched_nodes: Vec::new(),
+            touched_nets: Vec::new(),
+        }
+    }
+
+    /// Clears the markers left by the previous growth (`O(touched)`).
+    fn reset(&mut self) {
+        for &v in &self.touched_nodes {
+            self.in_set[v as usize] = false;
+            self.skipped[v as usize] = false;
+        }
+        self.touched_nodes.clear();
+        for &e in &self.touched_nets {
+            self.inside[e as usize] = 0;
+        }
+        self.touched_nets.clear();
+        self.frontier.clear();
+        self.candidates.clear();
+    }
+}
+
+/// The node/net visibility rule a growth runs under. Monomorphised so the
+/// whole-graph path pays nothing for the masked variant's existence.
+trait Scope: Copy {
+    /// Is `v` part of the growable scope?
+    fn contains(self, v: NodeId) -> bool;
+    /// Number of in-scope pins of `e`.
+    fn net_pins(self, h: &Hypergraph, e: NetId) -> u32;
+}
+
+/// Every node and pin is visible.
+#[derive(Clone, Copy)]
+struct FullScope;
+
+impl Scope for FullScope {
+    #[inline]
+    fn contains(self, _v: NodeId) -> bool {
+        true
+    }
+    #[inline]
+    fn net_pins(self, h: &Hypergraph, e: NetId) -> u32 {
+        h.net_pins(e).len() as u32
+    }
+}
+
+/// Only alive nodes are visible; pin counts come from the caller's
+/// incrementally-maintained table.
+#[derive(Clone, Copy)]
+struct MaskScope<'a> {
+    alive: &'a [bool],
+    alive_pins: &'a [u32],
+}
+
+impl Scope for MaskScope<'_> {
+    #[inline]
+    fn contains(self, v: NodeId) -> bool {
+        self.alive[v.index()]
+    }
+    #[inline]
+    fn net_pins(self, _h: &Hypergraph, e: NetId) -> u32 {
+        self.alive_pins[e.index()]
+    }
 }
 
 /// Grows a block and returns the minimum-cut prefix with size in
@@ -68,9 +176,12 @@ pub fn find_cut<R: Rng + ?Sized>(
     }
 }
 
-/// [`find_cut`] under a [`Budget`]: the growth loop checks the budget
-/// every `BUDGET_CHECK_STRIDE` (256) iterations and returns the interrupt
-/// instead of a block when a limit fires mid-growth.
+/// [`find_cut`] under a [`Budget`]: the growth loop polls
+/// [`Budget::check_time`] every `BUDGET_CHECK_STRIDE` (256) iterations and
+/// returns the interrupt instead of a block when the deadline passes or the
+/// run is cancelled mid-growth. Round/probe caps are *not* consulted —
+/// those meter the metric phase, and an exhausted metric budget must not
+/// abort construction on the metric already in hand.
 ///
 /// # Errors
 ///
@@ -88,6 +199,72 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
     budget: &Budget,
 ) -> Result<FindCutResult, Interrupt> {
     assert!(h.num_nodes() > 0, "cannot cut an empty hypergraph");
+    let mut scratch = FindCutScratch::new(h);
+    let pool: Vec<NodeId> = h.nodes().collect();
+    grow_cut(
+        h,
+        metric,
+        FullScope,
+        &pool,
+        lb,
+        ub,
+        rng,
+        budget,
+        &mut scratch,
+    )
+}
+
+/// [`find_cut_budgeted`] restricted to the alive sub-hypergraph.
+///
+/// `pool` lists exactly the alive nodes (any order); `alive` is the node
+/// mask over the host hypergraph and `alive_pins[e]` the number of alive
+/// pins of each net — the caller maintains both incrementally while
+/// carving. The growth never touches a dead node: dead pins neither join
+/// the frontier nor count toward a net's pin total, so the result is
+/// identical to running [`find_cut_budgeted`] on the induced sub-hypergraph
+/// (modulo node renaming and the random stream).
+///
+/// `scratch` is reset on entry in `O(touched)` and may be reused across
+/// calls with different masks.
+///
+/// # Errors
+///
+/// The [`Interrupt`] that stopped the growth.
+///
+/// # Panics
+///
+/// As [`find_cut`], with "empty hypergraph" meaning an empty `pool`.
+#[allow(clippy::too_many_arguments)]
+pub fn find_cut_scoped<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    metric: &SpreadingMetric,
+    pool: &[NodeId],
+    alive: &[bool],
+    alive_pins: &[u32],
+    lb: u64,
+    ub: u64,
+    rng: &mut R,
+    budget: &Budget,
+    scratch: &mut FindCutScratch,
+) -> Result<FindCutResult, Interrupt> {
+    assert!(!pool.is_empty(), "cannot cut an empty hypergraph");
+    let scope = MaskScope { alive, alive_pins };
+    grow_cut(h, metric, scope, pool, lb, ub, rng, budget, scratch)
+}
+
+/// The shared growth loop behind both public entry points.
+#[allow(clippy::too_many_arguments)]
+fn grow_cut<R: Rng + ?Sized, S: Scope>(
+    h: &Hypergraph,
+    metric: &SpreadingMetric,
+    scope: S,
+    pool: &[NodeId],
+    lb: u64,
+    ub: u64,
+    rng: &mut R,
+    budget: &Budget,
+    scratch: &mut FindCutScratch,
+) -> Result<FindCutResult, Interrupt> {
     assert!(lb <= ub, "empty size window [{lb}, {ub}]");
     assert_eq!(
         h.num_nets(),
@@ -95,10 +272,18 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
         "metric/hypergraph net count mismatch"
     );
 
-    let n = h.num_nodes();
-    let mut in_set = vec![false; n];
-    let mut inside = vec![0u32; h.num_nets()];
-    let mut frontier = IndexedMinHeap::new(n);
+    scratch.reset();
+    let FindCutScratch {
+        in_set,
+        skipped,
+        inside,
+        frontier,
+        candidates,
+        touched_nodes,
+        touched_nets,
+    } = scratch;
+    candidates.extend(pool.iter().map(|v| v.index() as u32));
+
     let mut grown: Vec<NodeId> = Vec::new();
     let mut size = 0u64;
     let mut cut = 0.0f64;
@@ -108,18 +293,32 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
                   in_set: &mut Vec<bool>,
                   inside: &mut Vec<u32>,
                   frontier: &mut IndexedMinHeap,
+                  touched_nodes: &mut Vec<u32>,
+                  touched_nets: &mut Vec<u32>,
                   cut: &mut f64| {
+        touched_nodes.push(v.index() as u32);
         in_set[v.index()] = true;
         for &e in h.node_nets(v) {
-            let pins = h.net_pins(e).len() as u32;
+            let pins = scope.net_pins(h, e);
+            if pins <= 1 {
+                // A net with one in-scope pin can never cross the block
+                // boundary; skipping it entirely (rather than adding and
+                // re-subtracting its capacity) keeps the running cut
+                // bit-identical to growth on the induced sub-hypergraph,
+                // where such nets do not exist at all.
+                continue;
+            }
+            if inside[e.index()] == 0 {
+                touched_nets.push(e.index() as u32);
+            }
             inside[e.index()] += 1;
             let now_inside = inside[e.index()];
             if now_inside == 1 {
                 *cut += h.net_capacity(e);
-                // The net just reached the block: its outside pins become
-                // reachable at distance d(e).
+                // The net just reached the block: its (in-scope) outside
+                // pins become reachable at distance d(e).
                 for &w in h.net_pins(e) {
-                    if !in_set[w.index()] {
+                    if scope.contains(w) && !in_set[w.index()] {
                         frontier.push_or_decrease(w.index(), metric.length(e));
                     }
                 }
@@ -130,16 +329,13 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
         }
     };
 
-    // Nodes too big for the remaining window budget are skipped for good:
-    // the block only ever grows, so they can never fit later.
-    let mut skipped = vec![false; n];
-    let start = NodeId::new(rng.random_range(0..n));
+    let start = pool[rng.random_range(0..pool.len())];
     let mut next = Some(start);
     let mut ticks: u32 = 0;
     while size < ub {
         ticks = ticks.wrapping_add(1);
         if ticks.is_multiple_of(BUDGET_CHECK_STRIDE) {
-            budget.check()?;
+            budget.check_time()?;
         }
         let v = match next.take() {
             Some(v) => v,
@@ -147,15 +343,26 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
                 Some((idx, _)) => NodeId::new(idx),
                 None => {
                     // Component exhausted: restart from a random untouched
-                    // (and still fitting) node, if any remain.
-                    let remaining: Vec<usize> = (0..n)
-                        .filter(|&i| {
-                            !in_set[i] && !skipped[i] && size + h.node_size(NodeId::new(i)) <= ub
-                        })
-                        .collect();
-                    match remaining.as_slice() {
-                        [] => break,
-                        rest => NodeId::new(rest[rng.random_range(0..rest.len())]),
+                    // (and still fitting) node. Stale pool entries — already
+                    // absorbed, skipped for good, or too big to ever fit a
+                    // block that only grows — are purged on contact, so all
+                    // restarts together cost `O(|pool|)`.
+                    let mut pick = None;
+                    while !candidates.is_empty() {
+                        let i = rng.random_range(0..candidates.len());
+                        let c = candidates[i] as usize;
+                        let stale =
+                            in_set[c] || skipped[c] || size + h.node_size(NodeId::new(c)) > ub;
+                        if stale {
+                            candidates.swap_remove(i);
+                        } else {
+                            pick = Some(NodeId::new(c));
+                            break;
+                        }
+                    }
+                    match pick {
+                        Some(v) => v,
+                        None => break,
                     }
                 }
             },
@@ -167,10 +374,19 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
             // Absorbing v would overshoot the window; with non-unit sizes a
             // smaller frontier node may still fit, so skip v rather than
             // stopping (unit sizes never take this branch mid-growth).
+            touched_nodes.push(v.index() as u32);
             skipped[v.index()] = true;
             continue;
         }
-        absorb(v, &mut in_set, &mut inside, &mut frontier, &mut cut);
+        absorb(
+            v,
+            in_set,
+            inside,
+            frontier,
+            touched_nodes,
+            touched_nets,
+            &mut cut,
+        );
         grown.push(v);
         size += h.node_size(v);
         if (lb..=ub).contains(&size) {
@@ -182,11 +398,14 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
     }
 
     Ok(match best {
-        Some((best_cut, k)) => FindCutResult {
-            nodes: grown[..k].to_vec(),
-            cut: best_cut,
-            in_window: true,
-        },
+        Some((best_cut, k)) => {
+            grown.truncate(k);
+            FindCutResult {
+                nodes: grown,
+                cut: best_cut,
+                in_window: true,
+            }
+        }
         None => FindCutResult {
             nodes: grown,
             cut,
@@ -364,6 +583,90 @@ mod tests {
         .unwrap();
         assert_eq!(r1.nodes, r2.nodes);
         assert_eq!(r1.cut, r2.cut);
+    }
+
+    /// Builds the alive mask and per-net alive-pin table for `keep`.
+    fn scoped_setup(h: &Hypergraph, keep: &[NodeId]) -> (Vec<bool>, Vec<u32>) {
+        let mut alive = vec![false; h.num_nodes()];
+        for &v in keep {
+            alive[v.index()] = true;
+        }
+        let alive_pins: Vec<u32> = h
+            .nets()
+            .map(|e| h.net_pins(e).iter().filter(|v| alive[v.index()]).count() as u32)
+            .collect();
+        (alive, alive_pins)
+    }
+
+    #[test]
+    fn scoped_growth_matches_the_induced_subgraph() {
+        // Masked growth over the host graph must reproduce plain growth on
+        // the induced sub-hypergraph node for node. `keep` is ascending, so
+        // local ids order like global ids and heap tie-breaks agree. One
+        // scratch serves all seeds, which also exercises reset-on-entry.
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let keep: Vec<NodeId> = h.nodes().filter(|v| v.index() % 3 != 0).collect();
+        let (alive, alive_pins) = scoped_setup(h, &keep);
+        let m = SpreadingMetric::from_lengths(
+            (0..h.num_nets()).map(|i| 0.5 + (i % 7) as f64).collect(),
+        );
+
+        let induced = h.induce_tracked(&keep);
+        let m_local = m.restrict(&induced.net_map);
+
+        let mut scratch = FindCutScratch::new(h);
+        for seed in 0..6 {
+            let r_scoped = find_cut_scoped(
+                h,
+                &m,
+                &keep,
+                &alive,
+                &alive_pins,
+                10,
+                18,
+                &mut StdRng::seed_from_u64(seed),
+                &Budget::unlimited(),
+                &mut scratch,
+            )
+            .unwrap();
+            let r_local = find_cut_budgeted(
+                &induced.hypergraph,
+                &m_local,
+                10,
+                18,
+                &mut StdRng::seed_from_u64(seed),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+            let mapped: Vec<NodeId> = r_local
+                .nodes
+                .iter()
+                .map(|v| induced.node_map[v.index()])
+                .collect();
+            assert_eq!(r_scoped.nodes, mapped, "seed {seed}");
+            assert!((r_scoped.cut - r_local.cut).abs() < 1e-9, "seed {seed}");
+            assert_eq!(r_scoped.in_window, r_local.in_window, "seed {seed}");
+            assert!(r_scoped.nodes.iter().all(|v| alive[v.index()]));
+        }
+    }
+
+    #[test]
+    fn restart_pool_drains_every_component() {
+        // 30 isolated 2-node components; the window demands all 60 nodes,
+        // so the compacting restart pool must be emptied without missing a
+        // component (and without the quadratic full rescan it replaced).
+        let mut b = HypergraphBuilder::with_unit_nodes(60);
+        for i in 0..30u32 {
+            b.add_net(1.0, [NodeId(2 * i), NodeId(2 * i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let m = SpreadingMetric::from_lengths(vec![1.0; 30]);
+        let r = find_cut(&h, &m, 60, 60, &mut StdRng::seed_from_u64(11));
+        assert!(r.in_window);
+        assert_eq!(r.nodes.len(), 60);
+        assert!(r.cut.abs() < 1e-9, "nothing crosses the full set");
     }
 
     #[test]

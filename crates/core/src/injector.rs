@@ -63,9 +63,8 @@ use rand::Rng;
 use htp_model::TreeSpec;
 use htp_netlist::{Hypergraph, NodeId};
 
-use crate::constraint::{find_violation_in, find_violation_weighted_in, ViolatingTree};
+use crate::constraint::{probe_source, probe_source_weighted, ProbeScratch, ViolatingTree};
 use crate::runtime::{Budget, Interrupt, InterruptCell};
-use crate::sptree::GrowerScratch;
 use crate::SpreadingMetric;
 
 /// How Algorithm 2 orders the "k closest nodes" when growing the trees
@@ -81,6 +80,27 @@ pub enum GrowthOrder {
     /// The paper's non-unit-size ordering by `(dist(v,u) + 1)·s(u)`;
     /// requires a full Dijkstra per probe.
     WeightedDistance,
+}
+
+/// How the working set is scheduled across rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProbeSchedule {
+    /// Slack-aware deferral: a node whose speculative candidate was wasted
+    /// at commit time (the round's earlier injections already satisfied
+    /// it) is re-probed after a geometric backoff of 2, 4, 8, … rounds,
+    /// with the exponent growing faster the larger the node's observed
+    /// relative slack. Nodes that inject stay hot; retirement still
+    /// happens only on a clean all-satisfied probe. Rounds in which no
+    /// node is due are skipped for free (no budget, RNG, or probes).
+    ///
+    /// Instances with fewer than 256 nodes fall back to the exhaustive
+    /// schedule: their rounds are too cheap for deferral to pay for the
+    /// risk of delaying an injection.
+    #[default]
+    Adaptive,
+    /// Probe every active node every round — the pre-scheduler behavior,
+    /// kept for A/B comparison and the scheduler's convergence tests.
+    Exhaustive,
 }
 
 /// Tuning parameters of Algorithm 2.
@@ -105,6 +125,9 @@ pub struct FlowParams {
     pub tolerance: f64,
     /// Prefix ordering used by the constraint oracle.
     pub order: GrowthOrder,
+    /// Round-to-round scheduling of the working set (see
+    /// [`ProbeSchedule`]).
+    pub schedule: ProbeSchedule,
     /// Worker threads for the probe phase of each round: `1` probes inline
     /// on the calling thread, `0` uses all available parallelism. The
     /// computed metric is bit-identical at every setting.
@@ -120,6 +143,7 @@ impl Default for FlowParams {
             max_rounds: 10_000,
             tolerance: 1e-9,
             order: GrowthOrder::Auto,
+            schedule: ProbeSchedule::Adaptive,
             threads: 1,
         }
     }
@@ -181,6 +205,10 @@ pub struct InjectionStats {
     /// other probes are unaffected and the node stays in the working set,
     /// to be re-probed next round.
     pub panicked_probes: usize,
+    /// Times the adaptive scheduler put a node on geometric backoff
+    /// instead of re-probing it the very next round (always 0 under
+    /// [`ProbeSchedule::Exhaustive`]).
+    pub deferrals: usize,
     /// Injected oracle errors observed (the `fault-injection` harness);
     /// handled like contained panics.
     pub oracle_faults: usize,
@@ -202,6 +230,7 @@ impl PartialEq for InjectionStats {
             && self.probes == other.probes
             && self.wasted_probes == other.wasted_probes
             && self.panicked_probes == other.panicked_probes
+            && self.deferrals == other.deferrals
             && self.oracle_faults == other.oracle_faults
             && self.interrupt == other.interrupt
     }
@@ -239,14 +268,34 @@ enum Probe {
     NotRun,
     /// Every constraint for the node holds against the snapshot.
     Clear,
-    /// A violated constraint with its tree, ready to commit.
-    Violated(ViolatingTree),
+    /// A violated constraint with its tree, ready to commit, plus the
+    /// probe's minimum relative slack over the satisfied prefixes before
+    /// it (the adaptive scheduler's backoff key).
+    Violated(ViolatingTree, f64),
     /// The probe panicked and was contained; the node stays active.
     Panicked,
     /// An injected oracle error (`fault-injection` harness only).
     #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
     OracleError,
 }
+
+/// Relative slack below which a wasted node's backoff exponent grows at
+/// the slowest rate (+1 per wasted probe) — it sits right at its bound,
+/// so it should be looked at again soonest.
+const SLACK_RETRY: f64 = 0.05;
+/// Relative slack above which the backoff exponent grows by 3 per wasted
+/// probe instead of 2 — the node is comfortably satisfied and monotonicity
+/// says it only ever gets more so.
+const SLACK_FAR: f64 = 0.5;
+/// Instances below this node count always run the exhaustive schedule,
+/// whatever [`FlowParams::schedule`] says. Small working sets converge in
+/// a handful of cheap rounds, where deferring a (staleness-masked) violated
+/// node risks extra rounds for no measurable probe savings — the classic
+/// small-input cutoff. The threshold is a property of the instance, so the
+/// choice stays deterministic and thread-invariant.
+const ADAPTIVE_MIN_NODES: usize = 256;
+/// Cap on the backoff exponent: deferral never exceeds `2^6 = 64` rounds.
+const MAX_BACKOFF: u8 = 6;
 
 /// [`compute_spreading_metric`] under a [`Budget`]: deadlines, round and
 /// probe caps, and cancellation interrupt the computation cooperatively
@@ -296,11 +345,11 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
     };
     // Shared by every probe worker; captures only immutable borrows, so it
     // can be called concurrently against the round's metric snapshot.
-    let probe = |metric: &SpreadingMetric, v: NodeId, scratch: &mut GrowerScratch| {
+    let probe = |metric: &SpreadingMetric, v: NodeId, scratch: &mut ProbeScratch| {
         if weighted {
-            find_violation_weighted_in(h, spec, metric, v, params.tolerance, scratch)
+            probe_source_weighted(h, spec, metric, v, params.tolerance, scratch)
         } else {
-            find_violation_in(h, spec, metric, v, params.tolerance, scratch)
+            probe_source(h, spec, metric, v, params.tolerance, scratch)
         }
     };
     // Probes one contiguous chunk of the round's shuffled working set
@@ -314,7 +363,7 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
                      nodes: &[NodeId],
                      out: &mut [Probe],
                      base: u64,
-                     scratch: &mut GrowerScratch,
+                     scratch: &mut ProbeScratch,
                      stop: &InterruptCell| {
         for (i, (v, slot)) in nodes.iter().zip(out.iter_mut()).enumerate() {
             if stop.get().is_some() {
@@ -345,8 +394,10 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
                 probe(metric, *v, scratch)
             }));
             *slot = match outcome {
-                Ok(Some(t)) => Probe::Violated(t),
-                Ok(None) => Probe::Clear,
+                Ok(report) => match report.violation {
+                    Some(t) => Probe::Violated(t, report.min_rel_slack),
+                    None => Probe::Clear,
+                },
                 Err(_) => Probe::Panicked,
             };
         }
@@ -358,46 +409,84 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
         t => t,
     };
 
+    // Slack-aware scheduler state, slot-indexed by node id so the due/held
+    // split of each round is a pure function of committed state — never of
+    // thread timing. `due_round[v]` is the earliest virtual round `v` may
+    // be probed in; `backoff[v]` is its current deferral exponent.
+    let adaptive =
+        params.schedule == ProbeSchedule::Adaptive && h.num_nodes() >= ADAPTIVE_MIN_NODES;
+    let mut due_round: Vec<u64> = vec![0; h.num_nodes()];
+    let mut backoff: Vec<u8> = vec![0; h.num_nodes()];
+    let mut clock: u64 = 0;
+
     let mut candidates: Vec<Probe> = Vec::new();
-    let mut inline_scratch = GrowerScratch::new(h);
+    let mut due: Vec<NodeId> = Vec::new();
+    let mut held: Vec<NodeId> = Vec::new();
+    let mut inline_scratch = ProbeScratch::new(h);
     while !active.is_empty() && stats.rounds < params.max_rounds {
+        // Select this round's due subset. Under the adaptive schedule the
+        // virtual clock fast-forwards to the earliest due node, so rounds
+        // in which every node is deferred are skipped for free — they
+        // consume no budget, randomness, or probes. Under the exhaustive
+        // schedule everything is due every round (the pre-scheduler
+        // behavior, bit-for-bit).
+        due.clear();
+        held.clear();
+        if adaptive {
+            let min_due = active
+                .iter()
+                .map(|&v| due_round[v.index()])
+                .min()
+                .expect("active set is non-empty");
+            clock = (clock + 1).max(min_due);
+            for &v in &active {
+                if due_round[v.index()] <= clock {
+                    due.push(v);
+                } else {
+                    held.push(v);
+                }
+            }
+        } else {
+            due.extend_from_slice(&active);
+        }
+
         if let Err(irq) = budget.round_tick() {
             stats.interrupt = Some(irq);
             break;
         }
         stats.rounds += 1;
-        active.shuffle(rng);
+        due.shuffle(rng);
 
-        // Probe phase: every active node against the round-start snapshot.
-        // `candidates[i]` is the probe result for `active[i]`; workers get
+        // Probe phase: every due node against the round-start snapshot.
+        // `candidates[i]` is the probe result for `due[i]`; workers get
         // disjoint index ranges, so the outcome is independent of how many
         // there are.
         let probe_start = Instant::now();
         candidates.clear();
-        candidates.resize_with(active.len(), || Probe::NotRun);
+        candidates.resize_with(due.len(), || Probe::NotRun);
         let stop = InterruptCell::new();
         let probe_base = stats.probes as u64;
-        let workers = threads.min(active.len());
+        let workers = threads.min(due.len());
         if workers <= 1 {
             run_chunk(
                 &metric,
-                &active,
+                &due,
                 &mut candidates,
                 probe_base,
                 &mut inline_scratch,
                 &stop,
             );
         } else {
-            let chunk = active.len().div_ceil(workers);
+            let chunk = due.len().div_ceil(workers);
             let (metric_ref, stop_ref, run_ref) = (&metric, &stop, &run_chunk);
             std::thread::scope(|s| {
-                for (ci, (nodes, out)) in active
+                for (ci, (nodes, out)) in due
                     .chunks(chunk)
                     .zip(candidates.chunks_mut(chunk))
                     .enumerate()
                 {
                     s.spawn(move || {
-                        let mut scratch = GrowerScratch::new(h);
+                        let mut scratch = ProbeScratch::new(h);
                         let base = probe_base + (ci * chunk) as u64;
                         run_ref(metric_ref, nodes, out, base, &mut scratch, stop_ref);
                     });
@@ -411,15 +500,17 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
         // re-validated against the updated metric before injecting. On an
         // interrupted round this commits whatever the workers finished —
         // injections only ever tighten the metric, so partial rounds are
-        // as sound as full ones.
+        // as sound as full ones. Held (deferred) nodes carry over first,
+        // preserving their order.
         let commit_start = Instant::now();
         let mut dirty = false;
         let mut still_active = Vec::with_capacity(active.len());
-        for (slot, &v) in candidates.iter_mut().zip(&active) {
+        still_active.extend_from_slice(&held);
+        for (slot, &v) in candidates.iter_mut().zip(&due) {
             match std::mem::replace(slot, Probe::NotRun) {
                 Probe::NotRun => {
                     // Interrupted before this probe ran: status unknown,
-                    // the node must stay in the working set.
+                    // the node must stay in the working set (still due).
                     still_active.push(v);
                 }
                 Probe::Clear => {
@@ -436,13 +527,13 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
                     stats.oracle_faults += 1;
                     still_active.push(v);
                 }
-                Probe::Violated(t) if t.nets.is_empty() => {
+                Probe::Violated(t, _) if t.nets.is_empty() => {
                     // A single node already exceeds C_0: no amount of flow
                     // can spread it. Drop it so the loop can terminate.
                     stats.probes += 1;
                     stats.converged = false;
                 }
-                Probe::Violated(t) => {
+                Probe::Violated(t, min_rel_slack) => {
                     stats.probes += 1;
                     if !dirty || t.still_violated(&metric, params.tolerance) {
                         stats.injections += 1;
@@ -454,11 +545,42 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
                             );
                         }
                         dirty = true;
+                        // An injecting node is making progress: keep it
+                        // hot (it was due this round, so it stays due).
+                        backoff[v.index()] = 0;
                     } else {
                         // The injections committed earlier this round
-                        // already satisfied this tree; the node re-probes
-                        // against the fresh metric next round.
+                        // already satisfied this tree. Under the adaptive
+                        // schedule, defer the re-probe geometrically, the
+                        // exponent growing with how much slack the node
+                        // showed: its probe's minimum relative slack,
+                        // tightened by the commit-time repricing of the
+                        // candidate itself (both only ever grow).
                         stats.wasted_probes += 1;
+                        if adaptive {
+                            let repriced_slack = if t.bound > 0.0 {
+                                (t.repriced_lhs(&metric) - t.bound) / t.bound
+                            } else {
+                                f64::INFINITY
+                            };
+                            let slack = min_rel_slack.min(repriced_slack);
+                            // Every wasted probe backs off — by monotonicity
+                            // the repriced tree can never violate again, so
+                            // the node is satisfied *right now* and the only
+                            // question is how long that is likely to last.
+                            // The slack picks the exponent's growth rate.
+                            let grow: u8 = if slack < SLACK_RETRY {
+                                1
+                            } else if slack < SLACK_FAR {
+                                2
+                            } else {
+                                3
+                            };
+                            let exp = (backoff[v.index()] + grow).min(MAX_BACKOFF);
+                            backoff[v.index()] = exp;
+                            due_round[v.index()] = clock + (1u64 << exp);
+                            stats.deferrals += 1;
+                        }
                     }
                     still_active.push(v);
                 }

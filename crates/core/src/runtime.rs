@@ -235,6 +235,30 @@ impl Budget {
         Ok(())
     }
 
+    /// Passive check of cancellation and the wall-clock deadline only.
+    ///
+    /// Phases that consume no rounds or probes (cut growth, tree
+    /// construction) poll this instead of [`check`](Budget::check): a
+    /// saturated round or probe counter means the *metric* budget is spent,
+    /// not that downstream work on the already-computed metric must abort.
+    pub fn check_time(&self) -> Result<(), Interrupt> {
+        if self.cancel.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(Interrupt::Deadline);
+            }
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = self.fault_plan() {
+            if plan.forces_expiry(self.rounds.load(Ordering::Relaxed)) {
+                return Err(Interrupt::Deadline);
+            }
+        }
+        Ok(())
+    }
+
     /// Charges one injection round, then checks the budget.
     ///
     /// Called at the top of each Algorithm 2 round; the round counter is

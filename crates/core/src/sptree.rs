@@ -235,6 +235,21 @@ impl<'a> TreeGrower<'a> {
     pub fn distance(&self, v: NodeId) -> f64 {
         self.scratch.get().dist[v.index()]
     }
+
+    /// Consumes the grower and returns the distance array (`INFINITY` for
+    /// nodes not settled yet — drain the iterator first for full
+    /// single-source distances).
+    ///
+    /// A grower that owns its buffers ([`TreeGrower::new`]) moves the
+    /// vector out without copying; one borrowing a caller's scratch
+    /// ([`TreeGrower::with_scratch`]) must clone, since the scratch keeps
+    /// its buffers for the next probe.
+    pub fn into_distances(self) -> Vec<f64> {
+        match self.scratch {
+            Scratch::Owned(mut s) => std::mem::take(&mut s.dist),
+            Scratch::Borrowed(s) => s.dist.clone(),
+        }
+    }
 }
 
 impl Iterator for TreeGrower<'_> {
@@ -247,11 +262,12 @@ impl Iterator for TreeGrower<'_> {
 }
 
 /// Full single-source distances over the hypergraph — a convenience wrapper
-/// that drains a [`TreeGrower`].
+/// that drains a [`TreeGrower`] and moves the distance vector out
+/// (via [`TreeGrower::into_distances`], so no copy is made).
 pub fn hypergraph_distances(h: &Hypergraph, metric: &SpreadingMetric, source: NodeId) -> Vec<f64> {
     let mut grower = TreeGrower::new(h, metric, source);
     while grower.next().is_some() {}
-    grower.scratch.get().dist.clone()
+    grower.into_distances()
 }
 
 #[cfg(test)]

@@ -1,0 +1,109 @@
+//! Property tests for the slack-aware probe scheduler: deferring
+//! well-satisfied sources must never change *whether* Algorithm 2
+//! converges, only how much work it spends getting there.
+
+use htp_core::constraint::check_feasibility;
+use htp_core::injector::{compute_spreading_metric, FlowParams, ProbeSchedule};
+use htp_model::TreeSpec;
+use htp_netlist::gen::clustered::{clustered_hypergraph, ClusteredParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn params(schedule: ProbeSchedule) -> FlowParams {
+    FlowParams {
+        schedule,
+        ..FlowParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Whenever the exhaustive schedule converges, the adaptive one does
+    /// too, and both metrics pass the exhaustive (P1) feasibility scan.
+    /// Instance sizes sit above the 256-node adaptive cutoff, so the
+    /// deferral machinery is genuinely in play.
+    #[test]
+    fn adaptive_converges_to_a_feasible_metric_whenever_exhaustive_does(
+        instance_seed in 0u64..1_000,
+        flow_seed in 0u64..1_000,
+        clusters in 3usize..5,
+        cluster_size in 90usize..130,
+    ) {
+        let inst = clustered_hypergraph(
+            ClusteredParams {
+                clusters,
+                cluster_size,
+                intra_nets: clusters * cluster_size * 2,
+                inter_nets: clusters * 2,
+                ..ClusteredParams::default()
+            },
+            &mut StdRng::seed_from_u64(instance_seed),
+        );
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
+
+        let (m_ex, st_ex) = compute_spreading_metric(
+            h,
+            &spec,
+            params(ProbeSchedule::Exhaustive),
+            &mut StdRng::seed_from_u64(flow_seed),
+        );
+        let (m_ad, st_ad) = compute_spreading_metric(
+            h,
+            &spec,
+            params(ProbeSchedule::Adaptive),
+            &mut StdRng::seed_from_u64(flow_seed),
+        );
+
+        prop_assert_eq!(st_ex.deferrals, 0, "exhaustive never defers");
+        if st_ex.converged {
+            prop_assert!(
+                st_ad.converged,
+                "adaptive failed where exhaustive converged \
+                 (instance {}, flow {})",
+                instance_seed,
+                flow_seed
+            );
+        }
+        let tol = params(ProbeSchedule::Adaptive).tolerance;
+        if st_ex.converged {
+            let rep = check_feasibility(h, &spec, &m_ex, tol);
+            prop_assert!(rep.feasible, "exhaustive metric infeasible: {rep:?}");
+        }
+        if st_ad.converged {
+            let rep = check_feasibility(h, &spec, &m_ad, tol);
+            prop_assert!(rep.feasible, "adaptive metric infeasible: {rep:?}");
+        }
+    }
+}
+
+/// Below the 256-node cutoff the adaptive schedule falls back to the
+/// exhaustive one: metric and stats must be bit-identical, with no
+/// deferrals recorded.
+#[test]
+fn small_instances_ignore_the_adaptive_schedule() {
+    let inst = clustered_hypergraph(ClusteredParams::default(), &mut StdRng::seed_from_u64(7));
+    let h = &inst.hypergraph;
+    assert!(h.num_nodes() < 256, "fixture must sit below the cutoff");
+    let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
+    let (m_ad, st_ad) = compute_spreading_metric(
+        h,
+        &spec,
+        params(ProbeSchedule::Adaptive),
+        &mut StdRng::seed_from_u64(3),
+    );
+    let (m_ex, st_ex) = compute_spreading_metric(
+        h,
+        &spec,
+        params(ProbeSchedule::Exhaustive),
+        &mut StdRng::seed_from_u64(3),
+    );
+    assert_eq!(m_ad.lengths(), m_ex.lengths());
+    assert_eq!(st_ad, st_ex);
+    assert_eq!(st_ad.deferrals, 0);
+}

@@ -14,12 +14,25 @@ fn exact_round_budget_boundary() {
     let spec = TreeSpec::full_tree(h.total_size(), 2, 2, 1.2, 1.0).unwrap();
     // Natural round count of the first metric:
     let (_, stats) = compute_spreading_metric_budgeted(
-        h, &spec, FlowParams::default(), &mut StdRng::seed_from_u64(23), &Budget::unlimited());
+        h,
+        &spec,
+        FlowParams::default(),
+        &mut StdRng::seed_from_u64(23),
+        &Budget::unlimited(),
+    );
     let natural = stats.rounds as u64;
-    println!("natural rounds = {natural}, converged = {}", stats.converged);
+    println!(
+        "natural rounds = {natural}, converged = {}",
+        stats.converged
+    );
     // Budget with exactly that many rounds: the metric fits the budget.
     let budget = Budget::unlimited().with_max_rounds(natural);
-    let part = FlowPartitioner::try_new(PartitionerParams { iterations: 1, constructions_per_metric: 1, flow: FlowParams::default() }).unwrap();
+    let part = FlowPartitioner::try_new(PartitionerParams {
+        iterations: 1,
+        constructions_per_metric: 1,
+        flow: FlowParams::default(),
+    })
+    .unwrap();
     let run = part.run_with_budget(h, &spec, &mut StdRng::seed_from_u64(23), &budget);
     match &run {
         Ok(r) => println!("OK outcome={:?}", r.outcome),

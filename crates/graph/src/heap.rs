@@ -1,14 +1,25 @@
-//! An indexed binary min-heap with decrease-key.
+//! An indexed d-ary (4-ary) min-heap with decrease-key.
 //!
 //! Dijkstra and Prim both need a priority queue whose entries can be
 //! re-prioritised in place. This heap keys entries by a dense `usize` id and
 //! maintains an id → heap-slot index so `decrease_key` is `O(log n)` without
 //! lazy deletion.
+//!
+//! The layout is an implicit 4-ary tree: children of slot `i` are
+//! `4i+1..=4i+4`, all adjacent in memory, so a sift-down touches half the
+//! cache lines of a binary heap for the same element count and the tree is
+//! half as deep. Sifts move a *hole* instead of swapping — the displaced
+//! entry is written exactly once, at its final slot.
 
-/// Indexed binary min-heap over `f64` keys.
+/// Children per node of the implicit heap tree.
+const ARITY: usize = 4;
+
+/// Indexed 4-ary min-heap over `f64` keys.
 ///
 /// Ids must be dense (`0..capacity`); each id may be in the heap at most
-/// once. Ties are broken by id so iteration order is deterministic.
+/// once. Ties are broken by id, which makes the pop order a strict total
+/// order — and therefore independent of the tree arity and of the history
+/// of sift moves.
 #[derive(Clone, Debug)]
 pub struct IndexedMinHeap {
     /// Heap array of ids, `heap[0]` smallest.
@@ -20,6 +31,16 @@ pub struct IndexedMinHeap {
 }
 
 const ABSENT: u32 = u32::MAX;
+
+/// The heap's strict total order on `(key, id)` entries.
+#[inline]
+fn entry_less(key_a: f64, id_a: u32, key_b: f64, id_b: u32) -> bool {
+    match key_a.partial_cmp(&key_b).expect("keys are not NaN") {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => id_a < id_b,
+    }
+}
 
 impl IndexedMinHeap {
     /// Creates a heap able to hold ids `0..capacity`.
@@ -63,33 +84,28 @@ impl IndexedMinHeap {
         if self.contains(id) {
             if key < self.key[id] {
                 self.key[id] = key;
-                self.sift_up(self.pos[id] as usize);
+                self.sift_up(self.pos[id] as usize, id as u32);
                 true
             } else {
                 false
             }
         } else {
             self.key[id] = key;
-            self.pos[id] = self.heap.len() as u32;
+            let slot = self.heap.len();
             self.heap.push(id as u32);
-            self.sift_up(self.heap.len() - 1);
+            self.sift_up(slot, id as u32);
             true
         }
     }
 
     /// Removes and returns the `(id, key)` with the smallest key.
     pub fn pop(&mut self) -> Option<(usize, f64)> {
-        if self.heap.is_empty() {
-            return None;
-        }
-        let top = self.heap[0] as usize;
+        let top = *self.heap.first()? as usize;
         let key = self.key[top];
         let last = self.heap.pop().expect("non-empty");
         self.pos[top] = ABSENT;
         if !self.heap.is_empty() {
-            self.heap[0] = last;
-            self.pos[last as usize] = 0;
-            self.sift_down(0);
+            self.sift_down(0, last);
         }
         Some((top, key))
     }
@@ -102,52 +118,58 @@ impl IndexedMinHeap {
         self.heap.clear();
     }
 
-    fn less(&self, a: usize, b: usize) -> bool {
-        let (ia, ib) = (self.heap[a] as usize, self.heap[b] as usize);
-        match self.key[ia]
-            .partial_cmp(&self.key[ib])
-            .expect("keys are not NaN")
-        {
-            std::cmp::Ordering::Less => true,
-            std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => ia < ib,
-        }
-    }
-
-    fn swap(&mut self, a: usize, b: usize) {
-        self.heap.swap(a, b);
-        self.pos[self.heap[a] as usize] = a as u32;
-        self.pos[self.heap[b] as usize] = b as u32;
-    }
-
-    fn sift_up(&mut self, mut i: usize) {
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if self.less(i, parent) {
-                self.swap(i, parent);
-                i = parent;
+    /// Moves the hole at `slot` towards the root until `id` fits, then
+    /// places `id` there. `heap[slot]` is treated as vacant on entry.
+    fn sift_up(&mut self, mut slot: usize, id: u32) {
+        let key = self.key[id as usize];
+        while slot > 0 {
+            let parent = (slot - 1) / ARITY;
+            let pid = self.heap[parent];
+            if entry_less(key, id, self.key[pid as usize], pid) {
+                self.heap[slot] = pid;
+                self.pos[pid as usize] = slot as u32;
+                slot = parent;
             } else {
                 break;
             }
         }
+        self.heap[slot] = id;
+        self.pos[id as usize] = slot as u32;
     }
 
-    fn sift_down(&mut self, mut i: usize) {
+    /// Moves the hole at `slot` towards the leaves until `id` fits, then
+    /// places `id` there. `heap[slot]` is treated as vacant on entry.
+    fn sift_down(&mut self, mut slot: usize, id: u32) {
+        let key = self.key[id as usize];
+        let len = self.heap.len();
         loop {
-            let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut smallest = i;
-            if l < self.heap.len() && self.less(l, smallest) {
-                smallest = l;
-            }
-            if r < self.heap.len() && self.less(r, smallest) {
-                smallest = r;
-            }
-            if smallest == i {
+            let first = ARITY * slot + 1;
+            if first >= len {
                 break;
             }
-            self.swap(i, smallest);
-            i = smallest;
+            // Smallest of the (up to four, memory-adjacent) children.
+            let mut best = first;
+            let mut best_id = self.heap[first];
+            let mut best_key = self.key[best_id as usize];
+            for child in first + 1..(first + ARITY).min(len) {
+                let cid = self.heap[child];
+                let ckey = self.key[cid as usize];
+                if entry_less(ckey, cid, best_key, best_id) {
+                    best = child;
+                    best_id = cid;
+                    best_key = ckey;
+                }
+            }
+            if entry_less(best_key, best_id, key, id) {
+                self.heap[slot] = best_id;
+                self.pos[best_id as usize] = slot as u32;
+                slot = best;
+            } else {
+                break;
+            }
         }
+        self.heap[slot] = id;
+        self.pos[id as usize] = slot as u32;
     }
 }
 
@@ -198,6 +220,29 @@ mod tests {
         assert!(!h.contains(0));
         h.push_or_decrease(0, 2.0);
         assert_eq!(h.pop(), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn deep_heap_keeps_positions_consistent() {
+        // Exercise multi-level 4-ary sifts: push descending keys (every
+        // push sifts to the root), then interleave pops and decreases.
+        let n = 500;
+        let mut h = IndexedMinHeap::new(n);
+        for i in 0..n {
+            h.push_or_decrease(i, (n - i) as f64);
+        }
+        for i in (0..n).step_by(7) {
+            h.push_or_decrease(i, 0.25 + i as f64 * 1e-6);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((id, k)) = h.pop() {
+            assert!(k >= last, "pop order regressed at id {id}");
+            assert!(!h.contains(id));
+            last = k;
+            count += 1;
+        }
+        assert_eq!(count, n);
     }
 
     proptest! {

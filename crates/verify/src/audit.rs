@@ -22,7 +22,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A min-heap entry ordered by total distance.
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapEntry {
     dist: f64,
     node: usize,
@@ -44,6 +44,15 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Reusable buffers for [`shortest_distances_into`], so an audit that
+/// runs a Dijkstra per source allocates once instead of per call.
+#[derive(Debug, Default)]
+pub struct DistanceScratch {
+    done: Vec<bool>,
+    net_done: Vec<bool>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
 /// Single-source shortest distances over the hypergraph under the net
 /// lengths `d`, where moving between any two pins of net `e` costs
 /// `d[e]`. Unreachable nodes get `f64::INFINITY`.
@@ -56,12 +65,39 @@ impl Ord for HeapEntry {
 /// Panics if `d.len()` differs from the net count or `source` is out of
 /// range.
 pub fn shortest_distances(h: &Hypergraph, d: &[f64], source: NodeId) -> Vec<f64> {
+    let mut dist = Vec::new();
+    shortest_distances_into(h, d, source, &mut DistanceScratch::default(), &mut dist);
+    dist
+}
+
+/// [`shortest_distances`] writing into caller-owned buffers: `dist` is
+/// resized and overwritten, `scratch` is cleared and refilled. Repeated
+/// calls reuse every allocation.
+///
+/// # Panics
+///
+/// As [`shortest_distances`].
+pub fn shortest_distances_into(
+    h: &Hypergraph,
+    d: &[f64],
+    source: NodeId,
+    scratch: &mut DistanceScratch,
+    dist: &mut Vec<f64>,
+) {
     assert_eq!(d.len(), h.num_nets(), "one length per net");
     assert!(source.index() < h.num_nodes(), "source out of range");
-    let mut dist = vec![f64::INFINITY; h.num_nodes()];
-    let mut done = vec![false; h.num_nodes()];
-    let mut net_done = vec![false; h.num_nets()];
-    let mut heap = BinaryHeap::new();
+    dist.clear();
+    dist.resize(h.num_nodes(), f64::INFINITY);
+    let DistanceScratch {
+        done,
+        net_done,
+        heap,
+    } = scratch;
+    done.clear();
+    done.resize(h.num_nodes(), false);
+    net_done.clear();
+    net_done.resize(h.num_nets(), false);
+    heap.clear();
     dist[source.index()] = 0.0;
     heap.push(Reverse(HeapEntry {
         dist: 0.0,
@@ -89,7 +125,6 @@ pub fn shortest_distances(h: &Hypergraph, d: &[f64], source: NodeId) -> Vec<f64>
             }
         }
     }
-    dist
 }
 
 /// The spreading bound `g(x)` of (P1), implemented from the paper's
@@ -152,14 +187,16 @@ where
     let mut worst_shortfall = 0.0f64;
     let mut worst_source = None;
     let mut sources_checked = 0;
+    let mut scratch = DistanceScratch::default();
+    let mut dist = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
     for v in sources {
         sources_checked += 1;
-        let dist = shortest_distances(h, d, v);
+        shortest_distances_into(h, d, v, &mut scratch, &mut dist);
         // Prefixes of the distance order: sort reachable nodes by
         // distance (ties broken by index, matching the heap's order).
-        let mut order: Vec<usize> = (0..h.num_nodes())
-            .filter(|&u| dist[u].is_finite())
-            .collect();
+        order.clear();
+        order.extend((0..h.num_nodes()).filter(|&u| dist[u].is_finite()));
         order.sort_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
         let mut size = 0u64;
         let mut lhs = 0.0f64;
@@ -227,6 +264,36 @@ mod tests {
         let h = b.build().unwrap();
         let d = shortest_distances(&h, &[1.0, 1.0], NodeId(0));
         assert!(d[2].is_infinite() && d[3].is_infinite());
+    }
+
+    #[test]
+    fn reused_buffers_match_fresh_allocations() {
+        // One scratch across sources and even across graphs of different
+        // shape must reproduce the allocating path exactly.
+        let chain = path(&[1.0, 2.0, 0.5]);
+        let mut b = HypergraphBuilder::with_unit_nodes(4);
+        b.add_net(1.5, [NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
+        let star = b.build().unwrap();
+        let mut scratch = DistanceScratch::default();
+        let mut dist = Vec::new();
+        for _ in 0..2 {
+            for s in 0..4 {
+                shortest_distances_into(
+                    &chain,
+                    &[1.0, 2.0, 0.5],
+                    NodeId::new(s),
+                    &mut scratch,
+                    &mut dist,
+                );
+                assert_eq!(
+                    dist,
+                    shortest_distances(&chain, &[1.0, 2.0, 0.5], NodeId::new(s))
+                );
+                shortest_distances_into(&star, &[1.5], NodeId::new(s), &mut scratch, &mut dist);
+                assert_eq!(dist, shortest_distances(&star, &[1.5], NodeId::new(s)));
+            }
+        }
     }
 
     #[test]

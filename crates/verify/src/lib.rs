@@ -41,5 +41,8 @@ pub mod certificate;
 pub mod gen;
 
 pub use assignment::{parse_assignment, AssignmentError};
-pub use audit::{audit_metric, shortest_distances, spreading_bound, MetricAudit};
+pub use audit::{
+    audit_metric, shortest_distances, shortest_distances_into, spreading_bound, DistanceScratch,
+    MetricAudit,
+};
 pub use certificate::{certify, PartitionCertificate, Violation};
