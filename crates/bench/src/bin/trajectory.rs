@@ -7,10 +7,15 @@
 //! hand-rolled (the workspace vendors no serde); the schema is validated
 //! by CI's `bench-smoke` job.
 //!
-//! Usage: `trajectory [--quick] [--out PATH]`
+//! Usage: `trajectory [--quick] [--multilevel] [--out PATH]`
 //!
-//! * `--quick` shrinks both instances (~400 nodes) for CI smoke runs.
-//! * `--out PATH` changes the output path (default `BENCH_5.json`).
+//! * `--quick` shrinks the instances for CI smoke runs (~400 nodes flat,
+//!   20k nodes multilevel).
+//! * `--multilevel` benchmarks the V-cycle engine on 100k-node instances
+//!   instead of the flat Algorithm-2 hot path, writing a per-level
+//!   time/cost breakdown to `BENCH_6.json`.
+//! * `--out PATH` changes the output path (default `BENCH_5.json`, or
+//!   `BENCH_6.json` with `--multilevel`).
 //!
 //! Thread count comes from `HTP_THREADS` (default 1). The metric itself is
 //! bit-identical at any thread count; only wall-clock moves.
@@ -19,6 +24,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use htp_bench::{paper_spec, threads_from_env, EXPERIMENT_SEED};
+use htp_cluster::vcycle::{vcycle_partition, VCycleParams, VCycleResult};
 use htp_core::construct::construct_partition;
 use htp_core::injector::{compute_spreading_metric, FlowParams, InjectionStats};
 use htp_model::{cost, validate, TreeSpec};
@@ -183,29 +189,179 @@ fn render(samples: &[Sample], threads: usize, quick: bool) -> String {
     out
 }
 
+/// One instance's multilevel (V-cycle) measurements.
+struct MlSample {
+    name: String,
+    nodes: usize,
+    nets: usize,
+    total_seconds: f64,
+    certified: bool,
+    result: VCycleResult,
+}
+
+fn measure_multilevel(name: String, h: &Hypergraph, spec: &TreeSpec, threads: usize) -> MlSample {
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+    let mut params = VCycleParams::default();
+    params.partitioner.flow.threads = threads;
+    let start = Instant::now();
+    let result = vcycle_partition(h, spec, params, &mut rng).expect("V-cycle must succeed");
+    let total_seconds = start.elapsed().as_secs_f64();
+    let cert = htp_verify::certificate::certify(h, spec, &result.partition);
+    assert!(
+        cert.is_valid(),
+        "{name}: V-cycle output failed certification: {:?}",
+        cert.violations
+    );
+    eprintln!(
+        "{name}: {} levels, coarsest {} nodes, total {total_seconds:.3}s \
+         (coarsen {:.3}s, solve {:.3}s), cost {} (coarsest {})",
+        result.num_levels,
+        result.coarsest_nodes,
+        result.coarsen_seconds,
+        result.solve_seconds,
+        result.cost,
+        result.coarsest_cost
+    );
+    MlSample {
+        name,
+        nodes: h.num_nodes(),
+        nets: h.num_nets(),
+        total_seconds,
+        certified: cert.is_valid(),
+        result,
+    }
+}
+
+fn render_multilevel(samples: &[MlSample], threads: usize, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"trajectory-multilevel\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"peak_rss_bytes\": {},", peak_rss_bytes());
+    out.push_str("  \"instances\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let r = &s.result;
+        let refine_seconds: f64 = r.levels.iter().map(|l| l.refine_seconds).sum();
+        let refinement_gain: f64 = r
+            .levels
+            .iter()
+            .map(|l| l.projected_cost - l.refined_cost)
+            .sum();
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(&s.name));
+        let _ = writeln!(out, "      \"nodes\": {},", s.nodes);
+        let _ = writeln!(out, "      \"nets\": {},", s.nets);
+        let _ = writeln!(out, "      \"num_levels\": {},", r.num_levels);
+        let _ = writeln!(out, "      \"coarsest_nodes\": {},", r.coarsest_nodes);
+        let _ = writeln!(out, "      \"coarsest_cost\": {},", r.coarsest_cost);
+        let _ = writeln!(out, "      \"total_seconds\": {:.6},", s.total_seconds);
+        let _ = writeln!(out, "      \"coarsen_seconds\": {:.6},", r.coarsen_seconds);
+        let _ = writeln!(out, "      \"solve_seconds\": {:.6},", r.solve_seconds);
+        let _ = writeln!(out, "      \"refine_seconds\": {refine_seconds:.6},");
+        let _ = writeln!(out, "      \"refinement_gain\": {refinement_gain},");
+        let _ = writeln!(out, "      \"outcome\": \"{}\",", r.outcome);
+        let _ = writeln!(out, "      \"certified\": {},", s.certified);
+        let _ = writeln!(out, "      \"cost\": {},", r.cost);
+        out.push_str("      \"levels\": [\n");
+        for (j, lvl) in r.levels.iter().enumerate() {
+            out.push_str("        {\n");
+            let _ = writeln!(out, "          \"nodes\": {},", lvl.nodes);
+            let _ = writeln!(out, "          \"nets\": {},", lvl.nets);
+            let _ = writeln!(
+                out,
+                "          \"coarsen_seconds\": {:.6},",
+                lvl.coarsen_seconds
+            );
+            let _ = writeln!(
+                out,
+                "          \"refine_seconds\": {:.6},",
+                lvl.refine_seconds
+            );
+            let _ = writeln!(out, "          \"projected_cost\": {},", lvl.projected_cost);
+            let _ = writeln!(out, "          \"refined_cost\": {},", lvl.refined_cost);
+            let _ = writeln!(
+                out,
+                "          \"flow_pairs_tried\": {},",
+                lvl.flow_pairs_tried
+            );
+            let _ = writeln!(
+                out,
+                "          \"flow_pairs_accepted\": {},",
+                lvl.flow_pairs_accepted
+            );
+            let _ = writeln!(
+                out,
+                "          \"flow_moved_nodes\": {},",
+                lvl.flow_moved_nodes
+            );
+            let _ = writeln!(out, "          \"hfm_used\": {}", lvl.hfm_used);
+            out.push_str(if j + 1 == r.levels.len() {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 == samples.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let multilevel = args.iter().any(|a| a == "--multilevel");
+    let default_out = if multilevel {
+        "BENCH_6.json"
+    } else {
+        "BENCH_5.json"
+    };
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| default_out.to_string());
     let threads = threads_from_env();
 
-    let (rent_nodes, clusters, cluster_size) = if quick { (400, 4, 100) } else { (2000, 8, 250) };
+    let json = if multilevel {
+        // V-cycle scale: the flat path tops out around 2k nodes; the
+        // multilevel engine is benchmarked at 20k (quick) / 100k nodes.
+        let (rent_nodes, clusters, cluster_size) = if quick {
+            (20_000, 200, 100)
+        } else {
+            (100_000, 1000, 100)
+        };
+        let mut samples = Vec::new();
+        for (name, h) in [
+            rent_instance(rent_nodes),
+            clustered_instance(clusters, cluster_size),
+        ] {
+            let spec = paper_spec(&h);
+            samples.push(measure_multilevel(name, &h, &spec, threads));
+        }
+        render_multilevel(&samples, threads, quick)
+    } else {
+        let (rent_nodes, clusters, cluster_size) =
+            if quick { (400, 4, 100) } else { (2000, 8, 250) };
+        let mut samples = Vec::new();
+        for (name, h) in [
+            rent_instance(rent_nodes),
+            clustered_instance(clusters, cluster_size),
+        ] {
+            let spec = paper_spec(&h);
+            samples.push(measure(name, &h, &spec, threads));
+        }
+        render(&samples, threads, quick)
+    };
 
-    let mut samples = Vec::new();
-    for (name, h) in [
-        rent_instance(rent_nodes),
-        clustered_instance(clusters, cluster_size),
-    ] {
-        let spec = paper_spec(&h);
-        samples.push(measure(name, &h, &spec, threads));
-    }
-
-    let json = render(&samples, threads, quick);
     std::fs::write(&out_path, &json).expect("writing the trajectory JSON");
     println!("wrote {out_path}");
 }

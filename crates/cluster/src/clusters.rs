@@ -44,6 +44,27 @@ pub fn agglomerate(
     profile: &CongestionProfile,
     max_cluster_size: u64,
 ) -> Clustering {
+    agglomerate_with_fillers(h, profile, max_cluster_size, 0)
+}
+
+/// Like [`agglomerate`], but every `filler_stride`-th node is frozen as a
+/// singleton cluster (`0` freezes nothing).
+///
+/// Repeated agglomeration makes every node chunky, and chunky nodes cannot
+/// land inside the tight block-size windows the constructive partitioner
+/// has to hit — the coarse instance becomes infeasible even though the
+/// fine one is not. Keeping a stripe of singletons at each level preserves
+/// a small-size tail the carve can use as filler.
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size` is smaller than some node.
+pub fn agglomerate_with_fillers(
+    h: &Hypergraph,
+    profile: &CongestionProfile,
+    max_cluster_size: u64,
+    filler_stride: usize,
+) -> Clustering {
     assert!(
         h.nodes().all(|v| h.node_size(v) <= max_cluster_size),
         "max_cluster_size must fit every single node"
@@ -57,6 +78,7 @@ pub fn agglomerate(
             .then(a.cmp(&b))
     });
 
+    let frozen = |v: usize| filler_stride != 0 && v.is_multiple_of(filler_stride);
     let mut uf = UnionFind::new(h.num_nodes());
     let mut size: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
     for e in order {
@@ -64,7 +86,7 @@ pub fn agglomerate(
         // Try to merge all pins pairwise into the first pin's cluster.
         for w in pins.windows(2) {
             let (a, b) = (uf.find(w[0].index()), uf.find(w[1].index()));
-            if a == b {
+            if a == b || frozen(a) || frozen(b) {
                 continue;
             }
             if size[a] + size[b] <= max_cluster_size {

@@ -13,7 +13,10 @@
 //! * [`congestion`] — pairwise stochastic flow injection; per-net flows.
 //! * [`clusters`] — size-capped agglomeration along low-congestion nets.
 //! * [`pipeline`] — cluster → contract → FLOW on the coarse netlist →
-//!   project back → optional hierarchical-FM refinement.
+//!   project back → optional hierarchical-FM refinement (two levels).
+//! * [`vcycle`] — the full multilevel V-cycle: recursive coarsening, FLOW
+//!   at the coarsest level, flow-based boundary refinement per level.
+//! * [`refine`] — the Heuer–Sanders–Schlag-style flow refinement pass.
 
 // Library code must surface failures as typed errors, not panics.
 #![warn(clippy::unwrap_used)]
@@ -21,3 +24,5 @@
 pub mod clusters;
 pub mod congestion;
 pub mod pipeline;
+pub mod refine;
+pub mod vcycle;

@@ -10,11 +10,17 @@
 //! Coarsening shrinks the dominant cost of Algorithm 2 (its Dijkstra
 //! sweeps) roughly quadratically in the contraction factor, at some loss
 //! of fine-grained freedom that step 4 wins back.
+//!
+//! The whole path is budget-aware: the coarse solve runs under the
+//! caller's [`Budget`], refinement is skipped once the deadline or cancel
+//! token fires, and the result reports how the run ended as a
+//! [`RunOutcome`]. For more than two levels, see [`crate::vcycle`].
 
 use rand::Rng;
 
 use htp_baselines::hfm::{improve, HfmParams};
 use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp_core::runtime::{Budget, RunOutcome};
 use htp_core::CoreError;
 use htp_model::{cost, HierarchicalPartition, PartitionBuilder, TreeSpec, VertexId};
 use htp_netlist::{Hypergraph, NodeId};
@@ -60,9 +66,12 @@ pub struct ClusteredFlowResult {
     pub clustering: Clustering,
     /// Size of the coarse netlist.
     pub coarse_nodes: usize,
+    /// How the budgeted run ended ([`RunOutcome::Complete`] when nothing
+    /// fired; any other value means the partition was salvaged early).
+    pub outcome: RunOutcome,
 }
 
-/// Runs the cluster → FLOW → project → refine pipeline.
+/// Runs the cluster → FLOW → project → refine pipeline with no budget.
 ///
 /// # Errors
 ///
@@ -78,6 +87,35 @@ pub fn clustered_flow_partition<R: Rng + ?Sized>(
     params: ClusteredFlowParams,
     rng: &mut R,
 ) -> Result<ClusteredFlowResult, CoreError> {
+    clustered_flow_partition_with_budget(h, spec, params, rng, &Budget::unlimited())
+}
+
+/// Runs the cluster → FLOW → project → refine pipeline under `budget`.
+///
+/// The coarse FLOW solve consumes the budget's rounds/probes and honours
+/// its deadline and cancel token. When the budget fires before the coarse
+/// solve can salvage anything (e.g. a pre-cancelled token), one bounded
+/// salvage round still produces a valid partition, refinement is skipped,
+/// and the interrupt is reported in
+/// [`ClusteredFlowResult::outcome`] — the pipeline never runs to
+/// completion past an exhausted budget, but it also never returns empty-
+/// handed for a feasible instance.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the inner partitioner (infeasible specs,
+/// no feasible cuts), from projection, and from refinement.
+///
+/// # Panics
+///
+/// Panics if `cluster_cap_fraction` is outside `(0, 1]`.
+pub fn clustered_flow_partition_with_budget<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: ClusteredFlowParams,
+    rng: &mut R,
+    budget: &Budget,
+) -> Result<ClusteredFlowResult, CoreError> {
     assert!(
         params.cluster_cap_fraction > 0.0 && params.cluster_cap_fraction <= 1.0,
         "cluster_cap_fraction must be in (0, 1]"
@@ -91,31 +129,26 @@ pub fn clustered_flow_partition<R: Rng + ?Sized>(
     let profile = flow_congestion(h, params.congestion, rng);
     let clustering = agglomerate(h, &profile, cap);
 
-    // 2. Contract and partition the coarse netlist.
+    // 2. Contract and partition the coarse netlist under the budget.
     let coarse = h.contract(&clustering.cluster_of);
-    let coarse_result = FlowPartitioner::try_new(params.partitioner)?.run(&coarse, spec, rng)?;
+    let partitioner = FlowPartitioner::try_new(params.partitioner)?;
+    let (coarse_partition, mut outcome) = solve_budgeted(&partitioner, &coarse, spec, rng, budget)?;
 
     // 3. Project back.
-    let partition = project(
-        &coarse_result.partition,
-        &clustering.cluster_of,
-        h.num_nodes(),
-    )?;
+    let partition = project(&coarse_partition, &clustering.cluster_of, h.num_nodes())?;
     htp_model::validate::validate(h, spec, &partition)?;
     let projected_cost = cost::partition_cost(h, spec, &partition);
 
-    // 4. Refine.
-    let (partition, final_cost) = if params.refine {
-        match improve(h, spec, &partition, HfmParams::default()) {
-            Ok(r) => {
-                let c = r.cost_after;
-                (r.partition, c)
-            }
-            Err(htp_baselines::BaselineError::Model(m)) => return Err(CoreError::Model(m)),
-            Err(other) => {
-                unreachable!("hfm only fails on invalid partitions: {other}")
-            }
+    // 4. Refine, unless the budget has already fired.
+    let refine_allowed = match budget.check_time() {
+        Ok(()) => true,
+        Err(irq) => {
+            outcome = outcome.combine(RunOutcome::from_interrupt(irq));
+            false
         }
+    };
+    let (partition, final_cost) = if params.refine && refine_allowed {
+        refine_partition(h, spec, &partition)?
     } else {
         (partition, projected_cost)
     };
@@ -126,12 +159,63 @@ pub fn clustered_flow_partition<R: Rng + ?Sized>(
         projected_cost,
         clustering,
         coarse_nodes: coarse.num_nodes(),
+        outcome,
     })
+}
+
+/// Runs the inner partitioner under `budget`, falling back to one bounded
+/// salvage round when the budget fires before anything was found. Used by
+/// both this pipeline and the V-cycle's coarsest solve.
+pub(crate) fn solve_budgeted<R: Rng + ?Sized>(
+    partitioner: &FlowPartitioner,
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    rng: &mut R,
+    budget: &Budget,
+) -> Result<(HierarchicalPartition, RunOutcome), CoreError> {
+    match partitioner.run_with_budget(h, spec, rng, budget) {
+        Ok(run) => Ok((run.result.partition, run.outcome)),
+        Err(CoreError::Interrupted(irq)) => {
+            // The budget died before the solver could salvage anything.
+            // One bounded round still yields a valid (if rough) partition;
+            // the interrupt stays visible in the outcome.
+            let salvage = Budget::unlimited().with_max_rounds(1);
+            let run = partitioner.run_with_budget(h, spec, rng, &salvage)?;
+            Ok((run.result.partition, RunOutcome::from_interrupt(irq)))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Improves `p` with the hierarchical FM pass, mapping every baseline
+/// failure to a typed [`CoreError`] (an invalid partition surfaces as
+/// [`CoreError::Model`], anything else as [`CoreError::Refinement`] —
+/// never a panic).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] when `p` is not a valid partition of `h`,
+/// and [`CoreError::Refinement`] for any other baseline-layer failure.
+pub fn refine_partition(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+) -> Result<(HierarchicalPartition, f64), CoreError> {
+    match improve(h, spec, p, HfmParams::default()) {
+        Ok(r) => {
+            let c = r.cost_after;
+            Ok((r.partition, c))
+        }
+        Err(htp_baselines::BaselineError::Model(m)) => Err(CoreError::Model(m)),
+        Err(other) => Err(CoreError::Refinement {
+            what: format!("hierarchical FM failed on the projected partition: {other}"),
+        }),
+    }
 }
 
 /// Replicates the coarse partition's tree for the fine netlist, assigning
 /// each fine node to its cluster's leaf.
-fn project(
+pub(crate) fn project(
     coarse: &HierarchicalPartition,
     cluster_of: &[usize],
     fine_nodes: usize,
@@ -157,6 +241,7 @@ fn project(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use htp_core::runtime::CancelToken;
     use htp_model::validate;
     use htp_netlist::gen::rent::{rent_circuit, RentParams};
     use rand::rngs::StdRng;
@@ -190,6 +275,7 @@ mod tests {
         );
         assert!(r.cost <= r.projected_cost + 1e-9, "refinement never hurts");
         assert!((cost::partition_cost(&h, &spec, &r.partition) - r.cost).abs() < 1e-9);
+        assert!(r.outcome.is_complete(), "unbudgeted runs complete");
     }
 
     #[test]
@@ -253,5 +339,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_but_salvages_a_valid_partition() {
+        let (h, spec) = workload();
+        let mut rng = StdRng::seed_from_u64(17);
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the pipeline even starts
+        let budget = Budget::unlimited().with_cancel_token(token);
+        let r = clustered_flow_partition_with_budget(
+            &h,
+            &spec,
+            ClusteredFlowParams::default(),
+            &mut rng,
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Cancelled,
+            "the interrupt must be visible, not swallowed"
+        );
+        // Refinement was skipped: the salvaged result is the projection.
+        assert_eq!(r.cost, r.projected_cost);
+        validate::validate(&h, &spec, &r.partition).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_reports_and_still_returns_valid_work() {
+        let (h, spec) = workload();
+        let mut rng = StdRng::seed_from_u64(18);
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = clustered_flow_partition_with_budget(
+            &h,
+            &spec,
+            ClusteredFlowParams::default(),
+            &mut rng,
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(r.outcome, RunOutcome::DeadlineExceeded);
+        validate::validate(&h, &spec, &r.partition).unwrap();
+    }
+
+    #[test]
+    fn corrupted_partition_surfaces_a_typed_error_not_a_panic() {
+        let (h, spec) = workload();
+        // Cram every node into one leaf: wildly over capacity, so the FM
+        // baseline must reject it — through a typed error, never a panic.
+        let mut rng = StdRng::seed_from_u64(19);
+        let good = clustered_flow_partition(
+            &h,
+            &spec,
+            ClusteredFlowParams {
+                refine: false,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap()
+        .partition;
+        let one_leaf = good.leaf_of(NodeId::new(0));
+        let corrupted = good.with_assignment(vec![one_leaf; h.num_nodes()]).unwrap();
+        let err = refine_partition(&h, &spec, &corrupted).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Model(_) | CoreError::Refinement { .. }),
+            "expected a typed refinement error, got {err:?}"
+        );
     }
 }

@@ -1,0 +1,522 @@
+//! Flow-based boundary refinement (Heuer–Sanders–Schlag style).
+//!
+//! For a pair of leaf blocks joined by cut nets, carve out the boundary
+//! region, model it as a Lawler flow network (each net becomes a
+//! bridge-arc gadget whose capacity is the net's marginal cost of
+//! spanning both blocks), and re-split the region along a minimum cut.
+//! The min-cut side assignment proposes a set of node moves; a proposal
+//! is accepted only if it keeps every ancestor block within capacity
+//! *and* strictly lowers the exact multilevel cost — so refinement can
+//! never invalidate or worsen a partition, which is what lets the
+//! V-cycle certify after every level.
+
+use std::collections::HashMap;
+
+use htp_core::runtime::{Budget, Interrupt};
+use htp_core::CoreError;
+use htp_graph::maxflow::FlowNetwork;
+use htp_model::{HierarchicalPartition, TreeSpec, VertexId};
+use htp_netlist::{Hypergraph, NetId, NodeId};
+
+/// Parameters of one flow-refinement pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowRefineParams {
+    /// Maximum number of block pairs to refine per pass, in descending
+    /// cut-weight order.
+    pub max_pairs: usize,
+    /// Maximum boundary-region nodes per side; larger regions give the
+    /// min-cut more freedom but cost more per pair.
+    pub max_region: usize,
+    /// Nets spanning more than this many leaves are ignored when ranking
+    /// block pairs (they are cut whatever the pair decides).
+    pub max_span_for_pairs: usize,
+}
+
+impl Default for FlowRefineParams {
+    fn default() -> Self {
+        FlowRefineParams {
+            max_pairs: 24,
+            max_region: 1500,
+            max_span_for_pairs: 8,
+        }
+    }
+}
+
+/// What one flow-refinement pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FlowRefineReport {
+    /// Block pairs examined.
+    pub pairs_tried: usize,
+    /// Pairs whose min-cut move was feasible and strictly improving.
+    pub pairs_accepted: usize,
+    /// Nodes that changed leaf.
+    pub moved_nodes: usize,
+    /// Total cost decrease (non-negative by construction).
+    pub gain: f64,
+    /// Set when the budget stopped the pass early.
+    pub interrupt: Option<Interrupt>,
+}
+
+/// Runs one flow-based boundary-refinement pass over the heaviest cut
+/// pairs of `p`, returning the refined partition, its exact cost, and a
+/// report. The result never costs more than `start_cost` and always stays
+/// valid under `spec`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Model`] if an accepted assignment cannot be
+/// rebuilt into a partition (cannot happen for in-range moves; surfaced
+/// rather than unwrapped).
+pub fn flow_refine_pass(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    p: &HierarchicalPartition,
+    start_cost: f64,
+    params: &FlowRefineParams,
+    budget: &Budget,
+) -> Result<(HierarchicalPartition, f64, FlowRefineReport), CoreError> {
+    let mut report = FlowRefineReport::default();
+    let engine = RefineEngine::new(h, spec, p);
+    let mut state = RefineState::new(h, p);
+
+    let pairs = engine.ranked_pairs(&state, params);
+    for &(la, lb) in pairs.iter().take(params.max_pairs) {
+        if let Err(irq) = budget.check_time() {
+            report.interrupt = Some(irq);
+            break;
+        }
+        report.pairs_tried += 1;
+        // Region scaling: a min cut over a large region can propose a
+        // bulk move that no nearly-full block can absorb. Halving the
+        // region pulls the cut toward the current boundary (more anchors,
+        // smaller move sets) until a proposal fits the capacities.
+        let mut max_region = params.max_region;
+        for _ in 0..4 {
+            let Some(moves) = engine.propose(&state, la, lb, max_region) else {
+                break;
+            };
+            if let Some(gain) = state.try_apply(&engine, &moves) {
+                report.pairs_accepted += 1;
+                report.moved_nodes += moves.len();
+                report.gain += gain;
+                break;
+            }
+            max_region /= 2;
+            if max_region < 8 {
+                break;
+            }
+        }
+    }
+
+    if report.moved_nodes == 0 {
+        return Ok((p.clone(), start_cost, report));
+    }
+    let refined = p.with_assignment(state.assign)?;
+    let cost = start_cost - report.gain;
+    Ok((refined, cost, report))
+}
+
+/// Immutable per-pass context: leaf chains, weights, net pins.
+struct RefineEngine<'a> {
+    h: &'a Hypergraph,
+    spec: &'a TreeSpec,
+    /// Leaf vertices in id order; `rank` is an index into this.
+    leaves: Vec<VertexId>,
+    /// `chain[rank][l]` — raw vertex id of the leaf's block at level `l`,
+    /// for `l < root_level` (the levels the cost counts).
+    chain: Vec<Vec<u32>>,
+    /// Ancestor vertices of each leaf, bottom-up, excluding the root.
+    ancestors: Vec<Vec<VertexId>>,
+    /// Level of every vertex (for ancestor capacity checks).
+    vertex_level: Vec<usize>,
+    levels: usize,
+}
+
+impl<'a> RefineEngine<'a> {
+    fn new(h: &'a Hypergraph, spec: &'a TreeSpec, p: &HierarchicalPartition) -> Self {
+        let leaves = p.leaves();
+        let levels = p.root_level();
+        let mut chain = Vec::with_capacity(leaves.len());
+        let mut ancestors = Vec::with_capacity(leaves.len());
+        for &leaf in &leaves {
+            let mut row = vec![0u32; levels];
+            let mut cur = leaf;
+            let mut next = p.parent(cur);
+            for (l, slot) in row.iter_mut().enumerate() {
+                while let Some(q) = next {
+                    if p.level(q) <= l {
+                        cur = q;
+                        next = p.parent(cur);
+                    } else {
+                        break;
+                    }
+                }
+                *slot = cur.0;
+            }
+            let mut anc = Vec::new();
+            let mut cur = leaf;
+            while let Some(q) = p.parent(cur) {
+                if p.parent(q).is_some() {
+                    anc.push(q);
+                }
+                cur = q;
+            }
+            chain.push(row);
+            ancestors.push(anc);
+        }
+        let vertex_level = p.vertices().map(|q| p.level(q)).collect();
+        RefineEngine {
+            h,
+            spec,
+            leaves,
+            chain,
+            ancestors,
+            vertex_level,
+            levels,
+        }
+    }
+
+    /// Lowest level at which two leaves share a block (`levels` when they
+    /// only meet at the root).
+    fn divergence(&self, ra: usize, rb: usize) -> usize {
+        (0..self.levels)
+            .find(|&l| self.chain[ra][l] == self.chain[rb][l])
+            .unwrap_or(self.levels)
+    }
+
+    /// Marginal cost a net of capacity `c` pays for spanning both leaves,
+    /// summed over the levels where they sit in different blocks.
+    fn bridge_weight(&self, ra: usize, rb: usize, c: f64) -> f64 {
+        let div = self.divergence(ra, rb);
+        (0..div).map(|l| self.spec.weight(l) * c).sum()
+    }
+
+    /// Leaf pairs joined by cut nets, heaviest total cut first.
+    fn ranked_pairs(&self, state: &RefineState, params: &FlowRefineParams) -> Vec<(usize, usize)> {
+        let mut weight: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut spanned: Vec<usize> = Vec::new();
+        for e in self.h.nets() {
+            spanned.clear();
+            spanned.extend(self.h.net_pins(e).iter().map(|&v| state.rank[v.index()]));
+            spanned.sort_unstable();
+            spanned.dedup();
+            if spanned.len() < 2 || spanned.len() > params.max_span_for_pairs {
+                continue;
+            }
+            let c = self.h.net_capacity(e);
+            for i in 0..spanned.len() {
+                for j in i + 1..spanned.len() {
+                    *weight.entry((spanned[i], spanned[j])).or_insert(0.0) +=
+                        self.bridge_weight(spanned[i], spanned[j], c);
+                }
+            }
+        }
+        let mut pairs: Vec<((usize, usize), f64)> = weight.into_iter().collect();
+        pairs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        pairs.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// Builds the boundary flow network for leaf pair `(ra, rb)` and
+    /// proposes the min-cut node moves. `None` when there is no boundary
+    /// or the cut moves nothing.
+    fn propose(
+        &self,
+        state: &RefineState,
+        ra: usize,
+        rb: usize,
+        max_region: usize,
+    ) -> Option<Vec<(usize, usize)>> {
+        // Per-side regions, grown breadth-first from the boundary. Capping
+        // each side separately keeps the movable mass balanced.
+        let side_cap = (max_region / 2).max(4);
+        let mut in_region = vec![false; self.h.num_nodes()];
+        let mut side_nodes: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        let mut nets: Vec<NetId> = Vec::new();
+        let mut net_seen = vec![false; self.h.num_nets()];
+        let side_of = |r: usize| {
+            if r == ra {
+                Some(0)
+            } else if r == rb {
+                Some(1)
+            } else {
+                None
+            }
+        };
+
+        // Seeds: pins of the nets spanning both blocks.
+        for e in self.h.nets() {
+            let pins = self.h.net_pins(e);
+            let mut hits_a = false;
+            let mut hits_b = false;
+            for &v in pins {
+                let r = state.rank[v.index()];
+                hits_a |= r == ra;
+                hits_b |= r == rb;
+            }
+            if !(hits_a && hits_b) {
+                continue;
+            }
+            net_seen[e.index()] = true;
+            nets.push(e);
+            for &v in pins {
+                let Some(s) = side_of(state.rank[v.index()]) else {
+                    continue;
+                };
+                if !in_region[v.index()] && side_nodes[s].len() < side_cap {
+                    in_region[v.index()] = true;
+                    side_nodes[s].push(v.index());
+                }
+            }
+        }
+        if side_nodes[0].is_empty() && side_nodes[1].is_empty() {
+            return None;
+        }
+
+        // Grow one hop inside the two blocks so the cut can move interior
+        // nodes together with their boundary neighbours.
+        let seeds = [side_nodes[0].len(), side_nodes[1].len()];
+        for s in 0..2 {
+            for i in 0..seeds[s] {
+                for &e in self.h.node_nets(NodeId::new(side_nodes[s][i])) {
+                    if net_seen[e.index()] {
+                        continue;
+                    }
+                    net_seen[e.index()] = true;
+                    nets.push(e);
+                    for &u in self.h.net_pins(e) {
+                        let Some(su) = side_of(state.rank[u.index()]) else {
+                            continue;
+                        };
+                        if !in_region[u.index()] && side_nodes[su].len() < side_cap {
+                            in_region[u.index()] = true;
+                            side_nodes[su].push(u.index());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Frontier: every remaining net incident to a region node joins the
+        // gadget *without* its pins, so its out-of-region pins anchor the
+        // cut to S or T — without this the min cut degenerates into
+        // sweeping one whole side across.
+        for side in &side_nodes {
+            for &v in side {
+                for &e in self.h.node_nets(NodeId::new(v)) {
+                    if !net_seen[e.index()] {
+                        net_seen[e.index()] = true;
+                        nets.push(e);
+                    }
+                }
+            }
+        }
+
+        // A side whose block sits entirely inside the region has no anchors
+        // at all; retain its deepest (last-grown) eighth as out-of-region
+        // core so the cut cannot dissolve the block.
+        for (s, side) in side_nodes.iter_mut().enumerate() {
+            let anchored = nets.iter().any(|&e| {
+                self.h
+                    .net_pins(e)
+                    .iter()
+                    .any(|&v| !in_region[v.index()] && side_of(state.rank[v.index()]) == Some(s))
+            });
+            if !anchored && !side.is_empty() {
+                let keep = side.len() - side.len().div_ceil(8);
+                for &v in &side[keep..] {
+                    in_region[v] = false;
+                }
+                side.truncate(keep);
+            }
+        }
+        let region: Vec<usize> = side_nodes.iter().flatten().copied().collect();
+        if region.is_empty() {
+            return None;
+        }
+
+        // Lawler construction: region nodes, then S, T, then one
+        // (e_in, e_out) pair per touched net.
+        let r_len = region.len();
+        let mut local = HashMap::with_capacity(r_len);
+        for (i, &v) in region.iter().enumerate() {
+            local.insert(v, i);
+        }
+        let (s, t) = (r_len, r_len + 1);
+        let mut net = FlowNetwork::new(r_len + 2 + 2 * nets.len());
+        const INF: f64 = f64::MAX / 4.0;
+        for (k, &e) in nets.iter().enumerate() {
+            let w = self.bridge_weight(ra, rb, self.h.net_capacity(e));
+            if w <= 0.0 {
+                continue;
+            }
+            let pins = self.h.net_pins(e);
+            if !pins.iter().any(|&v| in_region[v.index()]) {
+                // All pins were demoted to anchors; the net pays the same
+                // on either side of any cut, so it constrains nothing.
+                continue;
+            }
+            let e_in = r_len + 2 + 2 * k;
+            let e_out = e_in + 1;
+            net.add_arc(e_in, e_out, w);
+            let mut anchored_a = false;
+            let mut anchored_b = false;
+            for &v in pins {
+                match local.get(&v.index()) {
+                    Some(&i) if in_region[v.index()] => {
+                        net.add_arc(i, e_in, INF);
+                        net.add_arc(e_out, i, INF);
+                    }
+                    _ => {
+                        let r = state.rank[v.index()];
+                        anchored_a |= r == ra;
+                        anchored_b |= r == rb;
+                    }
+                }
+            }
+            if anchored_a {
+                net.add_arc(s, e_in, INF);
+            }
+            if anchored_b {
+                net.add_arc(e_out, t, INF);
+            }
+        }
+        let _ = net.max_flow(s, t);
+        let side = net.min_cut_side(s);
+
+        let mut moves = Vec::new();
+        for (i, &v) in region.iter().enumerate() {
+            let target = if side[i] { ra } else { rb };
+            if state.rank[v] != target {
+                moves.push((v, target));
+            }
+        }
+        if moves.is_empty() {
+            None
+        } else {
+            Some(moves)
+        }
+    }
+
+    /// Exact cost of net `e` under the candidate leaf ranks.
+    fn net_cost_under(&self, rank: &[usize], e: NetId) -> f64 {
+        let c = self.h.net_capacity(e);
+        let pins = self.h.net_pins(e);
+        let mut total = 0.0;
+        let mut scratch: Vec<u32> = Vec::with_capacity(pins.len());
+        for l in 0..self.levels {
+            scratch.clear();
+            scratch.extend(pins.iter().map(|&v| self.chain[rank[v.index()]][l]));
+            scratch.sort_unstable();
+            scratch.dedup();
+            if scratch.len() > 1 {
+                total += self.spec.weight(l) * scratch.len() as f64 * c;
+            }
+        }
+        total
+    }
+}
+
+/// Mutable pass state: the candidate assignment and block sizes.
+struct RefineState {
+    /// Current leaf rank of every node.
+    rank: Vec<usize>,
+    /// Current leaf vertex of every node (kept in sync with `rank`).
+    assign: Vec<VertexId>,
+    /// Subtree size of every vertex under the candidate assignment.
+    sizes: Vec<u64>,
+    node_sizes: Vec<u64>,
+}
+
+impl RefineState {
+    fn new(h: &Hypergraph, p: &HierarchicalPartition) -> Self {
+        let node_sizes: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
+        let sizes = p.subtree_sizes(&node_sizes);
+        let mut rank_of = vec![usize::MAX; p.num_vertices()];
+        for (r, q) in p.leaves().into_iter().enumerate() {
+            rank_of[q.index()] = r;
+        }
+        let assign: Vec<VertexId> = (0..h.num_nodes())
+            .map(|v| p.leaf_of(NodeId::new(v)))
+            .collect();
+        let rank = assign.iter().map(|q| rank_of[q.index()]).collect();
+        RefineState {
+            rank,
+            assign,
+            sizes,
+            node_sizes,
+        }
+    }
+
+    /// Applies `moves` if they keep every block within capacity and
+    /// strictly lower the exact cost; returns the gain when accepted.
+    fn try_apply(&mut self, engine: &RefineEngine, moves: &[(usize, usize)]) -> Option<f64> {
+        // Capacity check: accumulate the size delta per leaf rank, then
+        // walk each affected chain.
+        let mut delta: HashMap<usize, i64> = HashMap::new();
+        for &(v, target) in moves {
+            let s = self.node_sizes[v] as i64;
+            *delta.entry(self.rank[v]).or_insert(0) -= s;
+            *delta.entry(target).or_insert(0) += s;
+        }
+        let mut vertex_delta: HashMap<u32, i64> = HashMap::new();
+        for (&r, &d) in &delta {
+            if d == 0 {
+                continue;
+            }
+            let leaf = engine.leaves[r];
+            *vertex_delta.entry(leaf.0).or_insert(0) += d;
+            for &q in &engine.ancestors[r] {
+                *vertex_delta.entry(q.0).or_insert(0) += d;
+            }
+        }
+        for (&q, &d) in &vertex_delta {
+            let new = self.sizes[q as usize] as i64 + d;
+            let level = engine.vertex_level[q as usize];
+            if new < 0 || new as u64 > engine.spec.capacity(level) {
+                return None;
+            }
+        }
+
+        // Exact cost delta over the nets the moves touch.
+        let mut touched: Vec<NetId> = Vec::new();
+        let mut seen = vec![false; engine.h.num_nets()];
+        for &(v, _) in moves {
+            for &e in engine.h.node_nets(NodeId::new(v)) {
+                if !seen[e.index()] {
+                    seen[e.index()] = true;
+                    touched.push(e);
+                }
+            }
+        }
+        let before: f64 = touched
+            .iter()
+            .map(|&e| engine.net_cost_under(&self.rank, e))
+            .sum();
+        let mut candidate = self.rank.clone();
+        for &(v, target) in moves {
+            candidate[v] = target;
+        }
+        let after: f64 = touched
+            .iter()
+            .map(|&e| engine.net_cost_under(&candidate, e))
+            .sum();
+        let gain = before - after;
+        if gain <= 1e-9 {
+            return None;
+        }
+
+        // Commit.
+        self.rank = candidate;
+        for &(v, target) in moves {
+            self.assign[v] = engine.leaves[target];
+        }
+        for (&q, &d) in &vertex_delta {
+            self.sizes[q as usize] = (self.sizes[q as usize] as i64 + d) as u64;
+        }
+        Some(gain)
+    }
+}

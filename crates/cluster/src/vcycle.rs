@@ -1,0 +1,535 @@
+//! The multilevel V-cycle: recursive coarsening, FLOW at the coarsest
+//! level, and level-by-level uncoarsening with flow-based refinement.
+//!
+//! The two-level [`crate::pipeline`] proves the coarsen→FLOW→project
+//! scheme; this module recurses it. The down pass agglomerates repeatedly
+//! — congestion-guided while the graph is small enough to afford the
+//! stochastic routing, heavy-edge-rated above that — until the coarsest
+//! netlist fits a node threshold. FLOW solves the coarsest instance, and
+//! the up pass projects through each level, running a flow-based
+//! boundary-refinement pass ([`crate::refine`]) with a hierarchical-FM
+//! fallback at sizes where FM is affordable.
+//!
+//! Every phase polls the caller's [`Budget`]: a deadline or cancellation
+//! mid-cycle stops refinement and projects the best partition found so
+//! far straight up to the fine level, so the caller always receives a
+//! valid (certifiable) partition plus an honest [`RunOutcome`].
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use htp_core::injector::FlowParams;
+use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp_core::runtime::{Budget, RunOutcome};
+use htp_core::CoreError;
+use htp_model::{cost, HierarchicalPartition, TreeSpec};
+use htp_netlist::Hypergraph;
+
+use crate::clusters::agglomerate_with_fillers;
+use crate::congestion::{flow_congestion, CongestionParams, CongestionProfile};
+use crate::pipeline::{project, refine_partition, solve_budgeted};
+use crate::refine::{flow_refine_pass, FlowRefineParams};
+
+/// A coarsening level is abandoned when it shrinks the node count by less
+/// than this factor — further passes would stall at the same size.
+const MIN_SHRINK: f64 = 0.95;
+
+/// Parameters of the multilevel V-cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VCycleParams {
+    /// Stop coarsening once the graph has at most this many nodes; FLOW
+    /// runs on that coarsest netlist.
+    pub coarsest_nodes: usize,
+    /// Hard cap on coarsening levels (safety net for pathological
+    /// instances).
+    pub max_levels: usize,
+    /// Target node-count shrink factor per level (must exceed 1).
+    pub level_shrink: f64,
+    /// Cluster size cap as a fraction of the leaf capacity `C_0`, in
+    /// `(0, 1]`. Bounds how big a coarse node may grow at any level.
+    pub cluster_cap_fraction: f64,
+    /// Every `filler_stride`-th node is frozen as a singleton at each
+    /// coarsening level (`0` disables). The preserved small-size tail is
+    /// what lets the coarsest carve land inside tight size windows.
+    pub filler_stride: usize,
+    /// Congestion-profile parameters for congestion-guided coarsening.
+    pub congestion: CongestionParams,
+    /// Use congestion-guided coarsening up to this many nodes; larger
+    /// graphs are rated by the cheap heavy-edge heuristic instead.
+    pub congestion_max_nodes: usize,
+    /// Inner partitioner parameters for the coarsest solve.
+    pub partitioner: PartitionerParams,
+    /// Run the flow-based boundary refinement at each uncoarsening level.
+    pub flow_refine: bool,
+    /// Parameters of the flow-refinement pass.
+    pub refine: FlowRefineParams,
+    /// Fall back to the hierarchical-FM pass (when the flow pass moved
+    /// nothing) only at levels with at most this many nodes — FM's move
+    /// scan is too expensive above it.
+    pub hfm_max_nodes: usize,
+    /// Keep a snapshot of the (projected, refined) partition at every
+    /// uncoarsening level in [`VCycleResult::level_partitions`] (test and
+    /// audit hook; costs memory on big instances).
+    pub record_levels: bool,
+}
+
+impl Default for VCycleParams {
+    fn default() -> Self {
+        VCycleParams {
+            // Coarser than this and the coarse node granularity starts
+            // missing the spec's carve windows (NoFeasibleCut).
+            coarsest_nodes: 512,
+            max_levels: 12,
+            level_shrink: 4.0,
+            cluster_cap_fraction: 0.5,
+            filler_stride: 8,
+            congestion: CongestionParams::default(),
+            congestion_max_nodes: 4096,
+            // One metric iteration suffices at the coarsest level: the
+            // per-level refinement passes recover what a longer coarse
+            // solve would buy, at a fraction of the cost. Constructions
+            // are nearly free next to the metric, and extra rolls make a
+            // feasible carve far more likely on chunky coarse nodes.
+            partitioner: PartitionerParams {
+                iterations: 1,
+                constructions_per_metric: 8,
+                // Round cap on the coarse metric: a well-clustered coarse
+                // graph converges in a few dozen rounds, a fragmented one
+                // can crawl for hundreds while the refinement passes would
+                // recover the difference anyway. Hitting the cap is honest
+                // convergence (`converged = false`), not an interrupt.
+                flow: FlowParams {
+                    max_rounds: 128,
+                    ..FlowParams::default()
+                },
+            },
+            flow_refine: true,
+            refine: FlowRefineParams::default(),
+            hfm_max_nodes: 4096,
+            record_levels: false,
+        }
+    }
+}
+
+/// What happened at one uncoarsening level (coarse→fine order in
+/// [`VCycleResult::levels`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VCycleLevelReport {
+    /// Nodes of the fine graph at this level.
+    pub nodes: usize,
+    /// Nets of the fine graph at this level.
+    pub nets: usize,
+    /// Time spent coarsening this graph during the down pass.
+    pub coarsen_seconds: f64,
+    /// Time spent refining after projection.
+    pub refine_seconds: f64,
+    /// Cost right after projecting the coarser partition.
+    pub projected_cost: f64,
+    /// Cost after refinement (never above `projected_cost`).
+    pub refined_cost: f64,
+    /// Block pairs the flow refiner examined.
+    pub flow_pairs_tried: usize,
+    /// Pairs whose min-cut move was accepted.
+    pub flow_pairs_accepted: usize,
+    /// Nodes moved by accepted flow proposals.
+    pub flow_moved_nodes: usize,
+    /// Whether the hierarchical-FM fallback ran at this level.
+    pub hfm_used: bool,
+}
+
+/// Result of a V-cycle run.
+#[derive(Clone, Debug)]
+pub struct VCycleResult {
+    /// The final fine-level partition (always valid under the spec).
+    pub partition: HierarchicalPartition,
+    /// Its exact interconnection cost.
+    pub cost: f64,
+    /// How the budgeted run ended.
+    pub outcome: RunOutcome,
+    /// Coarsening levels performed (0 means FLOW ran directly on the
+    /// input).
+    pub num_levels: usize,
+    /// Node count of the coarsest netlist FLOW solved.
+    pub coarsest_nodes: usize,
+    /// Cost of the coarsest solve (on the coarse netlist).
+    pub coarsest_cost: f64,
+    /// Total down-pass (coarsening) time.
+    pub coarsen_seconds: f64,
+    /// Coarsest FLOW solve time.
+    pub solve_seconds: f64,
+    /// Per-level uncoarsening reports, coarsest-to-finest.
+    pub levels: Vec<VCycleLevelReport>,
+    /// `(projected, refined)` partitions per uncoarsening level when
+    /// [`VCycleParams::record_levels`] is set (coarsest-to-finest, same
+    /// order as `levels`).
+    pub level_partitions: Vec<(HierarchicalPartition, HierarchicalPartition)>,
+    /// The coarse netlists, finest-to-coarsest, when
+    /// [`VCycleParams::record_levels`] is set (audit hook: the partition
+    /// pair `level_partitions[j]` lives on `coarse_graphs[L - 2 - j]`
+    /// where `L = num_levels`, and on the input netlist for
+    /// `j == L - 1`).
+    pub coarse_graphs: Vec<Hypergraph>,
+}
+
+/// Runs the multilevel V-cycle with no budget.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from parameter validation, the coarsest FLOW
+/// solve, projection, and refinement.
+pub fn vcycle_partition<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: VCycleParams,
+    rng: &mut R,
+) -> Result<VCycleResult, CoreError> {
+    vcycle_partition_with_budget(h, spec, params, rng, &Budget::unlimited())
+}
+
+/// Runs the multilevel V-cycle under `budget`.
+///
+/// The coarsest FLOW solve consumes the budget's rounds and probes; every
+/// other phase polls its deadline and cancel token. When the budget fires
+/// mid-cycle, the best partition found so far is projected up the
+/// remaining levels without refinement, so the caller still receives a
+/// valid partition and an outcome naming the interrupt.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from parameter validation, the coarsest FLOW
+/// solve, projection, and refinement.
+pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: VCycleParams,
+    rng: &mut R,
+    budget: &Budget,
+) -> Result<VCycleResult, CoreError> {
+    validate_params(&params)?;
+    if h.num_nodes() == 0 {
+        return Err(CoreError::EmptyNetlist);
+    }
+
+    let mut outcome = RunOutcome::Complete;
+
+    // ---- Down pass: recursive coarsening. -------------------------------
+    let down_start = Instant::now();
+    let mut coarse_graphs: Vec<Hypergraph> = Vec::new();
+    let mut maps: Vec<Vec<usize>> = Vec::new();
+    let mut coarsen_times: Vec<f64> = Vec::new();
+    let global_cap =
+        ((spec.capacity(0) as f64 * params.cluster_cap_fraction).floor() as u64).max(1);
+    loop {
+        let cur = coarse_graphs.last().unwrap_or(h);
+        let n = cur.num_nodes();
+        if n <= params.coarsest_nodes || maps.len() >= params.max_levels || n < 2 {
+            break;
+        }
+        if let Err(irq) = budget.check_time() {
+            outcome = outcome.combine(RunOutcome::from_interrupt(irq));
+            break;
+        }
+        let t0 = Instant::now();
+        let target = ((n as f64 / params.level_shrink).ceil() as usize).max(params.coarsest_nodes);
+        let max_node = cur.nodes().map(|v| cur.node_size(v)).max().unwrap_or(1);
+        let cap = ((cur.total_size() as f64 / target as f64).ceil() as u64)
+            .min(global_cap)
+            .max(max_node);
+        let profile = if n <= params.congestion_max_nodes {
+            flow_congestion(cur, params.congestion, rng)
+        } else {
+            heavy_edge_profile(cur)
+        };
+        let clustering = agglomerate_with_fillers(cur, &profile, cap, params.filler_stride);
+        if clustering.count as f64 > n as f64 * MIN_SHRINK {
+            break; // stalled: caps leave (almost) nothing to merge
+        }
+        let coarse = cur.contract(&clustering.cluster_of);
+        maps.push(clustering.cluster_of);
+        coarse_graphs.push(coarse);
+        coarsen_times.push(t0.elapsed().as_secs_f64());
+    }
+    let coarsen_seconds = down_start.elapsed().as_secs_f64();
+
+    // ---- Coarsest solve. ------------------------------------------------
+    // Coarse nodes can be too chunky to land inside the spec's carve
+    // windows; when the coarsest solve finds no feasible cut, back off one
+    // level and solve the next-finer graph instead of failing.
+    let solve_start = Instant::now();
+    let partitioner = FlowPartitioner::try_new(params.partitioner)?;
+    let (mut partition, coarsest_node_count, coarsest_cost) = loop {
+        let attempt = {
+            let coarsest = coarse_graphs.last().unwrap_or(h);
+            solve_budgeted(&partitioner, coarsest, spec, rng, budget).map(|(p, o)| {
+                let c = cost::partition_cost(coarsest, spec, &p);
+                (p, o, coarsest.num_nodes(), c)
+            })
+        };
+        match attempt {
+            Ok((p, solve_outcome, n, c)) => {
+                outcome = outcome.combine(solve_outcome);
+                break (p, n, c);
+            }
+            Err(CoreError::NoFeasibleCut { .. }) if !coarse_graphs.is_empty() => {
+                coarse_graphs.pop();
+                maps.pop();
+                coarsen_times.pop();
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+
+    // ---- Up pass: project + refine level by level. ----------------------
+    let mut levels = Vec::with_capacity(maps.len());
+    let mut level_partitions = Vec::new();
+    let mut cost_now = coarsest_cost;
+    for i in (0..maps.len()).rev() {
+        let fine: &Hypergraph = if i == 0 { h } else { &coarse_graphs[i - 1] };
+        let projected = project(&partition, &maps[i], fine.num_nodes())?;
+        htp_model::validate::validate(fine, spec, &projected)?;
+        let projected_cost = cost::partition_cost(fine, spec, &projected);
+
+        let refine_start = Instant::now();
+        let budget_ok = match budget.check_time() {
+            Ok(()) => true,
+            Err(irq) => {
+                outcome = outcome.combine(RunOutcome::from_interrupt(irq));
+                false
+            }
+        };
+        let (refined, refined_cost, report) = if params.flow_refine && budget_ok {
+            flow_refine_pass(
+                fine,
+                spec,
+                &projected,
+                projected_cost,
+                &params.refine,
+                budget,
+            )?
+        } else {
+            (projected.clone(), projected_cost, Default::default())
+        };
+        if let Some(irq) = report.interrupt {
+            outcome = outcome.combine(RunOutcome::from_interrupt(irq));
+        }
+        // HFM sweep on top of the flow pass, at levels small enough for
+        // FM's full move scan; kept only when it strictly improves.
+        let mut hfm_used = false;
+        let (refined, refined_cost) =
+            if budget_ok && fine.num_nodes() <= params.hfm_max_nodes && budget.check_time().is_ok()
+            {
+                let (p2, c2) = refine_partition(fine, spec, &refined)?;
+                if c2 < refined_cost - 1e-12 {
+                    hfm_used = true;
+                    (p2, c2)
+                } else {
+                    (refined, refined_cost)
+                }
+            } else {
+                (refined, refined_cost)
+            };
+        let refine_seconds = refine_start.elapsed().as_secs_f64();
+
+        levels.push(VCycleLevelReport {
+            nodes: fine.num_nodes(),
+            nets: fine.num_nets(),
+            coarsen_seconds: coarsen_times[i],
+            refine_seconds,
+            projected_cost,
+            refined_cost,
+            flow_pairs_tried: report.pairs_tried,
+            flow_pairs_accepted: report.pairs_accepted,
+            flow_moved_nodes: report.moved_nodes,
+            hfm_used,
+        });
+        if params.record_levels {
+            level_partitions.push((projected, refined.clone()));
+        }
+        partition = refined;
+        cost_now = refined_cost;
+    }
+
+    Ok(VCycleResult {
+        partition,
+        cost: cost_now,
+        outcome,
+        num_levels: maps.len(),
+        coarsest_nodes: coarsest_node_count,
+        coarsest_cost,
+        coarsen_seconds,
+        solve_seconds,
+        levels,
+        level_partitions,
+        coarse_graphs: if params.record_levels {
+            coarse_graphs
+        } else {
+            Vec::new()
+        },
+    })
+}
+
+/// Rates every net for heavy-edge coarsening: utilization becomes
+/// `pins/capacity`, so small, heavy nets merge first — the classic
+/// heavy-edge rating expressed as a [`CongestionProfile`] so
+/// [`agglomerate`] can consume it unchanged.
+fn heavy_edge_profile(h: &Hypergraph) -> CongestionProfile {
+    CongestionProfile {
+        flow: h.nets().map(|e| h.net_pins(e).len() as f64).collect(),
+        routed: 0,
+    }
+}
+
+fn validate_params(p: &VCycleParams) -> Result<(), CoreError> {
+    if p.coarsest_nodes == 0 {
+        return Err(CoreError::InvalidParams {
+            what: "coarsest_nodes must be at least 1",
+        });
+    }
+    if p.max_levels == 0 {
+        return Err(CoreError::InvalidParams {
+            what: "max_levels must be at least 1",
+        });
+    }
+    // `>` is false for NaN, so this also rejects NaN shrink factors.
+    if p.level_shrink.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(CoreError::InvalidParams {
+            what: "level_shrink must exceed 1",
+        });
+    }
+    if !(p.cluster_cap_fraction > 0.0 && p.cluster_cap_fraction <= 1.0) {
+        return Err(CoreError::InvalidParams {
+            what: "cluster_cap_fraction must be in (0, 1]",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_core::runtime::CancelToken;
+    use htp_model::validate;
+    use htp_netlist::gen::rent::{rent_circuit, RentParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(nodes: usize, height: usize) -> (Hypergraph, TreeSpec) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let h = rent_circuit(
+            RentParams {
+                nodes,
+                primary_inputs: (nodes / 16).max(1),
+                locality: 0.8,
+                ..RentParams::default()
+            },
+            &mut rng,
+        );
+        let spec = TreeSpec::full_tree(h.total_size(), height, 2, 1.15, 1.0).unwrap();
+        (h, spec)
+    }
+
+    fn quick_params() -> VCycleParams {
+        VCycleParams {
+            coarsest_nodes: 64,
+            congestion: CongestionParams {
+                pairs: 64,
+                ..CongestionParams::default()
+            },
+            partitioner: PartitionerParams {
+                iterations: 2,
+                ..PartitionerParams::default()
+            },
+            ..VCycleParams::default()
+        }
+    }
+
+    #[test]
+    fn vcycle_produces_valid_multilevel_partitions() {
+        let (h, spec) = workload(1024, 3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = vcycle_partition(&h, &spec, quick_params(), &mut rng).unwrap();
+        validate::validate(&h, &spec, &r.partition).unwrap();
+        assert!(r.num_levels >= 2, "1024 -> 64 needs >= 2 shrink-4 levels");
+        assert!(r.coarsest_nodes <= 4 * 64, "coarsest level near threshold");
+        assert!(r.outcome.is_complete());
+        assert!((cost::partition_cost(&h, &spec, &r.partition) - r.cost).abs() < 1e-9);
+        for lvl in &r.levels {
+            assert!(
+                lvl.refined_cost <= lvl.projected_cost + 1e-9,
+                "refinement never hurts at any level"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_instances_skip_coarsening() {
+        let (h, spec) = workload(128, 3);
+        let mut rng = StdRng::seed_from_u64(43);
+        let params = VCycleParams {
+            coarsest_nodes: 512,
+            ..quick_params()
+        };
+        let r = vcycle_partition(&h, &spec, params, &mut rng).unwrap();
+        assert_eq!(r.num_levels, 0, "already below the threshold");
+        assert!(r.levels.is_empty());
+        validate::validate(&h, &spec, &r.partition).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_token_degrades_to_a_valid_projection() {
+        let (h, spec) = workload(1024, 3);
+        let mut rng = StdRng::seed_from_u64(44);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel_token(token);
+        let r = vcycle_partition_with_budget(&h, &spec, quick_params(), &mut rng, &budget).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Cancelled);
+        validate::validate(&h, &spec, &r.partition).unwrap();
+        // Refinement was skipped on every level.
+        assert!(r.levels.iter().all(|l| l.flow_pairs_tried == 0));
+    }
+
+    #[test]
+    fn record_levels_snapshots_every_boundary() {
+        let (h, spec) = workload(1024, 3);
+        let mut rng = StdRng::seed_from_u64(45);
+        let params = VCycleParams {
+            record_levels: true,
+            ..quick_params()
+        };
+        let r = vcycle_partition(&h, &spec, params, &mut rng).unwrap();
+        assert_eq!(r.level_partitions.len(), r.num_levels);
+        assert_eq!(r.levels.len(), r.num_levels);
+    }
+
+    #[test]
+    fn bad_params_are_typed_errors() {
+        let (h, spec) = workload(128, 3);
+        let mut rng = StdRng::seed_from_u64(46);
+        for params in [
+            VCycleParams {
+                coarsest_nodes: 0,
+                ..VCycleParams::default()
+            },
+            VCycleParams {
+                level_shrink: 1.0,
+                ..VCycleParams::default()
+            },
+            VCycleParams {
+                cluster_cap_fraction: 0.0,
+                ..VCycleParams::default()
+            },
+            VCycleParams {
+                max_levels: 0,
+                ..VCycleParams::default()
+            },
+        ] {
+            assert!(matches!(
+                vcycle_partition(&h, &spec, params, &mut rng),
+                Err(CoreError::InvalidParams { .. })
+            ));
+        }
+    }
+}

@@ -44,6 +44,13 @@ pub enum CoreError {
     /// The run was stopped by its [`crate::runtime::Budget`] before any
     /// feasible partition was found, so there is nothing to return.
     Interrupted(Interrupt),
+    /// A refinement pass rejected its input or failed internally; the
+    /// message names the pass and the reason. Surfaced as a typed error so
+    /// pipeline callers can fall back instead of aborting the process.
+    Refinement {
+        /// Human-readable description of the failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -63,6 +70,7 @@ impl fmt::Display for CoreError {
             CoreError::Interrupted(i) => {
                 write!(f, "run interrupted before any feasible partition: {i}")
             }
+            CoreError::Refinement { what } => write!(f, "refinement failed: {what}"),
         }
     }
 }
@@ -117,5 +125,14 @@ mod tests {
     fn model_errors_convert_with_source() {
         let e = CoreError::from(ModelError::UnassignedNode { node: 7 });
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn refinement_errors_carry_their_reason() {
+        let e = CoreError::Refinement {
+            what: "hfm rejected the projected partition".into(),
+        };
+        assert!(e.to_string().contains("refinement failed"));
+        assert!(e.to_string().contains("hfm"));
     }
 }

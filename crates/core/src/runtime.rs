@@ -78,6 +78,40 @@ impl RunOutcome {
     pub fn is_complete(&self) -> bool {
         matches!(self, RunOutcome::Complete)
     }
+
+    /// The outcome a run should report when `irq` stopped it between
+    /// phases (multilevel drivers map interrupts at level boundaries).
+    pub fn from_interrupt(irq: Interrupt) -> Self {
+        match irq {
+            Interrupt::Cancelled => RunOutcome::Cancelled,
+            Interrupt::Deadline | Interrupt::RoundLimit | Interrupt::ProbeLimit => {
+                RunOutcome::DeadlineExceeded
+            }
+        }
+    }
+
+    /// Severity rank for [`combine`](RunOutcome::combine): higher means a
+    /// harder stop.
+    fn severity(self) -> u8 {
+        match self {
+            RunOutcome::Complete => 0,
+            RunOutcome::Degraded => 1,
+            RunOutcome::DeadlineExceeded => 2,
+            RunOutcome::Cancelled => 3,
+        }
+    }
+
+    /// Merges the outcomes of two phases of one logical run (e.g. the
+    /// coarsest solve and each uncoarsening level of a V-cycle), keeping
+    /// the more severe of the two.
+    #[must_use]
+    pub fn combine(self, other: RunOutcome) -> RunOutcome {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 impl fmt::Display for RunOutcome {
@@ -530,6 +564,35 @@ mod tests {
         assert_eq!(RunOutcome::Degraded.to_string(), "degraded");
         assert!(RunOutcome::Complete.is_complete());
         assert!(!RunOutcome::Cancelled.is_complete());
+    }
+
+    #[test]
+    fn interrupts_map_to_outcomes() {
+        assert_eq!(
+            RunOutcome::from_interrupt(Interrupt::Cancelled),
+            RunOutcome::Cancelled
+        );
+        for irq in [
+            Interrupt::Deadline,
+            Interrupt::RoundLimit,
+            Interrupt::ProbeLimit,
+        ] {
+            assert_eq!(
+                RunOutcome::from_interrupt(irq),
+                RunOutcome::DeadlineExceeded
+            );
+        }
+    }
+
+    #[test]
+    fn combine_keeps_the_more_severe_outcome() {
+        use RunOutcome::*;
+        assert_eq!(Complete.combine(Complete), Complete);
+        assert_eq!(Complete.combine(Degraded), Degraded);
+        assert_eq!(Degraded.combine(Complete), Degraded);
+        assert_eq!(Degraded.combine(DeadlineExceeded), DeadlineExceeded);
+        assert_eq!(Cancelled.combine(DeadlineExceeded), Cancelled);
+        assert_eq!(DeadlineExceeded.combine(Cancelled), Cancelled);
     }
 
     #[cfg(feature = "fault-injection")]

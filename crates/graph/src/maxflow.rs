@@ -19,6 +19,9 @@ pub struct FlowNetwork {
     // Arc i and its reverse are paired as (2k, 2k+1).
     head: Vec<u32>,
     cap: Vec<f64>,
+    // Capacity each arc was created with, so flow can be recovered without
+    // trusting the caller to remember it.
+    orig: Vec<f64>,
     adj: Vec<Vec<u32>>,
     level: Vec<i32>,
     iter: Vec<usize>,
@@ -30,6 +33,7 @@ impl FlowNetwork {
         FlowNetwork {
             head: Vec::new(),
             cap: Vec::new(),
+            orig: Vec::new(),
             adj: vec![Vec::new(); n],
             level: vec![0; n],
             iter: vec![0; n],
@@ -57,9 +61,11 @@ impl FlowNetwork {
         self.adj[from].push(id as u32);
         self.head.push(to as u32);
         self.cap.push(capacity);
+        self.orig.push(capacity);
         self.adj[to].push((id + 1) as u32);
         self.head.push(from as u32);
         self.cap.push(0.0);
+        self.orig.push(0.0);
         id
     }
 
@@ -77,16 +83,44 @@ impl FlowNetwork {
         self.adj[a].push(id as u32);
         self.head.push(b as u32);
         self.cap.push(capacity);
+        self.orig.push(capacity);
         self.adj[b].push((id + 1) as u32);
         self.head.push(a as u32);
         self.cap.push(capacity);
+        self.orig.push(capacity);
         id
     }
 
     /// Flow currently routed through the arc returned by `add_arc`
     /// (original capacity minus residual).
+    ///
+    /// # Caller contract
+    ///
+    /// `original_capacity` must be the exact capacity this arc was created
+    /// with ([`add_arc`](FlowNetwork::add_arc) /
+    /// [`add_undirected`](FlowNetwork::add_undirected)); passing anything
+    /// else silently shifts the reported flow. The network records the
+    /// creation capacity, so prefer [`flow`](FlowNetwork::flow), which cannot
+    /// be misused. This form is kept for callers that already track
+    /// capacities; it debug-asserts against the recorded value.
     pub fn flow_on(&self, arc: usize, original_capacity: f64) -> f64 {
+        debug_assert!(
+            (self.orig[arc] - original_capacity).abs() <= EPS,
+            "flow_on called with capacity {original_capacity} but arc {arc} was created with {}",
+            self.orig[arc]
+        );
         original_capacity - self.cap[arc]
+    }
+
+    /// Flow currently routed through `arc`, computed from the capacity the
+    /// arc was created with (no caller-supplied value to get wrong).
+    pub fn flow(&self, arc: usize) -> f64 {
+        self.orig[arc] - self.cap[arc]
+    }
+
+    /// Residual capacity currently left on `arc`.
+    pub fn residual(&self, arc: usize) -> f64 {
+        self.cap[arc]
     }
 
     fn bfs(&mut self, s: usize, t: usize) -> bool {
@@ -106,24 +140,55 @@ impl FlowNetwork {
         self.level[t] >= 0
     }
 
-    fn dfs(&mut self, v: usize, t: usize, pushed: f64) -> f64 {
-        if v == t {
-            return pushed;
-        }
-        while self.iter[v] < self.adj[v].len() {
-            let a = self.adj[v][self.iter[v]] as usize;
-            let u = self.head[a] as usize;
-            if self.cap[a] > EPS && self.level[u] == self.level[v] + 1 {
-                let d = self.dfs(u, t, pushed.min(self.cap[a]));
-                if d > EPS {
+    /// Finds one augmenting path `s`→`t` in the level graph and pushes its
+    /// bottleneck, or returns `0.0` if none remains.
+    ///
+    /// Iterative (explicit path stack) on purpose: the textbook recursive
+    /// formulation blows the thread stack on path-like residual graphs at
+    /// 100k+ nodes, which multilevel refinement routinely builds. The arc
+    /// scan order and per-node `iter` advancement are identical to the
+    /// recursive version, so results are bit-for-bit unchanged.
+    fn dfs(&mut self, s: usize, t: usize, pushed: f64) -> f64 {
+        // `path` holds the arcs of the current partial path from `s`.
+        let mut path: Vec<usize> = Vec::new();
+        let mut v = s;
+        loop {
+            if v == t {
+                let mut d = pushed;
+                for &a in &path {
+                    d = d.min(self.cap[a]);
+                }
+                for &a in &path {
                     self.cap[a] -= d;
                     self.cap[a ^ 1] += d;
-                    return d;
+                }
+                return d;
+            }
+            let mut advanced = false;
+            while self.iter[v] < self.adj[v].len() {
+                let a = self.adj[v][self.iter[v]] as usize;
+                let u = self.head[a] as usize;
+                if self.cap[a] > EPS && self.level[u] == self.level[v] + 1 {
+                    // Descend; `iter[v]` stays put so a later path can reuse
+                    // this arc until it saturates.
+                    path.push(a);
+                    v = u;
+                    advanced = true;
+                    break;
+                }
+                self.iter[v] += 1;
+            }
+            if !advanced {
+                // Dead end: retreat one hop and retire the arc that led here.
+                match path.pop() {
+                    Some(a) => {
+                        v = self.head[a ^ 1] as usize;
+                        self.iter[v] += 1;
+                    }
+                    None => return 0.0,
                 }
             }
-            self.iter[v] += 1;
         }
-        0.0
     }
 
     /// Computes the maximum `s`→`t` flow, mutating residual capacities.
@@ -233,6 +298,58 @@ mod tests {
         let f = net.max_flow(0, 1);
         assert!((f - 4.0).abs() < 1e-9);
         assert!((net.flow_on(arc, 4.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_reports_without_caller_capacity() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_arc(0, 1, 4.0);
+        let b = net.add_arc(1, 2, 1.0);
+        let f = net.max_flow(0, 2);
+        assert!((f - 1.0).abs() < 1e-9);
+        assert!((net.flow(a) - 1.0).abs() < 1e-9);
+        assert!((net.flow(b) - 1.0).abs() < 1e-9);
+        assert!((net.residual(a) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow_the_stack() {
+        // Regression: the blocking-flow DFS used to be recursive and
+        // overflowed the (2 MiB test-thread) stack on path-like residual
+        // graphs. A 200k-node chain forces one 200k-deep augmenting path.
+        let n = 200_000;
+        let mut net = FlowNetwork::new(n);
+        for v in 0..n - 1 {
+            // A capacity dip in the middle makes the answer non-trivial.
+            let c = if v == n / 2 { 0.5 } else { 1.0 };
+            net.add_arc(v, v + 1, c);
+        }
+        let f = net.max_flow(0, n - 1);
+        assert!((f - 0.5).abs() < 1e-9);
+        let side = net.min_cut_side(0);
+        assert!(side[n / 2] && !side[n / 2 + 1]);
+    }
+
+    #[test]
+    fn chain_with_residual_detour_augments_iteratively() {
+        // Two long disjoint chains plus a cross link: the second blocking
+        // flow phase must retreat through dead ends without recursion.
+        let n = 100_000;
+        let mut net = FlowNetwork::new(2 * n + 2);
+        let (s, t) = (2 * n, 2 * n + 1);
+        net.add_arc(s, 0, 2.0);
+        for v in 0..n - 1 {
+            net.add_arc(v, v + 1, 2.0);
+        }
+        net.add_arc(n - 1, t, 1.0);
+        // Detour from the middle of chain A into chain B.
+        net.add_arc(n / 2, n, 1.0);
+        for v in n..2 * n - 1 {
+            net.add_arc(v, v + 1, 1.0);
+        }
+        net.add_arc(2 * n - 1, t, 1.0);
+        let f = net.max_flow(s, t);
+        assert!((f - 2.0).abs() < 1e-9, "both exits saturate: {f}");
     }
 
     #[test]

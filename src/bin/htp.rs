@@ -5,6 +5,7 @@
 //! htp gen   <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
 //! htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
 //!               [--slack X] [--seed S] [--threads N] [--improve]
+//!               [--multilevel] [--coarsest-nodes N]
 //!               [--timeout-ms MS] [--max-rounds N]
 //!               [--out assignment.txt]
 //! htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
@@ -26,6 +27,12 @@
 //! aborts). A bounded or cancelled run still emits the best partition
 //! found so far and exits with code 3 so scripts can tell a partial result
 //! from a complete one (code 0) or an error (code 1).
+//!
+//! `--multilevel` routes the flow algorithm through the multilevel
+//! V-cycle (coarsen, solve the coarsest netlist, uncoarsen with per-level
+//! flow refinement) — the fast path for instances beyond a few thousand
+//! nodes. `--coarsest-nodes` sets the coarsening target. The same budget
+//! flags and exit codes apply.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -35,6 +42,7 @@ use std::time::Duration;
 use htp::baselines::gfm::{gfm_partition, GfmParams};
 use htp::baselines::hfm::{improve, HfmParams};
 use htp::baselines::rfm::{rfm_partition, RfmParams};
+use htp::cluster::vcycle::{vcycle_partition_with_budget, VCycleParams};
 use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
 use htp::core::{Budget, RunOutcome};
 use htp::lp::cutting::{lower_bound, CuttingPlaneParams};
@@ -52,13 +60,17 @@ usage:
   htp gen <c2670|c3540|c5315|c6288|c7552|rent:N|grid:RxC> [--seed S] [--out F]
   htp partition <netlist.hgr> [--algo flow|gfm|rfm] [--height H] [--arity K]
                 [--slack X] [--seed S] [--threads N] [--improve]
+                [--multilevel] [--coarsest-nodes N]
                 [--timeout-ms MS] [--max-rounds N]
                 [--out assignment.txt]
                 (--threads 0 uses all cores; the result is identical at
-                 any thread count for a fixed seed. --timeout-ms and
-                 --max-rounds bound the flow engine: a bounded, cancelled,
-                 or degraded run still writes the best partition found and
-                 exits with code 3. Ctrl-C cancels cooperatively.)
+                 any thread count for a fixed seed. --multilevel runs the
+                 flow algorithm through the multilevel V-cycle — the fast
+                 path for large instances; --coarsest-nodes sets its
+                 coarsening target. --timeout-ms and --max-rounds bound
+                 the flow engine: a bounded, cancelled, or degraded run
+                 still writes the best partition found and exits with
+                 code 3. Ctrl-C cancels cooperatively.)
   htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
   htp verify <netlist.hgr> <assignment.txt> [--tree partition.tree]
              [--height H] [--arity K] [--slack X]
@@ -291,11 +303,50 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
              supported by --algo {algo}"
         ));
     }
+    let multilevel = args.flag("multilevel");
+    let coarsest_nodes: Option<usize> = match args.value("coarsest-nodes") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("bad value for --coarsest-nodes: `{raw}`"))?,
+        ),
+        None => None,
+    };
+    if multilevel && algo != "flow" {
+        return Err(format!(
+            "--multilevel runs the flow algorithm; it is not supported by --algo {algo}"
+        ));
+    }
+    if coarsest_nodes.is_some() && !multilevel {
+        return Err("--coarsest-nodes requires --multilevel".into());
+    }
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut outcome = RunOutcome::Complete;
     let partition: HierarchicalPartition =
         match algo {
+            "flow" if multilevel => {
+                let mut params = VCycleParams::default();
+                if let Some(n) = coarsest_nodes {
+                    params.coarsest_nodes = n;
+                }
+                params.partitioner.flow.threads = threads;
+                let mut budget = Budget::unlimited();
+                if let Some(ms) = timeout_ms {
+                    budget = budget.with_deadline(Duration::from_millis(ms));
+                }
+                if let Some(rounds) = max_rounds {
+                    budget = budget.with_max_rounds(rounds);
+                }
+                sigint::install(budget.cancel_token());
+                let run = vcycle_partition_with_budget(&h, &spec, params, &mut rng, &budget)
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "V-cycle: {} levels, coarsest {} nodes, coarsen {:.2}s, solve {:.2}s",
+                    run.num_levels, run.coarsest_nodes, run.coarsen_seconds, run.solve_seconds
+                );
+                outcome = run.outcome;
+                run.partition
+            }
             "flow" => {
                 let mut params = PartitionerParams::default();
                 params.flow.threads = threads;
