@@ -1,0 +1,275 @@
+//! Load test for the `htp-server` partitioning job server, writing a
+//! machine-readable summary to `BENCH_7.json`.
+//!
+//! Three phases, each against a fresh in-process server over real
+//! sockets:
+//!
+//! 1. **Throughput / cache** — several client threads submit a mixed-size
+//!    job stream with deliberate duplicates; measures jobs/sec, p50/p99
+//!    request latency, and the cache hit rate.
+//! 2. **Shedding** — a single worker is pinned by a large job while a
+//!    burst of probes arrives over a 1ms watermark; measures the shed
+//!    rate and that shed replies are typed, not dropped connections.
+//! 3. **Drain** — a server with a tiny drain deadline is shut down with
+//!    a job in flight; records whether cancellation had to be forced and
+//!    that every accepted job was still answered.
+//!
+//! Usage: `loadtest [--quick] [--out PATH]`
+//!
+//! The binary self-checks: it exits 1 if the run produced zero cache
+//! hits or zero shed jobs, since either would mean the scenario no
+//! longer exercises what it claims to.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use htp_netlist::io::hgr;
+use htp_server::{Client, JobRequest, Reply, Request, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GEN_SEED: u64 = 1997;
+
+fn netlist_text(nodes: usize, salt: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(GEN_SEED ^ salt);
+    let h = rent_circuit(
+        RentParams {
+            nodes,
+            primary_inputs: (nodes / 16).max(1),
+            locality: 0.8,
+            ..RentParams::default()
+        },
+        &mut rng,
+    );
+    hgr::to_string(&h)
+}
+
+fn job(hgr_text: &str, seed: u64, multilevel: bool) -> Request {
+    Request::Partition(Box::new(JobRequest {
+        hgr: hgr_text.to_owned(),
+        height: 3,
+        seed,
+        multilevel,
+        ..JobRequest::default()
+    }))
+}
+
+struct Phase1 {
+    submitted: u64,
+    ok: u64,
+    jobs_per_sec: f64,
+    p50_ms: u64,
+    p99_ms: u64,
+    cache_hits: u64,
+    retries: u64,
+    panics: u64,
+}
+
+/// Mixed-size stream with duplicates: each client walks the same job
+/// list twice, so the second lap hits the cache warmed by the first.
+fn phase_throughput(quick: bool, workers: usize, clients: usize) -> Phase1 {
+    let sizes: &[usize] = if quick {
+        &[200, 400, 800]
+    } else {
+        &[500, 1500, 4000]
+    };
+    let netlists: Vec<String> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| netlist_text(n, i as u64))
+        .collect();
+    let server = Server::serve(ServerConfig {
+        workers,
+        watermark_ms: u64::MAX,
+        ..ServerConfig::default()
+    })
+    .expect("start the throughput server");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let netlists = netlists.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies_ms = Vec::new();
+                let mut ok = 0u64;
+                for lap in 0..2u64 {
+                    for (i, text) in netlists.iter().enumerate() {
+                        // Same seed across laps and clients: lap 2 (and
+                        // every client after the first) can hit the cache.
+                        let request = job(text, 7 + i as u64, !quick && i == 2);
+                        let t0 = Instant::now();
+                        let reply = client.request(&request).expect("request");
+                        latencies_ms.push(t0.elapsed().as_millis() as u64);
+                        match reply {
+                            Reply::Result(r) if r.certified => ok += 1,
+                            other => panic!("client {c} lap {lap} got {other:?}"),
+                        }
+                    }
+                }
+                (latencies_ms, ok)
+            })
+        })
+        .collect();
+    let mut latencies_ms = Vec::new();
+    let mut ok = 0u64;
+    for handle in handles {
+        let (lat, n) = handle.join().expect("client thread");
+        latencies_ms.extend(lat);
+        ok += n;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let report = server.drain();
+    assert!(!report.forced, "throughput phase drains cleanly");
+
+    latencies_ms.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+        latencies_ms[idx]
+    };
+    Phase1 {
+        submitted: latencies_ms.len() as u64,
+        ok,
+        jobs_per_sec: latencies_ms.len() as f64 / elapsed,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        cache_hits: stats.cache_hits,
+        retries: stats.retries,
+        panics: stats.panics_contained,
+    }
+}
+
+struct Phase2 {
+    probes: u64,
+    shed: u64,
+}
+
+fn phase_shedding(quick: bool) -> Phase2 {
+    let server = Server::serve(ServerConfig {
+        workers: 1,
+        watermark_ms: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start the shedding server");
+    let addr = server.local_addr();
+    let pin_nodes = if quick { 4000 } else { 12_000 };
+    let pin = job(&netlist_text(pin_nodes, 100), 1, true);
+    let pinner = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.request(&pin)
+    });
+    // Wait for the pin job to occupy the worker.
+    while server.stats().queue_depth == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let probes: u64 = 8;
+    let probe_text = netlist_text(200, 101);
+    let mut shed = 0u64;
+    let mut client = Client::connect(addr).expect("connect");
+    for i in 0..probes {
+        // Probes use distinct seeds so none short-circuits via the cache.
+        match client.request(&job(&probe_text, 1000 + i, false)) {
+            Ok(Reply::Overloaded { .. }) => shed += 1,
+            Ok(_) => {}
+            Err(e) => panic!("probe {i} failed at the transport level: {e}"),
+        }
+    }
+    let reply = pinner.join().expect("pin thread").expect("pin request");
+    assert!(
+        matches!(reply, Reply::Result(_)),
+        "the pin job still completed"
+    );
+    let report = server.drain();
+    assert_eq!(report.accepted, report.answered);
+    Phase2 { probes, shed }
+}
+
+fn phase_drain(quick: bool) -> bool {
+    let server = Server::serve(ServerConfig {
+        workers: 1,
+        drain_deadline_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("start the drain server");
+    let addr = server.local_addr();
+    let nodes = if quick { 4000 } else { 12_000 };
+    let slow = job(&netlist_text(nodes, 102), 1, true);
+    let client = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.request(&slow)
+    });
+    while server.stats().queue_depth == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let report = server.drain();
+    assert_eq!(report.answered, report.accepted, "drain answered every job");
+    let reply = client.join().expect("client thread").expect("request");
+    assert!(matches!(reply, Reply::Result(_)));
+    report.forced
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_7.json".to_owned());
+    let workers = if quick { 2 } else { 4 };
+    let clients = if quick { 2 } else { 4 };
+
+    eprintln!("phase 1: throughput + cache ({workers} workers, {clients} clients)");
+    let p1 = phase_throughput(quick, workers, clients);
+    eprintln!(
+        "  {} jobs, {:.2} jobs/sec, p50 {}ms, p99 {}ms, {} cache hits",
+        p1.submitted, p1.jobs_per_sec, p1.p50_ms, p1.p99_ms, p1.cache_hits
+    );
+    eprintln!("phase 2: load shedding");
+    let p2 = phase_shedding(quick);
+    eprintln!("  {} of {} probes shed", p2.shed, p2.probes);
+    eprintln!("phase 3: forced drain");
+    let drain_forced = phase_drain(quick);
+    eprintln!("  forced: {drain_forced}");
+
+    let cache_hit_rate = p1.cache_hits as f64 / p1.submitted as f64;
+    let shed_rate = p2.shed as f64 / p2.probes as f64;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"loadtest\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"clients\": {clients},");
+    let _ = writeln!(out, "  \"jobs_submitted\": {},", p1.submitted);
+    let _ = writeln!(out, "  \"jobs_ok\": {},", p1.ok);
+    let _ = writeln!(out, "  \"jobs_per_sec\": {:.3},", p1.jobs_per_sec);
+    let _ = writeln!(out, "  \"p50_ms\": {},", p1.p50_ms);
+    let _ = writeln!(out, "  \"p99_ms\": {},", p1.p99_ms);
+    let _ = writeln!(out, "  \"cache_hit_rate\": {cache_hit_rate:.4},");
+    let _ = writeln!(out, "  \"cache_hits\": {},", p1.cache_hits);
+    let _ = writeln!(out, "  \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(out, "  \"shed\": {},", p2.shed);
+    let _ = writeln!(out, "  \"retries\": {},", p1.retries);
+    let _ = writeln!(out, "  \"panics\": {},", p1.panics);
+    let _ = writeln!(out, "  \"drain_forced\": {drain_forced}");
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).expect("write the summary");
+    eprintln!("wrote {out_path}");
+
+    // Self-check: a load test that neither hit the cache nor shed load
+    // no longer measures the mechanisms this benchmark exists for.
+    if p1.cache_hits == 0 {
+        eprintln!("self-check failed: zero cache hits");
+        std::process::exit(1);
+    }
+    if p2.shed == 0 {
+        eprintln!("self-check failed: zero shed jobs");
+        std::process::exit(1);
+    }
+}

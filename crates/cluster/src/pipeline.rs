@@ -165,8 +165,15 @@ pub fn clustered_flow_partition_with_budget<R: Rng + ?Sized>(
 
 /// Runs the inner partitioner under `budget`, falling back to one bounded
 /// salvage round when the budget fires before anything was found. Used by
-/// both this pipeline and the V-cycle's coarsest solve.
-pub(crate) fn solve_budgeted<R: Rng + ?Sized>(
+/// this pipeline, the V-cycle's coarsest solve, and the job server's
+/// flat path.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the partitioner; an interrupt with a
+/// successful salvage round is *not* an error (the interrupt stays
+/// visible in the returned [`RunOutcome`]).
+pub fn solve_budgeted<R: Rng + ?Sized>(
     partitioner: &FlowPartitioner,
     h: &Hypergraph,
     spec: &TreeSpec,

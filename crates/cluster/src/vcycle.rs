@@ -15,6 +15,7 @@
 //! far straight up to the fine level, so the caller always receives a
 //! valid (certifiable) partition plus an honest [`RunOutcome`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use rand::Rng;
@@ -29,7 +30,7 @@ use htp_netlist::Hypergraph;
 use crate::clusters::agglomerate_with_fillers;
 use crate::congestion::{flow_congestion, CongestionParams, CongestionProfile};
 use crate::pipeline::{project, refine_partition, solve_budgeted};
-use crate::refine::{flow_refine_pass, FlowRefineParams};
+use crate::refine::{flow_refine_pass, FlowRefineParams, FlowRefineReport};
 
 /// A coarsening level is abandoned when it shrinks the node count by less
 /// than this factor — further passes would stall at the same size.
@@ -160,6 +161,17 @@ pub struct VCycleResult {
     pub solve_seconds: f64,
     /// Per-level uncoarsening reports, coarsest-to-finest.
     pub levels: Vec<VCycleLevelReport>,
+    /// Coarse levels rejected by the size-packing pre-check before any
+    /// metric run (each would otherwise have cost one full metric under
+    /// the `NoFeasibleCut` backoff).
+    pub precheck_rejected_levels: usize,
+    /// Coarse levels popped by the `NoFeasibleCut` backoff after a paid
+    /// solve attempt (the pre-check is a necessary condition only, so
+    /// heuristically infeasible levels still reach the solver).
+    pub backoff_popped_levels: usize,
+    /// Panics contained by the fault isolation around coarsening and
+    /// refinement; each degrades the outcome instead of aborting the run.
+    pub contained_panics: usize,
     /// `(projected, refined)` partitions per uncoarsening level when
     /// [`VCycleParams::record_levels`] is set (coarsest-to-finest, same
     /// order as `levels`).
@@ -212,6 +224,9 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
     }
 
     let mut outcome = RunOutcome::Complete;
+    let mut precheck_rejected_levels = 0usize;
+    let mut backoff_popped_levels = 0usize;
+    let mut contained_panics = 0usize;
 
     // ---- Down pass: recursive coarsening. -------------------------------
     let down_start = Instant::now();
@@ -236,19 +251,41 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
         let cap = ((cur.total_size() as f64 / target as f64).ceil() as u64)
             .min(global_cap)
             .max(max_node);
-        let profile = if n <= params.congestion_max_nodes {
-            flow_congestion(cur, params.congestion, rng)
-        } else {
-            heavy_edge_profile(cur)
-        };
-        let clustering = agglomerate_with_fillers(cur, &profile, cap, params.filler_stride);
-        if clustering.count as f64 > n as f64 * MIN_SHRINK {
-            break; // stalled: caps leave (almost) nothing to merge
+        // The level body is fault-isolated: a panic while rating or
+        // contracting stops the down pass at the last good level and the
+        // cycle solves that graph instead, degrading the outcome.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = budget.fault_plan() {
+                if plan.should_panic_coarsening(maps.len() as u64) {
+                    panic!("fault injection: scripted coarsening panic");
+                }
+            }
+            let profile = if n <= params.congestion_max_nodes {
+                flow_congestion(cur, params.congestion, rng)
+            } else {
+                heavy_edge_profile(cur)
+            };
+            let clustering = agglomerate_with_fillers(cur, &profile, cap, params.filler_stride);
+            if clustering.count as f64 > n as f64 * MIN_SHRINK {
+                return None; // stalled: caps leave (almost) nothing to merge
+            }
+            let coarse = cur.contract(&clustering.cluster_of);
+            Some((clustering.cluster_of, coarse))
+        }));
+        match step {
+            Ok(Some((map, coarse))) => {
+                maps.push(map);
+                coarse_graphs.push(coarse);
+                coarsen_times.push(t0.elapsed().as_secs_f64());
+            }
+            Ok(None) => break,
+            Err(_) => {
+                contained_panics += 1;
+                outcome = outcome.combine(RunOutcome::Degraded);
+                break;
+            }
         }
-        let coarse = cur.contract(&clustering.cluster_of);
-        maps.push(clustering.cluster_of);
-        coarse_graphs.push(coarse);
-        coarsen_times.push(t0.elapsed().as_secs_f64());
     }
     let coarsen_seconds = down_start.elapsed().as_secs_f64();
 
@@ -259,6 +296,27 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
     let solve_start = Instant::now();
     let partitioner = FlowPartitioner::try_new(params.partitioner)?;
     let (mut partition, coarsest_node_count, coarsest_cost) = loop {
+        // Cheap necessary-condition screen first: when the coarse node
+        // sizes provably cannot be packed into the spec's carve windows,
+        // back off without paying the full metric run the NoFeasibleCut
+        // backoff below would cost.
+        let provably_infeasible = {
+            let coarsest = coarse_graphs.last().unwrap_or(h);
+            let sizes: Vec<u64> = coarsest.nodes().map(|v| coarsest.node_size(v)).collect();
+            packing_infeasibility(&sizes, spec)
+        };
+        if let Some(e) = provably_infeasible {
+            if coarse_graphs.is_empty() {
+                // The input netlist itself cannot fit the spec; surface
+                // the same typed error the construction would raise.
+                return Err(e);
+            }
+            precheck_rejected_levels += 1;
+            coarse_graphs.pop();
+            maps.pop();
+            coarsen_times.pop();
+            continue;
+        }
         let attempt = {
             let coarsest = coarse_graphs.last().unwrap_or(h);
             solve_budgeted(&partitioner, coarsest, spec, rng, budget).map(|(p, o)| {
@@ -272,6 +330,7 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
                 break (p, n, c);
             }
             Err(CoreError::NoFeasibleCut { .. }) if !coarse_graphs.is_empty() => {
+                backoff_popped_levels += 1;
                 coarse_graphs.pop();
                 maps.pop();
                 coarsen_times.pop();
@@ -299,37 +358,79 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
                 false
             }
         };
-        let (refined, refined_cost, report) = if params.flow_refine && budget_ok {
-            flow_refine_pass(
-                fine,
-                spec,
-                &projected,
-                projected_cost,
-                &params.refine,
-                budget,
-            )?
+        // The whole refinement stage (flow pass + HFM sweep) is
+        // fault-isolated: a panic inside either refiner keeps the valid
+        // projected partition for this level and degrades the outcome
+        // instead of aborting the cycle.
+        type RefineAttempt =
+            Result<(HierarchicalPartition, f64, FlowRefineReport, bool), CoreError>;
+        let attempt: std::thread::Result<RefineAttempt> = if budget_ok {
+            catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                if let Some(plan) = budget.fault_plan() {
+                    if plan.should_panic_refinement(levels.len() as u64) {
+                        panic!("fault injection: scripted refinement panic");
+                    }
+                }
+                let (refined, refined_cost, report) = if params.flow_refine {
+                    flow_refine_pass(
+                        fine,
+                        spec,
+                        &projected,
+                        projected_cost,
+                        &params.refine,
+                        budget,
+                    )?
+                } else {
+                    (
+                        projected.clone(),
+                        projected_cost,
+                        FlowRefineReport::default(),
+                    )
+                };
+                // HFM sweep on top of the flow pass, at levels small
+                // enough for FM's full move scan; kept only when it
+                // strictly improves.
+                let mut hfm_used = false;
+                let (refined, refined_cost) =
+                    if fine.num_nodes() <= params.hfm_max_nodes && budget.check_time().is_ok() {
+                        let (p2, c2) = refine_partition(fine, spec, &refined)?;
+                        if c2 < refined_cost - 1e-12 {
+                            hfm_used = true;
+                            (p2, c2)
+                        } else {
+                            (refined, refined_cost)
+                        }
+                    } else {
+                        (refined, refined_cost)
+                    };
+                Ok((refined, refined_cost, report, hfm_used))
+            }))
         } else {
-            (projected.clone(), projected_cost, Default::default())
+            Ok(Ok((
+                projected.clone(),
+                projected_cost,
+                FlowRefineReport::default(),
+                false,
+            )))
+        };
+        let (refined, refined_cost, report, hfm_used) = match attempt {
+            Ok(Ok(stage)) => stage,
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                contained_panics += 1;
+                outcome = outcome.combine(RunOutcome::Degraded);
+                (
+                    projected.clone(),
+                    projected_cost,
+                    FlowRefineReport::default(),
+                    false,
+                )
+            }
         };
         if let Some(irq) = report.interrupt {
             outcome = outcome.combine(RunOutcome::from_interrupt(irq));
         }
-        // HFM sweep on top of the flow pass, at levels small enough for
-        // FM's full move scan; kept only when it strictly improves.
-        let mut hfm_used = false;
-        let (refined, refined_cost) =
-            if budget_ok && fine.num_nodes() <= params.hfm_max_nodes && budget.check_time().is_ok()
-            {
-                let (p2, c2) = refine_partition(fine, spec, &refined)?;
-                if c2 < refined_cost - 1e-12 {
-                    hfm_used = true;
-                    (p2, c2)
-                } else {
-                    (refined, refined_cost)
-                }
-            } else {
-                (refined, refined_cost)
-            };
         let refine_seconds = refine_start.elapsed().as_secs_f64();
 
         levels.push(VCycleLevelReport {
@@ -360,6 +461,9 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
         coarsest_cost,
         coarsen_seconds,
         solve_seconds,
+        precheck_rejected_levels,
+        backoff_popped_levels,
+        contained_panics,
         levels,
         level_partitions,
         coarse_graphs: if params.record_levels {
@@ -368,6 +472,95 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
             Vec::new()
         },
     })
+}
+
+/// Provable size-packing infeasibility screen.
+///
+/// Returns the typed [`CoreError`] the construction would eventually
+/// raise when `sizes` provably cannot be packed under `spec`, or `None`
+/// when packing *may* be possible. The check is a sound necessary
+/// condition — it never condemns a packable instance — built from three
+/// facts about any valid partition:
+///
+/// - every node must fit a leaf, so a node bigger than `C_0` is hopeless;
+/// - the total must fit the root capacity;
+/// - the root carve splits the total into at most `K_top` blocks of at
+///   most `ub = C_{top-1}` each, so some block's size is a subset sum of
+///   `sizes` inside the window `[total - (K_top - 1)·ub, ub]`; a bitset
+///   subset-sum sweep proves when no such subset exists.
+///
+/// The subset-sum sweep is skipped (assumed packable) when `ub` exceeds
+/// 2^22, bounding the screen at a few milliseconds on any input.
+pub fn packing_infeasibility(sizes: &[u64], spec: &TreeSpec) -> Option<CoreError> {
+    const MAX_DP_SUM: u64 = 1 << 22;
+    let total: u64 = sizes.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let leaf_cap = spec.capacity(0);
+    if let Some(&big) = sizes.iter().find(|&&s| s > leaf_cap) {
+        return Some(CoreError::NoFeasibleCut {
+            level: 0,
+            remaining: big,
+            lb: 1,
+            ub: leaf_cap,
+        });
+    }
+    let Some(top) = spec.level_for_size(total) else {
+        return Some(CoreError::Infeasible {
+            total_size: total,
+            root_capacity: spec.capacity(spec.root_level()),
+        });
+    };
+    if top == 0 {
+        return None; // everything fits a single leaf
+    }
+    let k = spec.max_children(top) as u64;
+    let ub = spec.capacity(top - 1);
+    let lb = total.saturating_sub((k - 1).saturating_mul(ub)).max(1);
+    if u128::from(total) > u128::from(k) * u128::from(ub) {
+        return Some(CoreError::NoFeasibleCut {
+            level: top,
+            remaining: total,
+            lb,
+            ub,
+        });
+    }
+    if ub > MAX_DP_SUM {
+        return None; // too wide to prove anything cheaply
+    }
+    // Bitset subset-sum DP: bit `s` of `reach` means some subset of
+    // `sizes` sums to exactly `s` (sums above `ub` are truncated — no
+    // block may exceed `ub` anyway).
+    let ubz = ub as usize;
+    let words = ubz / 64 + 1;
+    let mut reach = vec![0u64; words];
+    reach[0] = 1; // the empty subset
+    for &s in sizes {
+        let s = s as usize;
+        if s == 0 || s > ubz {
+            continue;
+        }
+        let (ws, bs) = (s / 64, s % 64);
+        for i in (ws..words).rev() {
+            let mut v = reach[i - ws] << bs;
+            if bs != 0 && i > ws {
+                v |= reach[i - ws - 1] >> (64 - bs);
+            }
+            reach[i] |= v;
+        }
+    }
+    let window_hit = (lb as usize..=ubz).any(|s| (reach[s / 64] >> (s % 64)) & 1 == 1);
+    if window_hit {
+        None
+    } else {
+        Some(CoreError::NoFeasibleCut {
+            level: top,
+            remaining: total,
+            lb,
+            ub,
+        })
+    }
 }
 
 /// Rates every net for heavy-edge coarsening: utilization becomes
@@ -454,6 +647,7 @@ mod tests {
         assert!(r.num_levels >= 2, "1024 -> 64 needs >= 2 shrink-4 levels");
         assert!(r.coarsest_nodes <= 4 * 64, "coarsest level near threshold");
         assert!(r.outcome.is_complete());
+        assert_eq!(r.contained_panics, 0);
         assert!((cost::partition_cost(&h, &spec, &r.partition) - r.cost).abs() < 1e-9);
         for lvl in &r.levels {
             assert!(
@@ -502,6 +696,65 @@ mod tests {
         let r = vcycle_partition(&h, &spec, params, &mut rng).unwrap();
         assert_eq!(r.level_partitions.len(), r.num_levels);
         assert_eq!(r.levels.len(), r.num_levels);
+    }
+
+    #[test]
+    fn packing_precheck_is_a_sound_screen() {
+        let spec = TreeSpec::new(vec![(16, 2, 1.0), (32, 2, 1.0)]).unwrap();
+        // Unit sizes always pack: every window sum is reachable.
+        assert!(packing_infeasibility(&[1; 30], &spec).is_none());
+        // Three 10s must carve a block of size in [14, 16] at the top,
+        // but subset sums are multiples of 10 — provably unpackable.
+        assert!(matches!(
+            packing_infeasibility(&[10, 10, 10], &spec),
+            Some(CoreError::NoFeasibleCut {
+                level: 1,
+                remaining: 30,
+                lb: 14,
+                ub: 16,
+            })
+        ));
+        // The same total with a finer tail closes the gap (10 + 6 = 16).
+        assert!(packing_infeasibility(&[10, 6, 10, 4], &spec).is_none());
+        // A node above the leaf capacity can never be placed.
+        assert!(matches!(
+            packing_infeasibility(&[20, 5], &spec),
+            Some(CoreError::NoFeasibleCut { level: 0, .. })
+        ));
+        // A total above the root capacity is Infeasible, not NoFeasibleCut.
+        assert!(matches!(
+            packing_infeasibility(&[16, 16, 16], &spec),
+            Some(CoreError::Infeasible { .. })
+        ));
+        // Total over K_top * C_{top-1} without any single oversized node.
+        let deep = TreeSpec::new(vec![(4, 2, 1.0), (8, 2, 1.0), (32, 2, 1.0)]).unwrap();
+        assert!(matches!(
+            packing_infeasibility(&[4, 4, 4, 4, 4], &deep),
+            Some(CoreError::NoFeasibleCut { level: 2, .. })
+        ));
+        // Empty input is trivially packable.
+        assert!(packing_infeasibility(&[], &spec).is_none());
+    }
+
+    #[test]
+    fn provably_unpackable_inputs_fail_fast_without_a_metric_run() {
+        // Five size-6 nodes against a [14, 16] top window: subset sums
+        // are multiples of 6, so no feasible carve exists. The pre-check
+        // must reject before the budget is charged a single metric round.
+        let mut b = htp_netlist::HypergraphBuilder::new();
+        let nodes: Vec<_> = (0..5).map(|_| b.add_node(6)).collect();
+        for w in nodes.windows(2) {
+            b.add_net(1.0, w.iter().copied()).unwrap();
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(16, 2, 1.0), (32, 2, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(47);
+        let budget = Budget::unlimited();
+        let err =
+            vcycle_partition_with_budget(&h, &spec, VCycleParams::default(), &mut rng, &budget)
+                .unwrap_err();
+        assert!(matches!(err, CoreError::NoFeasibleCut { .. }));
+        assert_eq!(budget.rounds_used(), 0, "rejected before any metric run");
     }
 
     #[test]

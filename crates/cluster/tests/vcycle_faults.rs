@@ -1,0 +1,126 @@
+//! Deterministic fault injection through the multilevel V-cycle.
+//!
+//! A scripted panic inside coarsening or refinement must surface as a
+//! contained `Degraded` outcome with a valid (certifiable) partition —
+//! never as an abort of the whole run. Run with
+//! `--features fault-injection`.
+
+#![cfg(feature = "fault-injection")]
+
+use htp_cluster::congestion::CongestionParams;
+use htp_cluster::vcycle::{vcycle_partition_with_budget, VCycleParams};
+use htp_core::partitioner::PartitionerParams;
+use htp_core::runtime::{Budget, FaultPlan, RunOutcome};
+use htp_model::{validate, TreeSpec};
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use htp_netlist::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(nodes: usize, height: usize) -> (Hypergraph, TreeSpec) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let h = rent_circuit(
+        RentParams {
+            nodes,
+            primary_inputs: (nodes / 16).max(1),
+            locality: 0.8,
+            ..RentParams::default()
+        },
+        &mut rng,
+    );
+    let spec = TreeSpec::full_tree(h.total_size(), height, 2, 1.15, 1.0).unwrap();
+    (h, spec)
+}
+
+fn quick_params() -> VCycleParams {
+    VCycleParams {
+        coarsest_nodes: 64,
+        congestion: CongestionParams {
+            pairs: 64,
+            ..CongestionParams::default()
+        },
+        partitioner: PartitionerParams {
+            iterations: 2,
+            ..PartitionerParams::default()
+        },
+        ..VCycleParams::default()
+    }
+}
+
+#[test]
+fn scripted_refinement_panic_is_contained_as_degraded() {
+    let (h, spec) = workload(1024, 3);
+    let mut rng = StdRng::seed_from_u64(42);
+    let plan = FaultPlan::new().panic_in_refinement_at_pass(0);
+    let budget = Budget::unlimited().with_faults(plan);
+    let r = vcycle_partition_with_budget(&h, &spec, quick_params(), &mut rng, &budget).unwrap();
+    assert_eq!(r.outcome, RunOutcome::Degraded);
+    assert_eq!(r.contained_panics, 1);
+    validate::validate(&h, &spec, &r.partition).unwrap();
+    // The poisoned pass (the coarsest uncoarsening level) kept its
+    // projected partition untouched.
+    let lvl = &r.levels[0];
+    assert_eq!(lvl.flow_pairs_tried, 0);
+    assert!(!lvl.hfm_used);
+    assert!((lvl.refined_cost - lvl.projected_cost).abs() < 1e-12);
+    // The remaining levels refined normally.
+    assert!(r.levels.len() >= 2);
+}
+
+#[test]
+fn scripted_coarsening_panic_stops_the_down_pass_not_the_run() {
+    let (h, spec) = workload(1024, 3);
+    let mut rng = StdRng::seed_from_u64(43);
+
+    // A panic at level 0 means no coarse graph is ever built: FLOW solves
+    // the input netlist directly, and the result is still valid.
+    let plan = FaultPlan::new().panic_in_coarsening_at_level(0);
+    let budget = Budget::unlimited().with_faults(plan);
+    let r = vcycle_partition_with_budget(&h, &spec, quick_params(), &mut rng, &budget).unwrap();
+    assert_eq!(r.outcome, RunOutcome::Degraded);
+    assert_eq!(r.contained_panics, 1);
+    assert_eq!(r.num_levels, 0);
+    validate::validate(&h, &spec, &r.partition).unwrap();
+
+    // A panic at level 1 keeps the first coarse level and solves it.
+    let plan = FaultPlan::new().panic_in_coarsening_at_level(1);
+    let budget = Budget::unlimited().with_faults(plan);
+    let r = vcycle_partition_with_budget(&h, &spec, quick_params(), &mut rng, &budget).unwrap();
+    assert_eq!(r.outcome, RunOutcome::Degraded);
+    assert_eq!(r.num_levels, 1);
+    validate::validate(&h, &spec, &r.partition).unwrap();
+}
+
+#[test]
+fn an_empty_fault_plan_changes_nothing() {
+    let (h, spec) = workload(1024, 3);
+    let mut rng = StdRng::seed_from_u64(44);
+    let r1 = vcycle_partition_with_budget(
+        &h,
+        &spec,
+        quick_params(),
+        &mut rng,
+        &Budget::unlimited().with_faults(FaultPlan::new()),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(44);
+    let r2 =
+        vcycle_partition_with_budget(&h, &spec, quick_params(), &mut rng, &Budget::unlimited())
+            .unwrap();
+    assert_eq!(r1.outcome, RunOutcome::Complete);
+    assert_eq!(r1.contained_panics, 0);
+    assert!((r1.cost - r2.cost).abs() < 1e-9, "plan must be inert");
+}
+
+#[test]
+fn forced_expiry_mid_cycle_degrades_and_projects() {
+    let (h, spec) = workload(1024, 3);
+    let mut rng = StdRng::seed_from_u64(45);
+    // Force the budget to report expiry from round 1 on: the coarsest
+    // solve is interrupted and the projection path takes over.
+    let plan = FaultPlan::new().expire_at_round(1);
+    let budget = Budget::unlimited().with_faults(plan);
+    let r = vcycle_partition_with_budget(&h, &spec, quick_params(), &mut rng, &budget).unwrap();
+    assert_eq!(r.outcome, RunOutcome::DeadlineExceeded);
+    validate::validate(&h, &spec, &r.partition).unwrap();
+}

@@ -402,6 +402,8 @@ pub struct FaultPlan {
     oracle_error_probes: std::collections::BTreeSet<u64>,
     seeded: Option<(u64, u32)>,
     expire_at_round: Option<u64>,
+    panic_coarsening_levels: std::collections::BTreeSet<u64>,
+    panic_refinement_passes: std::collections::BTreeSet<u64>,
 }
 
 #[cfg(feature = "fault-injection")]
@@ -443,6 +445,25 @@ impl FaultPlan {
         self
     }
 
+    /// Panics inside multilevel coarsening level `level` (0-based: the
+    /// `level`-th contraction performed by the down pass). Multilevel
+    /// drivers contain the panic and degrade instead of aborting.
+    #[must_use]
+    pub fn panic_in_coarsening_at_level(mut self, level: u64) -> Self {
+        self.panic_coarsening_levels.insert(level);
+        self
+    }
+
+    /// Panics inside multilevel refinement pass `pass` (0-based, counted
+    /// coarsest-to-finest along the up pass). Multilevel drivers contain
+    /// the panic, keep the projected partition for that level, and report
+    /// a degraded outcome.
+    #[must_use]
+    pub fn panic_in_refinement_at_pass(mut self, pass: u64) -> Self {
+        self.panic_refinement_passes.insert(pass);
+        self
+    }
+
     /// Should the probe with global index `probe` panic?
     pub fn should_panic(&self, probe: u64) -> bool {
         if self.panic_probes.contains(&probe) {
@@ -465,6 +486,16 @@ impl FaultPlan {
     /// `round`?
     pub fn forces_expiry(&self, round: u64) -> bool {
         self.expire_at_round.is_some_and(|k| round >= k)
+    }
+
+    /// Should the `level`-th multilevel coarsening contraction panic?
+    pub fn should_panic_coarsening(&self, level: u64) -> bool {
+        self.panic_coarsening_levels.contains(&level)
+    }
+
+    /// Should the `pass`-th multilevel refinement pass panic?
+    pub fn should_panic_refinement(&self, pass: u64) -> bool {
+        self.panic_refinement_passes.contains(&pass)
     }
 }
 
@@ -609,6 +640,14 @@ mod tests {
         assert!(!plan.forces_expiry(2));
         assert!(plan.forces_expiry(3));
         assert!(plan.forces_expiry(4));
+
+        let multilevel = FaultPlan::new()
+            .panic_in_coarsening_at_level(1)
+            .panic_in_refinement_at_pass(0);
+        assert!(multilevel.should_panic_coarsening(1));
+        assert!(!multilevel.should_panic_coarsening(0));
+        assert!(multilevel.should_panic_refinement(0));
+        assert!(!multilevel.should_panic_refinement(1));
 
         let seeded = FaultPlan::new().seeded_panics(12345, 500_000);
         let fired: Vec<bool> = (0..64).map(|p| seeded.should_panic(p)).collect();

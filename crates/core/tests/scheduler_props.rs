@@ -18,10 +18,7 @@ fn params(schedule: ProbeSchedule) -> FlowParams {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 6,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Whenever the exhaustive schedule converges, the adaptive one does
     /// too, and both metrics pass the exhaustive (P1) feasibility scan.

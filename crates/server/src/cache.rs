@@ -1,0 +1,184 @@
+//! The certified result cache.
+//!
+//! Results are keyed by a digest of the job's semantic inputs (netlist
+//! text, spec shape, seed, algorithm route) — deadlines and priorities
+//! are scheduling concerns and deliberately excluded, so a resubmitted
+//! job with a different deadline still hits. Entries store the
+//! serialized partition tree plus its cost; the server re-certifies
+//! every hit against the freshly parsed netlist before serving, so a
+//! corrupt entry (bit rot, a bug, or the fault-injection harness) is
+//! detected and recomputed rather than served.
+//!
+//! The store is a plain most-recently-used vector: capacities are tens
+//! of entries, where the O(n) touch is cheaper than a linked-list LRU's
+//! pointer chasing and far simpler to audit.
+
+/// One cached result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// The partition tree, in [`htp_model::io`] text form.
+    pub tree: String,
+    /// The cost claimed when the entry was stored; re-certification
+    /// cross-checks it.
+    pub cost: f64,
+}
+
+/// A bounded most-recently-used cache from job digest to result.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    // MRU first.
+    entries: Vec<(u128, CacheEntry)>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks up `digest`, marking the entry most recently used.
+    pub fn get(&mut self, digest: u128) -> Option<CacheEntry> {
+        let idx = self.entries.iter().position(|(d, _)| *d == digest)?;
+        let entry = self.entries.remove(idx);
+        self.entries.insert(0, entry);
+        Some(self.entries[0].1.clone())
+    }
+
+    /// Inserts (or replaces) the entry for `digest`, evicting the least
+    /// recently used entry when full.
+    pub fn put(&mut self, digest: u128, entry: CacheEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(idx) = self.entries.iter().position(|(d, _)| *d == digest) {
+            self.entries.remove(idx);
+        }
+        self.entries.insert(0, (digest, entry));
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Drops the entry for `digest` (used when re-certification rejects
+    /// it).
+    pub fn invalidate(&mut self, digest: u128) {
+        self.entries.retain(|(d, _)| *d != digest);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mutable access to the most recently used entry (the
+    /// fault-injection harness corrupts entries through this).
+    #[cfg(feature = "fault-injection")]
+    pub fn most_recent_mut(&mut self) -> Option<&mut CacheEntry> {
+        self.entries.first_mut().map(|(_, e)| e)
+    }
+}
+
+/// Digests a job's semantic inputs into a 128-bit key: two FNV-1a-64
+/// passes with distinct offset bases over the same canonical byte
+/// string. Not cryptographic — collision resistance here guards against
+/// accidents, not adversaries, and every hit is re-certified anyway.
+pub fn job_digest(
+    hgr: &str,
+    height: usize,
+    arity: usize,
+    slack: f64,
+    seed: u64,
+    multilevel: bool,
+) -> u128 {
+    let mut canonical = Vec::with_capacity(hgr.len() + 64);
+    canonical.extend_from_slice(hgr.as_bytes());
+    canonical.push(0);
+    canonical.extend_from_slice(
+        format!(
+            "h={height};k={arity};s={:016x};seed={seed};ml={multilevel}",
+            slack.to_bits()
+        )
+        .as_bytes(),
+    );
+    let lo = fnv1a64(&canonical, 0xcbf2_9ce4_8422_2325);
+    let hi = fnv1a64(&canonical, 0x6c62_272e_07bb_0142);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+fn fnv1a64(bytes: &[u8], offset_basis: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = offset_basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: &str) -> CacheEntry {
+        CacheEntry {
+            tree: tag.to_owned(),
+            cost: tag.len() as f64,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_untouched_entry() {
+        let mut c = ResultCache::new(2);
+        c.put(1, entry("a"));
+        c.put(2, entry("b"));
+        assert!(c.get(1).is_some()); // touch 1: now 2 is LRU
+        c.put(3, entry("c"));
+        assert!(c.get(2).is_none(), "2 was evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_replaces_and_invalidate_removes() {
+        let mut c = ResultCache::new(4);
+        c.put(7, entry("old"));
+        c.put(7, entry("new"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(7).unwrap().tree, "new");
+        c.invalidate(7);
+        assert!(c.get(7).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.put(1, entry("a"));
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn digests_separate_every_semantic_input() {
+        let base = job_digest("1 1\n1\n", 4, 2, 1.1, 1997, false);
+        assert_eq!(base, job_digest("1 1\n1\n", 4, 2, 1.1, 1997, false));
+        for other in [
+            job_digest("1 1\n2\n", 4, 2, 1.1, 1997, false),
+            job_digest("1 1\n1\n", 3, 2, 1.1, 1997, false),
+            job_digest("1 1\n1\n", 4, 3, 1.1, 1997, false),
+            job_digest("1 1\n1\n", 4, 2, 1.2, 1997, false),
+            job_digest("1 1\n1\n", 4, 2, 1.1, 1998, false),
+            job_digest("1 1\n1\n", 4, 2, 1.1, 1997, true),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! A minimal blocking client for the job server.
+//!
+//! One connection, one outstanding request at a time — exactly what the
+//! `htp submit` CLI and the tests need. The load-test harness opens
+//! several `Client`s to get concurrency.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{read_frame, write_frame, ProtocolError, Reply, Request};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server answered with something outside the protocol.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A blocking connection to a running [`Server`](crate::Server).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connects to `addr`, giving up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including the timeout).
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends `request` and blocks for the reply. Partition jobs block
+    /// for as long as the job runs, so no read timeout is installed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or a reply outside the protocol.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let payload = request.to_json().to_string();
+        write_frame(&mut self.stream, payload.as_bytes())?;
+        let frame = read_frame(&mut self.stream)?;
+        let text = std::str::from_utf8(&frame).map_err(|_| ProtocolError {
+            what: "reply frame is not valid utf-8".into(),
+        })?;
+        let doc = Json::parse(text).map_err(|e| ProtocolError {
+            what: format!("reply is not json: {e}"),
+        })?;
+        Ok(Reply::from_json(&doc)?)
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic failure scripting for the server layer.
+//!
+//! Extends the core [`FaultPlan`](htp_core::runtime::FaultPlan) idea one
+//! layer up: faults are keyed by *admission sequence number* (the 0-based
+//! order in which jobs pass admission control), so a test can script
+//! "the third admitted job's worker panics" or "corrupt the cache entry
+//! the first job writes" and observe exactly the recovery path the
+//! production code would take. Compiled only under the
+//! `fault-injection` feature; release builds carry no trace of it.
+
+use std::collections::BTreeSet;
+
+/// A scripted set of server-layer faults, keyed by admission sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerFaultPlan {
+    panic_first_attempt: BTreeSet<u64>,
+    panic_every_attempt: BTreeSet<u64>,
+    expire_first_attempt: BTreeSet<u64>,
+    corrupt_cache_entry: BTreeSet<u64>,
+}
+
+impl ServerFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        ServerFaultPlan::default()
+    }
+
+    /// The first attempt of admitted job `seq` panics inside its worker;
+    /// the retry runs clean.
+    #[must_use]
+    pub fn panic_job(mut self, seq: u64) -> Self {
+        self.panic_first_attempt.insert(seq);
+        self
+    }
+
+    /// Every attempt of admitted job `seq` panics — the job is poisoned
+    /// and must surface as a typed error, never as a dead daemon.
+    #[must_use]
+    pub fn poison_job(mut self, seq: u64) -> Self {
+        self.panic_every_attempt.insert(seq);
+        self
+    }
+
+    /// The first attempt of admitted job `seq` runs under a budget whose
+    /// deadline is forced to expire immediately (via the core
+    /// fault-injection hook), exercising the degraded/retry path without
+    /// wall-clock dependence.
+    #[must_use]
+    pub fn expire_job(mut self, seq: u64) -> Self {
+        self.expire_first_attempt.insert(seq);
+        self
+    }
+
+    /// Corrupt the cache entry written by admitted job `seq` right after
+    /// insertion; the next hit must be caught by re-certification.
+    #[must_use]
+    pub fn corrupt_cache_entry_of(mut self, seq: u64) -> Self {
+        self.corrupt_cache_entry.insert(seq);
+        self
+    }
+
+    /// Should `attempt` (0-based) of job `seq` panic?
+    pub fn should_panic(&self, seq: u64, attempt: u32) -> bool {
+        self.panic_every_attempt.contains(&seq)
+            || (attempt == 0 && self.panic_first_attempt.contains(&seq))
+    }
+
+    /// Should `attempt` (0-based) of job `seq` run under a force-expired
+    /// budget?
+    pub fn should_expire(&self, seq: u64, attempt: u32) -> bool {
+        attempt == 0 && self.expire_first_attempt.contains(&seq)
+    }
+
+    /// Should the cache entry written by job `seq` be corrupted?
+    pub fn should_corrupt_cache(&self, seq: u64) -> bool {
+        self.corrupt_cache_entry.contains(&seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_attempt_aware() {
+        let plan = ServerFaultPlan::new()
+            .panic_job(1)
+            .poison_job(2)
+            .expire_job(3)
+            .corrupt_cache_entry_of(4);
+        assert!(plan.should_panic(1, 0));
+        assert!(!plan.should_panic(1, 1), "retry of a panic_job runs clean");
+        assert!(plan.should_panic(2, 0) && plan.should_panic(2, 1));
+        assert!(plan.should_expire(3, 0));
+        assert!(!plan.should_expire(3, 1));
+        assert!(plan.should_corrupt_cache(4));
+        assert!(!plan.should_panic(0, 0));
+        assert!(!plan.should_corrupt_cache(0));
+        assert_eq!(ServerFaultPlan::new(), ServerFaultPlan::default());
+    }
+}

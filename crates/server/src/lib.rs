@@ -1,0 +1,39 @@
+//! `htp-server` — a fault-tolerant, budget-scheduled partitioning job
+//! server.
+//!
+//! Turns the flow-based hierarchical tree partitioner into a daemon:
+//! clients submit netlists over a length-prefixed JSON socket protocol
+//! ([`protocol`]), a priority worker pool maps per-job deadlines onto
+//! the core [`Budget`](htp_core::runtime::Budget) machinery, and every
+//! layer is built to degrade rather than die — panics are contained per
+//! job, degraded jobs get one retry on a decayed budget, overload sheds
+//! with a typed reply, results are served only after independent
+//! re-certification, and shutdown drains gracefully with every accepted
+//! job answered.
+//!
+//! The crate is organised as:
+//!
+//! - [`json`] — a hand-rolled JSON value, parser, and writer (the
+//!   workspace is offline and carries no serde).
+//! - [`protocol`] — frame codec plus the request/reply vocabulary.
+//! - [`cache`] — the certified result cache and job digest.
+//! - [`server`] — the daemon itself: admission, workers, drain.
+//! - [`client`] — a minimal blocking client for the CLI and tests.
+//! - `fault` (feature `fault-injection`) — scripted server-layer faults
+//!   keyed by admission sequence.
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+
+pub use client::Client;
+pub use protocol::{JobRequest, Reply, Request, ResultReply, StatsReply};
+pub use server::{DrainReport, Server, ServerConfig};

@@ -1,0 +1,512 @@
+//! The wire protocol: length-prefixed JSON frames and the typed
+//! request/reply vocabulary.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Frames are capped at
+//! [`MAX_FRAME`] so a corrupt or hostile length prefix cannot make the
+//! server allocate unboundedly. Requests and replies are tagged unions
+//! over a `"type"` member; unknown fields are ignored, so the vocabulary
+//! can grow without breaking old clients.
+
+use std::io::{self, Read, Write};
+
+use crate::json::{obj, Json};
+
+/// Hard cap on a single frame's payload (64 MiB — comfortably above any
+/// realistic netlist, far below an allocation attack).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame (blocking).
+///
+/// # Errors
+///
+/// Propagates I/O errors; `UnexpectedEof` when the peer closed between
+/// frames; `InvalidData` for an oversized length prefix.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// One partition job as submitted over the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// The netlist, in hMETIS `.hgr` text.
+    pub hgr: String,
+    /// Tree height for the full-tree spec.
+    pub height: usize,
+    /// Tree arity for the full-tree spec.
+    pub arity: usize,
+    /// Capacity slack for the full-tree spec.
+    pub slack: f64,
+    /// RNG seed; fixed seed + fixed netlist = identical result.
+    pub seed: u64,
+    /// Per-job compute deadline in milliseconds (`None` = server
+    /// default).
+    pub deadline_ms: Option<u64>,
+    /// Scheduling priority: higher runs first among queued jobs.
+    pub priority: i64,
+    /// Route the job through the multilevel V-cycle instead of flat FLOW.
+    pub multilevel: bool,
+}
+
+impl Default for JobRequest {
+    fn default() -> Self {
+        JobRequest {
+            hgr: String::new(),
+            height: 4,
+            arity: 2,
+            slack: 1.10,
+            seed: 1997,
+            deadline_ms: None,
+            priority: 0,
+            multilevel: false,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Counter snapshot.
+    Stats,
+    /// A partition job.
+    Partition(Box<JobRequest>),
+}
+
+/// Counter snapshot returned by [`Request::Stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Jobs answered with outcome `complete`.
+    pub completed: u64,
+    /// Jobs answered with outcome `degraded`.
+    pub degraded: u64,
+    /// Jobs answered with outcome `cancelled`.
+    pub cancelled: u64,
+    /// Jobs answered with a typed error.
+    pub failed: u64,
+    /// Jobs refused by admission control.
+    pub shed: u64,
+    /// Results served from the certified cache.
+    pub cache_hits: u64,
+    /// Cache entries rejected by re-certification and recomputed.
+    pub cache_corruptions: u64,
+    /// Second attempts after a degraded or panicked first attempt.
+    pub retries: u64,
+    /// Worker panics contained by the per-job isolation.
+    pub panics_contained: u64,
+    /// Jobs currently queued or running.
+    pub queue_depth: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+}
+
+/// A served partition result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultReply {
+    /// `complete`, `degraded`, or `cancelled`.
+    pub outcome: String,
+    /// Exact interconnection cost of the served partition.
+    pub cost: f64,
+    /// `<node> <leaf>` assignment lines (the CLI's `--out` format).
+    pub assignment: String,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Whether the result passed independent re-certification.
+    pub certified: bool,
+    /// Whether a decayed-budget second attempt ran.
+    pub retried: bool,
+    /// Wall-clock the job spent computing (0 for cache hits).
+    pub job_ms: u64,
+}
+
+/// A server reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// A served partition.
+    Result(Box<ResultReply>),
+    /// Admission control refused the job.
+    Overloaded {
+        /// Jobs queued or running at refusal time.
+        queue_depth: u64,
+        /// Estimated backlog in milliseconds that tripped the watermark.
+        estimated_ms: u64,
+    },
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// The job failed with a typed error.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// A malformed message (bad JSON, missing tag, or wrong field types).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What was wrong with the message.
+    pub what: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.what)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(what: impl Into<String>) -> ProtocolError {
+    ProtocolError { what: what.into() }
+}
+
+impl Request {
+    /// Encodes the request as a JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => obj(vec![("type", Json::Str("ping".into()))]),
+            Request::Stats => obj(vec![("type", Json::Str("stats".into()))]),
+            Request::Partition(job) => {
+                let mut members = vec![
+                    ("type", Json::Str("partition".into())),
+                    ("hgr", Json::Str(job.hgr.clone())),
+                    ("height", Json::Num(job.height as f64)),
+                    ("arity", Json::Num(job.arity as f64)),
+                    ("slack", Json::Num(job.slack)),
+                    ("seed", Json::Num(job.seed as f64)),
+                    ("priority", Json::Num(job.priority as f64)),
+                    ("multilevel", Json::Bool(job.multilevel)),
+                ];
+                if let Some(ms) = job.deadline_ms {
+                    members.push(("deadline_ms", Json::Num(ms as f64)));
+                }
+                obj(members)
+            }
+        }
+    }
+
+    /// Decodes a request from parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] when the tag is missing/unknown or a
+    /// field has the wrong type.
+    pub fn from_json(v: &Json) -> Result<Request, ProtocolError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `type` tag"))?;
+        match tag {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "partition" => {
+                let defaults = JobRequest::default();
+                let job =
+                    JobRequest {
+                        hgr: v
+                            .get("hgr")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("partition request needs a string `hgr`"))?
+                            .to_owned(),
+                        height: usize_field(v, "height", defaults.height)?,
+                        arity: usize_field(v, "arity", defaults.arity)?,
+                        slack: match v.get("slack") {
+                            Some(x) => x.as_f64().ok_or_else(|| bad("`slack` must be a number"))?,
+                            None => defaults.slack,
+                        },
+                        seed: u64_field(v, "seed", defaults.seed)?,
+                        deadline_ms: match v.get("deadline_ms") {
+                            Some(x) => Some(x.as_u64().ok_or_else(|| {
+                                bad("`deadline_ms` must be a non-negative integer")
+                            })?),
+                            None => None,
+                        },
+                        priority: match v.get("priority") {
+                            Some(x) => x
+                                .as_i64()
+                                .ok_or_else(|| bad("`priority` must be an integer"))?,
+                            None => defaults.priority,
+                        },
+                        multilevel: match v.get("multilevel") {
+                            Some(x) => x
+                                .as_bool()
+                                .ok_or_else(|| bad("`multilevel` must be a boolean"))?,
+                            None => defaults.multilevel,
+                        },
+                    };
+                Ok(Request::Partition(Box::new(job)))
+            }
+            other => Err(bad(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl Reply {
+    /// Encodes the reply as a JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Reply::Pong => obj(vec![("type", Json::Str("pong".into()))]),
+            Reply::Stats(s) => obj(vec![
+                ("type", Json::Str("stats".into())),
+                ("accepted", Json::Num(s.accepted as f64)),
+                ("completed", Json::Num(s.completed as f64)),
+                ("degraded", Json::Num(s.degraded as f64)),
+                ("cancelled", Json::Num(s.cancelled as f64)),
+                ("failed", Json::Num(s.failed as f64)),
+                ("shed", Json::Num(s.shed as f64)),
+                ("cache_hits", Json::Num(s.cache_hits as f64)),
+                ("cache_corruptions", Json::Num(s.cache_corruptions as f64)),
+                ("retries", Json::Num(s.retries as f64)),
+                ("panics_contained", Json::Num(s.panics_contained as f64)),
+                ("queue_depth", Json::Num(s.queue_depth as f64)),
+                ("draining", Json::Bool(s.draining)),
+            ]),
+            Reply::Result(r) => obj(vec![
+                ("type", Json::Str("result".into())),
+                ("outcome", Json::Str(r.outcome.clone())),
+                ("cost", Json::Num(r.cost)),
+                ("assignment", Json::Str(r.assignment.clone())),
+                ("cached", Json::Bool(r.cached)),
+                ("certified", Json::Bool(r.certified)),
+                ("retried", Json::Bool(r.retried)),
+                ("job_ms", Json::Num(r.job_ms as f64)),
+            ]),
+            Reply::Overloaded {
+                queue_depth,
+                estimated_ms,
+            } => obj(vec![
+                ("type", Json::Str("overloaded".into())),
+                ("queue_depth", Json::Num(*queue_depth as f64)),
+                ("estimated_ms", Json::Num(*estimated_ms as f64)),
+            ]),
+            Reply::Draining => obj(vec![("type", Json::Str("draining".into()))]),
+            Reply::Error { message } => obj(vec![
+                ("type", Json::Str("error".into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes a reply from parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] when the tag is missing/unknown or a
+    /// field has the wrong type.
+    pub fn from_json(v: &Json) -> Result<Reply, ProtocolError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `type` tag"))?;
+        match tag {
+            "pong" => Ok(Reply::Pong),
+            "stats" => Ok(Reply::Stats(StatsReply {
+                accepted: u64_field(v, "accepted", 0)?,
+                completed: u64_field(v, "completed", 0)?,
+                degraded: u64_field(v, "degraded", 0)?,
+                cancelled: u64_field(v, "cancelled", 0)?,
+                failed: u64_field(v, "failed", 0)?,
+                shed: u64_field(v, "shed", 0)?,
+                cache_hits: u64_field(v, "cache_hits", 0)?,
+                cache_corruptions: u64_field(v, "cache_corruptions", 0)?,
+                retries: u64_field(v, "retries", 0)?,
+                panics_contained: u64_field(v, "panics_contained", 0)?,
+                queue_depth: u64_field(v, "queue_depth", 0)?,
+                draining: v.get("draining").and_then(Json::as_bool).unwrap_or(false),
+            })),
+            "result" => Ok(Reply::Result(Box::new(ResultReply {
+                outcome: v
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("result reply needs a string `outcome`"))?
+                    .to_owned(),
+                cost: v
+                    .get("cost")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("result reply needs a numeric `cost`"))?,
+                assignment: v
+                    .get("assignment")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                certified: v.get("certified").and_then(Json::as_bool).unwrap_or(false),
+                retried: v.get("retried").and_then(Json::as_bool).unwrap_or(false),
+                job_ms: u64_field(v, "job_ms", 0)?,
+            }))),
+            "overloaded" => Ok(Reply::Overloaded {
+                queue_depth: u64_field(v, "queue_depth", 0)?,
+                estimated_ms: u64_field(v, "estimated_ms", 0)?,
+            }),
+            "draining" => Ok(Reply::Draining),
+            "error" => Ok(Reply::Error {
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified error")
+                    .to_owned(),
+            }),
+            other => Err(bad(format!("unknown reply type `{other}`"))),
+        }
+    }
+}
+
+fn u64_field(v: &Json, key: &str, default: u64) -> Result<u64, ProtocolError> {
+    match v.get(key) {
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer"))),
+        None => Ok(default),
+    }
+}
+
+fn usize_field(v: &Json, key: &str, default: usize) -> Result<usize, ProtocolError> {
+    u64_field(v, key, default as u64).map(|x| x as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err(), "eof after the last frame");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut r = buf.as_slice();
+        let e = read_frame(&mut r).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Partition(Box::new(JobRequest {
+                hgr: "3 2\n1 2\n2 3\n".into(),
+                height: 3,
+                arity: 4,
+                slack: 1.25,
+                seed: 7,
+                deadline_ms: Some(50),
+                priority: -2,
+                multilevel: true,
+            })),
+        ];
+        for req in reqs {
+            let text = req.to_json().to_string();
+            let back = Request::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn partition_defaults_fill_missing_fields() {
+        let v =
+            crate::json::Json::parse("{\"type\":\"partition\",\"hgr\":\"1 1\\n1\\n\"}").unwrap();
+        let Request::Partition(job) = Request::from_json(&v).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(job.height, 4);
+        assert_eq!(job.arity, 2);
+        assert_eq!(job.deadline_ms, None);
+        assert!(!job.multilevel);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            Reply::Pong,
+            Reply::Stats(StatsReply {
+                accepted: 5,
+                shed: 1,
+                cache_hits: 2,
+                draining: true,
+                ..StatsReply::default()
+            }),
+            Reply::Result(Box::new(ResultReply {
+                outcome: "degraded".into(),
+                cost: 12.5,
+                assignment: "0 0\n1 1\n".into(),
+                cached: true,
+                certified: true,
+                retried: true,
+                job_ms: 48,
+            })),
+            Reply::Overloaded {
+                queue_depth: 9,
+                estimated_ms: 1800,
+            },
+            Reply::Draining,
+            Reply::Error {
+                message: "boom".into(),
+            },
+        ];
+        for reply in replies {
+            let text = reply.to_json().to_string();
+            let back = Reply::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_typed_errors() {
+        for bad_doc in [
+            "{}",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"partition\"}",
+            "{\"type\":\"partition\",\"hgr\":7}",
+            "{\"type\":\"partition\",\"hgr\":\"x\",\"deadline_ms\":-3}",
+        ] {
+            let v = crate::json::Json::parse(bad_doc).unwrap();
+            assert!(Request::from_json(&v).is_err(), "`{bad_doc}` must fail");
+        }
+        let v = crate::json::Json::parse("{\"type\":\"result\",\"outcome\":\"complete\"}").unwrap();
+        assert!(Reply::from_json(&v).is_err(), "result without cost");
+    }
+}

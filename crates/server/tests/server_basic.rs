@@ -1,0 +1,342 @@
+//! End-to-end behaviour of the job server over real sockets: complete
+//! jobs, certified cache hits, deadline degradation, load shedding,
+//! graceful and forced drain.
+
+use std::time::{Duration, Instant};
+
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use htp_netlist::io::hgr;
+use htp_server::protocol::StatsReply;
+use htp_server::{Client, JobRequest, Reply, Request, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn netlist_text(nodes: usize, gen_seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let h = rent_circuit(
+        RentParams {
+            nodes,
+            primary_inputs: (nodes / 16).max(1),
+            locality: 0.8,
+            ..RentParams::default()
+        },
+        &mut rng,
+    );
+    hgr::to_string(&h)
+}
+
+fn job(hgr_text: &str, seed: u64) -> Request {
+    Request::Partition(Box::new(JobRequest {
+        hgr: hgr_text.to_owned(),
+        height: 3,
+        seed,
+        ..JobRequest::default()
+    }))
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(server.local_addr()).expect("connect to the test server")
+}
+
+fn stats_of(server: &Server) -> StatsReply {
+    server.stats()
+}
+
+/// Polls the live counters until `pred` holds (the submitting threads
+/// race the main thread, so tests synchronize on observed state).
+fn wait_until(server: &Server, what: &str, pred: impl Fn(&StatsReply) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pred(&stats_of(server)) {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn a_submitted_job_comes_back_complete_and_certified() {
+    let server = Server::serve(ServerConfig::default()).unwrap();
+    let hgr_text = netlist_text(240, 11);
+    let mut client = connect(&server);
+
+    match client.request(&Request::Ping).unwrap() {
+        Reply::Pong => {}
+        other => panic!("ping answered {other:?}"),
+    }
+    let reply = client.request(&job(&hgr_text, 7)).unwrap();
+    let Reply::Result(result) = reply else {
+        panic!("expected a result, got {reply:?}");
+    };
+    assert_eq!(result.outcome, "complete");
+    assert!(result.certified, "every served result is re-certified");
+    assert!(!result.cached, "first submission cannot hit the cache");
+    assert!(!result.retried);
+    assert!(result.cost.is_finite() && result.cost >= 0.0);
+    assert_eq!(
+        result.assignment.lines().count(),
+        240,
+        "one assignment line per node"
+    );
+    drop(client);
+
+    let report = server.drain();
+    assert!(!report.forced, "an idle server drains cleanly");
+    assert_eq!(report.accepted, 1);
+    assert_eq!(report.answered, 1);
+}
+
+#[test]
+fn duplicate_jobs_hit_the_certified_cache() {
+    let server = Server::serve(ServerConfig::default()).unwrap();
+    let hgr_text = netlist_text(240, 12);
+    let mut client = connect(&server);
+
+    let first = client.request(&job(&hgr_text, 3)).unwrap();
+    let Reply::Result(first) = first else {
+        panic!("expected a result, got {first:?}");
+    };
+    assert!(!first.cached);
+
+    let second = client.request(&job(&hgr_text, 3)).unwrap();
+    let Reply::Result(second) = second else {
+        panic!("expected a result, got {second:?}");
+    };
+    assert!(second.cached, "identical semantic inputs hit the cache");
+    assert!(
+        second.certified,
+        "cache hits are re-certified before serving"
+    );
+    assert_eq!(second.cost, first.cost);
+    assert_eq!(second.assignment, first.assignment);
+
+    // A different deadline is a scheduling concern, not a semantic one.
+    let third = client.request(&Request::Partition(Box::new(JobRequest {
+        hgr: hgr_text.clone(),
+        height: 3,
+        seed: 3,
+        deadline_ms: Some(60_000),
+        ..JobRequest::default()
+    })));
+    let Ok(Reply::Result(third)) = third else {
+        panic!("expected a result");
+    };
+    assert!(third.cached, "deadline changes do not change the digest");
+
+    let stats = stats_of(&server);
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.accepted, 1, "cache hits never touch the queue");
+    server.drain();
+}
+
+#[test]
+fn an_impossible_deadline_degrades_but_still_answers() {
+    let server = Server::serve(ServerConfig::default()).unwrap();
+    let hgr_text = netlist_text(2000, 13);
+    let mut client = connect(&server);
+
+    let reply = client.request(&Request::Partition(Box::new(JobRequest {
+        hgr: hgr_text,
+        height: 4,
+        seed: 5,
+        deadline_ms: Some(1),
+        ..JobRequest::default()
+    })));
+    let Ok(Reply::Result(result)) = reply else {
+        panic!("expected a result");
+    };
+    assert_eq!(
+        result.outcome, "degraded",
+        "a 1ms deadline on a 2000-node netlist cannot complete"
+    );
+    assert!(
+        result.certified,
+        "even a degraded partition is certified valid"
+    );
+    assert!(result.retried, "degraded first attempts get one retry");
+    assert_eq!(result.assignment.lines().count(), 2000);
+
+    let stats = stats_of(&server);
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.retries, 1);
+    server.drain();
+}
+
+#[test]
+fn malformed_jobs_get_typed_errors_not_crashes() {
+    let server = Server::serve(ServerConfig::default()).unwrap();
+    let mut client = connect(&server);
+
+    let reply = client.request(&job("this is not a netlist", 1)).unwrap();
+    assert!(
+        matches!(reply, Reply::Error { .. }),
+        "garbage netlist text is a typed error"
+    );
+    // The daemon is still alive and serving.
+    assert!(matches!(
+        client.request(&Request::Ping).unwrap(),
+        Reply::Pong
+    ));
+    let report = server.drain();
+    assert_eq!(
+        report.accepted, 0,
+        "malformed jobs are rejected before admission"
+    );
+}
+
+#[test]
+fn overload_sheds_with_a_typed_reply() {
+    let server = Server::serve(ServerConfig {
+        workers: 1,
+        watermark_ms: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    // Big multilevel job: occupies the single worker for a long time.
+    let slow_hgr = netlist_text(12_000, 14);
+    let slow_req = Request::Partition(Box::new(JobRequest {
+        hgr: slow_hgr,
+        height: 4,
+        seed: 21,
+        multilevel: true,
+        ..JobRequest::default()
+    }));
+    let addr = server.local_addr();
+    let slow_client = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.request(&slow_req)
+    });
+    wait_until(&server, "the slow job to be admitted", |s| {
+        s.queue_depth >= 1
+    });
+
+    let mut prober = connect(&server);
+    let reply = prober.request(&job(&netlist_text(240, 15), 1)).unwrap();
+    let Reply::Overloaded {
+        queue_depth,
+        estimated_ms,
+    } = reply
+    else {
+        panic!("expected overload shedding, got {reply:?}");
+    };
+    assert!(queue_depth >= 1);
+    assert!(estimated_ms > 1, "estimate exceeded the watermark");
+
+    // The shed probe was never admitted; the slow job still completes.
+    let slow_reply = slow_client.join().unwrap().unwrap();
+    assert!(matches!(slow_reply, Reply::Result(_)));
+    let stats = stats_of(&server);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.accepted, 1);
+    let report = server.drain();
+    assert_eq!(report.accepted, report.answered);
+}
+
+#[test]
+fn drain_answers_every_accepted_job() {
+    let server = Server::serve(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let hgr_text = netlist_text(2000, 16);
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            let req = Request::Partition(Box::new(JobRequest {
+                hgr: hgr_text.clone(),
+                height: 4,
+                seed: 100 + i,
+                multilevel: true,
+                ..JobRequest::default()
+            }));
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.request(&req)
+            })
+        })
+        .collect();
+    wait_until(&server, "all three jobs to be admitted", |s| {
+        s.accepted == 3
+    });
+
+    let report = server.drain();
+    assert_eq!(report.accepted, 3);
+    assert_eq!(
+        report.answered, 3,
+        "drain answers every accepted job before shutdown"
+    );
+    for client in clients {
+        let reply = client.join().unwrap().unwrap();
+        assert!(
+            matches!(reply, Reply::Result(_)),
+            "each accepted job got a real result, got {reply:?}"
+        );
+    }
+}
+
+#[test]
+fn forced_drain_cancels_cooperatively_and_still_answers() {
+    let server = Server::serve(ServerConfig {
+        workers: 1,
+        drain_deadline_ms: 0,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let req = Request::Partition(Box::new(JobRequest {
+        hgr: netlist_text(12_000, 17),
+        height: 4,
+        seed: 9,
+        multilevel: true,
+        ..JobRequest::default()
+    }));
+    let client = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.request(&req)
+    });
+    wait_until(&server, "the job to be admitted", |s| s.queue_depth >= 1);
+
+    let report = server.drain();
+    assert!(report.forced, "a zero drain deadline forces cancellation");
+    assert_eq!(report.accepted, 1);
+    assert_eq!(report.answered, 1, "even a cancelled job is answered");
+    let reply = client.join().unwrap().unwrap();
+    let Reply::Result(result) = reply else {
+        panic!("expected a (salvaged) result, got {reply:?}");
+    };
+    assert!(
+        result.outcome == "cancelled" || result.outcome == "degraded",
+        "a force-drained job is cancelled or degraded, got {}",
+        result.outcome
+    );
+    assert!(
+        result.certified,
+        "the salvaged partition is still certified"
+    );
+}
+
+#[test]
+fn submissions_during_drain_get_a_draining_reply() {
+    let server = Server::serve(ServerConfig::default()).unwrap();
+    // Open the connection before draining: the accept loop stops first.
+    let mut client = connect(&server);
+    let hgr_text = netlist_text(240, 18);
+    // Reach into the drain flag by starting the drain on another thread
+    // while this connection stays open.
+    let handle = std::thread::spawn(move || server.drain());
+    // The drain flips `draining` almost immediately; retry until the
+    // reply shows it (the connection itself stays serviced until the
+    // stop flag).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.request(&job(&hgr_text, 30)) {
+            Ok(Reply::Draining) => break,
+            Ok(_) | Err(_) if Instant::now() >= deadline => {
+                panic!("never observed a draining reply")
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => break, // connection already torn down: drain won
+        }
+    }
+    let report = handle.join().unwrap();
+    assert_eq!(report.accepted, report.answered);
+}

@@ -11,6 +11,11 @@
 //! htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
 //! htp verify <netlist.hgr> <assignment.txt> [--tree partition.tree]
 //!            [--height H] [--arity K] [--slack X]
+//! htp serve [--addr A] [--workers N] [--threads N] [--watermark-ms MS]
+//!           [--deadline-ms MS] [--cache N] [--drain-ms MS]
+//! htp submit <addr> [netlist.hgr] [--ping|--stats] [--height H] [--arity K]
+//!            [--slack X] [--seed S] [--deadline-ms MS] [--priority P]
+//!            [--multilevel] [--out assignment.txt]
 //! ```
 //!
 //! Netlists are read in hMETIS `.hgr` format; assignments are written as
@@ -33,6 +38,15 @@
 //! flow refinement) — the fast path for instances beyond a few thousand
 //! nodes. `--coarsest-nodes` sets the coarsening target. The same budget
 //! flags and exit codes apply.
+//!
+//! `serve` runs the fault-tolerant partitioning job server; `submit`
+//! sends one job (or `--ping`/`--stats`) to a running server. The server
+//! drains gracefully on SIGINT or SIGTERM: it stops accepting, answers
+//! every accepted job (cancelling cooperatively past `--drain-ms`), and
+//! exits 0 on a clean drain or 3 when the drain had to force
+//! cancellation. `submit` exits 0 for a complete result, 3 for a
+//! degraded or cancelled one, 4 when the server sheds or drains the job,
+//! and 1 on errors.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -78,7 +92,17 @@ usage:
               1 = violations found, 2 = malformed input. Without --tree
               the assignment is read as leaves of the full --arity-ary
               tree of --height; with --tree the saved partition tree is
-              certified and cross-checked against the assignment.)";
+              certified and cross-checked against the assignment.)
+  htp serve [--addr A] [--workers N] [--threads N] [--watermark-ms MS]
+            [--deadline-ms MS] [--cache N] [--drain-ms MS]
+            (partitioning job server; SIGINT/SIGTERM drains gracefully:
+             exit 0 = clean drain, 3 = drain deadline forced
+             cancellation. Every accepted job is answered either way.)
+  htp submit <addr> [netlist.hgr] [--ping|--stats] [--height H] [--arity K]
+             [--slack X] [--seed S] [--deadline-ms MS] [--priority P]
+             [--multilevel] [--out assignment.txt]
+             (submits one job; exit 0 = complete, 3 = degraded or
+              cancelled, 4 = shed or draining, 1 = error.)";
 
 /// Exit code for a run that ended early (deadline, round cap, or Ctrl-C)
 /// but still produced a valid best-so-far partition.
@@ -92,9 +116,15 @@ const EXIT_MALFORMED: u8 = 2;
 /// violates the specification.
 const EXIT_INVALID: u8 = 1;
 
-/// First Ctrl-C cancels the run cooperatively (the engine emits its best
-/// partition so far); a second Ctrl-C aborts the process.
-mod sigint {
+/// Exit code for `submit` when the server declined the job (load
+/// shedding or a drain in progress) — retry later, nothing is wrong with
+/// the job itself.
+const EXIT_UNAVAILABLE: u8 = 4;
+
+/// First SIGINT or SIGTERM cancels the run cooperatively (the engine
+/// emits its best partition so far, and `serve` drains); a second
+/// delivery of either signal aborts the process.
+mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     use htp::core::CancelToken;
@@ -110,9 +140,11 @@ mod sigint {
         }
     }
 
-    /// Installs the SIGINT handler (once) and bridges it to `token` via a
-    /// small watcher thread, since a signal handler must not touch the
-    /// token's `Arc` directly.
+    /// Installs the SIGINT and SIGTERM handlers (once) and bridges them
+    /// to `token` via a small watcher thread, since a signal handler
+    /// must not touch the token's `Arc` directly. Both signals behave
+    /// identically: supervisors send SIGTERM, terminals send SIGINT, and
+    /// a cooperative cancel with a salvaged result is right for both.
     pub fn install(token: CancelToken) {
         #[cfg(unix)]
         {
@@ -120,9 +152,11 @@ mod sigint {
                 fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
             }
             const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
             if !ARMED.swap(true, Ordering::SeqCst) {
                 unsafe {
                     signal(SIGINT, handle);
+                    signal(SIGTERM, handle);
                 }
             }
             std::thread::spawn(move || {
@@ -207,6 +241,8 @@ fn run() -> Result<ExitCode, String> {
         "partition" => cmd_partition(&args),
         "bound" => cmd_bound(&args).map(|()| ExitCode::SUCCESS),
         "verify" => cmd_verify(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -337,7 +373,7 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
                 if let Some(rounds) = max_rounds {
                     budget = budget.with_max_rounds(rounds);
                 }
-                sigint::install(budget.cancel_token());
+                signals::install(budget.cancel_token());
                 let run = vcycle_partition_with_budget(&h, &spec, params, &mut rng, &budget)
                     .map_err(|e| e.to_string())?;
                 eprintln!(
@@ -357,7 +393,7 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
                 if let Some(rounds) = max_rounds {
                     budget = budget.with_max_rounds(rounds);
                 }
-                sigint::install(budget.cancel_token());
+                signals::install(budget.cancel_token());
                 let run = FlowPartitioner::try_new(params)
                     .map_err(|e| e.to_string())?
                     .run_with_budget(&h, &spec, &mut rng, &budget)
@@ -523,6 +559,151 @@ fn cmd_verify(args: &Args) -> Result<ExitCode, String> {
         }
         eprintln!("certificate failed: {} violation(s)", cert.violations.len());
         Ok(ExitCode::from(EXIT_INVALID))
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
+    let cfg = htp::server::ServerConfig {
+        addr: args.value("addr").unwrap_or("127.0.0.1:1997").to_owned(),
+        workers: args.parsed("workers", 2)?,
+        threads_per_job: args.parsed("threads", 1)?,
+        watermark_ms: args.parsed("watermark-ms", 30_000)?,
+        default_deadline_ms: args.parsed("deadline-ms", 10_000)?,
+        cache_capacity: args.parsed("cache", 64)?,
+        drain_deadline_ms: args.parsed("drain-ms", 5_000)?,
+        ..htp::server::ServerConfig::default()
+    };
+    let server = htp::server::Server::serve(cfg).map_err(|e| format!("cannot serve: {e}"))?;
+    eprintln!("listening on {}", server.local_addr());
+
+    // Block until SIGINT/SIGTERM, then drain: stop accepting, answer
+    // every accepted job, cancel cooperatively past the drain deadline.
+    let token = htp::core::CancelToken::new();
+    signals::install(token.clone());
+    while !token.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("signal received; draining");
+    let report = server.drain();
+    eprintln!(
+        "drained: accepted {}, answered {}, forced {}",
+        report.accepted, report.answered, report.forced
+    );
+    if report.forced {
+        Ok(ExitCode::from(EXIT_PARTIAL))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_submit(args: &Args) -> Result<ExitCode, String> {
+    use htp::server::{Client, JobRequest, Reply, Request};
+
+    let addr = args.positional.get(1).ok_or("missing server address")?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    if args.flag("ping") {
+        return match client.request(&Request::Ping) {
+            Ok(Reply::Pong) => {
+                println!("pong");
+                Ok(ExitCode::SUCCESS)
+            }
+            Ok(other) => Err(format!("unexpected reply to ping: {other:?}")),
+            Err(e) => Err(format!("ping failed: {e}")),
+        };
+    }
+    if args.flag("stats") {
+        return match client.request(&Request::Stats) {
+            Ok(Reply::Stats(s)) => {
+                println!(
+                    "accepted {}\ncompleted {}\ndegraded {}\ncancelled {}\nfailed {}\n\
+                     shed {}\ncache_hits {}\ncache_corruptions {}\nretries {}\n\
+                     panics_contained {}\nqueue_depth {}\ndraining {}",
+                    s.accepted,
+                    s.completed,
+                    s.degraded,
+                    s.cancelled,
+                    s.failed,
+                    s.shed,
+                    s.cache_hits,
+                    s.cache_corruptions,
+                    s.retries,
+                    s.panics_contained,
+                    s.queue_depth,
+                    s.draining
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            Ok(other) => Err(format!("unexpected reply to stats: {other:?}")),
+            Err(e) => Err(format!("stats failed: {e}")),
+        };
+    }
+
+    // A partition job: the netlist is the second positional argument.
+    let path = args.positional.get(2).ok_or("missing netlist path")?;
+    let hgr_text = if path.ends_with(".v") {
+        // The wire protocol carries .hgr text; convert Verilog first.
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let module = htp::netlist::io::verilog::read(BufReader::new(file))
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+        hgr::to_string(&module.hypergraph)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?
+    };
+    let deadline_ms: Option<u64> = match args.value("deadline-ms") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("bad value for --deadline-ms: `{raw}`"))?,
+        ),
+        None => None,
+    };
+    let request = Request::Partition(Box::new(JobRequest {
+        hgr: hgr_text,
+        height: args.parsed("height", 4)?,
+        arity: args.parsed("arity", 2)?,
+        slack: args.parsed("slack", 1.10)?,
+        seed: args.parsed("seed", 1997)?,
+        deadline_ms,
+        priority: args.parsed("priority", 0)?,
+        multilevel: args.flag("multilevel"),
+    }));
+    match client.request(&request) {
+        Ok(Reply::Result(result)) => {
+            println!("outcome {}", result.outcome);
+            println!("cost {}", result.cost);
+            println!("cached {}", result.cached);
+            println!("certified {}", result.certified);
+            println!("retried {}", result.retried);
+            println!("job_ms {}", result.job_ms);
+            if let Some(out) = args.value("out") {
+                std::fs::write(out, &result.assignment)
+                    .map_err(|e| format!("cannot write {out}: {e}"))?;
+                eprintln!("wrote {out}");
+            }
+            if result.outcome == "complete" {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::from(EXIT_PARTIAL))
+            }
+        }
+        Ok(Reply::Overloaded {
+            queue_depth,
+            estimated_ms,
+        }) => {
+            eprintln!(
+                "overloaded: queue depth {queue_depth}, estimated backlog {estimated_ms}ms; \
+                 retry later"
+            );
+            Ok(ExitCode::from(EXIT_UNAVAILABLE))
+        }
+        Ok(Reply::Draining) => {
+            eprintln!("server is draining; retry against another instance");
+            Ok(ExitCode::from(EXIT_UNAVAILABLE))
+        }
+        Ok(Reply::Error { message }) => Err(format!("server: {message}")),
+        Ok(other) => Err(format!("unexpected reply: {other:?}")),
+        Err(e) => Err(format!("submit failed: {e}")),
     }
 }
 

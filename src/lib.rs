@@ -20,6 +20,10 @@
 //! * [`verify`] — clean-room verification oracles: partition
 //!   certificates, spreading-metric audits, and adversarial instance
 //!   generators (shares no computation code with [`core`]).
+//! * [`server`] — a fault-tolerant partitioning job server: framed JSON
+//!   socket protocol, budget-scheduled worker pool with per-job panic
+//!   isolation and retry, certified result cache, load shedding, and
+//!   graceful drain.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@ pub use htp_graph as graph;
 pub use htp_lp as lp;
 pub use htp_model as model;
 pub use htp_netlist as netlist;
+pub use htp_server as server;
 pub use htp_treepart as treepart;
 pub use htp_verify as verify;
 

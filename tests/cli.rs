@@ -521,3 +521,132 @@ fn sigint_cancels_cooperatively_and_emits_the_partial_result() {
         let _ = std::fs::remove_file(path);
     }
 }
+
+#[cfg(unix)]
+#[test]
+fn sigterm_cancels_cooperatively_like_sigint() {
+    let netlist = tmp_path("sigterm.hgr");
+    let assignment = tmp_path("sigterm.assign");
+    let out = htp(&[
+        "gen",
+        "rent:2000",
+        "--seed",
+        "12",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Supervisors send SIGTERM where terminals send SIGINT; the CLI
+    // treats them identically: cooperative cancel, salvage, exit 3.
+    let child = Command::new(env!("CARGO_BIN_EXE_htp"))
+        .args([
+            "partition",
+            netlist.to_str().unwrap(),
+            "--height",
+            "2",
+            "--slack",
+            "1.3",
+            "--out",
+            assignment.to_str().unwrap(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("the htp binary runs");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+
+    let out = child.wait_with_output().expect("child exits");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("cancelled"), "{stderr}");
+
+    let lines = std::fs::read_to_string(&assignment).unwrap();
+    assert_eq!(lines.lines().count(), 2000);
+    for path in [netlist, assignment] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_submit_round_trip_drains_cleanly_on_sigterm() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let netlist = tmp_path("serve.hgr");
+    let out = htp(&[
+        "gen",
+        "rent:240",
+        "--seed",
+        "13",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Port 0 lets the OS pick; the server prints the bound address.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_htp"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("the htp binary runs");
+    let mut reader = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("read the listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_owned();
+
+    let out = htp(&["submit", &addr, "--ping"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pong"));
+
+    let job = [
+        "submit",
+        &addr,
+        netlist.to_str().unwrap(),
+        "--height",
+        "3",
+        "--seed",
+        "5",
+    ];
+    let out = htp(&job);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("outcome complete"), "{stdout}");
+    assert!(stdout.contains("certified true"), "{stdout}");
+    assert!(stdout.contains("cached false"), "{stdout}");
+
+    // The identical job is served from the certified cache.
+    let out = htp(&job);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("cached true"), "{stdout}");
+
+    let out = htp(&["submit", &addr, "--stats"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("cache_hits 1"), "{stdout}");
+    assert!(stdout.contains("accepted 1"), "{stdout}");
+
+    // SIGTERM drains gracefully: all jobs answered, exit 0.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("child exits");
+    assert_eq!(status.code(), Some(0), "a clean drain exits 0");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read drain log");
+    assert!(rest.contains("drained:"), "{rest}");
+    let _ = std::fs::remove_file(netlist);
+}
