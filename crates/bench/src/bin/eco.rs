@@ -1,0 +1,290 @@
+//! Incremental-repartitioning (ECO) benchmark, writing a
+//! machine-readable edit-rate sweep to `BENCH_8.json`.
+//!
+//! For each instance the bench runs one cold bootstrap solve, then for
+//! each edit rate generates a spatially *clustered* edit script (the
+//! realistic ECO shape — one region of the design churns, the rest
+//! stands), applies it, and solves the edited netlist twice:
+//!
+//! * **cold** — a from-scratch [`FlowPartitioner`] run, and
+//! * **warm** — [`warm_partition`], re-pricing only the touched frontier
+//!   from the bootstrap's converged lengths and replaying untouched
+//!   prior subtrees through salvage construction.
+//!
+//! Both results are certified by the independent oracle; the row records
+//! wall-clock for each path, the speedup, the certified cost delta, and
+//! the fraction of the edited netlist covered by salvaged subtrees.
+//!
+//! Usage: `eco [--quick] [--out PATH]`
+//!
+//! The binary self-checks and exits 1 when the sweep stops demonstrating
+//! what it exists to measure: any uncertified result, no row taking the
+//! warm path, or (full mode) the headline rent:20000 @1% row falling
+//! under a 2× speedup or any warm cost drifting more than 5% above cold.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use htp_bench::{flow_params, paper_spec, EXPERIMENT_SEED};
+use htp_core::partitioner::FlowPartitioner;
+use htp_core::Budget;
+use htp_eco::{random_delta_clustered, warm_partition, WarmPolicy};
+use htp_model::{HierarchicalPartition, TreeSpec};
+use htp_netlist::gen::rent::{rent_circuit, RentParams};
+use htp_netlist::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GEN_SEED: u64 = 1997;
+const EDIT_RATES: [f64; 3] = [0.01, 0.05, 0.20];
+
+/// A Rent-rule instance with *mixed* cell sizes (every 7th node is a
+/// double-size cell). The size mix matters: on an all-unit netlist the
+/// constraint oracle's early-exit sits exactly on integer prefix-weight
+/// boundaries and the cold metric converges into a shallow basin —
+/// which any size-perturbing edit then breaks, so a from-scratch solve
+/// of the *edited* netlist probes ~4× deeper than the bootstrap did and
+/// the warm-vs-cold comparison measures that degeneracy instead of the
+/// warm machinery. Real netlists have mixed cell sizes anyway.
+fn instance(nodes: usize) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(GEN_SEED);
+    let h = rent_circuit(
+        RentParams {
+            nodes,
+            primary_inputs: (nodes / 16).max(1),
+            locality: 0.8,
+            ..RentParams::default()
+        },
+        &mut rng,
+    );
+    let mut b = HypergraphBuilder::new();
+    for v in h.nodes() {
+        b.add_node(if v.index() % 7 == 0 { 2 } else { 1 });
+    }
+    for net in h.nets() {
+        let _ = b.add_net_lenient(h.net_capacity(net), h.net_pins(net).to_vec());
+    }
+    b.build().expect("resizing nodes keeps the netlist valid")
+}
+
+/// Certifies `p` with the independent oracle; `None` cost means invalid.
+fn certify(h: &Hypergraph, spec: &TreeSpec, p: &HierarchicalPartition) -> Option<f64> {
+    let cert = htp_verify::certificate::certify(h, spec, p);
+    if cert.is_valid() {
+        cert.cost
+    } else {
+        eprintln!("  certification failed: {:?}", cert.violations);
+        None
+    }
+}
+
+struct Row {
+    instance: String,
+    nodes: usize,
+    edit_rate: f64,
+    warm: bool,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    speedup: f64,
+    cold_cost: f64,
+    warm_cost: f64,
+    cost_delta: f64,
+    salvaged_fraction: f64,
+    certified: bool,
+}
+
+/// One instance's edit-rate sweep: bootstrap once, then cold-vs-warm on
+/// every rate's edited netlist. The spec stays the bootstrap's — edit
+/// scripts keep total size roughly stable, and a fixed spec is exactly
+/// how a chained ECO session holds its hierarchy across edits.
+fn sweep(name: &str, nodes: usize, iterations: usize) -> Vec<Row> {
+    let h = instance(nodes);
+    let spec = paper_spec(&h);
+    let params = flow_params(iterations);
+    let policy = WarmPolicy::default();
+
+    let t0 = Instant::now();
+    let prior = FlowPartitioner::try_new(params)
+        .expect("valid params")
+        .run(&h, &spec, &mut StdRng::seed_from_u64(EXPERIMENT_SEED))
+        .expect("bootstrap solve succeeds on the bench instances");
+    eprintln!(
+        "  {name}: bootstrap cost {:.0} in {:.2}s",
+        prior.cost,
+        t0.elapsed().as_secs_f64()
+    );
+
+    EDIT_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let mut script_rng = StdRng::seed_from_u64(EXPERIMENT_SEED ^ (0xec0 + i as u64));
+            let delta = random_delta_clustered(&h, rate, &mut script_rng);
+            let applied = delta.apply(&h).expect("generated scripts always apply");
+            let edited = &applied.hypergraph;
+
+            // Cold and warm run the same seed and params as the
+            // bootstrap, so the row measures the warm machinery rather
+            // than injector draw luck (draw-to-draw cost variance on
+            // one instance is several times the 5% acceptance bound).
+            let t0 = Instant::now();
+            let cold = FlowPartitioner::try_new(params)
+                .expect("valid params")
+                .run(edited, &spec, &mut StdRng::seed_from_u64(EXPERIMENT_SEED))
+                .expect("cold solve succeeds on the edited netlist");
+            let cold_seconds = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let warm = warm_partition(
+                edited,
+                &spec,
+                &params,
+                &policy,
+                &prior.partition,
+                prior.metric.lengths(),
+                &applied.report,
+                &mut StdRng::seed_from_u64(EXPERIMENT_SEED),
+                &Budget::unlimited(),
+            )
+            .expect("warm solve succeeds on the edited netlist");
+            let warm_seconds = t0.elapsed().as_secs_f64();
+
+            let cold_cert = certify(edited, &spec, &cold.partition);
+            let warm_cert = certify(edited, &spec, &warm.partition);
+            let certified = cold_cert.is_some() && warm_cert.is_some();
+            let cold_cost = cold_cert.unwrap_or(cold.cost);
+            let warm_cost = warm_cert.unwrap_or(warm.cost);
+            let row = Row {
+                instance: name.to_owned(),
+                nodes,
+                edit_rate: rate,
+                warm: warm.warm,
+                cold_seconds,
+                warm_seconds,
+                speedup: cold_seconds / warm_seconds.max(1e-9),
+                cold_cost,
+                warm_cost,
+                cost_delta: (warm_cost - cold_cost) / cold_cost,
+                salvaged_fraction: warm.salvage.salvaged_nodes as f64 / edited.num_nodes() as f64,
+                certified,
+            };
+            eprintln!(
+                "  {name} @{:>4.0}%: cold {:.2}s / warm {:.2}s ({:.2}x), \
+                 cost {:+.2}%, salvaged {:.0}%, warm path {}",
+                rate * 100.0,
+                row.cold_seconds,
+                row.warm_seconds,
+                row.speedup,
+                row.cost_delta * 100.0,
+                row.salvaged_fraction * 100.0,
+                row.warm,
+            );
+            row
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_8.json".to_owned());
+
+    // Quick keeps CI honest but fast: one instance just past the warm
+    // policy's node floor, one metric round. Full is the paper-style
+    // sweep, headlined by rent:20000.
+    let plan: &[(&str, usize, usize)] = if quick {
+        &[("rent:1200", 1200, 1)]
+    } else {
+        &[("rent:5000", 5000, 2), ("rent:20000", 20_000, 2)]
+    };
+
+    let mut rows = Vec::new();
+    for &(name, nodes, iterations) in plan {
+        eprintln!("sweep {name} ({nodes} nodes, {iterations} iterations)");
+        rows.extend(sweep(name, nodes, iterations));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"eco\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"instance\": \"{}\",", r.instance);
+        let _ = writeln!(out, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(out, "      \"edit_rate\": {},", r.edit_rate);
+        let _ = writeln!(out, "      \"warm\": {},", r.warm);
+        let _ = writeln!(out, "      \"cold_seconds\": {:.4},", r.cold_seconds);
+        let _ = writeln!(out, "      \"warm_seconds\": {:.4},", r.warm_seconds);
+        let _ = writeln!(out, "      \"speedup\": {:.3},", r.speedup);
+        let _ = writeln!(out, "      \"cold_cost\": {:.1},", r.cold_cost);
+        let _ = writeln!(out, "      \"warm_cost\": {:.1},", r.warm_cost);
+        let _ = writeln!(out, "      \"cost_delta\": {:.4},", r.cost_delta);
+        let _ = writeln!(
+            out,
+            "      \"salvaged_fraction\": {:.4},",
+            r.salvaged_fraction
+        );
+        let _ = writeln!(out, "      \"certified\": {}", r.certified);
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &out).expect("write the summary");
+    eprintln!("wrote {out_path}");
+
+    // Self-checks: the bench's reason to exist is certified-equal-quality
+    // warm solves that are actually faster on local edits.
+    let mut failed = false;
+    for r in &rows {
+        if !r.certified {
+            eprintln!(
+                "self-check failed: {} @{}% is uncertified",
+                r.instance, r.edit_rate
+            );
+            failed = true;
+        }
+    }
+    if !rows.iter().any(|r| r.warm) {
+        eprintln!("self-check failed: no row took the warm path");
+        failed = true;
+    }
+    if !quick {
+        for r in &rows {
+            if r.cost_delta > 0.05 {
+                eprintln!(
+                    "self-check failed: {} @{}% warm cost is {:.1}% above cold",
+                    r.instance,
+                    r.edit_rate,
+                    r.cost_delta * 100.0
+                );
+                failed = true;
+            }
+        }
+        let headline = rows
+            .iter()
+            .find(|r| r.instance == "rent:20000" && r.edit_rate == 0.01)
+            .expect("the full plan contains the headline row");
+        if !(headline.warm && headline.speedup >= 2.0) {
+            eprintln!(
+                "self-check failed: rent:20000 @1% must take the warm path at \
+                 a 2x speedup (got warm {} at {:.2}x)",
+                headline.warm, headline.speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

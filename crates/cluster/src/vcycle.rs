@@ -42,6 +42,18 @@ pub struct VCycleParams {
     /// Stop coarsening once the graph has at most this many nodes; FLOW
     /// runs on that coarsest netlist.
     pub coarsest_nodes: usize,
+    /// Floor of the node-count target that sets the per-level cluster
+    /// size cap. Normally the target is `n / level_shrink` (so the cap
+    /// is the average cluster size that shrink would need), but when a
+    /// level stalls — the cap leaves almost nothing to merge — the
+    /// target decays by another `level_shrink` factor and the level
+    /// retries with the larger cap, down to this floor. Keep it below
+    /// `coarsest_nodes`: the old behaviour (give up on the first
+    /// stall, target never below `coarsest_nodes`) coupled cap growth
+    /// to merge success, a feedback loop that stalled coarsening
+    /// several times above the threshold so the coarsest solve
+    /// dominated the cycle.
+    pub cap_decay_floor: usize,
     /// Hard cap on coarsening levels (safety net for pathological
     /// instances).
     pub max_levels: usize,
@@ -81,6 +93,13 @@ impl Default for VCycleParams {
             // Coarser than this and the coarse node granularity starts
             // missing the spec's carve windows (NoFeasibleCut).
             coarsest_nodes: 512,
+            // Half of `coarsest_nodes`: stalled levels retry with caps
+            // up to total/256 instead of giving up (measured on
+            // rent:100000: the plateau drops from ~2.4k nodes to near
+            // the threshold). Lower floors raise the caps past the
+            // carve-window granularity and the coarsest levels go
+            // infeasible.
+            cap_decay_floor: 256,
             max_levels: 12,
             level_shrink: 4.0,
             cluster_cap_fraction: 0.5,
@@ -90,11 +109,15 @@ impl Default for VCycleParams {
             // One metric iteration suffices at the coarsest level: the
             // per-level refinement passes recover what a longer coarse
             // solve would buy, at a fraction of the cost. Constructions
-            // are nearly free next to the metric, and extra rolls make a
-            // feasible carve far more likely on chunky coarse nodes.
+            // are nearly free next to the metric (a few ms each at
+            // coarse sizes), and extra rolls make a feasible carve far
+            // more likely on chunky coarse nodes — the spec's carve
+            // windows are near-exact between levels, so whether a roll
+            // lands is noisy, and every level the backoff pops costs a
+            // full paid metric.
             partitioner: PartitionerParams {
                 iterations: 1,
-                constructions_per_metric: 8,
+                constructions_per_metric: 64,
                 // Round cap on the coarse metric: a well-clustered coarse
                 // graph converges in a few dozen rounds, a fragmented one
                 // can crawl for hundreds while the refinement passes would
@@ -223,71 +246,19 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
         return Err(CoreError::EmptyNetlist);
     }
 
-    let mut outcome = RunOutcome::Complete;
     let mut precheck_rejected_levels = 0usize;
     let mut backoff_popped_levels = 0usize;
-    let mut contained_panics = 0usize;
 
     // ---- Down pass: recursive coarsening. -------------------------------
-    let down_start = Instant::now();
-    let mut coarse_graphs: Vec<Hypergraph> = Vec::new();
-    let mut maps: Vec<Vec<usize>> = Vec::new();
-    let mut coarsen_times: Vec<f64> = Vec::new();
-    let global_cap =
-        ((spec.capacity(0) as f64 * params.cluster_cap_fraction).floor() as u64).max(1);
-    loop {
-        let cur = coarse_graphs.last().unwrap_or(h);
-        let n = cur.num_nodes();
-        if n <= params.coarsest_nodes || maps.len() >= params.max_levels || n < 2 {
-            break;
-        }
-        if let Err(irq) = budget.check_time() {
-            outcome = outcome.combine(RunOutcome::from_interrupt(irq));
-            break;
-        }
-        let t0 = Instant::now();
-        let target = ((n as f64 / params.level_shrink).ceil() as usize).max(params.coarsest_nodes);
-        let max_node = cur.nodes().map(|v| cur.node_size(v)).max().unwrap_or(1);
-        let cap = ((cur.total_size() as f64 / target as f64).ceil() as u64)
-            .min(global_cap)
-            .max(max_node);
-        // The level body is fault-isolated: a panic while rating or
-        // contracting stops the down pass at the last good level and the
-        // cycle solves that graph instead, degrading the outcome.
-        let step = catch_unwind(AssertUnwindSafe(|| {
-            #[cfg(feature = "fault-injection")]
-            if let Some(plan) = budget.fault_plan() {
-                if plan.should_panic_coarsening(maps.len() as u64) {
-                    panic!("fault injection: scripted coarsening panic");
-                }
-            }
-            let profile = if n <= params.congestion_max_nodes {
-                flow_congestion(cur, params.congestion, rng)
-            } else {
-                heavy_edge_profile(cur)
-            };
-            let clustering = agglomerate_with_fillers(cur, &profile, cap, params.filler_stride);
-            if clustering.count as f64 > n as f64 * MIN_SHRINK {
-                return None; // stalled: caps leave (almost) nothing to merge
-            }
-            let coarse = cur.contract(&clustering.cluster_of);
-            Some((clustering.cluster_of, coarse))
-        }));
-        match step {
-            Ok(Some((map, coarse))) => {
-                maps.push(map);
-                coarse_graphs.push(coarse);
-                coarsen_times.push(t0.elapsed().as_secs_f64());
-            }
-            Ok(None) => break,
-            Err(_) => {
-                contained_panics += 1;
-                outcome = outcome.combine(RunOutcome::Degraded);
-                break;
-            }
-        }
-    }
-    let coarsen_seconds = down_start.elapsed().as_secs_f64();
+    let down = down_pass(h, spec, &params, rng, budget);
+    let DownPass {
+        mut coarse_graphs,
+        mut maps,
+        mut coarsen_times,
+        mut outcome,
+        mut contained_panics,
+        seconds: coarsen_seconds,
+    } = down;
 
     // ---- Coarsest solve. ------------------------------------------------
     // Coarse nodes can be too chunky to land inside the spec's carve
@@ -474,6 +445,112 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
     })
 }
 
+/// Everything the coarsening down pass produced: the coarse cascade
+/// (finest-to-coarsest), its projection maps and per-level times, and
+/// how the pass ended.
+struct DownPass {
+    coarse_graphs: Vec<Hypergraph>,
+    maps: Vec<Vec<usize>>,
+    coarsen_times: Vec<f64>,
+    outcome: RunOutcome,
+    contained_panics: usize,
+    seconds: f64,
+}
+
+/// The recursive coarsening loop: agglomerate level by level until the
+/// coarsest threshold, the level cap, a budget interrupt, or a stall
+/// (a level that shrinks by less than [`MIN_SHRINK`]) stops it.
+fn down_pass<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: &VCycleParams,
+    rng: &mut R,
+    budget: &Budget,
+) -> DownPass {
+    let down_start = Instant::now();
+    let mut outcome = RunOutcome::Complete;
+    let mut contained_panics = 0usize;
+    let mut coarse_graphs: Vec<Hypergraph> = Vec::new();
+    let mut maps: Vec<Vec<usize>> = Vec::new();
+    let mut coarsen_times: Vec<f64> = Vec::new();
+    let global_cap =
+        ((spec.capacity(0) as f64 * params.cluster_cap_fraction).floor() as u64).max(1);
+    loop {
+        let cur = coarse_graphs.last().unwrap_or(h);
+        let n = cur.num_nodes();
+        if n <= params.coarsest_nodes || maps.len() >= params.max_levels || n < 2 {
+            break;
+        }
+        if let Err(irq) = budget.check_time() {
+            outcome = outcome.combine(RunOutcome::from_interrupt(irq));
+            break;
+        }
+        let t0 = Instant::now();
+        let max_node = cur.nodes().map(|v| cur.node_size(v)).max().unwrap_or(1);
+        // The level body is fault-isolated: a panic while rating or
+        // contracting stops the down pass at the last good level and the
+        // cycle solves that graph instead, degrading the outcome.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            if let Some(plan) = budget.fault_plan() {
+                if plan.should_panic_coarsening(maps.len() as u64) {
+                    panic!("fault injection: scripted coarsening panic");
+                }
+            }
+            let profile = if n <= params.congestion_max_nodes {
+                flow_congestion(cur, params.congestion, rng)
+            } else {
+                heavy_edge_profile(cur)
+            };
+            // A stall — the cap leaves (almost) nothing to merge — does
+            // not end the down pass outright: the cap target decays
+            // another `level_shrink` step and the level retries with
+            // the larger cap, until the `cap_decay_floor`. Giving up on
+            // the first stall coupled cap growth to merge success, a
+            // feedback loop that plateaued rent:100000 around 2.4k
+            // nodes with the coarsest solve dominating the cycle.
+            let mut target = (n as f64 / params.level_shrink)
+                .ceil()
+                .max(params.coarsest_nodes as f64);
+            loop {
+                let cap = ((cur.total_size() as f64 / target).ceil() as u64)
+                    .min(global_cap)
+                    .max(max_node);
+                let clustering = agglomerate_with_fillers(cur, &profile, cap, params.filler_stride);
+                if clustering.count as f64 <= n as f64 * MIN_SHRINK {
+                    let coarse = cur.contract(&clustering.cluster_of);
+                    return Some((clustering.cluster_of, coarse));
+                }
+                if target <= params.cap_decay_floor as f64 {
+                    return None; // stalled even at the decay floor
+                }
+                target = (target / params.level_shrink).max(params.cap_decay_floor as f64);
+            }
+        }));
+        match step {
+            Ok(Some((map, coarse))) => {
+                maps.push(map);
+                coarse_graphs.push(coarse);
+                coarsen_times.push(t0.elapsed().as_secs_f64());
+            }
+            Ok(None) => break,
+            Err(_) => {
+                contained_panics += 1;
+                outcome = outcome.combine(RunOutcome::Degraded);
+                break;
+            }
+        }
+    }
+    DownPass {
+        coarse_graphs,
+        maps,
+        coarsen_times,
+        outcome,
+        contained_panics,
+        seconds: down_start.elapsed().as_secs_f64(),
+    }
+}
+
 /// Provable size-packing infeasibility screen.
 ///
 /// Returns the typed [`CoreError`] the construction would eventually
@@ -583,6 +660,11 @@ fn validate_params(p: &VCycleParams) -> Result<(), CoreError> {
     if p.max_levels == 0 {
         return Err(CoreError::InvalidParams {
             what: "max_levels must be at least 1",
+        });
+    }
+    if p.cap_decay_floor == 0 {
+        return Err(CoreError::InvalidParams {
+            what: "cap_decay_floor must be at least 1",
         });
     }
     // `>` is false for NaN, so this also rejects NaN shrink factors.
@@ -699,6 +781,53 @@ mod tests {
     }
 
     #[test]
+    fn cap_decay_floor_deepens_coarsening_on_rent_100k() {
+        // rent:100000 is the documented stall case: giving up on the
+        // first stalled level left the coarsest graph several times
+        // `coarsest_nodes`, so the coarsest solve dominated the cycle.
+        // Only the down pass runs here — no coarsest solve, no up pass
+        // — so the regression stays cheap, and heavy-edge rating is
+        // used at every level for the same reason (the stall is about
+        // size caps, not rating quality).
+        let mut rng = StdRng::seed_from_u64(48);
+        let h = rent_circuit(
+            RentParams {
+                nodes: 100_000,
+                primary_inputs: 100_000 / 16,
+                locality: 0.8,
+                ..RentParams::default()
+            },
+            &mut rng,
+        );
+        let spec = TreeSpec::full_tree(h.total_size(), 4, 2, 1.10, 1.0).unwrap();
+        let params = VCycleParams {
+            congestion_max_nodes: 0,
+            ..VCycleParams::default()
+        };
+        let budget = Budget::unlimited();
+        let down = down_pass(&h, &spec, &params, &mut rng, &budget);
+        let deep = down.coarse_graphs.last().unwrap().num_nodes();
+
+        // The legacy behaviour — stop at the first stall — is exactly
+        // the decay floor pinned at `coarsest_nodes`.
+        let legacy = VCycleParams {
+            cap_decay_floor: params.coarsest_nodes,
+            ..params
+        };
+        let down = down_pass(&h, &spec, &legacy, &mut rng, &budget);
+        let plateau = down.coarse_graphs.last().unwrap().num_nodes();
+
+        assert!(
+            deep < plateau,
+            "the decay floor coarsens strictly deeper: {deep} vs the {plateau}-node plateau"
+        );
+        assert!(
+            deep <= 3 * params.coarsest_nodes,
+            "the down pass bottoms out near the threshold, got {deep} nodes"
+        );
+    }
+
+    #[test]
     fn packing_precheck_is_a_sound_screen() {
         let spec = TreeSpec::new(vec![(16, 2, 1.0), (32, 2, 1.0)]).unwrap();
         // Unit sizes always pack: every window sum is reachable.
@@ -776,6 +905,10 @@ mod tests {
             },
             VCycleParams {
                 max_levels: 0,
+                ..VCycleParams::default()
+            },
+            VCycleParams {
+                cap_decay_floor: 0,
                 ..VCycleParams::default()
             },
         ] {

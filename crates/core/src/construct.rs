@@ -142,12 +142,273 @@ pub fn construct_partition_budgeted<R: Rng + ?Sized>(
         rng,
         budget,
         &mut scratch,
+        0,
     )?;
     Ok(b.build()?)
 }
 
+/// What subtree salvage managed to reuse from the prior partition (see
+/// [`construct_partition_salvaged`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SalvageReport {
+    /// Root-child subtrees of the prior partition examined for reuse.
+    pub candidates: usize,
+    /// Subtrees replayed verbatim into the new partition.
+    pub accepted: usize,
+    /// Subtrees rejected because the edit touched one of their nodes (or
+    /// removed one outright).
+    pub rejected_touched: usize,
+    /// Subtrees rejected because a capacity/fanout certificate no longer
+    /// holds against the new netlist and spec.
+    pub rejected_certificate: usize,
+    /// Subtrees rejected because accepting them would leave the carved
+    /// remainder more mass than the remaining root slots can hold.
+    pub rejected_slots: usize,
+    /// Total nodes of the edited netlist covered by accepted subtrees.
+    pub salvaged_nodes: usize,
+}
+
+impl SalvageReport {
+    /// Fraction of the edited netlist's nodes covered by salvaged
+    /// subtrees (`0.0` when the netlist is empty).
+    pub fn salvaged_fraction(&self, num_nodes: usize) -> f64 {
+        if num_nodes == 0 {
+            0.0
+        } else {
+            self.salvaged_nodes as f64 / num_nodes as f64
+        }
+    }
+}
+
+/// [`construct_partition_budgeted`] with **subtree salvage** from a prior
+/// partition of the pre-edit netlist (the ECO construction path).
+///
+/// Each child subtree of the prior root is a salvage candidate. A
+/// candidate is replayed verbatim into the new partition — skipping both
+/// its carving and its entire recursive descent — when its certificates
+/// still hold:
+///
+/// 1. **untouched**: every prior node in the subtree survives the edit
+///    (`node_map` maps it) and none of the survivors is in `touched`;
+/// 2. **capacity/fanout**: every subtree vertex still satisfies the new
+///    spec's level capacity and fanout bounds under the *edited* node
+///    sizes, and the subtree's level sits below the new top level;
+/// 3. **slots**: accepting it leaves the un-salvaged remainder no more
+///    mass than the remaining root child slots can hold.
+///
+/// Candidates are considered largest-first (ties by prior vertex order)
+/// so the greedy slot check deterministically favours the biggest
+/// savings. The remainder is carved fresh by the ordinary Algorithm 3
+/// descent with the root's child budget reduced by the accepted count.
+///
+/// `node_map[old]` maps each pre-edit node id to its post-edit id
+/// (`None` when the edit removed it); `touched[new]` flags post-edit
+/// nodes perturbed by the edit (see `htp-eco`'s touched-set report).
+///
+/// # Errors
+///
+/// As [`construct_partition_budgeted`]; salvage never *adds* failure
+/// modes because a candidate that would make the remainder infeasible is
+/// simply not accepted.
+///
+/// # Panics
+///
+/// Panics if `node_map` is not sized to the prior partition's nodes or
+/// `touched` is not sized to `h`.
+#[allow(clippy::too_many_arguments)]
+pub fn construct_partition_salvaged<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    metric: &SpreadingMetric,
+    rng: &mut R,
+    budget: &Budget,
+    prior: &HierarchicalPartition,
+    node_map: &[Option<NodeId>],
+    touched: &[bool],
+) -> Result<(HierarchicalPartition, SalvageReport), CoreError> {
+    assert_eq!(
+        node_map.len(),
+        prior.num_nodes(),
+        "node_map must cover the prior netlist"
+    );
+    assert_eq!(
+        touched.len(),
+        h.num_nodes(),
+        "touched must cover the edited netlist"
+    );
+    if h.num_nodes() == 0 {
+        return Err(CoreError::EmptyNetlist);
+    }
+    let total = h.total_size();
+    let top = spec.level_for_size(total).ok_or(CoreError::Infeasible {
+        total_size: total,
+        root_capacity: spec.capacity(spec.root_level()),
+    })?;
+
+    let mut report = SalvageReport::default();
+    if top == 0 || prior.root_level() != top {
+        // Single-leaf case, or the edit moved the instance across a level
+        // boundary: the prior root children sit at the wrong depth to be
+        // root children here, so fall through to a fresh construction.
+        let p = construct_partition_budgeted(h, spec, metric, rng, budget)?;
+        return Ok((p, report));
+    }
+
+    // Old node id -> leaf vertex, gathered once (nodes_in is O(n) per call).
+    let mut by_leaf: Vec<Vec<NodeId>> = vec![Vec::new(); prior.num_vertices()];
+    for old in 0..prior.num_nodes() {
+        by_leaf[prior.leaf_of(NodeId::new(old)).index()].push(NodeId::new(old));
+    }
+
+    // Certificate checks 1 and 2 per candidate.
+    struct Candidate {
+        vertex: VertexId,
+        size: u64,
+        new_nodes: Vec<NodeId>,
+    }
+    let k = spec.max_children(top) as u64;
+    let ub = spec.capacity(top - 1);
+    let mut passed: Vec<Candidate> = Vec::new();
+    report.candidates = prior.children(prior.root()).len();
+    'cand: for &q in prior.children(prior.root()) {
+        // Walk the subtree once: collect surviving node ids and check the
+        // structural certificates bottom-up via a recursive size fold.
+        let mut new_nodes: Vec<NodeId> = Vec::new();
+        let mut stack = vec![q];
+        let mut order: Vec<VertexId> = Vec::new();
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            stack.extend_from_slice(prior.children(u));
+        }
+        for &u in &order {
+            if prior.level(u) == 0 {
+                for &old in &by_leaf[u.index()] {
+                    match node_map[old.index()] {
+                        Some(new) if !touched[new.index()] => new_nodes.push(new),
+                        _ => {
+                            report.rejected_touched += 1;
+                            continue 'cand;
+                        }
+                    }
+                }
+            }
+        }
+        if new_nodes.is_empty() {
+            // An empty subtree salvages nothing; don't burn a root slot.
+            continue;
+        }
+        // Sizes fold: `order` is a parent-before-child DFS, so iterate it
+        // in reverse to accumulate child sizes into parents.
+        let mut size_of = vec![0u64; order.len()];
+        let mut slot_of = vec![usize::MAX; prior.num_vertices()];
+        for (i, &u) in order.iter().enumerate() {
+            slot_of[u.index()] = i;
+        }
+        for (i, &u) in order.iter().enumerate().rev() {
+            if prior.level(u) == 0 {
+                size_of[i] = h.subset_size(
+                    by_leaf[u.index()]
+                        .iter()
+                        .map(|&old| node_map[old.index()].expect("checked above")),
+                );
+            }
+            let lvl = prior.level(u);
+            if size_of[i] > spec.capacity(lvl)
+                || (lvl >= 1 && prior.children(u).len() > spec.max_children(lvl))
+            {
+                report.rejected_certificate += 1;
+                continue 'cand;
+            }
+            if let Some(p) = prior.parent(u) {
+                if p != prior.root() {
+                    size_of[slot_of[p.index()]] += size_of[i];
+                }
+            }
+        }
+        passed.push(Candidate {
+            vertex: q,
+            size: size_of[0],
+            new_nodes,
+        });
+    }
+
+    // Greedy slot-feasible acceptance, largest first (ties: prior order;
+    // the DFS above visited root children in prior order, and the sort
+    // is stable, so this is deterministic).
+    passed.sort_by_key(|c| std::cmp::Reverse(c.size));
+    let mut accepted: Vec<Candidate> = Vec::new();
+    let mut salv_size = 0u64;
+    for c in passed {
+        let count = accepted.len() as u64 + 1;
+        let rem_after = total - salv_size - c.size;
+        let feasible =
+            count <= k && (rem_after == 0 || (count < k && rem_after <= (k - count) * ub));
+        if feasible {
+            salv_size += c.size;
+            accepted.push(c);
+        } else {
+            report.rejected_slots += 1;
+        }
+    }
+    report.accepted = accepted.len();
+    report.salvaged_nodes = accepted.iter().map(|c| c.new_nodes.len()).sum();
+
+    // Build: replay accepted subtrees verbatim, then carve the remainder
+    // with the root's child budget reduced by the replayed count.
+    let mut b = PartitionBuilder::new(h.num_nodes(), top);
+    let root = b.root();
+    let mut scratch = CarveScratch::new(h);
+    for c in &accepted {
+        replay_subtree(&mut b, root, prior, c.vertex, node_map, &by_leaf)?;
+        scratch.deactivate(h, &c.new_nodes);
+    }
+    let rem: Vec<NodeId> = h.nodes().filter(|&v| scratch.alive[v.index()]).collect();
+    if !rem.is_empty() {
+        split(
+            &mut b,
+            root,
+            top,
+            h,
+            rem,
+            metric,
+            spec,
+            rng,
+            budget,
+            &mut scratch,
+            accepted.len() as u64,
+        )?;
+    }
+    Ok((b.build()?, report))
+}
+
+/// Copies the prior subtree rooted at `q` under `parent` in the builder,
+/// re-assigning its (surviving, untouched) nodes through `node_map`.
+fn replay_subtree(
+    b: &mut PartitionBuilder,
+    parent: VertexId,
+    prior: &HierarchicalPartition,
+    q: VertexId,
+    node_map: &[Option<NodeId>],
+    by_leaf: &[Vec<NodeId>],
+) -> Result<(), CoreError> {
+    let v = b.add_child(parent, prior.level(q))?;
+    if prior.level(q) == 0 {
+        for &old in &by_leaf[q.index()] {
+            if let Some(new) = node_map[old.index()] {
+                b.assign(new, v)?;
+            }
+        }
+    } else {
+        for &c in prior.children(q) {
+            replay_subtree(b, v, prior, c, node_map, by_leaf)?;
+        }
+    }
+    Ok(())
+}
+
 /// Carves `nodes` into children of `vertex`, which sits at `level >= 1`,
-/// recursing per child.
+/// recursing per child. `reserved` child slots of `vertex` are already
+/// occupied (by salvaged subtrees) and excluded from the carve budget.
 ///
 /// On entry the alive mask covers exactly `nodes`; on exit all of them are
 /// masked out again (each carve deactivates a block, and the recursive
@@ -165,13 +426,15 @@ fn split<R: Rng + ?Sized>(
     rng: &mut R,
     budget: &Budget,
     scratch: &mut CarveScratch,
+    reserved: u64,
 ) -> Result<(), CoreError> {
     debug_assert!(level >= 1);
     debug_assert!(nodes.iter().all(|&v| scratch.alive[v.index()]));
     let size = h.subset_size(nodes.iter().copied());
-    let k = spec.max_children(level) as u64;
+    let k = (spec.max_children(level) as u64).saturating_sub(reserved);
     let ub = spec.capacity(level - 1);
-    let lb_spec = size.div_ceil(k);
+    debug_assert!(k >= 1, "salvage acceptance keeps a carve slot available");
+    let lb_spec = size.div_ceil(k.max(1));
     if size > k * ub {
         return Err(CoreError::NoFeasibleCut {
             level,
@@ -305,6 +568,7 @@ fn attach_child<R: Rng + ?Sized>(
             rng,
             budget,
             scratch,
+            0,
         )?;
     }
     Ok(())
@@ -469,6 +733,96 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn salvage_with_no_edits_replays_every_subtree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
+        let m = unit_metric(h);
+        let prior = construct_partition(h, &spec, &m, &mut StdRng::seed_from_u64(9)).unwrap();
+        let node_map: Vec<Option<NodeId>> = h.nodes().map(Some).collect();
+        let touched = vec![false; h.num_nodes()];
+        let (p, report) = construct_partition_salvaged(
+            h,
+            &spec,
+            &m,
+            &mut StdRng::seed_from_u64(9),
+            &Budget::unlimited(),
+            &prior,
+            &node_map,
+            &touched,
+        )
+        .unwrap();
+        validate::validate(h, &spec, &p).unwrap();
+        assert_eq!(report.accepted, report.candidates, "report: {report:?}");
+        assert_eq!(report.salvaged_nodes, h.num_nodes());
+        assert_eq!(
+            cost::partition_cost(h, &spec, &p),
+            cost::partition_cost(h, &spec, &prior),
+            "a full replay must reproduce the prior cost"
+        );
+    }
+
+    #[test]
+    fn salvage_recarves_only_the_touched_subtree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let spec = TreeSpec::full_tree(h.total_size(), 3, 2, 1.2, 1.0).unwrap();
+        let m = unit_metric(h);
+        let prior = construct_partition(h, &spec, &m, &mut StdRng::seed_from_u64(9)).unwrap();
+        let node_map: Vec<Option<NodeId>> = h.nodes().map(Some).collect();
+        let mut touched = vec![false; h.num_nodes()];
+        touched[0] = true;
+        let (p, report) = construct_partition_salvaged(
+            h,
+            &spec,
+            &m,
+            &mut StdRng::seed_from_u64(9),
+            &Budget::unlimited(),
+            &prior,
+            &node_map,
+            &touched,
+        )
+        .unwrap();
+        validate::validate(h, &spec, &p).unwrap();
+        assert_eq!(report.rejected_touched, 1, "report: {report:?}");
+        assert_eq!(report.accepted, report.candidates - 1);
+        assert!(report.salvaged_nodes < h.num_nodes());
+        assert!(report.salvaged_nodes > 0);
+    }
+
+    #[test]
+    fn salvage_falls_back_cleanly_when_the_prior_tree_is_too_shallow() {
+        // Prior partition built for a 4-node instance (top level 1) cannot
+        // donate subtrees to a spec whose top level is higher.
+        let mut b = HypergraphBuilder::with_unit_nodes(8);
+        for i in 0..7u32 {
+            b.add_net(1.0, [NodeId(i), NodeId(i + 1)]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let m = unit_metric(&h);
+        // A prior tree whose root sits at level 1 (wrong depth for top=2).
+        let shallow = HierarchicalPartition::full_kary(1, 8, &[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        let node_map: Vec<Option<NodeId>> = h.nodes().map(Some).collect();
+        let touched = vec![false; h.num_nodes()];
+        let (p, report) = construct_partition_salvaged(
+            &h,
+            &spec,
+            &m,
+            &mut StdRng::seed_from_u64(1),
+            &Budget::unlimited(),
+            &shallow,
+            &node_map,
+            &touched,
+        )
+        .unwrap();
+        validate::validate(&h, &spec, &p).unwrap();
+        assert_eq!(report, SalvageReport::default());
     }
 
     #[test]

@@ -326,14 +326,120 @@ pub fn compute_spreading_metric_budgeted<R: Rng + ?Sized>(
         "cannot compute a metric for an empty netlist"
     );
 
-    let mut flow: Vec<f64> = vec![params.epsilon; h.num_nets()];
-    let mut metric = SpreadingMetric::from_lengths(
+    let flow: Vec<f64> = vec![params.epsilon; h.num_nets()];
+    let metric = SpreadingMetric::from_lengths(
         h.nets()
             .map(|e| length_of(params.alpha, params.epsilon, h.net_capacity(e)))
             .collect(),
     );
+    let active: Vec<NodeId> = h.nodes().collect();
+    run_injection(h, spec, params, rng, budget, flow, metric, active)
+}
 
-    let mut active: Vec<NodeId> = h.nodes().collect();
+/// Prior converged state to seed an incremental (ECO) metric run from.
+///
+/// A converged metric stays a *feasible* length assignment for every
+/// constraint that the edit did not perturb — lengths only ever grow
+/// during injection, so re-using them can never un-satisfy an untouched
+/// constraint the way a cold epsilon start does. The warm run therefore
+/// begins with only the perturbed nodes in the working set and lets the
+/// adaptive scheduler converge the ripple outward.
+pub struct WarmStart<'a> {
+    /// Per-net starting lengths in the *edited* netlist's id space.
+    /// `Some(d)` carries a prior converged length; `None` (new or
+    /// re-priced-from-scratch nets) starts cold at the epsilon flow.
+    /// Non-finite or negative carried lengths also fall back to cold.
+    pub lengths: &'a [Option<f64>],
+    /// The initial working set: nodes whose spreading constraints the
+    /// edit may have perturbed (duplicates and out-of-range ids are
+    /// ignored). Everything else starts retired, exactly as if a prior
+    /// run had confirmed it satisfied.
+    pub active: &'a [NodeId],
+}
+
+/// [`compute_spreading_metric_budgeted`] seeded from a prior converged
+/// run (see [`WarmStart`]).
+///
+/// The carried lengths are inverted back to flows with
+/// `f = (c/α)·ln(d + 1)` (clamped to at least `ε`) so injections continue
+/// to re-price exponentially from where the prior run stopped. With every
+/// length `None` and every node active this is bit-identical to the cold
+/// [`compute_spreading_metric_budgeted`]; the cold entry point itself is
+/// untouched, so existing goldens cannot move.
+///
+/// Soundness caveat: retiring the untouched nodes up front is exact for
+/// edits that only *remove* short paths (net removal, capacity increase)
+/// and a locality heuristic for edits that add them (new nets start at
+/// near-zero length, which can shorten distances under far-away
+/// constraints). The construction downstream never produces an invalid
+/// partition either way — an under-converged metric costs quality, not
+/// correctness — and the differential harness bounds that quality gap.
+///
+/// # Panics
+///
+/// Panics if the parameters are out of range, the netlist is empty, or
+/// `warm.lengths` does not have one entry per net.
+pub fn compute_spreading_metric_warm<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: FlowParams,
+    rng: &mut R,
+    budget: &Budget,
+    warm: &WarmStart<'_>,
+) -> (SpreadingMetric, InjectionStats) {
+    params.validate();
+    assert!(
+        h.num_nodes() > 0,
+        "cannot compute a metric for an empty netlist"
+    );
+    assert_eq!(
+        warm.lengths.len(),
+        h.num_nets(),
+        "warm start needs one prior length slot per net"
+    );
+
+    // Invert carried lengths to flows; flow and length must stay the
+    // consistent pair (f, d(f)) or later injections would re-price from
+    // the wrong base. Clamping to epsilon keeps lengths positive and only
+    // ever raises a carried length, which monotonicity makes safe.
+    let mut flow: Vec<f64> = Vec::with_capacity(h.num_nets());
+    for e in h.nets() {
+        let c = h.net_capacity(e);
+        let f = match warm.lengths[e.index()] {
+            Some(d) if d.is_finite() && d >= 0.0 => (c / params.alpha) * (d + 1.0).ln(),
+            _ => params.epsilon,
+        };
+        flow.push(f.max(params.epsilon));
+    }
+    let metric = SpreadingMetric::from_lengths(
+        h.nets()
+            .map(|e| length_of(params.alpha, flow[e.index()], h.net_capacity(e)))
+            .collect(),
+    );
+    let mut active: Vec<NodeId> = warm
+        .active
+        .iter()
+        .copied()
+        .filter(|v| v.index() < h.num_nodes())
+        .collect();
+    active.sort_unstable();
+    active.dedup();
+    run_injection(h, spec, params, rng, budget, flow, metric, active)
+}
+
+/// The shared injection loop behind the cold and warm entry points: runs
+/// Algorithm 2 from the given `(flow, metric, active)` starting state.
+#[allow(clippy::too_many_arguments)]
+fn run_injection<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    params: FlowParams,
+    rng: &mut R,
+    budget: &Budget,
+    mut flow: Vec<f64>,
+    mut metric: SpreadingMetric,
+    mut active: Vec<NodeId>,
+) -> (SpreadingMetric, InjectionStats) {
     let mut stats = InjectionStats {
         converged: true,
         ..InjectionStats::default()
@@ -961,5 +1067,112 @@ mod tests {
             ..FlowParams::default()
         };
         let _ = compute_spreading_metric(&h, &spec, params, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn warm_with_no_prior_state_is_bit_identical_to_cold() {
+        let h = path(10);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (5, 2, 1.0), (10, 2, 1.0)]).unwrap();
+        let params = FlowParams::default();
+        let (cold, cold_stats) = compute_spreading_metric_budgeted(
+            &h,
+            &spec,
+            params,
+            &mut StdRng::seed_from_u64(11),
+            &Budget::unlimited(),
+        );
+        let lengths: Vec<Option<f64>> = vec![None; h.num_nets()];
+        let active: Vec<NodeId> = h.nodes().collect();
+        let (warm, warm_stats) = compute_spreading_metric_warm(
+            &h,
+            &spec,
+            params,
+            &mut StdRng::seed_from_u64(11),
+            &Budget::unlimited(),
+            &WarmStart {
+                lengths: &lengths,
+                active: &active,
+            },
+        );
+        assert_eq!(cold, warm, "all-cold warm start must match the cold path");
+        assert_eq!(cold_stats, warm_stats);
+    }
+
+    #[test]
+    fn warm_from_converged_state_with_empty_active_set_is_a_noop() {
+        let h = path(8);
+        let spec = TreeSpec::new(vec![(2, 2, 1.0), (4, 2, 1.0), (8, 2, 1.0)]).unwrap();
+        let params = FlowParams::default();
+        let (m, stats) = compute_spreading_metric(&h, &spec, params, &mut StdRng::seed_from_u64(3));
+        assert!(stats.converged);
+        let lengths: Vec<Option<f64>> = h.nets().map(|e| Some(m.length(e))).collect();
+        let (warm, warm_stats) = compute_spreading_metric_warm(
+            &h,
+            &spec,
+            params,
+            &mut StdRng::seed_from_u64(3),
+            &Budget::unlimited(),
+            &WarmStart {
+                lengths: &lengths,
+                active: &[],
+            },
+        );
+        assert!(warm_stats.converged);
+        assert_eq!(warm_stats.injections, 0, "nothing was live to re-price");
+        for e in h.nets() {
+            let (a, b) = (m.length(e), warm.length(e));
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "length drifted through the flow round-trip: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_restart_after_perturbation_reconverges_feasibly() {
+        // Converge on a path, then "edit" it by pretending the last net is
+        // brand new (cold length) and its pins are the only live nodes.
+        let h = path(12);
+        let spec = TreeSpec::new(vec![(3, 2, 1.0), (6, 2, 1.0), (12, 2, 1.0)]).unwrap();
+        let params = FlowParams::default();
+        let (m, stats) = compute_spreading_metric(&h, &spec, params, &mut StdRng::seed_from_u64(5));
+        assert!(stats.converged);
+        let last = h.num_nets() - 1;
+        let lengths: Vec<Option<f64>> = h
+            .nets()
+            .map(|e| {
+                if e.index() == last {
+                    None
+                } else {
+                    Some(m.length(e))
+                }
+            })
+            .collect();
+        let active = [NodeId::new(10), NodeId::new(11)];
+        let (warm, warm_stats) = compute_spreading_metric_warm(
+            &h,
+            &spec,
+            params,
+            &mut StdRng::seed_from_u64(5),
+            &Budget::unlimited(),
+            &WarmStart {
+                lengths: &lengths,
+                active: &active,
+            },
+        );
+        assert!(warm_stats.converged, "stats: {warm_stats:?}");
+        // Every constraint of the live nodes must hold after the restart.
+        let report = check_feasibility(&h, &spec, &warm, 1e-6);
+        assert!(
+            report.feasible,
+            "worst shortfall {}",
+            report.worst_shortfall
+        );
+        // Carried lengths never shrink (monotone re-pricing).
+        for e in h.nets() {
+            if e.index() != last {
+                assert!(warm.length(e) >= m.length(e) - 1e-12);
+            }
+        }
     }
 }

@@ -1,0 +1,790 @@
+//! Typed netlist edits (`NetlistDelta`), their application, and the
+//! touched-set bookkeeping that drives the warm paths.
+//!
+//! A delta is recorded against a *base* netlist (its node/net counts are
+//! captured at construction) as an ordered list of [`EditOp`]s. Ids for
+//! added nodes and nets are handed out eagerly in a **pre-compaction** id
+//! space — base ids first, added ids appended — so later ops in the same
+//! delta can reference earlier additions. [`NetlistDelta::apply`]
+//! materialises the edited [`Hypergraph`] by compacting that space
+//! (removed entities drop out, relative order is preserved) and reports
+//! the old→new id maps plus the *touched sets*: the nodes and nets whose
+//! spreading constraints the edit may have perturbed, expanded one
+//! net-hop outward so a warm metric restart re-probes the whole
+//! perturbation frontier.
+//!
+//! [`diff`] recovers the same information from two already-built
+//! netlists (the job-server resubmission path), assuming an id-stable
+//! node prefix and matching nets by pin set.
+
+use std::collections::HashMap;
+
+use htp_netlist::{Hypergraph, HypergraphBuilder, NetId, NodeId};
+
+use crate::error::EcoError;
+
+/// One edit in a [`NetlistDelta`] script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditOp {
+    /// Append a node of the given size.
+    AddNode {
+        /// Size of the new node (≥ 1).
+        size: u64,
+    },
+    /// Remove a node; its pins silently drop from every incident net,
+    /// and nets left with fewer than two distinct pins drop entirely.
+    RemoveNode {
+        /// Pre-compaction id of the node to remove.
+        node: NodeId,
+    },
+    /// Change a node's size.
+    ResizeNode {
+        /// Pre-compaction id of the node to resize.
+        node: NodeId,
+        /// The new size (≥ 1).
+        size: u64,
+    },
+    /// Append a net over the given pins.
+    AddNet {
+        /// Capacity of the new net (finite, > 0).
+        capacity: f64,
+        /// Pre-compaction pin ids (≥ 2 distinct).
+        pins: Vec<NodeId>,
+    },
+    /// Remove a net outright.
+    RemoveNet {
+        /// Pre-compaction id of the net to remove.
+        net: NetId,
+    },
+    /// Change a net's capacity.
+    ReweightNet {
+        /// Pre-compaction id of the net to reweight.
+        net: NetId,
+        /// The new capacity (finite, > 0).
+        capacity: f64,
+    },
+}
+
+/// An ordered, validated edit script against a fixed base netlist.
+///
+/// Scalar validity (sizes, capacities) and id ranges are checked as ops
+/// are recorded; cross-op interactions (double removal, nets going
+/// degenerate) are checked by [`NetlistDelta::apply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistDelta {
+    base_nodes: usize,
+    base_nets: usize,
+    added_nodes: usize,
+    added_nets: usize,
+    ops: Vec<EditOp>,
+}
+
+impl NetlistDelta {
+    /// Starts an empty delta against `h`.
+    pub fn for_graph(h: &Hypergraph) -> Self {
+        Self::with_base(h.num_nodes(), h.num_nets())
+    }
+
+    /// Starts an empty delta against a base of the given counts.
+    pub fn with_base(nodes: usize, nets: usize) -> Self {
+        NetlistDelta {
+            base_nodes: nodes,
+            base_nets: nets,
+            added_nodes: 0,
+            added_nets: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The recorded ops, in order.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta records no edits.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Node count of the pre-compaction id space (base + added so far).
+    fn pre_nodes(&self) -> usize {
+        self.base_nodes + self.added_nodes
+    }
+
+    /// Net count of the pre-compaction id space (base + added so far).
+    fn pre_nets(&self) -> usize {
+        self.base_nets + self.added_nets
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), EcoError> {
+        if node.index() >= self.pre_nodes() {
+            return Err(EcoError::UnknownNode { node: node.index() });
+        }
+        Ok(())
+    }
+
+    fn check_net(&self, net: NetId) -> Result<(), EcoError> {
+        if net.index() >= self.pre_nets() {
+            return Err(EcoError::UnknownNet { net: net.index() });
+        }
+        Ok(())
+    }
+
+    fn check_capacity(capacity: f64) -> Result<(), EcoError> {
+        if !capacity.is_finite() || capacity <= 0.0 {
+            return Err(EcoError::BadCapacity { capacity });
+        }
+        Ok(())
+    }
+
+    /// Records a node addition and returns the id the node will have in
+    /// the pre-compaction space.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::ZeroSize`] for a zero size.
+    pub fn add_node(&mut self, size: u64) -> Result<NodeId, EcoError> {
+        let id = NodeId::new(self.pre_nodes());
+        if size == 0 {
+            return Err(EcoError::ZeroSize { node: id.index() });
+        }
+        self.added_nodes += 1;
+        self.ops.push(EditOp::AddNode { size });
+        Ok(id)
+    }
+
+    /// Records a node removal.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownNode`] for an out-of-range id.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), EcoError> {
+        self.check_node(node)?;
+        self.ops.push(EditOp::RemoveNode { node });
+        Ok(())
+    }
+
+    /// Records a node resize.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownNode`] / [`EcoError::ZeroSize`].
+    pub fn resize_node(&mut self, node: NodeId, size: u64) -> Result<(), EcoError> {
+        self.check_node(node)?;
+        if size == 0 {
+            return Err(EcoError::ZeroSize { node: node.index() });
+        }
+        self.ops.push(EditOp::ResizeNode { node, size });
+        Ok(())
+    }
+
+    /// Records a net addition and returns the id the net will have in
+    /// the pre-compaction space.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::BadCapacity`], [`EcoError::UnknownNode`] for an
+    /// out-of-range pin, or [`EcoError::DegenerateNet`] for fewer than
+    /// two distinct pins.
+    pub fn add_net(&mut self, capacity: f64, pins: Vec<NodeId>) -> Result<NetId, EcoError> {
+        Self::check_capacity(capacity)?;
+        for &p in &pins {
+            self.check_node(p)?;
+        }
+        let mut distinct: Vec<NodeId> = pins.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() < 2 {
+            return Err(EcoError::DegenerateNet {
+                distinct_pins: distinct.len(),
+            });
+        }
+        let id = NetId::new(self.pre_nets());
+        self.added_nets += 1;
+        self.ops.push(EditOp::AddNet { capacity, pins });
+        Ok(id)
+    }
+
+    /// Records a net removal.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownNet`] for an out-of-range id.
+    pub fn remove_net(&mut self, net: NetId) -> Result<(), EcoError> {
+        self.check_net(net)?;
+        self.ops.push(EditOp::RemoveNet { net });
+        Ok(())
+    }
+
+    /// Records a net reweight.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownNet`] / [`EcoError::BadCapacity`].
+    pub fn reweight_net(&mut self, net: NetId, capacity: f64) -> Result<(), EcoError> {
+        self.check_net(net)?;
+        Self::check_capacity(capacity)?;
+        self.ops.push(EditOp::ReweightNet { net, capacity });
+        Ok(())
+    }
+
+    /// Applies the delta to its base netlist, producing the edited
+    /// [`Hypergraph`] and the [`TouchedReport`] that drives the warm
+    /// metric and salvage paths.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::BaseMismatch`] if `h` is not the netlist the delta was
+    /// recorded against (by node/net count); [`EcoError::NodeAlreadyRemoved`] /
+    /// [`EcoError::NetAlreadyRemoved`] for double removals;
+    /// [`EcoError::EmptyResult`] if nothing survives. Nets (added ones
+    /// included) that node removals shrink below two distinct pins drop
+    /// silently, reported as `None` in the net map.
+    pub fn apply(&self, h: &Hypergraph) -> Result<AppliedDelta, EcoError> {
+        if h.num_nodes() != self.base_nodes || h.num_nets() != self.base_nets {
+            return Err(EcoError::BaseMismatch {
+                expected_nodes: self.base_nodes,
+                expected_nets: self.base_nets,
+                got_nodes: h.num_nodes(),
+                got_nets: h.num_nets(),
+            });
+        }
+
+        // Replay the script over the pre-compaction state.
+        let mut node_present: Vec<bool> = vec![true; self.base_nodes];
+        let mut node_size: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
+        let mut node_resized: Vec<bool> = vec![false; self.base_nodes];
+        let mut net_present: Vec<bool> = vec![true; self.base_nets];
+        let mut net_capacity: Vec<f64> = h.nets().map(|e| h.net_capacity(e)).collect();
+        let mut net_reweighted: Vec<bool> = vec![false; self.base_nets];
+        let mut added_pins: Vec<Vec<NodeId>> = Vec::new();
+
+        for op in &self.ops {
+            match op {
+                EditOp::AddNode { size } => {
+                    node_present.push(true);
+                    node_size.push(*size);
+                    node_resized.push(false);
+                }
+                EditOp::RemoveNode { node } => {
+                    let i = node.index();
+                    if i >= node_present.len() {
+                        return Err(EcoError::UnknownNode { node: i });
+                    }
+                    if !node_present[i] {
+                        return Err(EcoError::NodeAlreadyRemoved { node: i });
+                    }
+                    node_present[i] = false;
+                }
+                EditOp::ResizeNode { node, size } => {
+                    let i = node.index();
+                    if i >= node_present.len() {
+                        return Err(EcoError::UnknownNode { node: i });
+                    }
+                    if !node_present[i] {
+                        return Err(EcoError::NodeAlreadyRemoved { node: i });
+                    }
+                    if node_size[i] != *size {
+                        node_size[i] = *size;
+                        node_resized[i] = true;
+                    }
+                }
+                EditOp::AddNet { capacity, pins } => {
+                    net_present.push(true);
+                    net_capacity.push(*capacity);
+                    net_reweighted.push(false);
+                    added_pins.push(pins.clone());
+                }
+                EditOp::RemoveNet { net } => {
+                    let i = net.index();
+                    if i >= net_present.len() {
+                        return Err(EcoError::UnknownNet { net: i });
+                    }
+                    if !net_present[i] {
+                        return Err(EcoError::NetAlreadyRemoved { net: i });
+                    }
+                    net_present[i] = false;
+                }
+                EditOp::ReweightNet { net, capacity } => {
+                    let i = net.index();
+                    if i >= net_present.len() {
+                        return Err(EcoError::UnknownNet { net: i });
+                    }
+                    if !net_present[i] {
+                        return Err(EcoError::NetAlreadyRemoved { net: i });
+                    }
+                    if net_capacity[i] != *capacity {
+                        net_capacity[i] = *capacity;
+                        net_reweighted[i] = true;
+                    }
+                }
+            }
+        }
+
+        let pre_nodes = node_present.len();
+        let pre_nets = net_present.len();
+
+        // Compact nodes: base order first, additions appended.
+        let mut node_map_pre: Vec<Option<NodeId>> = vec![None; pre_nodes];
+        let mut b = HypergraphBuilder::new();
+        for i in 0..pre_nodes {
+            if node_present[i] {
+                node_map_pre[i] = Some(b.add_node(node_size[i]));
+            }
+        }
+        if b.num_nodes() == 0 {
+            return Err(EcoError::EmptyResult);
+        }
+
+        // Compact nets in pre order; a base net shrinking below two
+        // distinct pins silently drops, an added one is a typed error.
+        let pre_pins = |i: usize| -> &[NodeId] {
+            if i < self.base_nets {
+                h.net_pins(NetId::new(i))
+            } else {
+                &added_pins[i - self.base_nets]
+            }
+        };
+        let mut net_map_pre: Vec<Option<NetId>> = vec![None; pre_nets];
+        let mut lost_pin: Vec<bool> = vec![false; pre_nets];
+        for i in 0..pre_nets {
+            if !net_present[i] {
+                continue;
+            }
+            let mut pins: Vec<NodeId> = Vec::new();
+            for &p in pre_pins(i) {
+                match node_map_pre[p.index()] {
+                    Some(new) => pins.push(new),
+                    None => lost_pin[i] = true,
+                }
+            }
+            // A net shrinking below two distinct pins silently drops —
+            // added nets included, since `add_net` already validated them
+            // eagerly and only a *later* removal can degrade them.
+            net_map_pre[i] = b.add_net_lenient(net_capacity[i], pins.iter().copied())?;
+        }
+        let hypergraph = b.build()?;
+
+        // Changed sets in the new id space, then the one-hop expansion.
+        let mut changed_node = vec![false; hypergraph.num_nodes()];
+        let mut changed_net = vec![false; hypergraph.num_nets()];
+        let mut added_node_ids: Vec<NodeId> = Vec::new();
+        let mut added_net_ids: Vec<NetId> = Vec::new();
+        for i in 0..pre_nodes {
+            if let Some(new) = node_map_pre[i] {
+                if i >= self.base_nodes {
+                    added_node_ids.push(new);
+                }
+                if i >= self.base_nodes || node_resized[i] {
+                    changed_node[new.index()] = true;
+                }
+            }
+        }
+        for i in 0..pre_nets {
+            let gone = net_map_pre[i].is_none();
+            let changed = i >= self.base_nets || net_reweighted[i] || lost_pin[i] || gone;
+            if !changed {
+                continue;
+            }
+            match net_map_pre[i] {
+                Some(new) => {
+                    if i >= self.base_nets {
+                        added_net_ids.push(new);
+                    }
+                    changed_net[new.index()] = true;
+                    for &p in hypergraph.net_pins(new) {
+                        changed_node[p.index()] = true;
+                    }
+                }
+                None => {
+                    // Removed or dropped net: its surviving former pins
+                    // lose connectivity and must be re-probed.
+                    for &p in pre_pins(i) {
+                        if let Some(new) = node_map_pre[p.index()] {
+                            changed_node[new.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let (touched_nodes, touched_nets) =
+            expand_touched(&hypergraph, &changed_node, &changed_net);
+
+        let report = TouchedReport {
+            node_map: node_map_pre[..self.base_nodes].to_vec(),
+            net_map: net_map_pre[..self.base_nets].to_vec(),
+            added_node_ids,
+            added_net_ids,
+            changed_nodes: changed_node.iter().filter(|&&c| c).count(),
+            touched_nodes,
+            touched_nets,
+        };
+        Ok(AppliedDelta { hypergraph, report })
+    }
+}
+
+/// Expands changed nodes/nets one net-hop outward: every net incident to
+/// a changed node goes live, and every pin of a live net joins the
+/// re-probe set. Returns sorted id lists.
+fn expand_touched(
+    h: &Hypergraph,
+    changed_node: &[bool],
+    changed_net: &[bool],
+) -> (Vec<NodeId>, Vec<NetId>) {
+    let mut live_net = changed_net.to_vec();
+    for v in h.nodes() {
+        if changed_node[v.index()] {
+            for &e in h.node_nets(v) {
+                live_net[e.index()] = true;
+            }
+        }
+    }
+    let mut live_node = changed_node.to_vec();
+    for e in h.nets() {
+        if live_net[e.index()] {
+            for &p in h.net_pins(e) {
+                live_node[p.index()] = true;
+            }
+        }
+    }
+    let touched_nodes = h.nodes().filter(|v| live_node[v.index()]).collect();
+    let touched_nets = h.nets().filter(|e| live_net[e.index()]).collect();
+    (touched_nodes, touched_nets)
+}
+
+/// Result of [`NetlistDelta::apply`]: the edited netlist plus the id
+/// maps and touched sets the incremental paths consume.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The edited netlist.
+    pub hypergraph: Hypergraph,
+    /// Id maps and touched sets.
+    pub report: TouchedReport,
+}
+
+/// Old→new id maps and the perturbation frontier of an edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TouchedReport {
+    /// Base node id → edited node id (`None` when removed).
+    pub node_map: Vec<Option<NodeId>>,
+    /// Base net id → edited net id (`None` when removed or dropped).
+    pub net_map: Vec<Option<NetId>>,
+    /// Edited-space ids of nodes the delta added.
+    pub added_node_ids: Vec<NodeId>,
+    /// Edited-space ids of nets the delta added.
+    pub added_net_ids: Vec<NetId>,
+    /// Directly perturbed nodes, before the one-hop expansion — the
+    /// honest "edit size" (resized/added nodes plus pins of edited nets).
+    pub changed_nodes: usize,
+    /// Edited-space nodes to re-probe in a warm metric run (sorted;
+    /// changed nodes expanded one net-hop).
+    pub touched_nodes: Vec<NodeId>,
+    /// Edited-space nets live for re-pricing (sorted).
+    pub touched_nets: Vec<NetId>,
+}
+
+impl TouchedReport {
+    /// Per-node touched mask over the edited netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is smaller than a touched id.
+    pub fn touched_mask(&self, num_nodes: usize) -> Vec<bool> {
+        let mut mask = vec![false; num_nodes];
+        for &v in &self.touched_nodes {
+            mask[v.index()] = true;
+        }
+        mask
+    }
+
+    /// Carries prior converged net lengths into the edited id space:
+    /// `out[new] = Some(prior[old])` for every surviving net, `None`
+    /// (cold start) for added ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior` is not sized to the base netlist's nets.
+    pub fn carry_lengths(&self, prior: &[f64], num_new_nets: usize) -> Vec<Option<f64>> {
+        assert_eq!(
+            prior.len(),
+            self.net_map.len(),
+            "prior lengths must cover the base netlist"
+        );
+        let mut out = vec![None; num_new_nets];
+        for (old, new) in self.net_map.iter().enumerate() {
+            if let Some(new) = new {
+                out[new.index()] = Some(prior[old]);
+            }
+        }
+        out
+    }
+
+    /// Fraction of the edited netlist's nodes that were directly
+    /// perturbed (pre-expansion).
+    pub fn edit_fraction(&self, num_new_nodes: usize) -> f64 {
+        if num_new_nodes == 0 {
+            0.0
+        } else {
+            self.changed_nodes as f64 / num_new_nodes as f64
+        }
+    }
+}
+
+/// Recovers a [`TouchedReport`] by structurally diffing two already-built
+/// netlists — the job-server resubmission path, where only the old and
+/// new instance texts exist.
+///
+/// Node correspondence is positional: node `i` of `new` is node `i` of
+/// `old` while both exist (a resize shows up as a size difference);
+/// surplus ids on either side are adds/removes. Nets are matched by
+/// (sorted) pin set — an exact `(pins, capacity)` match carries over
+/// untouched, a pins-only match is a reweight, and everything else is an
+/// add or remove. The heuristic is deliberately conservative: anything it
+/// cannot match becomes touched, which costs warm-start speedup, never
+/// correctness.
+pub fn diff(old: &Hypergraph, new: &Hypergraph) -> TouchedReport {
+    let n_old = old.num_nodes();
+    let n_new = new.num_nodes();
+    let shared = n_old.min(n_new);
+
+    let mut node_map: Vec<Option<NodeId>> = vec![None; n_old];
+    let mut changed_node = vec![false; n_new];
+    for i in 0..shared {
+        node_map[i] = Some(NodeId::new(i));
+        if old.node_size(NodeId::new(i)) != new.node_size(NodeId::new(i)) {
+            changed_node[i] = true;
+        }
+    }
+    let mut added_node_ids: Vec<NodeId> = Vec::new();
+    for (i, changed) in changed_node.iter_mut().enumerate().skip(shared) {
+        *changed = true;
+        added_node_ids.push(NodeId::new(i));
+    }
+
+    // Bucket old nets by pin key; drain buckets as new nets match.
+    let mut buckets: HashMap<Vec<usize>, Vec<NetId>> = HashMap::new();
+    for e in old.nets() {
+        let key: Vec<usize> = old.net_pins(e).iter().map(|p| p.index()).collect();
+        buckets.entry(key).or_default().push(e);
+    }
+    let mut net_map: Vec<Option<NetId>> = vec![None; old.num_nets()];
+    let mut changed_net = vec![false; new.num_nets()];
+    let mut added_net_ids: Vec<NetId> = Vec::new();
+    for e in new.nets() {
+        let key: Vec<usize> = new.net_pins(e).iter().map(|p| p.index()).collect();
+        let matched = buckets.get_mut(&key).and_then(|list| {
+            // Prefer an exact capacity match; otherwise take the first
+            // pins-only match as a reweight.
+            let cap = new.net_capacity(e);
+            let pos = list
+                .iter()
+                .position(|&o| old.net_capacity(o) == cap)
+                .unwrap_or(0);
+            if list.is_empty() {
+                None
+            } else {
+                Some(list.remove(pos))
+            }
+        });
+        match matched {
+            Some(o) => {
+                net_map[o.index()] = Some(e);
+                if old.net_capacity(o) != new.net_capacity(e) {
+                    changed_net[e.index()] = true;
+                    for &p in new.net_pins(e) {
+                        changed_node[p.index()] = true;
+                    }
+                }
+            }
+            None => {
+                added_net_ids.push(e);
+                changed_net[e.index()] = true;
+                for &p in new.net_pins(e) {
+                    changed_node[p.index()] = true;
+                }
+            }
+        }
+    }
+    // Old nets with no counterpart: their surviving pins are perturbed.
+    for e in old.nets() {
+        if net_map[e.index()].is_none() {
+            for &p in old.net_pins(e) {
+                if p.index() < shared {
+                    changed_node[p.index()] = true;
+                }
+            }
+        }
+    }
+
+    let (touched_nodes, touched_nets) = expand_touched(new, &changed_node, &changed_net);
+    TouchedReport {
+        node_map,
+        net_map,
+        added_node_ids,
+        added_net_ids,
+        changed_nodes: changed_node.iter().filter(|&&c| c).count(),
+        touched_nodes,
+        touched_nets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(n);
+        for i in 0..n - 1 {
+            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_an_identity() {
+        let h = chain(6);
+        let d = NetlistDelta::for_graph(&h);
+        let a = d.apply(&h).unwrap();
+        assert_eq!(a.hypergraph.num_nodes(), 6);
+        assert_eq!(a.hypergraph.num_nets(), 5);
+        assert!(a.report.touched_nodes.is_empty());
+        assert!(a.report.touched_nets.is_empty());
+        assert_eq!(a.report.edit_fraction(6), 0.0);
+    }
+
+    #[test]
+    fn add_node_and_net_touch_their_neighbourhood() {
+        let h = chain(6);
+        let mut d = NetlistDelta::for_graph(&h);
+        let v = d.add_node(2).unwrap();
+        assert_eq!(v, NodeId::new(6));
+        let e = d.add_net(1.5, vec![NodeId::new(0), v]).unwrap();
+        assert_eq!(e, NetId::new(5));
+        let a = d.apply(&h).unwrap();
+        assert_eq!(a.hypergraph.num_nodes(), 7);
+        assert_eq!(a.hypergraph.num_nets(), 6);
+        assert_eq!(a.report.added_node_ids, vec![NodeId::new(6)]);
+        assert_eq!(a.report.added_net_ids, vec![NetId::new(5)]);
+        // Node 0 and the new node are perturbed; expansion pulls in node 1
+        // (co-pin of net 0-1).
+        assert!(a.report.touched_nodes.contains(&NodeId::new(0)));
+        assert!(a.report.touched_nodes.contains(&NodeId::new(1)));
+        assert!(a.report.touched_nodes.contains(&NodeId::new(6)));
+        assert!(!a.report.touched_nodes.contains(&NodeId::new(3)));
+    }
+
+    #[test]
+    fn remove_node_compacts_ids_and_drops_degenerate_nets() {
+        let h = chain(4); // nets: 0-1, 1-2, 2-3
+        let mut d = NetlistDelta::for_graph(&h);
+        d.remove_node(NodeId::new(1)).unwrap();
+        let a = d.apply(&h).unwrap();
+        assert_eq!(a.hypergraph.num_nodes(), 3);
+        // Nets 0-1 and 1-2 both go degenerate; only 2-3 survives.
+        assert_eq!(a.hypergraph.num_nets(), 1);
+        assert_eq!(a.report.node_map[0], Some(NodeId::new(0)));
+        assert_eq!(a.report.node_map[1], None);
+        assert_eq!(a.report.node_map[2], Some(NodeId::new(1)));
+        assert_eq!(a.report.net_map[0], None);
+        assert_eq!(a.report.net_map[1], None);
+        assert_eq!(a.report.net_map[2], Some(NetId::new(0)));
+    }
+
+    #[test]
+    fn double_removal_is_a_typed_error() {
+        let h = chain(4);
+        let mut d = NetlistDelta::for_graph(&h);
+        d.remove_node(NodeId::new(1)).unwrap();
+        d.remove_node(NodeId::new(1)).unwrap();
+        assert_eq!(
+            d.apply(&h).unwrap_err(),
+            EcoError::NodeAlreadyRemoved { node: 1 }
+        );
+    }
+
+    #[test]
+    fn scalar_validation_is_eager() {
+        let h = chain(4);
+        let mut d = NetlistDelta::for_graph(&h);
+        assert!(matches!(d.add_node(0), Err(EcoError::ZeroSize { .. })));
+        assert!(matches!(
+            d.resize_node(NodeId::new(9), 1),
+            Err(EcoError::UnknownNode { node: 9 })
+        ));
+        assert!(matches!(
+            d.reweight_net(NetId::new(0), f64::NAN),
+            Err(EcoError::BadCapacity { .. })
+        ));
+        assert!(matches!(
+            d.add_net(1.0, vec![NodeId::new(2), NodeId::new(2)]),
+            Err(EcoError::DegenerateNet { distinct_pins: 1 })
+        ));
+    }
+
+    #[test]
+    fn base_mismatch_is_rejected() {
+        let h = chain(4);
+        let d = NetlistDelta::for_graph(&h);
+        let other = chain(5);
+        assert!(matches!(
+            d.apply(&other).unwrap_err(),
+            EcoError::BaseMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn removing_every_node_is_rejected() {
+        let h = chain(2);
+        let mut d = NetlistDelta::for_graph(&h);
+        d.remove_node(NodeId::new(0)).unwrap();
+        d.remove_node(NodeId::new(1)).unwrap();
+        assert_eq!(d.apply(&h).unwrap_err(), EcoError::EmptyResult);
+    }
+
+    #[test]
+    fn reweight_to_same_capacity_touches_nothing() {
+        let h = chain(5);
+        let mut d = NetlistDelta::for_graph(&h);
+        d.reweight_net(NetId::new(2), 1.0).unwrap();
+        let a = d.apply(&h).unwrap();
+        assert!(a.report.touched_nets.is_empty());
+    }
+
+    #[test]
+    fn diff_recovers_a_reweight_and_an_extension() {
+        let old = chain(8);
+        let new = {
+            let mut b = HypergraphBuilder::with_unit_nodes(9);
+            for i in 0..7 {
+                let cap = if i == 1 { 2.5 } else { 1.0 };
+                b.add_net(cap, [NodeId::new(i), NodeId::new(i + 1)])
+                    .unwrap();
+            }
+            b.add_net(1.0, [NodeId::new(7), NodeId::new(8)]).unwrap();
+            b.build().unwrap()
+        };
+        let r = diff(&old, &new);
+        assert_eq!(r.node_map.len(), 8);
+        assert!(r.node_map.iter().all(|m| m.is_some()));
+        assert_eq!(r.added_node_ids, vec![NodeId::new(8)]);
+        // All seven old nets carry over (one of them reweighted).
+        let carried = r.net_map.iter().filter(|m| m.is_some()).count();
+        assert_eq!(carried, 7);
+        // Changed: pins of the reweighted net {1,2} and of the new net
+        // {7,8}. One-hop expansion pulls in 0, 3, and 6 — but the chain
+        // middle stays untouched.
+        assert!(r.touched_nodes.contains(&NodeId::new(1)));
+        assert!(r.touched_nodes.contains(&NodeId::new(8)));
+        assert!(!r.touched_nodes.contains(&NodeId::new(5)));
+        let lengths: Vec<f64> = (0..7).map(|i| i as f64 + 1.0).collect();
+        let carry = r.carry_lengths(&lengths, new.num_nets());
+        assert_eq!(carry[7], None, "the added net starts cold");
+        assert_eq!(carry.iter().filter(|c| c.is_some()).count(), 7);
+    }
+}

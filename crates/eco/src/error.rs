@@ -1,0 +1,138 @@
+//! Typed errors for delta validation and incremental solves.
+
+use std::fmt;
+
+use htp_core::CoreError;
+use htp_netlist::NetlistError;
+
+/// Everything that can go wrong building, validating, or applying an
+/// incremental edit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcoError {
+    /// The delta was recorded against a netlist with different node/net
+    /// counts than the one `apply` was handed.
+    BaseMismatch {
+        /// Node count the delta was recorded against.
+        expected_nodes: usize,
+        /// Net count the delta was recorded against.
+        expected_nets: usize,
+        /// Node count of the netlist handed to `apply`.
+        got_nodes: usize,
+        /// Net count of the netlist handed to `apply`.
+        got_nets: usize,
+    },
+    /// An edit referenced a node id that neither the base netlist nor a
+    /// preceding `add_node` defines.
+    UnknownNode {
+        /// The out-of-range node index.
+        node: usize,
+    },
+    /// An edit referenced a net id that neither the base netlist nor a
+    /// preceding `add_net` defines.
+    UnknownNet {
+        /// The out-of-range net index.
+        net: usize,
+    },
+    /// An edit referenced a node a preceding op already removed.
+    NodeAlreadyRemoved {
+        /// The doubly-removed node index.
+        node: usize,
+    },
+    /// An edit referenced a net a preceding op already removed.
+    NetAlreadyRemoved {
+        /// The doubly-removed net index.
+        net: usize,
+    },
+    /// A node was added or resized to size zero (sizes must be ≥ 1).
+    ZeroSize {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A net capacity was not finite and positive.
+    BadCapacity {
+        /// The offending capacity value.
+        capacity: f64,
+    },
+    /// An explicitly added net ended up with fewer than two distinct
+    /// surviving pins (after node removals in the same delta).
+    DegenerateNet {
+        /// Distinct surviving pins of the added net.
+        distinct_pins: usize,
+    },
+    /// Applying the delta removed every node.
+    EmptyResult,
+    /// A prior state handed to the session does not fit its netlist
+    /// (wrong length vector or partition node count).
+    PriorMismatch {
+        /// What did not line up.
+        what: &'static str,
+    },
+    /// Rebuilding the edited netlist failed (rendered
+    /// [`NetlistError`]; the source error wraps `io::Error` and is not
+    /// `Clone`/`PartialEq`).
+    Netlist(String),
+    /// The incremental solve itself failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for EcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoError::BaseMismatch {
+                expected_nodes,
+                expected_nets,
+                got_nodes,
+                got_nets,
+            } => write!(
+                f,
+                "delta was recorded against {expected_nodes} nodes / {expected_nets} nets \
+                 but applied to {got_nodes} nodes / {got_nets} nets"
+            ),
+            EcoError::UnknownNode { node } => write!(f, "edit references unknown node {node}"),
+            EcoError::UnknownNet { net } => write!(f, "edit references unknown net {net}"),
+            EcoError::NodeAlreadyRemoved { node } => {
+                write!(f, "node {node} was already removed by an earlier edit")
+            }
+            EcoError::NetAlreadyRemoved { net } => {
+                write!(f, "net {net} was already removed by an earlier edit")
+            }
+            EcoError::ZeroSize { node } => {
+                write!(f, "node {node} would have size zero (sizes must be >= 1)")
+            }
+            EcoError::BadCapacity { capacity } => {
+                write!(f, "net capacity {capacity} is not finite and positive")
+            }
+            EcoError::DegenerateNet { distinct_pins } => write!(
+                f,
+                "added net has {distinct_pins} distinct surviving pins (needs >= 2)"
+            ),
+            EcoError::EmptyResult => write!(f, "the delta removes every node"),
+            EcoError::PriorMismatch { what } => {
+                write!(f, "prior state does not fit the netlist: {what}")
+            }
+            EcoError::Netlist(e) => write!(f, "rebuilding the edited netlist failed: {e}"),
+            EcoError::Core(e) => write!(f, "incremental solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EcoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcoError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for EcoError {
+    fn from(e: NetlistError) -> Self {
+        EcoError::Netlist(e.to_string())
+    }
+}
+
+impl From<CoreError> for EcoError {
+    fn from(e: CoreError) -> Self {
+        EcoError::Core(e)
+    }
+}

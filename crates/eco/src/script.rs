@@ -1,0 +1,262 @@
+//! Seeded random edit-script generation, shared by the differential
+//! tests and the `eco` bench: a reproducible way to perturb a fraction
+//! of a netlist through every kind of [`EditOp`](crate::EditOp).
+
+use rand::{Rng, RngExt};
+
+use htp_netlist::{Hypergraph, NetId, NodeId};
+
+use crate::delta::NetlistDelta;
+
+/// Builds a random, always-valid edit script touching roughly
+/// `edit_rate` of `h`'s nodes (at least one edit).
+///
+/// The op mix leans toward the cheap local edits real ECO flows are made
+/// of — resizes, reweights, small add/remove churn — and keeps the total
+/// size roughly stable (additions are unit-size) so a spec sized for the
+/// base instance keeps fitting. The script never double-removes, never
+/// references a removed entity, and never shrinks the netlist below two
+/// nodes, so [`NetlistDelta::apply`] is guaranteed to succeed.
+pub fn random_delta<R: Rng + ?Sized>(h: &Hypergraph, edit_rate: f64, rng: &mut R) -> NetlistDelta {
+    let (edits, pool, nets) = script_scope(h, edit_rate, None, rng);
+    build_script(h, edits, &pool, &nets, rng)
+}
+
+/// Like [`random_delta`], but spatially clustered: every edit lands in a
+/// BFS neighborhood of one random seed node, the way a real engineering
+/// change order perturbs one region of a design rather than sprinkling
+/// changes everywhere. Clustered scripts are what make subtree salvage
+/// observable — with scattered edits every root subtree is touched and
+/// nothing can be reused.
+pub fn random_delta_clustered<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    edit_rate: f64,
+    rng: &mut R,
+) -> NetlistDelta {
+    let (edits, pool, nets) = script_scope(h, edit_rate, Some(()), rng);
+    build_script(h, edits, &pool, &nets, rng)
+}
+
+/// Decides how many edits to make and which nodes/nets they may touch:
+/// the whole netlist (scattered), or a BFS neighborhood of a random seed
+/// roughly 4× the edit count (clustered).
+fn script_scope<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    edit_rate: f64,
+    clustered: Option<()>,
+    rng: &mut R,
+) -> (usize, Vec<NodeId>, Vec<NetId>) {
+    assert!(
+        (0.0..=1.0).contains(&edit_rate),
+        "edit_rate must be in [0, 1], got {edit_rate}"
+    );
+    let n = h.num_nodes();
+    let edits = ((n as f64 * edit_rate).round() as usize).max(1);
+    if clustered.is_none() {
+        return (edits, h.nodes().collect(), h.nets().collect());
+    }
+    let want = (edits * 4).clamp(8, n);
+    let mut pool: Vec<NodeId> = Vec::with_capacity(want);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let start = NodeId::new(rng.random_range(0..n));
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        pool.push(v);
+        if pool.len() >= want {
+            break;
+        }
+        for &e in h.node_nets(v) {
+            for &p in h.net_pins(e) {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+    let mut net_seen = vec![false; h.num_nets()];
+    let mut nets: Vec<NetId> = Vec::new();
+    for &v in &pool {
+        for &e in h.node_nets(v) {
+            if !net_seen[e.index()] {
+                net_seen[e.index()] = true;
+                nets.push(e);
+            }
+        }
+    }
+    (edits, pool, nets)
+}
+
+fn build_script<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    edits: usize,
+    pool: &[NodeId],
+    nets: &[NetId],
+    rng: &mut R,
+) -> NetlistDelta {
+    let n = h.num_nodes();
+    let m = h.num_nets();
+    let mut d = NetlistDelta::for_graph(h);
+
+    let mut node_removed = vec![false; n];
+    let mut net_removed = vec![false; m];
+    let mut alive_nodes = n;
+    let mut added_nodes: Vec<NodeId> = Vec::new();
+
+    // Bounded rejection sampling for a surviving in-scope entity.
+    let pick_node = |rng: &mut R, removed: &[bool]| -> Option<NodeId> {
+        for _ in 0..16 {
+            let v = pool[rng.random_range(0..pool.len())];
+            if !removed[v.index()] {
+                return Some(v);
+            }
+        }
+        None
+    };
+    let pick_net = |rng: &mut R, removed: &[bool]| -> Option<NetId> {
+        if nets.is_empty() {
+            return None;
+        }
+        for _ in 0..16 {
+            let e = nets[rng.random_range(0..nets.len())];
+            if !removed[e.index()] {
+                return Some(e);
+            }
+        }
+        None
+    };
+
+    for _ in 0..edits {
+        let roll = rng.random_range(0u32..100);
+        match roll {
+            // 40%: resize a surviving node to 1 or 2.
+            0..=39 => {
+                if let Some(v) = pick_node(rng, &node_removed) {
+                    let size = rng.random_range(1u64..=2);
+                    let _ = d.resize_node(v, size);
+                }
+            }
+            // 20%: remove a surviving node (keep at least two alive).
+            40..=59 => {
+                if alive_nodes > 2 {
+                    if let Some(v) = pick_node(rng, &node_removed) {
+                        if d.remove_node(v).is_ok() {
+                            node_removed[v.index()] = true;
+                            alive_nodes -= 1;
+                        }
+                    }
+                }
+            }
+            // 15%: add a unit node wired to a surviving anchor.
+            60..=74 => {
+                if let Some(anchor) = pick_node(rng, &node_removed) {
+                    if let Ok(v) = d.add_node(1) {
+                        added_nodes.push(v);
+                        let _ = d.add_net(1.0, vec![anchor, v]);
+                    }
+                }
+            }
+            // 15%: reweight a surviving net.
+            75..=89 => {
+                if let Some(e) = pick_net(rng, &net_removed) {
+                    let cap = h.net_capacity(e) * rng.random_range(0.5f64..2.0);
+                    let _ = d.reweight_net(e, cap.max(1e-6));
+                }
+            }
+            // 5%: remove a surviving net.
+            90..=94 => {
+                if let Some(e) = pick_net(rng, &net_removed) {
+                    if d.remove_net(e).is_ok() {
+                        net_removed[e.index()] = true;
+                    }
+                }
+            }
+            // 5%: add a net between two distinct surviving nodes (base
+            // or freshly added).
+            _ => {
+                let a = pick_node(rng, &node_removed);
+                let b = if !added_nodes.is_empty() && rng.random_bool(0.5) {
+                    Some(added_nodes[rng.random_range(0..added_nodes.len())])
+                } else {
+                    pick_node(rng, &node_removed)
+                };
+                if let (Some(a), Some(b)) = (a, b) {
+                    if a != b {
+                        let _ = d.add_net(1.0, vec![a, b]);
+                    }
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htp_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_nodes(n);
+        for i in 0..n - 1 {
+            b.add_net(1.0, [NodeId::new(i), NodeId::new(i + 1)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generated_scripts_always_apply() {
+        let h = chain(40);
+        for seed in 0..50u64 {
+            for rate in [0.01, 0.05, 0.2, 0.5] {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let d = random_delta(&h, rate, &mut rng);
+                assert!(!d.is_empty());
+                let applied = d
+                    .apply(&h)
+                    .unwrap_or_else(|e| panic!("seed {seed} rate {rate}: {e}"));
+                assert!(applied.hypergraph.num_nodes() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_scripts_stay_in_one_neighborhood() {
+        let h = chain(100);
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = random_delta_clustered(&h, 0.03, &mut rng);
+            let applied = d.apply(&h).unwrap();
+            // 3 edits drawn from a BFS pool of 12 around one seed node: on
+            // a chain, every directly changed node sits in one short span.
+            let changed: Vec<usize> = (0..100)
+                .filter(|&i| {
+                    applied.report.node_map[i].is_none()
+                        || applied
+                            .report
+                            .touched_nodes
+                            .iter()
+                            .any(|v| applied.report.node_map[i] == Some(*v))
+                })
+                .collect();
+            let width = changed.last().unwrap_or(&0) - changed.first().unwrap_or(&0);
+            assert!(
+                width <= 24,
+                "seed {seed}: touched span {width} is not clustered ({changed:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let h = chain(24);
+        let d1 = random_delta(&h, 0.2, &mut StdRng::seed_from_u64(9));
+        let d2 = random_delta(&h, 0.2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(d1, d2);
+    }
+}

@@ -12,6 +12,15 @@
 //! The store is a plain most-recently-used vector: capacities are tens
 //! of entries, where the O(n) touch is cheaper than a linked-list LRU's
 //! pointer chasing and far simpler to audit.
+//!
+//! Entries also carry the job's own inputs (netlist text, spec shape)
+//! and the solve's converged per-net lengths. That turns the cache into
+//! the server's warm-start store — a resubmission naming a prior digest
+//! can diff its netlist against the entry's and take the incremental
+//! path — and makes entries self-describing enough to persist across a
+//! drain/restart cycle and re-certify on load.
+
+use crate::json::{obj, Json};
 
 /// One cached result.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,6 +30,18 @@ pub struct CacheEntry {
     /// The cost claimed when the entry was stored; re-certification
     /// cross-checks it.
     pub cost: f64,
+    /// The job's netlist in `.hgr` text form — the diff base for warm
+    /// resubmissions and the certification subject after a reload.
+    pub hgr: String,
+    /// Tree height of the job's spec.
+    pub height: usize,
+    /// Tree arity of the job's spec.
+    pub arity: usize,
+    /// Capacity slack of the job's spec.
+    pub slack: f64,
+    /// Converged per-net lengths — the warm-metric seed. Empty when the
+    /// producing route had none worth keeping.
+    pub lengths: Vec<f64>,
 }
 
 /// A bounded most-recently-used cache from job digest to result.
@@ -84,6 +105,85 @@ impl ResultCache {
     pub fn most_recent_mut(&mut self) -> Option<&mut CacheEntry> {
         self.entries.first_mut().map(|(_, e)| e)
     }
+
+    /// Serializes the cache (MRU first) for persistence across a
+    /// drain/restart cycle.
+    pub fn to_json(&self) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(digest, e)| {
+                obj(vec![
+                    ("digest", Json::Str(format!("{digest:032x}"))),
+                    ("tree", Json::Str(e.tree.clone())),
+                    ("cost", Json::Num(e.cost)),
+                    ("hgr", Json::Str(e.hgr.clone())),
+                    ("height", Json::Num(e.height as f64)),
+                    ("arity", Json::Num(e.arity as f64)),
+                    ("slack", Json::Num(e.slack)),
+                    (
+                        "lengths",
+                        Json::Arr(e.lengths.iter().map(|&d| Json::Num(d)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("version", Json::Num(1.0)),
+            ("entries", Json::Arr(entries)),
+        ])
+    }
+
+    /// Rebuilds a cache from a persisted document, keeping only entries
+    /// that `accept` vouches for (the server re-certifies each against
+    /// its own netlist). Malformed entries are skipped, not fatal: a
+    /// half-corrupt snapshot still warms whatever survives. Returns the
+    /// number of entries restored.
+    pub fn restore_from_json<F>(&mut self, doc: &Json, mut accept: F) -> usize
+    where
+        F: FnMut(&CacheEntry) -> bool,
+    {
+        let Some(Json::Arr(items)) = doc.get("entries") else {
+            return 0;
+        };
+        let mut restored = 0usize;
+        // The snapshot is MRU first; re-inserting in file order via `put`
+        // would reverse it, so fill the backing vector directly.
+        for item in items {
+            if self.entries.len() >= self.capacity {
+                break;
+            }
+            let Some((digest, entry)) = parse_entry(item) else {
+                continue;
+            };
+            if self.entries.iter().any(|(d, _)| *d == digest) || !accept(&entry) {
+                continue;
+            }
+            self.entries.push((digest, entry));
+            restored += 1;
+        }
+        restored
+    }
+}
+
+fn parse_entry(item: &Json) -> Option<(u128, CacheEntry)> {
+    let digest = u128::from_str_radix(item.get("digest")?.as_str()?, 16).ok()?;
+    let lengths = match item.get("lengths") {
+        Some(Json::Arr(xs)) => xs.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>()?,
+        _ => Vec::new(),
+    };
+    Some((
+        digest,
+        CacheEntry {
+            tree: item.get("tree")?.as_str()?.to_owned(),
+            cost: item.get("cost")?.as_f64()?,
+            hgr: item.get("hgr")?.as_str()?.to_owned(),
+            height: item.get("height")?.as_u64()? as usize,
+            arity: item.get("arity")?.as_u64()? as usize,
+            slack: item.get("slack")?.as_f64()?,
+            lengths,
+        },
+    ))
 }
 
 /// Digests a job's semantic inputs into a 128-bit key: two FNV-1a-64
@@ -131,6 +231,11 @@ mod tests {
         CacheEntry {
             tree: tag.to_owned(),
             cost: tag.len() as f64,
+            hgr: format!("net {tag}"),
+            height: 4,
+            arity: 2,
+            slack: 1.1,
+            lengths: vec![0.5, 1.5],
         }
     }
 
@@ -164,6 +269,55 @@ mod tests {
         let mut c = ResultCache::new(0);
         c.put(1, entry("a"));
         assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn persistence_round_trips_in_mru_order() {
+        let mut c = ResultCache::new(4);
+        c.put(1, entry("a"));
+        c.put(2, entry("b"));
+        c.put(3, entry("c"));
+        let doc = c.to_json();
+        let reparsed = Json::parse(&doc.to_string()).unwrap();
+        let mut back = ResultCache::new(4);
+        assert_eq!(back.restore_from_json(&reparsed, |_| true), 3);
+        // MRU order survives: 3 is still the freshest, so putting a new
+        // entry into a size-3 view would evict 1 first.
+        assert_eq!(back.entries[0].0, 3);
+        assert_eq!(back.entries[2].0, 1);
+        assert_eq!(back.get(2).unwrap(), entry("b"));
+    }
+
+    #[test]
+    fn restore_respects_capacity_and_the_acceptor() {
+        let mut c = ResultCache::new(8);
+        for d in 0..4u128 {
+            c.put(d, entry(&format!("e{d}")));
+        }
+        let doc = Json::parse(&c.to_json().to_string()).unwrap();
+        let mut small = ResultCache::new(2);
+        assert_eq!(small.restore_from_json(&doc, |_| true), 2);
+        assert_eq!(small.len(), 2);
+        let mut picky = ResultCache::new(8);
+        assert_eq!(
+            picky.restore_from_json(&doc, |e| e.tree == "e1"),
+            1,
+            "the acceptor filters entries"
+        );
+        assert_eq!(picky.get(1).unwrap().tree, "e1");
+    }
+
+    #[test]
+    fn restore_skips_malformed_entries() {
+        let doc = Json::parse(
+            "{\"entries\":[{\"digest\":\"zz\"},{\"digest\":\"ff\",\"tree\":\"t\",\
+             \"cost\":1.0,\"hgr\":\"h\",\"height\":2,\"arity\":2,\"slack\":1.1,\
+             \"lengths\":[1.0]}]}",
+        )
+        .unwrap();
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.restore_from_json(&doc, |_| true), 1);
+        assert_eq!(c.get(0xff).unwrap().tree, "t");
     }
 
     #[test]

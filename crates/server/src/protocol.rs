@@ -74,6 +74,12 @@ pub struct JobRequest {
     pub priority: i64,
     /// Route the job through the multilevel V-cycle instead of flat FLOW.
     pub multilevel: bool,
+    /// Digest (32 hex chars) of a previously served job this one is a
+    /// small edit of. On a cache miss the server diffs the two netlists
+    /// and warm-starts from the prior entry's partition and lengths
+    /// instead of solving from scratch. Unknown digests fall back to a
+    /// cold solve; flat-route only.
+    pub warm_digest: Option<String>,
 }
 
 impl Default for JobRequest {
@@ -87,6 +93,7 @@ impl Default for JobRequest {
             deadline_ms: None,
             priority: 0,
             multilevel: false,
+            warm_digest: None,
         }
     }
 }
@@ -125,6 +132,8 @@ pub struct StatsReply {
     pub retries: u64,
     /// Worker panics contained by the per-job isolation.
     pub panics_contained: u64,
+    /// Jobs that took the incremental (warm-started) path.
+    pub warm_starts: u64,
     /// Jobs currently queued or running.
     pub queue_depth: u64,
     /// Whether the server is draining.
@@ -146,6 +155,9 @@ pub struct ResultReply {
     pub certified: bool,
     /// Whether a decayed-budget second attempt ran.
     pub retried: bool,
+    /// Whether the result came out of the incremental (warm-started)
+    /// solver rather than a from-scratch one.
+    pub warm: bool,
     /// Wall-clock the job spent computing (0 for cache hits).
     pub job_ms: u64,
 }
@@ -214,6 +226,9 @@ impl Request {
                 if let Some(ms) = job.deadline_ms {
                     members.push(("deadline_ms", Json::Num(ms as f64)));
                 }
+                if let Some(digest) = &job.warm_digest {
+                    members.push(("warm_digest", Json::Str(digest.clone())));
+                }
                 obj(members)
             }
         }
@@ -267,6 +282,14 @@ impl Request {
                                 .ok_or_else(|| bad("`multilevel` must be a boolean"))?,
                             None => defaults.multilevel,
                         },
+                        warm_digest: match v.get("warm_digest") {
+                            Some(x) => Some(
+                                x.as_str()
+                                    .ok_or_else(|| bad("`warm_digest` must be a string"))?
+                                    .to_owned(),
+                            ),
+                            None => None,
+                        },
                     };
                 Ok(Request::Partition(Box::new(job)))
             }
@@ -292,6 +315,7 @@ impl Reply {
                 ("cache_corruptions", Json::Num(s.cache_corruptions as f64)),
                 ("retries", Json::Num(s.retries as f64)),
                 ("panics_contained", Json::Num(s.panics_contained as f64)),
+                ("warm_starts", Json::Num(s.warm_starts as f64)),
                 ("queue_depth", Json::Num(s.queue_depth as f64)),
                 ("draining", Json::Bool(s.draining)),
             ]),
@@ -303,6 +327,7 @@ impl Reply {
                 ("cached", Json::Bool(r.cached)),
                 ("certified", Json::Bool(r.certified)),
                 ("retried", Json::Bool(r.retried)),
+                ("warm", Json::Bool(r.warm)),
                 ("job_ms", Json::Num(r.job_ms as f64)),
             ]),
             Reply::Overloaded {
@@ -345,6 +370,7 @@ impl Reply {
                 cache_corruptions: u64_field(v, "cache_corruptions", 0)?,
                 retries: u64_field(v, "retries", 0)?,
                 panics_contained: u64_field(v, "panics_contained", 0)?,
+                warm_starts: u64_field(v, "warm_starts", 0)?,
                 queue_depth: u64_field(v, "queue_depth", 0)?,
                 draining: v.get("draining").and_then(Json::as_bool).unwrap_or(false),
             })),
@@ -366,6 +392,7 @@ impl Reply {
                 cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
                 certified: v.get("certified").and_then(Json::as_bool).unwrap_or(false),
                 retried: v.get("retried").and_then(Json::as_bool).unwrap_or(false),
+                warm: v.get("warm").and_then(Json::as_bool).unwrap_or(false),
                 job_ms: u64_field(v, "job_ms", 0)?,
             }))),
             "overloaded" => Ok(Reply::Overloaded {
@@ -436,6 +463,12 @@ mod tests {
                 deadline_ms: Some(50),
                 priority: -2,
                 multilevel: true,
+                warm_digest: None,
+            })),
+            Request::Partition(Box::new(JobRequest {
+                hgr: "3 2\n1 2\n2 3\n".into(),
+                warm_digest: Some("00ff00ff00ff00ff00ff00ff00ff00ff".into()),
+                ..JobRequest::default()
             })),
         ];
         for req in reqs {
@@ -456,6 +489,7 @@ mod tests {
         assert_eq!(job.arity, 2);
         assert_eq!(job.deadline_ms, None);
         assert!(!job.multilevel);
+        assert_eq!(job.warm_digest, None);
     }
 
     #[test]
@@ -466,6 +500,7 @@ mod tests {
                 accepted: 5,
                 shed: 1,
                 cache_hits: 2,
+                warm_starts: 3,
                 draining: true,
                 ..StatsReply::default()
             }),
@@ -476,6 +511,7 @@ mod tests {
                 cached: true,
                 certified: true,
                 retried: true,
+                warm: true,
                 job_ms: 48,
             })),
             Reply::Overloaded {

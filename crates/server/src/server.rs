@@ -36,6 +36,8 @@ use htp_cluster::pipeline::solve_budgeted;
 use htp_cluster::vcycle::{vcycle_partition_with_budget, VCycleParams};
 use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
 use htp_core::runtime::{Budget, CancelToken, RunOutcome};
+use htp_core::SpreadingMetric;
+use htp_eco::{warm_partition, TouchedReport, WarmPolicy};
 use htp_model::{io as tree_io, HierarchicalPartition, TreeSpec};
 use htp_netlist::{io::hgr, Hypergraph};
 use rand::rngs::StdRng;
@@ -82,6 +84,10 @@ pub struct ServerConfig {
     pub drain_deadline_ms: u64,
     /// Budget decay factor for the one-shot retry, in `(0, 1]`.
     pub retry_decay: f64,
+    /// When set, the certified cache is persisted here on a graceful
+    /// drain and reloaded (with per-entry re-certification) on startup,
+    /// so warm-start state survives a daemon restart.
+    pub cache_path: Option<String>,
     /// Scripted server-layer faults (tests only).
     #[cfg(feature = "fault-injection")]
     pub faults: ServerFaultPlan,
@@ -98,6 +104,7 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             drain_deadline_ms: 5_000,
             retry_decay: 0.5,
+            cache_path: None,
             #[cfg(feature = "fault-injection")]
             faults: ServerFaultPlan::default(),
         }
@@ -131,6 +138,22 @@ struct JobPayload {
     seed: u64,
     deadline_ms: Option<u64>,
     multilevel: bool,
+    // The job's raw inputs, kept so the cache entry stays
+    // self-describing (diff base for warm resubmissions, persistence).
+    hgr: String,
+    height: usize,
+    arity: usize,
+    slack: f64,
+    /// Prior state for an incremental solve, when the client named a
+    /// cached predecessor via `warm_digest`.
+    warm: Option<WarmContext>,
+}
+
+/// The prior state a warm resubmission solves from.
+struct WarmContext {
+    prior_partition: HierarchicalPartition,
+    prior_lengths: Vec<f64>,
+    report: TouchedReport,
 }
 
 struct QueuedJob {
@@ -173,6 +196,7 @@ struct Counters {
     cache_corruptions: AtomicU64,
     retries: AtomicU64,
     panics_contained: AtomicU64,
+    warm_starts: AtomicU64,
 }
 
 struct Shared {
@@ -194,6 +218,12 @@ struct JobSuccess {
     partition: HierarchicalPartition,
     cost: f64,
     outcome: RunOutcome,
+    /// Converged per-net lengths, when the producing route had them
+    /// (the warm solver); recomputed from the partition otherwise.
+    lengths: Option<Vec<f64>>,
+    /// Whether the incremental solver's genuine warm path produced this
+    /// (as opposed to a cold solve, or the warm policy's cold fallback).
+    warm: bool,
 }
 
 enum AttemptFailure {
@@ -253,6 +283,7 @@ impl Shared {
             cache_corruptions: self.counters.cache_corruptions.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
             panics_contained: self.counters.panics_contained.load(Ordering::Relaxed),
+            warm_starts: self.counters.warm_starts.load(Ordering::Relaxed),
             queue_depth: queued + self.in_flight.load(Ordering::Relaxed) as u64,
             draining: self.draining.load(Ordering::Acquire),
         }
@@ -344,6 +375,25 @@ impl Shared {
             }
         }
 
+        // A resubmission naming a cached predecessor takes the
+        // incremental path: diff the two netlists and hand the prior
+        // partition + converged lengths to the warm solver. An unknown or
+        // unusable predecessor silently degrades to a cold solve — the
+        // hint is an optimization, never a correctness input. Flat route
+        // only: the V-cycle has no warm entry point.
+        let warm = if req.multilevel {
+            None
+        } else {
+            req.warm_digest
+                .as_deref()
+                .and_then(|hex| u128::from_str_radix(hex, 16).ok())
+                .and_then(|prior| lock(&self.cache).get(prior))
+                .and_then(|entry| warm_context(&h, &entry))
+        };
+        if warm.is_some() {
+            self.counters.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+
         // Admission control, then enqueue under the same lock so the
         // measured depth stays consistent with the decision.
         let rx = {
@@ -369,6 +419,11 @@ impl Shared {
                     seed: req.seed,
                     deadline_ms: req.deadline_ms,
                     multilevel: req.multilevel,
+                    hgr: req.hgr,
+                    height: req.height,
+                    arity: req.arity,
+                    slack: req.slack,
+                    warm,
                 },
                 reply: tx,
             });
@@ -460,27 +515,57 @@ impl Shared {
                         partition: r.partition,
                         cost: r.cost,
                         outcome: r.outcome,
+                        lengths: None,
+                        warm: false,
                     })
+                    .map_err(|e| e.to_string())
+            } else if let Some(ctx) = &payload.warm {
+                let mut params = PartitionerParams::default();
+                params.flow.threads = threads;
+                warm_partition(
+                    &payload.h,
+                    &payload.spec,
+                    &params,
+                    &WarmPolicy::default(),
+                    &ctx.prior_partition,
+                    &ctx.prior_lengths,
+                    &ctx.report,
+                    &mut rng,
+                    &budget,
+                )
+                .map(|run| JobSuccess {
+                    partition: run.partition,
+                    cost: run.cost,
+                    outcome: run.outcome,
+                    lengths: Some(run.lengths),
+                    warm: run.warm,
+                })
+                .map_err(|e| e.to_string())
             } else {
                 let mut params = PartitionerParams::default();
                 params.flow.threads = threads;
-                let partitioner = FlowPartitioner::try_new(params)?;
-                solve_budgeted(&partitioner, &payload.h, &payload.spec, &mut rng, &budget).map(
-                    |(partition, outcome)| {
+                FlowPartitioner::try_new(params)
+                    .map_err(|e| e.to_string())
+                    .and_then(|partitioner| {
+                        solve_budgeted(&partitioner, &payload.h, &payload.spec, &mut rng, &budget)
+                            .map_err(|e| e.to_string())
+                    })
+                    .map(|(partition, outcome)| {
                         let cost =
                             htp_model::cost::partition_cost(&payload.h, &payload.spec, &partition);
                         JobSuccess {
                             partition,
                             cost,
                             outcome,
+                            lengths: None,
+                            warm: false,
                         }
-                    },
-                )
+                    })
             }
         }));
         match outcome {
             Ok(Ok(success)) => Ok(success),
-            Ok(Err(e)) => Err(AttemptFailure::Error(e.to_string())),
+            Ok(Err(e)) => Err(AttemptFailure::Error(e)),
             Err(_) => {
                 self.counters
                     .panics_contained
@@ -529,12 +614,26 @@ impl Shared {
         // Only complete results are worth remembering: a degraded
         // partition would poison every future duplicate.
         if success.outcome == RunOutcome::Complete {
+            // Routes without converged lengths (multilevel, cold-solve)
+            // still get a usable warm seed: the per-net cost the realized
+            // partition charges, which the warm solver treats as carried
+            // lengths to re-price from.
+            let lengths = success.lengths.clone().unwrap_or_else(|| {
+                SpreadingMetric::from_partition(&payload.h, &payload.spec, &success.partition)
+                    .lengths()
+                    .to_vec()
+            });
             let mut cache = lock(&self.cache);
             cache.put(
                 payload.digest,
                 CacheEntry {
                     tree: tree_io::to_string(&success.partition),
                     cost: success.cost,
+                    hgr: payload.hgr.clone(),
+                    height: payload.height,
+                    arity: payload.arity,
+                    slack: payload.slack,
+                    lengths,
                 },
             );
             #[cfg(feature = "fault-injection")]
@@ -551,9 +650,55 @@ impl Shared {
             cached: false,
             certified: true,
             retried,
+            warm: success.warm,
             job_ms,
         }))
     }
+}
+
+/// Builds the prior state a warm resubmission needs out of a cache
+/// entry. `None` (cold solve) when the entry cannot be reconstructed —
+/// the warm hint must never be able to fail a job.
+fn warm_context(new_h: &Hypergraph, entry: &CacheEntry) -> Option<WarmContext> {
+    let old_h = hgr::from_str(&entry.hgr).ok()?;
+    let prior_partition = tree_io::from_str(&entry.tree).ok()?;
+    if prior_partition.num_nodes() != old_h.num_nodes() {
+        return None;
+    }
+    let prior_lengths = if entry.lengths.len() == old_h.num_nets() {
+        entry.lengths.clone()
+    } else {
+        let spec = TreeSpec::full_tree(
+            old_h.total_size(),
+            entry.height,
+            entry.arity,
+            entry.slack,
+            1.0,
+        )
+        .ok()?;
+        SpreadingMetric::from_partition(&old_h, &spec, &prior_partition)
+            .lengths()
+            .to_vec()
+    };
+    let report = htp_eco::diff(&old_h, new_h);
+    Some(WarmContext {
+        prior_partition,
+        prior_lengths,
+        report,
+    })
+}
+
+/// `true` when a persisted cache entry still certifies against its own
+/// recorded inputs — the acceptance gate for reloading a snapshot.
+fn entry_certifies(entry: &CacheEntry) -> bool {
+    let Ok(h) = hgr::from_str(&entry.hgr) else {
+        return false;
+    };
+    let Ok(spec) = TreeSpec::full_tree(h.total_size(), entry.height, entry.arity, entry.slack, 1.0)
+    else {
+        return false;
+    };
+    certified_cache_reply(&h, &spec, entry).is_some()
 }
 
 /// Re-certifies a cache entry against the freshly parsed inputs; `None`
@@ -576,6 +721,7 @@ fn certified_cache_reply(h: &Hypergraph, spec: &TreeSpec, entry: &CacheEntry) ->
         cached: true,
         certified: true,
         retried: false,
+        warm: false,
         job_ms: 0,
     })))
 }
@@ -780,6 +926,17 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared::new(cfg));
+        // Reload a persisted cache snapshot, keeping only entries that
+        // still certify against their own recorded inputs. A missing or
+        // unreadable snapshot just means a cold cache — never a failed
+        // startup.
+        if let Some(path) = shared.cfg.cache_path.clone() {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(doc) = Json::parse(&text) {
+                    lock(&shared.cache).restore_from_json(&doc, entry_certifies);
+                }
+            }
+        }
         let workers = (0..shared.cfg.workers.max(1))
             .map(|_| {
                 let worker_shared = Arc::clone(&shared);
@@ -840,6 +997,16 @@ impl Server {
         let connections = std::mem::take(&mut *lock(&self.shared.connections));
         for conn in connections {
             let _ = conn.join();
+        }
+        // Persist the (now quiescent) cache atomically: write a sibling
+        // temp file, then rename over the target, so a crash mid-write
+        // can never leave a torn snapshot where a good one stood.
+        if let Some(path) = &self.shared.cfg.cache_path {
+            let doc = lock(&self.shared.cache).to_json().to_string();
+            let tmp = format!("{path}.tmp");
+            if std::fs::write(&tmp, doc).is_ok() {
+                let _ = std::fs::rename(&tmp, path);
+            }
         }
         DrainReport {
             forced,

@@ -1,11 +1,13 @@
 //! End-to-end behaviour of the job server over real sockets: complete
 //! jobs, certified cache hits, deadline degradation, load shedding,
-//! graceful and forced drain.
+//! graceful and forced drain, cache persistence across a restart, and
+//! incremental (warm-started) resubmissions.
 
 use std::time::{Duration, Instant};
 
 use htp_netlist::gen::rent::{rent_circuit, RentParams};
 use htp_netlist::io::hgr;
+use htp_server::cache::job_digest;
 use htp_server::protocol::StatsReply;
 use htp_server::{Client, JobRequest, Reply, Request, Server, ServerConfig};
 use rand::rngs::StdRng;
@@ -228,6 +230,121 @@ fn overload_sheds_with_a_typed_reply() {
     assert_eq!(stats.accepted, 1);
     let report = server.drain();
     assert_eq!(report.accepted, report.answered);
+}
+
+#[test]
+fn the_cache_survives_a_drain_restart_cycle() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("htp-server-cache-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = || ServerConfig {
+        cache_path: Some(path.to_str().unwrap().to_owned()),
+        ..ServerConfig::default()
+    };
+    let hgr_text = netlist_text(240, 19);
+
+    // First life: compute and cache one result, then drain.
+    let server = Server::serve(cfg()).unwrap();
+    let Reply::Result(first) = connect(&server).request(&job(&hgr_text, 6)).unwrap() else {
+        panic!("expected a result");
+    };
+    assert!(!first.cached);
+    server.drain();
+    assert!(path.exists(), "drain persisted the cache snapshot");
+
+    // Second life: the same job is served from the reloaded cache
+    // without touching the queue.
+    let server = Server::serve(cfg()).unwrap();
+    let Reply::Result(second) = connect(&server).request(&job(&hgr_text, 6)).unwrap() else {
+        panic!("expected a result");
+    };
+    assert!(second.cached, "the reloaded entry serves the duplicate");
+    assert!(second.certified);
+    assert_eq!(second.cost, first.cost);
+    assert_eq!(second.assignment, first.assignment);
+    let stats = stats_of(&server);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.accepted, 0);
+    server.drain();
+
+    // Third life, after snapshot corruption: startup shrugs it off and
+    // the job is simply recomputed.
+    std::fs::write(&path, "not json at all").unwrap();
+    let server = Server::serve(cfg()).unwrap();
+    let Reply::Result(third) = connect(&server).request(&job(&hgr_text, 6)).unwrap() else {
+        panic!("expected a result");
+    };
+    assert!(!third.cached, "a corrupt snapshot starts a cold cache");
+    assert!(third.certified);
+    server.drain();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_warm_resubmission_takes_the_incremental_path() {
+    let server = Server::serve(ServerConfig::default()).unwrap();
+    let hgr_text = netlist_text(240, 20);
+    let mut client = connect(&server);
+
+    let Reply::Result(first) = client.request(&job(&hgr_text, 3)).unwrap() else {
+        panic!("expected a result");
+    };
+    assert_eq!(first.outcome, "complete");
+    assert!(!first.warm, "a from-scratch solve is not warm");
+
+    // Edit the netlist slightly (one node, one net) and resubmit naming
+    // the prior digest: a cache miss, but not a cold solve.
+    let h = hgr::from_str(&hgr_text).unwrap();
+    let mut delta = htp_eco::NetlistDelta::for_graph(&h);
+    let v = delta.add_node(1).unwrap();
+    delta
+        .add_net(1.0, vec![htp_netlist::NodeId::new(0), v])
+        .unwrap();
+    let edited_text = hgr::to_string(&delta.apply(&h).unwrap().hypergraph);
+    let defaults = JobRequest::default();
+    let prior_digest = job_digest(&hgr_text, 3, defaults.arity, defaults.slack, 3, false);
+    let warm_req = Request::Partition(Box::new(JobRequest {
+        hgr: edited_text.clone(),
+        height: 3,
+        seed: 3,
+        warm_digest: Some(format!("{prior_digest:032x}")),
+        ..JobRequest::default()
+    }));
+    let Reply::Result(second) = client.request(&warm_req).unwrap() else {
+        panic!("expected a result");
+    };
+    assert_eq!(second.outcome, "complete");
+    assert!(!second.cached, "an edited netlist cannot hit the cache");
+    assert!(
+        second.certified,
+        "incremental results are certified like any other"
+    );
+    assert_eq!(
+        second.assignment.lines().count(),
+        241,
+        "the result covers the edited netlist"
+    );
+    assert_eq!(stats_of(&server).warm_starts, 1);
+
+    // An unknown predecessor digest degrades silently to a cold solve.
+    let bogus_req = Request::Partition(Box::new(JobRequest {
+        hgr: edited_text,
+        height: 3,
+        seed: 4,
+        warm_digest: Some("f".repeat(32)),
+        ..JobRequest::default()
+    }));
+    let Reply::Result(third) = client.request(&bogus_req).unwrap() else {
+        panic!("expected a result");
+    };
+    assert_eq!(third.outcome, "complete");
+    assert!(!third.warm);
+    assert_eq!(
+        stats_of(&server).warm_starts,
+        1,
+        "an unknown digest is not a warm start"
+    );
+    server.drain();
 }
 
 #[test]

@@ -7,15 +7,16 @@
 //!               [--slack X] [--seed S] [--threads N] [--improve]
 //!               [--multilevel] [--coarsest-nodes N]
 //!               [--timeout-ms MS] [--max-rounds N]
+//!               [--warm-start prior.json] [--save-state state.json]
 //!               [--out assignment.txt]
 //! htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
 //! htp verify <netlist.hgr> <assignment.txt> [--tree partition.tree]
 //!            [--height H] [--arity K] [--slack X]
 //! htp serve [--addr A] [--workers N] [--threads N] [--watermark-ms MS]
-//!           [--deadline-ms MS] [--cache N] [--drain-ms MS]
+//!           [--deadline-ms MS] [--cache N] [--cache-path F] [--drain-ms MS]
 //! htp submit <addr> [netlist.hgr] [--ping|--stats] [--height H] [--arity K]
 //!            [--slack X] [--seed S] [--deadline-ms MS] [--priority P]
-//!            [--multilevel] [--out assignment.txt]
+//!            [--multilevel] [--warm-digest HEX] [--out assignment.txt]
 //! ```
 //!
 //! Netlists are read in hMETIS `.hgr` format; assignments are written as
@@ -39,13 +40,21 @@
 //! nodes. `--coarsest-nodes` sets the coarsening target. The same budget
 //! flags and exit codes apply.
 //!
+//! `partition --save-state` writes an incremental-repartitioning (ECO)
+//! state file next to the assignment: the netlist, spec shape, converged
+//! per-net lengths, and the partition tree. After editing the netlist, a
+//! later `partition --warm-start <state.json>` diffs the two netlists
+//! and re-solves incrementally — warm metric restarts on the touched
+//! frontier plus subtree salvage — instead of from scratch.
+//!
 //! `serve` runs the fault-tolerant partitioning job server; `submit`
 //! sends one job (or `--ping`/`--stats`) to a running server. The server
 //! drains gracefully on SIGINT or SIGTERM: it stops accepting, answers
 //! every accepted job (cancelling cooperatively past `--drain-ms`), and
 //! exits 0 on a clean drain or 3 when the drain had to force
 //! cancellation. `submit` exits 0 for a complete result, 3 for a
-//! degraded or cancelled one, 4 when the server sheds or drains the job,
+//! degraded or cancelled one, 4 when the server is unreachable or sheds
+//! or drains the job,
 //! and 1 on errors.
 
 use std::fs::File;
@@ -58,7 +67,7 @@ use htp::baselines::hfm::{improve, HfmParams};
 use htp::baselines::rfm::{rfm_partition, RfmParams};
 use htp::cluster::vcycle::{vcycle_partition_with_budget, VCycleParams};
 use htp::core::partitioner::{FlowPartitioner, PartitionerParams};
-use htp::core::{Budget, RunOutcome};
+use htp::core::{Budget, RunOutcome, SpreadingMetric};
 use htp::lp::cutting::{lower_bound, CuttingPlaneParams};
 use htp::model::{cost, validate, HierarchicalPartition, TreeSpec};
 use htp::netlist::gen::grid::{grid_array, GridParams};
@@ -76,6 +85,7 @@ usage:
                 [--slack X] [--seed S] [--threads N] [--improve]
                 [--multilevel] [--coarsest-nodes N]
                 [--timeout-ms MS] [--max-rounds N]
+                [--warm-start prior.json] [--save-state state.json]
                 [--out assignment.txt]
                 (--threads 0 uses all cores; the result is identical at
                  any thread count for a fixed seed. --multilevel runs the
@@ -84,7 +94,10 @@ usage:
                  coarsening target. --timeout-ms and --max-rounds bound
                  the flow engine: a bounded, cancelled, or degraded run
                  still writes the best partition found and exits with
-                 code 3. Ctrl-C cancels cooperatively.)
+                 code 3. Ctrl-C cancels cooperatively. --save-state
+                 records the solve as an ECO state file; --warm-start
+                 re-solves an edited netlist incrementally from one —
+                 flat flow only.)
   htp bound <netlist.hgr> [--height H] [--arity K] [--slack X]
   htp verify <netlist.hgr> <assignment.txt> [--tree partition.tree]
              [--height H] [--arity K] [--slack X]
@@ -94,15 +107,20 @@ usage:
               tree of --height; with --tree the saved partition tree is
               certified and cross-checked against the assignment.)
   htp serve [--addr A] [--workers N] [--threads N] [--watermark-ms MS]
-            [--deadline-ms MS] [--cache N] [--drain-ms MS]
+            [--deadline-ms MS] [--cache N] [--cache-path F] [--drain-ms MS]
             (partitioning job server; SIGINT/SIGTERM drains gracefully:
              exit 0 = clean drain, 3 = drain deadline forced
-             cancellation. Every accepted job is answered either way.)
+             cancellation. Every accepted job is answered either way.
+             --cache-path persists the certified cache across restarts,
+             re-certifying every reloaded entry.)
   htp submit <addr> [netlist.hgr] [--ping|--stats] [--height H] [--arity K]
              [--slack X] [--seed S] [--deadline-ms MS] [--priority P]
-             [--multilevel] [--out assignment.txt]
+             [--multilevel] [--warm-digest HEX] [--out assignment.txt]
              (submits one job; exit 0 = complete, 3 = degraded or
-              cancelled, 4 = shed or draining, 1 = error.)";
+              cancelled, 4 = unreachable, shed, or draining, 1 = error.
+              --warm-digest
+              names a previously served job this one is a small edit of,
+              so the server re-solves incrementally on a cache miss.)";
 
 /// Exit code for a run that ended early (deadline, round cap, or Ctrl-C)
 /// but still produced a valid best-so-far partition.
@@ -116,9 +134,9 @@ const EXIT_MALFORMED: u8 = 2;
 /// violates the specification.
 const EXIT_INVALID: u8 = 1;
 
-/// Exit code for `submit` when the server declined the job (load
-/// shedding or a drain in progress) — retry later, nothing is wrong with
-/// the job itself.
+/// Exit code for `submit` when the server was unreachable or declined
+/// the job (load shedding or a drain in progress) — retry later, nothing
+/// is wrong with the job itself.
 const EXIT_UNAVAILABLE: u8 = 4;
 
 /// First SIGINT or SIGTERM cancels the run cooperatively (the engine
@@ -267,6 +285,83 @@ fn spec_from(args: &Args, h: &Hypergraph) -> Result<TreeSpec, String> {
     TreeSpec::full_tree(h.total_size(), height, arity, slack, 1.0).map_err(|e| e.to_string())
 }
 
+/// A prior solve as `--save-state` records it and `--warm-start` reads
+/// it: the netlist, the converged per-net lengths, and the partition.
+struct EcoState {
+    h: Hypergraph,
+    lengths: Vec<f64>,
+    partition: HierarchicalPartition,
+}
+
+fn load_eco_state(path: &str) -> Result<EcoState, String> {
+    use htp::server::json::Json;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let field = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: missing string `{key}`"))
+    };
+    let h = hgr::from_str(field("hgr")?).map_err(|e| format!("{path}: bad netlist: {e}"))?;
+    let partition = htp::model::io::from_str(field("tree")?)
+        .map_err(|e| format!("{path}: bad partition tree: {e}"))?;
+    let lengths: Vec<f64> = match doc.get("lengths") {
+        Some(Json::Arr(xs)) => xs
+            .iter()
+            .map(Json::as_f64)
+            .collect::<Option<_>>()
+            .ok_or_else(|| format!("{path}: non-numeric entry in `lengths`"))?,
+        _ => return Err(format!("{path}: missing array `lengths`")),
+    };
+    if lengths.len() != h.num_nets() {
+        return Err(format!(
+            "{path}: {} lengths for a {}-net netlist",
+            lengths.len(),
+            h.num_nets()
+        ));
+    }
+    if partition.num_nodes() != h.num_nodes() {
+        return Err(format!(
+            "{path}: partition covers {} nodes but the netlist has {}",
+            partition.num_nodes(),
+            h.num_nodes()
+        ));
+    }
+    Ok(EcoState {
+        h,
+        lengths,
+        partition,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn save_eco_state(
+    path: &str,
+    h: &Hypergraph,
+    height: usize,
+    arity: usize,
+    slack: f64,
+    lengths: &[f64],
+    partition: &HierarchicalPartition,
+    cost: f64,
+) -> Result<(), String> {
+    use htp::server::json::{obj, Json};
+    let doc = obj(vec![
+        ("version", Json::Num(1.0)),
+        ("hgr", Json::Str(hgr::to_string(h))),
+        ("height", Json::Num(height as f64)),
+        ("arity", Json::Num(arity as f64)),
+        ("slack", Json::Num(slack)),
+        (
+            "lengths",
+            Json::Arr(lengths.iter().map(|&d| Json::Num(d)).collect()),
+        ),
+        ("tree", Json::Str(htp::model::io::to_string(partition))),
+        ("cost", Json::Num(cost)),
+    ]);
+    std::fs::write(path, doc.to_string()).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let h = read_netlist(args)?;
     println!("{}", NetlistStats::of(&h));
@@ -355,8 +450,15 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
     if coarsest_nodes.is_some() && !multilevel {
         return Err("--coarsest-nodes requires --multilevel".into());
     }
+    let warm_start = args.value("warm-start");
+    if warm_start.is_some() && (algo != "flow" || multilevel) {
+        return Err("--warm-start requires --algo flow without --multilevel".into());
+    }
     let mut rng = StdRng::seed_from_u64(seed);
 
+    // Converged per-net lengths of the winning solve, when the route
+    // produces them — the warm seed `--save-state` records.
+    let mut state_lengths: Option<Vec<f64>> = None;
     let mut outcome = RunOutcome::Complete;
     let partition: HierarchicalPartition =
         match algo {
@@ -394,12 +496,41 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
                     budget = budget.with_max_rounds(rounds);
                 }
                 signals::install(budget.cancel_token());
-                let run = FlowPartitioner::try_new(params)
-                    .map_err(|e| e.to_string())?
-                    .run_with_budget(&h, &spec, &mut rng, &budget)
+                if let Some(state_path) = warm_start {
+                    let prior = load_eco_state(state_path)?;
+                    let report = htp::eco::diff(&prior.h, &h);
+                    let run = htp::eco::warm_partition(
+                        &h,
+                        &spec,
+                        &params,
+                        &htp::eco::WarmPolicy::default(),
+                        &prior.partition,
+                        &prior.lengths,
+                        &report,
+                        &mut rng,
+                        &budget,
+                    )
                     .map_err(|e| e.to_string())?;
-                outcome = run.outcome;
-                run.result.partition
+                    eprintln!(
+                        "warm start from {state_path}: {} route, {}/{} nodes touched, \
+                         salvaged {} nodes",
+                        if run.warm { "warm" } else { "cold-fallback" },
+                        report.touched_nodes.len(),
+                        h.num_nodes(),
+                        run.salvage.salvaged_nodes
+                    );
+                    outcome = run.outcome;
+                    state_lengths = Some(run.lengths);
+                    run.partition
+                } else {
+                    let run = FlowPartitioner::try_new(params)
+                        .map_err(|e| e.to_string())?
+                        .run_with_budget(&h, &spec, &mut rng, &budget)
+                        .map_err(|e| e.to_string())?;
+                    outcome = run.outcome;
+                    state_lengths = Some(run.result.metric.lengths().to_vec());
+                    run.result.partition
+                }
             }
             "gfm" => gfm_partition(&h, &spec, GfmParams::default(), &mut rng)
                 .map_err(|e| e.to_string())?,
@@ -435,6 +566,27 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
         std::fs::write(path, htp::model::io::to_string(&partition))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote partition tree to {path}");
+    }
+
+    if let Some(path) = args.value("save-state") {
+        // Routes that never converge lengths (gfm/rfm, multilevel) still
+        // produce a usable warm seed from the partition itself.
+        let lengths = state_lengths.unwrap_or_else(|| {
+            SpreadingMetric::from_partition(&h, &spec, &partition)
+                .lengths()
+                .to_vec()
+        });
+        save_eco_state(
+            path,
+            &h,
+            args.parsed("height", 4)?,
+            args.parsed("arity", 2)?,
+            args.parsed("slack", 1.10)?,
+            &lengths,
+            &partition,
+            breakdown.total,
+        )?;
+        eprintln!("wrote ECO state to {path}");
     }
 
     // Dense leaf numbering in leaf-id order.
@@ -570,6 +722,7 @@ fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
         watermark_ms: args.parsed("watermark-ms", 30_000)?,
         default_deadline_ms: args.parsed("deadline-ms", 10_000)?,
         cache_capacity: args.parsed("cache", 64)?,
+        cache_path: args.value("cache-path").map(str::to_owned),
         drain_deadline_ms: args.parsed("drain-ms", 5_000)?,
         ..htp::server::ServerConfig::default()
     };
@@ -600,8 +753,18 @@ fn cmd_submit(args: &Args) -> Result<ExitCode, String> {
     use htp::server::{Client, JobRequest, Reply, Request};
 
     let addr = args.positional.get(1).ok_or("missing server address")?;
-    let mut client =
-        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            // The most common cause is simply no daemon — say so plainly
+            // instead of surfacing a raw io error.
+            eprintln!(
+                "error: no server appears to be running at {addr} ({e});\n\
+                 start one with `htp serve --addr {addr}` and retry"
+            );
+            return Ok(ExitCode::from(EXIT_UNAVAILABLE));
+        }
+    };
 
     if args.flag("ping") {
         return match client.request(&Request::Ping) {
@@ -619,7 +782,7 @@ fn cmd_submit(args: &Args) -> Result<ExitCode, String> {
                 println!(
                     "accepted {}\ncompleted {}\ndegraded {}\ncancelled {}\nfailed {}\n\
                      shed {}\ncache_hits {}\ncache_corruptions {}\nretries {}\n\
-                     panics_contained {}\nqueue_depth {}\ndraining {}",
+                     panics_contained {}\nwarm_starts {}\nqueue_depth {}\ndraining {}",
                     s.accepted,
                     s.completed,
                     s.degraded,
@@ -630,6 +793,7 @@ fn cmd_submit(args: &Args) -> Result<ExitCode, String> {
                     s.cache_corruptions,
                     s.retries,
                     s.panics_contained,
+                    s.warm_starts,
                     s.queue_depth,
                     s.draining
                 );
@@ -667,6 +831,7 @@ fn cmd_submit(args: &Args) -> Result<ExitCode, String> {
         deadline_ms,
         priority: args.parsed("priority", 0)?,
         multilevel: args.flag("multilevel"),
+        warm_digest: args.value("warm-digest").map(str::to_owned),
     }));
     match client.request(&request) {
         Ok(Reply::Result(result)) => {
@@ -675,6 +840,7 @@ fn cmd_submit(args: &Args) -> Result<ExitCode, String> {
             println!("cached {}", result.cached);
             println!("certified {}", result.certified);
             println!("retried {}", result.retried);
+            println!("warm {}", result.warm);
             println!("job_ms {}", result.job_ms);
             if let Some(out) = args.value("out") {
                 std::fs::write(out, &result.assignment)

@@ -55,6 +55,7 @@
 pub use htp_baselines as baselines;
 pub use htp_cluster as cluster;
 pub use htp_core as core;
+pub use htp_eco as eco;
 pub use htp_graph as graph;
 pub use htp_lp as lp;
 pub use htp_model as model;

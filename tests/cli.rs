@@ -572,6 +572,98 @@ fn sigterm_cancels_cooperatively_like_sigint() {
     }
 }
 
+#[test]
+fn submit_without_a_server_says_so_with_exit_4() {
+    // Port 1 is reserved and never carries an htp daemon: the CLI must
+    // explain the situation instead of dumping a raw io error + usage.
+    let out = htp(&["submit", "127.0.0.1:1", "--ping"]);
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no server appears to be running"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("htp serve"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn warm_start_round_trips_through_a_saved_state_file() {
+    let netlist = tmp_path("warm.hgr");
+    let state = tmp_path("warm.state.json");
+    let out = htp(&[
+        "gen",
+        "rent:96",
+        "--seed",
+        "31",
+        "--out",
+        netlist.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // First run saves the ECO state (netlist + converged lengths + tree).
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+        "--seed",
+        "3",
+        "--save-state",
+        state.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("wrote ECO state"), "{stderr}");
+    assert!(state.exists());
+
+    // Resubmitting against the saved state takes the incremental path
+    // (the route report names the state file) and still emits a full,
+    // well-formed assignment.
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+        "--seed",
+        "3",
+        "--warm-start",
+        state.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("warm start from"), "{stderr}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 96);
+
+    // The hint is rejected off the flat flow route rather than ignored.
+    let out = htp(&[
+        "partition",
+        netlist.to_str().unwrap(),
+        "--algo",
+        "gfm",
+        "--height",
+        "2",
+        "--slack",
+        "1.3",
+        "--warm-start",
+        state.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--warm-start requires"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for path in [netlist, state] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 #[cfg(unix)]
 #[test]
 fn serve_submit_round_trip_drains_cleanly_on_sigterm() {
