@@ -7,17 +7,23 @@
 //! hand-rolled (the workspace vendors no serde); the schema is validated
 //! by CI's `bench-smoke` job.
 //!
-//! Usage: `trajectory [--quick] [--multilevel] [--out PATH]`
+//! Usage: `trajectory [--quick] [--multilevel] [--kernel] [--out PATH]`
 //!
 //! * `--quick` shrinks the instances for CI smoke runs (~400 nodes flat,
 //!   20k nodes multilevel).
 //! * `--multilevel` benchmarks the V-cycle engine on 100k-node instances
 //!   instead of the flat Algorithm-2 hot path, writing a per-level
 //!   time/cost breakdown to `BENCH_6.json`.
-//! * `--out PATH` changes the output path (default `BENCH_5.json`, or
-//!   `BENCH_6.json` with `--multilevel`).
+//! * `--kernel` sweeps the probe kernel across `threads = 1, 2, 4, 8`,
+//!   asserting the metric is bit-identical at every setting and recording
+//!   per-thread efficiency plus kernel-choice telemetry (dial vs heap
+//!   rounds, batched re-pricing time) to `BENCH_9.json`.
+//! * `--out PATH` changes the output path (default `BENCH_5.json`,
+//!   `BENCH_6.json` with `--multilevel`, or `BENCH_9.json` with
+//!   `--kernel`).
 //!
-//! Thread count comes from `HTP_THREADS` (default 1). The metric itself is
+//! Thread count comes from `HTP_THREADS` (default 1) except under
+//! `--kernel`, which sweeps its fixed ladder. The metric itself is
 //! bit-identical at any thread count; only wall-clock moves.
 
 use std::fmt::Write as _;
@@ -189,6 +195,173 @@ fn render(samples: &[Sample], threads: usize, quick: bool) -> String {
     out
 }
 
+/// One `(instance, threads)` cell of the `--kernel` sweep.
+struct KernelCell {
+    threads: usize,
+    metric_seconds: f64,
+    stats: InjectionStats,
+}
+
+/// One instance of the `--kernel` sweep: the thread ladder plus a single
+/// construction (timed at one thread — construction is single-threaded).
+struct KernelSample {
+    name: String,
+    nodes: usize,
+    nets: usize,
+    construct_seconds: f64,
+    cost: f64,
+    cells: Vec<KernelCell>,
+}
+
+/// Runs the metric phase at every thread count on the ladder, asserting
+/// the computed lengths are bit-identical throughout, and constructs once
+/// from the shared metric.
+fn measure_kernel_sweep(name: String, h: &Hypergraph, spec: &TreeSpec) -> KernelSample {
+    let mut cells = Vec::new();
+    let mut baseline: Option<htp_core::SpreadingMetric> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let params = FlowParams {
+            threads,
+            ..FlowParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+        let start = Instant::now();
+        let (metric, stats) = compute_spreading_metric(h, spec, params, &mut rng);
+        let metric_seconds = start.elapsed().as_secs_f64();
+        eprintln!(
+            "{name} T={threads}: metric {metric_seconds:.3}s \
+             ({} rounds: {} dial / {} heap, repricing {:.3}s)",
+            stats.rounds,
+            stats.dial_rounds,
+            stats.heap_rounds,
+            stats.repricing_time.as_secs_f64()
+        );
+        match &baseline {
+            None => baseline = Some(metric),
+            Some(first) => assert_eq!(
+                first.lengths(),
+                metric.lengths(),
+                "{name}: metric diverged at {threads} threads"
+            ),
+        }
+        cells.push(KernelCell {
+            threads,
+            metric_seconds,
+            stats,
+        });
+    }
+
+    let metric = baseline.expect("the ladder is non-empty");
+    // Re-derive the construction RNG exactly as `measure` does: the
+    // stream continues past the metric phase.
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+    let params = FlowParams {
+        threads: 1,
+        ..FlowParams::default()
+    };
+    let (_, _) = compute_spreading_metric(h, spec, params, &mut rng);
+    let start = Instant::now();
+    let partition =
+        construct_partition(h, spec, &metric, &mut rng).expect("construction must succeed");
+    let construct_seconds = start.elapsed().as_secs_f64();
+    validate::validate(h, spec, &partition).expect("construction output is feasible");
+    let cost = cost::partition_cost(h, spec, &partition);
+    eprintln!("{name}: construct {construct_seconds:.3}s, cost {cost}");
+
+    KernelSample {
+        name,
+        nodes: h.num_nodes(),
+        nets: h.num_nets(),
+        construct_seconds,
+        cost,
+        cells,
+    }
+}
+
+fn render_kernel(samples: &[KernelSample], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"trajectory-kernel\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"peak_rss_bytes\": {},", peak_rss_bytes());
+    out.push_str("  \"instances\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(&s.name));
+        let _ = writeln!(out, "      \"nodes\": {},", s.nodes);
+        let _ = writeln!(out, "      \"nets\": {},", s.nets);
+        let _ = writeln!(
+            out,
+            "      \"construct_seconds\": {:.6},",
+            s.construct_seconds
+        );
+        let _ = writeln!(out, "      \"cost\": {},", s.cost);
+        out.push_str("      \"threads\": [\n");
+        let t1 = s.cells.first().map_or(0.0, |c| c.metric_seconds);
+        for (j, c) in s.cells.iter().enumerate() {
+            let st = &c.stats;
+            let efficiency = if c.metric_seconds > 0.0 && c.threads > 0 {
+                t1 / (c.metric_seconds * c.threads as f64)
+            } else {
+                0.0
+            };
+            // Kernel choice is per-round: under `FrontierMode::Auto` the
+            // quantization probe decides each round, and these counters
+            // record the split.
+            let kernel = if st.dial_rounds == 0 {
+                "heap"
+            } else if st.heap_rounds == 0 {
+                "dial"
+            } else {
+                "mixed"
+            };
+            out.push_str("        {\n");
+            let _ = writeln!(out, "          \"threads\": {},", c.threads);
+            let _ = writeln!(
+                out,
+                "          \"metric_seconds\": {:.6},",
+                c.metric_seconds
+            );
+            let _ = writeln!(
+                out,
+                "          \"probe_seconds\": {:.6},",
+                st.probe_time.as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "          \"commit_seconds\": {:.6},",
+                st.commit_time.as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "          \"repricing_seconds\": {:.6},",
+                st.repricing_time.as_secs_f64()
+            );
+            let _ = writeln!(out, "          \"efficiency\": {efficiency:.6},");
+            let _ = writeln!(out, "          \"kernel\": \"{kernel}\",");
+            let _ = writeln!(out, "          \"dial_rounds\": {},", st.dial_rounds);
+            let _ = writeln!(out, "          \"heap_rounds\": {},", st.heap_rounds);
+            let _ = writeln!(out, "          \"rounds\": {},", st.rounds);
+            let _ = writeln!(out, "          \"probes\": {},", st.probes);
+            let _ = writeln!(out, "          \"converged\": {}", st.converged);
+            out.push_str(if j + 1 == s.cells.len() {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 == samples.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// One instance's multilevel (V-cycle) measurements.
 struct MlSample {
     name: String,
@@ -318,8 +491,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let multilevel = args.iter().any(|a| a == "--multilevel");
+    let kernel = args.iter().any(|a| a == "--kernel");
     let default_out = if multilevel {
         "BENCH_6.json"
+    } else if kernel {
+        "BENCH_9.json"
     } else {
         "BENCH_5.json"
     };
@@ -348,6 +524,20 @@ fn main() {
             samples.push(measure_multilevel(name, &h, &spec, threads));
         }
         render_multilevel(&samples, threads, quick)
+    } else if kernel {
+        // Same instances and seed as the flat trajectory, so BENCH_9's
+        // one-thread cells are directly comparable to BENCH_5.
+        let (rent_nodes, clusters, cluster_size) =
+            if quick { (400, 4, 100) } else { (2000, 8, 250) };
+        let mut samples = Vec::new();
+        for (name, h) in [
+            rent_instance(rent_nodes),
+            clustered_instance(clusters, cluster_size),
+        ] {
+            let spec = paper_spec(&h);
+            samples.push(measure_kernel_sweep(name, &h, &spec));
+        }
+        render_kernel(&samples, quick)
     } else {
         let (rent_nodes, clusters, cluster_size) =
             if quick { (400, 4, 100) } else { (2000, 8, 250) };

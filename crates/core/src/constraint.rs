@@ -7,10 +7,11 @@
 //! subsets (Claim 4 of Even et al.), so this oracle is both the separation
 //! routine of Algorithm 2 and the feasibility test behind Lemma 1/2.
 
+use htp_graph::{DialQueue, Frontier, IndexedMinHeap};
 use htp_model::{gfn, TreeSpec};
-use htp_netlist::{Hypergraph, NetId, NodeId};
+use htp_netlist::{CsrHypergraph, Hypergraph, NetId, NodeId};
 
-use crate::sptree::{GrowerScratch, TreeGrower, TreeStep};
+use crate::sptree::{CsrGrowerScratch, GrowerScratch, TreeGrower, TreeStep};
 use crate::SpreadingMetric;
 
 /// A shortest-path tree whose spreading constraint is violated.
@@ -101,6 +102,65 @@ impl ProbeScratch {
     /// so a probe that panicked mid-way self-heals on the next use — steps
     /// and nets are pushed *before* their slot markers are written, which
     /// makes the touched lists a complete record of every dirty slot.
+    fn reset(&mut self) {
+        for s in &self.steps {
+            self.index_of[s.node.index()] = usize::MAX;
+        }
+        self.steps.clear();
+        for e in &self.nets {
+            self.net_in_tree[e.index()] = false;
+            self.per_net[e.index()] = 0.0;
+        }
+        self.nets.clear();
+    }
+}
+
+/// Reusable buffers for the data-oriented violation oracle: a
+/// [`CsrGrowerScratch`] plus *both* frontier implementations and the same
+/// probe-level bookkeeping as [`ProbeScratch`]. Carrying the heap and the
+/// dial side by side lets the injector switch kernels per round (the
+/// quantization probe re-plans as the length spectrum evolves) without
+/// ever allocating; the unused frontier is just idle capacity.
+#[derive(Debug)]
+pub struct CsrProbeScratch {
+    grower: CsrGrowerScratch,
+    heap: IndexedMinHeap,
+    dial: DialQueue,
+    /// Settle-order index per node (`usize::MAX` when not in `steps`).
+    index_of: Vec<usize>,
+    /// Whether a net is already recorded in `nets`.
+    net_in_tree: Vec<bool>,
+    /// Per-net subtree-weight accumulator (zeroed outside `nets`).
+    per_net: Vec<f64>,
+    /// Settled steps of the current probe, in settle order.
+    steps: Vec<TreeStep>,
+    /// Distinct nets of the current tree, in first-use order.
+    nets: Vec<NetId>,
+}
+
+impl CsrProbeScratch {
+    /// Buffers sized for `csr`.
+    pub fn new(csr: &CsrHypergraph) -> Self {
+        CsrProbeScratch {
+            grower: CsrGrowerScratch::new(csr),
+            heap: IndexedMinHeap::new(csr.num_nodes()),
+            dial: DialQueue::new(csr.num_nodes(), 1.0, 1),
+            index_of: vec![usize::MAX; csr.num_nodes()],
+            net_in_tree: vec![false; csr.num_nets()],
+            per_net: vec![0.0; csr.num_nets()],
+            steps: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Re-parameterises the dial frontier for a new length spectrum (one
+    /// call per worker per round when the dial kernel is selected).
+    pub fn plan_dial(&mut self, width: f64, buckets: usize) {
+        self.dial.reconfigure(width, buckets);
+    }
+
+    /// Restores the pristine state in `O(touched)`; see
+    /// [`ProbeScratch::reset`] for the self-healing argument.
     fn reset(&mut self) {
         for s in &self.steps {
             self.index_of[s.node.index()] = usize::MAX;
@@ -261,6 +321,133 @@ pub fn probe_source(
                 "net weights must reconstruct the lhs: {} vs {lhs}",
                 tree.repriced_lhs(metric)
             );
+            return ProbeReport {
+                violation: Some(tree),
+                min_rel_slack,
+            };
+        }
+        if bound > 0.0 {
+            min_rel_slack = min_rel_slack.min((lhs - bound) / bound);
+        }
+        // Early exits: every remaining prefix is provably satisfied.
+        if lhs + tolerance >= g_total || step.dist >= max_slope {
+            break;
+        }
+    }
+    ProbeReport {
+        violation: None,
+        min_rel_slack,
+    }
+}
+
+/// [`probe_source`] over the flat CSR view — the data-oriented hot entry
+/// point. `use_dial` selects the frontier: the caller (the injector's
+/// per-round quantization probe) must have sized the dial via
+/// [`CsrProbeScratch::plan_dial`] first. Both paths run the identical
+/// probe arithmetic through `probe_csr_inner`; the monomorphised
+/// frontier is the only difference, and the frontier contract makes that
+/// difference unobservable.
+pub fn probe_source_csr(
+    csr: &CsrHypergraph,
+    spec: &TreeSpec,
+    source: NodeId,
+    tolerance: f64,
+    scratch: &mut CsrProbeScratch,
+    use_dial: bool,
+) -> ProbeReport {
+    scratch.reset();
+    let CsrProbeScratch {
+        grower,
+        heap,
+        dial,
+        index_of,
+        net_in_tree,
+        per_net,
+        steps,
+        nets,
+    } = scratch;
+    let mut probe = ProbeBuffers {
+        grower,
+        index_of,
+        net_in_tree,
+        per_net,
+        steps,
+        nets,
+    };
+    if use_dial {
+        probe_csr_inner(csr, spec, source, tolerance, &mut probe, dial)
+    } else {
+        probe_csr_inner(csr, spec, source, tolerance, &mut probe, heap)
+    }
+}
+
+/// The non-frontier parts of a [`CsrProbeScratch`], split out so the
+/// frontier can be borrowed alongside them.
+struct ProbeBuffers<'a> {
+    grower: &'a mut CsrGrowerScratch,
+    index_of: &'a mut Vec<usize>,
+    net_in_tree: &'a mut Vec<bool>,
+    per_net: &'a mut Vec<f64>,
+    steps: &'a mut Vec<TreeStep>,
+    nets: &'a mut Vec<NetId>,
+}
+
+/// The probe loop of [`probe_source`], verbatim, over a [`CsrHypergraph`]
+/// and any [`Frontier`]. Same accumulation order, same early exits, same
+/// violation construction — the kernel-equivalence suite pins the reports
+/// (and the settle sequences underneath them) bit-for-bit against the
+/// legacy kernel.
+fn probe_csr_inner<F: Frontier>(
+    csr: &CsrHypergraph,
+    spec: &TreeSpec,
+    source: NodeId,
+    tolerance: f64,
+    buf: &mut ProbeBuffers<'_>,
+    frontier: &mut F,
+) -> ProbeReport {
+    let g_total = gfn::spreading_bound(spec, csr.total_size());
+    let max_slope = max_bound_slope(spec, csr.total_size());
+    let ProbeBuffers {
+        grower,
+        index_of,
+        net_in_tree,
+        per_net,
+        steps,
+        nets,
+    } = buf;
+    let mut size = 0u64;
+    let mut lhs = 0.0;
+    let mut min_rel_slack = f64::INFINITY;
+    grower.start(frontier, source.0);
+    while let Some(step) = grower.step(csr, frontier) {
+        steps.push(step);
+        index_of[step.node.index()] = steps.len() - 1;
+        size += csr.node_size(step.node.0);
+        lhs += step.dist * csr.node_size(step.node.0) as f64;
+        if let Some(e) = step.via_net {
+            if !net_in_tree[e.index()] {
+                nets.push(e);
+                net_in_tree[e.index()] = true;
+            }
+        }
+        let bound = gfn::spreading_bound(spec, size);
+        if lhs + tolerance < bound {
+            let weight = steps
+                .iter()
+                .map(|s| csr.node_size(s.node.0) as f64)
+                .collect();
+            let net_weights =
+                subtree_net_weights(steps, |v| index_of[v.index()], weight, nets, per_net);
+            let nodes = steps.iter().map(|s| s.node).collect();
+            let tree = ViolatingTree {
+                source,
+                nodes,
+                nets: nets.clone(),
+                net_weights,
+                size,
+                lhs,
+                bound,
+            };
             return ProbeReport {
                 violation: Some(tree),
                 min_rel_slack,

@@ -23,29 +23,34 @@
 use rand::Rng;
 
 use htp_model::{HierarchicalPartition, PartitionBuilder, TreeSpec, VertexId};
-use htp_netlist::{Hypergraph, NodeId};
+use htp_netlist::{CsrHypergraph, Hypergraph, NodeId};
 
 use crate::findcut::{find_cut_scoped, FindCutScratch};
 use crate::runtime::Budget;
 use crate::{CoreError, SpreadingMetric};
 
 /// Reusable state for the in-place carve: the alive mask, the per-net
-/// alive-pin counts it implies, and the cut-growth scratch.
+/// alive-pin counts it implies, the flat incidence view every growth runs
+/// over, and the cut-growth scratch.
 struct CarveScratch {
     /// Whether each (original) node belongs to the region being split.
     alive: Vec<bool>,
     /// Number of alive pins of each (original) net.
     alive_pins: Vec<u32>,
+    /// Flat view of the host hypergraph with the metric lengths baked in,
+    /// built once per construction and shared by every carve.
+    csr: CsrHypergraph,
     /// Growth buffers shared by every `find_cut_scoped` call.
     cut: FindCutScratch,
 }
 
 impl CarveScratch {
     /// Creates the scratch with every node alive.
-    fn new(h: &Hypergraph) -> Self {
+    fn new(h: &Hypergraph, metric: &SpreadingMetric) -> Self {
         CarveScratch {
             alive: vec![true; h.num_nodes()],
             alive_pins: h.nets().map(|e| h.net_pins(e).len() as u32).collect(),
+            csr: CsrHypergraph::with_lengths(h, metric.lengths()),
             cut: FindCutScratch::new(h),
         }
     }
@@ -129,7 +134,7 @@ pub fn construct_partition_budgeted<R: Rng + ?Sized>(
 
     let mut b = PartitionBuilder::new(h.num_nodes(), top);
     let root = b.root();
-    let mut scratch = CarveScratch::new(h);
+    let mut scratch = CarveScratch::new(h, metric);
     let all: Vec<NodeId> = h.nodes().collect();
     split(
         &mut b,
@@ -137,7 +142,6 @@ pub fn construct_partition_budgeted<R: Rng + ?Sized>(
         top,
         h,
         all,
-        metric,
         spec,
         rng,
         budget,
@@ -357,7 +361,7 @@ pub fn construct_partition_salvaged<R: Rng + ?Sized>(
     // with the root's child budget reduced by the replayed count.
     let mut b = PartitionBuilder::new(h.num_nodes(), top);
     let root = b.root();
-    let mut scratch = CarveScratch::new(h);
+    let mut scratch = CarveScratch::new(h, metric);
     for c in &accepted {
         replay_subtree(&mut b, root, prior, c.vertex, node_map, &by_leaf)?;
         scratch.deactivate(h, &c.new_nodes);
@@ -370,7 +374,6 @@ pub fn construct_partition_salvaged<R: Rng + ?Sized>(
             top,
             h,
             rem,
-            metric,
             spec,
             rng,
             budget,
@@ -421,7 +424,6 @@ fn split<R: Rng + ?Sized>(
     level: usize,
     h: &Hypergraph,
     nodes: Vec<NodeId>,
-    metric: &SpreadingMetric,
     spec: &TreeSpec,
     rng: &mut R,
     budget: &Budget,
@@ -471,8 +473,7 @@ fn split<R: Rng + ?Sized>(
         let lb_floor = rem_size.saturating_sub((slots_left - 1) * ub).min(ub);
         let lb = lb_spec.max(lb_floor).min(ub);
         let mut cut = find_cut_scoped(
-            h,
-            metric,
+            &scratch.csr,
             &rem,
             &scratch.alive,
             &scratch.alive_pins,
@@ -489,8 +490,7 @@ fn split<R: Rng + ?Sized>(
             }
             let retry_lb = if attempt < 2 { lb } else { lb_floor };
             cut = find_cut_scoped(
-                h,
-                metric,
+                &scratch.csr,
                 &rem,
                 &scratch.alive,
                 &scratch.alive_pins,
@@ -522,7 +522,7 @@ fn split<R: Rng + ?Sized>(
     // The whole level is carved (and masked out); attach each block,
     // re-activating its nodes only for the recursive descent.
     for block in blocks {
-        attach_child(b, vertex, h, block, metric, spec, rng, budget, scratch)?;
+        attach_child(b, vertex, h, block, spec, rng, budget, scratch)?;
     }
     Ok(())
 }
@@ -538,7 +538,6 @@ fn attach_child<R: Rng + ?Sized>(
     parent: VertexId,
     h: &Hypergraph,
     block: Vec<NodeId>,
-    metric: &SpreadingMetric,
     spec: &TreeSpec,
     rng: &mut R,
     budget: &Budget,
@@ -563,7 +562,6 @@ fn attach_child<R: Rng + ?Sized>(
             child_level,
             h,
             block,
-            metric,
             spec,
             rng,
             budget,

@@ -26,10 +26,17 @@
 //! caller-maintained `alive_pins` table. This is what lets Algorithm 3
 //! carve a shrinking remainder in place instead of re-inducing a fresh
 //! hypergraph per child.
+//!
+//! The growth loop itself runs over a [`CsrHypergraph`] — the same flat
+//! incidence view the probe kernel uses, with the metric lengths baked into
+//! its `net_len` slab. The convenience entry points build the view
+//! internally (they are cold paths); [`find_cut_scoped`] takes a
+//! caller-shared `&CsrHypergraph` so Algorithm 3 flattens once per
+//! construction, not once per carve.
 
 use rand::{Rng, RngExt};
 
-use htp_netlist::{Hypergraph, NetId, NodeId};
+use htp_netlist::{CsrHypergraph, Hypergraph, NodeId};
 
 use crate::runtime::{Budget, Interrupt};
 use crate::SpreadingMetric;
@@ -113,9 +120,9 @@ impl FindCutScratch {
 /// whole-graph path pays nothing for the masked variant's existence.
 trait Scope: Copy {
     /// Is `v` part of the growable scope?
-    fn contains(self, v: NodeId) -> bool;
+    fn contains(self, v: u32) -> bool;
     /// Number of in-scope pins of `e`.
-    fn net_pins(self, h: &Hypergraph, e: NetId) -> u32;
+    fn net_pins(self, csr: &CsrHypergraph, e: u32) -> u32;
 }
 
 /// Every node and pin is visible.
@@ -124,12 +131,12 @@ struct FullScope;
 
 impl Scope for FullScope {
     #[inline]
-    fn contains(self, _v: NodeId) -> bool {
+    fn contains(self, _v: u32) -> bool {
         true
     }
     #[inline]
-    fn net_pins(self, h: &Hypergraph, e: NetId) -> u32 {
-        h.net_pins(e).len() as u32
+    fn net_pins(self, csr: &CsrHypergraph, e: u32) -> u32 {
+        csr.net_pins(e).len() as u32
     }
 }
 
@@ -143,12 +150,12 @@ struct MaskScope<'a> {
 
 impl Scope for MaskScope<'_> {
     #[inline]
-    fn contains(self, v: NodeId) -> bool {
-        self.alive[v.index()]
+    fn contains(self, v: u32) -> bool {
+        self.alive[v as usize]
     }
     #[inline]
-    fn net_pins(self, _h: &Hypergraph, e: NetId) -> u32 {
-        self.alive_pins[e.index()]
+    fn net_pins(self, _csr: &CsrHypergraph, e: u32) -> u32 {
+        self.alive_pins[e as usize]
     }
 }
 
@@ -199,30 +206,29 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
     budget: &Budget,
 ) -> Result<FindCutResult, Interrupt> {
     assert!(h.num_nodes() > 0, "cannot cut an empty hypergraph");
+    assert_eq!(
+        h.num_nets(),
+        metric.len(),
+        "metric/hypergraph net count mismatch"
+    );
+    let csr = CsrHypergraph::with_lengths(h, metric.lengths());
     let mut scratch = FindCutScratch::new(h);
     let pool: Vec<NodeId> = h.nodes().collect();
-    grow_cut(
-        h,
-        metric,
-        FullScope,
-        &pool,
-        lb,
-        ub,
-        rng,
-        budget,
-        &mut scratch,
-    )
+    grow_cut(&csr, FullScope, &pool, lb, ub, rng, budget, &mut scratch)
 }
 
 /// [`find_cut_budgeted`] restricted to the alive sub-hypergraph.
 ///
-/// `pool` lists exactly the alive nodes (any order); `alive` is the node
-/// mask over the host hypergraph and `alive_pins[e]` the number of alive
-/// pins of each net — the caller maintains both incrementally while
-/// carving. The growth never touches a dead node: dead pins neither join
-/// the frontier nor count toward a net's pin total, so the result is
-/// identical to running [`find_cut_budgeted`] on the induced sub-hypergraph
-/// (modulo node renaming and the random stream).
+/// `csr` is the flat view of the host hypergraph with the metric lengths
+/// already in its `net_len` slab (build it once per construction with
+/// [`CsrHypergraph::with_lengths`]). `pool` lists exactly the alive nodes
+/// (any order); `alive` is the node mask over the host hypergraph and
+/// `alive_pins[e]` the number of alive pins of each net — the caller
+/// maintains both incrementally while carving. The growth never touches a
+/// dead node: dead pins neither join the frontier nor count toward a net's
+/// pin total, so the result is identical to running [`find_cut_budgeted`]
+/// on the induced sub-hypergraph (modulo node renaming and the random
+/// stream).
 ///
 /// `scratch` is reset on entry in `O(touched)` and may be reused across
 /// calls with different masks.
@@ -236,8 +242,7 @@ pub fn find_cut_budgeted<R: Rng + ?Sized>(
 /// As [`find_cut`], with "empty hypergraph" meaning an empty `pool`.
 #[allow(clippy::too_many_arguments)]
 pub fn find_cut_scoped<R: Rng + ?Sized>(
-    h: &Hypergraph,
-    metric: &SpreadingMetric,
+    csr: &CsrHypergraph,
     pool: &[NodeId],
     alive: &[bool],
     alive_pins: &[u32],
@@ -249,14 +254,13 @@ pub fn find_cut_scoped<R: Rng + ?Sized>(
 ) -> Result<FindCutResult, Interrupt> {
     assert!(!pool.is_empty(), "cannot cut an empty hypergraph");
     let scope = MaskScope { alive, alive_pins };
-    grow_cut(h, metric, scope, pool, lb, ub, rng, budget, scratch)
+    grow_cut(csr, scope, pool, lb, ub, rng, budget, scratch)
 }
 
 /// The shared growth loop behind both public entry points.
 #[allow(clippy::too_many_arguments)]
 fn grow_cut<R: Rng + ?Sized, S: Scope>(
-    h: &Hypergraph,
-    metric: &SpreadingMetric,
+    csr: &CsrHypergraph,
     scope: S,
     pool: &[NodeId],
     lb: u64,
@@ -266,11 +270,6 @@ fn grow_cut<R: Rng + ?Sized, S: Scope>(
     scratch: &mut FindCutScratch,
 ) -> Result<FindCutResult, Interrupt> {
     assert!(lb <= ub, "empty size window [{lb}, {ub}]");
-    assert_eq!(
-        h.num_nets(),
-        metric.len(),
-        "metric/hypergraph net count mismatch"
-    );
 
     scratch.reset();
     let FindCutScratch {
@@ -289,17 +288,17 @@ fn grow_cut<R: Rng + ?Sized, S: Scope>(
     let mut cut = 0.0f64;
     let mut best: Option<(f64, usize)> = None; // (cut, prefix length)
 
-    let absorb = |v: NodeId,
+    let absorb = |v: u32,
                   in_set: &mut Vec<bool>,
                   inside: &mut Vec<u32>,
                   frontier: &mut IndexedMinHeap,
                   touched_nodes: &mut Vec<u32>,
                   touched_nets: &mut Vec<u32>,
                   cut: &mut f64| {
-        touched_nodes.push(v.index() as u32);
-        in_set[v.index()] = true;
-        for &e in h.node_nets(v) {
-            let pins = scope.net_pins(h, e);
+        touched_nodes.push(v);
+        in_set[v as usize] = true;
+        for &e in csr.node_nets(v) {
+            let pins = scope.net_pins(csr, e);
             if pins <= 1 {
                 // A net with one in-scope pin can never cross the block
                 // boundary; skipping it entirely (rather than adding and
@@ -308,28 +307,28 @@ fn grow_cut<R: Rng + ?Sized, S: Scope>(
                 // where such nets do not exist at all.
                 continue;
             }
-            if inside[e.index()] == 0 {
-                touched_nets.push(e.index() as u32);
+            if inside[e as usize] == 0 {
+                touched_nets.push(e);
             }
-            inside[e.index()] += 1;
-            let now_inside = inside[e.index()];
+            inside[e as usize] += 1;
+            let now_inside = inside[e as usize];
             if now_inside == 1 {
-                *cut += h.net_capacity(e);
+                *cut += csr.net_capacity(e);
                 // The net just reached the block: its (in-scope) outside
                 // pins become reachable at distance d(e).
-                for &w in h.net_pins(e) {
-                    if scope.contains(w) && !in_set[w.index()] {
-                        frontier.push_or_decrease(w.index(), metric.length(e));
+                for &w in csr.net_pins(e) {
+                    if scope.contains(w) && !in_set[w as usize] {
+                        frontier.push_or_decrease(w as usize, csr.net_len(e));
                     }
                 }
             }
             if now_inside == pins {
-                *cut -= h.net_capacity(e);
+                *cut -= csr.net_capacity(e);
             }
         }
     };
 
-    let start = pool[rng.random_range(0..pool.len())];
+    let start = pool[rng.random_range(0..pool.len())].index() as u32;
     let mut next = Some(start);
     let mut ticks: u32 = 0;
     while size < ub {
@@ -340,7 +339,7 @@ fn grow_cut<R: Rng + ?Sized, S: Scope>(
         let v = match next.take() {
             Some(v) => v,
             None => match frontier.pop() {
-                Some((idx, _)) => NodeId::new(idx),
+                Some((idx, _)) => idx as u32,
                 None => {
                     // Component exhausted: restart from a random untouched
                     // (and still fitting) node. Stale pool entries — already
@@ -350,13 +349,14 @@ fn grow_cut<R: Rng + ?Sized, S: Scope>(
                     let mut pick = None;
                     while !candidates.is_empty() {
                         let i = rng.random_range(0..candidates.len());
-                        let c = candidates[i] as usize;
-                        let stale =
-                            in_set[c] || skipped[c] || size + h.node_size(NodeId::new(c)) > ub;
+                        let c = candidates[i];
+                        let stale = in_set[c as usize]
+                            || skipped[c as usize]
+                            || size + csr.node_size(c) > ub;
                         if stale {
                             candidates.swap_remove(i);
                         } else {
-                            pick = Some(NodeId::new(c));
+                            pick = Some(c);
                             break;
                         }
                     }
@@ -367,15 +367,15 @@ fn grow_cut<R: Rng + ?Sized, S: Scope>(
                 }
             },
         };
-        if in_set[v.index()] || skipped[v.index()] {
+        if in_set[v as usize] || skipped[v as usize] {
             continue;
         }
-        if size + h.node_size(v) > ub {
+        if size + csr.node_size(v) > ub {
             // Absorbing v would overshoot the window; with non-unit sizes a
             // smaller frontier node may still fit, so skip v rather than
             // stopping (unit sizes never take this branch mid-growth).
-            touched_nodes.push(v.index() as u32);
-            skipped[v.index()] = true;
+            touched_nodes.push(v);
+            skipped[v as usize] = true;
             continue;
         }
         absorb(
@@ -387,8 +387,8 @@ fn grow_cut<R: Rng + ?Sized, S: Scope>(
             touched_nets,
             &mut cut,
         );
-        grown.push(v);
-        size += h.node_size(v);
+        grown.push(NodeId(v));
+        size += csr.node_size(v);
         if (lb..=ub).contains(&size) {
             let better = best.is_none_or(|(bc, _)| cut < bc);
             if better {
@@ -616,11 +616,11 @@ mod tests {
         let induced = h.induce_tracked(&keep);
         let m_local = m.restrict(&induced.net_map);
 
+        let csr = CsrHypergraph::with_lengths(h, m.lengths());
         let mut scratch = FindCutScratch::new(h);
         for seed in 0..6 {
             let r_scoped = find_cut_scoped(
-                h,
-                &m,
+                &csr,
                 &keep,
                 &alive,
                 &alive_pins,

@@ -60,10 +60,14 @@ use std::time::{Duration, Instant};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use htp_graph::{dial_plan, dial_plan_forced};
 use htp_model::TreeSpec;
-use htp_netlist::{Hypergraph, NodeId};
+use htp_netlist::{CsrHypergraph, Hypergraph, NodeId};
 
-use crate::constraint::{probe_source, probe_source_weighted, ProbeScratch, ViolatingTree};
+use crate::constraint::{
+    probe_source, probe_source_csr, probe_source_weighted, CsrProbeScratch, ProbeScratch,
+    ViolatingTree,
+};
 use crate::runtime::{Budget, Interrupt, InterruptCell};
 use crate::SpreadingMetric;
 
@@ -81,6 +85,30 @@ pub enum GrowthOrder {
     /// requires a full Dijkstra per probe.
     WeightedDistance,
 }
+
+/// Which frontier the data-oriented probe kernel uses.
+///
+/// The settle order is bit-identical under every setting (the frontier
+/// contract fixes the pop order), so this only ever changes wall-clock
+/// time. [`Auto`](FrontierMode::Auto) first defers to the `HTP_FRONTIER`
+/// environment variable (`"heap"` / `"dial"`, the CI matrix's override
+/// channel), then falls back to a per-round quantization probe of the
+/// metric's length spectrum ([`dial_plan`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FrontierMode {
+    /// `HTP_FRONTIER` env override if set, else the quantization probe.
+    #[default]
+    Auto,
+    /// Always the 4-ary indexed heap.
+    Heap,
+    /// Always the bucket/dial queue (with the bucket count clamped, so
+    /// wide spectra route through the overflow bucket instead of refusing).
+    Dial,
+}
+
+/// Cap on the dial queue's bucket-window size: spectra needing more
+/// buckets than this are not quantized enough for the dial to win.
+const DIAL_MAX_BUCKETS: usize = 4096;
 
 /// How the working set is scheduled across rounds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -132,6 +160,9 @@ pub struct FlowParams {
     /// on the calling thread, `0` uses all available parallelism. The
     /// computed metric is bit-identical at every setting.
     pub threads: usize,
+    /// Frontier selection for the probe kernel (see [`FrontierMode`]);
+    /// bit-identical results under every setting.
+    pub frontier: FrontierMode,
 }
 
 impl Default for FlowParams {
@@ -145,6 +176,7 @@ impl Default for FlowParams {
             order: GrowthOrder::Auto,
             schedule: ProbeSchedule::Adaptive,
             threads: 1,
+            frontier: FrontierMode::Auto,
         }
     }
 }
@@ -216,10 +248,19 @@ pub struct InjectionStats {
     /// cancellation interrupted it before convergence (`None` for a
     /// natural finish).
     pub interrupt: Option<Interrupt>,
+    /// Rounds probed with the bucket/dial frontier (kernel telemetry; a
+    /// deterministic function of the metric trajectory and the
+    /// [`FrontierMode`], so it participates in equality).
+    pub dial_rounds: usize,
+    /// Rounds probed with the indexed-heap frontier.
+    pub heap_rounds: usize,
     /// Wall-clock time spent in the (parallel) probe phases.
     pub probe_time: Duration,
     /// Wall-clock time spent in the sequential commit phases.
     pub commit_time: Duration,
+    /// Wall-clock time spent in the batched `exp(α·f/c)` re-pricing pass
+    /// at the start of each round (CSR kernel only).
+    pub repricing_time: Duration,
 }
 
 impl PartialEq for InjectionStats {
@@ -233,6 +274,8 @@ impl PartialEq for InjectionStats {
             && self.deferrals == other.deferrals
             && self.oracle_faults == other.oracle_faults
             && self.interrupt == other.interrupt
+            && self.dial_rounds == other.dial_rounds
+            && self.heap_rounds == other.heap_rounds
     }
 }
 
@@ -277,6 +320,14 @@ enum Probe {
     /// An injected oracle error (`fault-injection` harness only).
     #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
     OracleError,
+}
+
+/// Per-worker probe buffers, matching the kernel the run resolved to:
+/// the legacy pointer-walking oracle (weighted order) or the CSR kernel
+/// with both frontiers inline.
+enum KernelScratch {
+    Legacy(Box<ProbeScratch>),
+    Csr(Box<CsrProbeScratch>),
 }
 
 /// Relative slack below which a wasted node's backoff exponent grows at
@@ -449,6 +500,24 @@ fn run_injection<R: Rng + ?Sized>(
         GrowthOrder::Distance => false,
         GrowthOrder::WeightedDistance => true,
     };
+    // The flat CSR view serving the distance-order kernel (the 99.6%
+    // case). The weighted order needs the legacy grower, so it keeps the
+    // pointer-walking path. Lengths are re-priced in one flat pass per
+    // round; capacities are pre-extracted so that pass is slab-on-slab.
+    let mut csr = (!weighted).then(|| CsrHypergraph::new(h));
+    let caps: Vec<f64> = h.nets().map(|e| h.net_capacity(e)).collect();
+    // Frontier resolution: an explicit param wins, else the env override
+    // (the CI matrix channel), else the per-round quantization probe.
+    // `Some(true/false)` forces dial/heap; `None` re-plans each round.
+    let forced: Option<bool> = match params.frontier {
+        FrontierMode::Heap => Some(false),
+        FrontierMode::Dial => Some(true),
+        FrontierMode::Auto => match std::env::var("HTP_FRONTIER").as_deref() {
+            Ok("dial") => Some(true),
+            Ok("heap") => Some(false),
+            _ => None,
+        },
+    };
     // Shared by every probe worker; captures only immutable borrows, so it
     // can be called concurrently against the round's metric snapshot.
     let probe = |metric: &SpreadingMetric, v: NodeId, scratch: &mut ProbeScratch| {
@@ -464,13 +533,19 @@ fn run_injection<R: Rng + ?Sized>(
     // once any worker records a budget interrupt in `stop`. The fault
     // index is taken from the deterministic slot position, never from the
     // shared probe counter, so fault plans fire identically at any thread
-    // count.
+    // count. `csr`/`dial` arrive as per-call arguments (never captured) so
+    // the round loop stays free to re-price the slab between rounds.
     let run_chunk = |metric: &SpreadingMetric,
+                     csr: Option<&CsrHypergraph>,
+                     dial: Option<(f64, usize)>,
                      nodes: &[NodeId],
                      out: &mut [Probe],
                      base: u64,
-                     scratch: &mut ProbeScratch,
+                     scratch: &mut KernelScratch,
                      stop: &InterruptCell| {
+        if let (KernelScratch::Csr(s), Some((width, buckets))) = (&mut *scratch, dial) {
+            s.plan_dial(width, buckets);
+        }
         for (i, (v, slot)) in nodes.iter().zip(out.iter_mut()).enumerate() {
             if stop.get().is_some() {
                 return;
@@ -497,7 +572,13 @@ fn run_injection<R: Rng + ?Sized>(
                         panic!("injected probe fault at probe {_index}");
                     }
                 }
-                probe(metric, *v, scratch)
+                match scratch {
+                    KernelScratch::Csr(s) => {
+                        let view = csr.expect("CSR scratch requires the CSR view");
+                        probe_source_csr(view, spec, *v, params.tolerance, s, dial.is_some())
+                    }
+                    KernelScratch::Legacy(s) => probe(metric, *v, s),
+                }
             }));
             *slot = match outcome {
                 Ok(report) => match report.violation {
@@ -514,6 +595,16 @@ fn run_injection<R: Rng + ?Sized>(
             .unwrap_or(1),
         t => t,
     };
+    // One kernel scratch per potential worker plus the inline path,
+    // allocated once and reused across every round (the per-round
+    // allocation this replaces showed up at high thread counts).
+    let new_scratch = || match &csr {
+        Some(view) => KernelScratch::Csr(Box::new(CsrProbeScratch::new(view))),
+        None => KernelScratch::Legacy(Box::new(ProbeScratch::new(h))),
+    };
+    let mut inline_scratch = new_scratch();
+    let mut worker_scratches: Vec<KernelScratch> =
+        (0..threads.max(1)).map(|_| new_scratch()).collect();
 
     // Slack-aware scheduler state, slot-indexed by node id so the due/held
     // split of each round is a pure function of committed state — never of
@@ -528,7 +619,6 @@ fn run_injection<R: Rng + ?Sized>(
     let mut candidates: Vec<Probe> = Vec::new();
     let mut due: Vec<NodeId> = Vec::new();
     let mut held: Vec<NodeId> = Vec::new();
-    let mut inline_scratch = ProbeScratch::new(h);
     while !active.is_empty() && stats.rounds < params.max_rounds {
         // Select this round's due subset. Under the adaptive schedule the
         // virtual clock fast-forwards to the earliest due node, so rounds
@@ -563,6 +653,40 @@ fn run_injection<R: Rng + ?Sized>(
         stats.rounds += 1;
         due.shuffle(rng);
 
+        // Batched re-pricing: rebuild the CSR's length slab from the flow
+        // in one flat pass. `length_of` is a pure function of `(flow, c)`
+        // and the commit phase maintains `metric` through the identical
+        // expression, so the recomputed slab is bit-for-bit the metric —
+        // asserted below — while the pass itself is slab-on-slab and
+        // vectorizes.
+        let dial_geom = if let Some(view) = csr.as_mut() {
+            let reprice_start = Instant::now();
+            let lens = view.lengths_mut();
+            for (len, (&f, &c)) in lens.iter_mut().zip(flow.iter().zip(&caps)) {
+                *len = length_of(params.alpha, f, c);
+            }
+            stats.repricing_time += reprice_start.elapsed();
+            debug_assert_eq!(
+                view.lengths(),
+                metric.lengths(),
+                "batched re-pricing must reproduce the metric exactly"
+            );
+            // Kernel choice for the round: forced, or the quantization
+            // probe of the freshly priced spectrum.
+            match forced {
+                Some(true) => Some(dial_plan_forced(view.lengths(), DIAL_MAX_BUCKETS)),
+                Some(false) => None,
+                None => dial_plan(view.lengths(), DIAL_MAX_BUCKETS),
+            }
+        } else {
+            None
+        };
+        if csr.is_none() || dial_geom.is_none() {
+            stats.heap_rounds += 1;
+        } else {
+            stats.dial_rounds += 1;
+        }
+
         // Probe phase: every due node against the round-start snapshot.
         // `candidates[i]` is the probe result for `due[i]`; workers get
         // disjoint index ranges, so the outcome is independent of how many
@@ -573,9 +697,12 @@ fn run_injection<R: Rng + ?Sized>(
         let stop = InterruptCell::new();
         let probe_base = stats.probes as u64;
         let workers = threads.min(due.len());
+        let csr_ref = csr.as_ref();
         if workers <= 1 {
             run_chunk(
                 &metric,
+                csr_ref,
+                dial_geom,
                 &due,
                 &mut candidates,
                 probe_base,
@@ -586,15 +713,17 @@ fn run_injection<R: Rng + ?Sized>(
             let chunk = due.len().div_ceil(workers);
             let (metric_ref, stop_ref, run_ref) = (&metric, &stop, &run_chunk);
             std::thread::scope(|s| {
-                for (ci, (nodes, out)) in due
+                for ((ci, (nodes, out)), scratch) in due
                     .chunks(chunk)
                     .zip(candidates.chunks_mut(chunk))
                     .enumerate()
+                    .zip(worker_scratches.iter_mut())
                 {
                     s.spawn(move || {
-                        let mut scratch = ProbeScratch::new(h);
                         let base = probe_base + (ci * chunk) as u64;
-                        run_ref(metric_ref, nodes, out, base, &mut scratch, stop_ref);
+                        run_ref(
+                            metric_ref, csr_ref, dial_geom, nodes, out, base, scratch, stop_ref,
+                        );
                     });
                 }
             });

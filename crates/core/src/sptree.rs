@@ -13,8 +13,8 @@
 //! be relaxed only once — from its first settled pin — giving the
 //! `O((n + p) log n)` bound the paper quotes.
 
-use htp_graph::IndexedMinHeap;
-use htp_netlist::{Hypergraph, NetId, NodeId};
+use htp_graph::{Frontier, IndexedMinHeap};
+use htp_netlist::{CsrHypergraph, Hypergraph, NetId, NodeId};
 
 use crate::SpreadingMetric;
 
@@ -117,6 +117,124 @@ impl GrowerScratch {
             via_net: self.via[v],
             parent: self.parent[v],
         })
+    }
+}
+
+/// Sentinel for "no via-net / no parent" in the CSR scratch's raw arrays.
+const NONE32: u32 = u32::MAX;
+
+/// Reusable buffers for the data-oriented tree grower.
+///
+/// The CSR migration of [`GrowerScratch`]: the `via`/`parent` arrays store
+/// raw `u32` ids with a [`u32::MAX`] sentinel instead of `Option<NetId>` /
+/// `Option<NodeId>`, halving the bytes written per relaxation, and the
+/// frontier is *external* — passed into [`start`](CsrGrowerScratch::start)
+/// and [`step`](CsrGrowerScratch::step) as any [`Frontier`] — so the same
+/// scratch serves both the heap and the dial kernel. Reset stays
+/// `O(touched)` via the same touched-list discipline.
+#[derive(Debug)]
+pub struct CsrGrowerScratch {
+    dist: Vec<f64>,
+    via: Vec<u32>,
+    parent: Vec<u32>,
+    net_used: Vec<bool>,
+    touched_nodes: Vec<u32>,
+    touched_nets: Vec<u32>,
+}
+
+impl CsrGrowerScratch {
+    /// Buffers sized for `csr`.
+    pub fn new(csr: &CsrHypergraph) -> Self {
+        let n = csr.num_nodes();
+        CsrGrowerScratch {
+            dist: vec![f64::INFINITY; n],
+            via: vec![NONE32; n],
+            parent: vec![NONE32; n],
+            net_used: vec![false; csr.num_nets()],
+            touched_nodes: Vec::new(),
+            touched_nets: Vec::new(),
+        }
+    }
+
+    /// Buffers sized for `h` (same shape as its CSR view).
+    pub fn for_hypergraph(h: &Hypergraph) -> Self {
+        CsrGrowerScratch {
+            dist: vec![f64::INFINITY; h.num_nodes()],
+            via: vec![NONE32; h.num_nodes()],
+            parent: vec![NONE32; h.num_nodes()],
+            net_used: vec![false; h.num_nets()],
+            touched_nodes: Vec::new(),
+            touched_nets: Vec::new(),
+        }
+    }
+
+    /// Restores the pristine state, in `O(touched)`.
+    fn reset(&mut self) {
+        for &i in &self.touched_nodes {
+            self.dist[i as usize] = f64::INFINITY;
+            self.via[i as usize] = NONE32;
+            self.parent[i as usize] = NONE32;
+        }
+        self.touched_nodes.clear();
+        for &e in &self.touched_nets {
+            self.net_used[e as usize] = false;
+        }
+        self.touched_nets.clear();
+    }
+
+    /// Resets the scratch and `frontier` and seeds a tree at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range for the scratch's node count.
+    pub fn start<F: Frontier>(&mut self, frontier: &mut F, source: u32) {
+        assert!(
+            (source as usize) < self.dist.len(),
+            "source {source} out of range"
+        );
+        self.reset();
+        frontier.clear();
+        self.dist[source as usize] = 0.0;
+        self.touched_nodes.push(source);
+        frontier.push_or_decrease(source as usize, 0.0);
+    }
+
+    /// Settles the closest unsettled node, relaxing its fresh nets — the
+    /// same arithmetic, in the same order, as `GrowerScratch::step`; the
+    /// kernel-equivalence suite pins the two bit-for-bit.
+    pub fn step<F: Frontier>(&mut self, csr: &CsrHypergraph, frontier: &mut F) -> Option<TreeStep> {
+        let (v, dv) = frontier.pop()?;
+        for &e in csr.node_nets(v as u32) {
+            if self.net_used[e as usize] {
+                continue;
+            }
+            self.net_used[e as usize] = true;
+            self.touched_nets.push(e);
+            let cand = dv + csr.net_len(e);
+            for &w in csr.net_pins(e) {
+                if cand < self.dist[w as usize] {
+                    if self.dist[w as usize].is_infinite() {
+                        self.touched_nodes.push(w);
+                    }
+                    self.dist[w as usize] = cand;
+                    self.via[w as usize] = e;
+                    self.parent[w as usize] = v as u32;
+                    frontier.push_or_decrease(w as usize, cand);
+                }
+            }
+        }
+        Some(TreeStep {
+            node: NodeId::new(v),
+            dist: dv,
+            via_net: (self.via[v] != NONE32).then(|| NetId(self.via[v])),
+            parent: (self.parent[v] != NONE32).then(|| NodeId(self.parent[v])),
+        })
+    }
+
+    /// Distance of a node settled so far (`INFINITY` otherwise).
+    #[inline]
+    pub fn distance(&self, v: u32) -> f64 {
+        self.dist[v as usize]
     }
 }
 
@@ -333,6 +451,107 @@ mod tests {
         let (h, m) = chain(&[0.0, 0.0, 0.0]);
         let d = hypergraph_distances(&h, &m, NodeId(3));
         assert_eq!(d, vec![0.0; 4]);
+    }
+
+    /// Grows the full tree with the CSR kernel over `frontier`.
+    fn csr_steps<F: Frontier>(
+        csr: &CsrHypergraph,
+        scratch: &mut CsrGrowerScratch,
+        frontier: &mut F,
+        source: u32,
+    ) -> Vec<TreeStep> {
+        scratch.start(frontier, source);
+        std::iter::from_fn(|| scratch.step(csr, frontier)).collect()
+    }
+
+    #[test]
+    fn csr_kernel_matches_legacy_grower_step_for_step() {
+        let (h, m) = chain(&[3.0, 1.0, 1.0]);
+        let csr = CsrHypergraph::with_lengths(&h, m.lengths());
+        let mut scratch = CsrGrowerScratch::new(&csr);
+        let mut heap = IndexedMinHeap::new(h.num_nodes());
+        for source in 0..h.num_nodes() as u32 {
+            let legacy: Vec<TreeStep> = TreeGrower::new(&h, &m, NodeId(source)).collect();
+            let csr_run = csr_steps(&csr, &mut scratch, &mut heap, source);
+            assert_eq!(csr_run, legacy, "source {source}");
+        }
+    }
+
+    #[test]
+    fn csr_scratch_reuse_equals_fresh_across_same_shaped_graphs() {
+        // Satellite: a scratch carried from one graph to a *different*
+        // same-shaped graph must behave exactly like a fresh allocation.
+        let (h1, m1) = chain(&[3.0, 1.0, 1.0]);
+        let (h2, m2) = chain(&[0.5, 4.0, 0.25]);
+        let csr1 = CsrHypergraph::with_lengths(&h1, m1.lengths());
+        let csr2 = CsrHypergraph::with_lengths(&h2, m2.lengths());
+
+        let mut reused = CsrGrowerScratch::new(&csr1);
+        let mut heap = IndexedMinHeap::new(h1.num_nodes());
+        // Dirty the scratch thoroughly on graph 1 (full grow + a partial
+        // grow abandoned mid-way, leaving a non-empty frontier).
+        csr_steps(&csr1, &mut reused, &mut heap, 0);
+        reused.start(&mut heap, 1);
+        reused.step(&csr1, &mut heap);
+
+        for source in 0..h2.num_nodes() as u32 {
+            let mut fresh = CsrGrowerScratch::new(&csr2);
+            let mut fresh_heap = IndexedMinHeap::new(h2.num_nodes());
+            let want = csr_steps(&csr2, &mut fresh, &mut fresh_heap, source);
+            let got = csr_steps(&csr2, &mut reused, &mut heap, source);
+            assert_eq!(got, want, "reused scratch diverged at source {source}");
+        }
+    }
+
+    #[test]
+    fn csr_scratch_reset_is_o_touched_and_restores_pristine_state() {
+        // Satellite: the touched lists must cover exactly the dirtied
+        // slots, and reset must restore every slot without scanning the
+        // untouched remainder.
+        let mut b = HypergraphBuilder::with_unit_nodes(8);
+        b.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        b.add_net(1.0, [NodeId(1), NodeId(2)]).unwrap();
+        b.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        // Nodes 4..8 and net 3 form a disconnected island the grow from 0
+        // must never touch.
+        b.add_net(1.0, [NodeId(4), NodeId(5), NodeId(6), NodeId(7)])
+            .unwrap();
+        let h = b.build().unwrap();
+        let csr = CsrHypergraph::with_lengths(&h, &[1.0, 1.0, 1.0, 1.0]);
+        let mut s = CsrGrowerScratch::new(&csr);
+        let mut heap = IndexedMinHeap::new(csr.num_nodes());
+
+        // Partial grow: settle two nodes, then abandon.
+        s.start(&mut heap, 0);
+        s.step(&csr, &mut heap);
+        s.step(&csr, &mut heap);
+
+        // Every dirty slot is recorded in a touched list...
+        for v in 0..csr.num_nodes() {
+            let dirty = s.dist[v].is_finite() || s.via[v] != NONE32 || s.parent[v] != NONE32;
+            let listed = s.touched_nodes.contains(&(v as u32));
+            assert!(!dirty || listed, "node {v} dirty but not in touched_nodes");
+        }
+        for e in 0..csr.num_nets() {
+            assert!(
+                !s.net_used[e] || s.touched_nets.contains(&(e as u32)),
+                "net {e} used but not in touched_nets"
+            );
+        }
+        // ...and the island was never touched (the O(touched) bound).
+        assert!(s.touched_nodes.iter().all(|&v| v < 4));
+        assert!(s.touched_nets.iter().all(|&e| e < 3));
+        assert!(s.touched_nodes.len() <= 4 && s.touched_nets.len() <= 3);
+
+        // Reset restores every slot to pristine and empties the lists.
+        s.reset();
+        for v in 0..csr.num_nodes() {
+            assert!(s.dist[v].is_infinite(), "dist[{v}] not pristine");
+            assert_eq!(s.via[v], NONE32, "via[{v}] not pristine");
+            assert_eq!(s.parent[v], NONE32, "parent[{v}] not pristine");
+        }
+        assert!(s.net_used.iter().all(|&u| !u));
+        assert!(s.touched_nodes.is_empty() && s.touched_nets.is_empty());
     }
 
     proptest! {

@@ -1,0 +1,291 @@
+//! Differential kernel-equivalence suite: the CSR probe kernel (with
+//! either frontier) must be indistinguishable from the legacy
+//! `TreeGrower` path, step for step and bit for bit.
+//!
+//! Three layers of lockdown:
+//!
+//! 1. **Settle sequences** — the `(node, dist, via_net, parent)` stream of
+//!    the CSR kernel under the heap frontier AND under the dial frontier
+//!    equals the legacy grower's on every conformance family and on
+//!    proptest-generated hypergraphs (single-pin nets routed through
+//!    `add_net_lenient`, duplicate nets, zero-length nets).
+//! 2. **Probe reports** — `probe_source_csr` (heap and dial) reproduces
+//!    `probe_source`'s `ProbeReport` exactly, including the violating
+//!    tree's nets, weights and `f64` sums, under a spec with a
+//!    zero-weight level.
+//! 3. **Full pipeline** — `FlowPartitioner` digests are identical at 1, 2,
+//!    4, and 8 probe threads crossed with forced-heap and forced-dial
+//!    frontiers.
+//!
+//! `f64` equality throughout is exact (`==` / `assert_eq!` on the raw
+//! values, debug-formatted reports for the nested structs) — "close
+//! enough" would defeat the purpose of pinning the kernels together.
+
+use htp_core::constraint::{probe_source, probe_source_csr, CsrProbeScratch, ProbeScratch};
+use htp_core::injector::{FlowParams, FrontierMode};
+use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
+use htp_core::sptree::{CsrGrowerScratch, TreeGrower, TreeStep};
+use htp_core::SpreadingMetric;
+use htp_graph::{dial_plan_forced, DialQueue, Frontier, IndexedMinHeap};
+use htp_model::TreeSpec;
+use htp_netlist::{CsrHypergraph, Hypergraph, HypergraphBuilder, NodeId};
+use htp_verify::gen::all_families;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed shared with the conformance harness.
+const SEED: u64 = 1997;
+
+/// A settled node as a plain comparable record.
+type Step = (u32, f64, Option<u32>, Option<u32>);
+
+fn rec(s: TreeStep) -> Step {
+    (
+        s.node.0,
+        s.dist,
+        s.via_net.map(|e| e.0),
+        s.parent.map(|v| v.0),
+    )
+}
+
+/// Deterministic, quantized-ish positive lengths: a small set of distinct
+/// values so the dial queue gets real multi-key buckets and real ties.
+fn synthetic_lengths(nets: usize) -> Vec<f64> {
+    (0..nets)
+        .map(|e| 0.125 * ((e * 17) % 13 + 1) as f64)
+        .collect()
+}
+
+fn legacy_steps(h: &Hypergraph, m: &SpreadingMetric, source: NodeId) -> Vec<Step> {
+    TreeGrower::new(h, m, source).map(rec).collect()
+}
+
+fn csr_steps<F: Frontier>(csr: &CsrHypergraph, frontier: &mut F, source: u32) -> Vec<Step> {
+    let mut g = CsrGrowerScratch::new(csr);
+    g.start(frontier, source);
+    let mut out = Vec::new();
+    while let Some(s) = g.step(csr, frontier) {
+        out.push(rec(s));
+    }
+    out
+}
+
+/// Asserts all three kernels settle the identical sequence from `source`.
+fn assert_kernels_agree(h: &Hypergraph, lengths: &[f64], source: usize, what: &str) {
+    let m = SpreadingMetric::from_lengths(lengths.to_vec());
+    let csr = CsrHypergraph::with_lengths(h, lengths);
+    let want = legacy_steps(h, &m, NodeId::new(source));
+
+    let mut heap = IndexedMinHeap::new(h.num_nodes());
+    let got_heap = csr_steps(&csr, &mut heap, source as u32);
+    assert_eq!(
+        got_heap, want,
+        "{what}: csr+heap vs legacy, source {source}"
+    );
+
+    let (width, buckets) = dial_plan_forced(csr.lengths(), 4096);
+    let mut dial = DialQueue::new(h.num_nodes(), width, buckets);
+    let got_dial = csr_steps(&csr, &mut dial, source as u32);
+    assert_eq!(
+        got_dial, want,
+        "{what}: csr+dial vs legacy, source {source}"
+    );
+}
+
+#[test]
+fn settle_sequences_agree_on_every_conformance_family() {
+    for inst in all_families(SEED) {
+        let h = &inst.hypergraph;
+        let lengths = synthetic_lengths(h.num_nets());
+        for source in [0, h.num_nodes() / 2, h.num_nodes() - 1] {
+            assert_kernels_agree(h, &lengths, source, inst.family);
+        }
+    }
+}
+
+/// Debug formatting round-trips every distinct `f64` to a distinct
+/// string, so report equality below is bit-equality of all the sums.
+fn probe_all_sources(inst: &htp_verify::gen::Instance, tolerance: f64) {
+    let h = &inst.hypergraph;
+    let lengths = synthetic_lengths(h.num_nets());
+    let metric = SpreadingMetric::from_lengths(lengths.clone());
+    let csr = CsrHypergraph::with_lengths(h, &lengths);
+    let mut legacy = ProbeScratch::new(h);
+    let mut flat = CsrProbeScratch::new(&csr);
+    let (width, buckets) = dial_plan_forced(csr.lengths(), 4096);
+    flat.plan_dial(width, buckets);
+    for v in h.nodes() {
+        let want = format!(
+            "{:?}",
+            probe_source(h, &inst.spec, &metric, v, tolerance, &mut legacy)
+        );
+        let heap = format!(
+            "{:?}",
+            probe_source_csr(&csr, &inst.spec, v, tolerance, &mut flat, false)
+        );
+        assert_eq!(heap, want, "{}: csr+heap probe of {v:?}", inst.family);
+        let dial = format!(
+            "{:?}",
+            probe_source_csr(&csr, &inst.spec, v, tolerance, &mut flat, true)
+        );
+        assert_eq!(dial, want, "{}: csr+dial probe of {v:?}", inst.family);
+    }
+}
+
+#[test]
+fn probe_reports_agree_on_every_conformance_family() {
+    for inst in all_families(SEED) {
+        probe_all_sources(&inst, 1e-9);
+    }
+}
+
+/// FNV-1a, as in the conformance harness.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of (cost, per-node leaf rank), stable under vertex renumbering.
+fn digest(h: &Hypergraph, r: &htp_core::partitioner::FlowResult) -> u64 {
+    let leaves = r.partition.leaves();
+    let rank_of = |v| {
+        leaves
+            .iter()
+            .position(|&l| l == r.partition.leaf_of(v))
+            .expect("every node maps to a leaf") as u64
+    };
+    let mut acc = fnv1a(0xcbf2_9ce4_8422_2325, &r.cost.to_bits().to_le_bytes());
+    for v in h.nodes() {
+        acc = fnv1a(acc, &rank_of(v).to_le_bytes());
+    }
+    acc
+}
+
+#[test]
+fn full_pipeline_digests_are_identical_across_threads_and_frontiers() {
+    // Three families keep the 8-way matrix fast in debug; rent-like is
+    // the workhorse, the other two cover duplicate nets and zero-weight
+    // levels end to end.
+    for inst in all_families(SEED)
+        .into_iter()
+        .filter(|i| matches!(i.family, "rent-like" | "zero-weight" | "duplicate-nets"))
+    {
+        let mut baseline = None;
+        for threads in [1usize, 2, 4, 8] {
+            for frontier in [FrontierMode::Heap, FrontierMode::Dial] {
+                let params = PartitionerParams {
+                    iterations: 2,
+                    constructions_per_metric: 4,
+                    flow: FlowParams {
+                        threads,
+                        frontier,
+                        ..FlowParams::default()
+                    },
+                };
+                let result = FlowPartitioner::try_new(params)
+                    .expect("params are valid")
+                    .run(
+                        &inst.hypergraph,
+                        &inst.spec,
+                        &mut StdRng::seed_from_u64(SEED),
+                    )
+                    .expect("conformance families are solvable");
+                let d = digest(&inst.hypergraph, &result);
+                match baseline {
+                    None => baseline = Some(d),
+                    Some(want) => assert_eq!(
+                        d, want,
+                        "{}: digest diverged at threads={threads}, {frontier:?}",
+                        inst.family
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Builds a hypergraph from raw net descriptors, routing every net
+/// through `add_net_lenient` so single-pin (post-dedup) nets are legal
+/// input and simply dropped, exactly like production ingestion.
+fn build_lenient(nodes: usize, nets: &[(f64, Vec<usize>)]) -> Hypergraph {
+    let mut b = HypergraphBuilder::with_unit_nodes(nodes);
+    for (cap, pins) in nets {
+        let mut pins: Vec<NodeId> = pins.iter().map(|&p| NodeId::new(p % nodes)).collect();
+        pins.sort();
+        pins.dedup();
+        b.add_net_lenient(*cap, pins).expect("pins are in range");
+    }
+    b.build().expect("lenient nets always build")
+}
+
+/// Spec with a zero-weight middle level, exercised by every probe below.
+fn zero_weight_spec() -> TreeSpec {
+    TreeSpec::new(vec![(2, 2, 1.0), (8, 2, 0.0), (64, 4, 1.0)]).expect("spec is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_hypergraphs_settle_identically(
+        nodes in 2usize..24,
+        nets in proptest::collection::vec(
+            (0.1f64..4.0, proptest::collection::vec(0usize..24, 1..5)),
+            0..32,
+        ),
+        base in 0.0f64..2.0,
+        mult in 0.0f64..1.0,
+        source in 0usize..24,
+    ) {
+        let h = build_lenient(nodes, &nets);
+        // Quantized spectrum with occasional exact zeros and ties.
+        let lengths: Vec<f64> = (0..h.num_nets())
+            .map(|e| base + ((e * 7) % 5) as f64 * mult)
+            .collect();
+        assert_kernels_agree(&h, &lengths, source % nodes, "random");
+    }
+
+    #[test]
+    fn random_hypergraphs_probe_identically(
+        nodes in 2usize..20,
+        nets in proptest::collection::vec(
+            (0.1f64..4.0, proptest::collection::vec(0usize..20, 1..5)),
+            0..24,
+        ),
+        base in 0.0f64..2.0,
+        mult in 0.0f64..1.0,
+    ) {
+        let h = build_lenient(nodes, &nets);
+        let lengths: Vec<f64> = (0..h.num_nets())
+            .map(|e| base + ((e * 3) % 4) as f64 * mult)
+            .collect();
+        let spec = zero_weight_spec();
+        let metric = SpreadingMetric::from_lengths(lengths.clone());
+        let csr = CsrHypergraph::with_lengths(&h, &lengths);
+        let mut legacy = ProbeScratch::new(&h);
+        let mut flat = CsrProbeScratch::new(&csr);
+        let (width, buckets) = dial_plan_forced(csr.lengths(), 4096);
+        flat.plan_dial(width, buckets);
+        for v in h.nodes() {
+            let want = format!(
+                "{:?}",
+                probe_source(&h, &spec, &metric, v, 1e-9, &mut legacy)
+            );
+            let heap = format!(
+                "{:?}",
+                probe_source_csr(&csr, &spec, v, 1e-9, &mut flat, false)
+            );
+            prop_assert_eq!(&heap, &want, "csr+heap probe of {:?}", v);
+            let dial = format!(
+                "{:?}",
+                probe_source_csr(&csr, &spec, v, 1e-9, &mut flat, true)
+            );
+            prop_assert_eq!(&dial, &want, "csr+dial probe of {:?}", v);
+        }
+    }
+}

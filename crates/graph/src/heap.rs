@@ -98,6 +98,32 @@ impl IndexedMinHeap {
         }
     }
 
+    /// Decreases the key of an id already in the heap. An equal key is a
+    /// documented no-op (the entry keeps its slot and its tie-break rank).
+    ///
+    /// Unlike [`push_or_decrease`](IndexedMinHeap::push_or_decrease), which
+    /// silently ignores non-improving keys, this method enforces the
+    /// decrease contract and **panics on an increase** — callers that use
+    /// it assert they only ever relax keys downward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is NaN, if `id` is absent, or if `key` is larger
+    /// than the current key.
+    pub fn decrease_key(&mut self, id: usize, key: f64) {
+        assert!(!key.is_nan(), "heap keys must not be NaN");
+        assert!(self.contains(id), "decrease_key on an absent id {id}");
+        let cur = self.key[id];
+        assert!(
+            key <= cur,
+            "decrease_key must not increase a key: {key} > {cur}"
+        );
+        if key < cur {
+            self.key[id] = key;
+            self.sift_up(self.pos[id] as usize, id as u32);
+        }
+    }
+
     /// Removes and returns the `(id, key)` with the smallest key.
     pub fn pop(&mut self) -> Option<(usize, f64)> {
         let top = *self.heap.first()? as usize;
@@ -212,6 +238,32 @@ mod tests {
     }
 
     #[test]
+    fn decrease_key_to_equal_key_is_a_noop() {
+        let mut h = IndexedMinHeap::new(3);
+        h.push_or_decrease(0, 4.0);
+        h.push_or_decrease(1, 4.0);
+        h.decrease_key(1, 4.0); // equal key: must not disturb tie-break rank
+        assert_eq!(h.key(1), Some(4.0));
+        assert_eq!(h.pop(), Some((0, 4.0)));
+        assert_eq!(h.pop(), Some((1, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "decrease_key must not increase a key")]
+    fn decrease_key_panics_on_increase() {
+        let mut h = IndexedMinHeap::new(1);
+        h.push_or_decrease(0, 1.0);
+        h.decrease_key(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decrease_key on an absent id")]
+    fn decrease_key_panics_on_absent_id() {
+        let mut h = IndexedMinHeap::new(1);
+        h.decrease_key(0, 1.0);
+    }
+
+    #[test]
     fn clear_resets_membership() {
         let mut h = IndexedMinHeap::new(2);
         h.push_or_decrease(0, 1.0);
@@ -273,6 +325,31 @@ mod tests {
             }
             h.push_or_decrease(idx, 0.5); // smaller than every base key
             prop_assert_eq!(h.pop().map(|(i, _)| i), Some(idx));
+        }
+
+        #[test]
+        fn decrease_key_to_equal_key_changes_nothing(
+            base in proptest::collection::vec(1.0f64..1000.0, 2..60),
+            idx in 0usize..59,
+        ) {
+            // The no-op path: re-submitting an entry's exact current key
+            // through decrease_key must leave the pop sequence untouched.
+            let idx = idx % base.len();
+            let mut plain = IndexedMinHeap::new(base.len());
+            let mut touched = IndexedMinHeap::new(base.len());
+            for (i, &k) in base.iter().enumerate() {
+                plain.push_or_decrease(i, k);
+                touched.push_or_decrease(i, k);
+            }
+            touched.decrease_key(idx, base[idx]);
+            prop_assert_eq!(touched.key(idx), Some(base[idx]));
+            loop {
+                let (a, b) = (plain.pop(), touched.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

@@ -30,6 +30,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod dijkstra;
 pub mod expand;
+pub mod frontier;
 pub mod graph;
 pub mod heap;
 pub mod karger;
@@ -40,6 +41,7 @@ pub mod random;
 pub mod traversal;
 pub mod unionfind;
 
+pub use frontier::{dial_plan, dial_plan_forced, DialQueue, Frontier};
 pub use graph::{EdgeId, Graph};
 pub use heap::IndexedMinHeap;
 pub use unionfind::UnionFind;

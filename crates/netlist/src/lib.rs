@@ -36,6 +36,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod builder;
+pub mod csr;
 pub mod error;
 pub mod gen;
 pub mod hypergraph;
@@ -46,6 +47,7 @@ pub mod validate;
 mod ids;
 
 pub use builder::HypergraphBuilder;
+pub use csr::CsrHypergraph;
 pub use error::NetlistError;
 pub use hypergraph::{Hypergraph, InducedSubgraph};
 pub use ids::{NetId, NodeId};

@@ -17,7 +17,7 @@
 //! involved.
 
 use htp_model::TreeSpec;
-use htp_netlist::{Hypergraph, NodeId};
+use htp_netlist::{CsrHypergraph, Hypergraph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -72,7 +72,9 @@ pub fn shortest_distances(h: &Hypergraph, d: &[f64], source: NodeId) -> Vec<f64>
 
 /// [`shortest_distances`] writing into caller-owned buffers: `dist` is
 /// resized and overwritten, `scratch` is cleared and refilled. Repeated
-/// calls reuse every allocation.
+/// calls reuse every allocation (except the flat view, rebuilt per call —
+/// audits that sweep many sources should build one [`CsrHypergraph`] and
+/// call [`shortest_distances_csr`] directly).
 ///
 /// # Panics
 ///
@@ -85,41 +87,60 @@ pub fn shortest_distances_into(
     dist: &mut Vec<f64>,
 ) {
     assert_eq!(d.len(), h.num_nets(), "one length per net");
-    assert!(source.index() < h.num_nodes(), "source out of range");
+    let csr = CsrHypergraph::with_lengths(h, d);
+    shortest_distances_csr(&csr, source.index() as u32, scratch, dist);
+}
+
+/// The Dijkstra core, over a flat [`CsrHypergraph`] whose `net_len` slab
+/// holds the lengths: build the view once and sweep sources against it.
+/// Settle order is identical to [`shortest_distances`] — the view
+/// preserves the hypergraph's incidence order, and the arithmetic is the
+/// same `f64` sum in the same order.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn shortest_distances_csr(
+    csr: &CsrHypergraph,
+    source: u32,
+    scratch: &mut DistanceScratch,
+    dist: &mut Vec<f64>,
+) {
+    assert!((source as usize) < csr.num_nodes(), "source out of range");
     dist.clear();
-    dist.resize(h.num_nodes(), f64::INFINITY);
+    dist.resize(csr.num_nodes(), f64::INFINITY);
     let DistanceScratch {
         done,
         net_done,
         heap,
     } = scratch;
     done.clear();
-    done.resize(h.num_nodes(), false);
+    done.resize(csr.num_nodes(), false);
     net_done.clear();
-    net_done.resize(h.num_nets(), false);
+    net_done.resize(csr.num_nets(), false);
     heap.clear();
-    dist[source.index()] = 0.0;
+    dist[source as usize] = 0.0;
     heap.push(Reverse(HeapEntry {
         dist: 0.0,
-        node: source.index(),
+        node: source as usize,
     }));
     while let Some(Reverse(HeapEntry { dist: dv, node: v })) = heap.pop() {
         if done[v] {
             continue;
         }
         done[v] = true;
-        for &e in h.node_nets(NodeId::new(v)) {
-            if net_done[e.index()] {
+        for &e in csr.node_nets(v as u32) {
+            if net_done[e as usize] {
                 continue;
             }
-            net_done[e.index()] = true;
-            let through = dv + d[e.index()];
-            for &w in h.net_pins(e) {
-                if !done[w.index()] && through < dist[w.index()] {
-                    dist[w.index()] = through;
+            net_done[e as usize] = true;
+            let through = dv + csr.net_len(e);
+            for &w in csr.net_pins(e) {
+                if !done[w as usize] && through < dist[w as usize] {
+                    dist[w as usize] = through;
                     heap.push(Reverse(HeapEntry {
                         dist: through,
-                        node: w.index(),
+                        node: w as usize,
                     }));
                 }
             }
@@ -184,6 +205,8 @@ pub fn audit_metric<I>(
 where
     I: IntoIterator<Item = NodeId>,
 {
+    assert_eq!(d.len(), h.num_nets(), "one length per net");
+    let csr = CsrHypergraph::with_lengths(h, d);
     let mut worst_shortfall = 0.0f64;
     let mut worst_source = None;
     let mut sources_checked = 0;
@@ -192,7 +215,7 @@ where
     let mut order: Vec<usize> = Vec::new();
     for v in sources {
         sources_checked += 1;
-        shortest_distances_into(h, d, v, &mut scratch, &mut dist);
+        shortest_distances_csr(&csr, v.index() as u32, &mut scratch, &mut dist);
         // Prefixes of the distance order: sort reachable nodes by
         // distance (ties broken by index, matching the heap's order).
         order.clear();
@@ -293,6 +316,21 @@ mod tests {
                 shortest_distances_into(&star, &[1.5], NodeId::new(s), &mut scratch, &mut dist);
                 assert_eq!(dist, shortest_distances(&star, &[1.5], NodeId::new(s)));
             }
+        }
+    }
+
+    #[test]
+    fn a_shared_view_matches_the_per_call_wrappers() {
+        // One CsrHypergraph swept over every source must reproduce the
+        // allocating wrapper bit for bit (same settle order, same sums).
+        let h = path(&[1.0, 2.0, 0.5]);
+        let d = [1.0, 2.0, 0.5];
+        let csr = CsrHypergraph::with_lengths(&h, &d);
+        let mut scratch = DistanceScratch::default();
+        let mut dist = Vec::new();
+        for s in 0..h.num_nodes() {
+            shortest_distances_csr(&csr, s as u32, &mut scratch, &mut dist);
+            assert_eq!(dist, shortest_distances(&h, &d, NodeId::new(s)));
         }
     }
 

@@ -42,7 +42,7 @@ pub mod gen;
 
 pub use assignment::{parse_assignment, AssignmentError};
 pub use audit::{
-    audit_metric, shortest_distances, shortest_distances_into, spreading_bound, DistanceScratch,
-    MetricAudit,
+    audit_metric, shortest_distances, shortest_distances_csr, shortest_distances_into,
+    spreading_bound, DistanceScratch, MetricAudit,
 };
 pub use certificate::{certify, PartitionCertificate, Violation};
