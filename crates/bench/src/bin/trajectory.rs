@@ -11,15 +11,19 @@
 //!
 //! * `--quick` shrinks the instances for CI smoke runs (~400 nodes flat,
 //!   20k nodes multilevel).
-//! * `--multilevel` benchmarks the V-cycle engine on 100k-node instances
-//!   instead of the flat Algorithm-2 hot path, writing a per-level
-//!   time/cost breakdown to `BENCH_6.json`.
+//! * `--multilevel` benchmarks the V-cycle engine instead of the flat
+//!   Algorithm-2 hot path, writing a per-level time/cost/telemetry
+//!   breakdown to `BENCH_10.json`. Full mode runs rent:100000,
+//!   clustered:1000x100, and the rent:1000000 scale target; instances up
+//!   to 150k nodes additionally sweep the refinement pool across
+//!   `refine.threads = 1, 2, 4, 8`, asserting the partition digest is
+//!   bit-identical at every rung.
 //! * `--kernel` sweeps the probe kernel across `threads = 1, 2, 4, 8`,
 //!   asserting the metric is bit-identical at every setting and recording
 //!   per-thread efficiency plus kernel-choice telemetry (dial vs heap
 //!   rounds, batched re-pricing time) to `BENCH_9.json`.
 //! * `--out PATH` changes the output path (default `BENCH_5.json`,
-//!   `BENCH_6.json` with `--multilevel`, or `BENCH_9.json` with
+//!   `BENCH_10.json` with `--multilevel`, or `BENCH_9.json` with
 //!   `--kernel`).
 //!
 //! Thread count comes from `HTP_THREADS` (default 1) except under
@@ -362,6 +366,16 @@ fn render_kernel(samples: &[KernelSample], quick: bool) -> String {
     out
 }
 
+/// One rung of the refinement-pool thread ladder: the same V-cycle run
+/// with only `refine.threads` changed. The digest-equality assertion in
+/// [`measure_multilevel`] guarantees the partition is bit-identical, so
+/// only the timings vary.
+struct LadderCell {
+    threads: usize,
+    total_seconds: f64,
+    refine_seconds: f64,
+}
+
 /// One instance's multilevel (V-cycle) measurements.
 struct MlSample {
     name: String,
@@ -370,15 +384,40 @@ struct MlSample {
     total_seconds: f64,
     certified: bool,
     result: VCycleResult,
+    refine_ladder: Vec<LadderCell>,
 }
 
-fn measure_multilevel(name: String, h: &Hypergraph, spec: &TreeSpec, threads: usize) -> MlSample {
-    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
-    let mut params = VCycleParams::default();
-    params.partitioner.flow.threads = threads;
-    let start = Instant::now();
-    let result = vcycle_partition(h, spec, params, &mut rng).expect("V-cycle must succeed");
-    let total_seconds = start.elapsed().as_secs_f64();
+/// FNV-1a digest over the leaf assignment plus the exact cost bits: equal
+/// digests mean equal partitions for all practical purposes.
+fn partition_digest(h: &Hypergraph, r: &VCycleResult) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut d = 0xcbf2_9ce4_8422_2325u64;
+    for v in h.nodes() {
+        d ^= r.partition.leaf_of(v).index() as u64;
+        d = d.wrapping_mul(PRIME);
+    }
+    d ^= r.cost.to_bits();
+    d.wrapping_mul(PRIME)
+}
+
+fn measure_multilevel(
+    name: String,
+    h: &Hypergraph,
+    spec: &TreeSpec,
+    threads: usize,
+    ladder: bool,
+) -> MlSample {
+    let run_once = |refine_threads: usize| -> (VCycleResult, f64) {
+        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+        let mut params = VCycleParams::default();
+        params.partitioner.flow.threads = threads;
+        params.refine.threads = refine_threads;
+        let start = Instant::now();
+        let result = vcycle_partition(h, spec, params, &mut rng).expect("V-cycle must succeed");
+        (result, start.elapsed().as_secs_f64())
+    };
+
+    let (result, total_seconds) = run_once(threads);
     let cert = htp_verify::certificate::certify(h, spec, &result.partition);
     assert!(
         cert.is_valid(),
@@ -395,6 +434,32 @@ fn measure_multilevel(name: String, h: &Hypergraph, spec: &TreeSpec, threads: us
         result.cost,
         result.coarsest_cost
     );
+
+    let mut refine_ladder = Vec::new();
+    if ladder {
+        let baseline = partition_digest(h, &result);
+        for refine_threads in [1usize, 2, 4, 8] {
+            let (r, total) = run_once(refine_threads);
+            assert_eq!(
+                partition_digest(h, &r),
+                baseline,
+                "{name}: refinement diverged at {refine_threads} threads"
+            );
+            let refine_seconds: f64 = r.levels.iter().map(|l| l.refine_seconds).sum();
+            eprintln!(
+                "{name} refine T={refine_threads}: total {total:.3}s, refine {refine_seconds:.3}s \
+                 (digest identical)"
+            );
+            refine_ladder.push(LadderCell {
+                threads: refine_threads,
+                total_seconds: total,
+                refine_seconds,
+            });
+        }
+    } else {
+        eprintln!("{name}: refine-thread ladder skipped (instance above the 150k-node cap)");
+    }
+
     MlSample {
         name,
         nodes: h.num_nodes(),
@@ -402,6 +467,7 @@ fn measure_multilevel(name: String, h: &Hypergraph, spec: &TreeSpec, threads: us
         total_seconds,
         certified: cert.is_valid(),
         result,
+        refine_ladder,
     }
 }
 
@@ -409,7 +475,7 @@ fn render_multilevel(samples: &[MlSample], threads: usize, quick: bool) -> Strin
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"trajectory-multilevel\",");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"peak_rss_bytes\": {},", peak_rss_bytes());
@@ -437,6 +503,24 @@ fn render_multilevel(samples: &[MlSample], threads: usize, quick: bool) -> Strin
         let _ = writeln!(out, "      \"outcome\": \"{}\",", r.outcome);
         let _ = writeln!(out, "      \"certified\": {},", s.certified);
         let _ = writeln!(out, "      \"cost\": {},", r.cost);
+        out.push_str("      \"refine_ladder\": [\n");
+        for (j, c) in s.refine_ladder.iter().enumerate() {
+            out.push_str("        {\n");
+            let _ = writeln!(out, "          \"threads\": {},", c.threads);
+            let _ = writeln!(out, "          \"total_seconds\": {:.6},", c.total_seconds);
+            let _ = writeln!(
+                out,
+                "          \"refine_seconds\": {:.6},",
+                c.refine_seconds
+            );
+            let _ = writeln!(out, "          \"identical\": true");
+            out.push_str(if j + 1 == s.refine_ladder.len() {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        out.push_str("      ],\n");
         out.push_str("      \"levels\": [\n");
         for (j, lvl) in r.levels.iter().enumerate() {
             out.push_str("        {\n");
@@ -466,9 +550,22 @@ fn render_multilevel(samples: &[MlSample], threads: usize, quick: bool) -> Strin
             );
             let _ = writeln!(
                 out,
+                "          \"flow_pairs_skipped\": {},",
+                lvl.flow_pairs_skipped
+            );
+            let _ = writeln!(
+                out,
+                "          \"flow_skipped_gain_bound\": {},",
+                lvl.flow_skipped_gain_bound
+            );
+            let _ = writeln!(
+                out,
                 "          \"flow_moved_nodes\": {},",
                 lvl.flow_moved_nodes
             );
+            let _ = writeln!(out, "          \"frozen_fillers\": {},", lvl.frozen_fillers);
+            let _ = writeln!(out, "          \"merged_nets\": {},", lvl.merged_nets);
+            let _ = writeln!(out, "          \"dropped_nets\": {},", lvl.dropped_nets);
             let _ = writeln!(out, "          \"hfm_used\": {}", lvl.hfm_used);
             out.push_str(if j + 1 == r.levels.len() {
                 "        }\n"
@@ -493,7 +590,7 @@ fn main() {
     let multilevel = args.iter().any(|a| a == "--multilevel");
     let kernel = args.iter().any(|a| a == "--kernel");
     let default_out = if multilevel {
-        "BENCH_6.json"
+        "BENCH_10.json"
     } else if kernel {
         "BENCH_9.json"
     } else {
@@ -509,19 +606,25 @@ fn main() {
 
     let json = if multilevel {
         // V-cycle scale: the flat path tops out around 2k nodes; the
-        // multilevel engine is benchmarked at 20k (quick) / 100k nodes.
-        let (rent_nodes, clusters, cluster_size) = if quick {
-            (20_000, 200, 100)
+        // multilevel engine is benchmarked at 20k (quick) / 100k nodes,
+        // plus the 1M-node scale target in full mode. The refine-thread
+        // ladder (4 extra full runs per instance) is capped at 150k
+        // nodes so the 1M certification run happens exactly once.
+        const LADDER_MAX_NODES: usize = 150_000;
+        let instances = if quick {
+            vec![rent_instance(20_000), clustered_instance(200, 100)]
         } else {
-            (100_000, 1000, 100)
+            vec![
+                rent_instance(100_000),
+                clustered_instance(1000, 100),
+                rent_instance(1_000_000),
+            ]
         };
         let mut samples = Vec::new();
-        for (name, h) in [
-            rent_instance(rent_nodes),
-            clustered_instance(clusters, cluster_size),
-        ] {
+        for (name, h) in instances {
             let spec = paper_spec(&h);
-            samples.push(measure_multilevel(name, &h, &spec, threads));
+            let ladder = h.num_nodes() <= LADDER_MAX_NODES;
+            samples.push(measure_multilevel(name, &h, &spec, threads, ladder));
         }
         render_multilevel(&samples, threads, quick)
     } else if kernel {

@@ -32,6 +32,24 @@ impl Clustering {
     }
 }
 
+/// Nets of `h` in ascending congestion order (ties by net id) — the visit
+/// order of the capacitated Kruskal in [`agglomerate_ordered`].
+///
+/// Split out so callers that re-cluster the same graph several times (the
+/// V-cycle's cap-decay and adaptive-filler retries) sort once per level
+/// instead of once per attempt.
+pub fn net_order(h: &Hypergraph, profile: &CongestionProfile) -> Vec<usize> {
+    let util = profile.utilization(h);
+    let mut order: Vec<usize> = (0..h.num_nets()).collect();
+    order.sort_by(|&a, &b| {
+        util[a]
+            .partial_cmp(&util[b])
+            .expect("utilization is finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
 /// Clusters `h` by merging along nets in ascending congestion order, never
 /// letting a cluster exceed `max_cluster_size`.
 ///
@@ -44,7 +62,7 @@ pub fn agglomerate(
     profile: &CongestionProfile,
     max_cluster_size: u64,
 ) -> Clustering {
-    agglomerate_with_fillers(h, profile, max_cluster_size, 0)
+    agglomerate_ordered(h, &net_order(h, profile), &[], max_cluster_size)
 }
 
 /// Like [`agglomerate`], but every `filler_stride`-th node is frozen as a
@@ -65,23 +83,47 @@ pub fn agglomerate_with_fillers(
     max_cluster_size: u64,
     filler_stride: usize,
 ) -> Clustering {
+    let frozen: Vec<bool> = if filler_stride == 0 {
+        Vec::new()
+    } else {
+        (0..h.num_nodes())
+            .map(|v| v.is_multiple_of(filler_stride))
+            .collect()
+    };
+    agglomerate_ordered(h, &net_order(h, profile), &frozen, max_cluster_size)
+}
+
+/// The agglomeration core: merges along `order` (a permutation of the net
+/// ids, typically from [`net_order`]) under the size cap, keeping every
+/// node with `frozen[v]` set as a singleton cluster. `frozen` may be empty
+/// (nothing frozen); otherwise it must have one entry per node.
+///
+/// A frozen node never merges, so it stays the root of its own union-find
+/// class — checking the mask on class roots is exactly checking it on the
+/// original nodes.
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size` is smaller than some node, or if `frozen`
+/// is non-empty with the wrong length.
+pub fn agglomerate_ordered(
+    h: &Hypergraph,
+    order: &[usize],
+    frozen: &[bool],
+    max_cluster_size: u64,
+) -> Clustering {
     assert!(
         h.nodes().all(|v| h.node_size(v) <= max_cluster_size),
         "max_cluster_size must fit every single node"
     );
-    let util = profile.utilization(h);
-    let mut order: Vec<usize> = (0..h.num_nets()).collect();
-    order.sort_by(|&a, &b| {
-        util[a]
-            .partial_cmp(&util[b])
-            .expect("utilization is finite")
-            .then(a.cmp(&b))
-    });
-
-    let frozen = |v: usize| filler_stride != 0 && v.is_multiple_of(filler_stride);
+    assert!(
+        frozen.is_empty() || frozen.len() == h.num_nodes(),
+        "frozen mask must be empty or one entry per node"
+    );
+    let frozen = |v: usize| !frozen.is_empty() && frozen[v];
     let mut uf = UnionFind::new(h.num_nodes());
     let mut size: Vec<u64> = h.nodes().map(|v| h.node_size(v)).collect();
-    for e in order {
+    for &e in order {
         let pins = h.net_pins(htp_netlist::NetId::new(e));
         // Try to merge all pins pairwise into the first pin's cluster.
         for w in pins.windows(2) {
@@ -176,5 +218,26 @@ mod tests {
         let profile = flow_congestion(h, CongestionParams::default(), &mut rng);
         let clustering = agglomerate(h, &profile, 1);
         assert_eq!(clustering.count, h.num_nodes());
+    }
+
+    #[test]
+    fn frozen_mask_nodes_stay_singletons() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let inst = clustered_hypergraph(ClusteredParams::default(), &mut rng);
+        let h = &inst.hypergraph;
+        let profile = flow_congestion(h, CongestionParams::default(), &mut rng);
+        let order = net_order(h, &profile);
+        let frozen: Vec<bool> = (0..h.num_nodes()).map(|v| v % 3 == 0).collect();
+        let clustering = agglomerate_ordered(h, &order, &frozen, 16);
+        for (v, &f) in frozen.iter().enumerate() {
+            if f {
+                let c = clustering.cluster_of[v];
+                let members = clustering.cluster_of.iter().filter(|&&x| x == c).count();
+                assert_eq!(members, 1, "frozen node {v} merged");
+            }
+        }
+        // The stride wrapper is exactly the mask path.
+        let strided = agglomerate_with_fillers(h, &profile, 16, 3);
+        assert_eq!(strided.cluster_of, clustering.cluster_of);
     }
 }

@@ -1,4 +1,5 @@
-//! Flow-based boundary refinement (Heuer–Sanders–Schlag style).
+//! Flow-based boundary refinement (Heuer–Sanders–Schlag style), with a
+//! deterministic parallel proposal phase.
 //!
 //! For a pair of leaf blocks joined by cut nets, carve out the boundary
 //! region, model it as a Lawler flow network (each net becomes a
@@ -9,6 +10,36 @@
 //! *and* strictly lowers the exact multilevel cost — so refinement can
 //! never invalidate or worsen a partition, which is what lets the
 //! V-cycle certify after every level.
+//!
+//! # Parallel structure
+//!
+//! The pass follows the same speculative-probe/sequential-commit
+//! discipline as the metric injector's probe pool
+//! ([`htp_core::pool`]): the ranked pair list is greedily packed into
+//! **batches of vertex-disjoint pairs** (no leaf block appears twice in
+//! a batch, and a boundary region only ever contains nodes of its own
+//! two blocks, so regions in a batch cannot overlap). Each batch's
+//! Lawler gadgets are built and min-cut against the batch-start
+//! snapshot on a scoped worker pool, then the accepted moves are
+//! committed sequentially in the batch's fixed order, each re-validated
+//! exactly by the commit-time apply check. Proposals are a pure function
+//! of the snapshot and commits are ordered, so the refined partition is
+//! **bit-identical at any [`FlowRefineParams::threads`] setting**.
+//!
+//! # The estimated-gain gate
+//!
+//! A gadget whose min cut cannot beat the current pair cut is pure
+//! waste (BENCH_6 showed `24 tried / 0 accepted` at *every* rent
+//! level). Before running max-flow the engine bounds the achievable
+//! modeled gain: every net anchored out-of-region to **both** blocks is
+//! saturated in every s–t cut, so
+//! `upper_gain = Σ w(spanning nets) − Σ w(doubly anchored nets)`.
+//! When that bound is at most [`FlowRefineParams::min_gain`] the pair
+//! is skipped — counted in [`FlowRefineReport::pairs_skipped`], its
+//! discarded bound summed into
+//! [`FlowRefineReport::skipped_gain_bound`] — and the region-halving
+//! retries are skipped too (shrinking a region only adds anchors, so
+//! the bound can only fall).
 
 use std::collections::HashMap;
 
@@ -30,6 +61,14 @@ pub struct FlowRefineParams {
     /// Nets spanning more than this many leaves are ignored when ranking
     /// block pairs (they are cut whatever the pair decides).
     pub max_span_for_pairs: usize,
+    /// Skip a pair when the gadget's modeled gain upper bound is at most
+    /// this (see the [module docs](self)); `0.0` disables only for
+    /// exactly-zero bounds.
+    pub min_gain: f64,
+    /// Worker threads for the proposal phase: `1` proposes inline, `0`
+    /// uses all available parallelism. The refined partition is
+    /// bit-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for FlowRefineParams {
@@ -38,6 +77,8 @@ impl Default for FlowRefineParams {
             max_pairs: 24,
             max_region: 1500,
             max_span_for_pairs: 8,
+            min_gain: 1e-9,
+            threads: 1,
         }
     }
 }
@@ -45,16 +86,39 @@ impl Default for FlowRefineParams {
 /// What one flow-refinement pass did.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FlowRefineReport {
-    /// Block pairs examined.
+    /// Block pairs whose gadget went to the max-flow stage.
     pub pairs_tried: usize,
     /// Pairs whose min-cut move was feasible and strictly improving.
     pub pairs_accepted: usize,
+    /// Pairs skipped by the estimated-gain gate before max-flow.
+    pub pairs_skipped: usize,
+    /// Sum of the (non-negative) gain upper bounds the gate discarded;
+    /// stays near zero when the gate only skips genuinely hopeless pairs.
+    pub skipped_gain_bound: f64,
     /// Nodes that changed leaf.
     pub moved_nodes: usize,
     /// Total cost decrease (non-negative by construction).
     pub gain: f64,
     /// Set when the budget stopped the pass early.
     pub interrupt: Option<Interrupt>,
+}
+
+/// One refinement task: a ranked leaf pair plus the nets that spanned
+/// both of its blocks at pass start (the gadget seeds, ascending id).
+struct PairTask {
+    ra: usize,
+    rb: usize,
+    seeds: Vec<NetId>,
+}
+
+/// Outcome of one gadget proposal.
+enum Proposal {
+    /// Min-cut node moves `(node index, target rank)`.
+    Moves(Vec<(usize, usize)>),
+    /// The estimated-gain gate fired; carries the discarded bound.
+    Gated(f64),
+    /// No boundary, or the min cut moves nothing.
+    Empty,
 }
 
 /// Runs one flow-based boundary-refinement pass over the heaviest cut
@@ -79,31 +143,85 @@ pub fn flow_refine_pass(
     let engine = RefineEngine::new(h, spec, p);
     let mut state = RefineState::new(h, p);
 
-    let pairs = engine.ranked_pairs(&state, params);
-    for &(la, lb) in pairs.iter().take(params.max_pairs) {
+    let tasks = engine.ranked_tasks(&state, params);
+
+    // Greedy first-fit batching: a pair joins the earliest batch in which
+    // neither of its blocks already appears. Regions only contain nodes
+    // of their own two blocks, so pairs in a batch touch disjoint nodes.
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    let mut batch_ranks: Vec<Vec<usize>> = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let slot = batch_ranks
+            .iter()
+            .position(|ranks| !ranks.contains(&t.ra) && !ranks.contains(&t.rb));
+        match slot {
+            Some(b) => {
+                batches[b].push(i);
+                batch_ranks[b].extend([t.ra, t.rb]);
+            }
+            None => {
+                batches.push(vec![i]);
+                batch_ranks.push(vec![t.ra, t.rb]);
+            }
+        }
+    }
+
+    'pass: for batch in &batches {
         if let Err(irq) = budget.check_time() {
             report.interrupt = Some(irq);
-            break;
+            break 'pass;
         }
-        report.pairs_tried += 1;
-        // Region scaling: a min cut over a large region can propose a
-        // bulk move that no nearly-full block can absorb. Halving the
-        // region pulls the cut toward the current boundary (more anchors,
-        // smaller move sets) until a proposal fits the capacities.
-        let mut max_region = params.max_region;
-        for _ in 0..4 {
-            let Some(moves) = engine.propose(&state, la, lb, max_region) else {
-                break;
-            };
-            if let Some(gain) = state.try_apply(&engine, &moves) {
-                report.pairs_accepted += 1;
-                report.moved_nodes += moves.len();
-                report.gain += gain;
-                break;
-            }
-            max_region /= 2;
-            if max_region < 8 {
-                break;
+        // Proposal phase: every pair in the batch against the batch-start
+        // snapshot, on the shared scoped pool. Slot i belongs to pair
+        // batch[i], so the result vector is thread-count independent.
+        let state_ref = &state;
+        let proposals = htp_core::parallel_fill(batch.len(), params.threads, |i| {
+            let t = &tasks[batch[i]];
+            engine.propose(state_ref, t, params.max_region, params.min_gain)
+        });
+
+        // Commit phase: sequential, in the batch's fixed order, each
+        // proposal re-validated exactly against the *current* state.
+        for (&ti, proposal) in batch.iter().zip(proposals) {
+            let t = &tasks[ti];
+            match proposal {
+                Proposal::Gated(bound) => {
+                    report.pairs_skipped += 1;
+                    report.skipped_gain_bound += bound;
+                }
+                Proposal::Empty => report.pairs_tried += 1,
+                Proposal::Moves(moves) => {
+                    report.pairs_tried += 1;
+                    if let Some(gain) = state.try_apply(&engine, &moves) {
+                        report.pairs_accepted += 1;
+                        report.moved_nodes += moves.len();
+                        report.gain += gain;
+                        continue;
+                    }
+                    // Region scaling: a min cut over a large region can
+                    // propose a bulk move no nearly-full block absorbs.
+                    // Halving pulls the cut toward the boundary (more
+                    // anchors, smaller move sets) until a proposal fits.
+                    // Retries run inline against the current state, so
+                    // the commit order stays deterministic.
+                    let mut max_region = params.max_region / 2;
+                    while max_region >= 8 {
+                        match engine.propose(&state, t, max_region, params.min_gain) {
+                            Proposal::Moves(m) => {
+                                if let Some(gain) = state.try_apply(&engine, &m) {
+                                    report.pairs_accepted += 1;
+                                    report.moved_nodes += m.len();
+                                    report.gain += gain;
+                                    break;
+                                }
+                            }
+                            // Gated or empty at a smaller region: smaller
+                            // regions only lower the bound — stop.
+                            _ => break,
+                        }
+                        max_region /= 2;
+                    }
+                }
             }
         }
     }
@@ -191,8 +309,11 @@ impl<'a> RefineEngine<'a> {
         (0..div).map(|l| self.spec.weight(l) * c).sum()
     }
 
-    /// Leaf pairs joined by cut nets, heaviest total cut first.
-    fn ranked_pairs(&self, state: &RefineState, params: &FlowRefineParams) -> Vec<(usize, usize)> {
+    /// Leaf pairs joined by cut nets, heaviest total cut first, capped at
+    /// `max_pairs`, each carrying its seed nets (every net with pins in
+    /// both blocks at pass start, ascending id). Two net passes total,
+    /// instead of the old one-full-scan-per-pair seed search.
+    fn ranked_tasks(&self, state: &RefineState, params: &FlowRefineParams) -> Vec<PairTask> {
         let mut weight: HashMap<(usize, usize), f64> = HashMap::new();
         let mut spanned: Vec<usize> = Vec::new();
         for e in self.h.nets() {
@@ -217,19 +338,67 @@ impl<'a> RefineEngine<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.0.cmp(&b.0))
         });
-        pairs.into_iter().map(|(p, _)| p).collect()
+        let mut tasks: Vec<PairTask> = pairs
+            .into_iter()
+            .take(params.max_pairs)
+            .map(|((ra, rb), _)| PairTask {
+                ra,
+                rb,
+                seeds: Vec::new(),
+            })
+            .collect();
+
+        // Second pass: hand every net (any span — wide nets seed regions
+        // too) to each selected pair whose two blocks it touches.
+        let mut tasks_of_rank: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, t) in tasks.iter().enumerate() {
+            tasks_of_rank.entry(t.ra).or_default().push(i);
+            tasks_of_rank.entry(t.rb).or_default().push(i);
+        }
+        let mut hits: Vec<u8> = vec![0; tasks.len()];
+        let mut touched: Vec<usize> = Vec::new();
+        for e in self.h.nets() {
+            spanned.clear();
+            spanned.extend(self.h.net_pins(e).iter().map(|&v| state.rank[v.index()]));
+            spanned.sort_unstable();
+            spanned.dedup();
+            if spanned.len() < 2 {
+                continue;
+            }
+            for &r in &spanned {
+                if let Some(ids) = tasks_of_rank.get(&r) {
+                    for &i in ids {
+                        if hits[i] == 0 {
+                            touched.push(i);
+                        }
+                        hits[i] += 1;
+                    }
+                }
+            }
+            for &i in &touched {
+                if hits[i] == 2 {
+                    tasks[i].seeds.push(e);
+                }
+                hits[i] = 0;
+            }
+            touched.clear();
+        }
+        tasks
     }
 
-    /// Builds the boundary flow network for leaf pair `(ra, rb)` and
-    /// proposes the min-cut node moves. `None` when there is no boundary
-    /// or the cut moves nothing.
+    /// Builds the boundary flow network for the pair and proposes the
+    /// min-cut node moves, or gates the pair when the modeled gain bound
+    /// is at most `min_gain`. The seed list is a superset computed at
+    /// pass start; nets no longer spanning both blocks under `state` are
+    /// filtered here, so stale entries cost one pin scan.
     fn propose(
         &self,
         state: &RefineState,
-        ra: usize,
-        rb: usize,
+        task: &PairTask,
         max_region: usize,
-    ) -> Option<Vec<(usize, usize)>> {
+        min_gain: f64,
+    ) -> Proposal {
+        let (ra, rb) = (task.ra, task.rb);
         // Per-side regions, grown breadth-first from the boundary. Capping
         // each side separately keeps the movable mass balanced.
         let side_cap = (max_region / 2).max(4);
@@ -248,7 +417,7 @@ impl<'a> RefineEngine<'a> {
         };
 
         // Seeds: pins of the nets spanning both blocks.
-        for e in self.h.nets() {
+        for &e in &task.seeds {
             let pins = self.h.net_pins(e);
             let mut hits_a = false;
             let mut hits_b = false;
@@ -273,7 +442,7 @@ impl<'a> RefineEngine<'a> {
             }
         }
         if side_nodes[0].is_empty() && side_nodes[1].is_empty() {
-            return None;
+            return Proposal::Empty;
         }
 
         // Grow one hop inside the two blocks so the cut can move interior
@@ -335,7 +504,43 @@ impl<'a> RefineEngine<'a> {
         }
         let region: Vec<usize> = side_nodes.iter().flatten().copied().collect();
         if region.is_empty() {
-            return None;
+            return Proposal::Empty;
+        }
+
+        // Estimated-gain gate, before any max-flow work. A net whose pins
+        // all left the region pays the same on either side of any cut; a
+        // net anchored out-of-region to both blocks is saturated in every
+        // s–t cut. What remains — currently-spanning nets that the cut
+        // could pull to one side — bounds the modeled gain from above.
+        let mut upper_gain = 0.0;
+        for &e in &nets {
+            let w = self.bridge_weight(ra, rb, self.h.net_capacity(e));
+            if w <= 0.0 {
+                continue;
+            }
+            let pins = self.h.net_pins(e);
+            let mut any_in_region = false;
+            let mut hits_a = false;
+            let mut hits_b = false;
+            let mut anchored_a = false;
+            let mut anchored_b = false;
+            for &v in pins {
+                let r = state.rank[v.index()];
+                hits_a |= r == ra;
+                hits_b |= r == rb;
+                if in_region[v.index()] {
+                    any_in_region = true;
+                } else {
+                    anchored_a |= r == ra;
+                    anchored_b |= r == rb;
+                }
+            }
+            if any_in_region && hits_a && hits_b && !(anchored_a && anchored_b) {
+                upper_gain += w;
+            }
+        }
+        if upper_gain <= min_gain {
+            return Proposal::Gated(upper_gain.max(0.0));
         }
 
         // Lawler construction: region nodes, then S, T, then one
@@ -395,9 +600,9 @@ impl<'a> RefineEngine<'a> {
             }
         }
         if moves.is_empty() {
-            None
+            Proposal::Empty
         } else {
-            Some(moves)
+            Proposal::Moves(moves)
         }
     }
 

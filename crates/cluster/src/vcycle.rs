@@ -25,9 +25,9 @@ use htp_core::partitioner::{FlowPartitioner, PartitionerParams};
 use htp_core::runtime::{Budget, RunOutcome};
 use htp_core::CoreError;
 use htp_model::{cost, HierarchicalPartition, TreeSpec};
-use htp_netlist::Hypergraph;
+use htp_netlist::{contract_with, ContractScratch, Hypergraph};
 
-use crate::clusters::agglomerate_with_fillers;
+use crate::clusters::{agglomerate_ordered, net_order, Clustering};
 use crate::congestion::{flow_congestion, CongestionParams, CongestionProfile};
 use crate::pipeline::{project, refine_partition, solve_budgeted};
 use crate::refine::{flow_refine_pass, FlowRefineParams, FlowRefineReport};
@@ -35,6 +35,38 @@ use crate::refine::{flow_refine_pass, FlowRefineParams, FlowRefineReport};
 /// A coarsening level is abandoned when it shrinks the node count by less
 /// than this factor — further passes would stall at the same size.
 const MIN_SHRINK: f64 = 0.95;
+
+/// Node-count fractions the adaptive filler policy tries to freeze, in
+/// escalation order: start with nothing frozen and add smallest-first
+/// stripes until the coarse size distribution passes the packing screen.
+const ADAPTIVE_FRACTIONS: [f64; 6] = [
+    0.0,
+    1.0 / 64.0,
+    1.0 / 32.0,
+    1.0 / 16.0,
+    1.0 / 8.0,
+    1.0 / 4.0,
+];
+
+/// How coarsening picks filler singletons — the small nodes frozen out of
+/// agglomeration at each level so the coarsest carve can still land inside
+/// the spec's tight block-size windows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FillerPolicy {
+    /// Freeze every `stride`-th node (`0` freezes nothing) — the legacy
+    /// fixed stripe. Simple, but it freezes the same 1/stride of the
+    /// graph whether the level needs fillers or not, which inflates the
+    /// level count and the coarsest size on large instances.
+    Stride(usize),
+    /// Freeze only as much as the level provably needs: escalate through
+    /// fixed freeze fractions (0, 1/64, …, 1/4 — smallest nodes first,
+    /// ties by index) and accept the first clustering whose coarse sizes pass the
+    /// [`packing_infeasibility`] screen. Levels that never need fillers
+    /// freeze nothing and shrink at full speed; only the levels whose
+    /// size distribution actually threatens carve feasibility pay for a
+    /// singleton tail.
+    Adaptive,
+}
 
 /// Parameters of the multilevel V-cycle.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,10 +94,10 @@ pub struct VCycleParams {
     /// Cluster size cap as a fraction of the leaf capacity `C_0`, in
     /// `(0, 1]`. Bounds how big a coarse node may grow at any level.
     pub cluster_cap_fraction: f64,
-    /// Every `filler_stride`-th node is frozen as a singleton at each
-    /// coarsening level (`0` disables). The preserved small-size tail is
-    /// what lets the coarsest carve land inside tight size windows.
-    pub filler_stride: usize,
+    /// How filler singletons are chosen at each coarsening level. The
+    /// preserved small-size tail is what lets the coarsest carve land
+    /// inside tight size windows; see [`FillerPolicy`].
+    pub fillers: FillerPolicy,
     /// Congestion-profile parameters for congestion-guided coarsening.
     pub congestion: CongestionParams,
     /// Use congestion-guided coarsening up to this many nodes; larger
@@ -103,7 +135,7 @@ impl Default for VCycleParams {
             max_levels: 12,
             level_shrink: 4.0,
             cluster_cap_fraction: 0.5,
-            filler_stride: 8,
+            fillers: FillerPolicy::Adaptive,
             congestion: CongestionParams::default(),
             congestion_max_nodes: 4096,
             // One metric iteration suffices at the coarsest level: the
@@ -152,14 +184,27 @@ pub struct VCycleLevelReport {
     pub projected_cost: f64,
     /// Cost after refinement (never above `projected_cost`).
     pub refined_cost: f64,
-    /// Block pairs the flow refiner examined.
+    /// Block pairs the flow refiner took to the max-flow stage.
     pub flow_pairs_tried: usize,
     /// Pairs whose min-cut move was accepted.
     pub flow_pairs_accepted: usize,
+    /// Pairs the estimated-gain gate skipped before max-flow.
+    pub flow_pairs_skipped: usize,
+    /// Sum of the gain upper bounds the gate discarded (near zero when
+    /// the gate only skips genuinely hopeless pairs).
+    pub flow_skipped_gain_bound: f64,
     /// Nodes moved by accepted flow proposals.
     pub flow_moved_nodes: usize,
     /// Whether the hierarchical-FM fallback ran at this level.
     pub hfm_used: bool,
+    /// Filler singletons frozen while coarsening this graph.
+    pub frozen_fillers: usize,
+    /// Fine nets of this graph that merged into an identical-pin-set
+    /// survivor while contracting it to the next coarser level.
+    pub merged_nets: usize,
+    /// Fine nets of this graph the contraction dropped (single coarse
+    /// pin).
+    pub dropped_nets: usize,
 }
 
 /// Result of a V-cycle run.
@@ -255,6 +300,7 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
         mut coarse_graphs,
         mut maps,
         mut coarsen_times,
+        mut coarsen_stats,
         mut outcome,
         mut contained_panics,
         seconds: coarsen_seconds,
@@ -286,6 +332,7 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
             coarse_graphs.pop();
             maps.pop();
             coarsen_times.pop();
+            coarsen_stats.pop();
             continue;
         }
         let attempt = {
@@ -305,6 +352,7 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
                 coarse_graphs.pop();
                 maps.pop();
                 coarsen_times.pop();
+                coarsen_stats.pop();
             }
             Err(e) => return Err(e),
         }
@@ -413,8 +461,13 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
             refined_cost,
             flow_pairs_tried: report.pairs_tried,
             flow_pairs_accepted: report.pairs_accepted,
+            flow_pairs_skipped: report.pairs_skipped,
+            flow_skipped_gain_bound: report.skipped_gain_bound,
             flow_moved_nodes: report.moved_nodes,
             hfm_used,
+            frozen_fillers: coarsen_stats[i].frozen_fillers,
+            merged_nets: coarsen_stats[i].merged_nets,
+            dropped_nets: coarsen_stats[i].dropped_nets,
         });
         if params.record_levels {
             level_partitions.push((projected, refined.clone()));
@@ -445,13 +498,24 @@ pub fn vcycle_partition_with_budget<R: Rng + ?Sized>(
     })
 }
 
+/// Per-level counters from the coarsening down pass, aligned with
+/// `coarsen_times` (index `i` describes contracting the level-`i` fine
+/// graph into the next coarser one).
+#[derive(Clone, Copy, Default)]
+struct CoarsenLevelStats {
+    frozen_fillers: usize,
+    merged_nets: usize,
+    dropped_nets: usize,
+}
+
 /// Everything the coarsening down pass produced: the coarse cascade
-/// (finest-to-coarsest), its projection maps and per-level times, and
-/// how the pass ended.
+/// (finest-to-coarsest), its projection maps, per-level times and
+/// counters, and how the pass ended.
 struct DownPass {
     coarse_graphs: Vec<Hypergraph>,
     maps: Vec<Vec<usize>>,
     coarsen_times: Vec<f64>,
+    coarsen_stats: Vec<CoarsenLevelStats>,
     outcome: RunOutcome,
     contained_panics: usize,
     seconds: f64,
@@ -473,6 +537,10 @@ fn down_pass<R: Rng + ?Sized>(
     let mut coarse_graphs: Vec<Hypergraph> = Vec::new();
     let mut maps: Vec<Vec<usize>> = Vec::new();
     let mut coarsen_times: Vec<f64> = Vec::new();
+    let mut coarsen_stats: Vec<CoarsenLevelStats> = Vec::new();
+    // Contraction scratch shared across every level: the buffers grow to
+    // the finest level's size once and are reused all the way down.
+    let mut scratch = ContractScratch::new();
     let global_cap =
         ((spec.capacity(0) as f64 * params.cluster_cap_fraction).floor() as u64).max(1);
     loop {
@@ -502,6 +570,18 @@ fn down_pass<R: Rng + ?Sized>(
             } else {
                 heavy_edge_profile(cur)
             };
+            // Sorted once per level and reused across every cap-decay and
+            // filler-escalation retry below.
+            let order = net_order(cur, &profile);
+            let freeze_order = match params.fillers {
+                FillerPolicy::Adaptive => {
+                    let sizes: Vec<u64> = cur.nodes().map(|v| cur.node_size(v)).collect();
+                    let mut o: Vec<usize> = (0..n).collect();
+                    o.sort_by_key(|&v| (sizes[v], v));
+                    o
+                }
+                FillerPolicy::Stride(_) => Vec::new(),
+            };
             // A stall — the cap leaves (almost) nothing to merge — does
             // not end the down pass outright: the cap target decays
             // another `level_shrink` step and the level retries with
@@ -516,10 +596,16 @@ fn down_pass<R: Rng + ?Sized>(
                 let cap = ((cur.total_size() as f64 / target).ceil() as u64)
                     .min(global_cap)
                     .max(max_node);
-                let clustering = agglomerate_with_fillers(cur, &profile, cap, params.filler_stride);
+                let (clustering, frozen_fillers) =
+                    cluster_level(cur, &order, &freeze_order, cap, params.fillers, spec);
                 if clustering.count as f64 <= n as f64 * MIN_SHRINK {
-                    let coarse = cur.contract(&clustering.cluster_of);
-                    return Some((clustering.cluster_of, coarse));
+                    let (coarse, cstats) = contract_with(cur, &clustering.cluster_of, &mut scratch);
+                    let stats = CoarsenLevelStats {
+                        frozen_fillers,
+                        merged_nets: cstats.merged_nets,
+                        dropped_nets: cstats.dropped_nets,
+                    };
+                    return Some((clustering.cluster_of, coarse, stats));
                 }
                 if target <= params.cap_decay_floor as f64 {
                     return None; // stalled even at the decay floor
@@ -528,10 +614,11 @@ fn down_pass<R: Rng + ?Sized>(
             }
         }));
         match step {
-            Ok(Some((map, coarse))) => {
+            Ok(Some((map, coarse, stats))) => {
                 maps.push(map);
                 coarse_graphs.push(coarse);
                 coarsen_times.push(t0.elapsed().as_secs_f64());
+                coarsen_stats.push(stats);
             }
             Ok(None) => break,
             Err(_) => {
@@ -545,9 +632,64 @@ fn down_pass<R: Rng + ?Sized>(
         coarse_graphs,
         maps,
         coarsen_times,
+        coarsen_stats,
         outcome,
         contained_panics,
         seconds: down_start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Clusters one coarsening level under `policy`, returning the clustering
+/// and how many filler singletons were frozen.
+///
+/// For [`FillerPolicy::Adaptive`], walks the [`ADAPTIVE_FRACTIONS`]
+/// escalation — freezing the `freeze_order` prefix (smallest nodes first)
+/// — and accepts the first clustering whose coarse sizes pass the
+/// [`packing_infeasibility`] screen. When even the largest stripe fails
+/// the screen, the last clustering is returned anyway: the screen is a
+/// necessary condition only, and the coarsest-solve pre-check/backoff
+/// pops genuinely infeasible levels.
+fn cluster_level(
+    cur: &Hypergraph,
+    order: &[usize],
+    freeze_order: &[usize],
+    cap: u64,
+    policy: FillerPolicy,
+    spec: &TreeSpec,
+) -> (Clustering, usize) {
+    match policy {
+        FillerPolicy::Stride(stride) => {
+            let frozen: Vec<bool> = if stride == 0 {
+                Vec::new()
+            } else {
+                (0..cur.num_nodes())
+                    .map(|v| v.is_multiple_of(stride))
+                    .collect()
+            };
+            let count = frozen.iter().filter(|&&f| f).count();
+            (agglomerate_ordered(cur, order, &frozen, cap), count)
+        }
+        FillerPolicy::Adaptive => {
+            let n = cur.num_nodes();
+            let mut frozen = vec![false; n];
+            let mut prev = 0usize;
+            let mut last = None;
+            for &frac in &ADAPTIVE_FRACTIONS {
+                let count = (((n as f64) * frac).ceil() as usize).min(n);
+                for &v in &freeze_order[prev..count] {
+                    frozen[v] = true;
+                }
+                prev = count;
+                let clustering = agglomerate_ordered(cur, order, &frozen, cap);
+                let sizes = clustering.sizes(cur);
+                let feasible = packing_infeasibility(&sizes, spec).is_none();
+                last = Some((clustering, count));
+                if feasible {
+                    break;
+                }
+            }
+            last.expect("ADAPTIVE_FRACTIONS is non-empty")
+        }
     }
 }
 

@@ -163,6 +163,14 @@ pub struct FlowParams {
     /// Frontier selection for the probe kernel (see [`FrontierMode`]);
     /// bit-identical results under every setting.
     pub frontier: FrontierMode,
+    /// Merge identical-pin-set nets (summing capacities) before solving,
+    /// via [`htp_netlist::dedup_nets`]. The partition found is valid on
+    /// the original hypergraph and has the same cost there (a cut pin set
+    /// pays its summed capacity either way), but the flow *trajectory*
+    /// differs — parallel nets receive one injection each where the
+    /// merged net receives one in total — so this is **off by default**
+    /// to keep the conformance golden digests byte-stable.
+    pub dedup_nets: bool,
 }
 
 impl Default for FlowParams {
@@ -177,6 +185,7 @@ impl Default for FlowParams {
             schedule: ProbeSchedule::Adaptive,
             threads: 1,
             frontier: FrontierMode::Auto,
+            dedup_nets: false,
         }
     }
 }
@@ -589,12 +598,7 @@ fn run_injection<R: Rng + ?Sized>(
             };
         }
     };
-    let threads = match params.threads {
-        0 => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-        t => t,
-    };
+    let threads = crate::pool::resolve_threads(params.threads);
     // One kernel scratch per potential worker plus the inline path,
     // allocated once and reused across every round (the per-round
     // allocation this replaces showed up at high thread counts).

@@ -56,11 +56,13 @@ pub mod injector;
 pub mod lower_bound;
 pub mod metric;
 pub mod partitioner;
+pub mod pool;
 pub mod runtime;
 pub mod sptree;
 
 pub use error::CoreError;
 pub use metric::SpreadingMetric;
+pub use pool::{parallel_fill, resolve_threads};
 #[cfg(feature = "fault-injection")]
 pub use runtime::FaultPlan;
 pub use runtime::{Budget, CancelToken, Interrupt, RunOutcome};

@@ -239,6 +239,31 @@ impl HierarchicalPartition {
         self.vertices().filter(|&q| self.level(q) == 0).collect()
     }
 
+    /// The level-0 leaves in canonical left-to-right tree order: a
+    /// depth-first walk from the root following each vertex's children
+    /// in order, so siblings occupy consecutive positions and every
+    /// subtree owns one contiguous block of ranks.
+    ///
+    /// This is the order external leaf numberings must use. Vertex *ids*
+    /// follow construction order, which solver backoff and salvage paths
+    /// are free to permute — two partitions with identical trees can
+    /// disagree on `leaves()` while agreeing here. Dense ranks emitted in
+    /// this order reconstruct an isomorphic tree through
+    /// [`HierarchicalPartition::full_kary`], so recomputed interior-level
+    /// costs match the original.
+    pub fn leaves_in_order(&self) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(q) = stack.pop() {
+            if self.is_leaf(q) {
+                out.push(q);
+            } else {
+                stack.extend(self.children(q).iter().rev().copied());
+            }
+        }
+        out
+    }
+
     /// Nodes assigned to each vertex's subtree: `sizes[q.index()]` is the
     /// total `node_sizes` mass under `q`.
     ///
@@ -466,6 +491,74 @@ mod tests {
         assert_eq!(p.block_at(NodeId(0), 1), p.root());
         assert_eq!(p.children(root), &[l0, l1]);
         assert!(p.is_leaf(l0));
+    }
+
+    /// A height-2 binary tree whose leaf *ids* interleave across the two
+    /// subtrees (creation order a0, c0, a1, c1), with node `v` assigned
+    /// to `[a0, a1, c0, c1][v]`.
+    fn interleaved_partition() -> (HierarchicalPartition, [VertexId; 4]) {
+        let mut b = PartitionBuilder::new(4, 2);
+        let root = b.root();
+        let a = b.add_child(root, 1).unwrap();
+        let c = b.add_child(root, 1).unwrap();
+        let a0 = b.add_child(a, 0).unwrap();
+        let c0 = b.add_child(c, 0).unwrap();
+        let a1 = b.add_child(a, 0).unwrap();
+        let c1 = b.add_child(c, 0).unwrap();
+        for (v, &leaf) in [a0, a1, c0, c1].iter().enumerate() {
+            b.assign(NodeId::new(v), leaf).unwrap();
+        }
+        (b.build().unwrap(), [a0, c0, a1, c1])
+    }
+
+    #[test]
+    fn leaves_in_order_follows_the_tree_not_creation_order() {
+        let (p, [a0, c0, a1, c1]) = interleaved_partition();
+        assert_eq!(p.leaves(), vec![a0, c0, a1, c1]);
+        assert_eq!(p.leaves_in_order(), vec![a0, a1, c0, c1]);
+    }
+
+    #[test]
+    fn tree_order_ranks_reconstruct_a_cost_identical_tree() {
+        use crate::{cost, TreeSpec};
+        use htp_netlist::HypergraphBuilder;
+
+        // A path through the nodes makes the interior cost sensitive to
+        // which leaves share a parent.
+        let mut hb = HypergraphBuilder::with_unit_nodes(4);
+        hb.add_net(1.0, [NodeId(0), NodeId(1)]).unwrap();
+        hb.add_net(1.0, [NodeId(1), NodeId(2)]).unwrap();
+        hb.add_net(1.0, [NodeId(2), NodeId(3)]).unwrap();
+        let h = hb.build().unwrap();
+        let spec = TreeSpec::full_tree(4, 2, 2, 1.0, 1.0).unwrap();
+        let (p, _) = interleaved_partition();
+        let direct = cost::cost_breakdown(&h, &spec, &p);
+
+        // Dense ranks the way `htp partition --out` emits them, rebuilt
+        // the way `htp verify` re-prices them.
+        let rank_in = |order: &[VertexId]| -> Vec<usize> {
+            (0..4)
+                .map(|v| {
+                    let leaf = p.leaf_of(NodeId::new(v));
+                    order.iter().position(|&q| q == leaf).unwrap()
+                })
+                .collect()
+        };
+        let good = rank_in(&p.leaves_in_order());
+        let rebuilt = HierarchicalPartition::full_kary(2, 2, &good).unwrap();
+        assert_eq!(
+            cost::cost_breakdown(&h, &spec, &rebuilt).per_level,
+            direct.per_level
+        );
+
+        // Creation-order ranks permute the leaves, regrouping them under
+        // different parents: the reconstruction prices a different tree.
+        let bad = rank_in(&p.leaves());
+        let permuted = HierarchicalPartition::full_kary(2, 2, &bad).unwrap();
+        assert_ne!(
+            cost::cost_breakdown(&h, &spec, &permuted).per_level,
+            direct.per_level
+        );
     }
 
     #[test]

@@ -216,50 +216,12 @@ impl Hypergraph {
     /// Panics if `cluster_of` has the wrong length or the ids are not dense
     /// (some id in `0..max+1` unused).
     pub fn contract(&self, cluster_of: &[usize]) -> Hypergraph {
-        assert_eq!(
-            cluster_of.len(),
-            self.num_nodes(),
-            "one cluster id per node"
-        );
-        let k = match cluster_of.iter().max() {
-            Some(&m) => m + 1,
-            None => 0,
-        };
-        let mut sizes = vec![0u64; k];
-        for v in self.nodes() {
-            sizes[cluster_of[v.index()]] += self.node_size(v);
-        }
-        assert!(
-            sizes.iter().all(|&s| s > 0),
-            "cluster ids must be dense (every id 0..k used)"
-        );
-
-        let mut b = crate::HypergraphBuilder::new();
-        for &s in &sizes {
-            b.add_node(s);
-        }
-        // Merge nets with identical coarse pin sets.
-        let mut merged: std::collections::HashMap<Vec<NodeId>, f64> =
-            std::collections::HashMap::new();
-        for e in self.nets() {
-            let mut pins: Vec<NodeId> = self
-                .net_pins(e)
-                .iter()
-                .map(|&v| NodeId::new(cluster_of[v.index()]))
-                .collect();
-            pins.sort_unstable();
-            pins.dedup();
-            if pins.len() >= 2 {
-                *merged.entry(pins).or_insert(0.0) += self.net_capacity(e);
-            }
-        }
-        // Deterministic net order.
-        let mut entries: Vec<(Vec<NodeId>, f64)> = merged.into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
-        for (pins, capacity) in entries {
-            b.add_net(capacity, pins).expect("coarse pins are valid");
-        }
-        b.build().expect("contracted hypergraph is valid")
+        crate::coarsen::contract_with(
+            self,
+            cluster_of,
+            &mut crate::coarsen::ContractScratch::new(),
+        )
+        .0
     }
 }
 

@@ -36,6 +36,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod builder;
+pub mod coarsen;
 pub mod csr;
 pub mod error;
 pub mod gen;
@@ -47,6 +48,9 @@ pub mod validate;
 mod ids;
 
 pub use builder::HypergraphBuilder;
+pub use coarsen::{
+    contract_tracked_with, contract_with, dedup_nets, ContractScratch, ContractStats, DROPPED_NET,
+};
 pub use csr::CsrHypergraph;
 pub use error::NetlistError;
 pub use hypergraph::{Hypergraph, InducedSubgraph};

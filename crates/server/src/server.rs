@@ -510,6 +510,7 @@ impl Shared {
             if payload.multilevel {
                 let mut params = VCycleParams::default();
                 params.partitioner.flow.threads = threads;
+                params.refine.threads = threads;
                 vcycle_partition_with_budget(&payload.h, &payload.spec, params, &mut rng, &budget)
                     .map(|r| JobSuccess {
                         partition: r.partition,
@@ -727,10 +728,11 @@ fn certified_cache_reply(h: &Hypergraph, spec: &TreeSpec, entry: &CacheEntry) ->
 }
 
 /// The CLI's `--out` format: one `<node> <leaf-rank>` line per node,
-/// leaves ranked densely in leaf-id order.
+/// leaves ranked densely in canonical left-to-right tree order (the
+/// order `htp verify` assumes when reconstructing the tree).
 fn assignment_text(h: &Hypergraph, p: &HierarchicalPartition) -> String {
     use std::fmt::Write as _;
-    let leaves = p.leaves();
+    let leaves = p.leaves_in_order();
     let mut rank = vec![usize::MAX; p.num_vertices()];
     for (i, q) in leaves.iter().enumerate() {
         rank[q.index()] = i;

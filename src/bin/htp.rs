@@ -468,6 +468,9 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
                     params.coarsest_nodes = n;
                 }
                 params.partitioner.flow.threads = threads;
+                // The per-level refinement proposal pool shares the same
+                // knob; results are bit-identical at any thread count.
+                params.refine.threads = threads;
                 let mut budget = Budget::unlimited();
                 if let Some(ms) = timeout_ms {
                     budget = budget.with_deadline(Duration::from_millis(ms));
@@ -589,9 +592,18 @@ fn cmd_partition(args: &Args) -> Result<ExitCode, String> {
         eprintln!("wrote ECO state to {path}");
     }
 
-    // Dense leaf numbering in leaf-id order.
-    let leaves = partition.leaves();
-    let rank = |q: htp::model::VertexId| leaves.iter().position(|&x| x == q).expect("leaf");
+    // Dense leaf numbering in canonical left-to-right tree order, so
+    // `verify` (which reconstructs the full k-ary tree from the ranks)
+    // re-prices the same tree — solver backoff paths can create leaf
+    // *ids* out of sibling order.
+    let leaves = partition.leaves_in_order();
+    let rank = {
+        let mut by_id = vec![usize::MAX; partition.num_vertices()];
+        for (i, q) in leaves.iter().enumerate() {
+            by_id[q.index()] = i;
+        }
+        move |q: htp::model::VertexId| by_id[q.index()]
+    };
     match args.value("out") {
         Some(path) => {
             let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
@@ -652,7 +664,7 @@ fn cmd_verify(args: &Args) -> Result<ExitCode, String> {
             Ok(p) => p,
             Err(e) => return malformed(format!("cannot parse {tree_path}: {e}")),
         };
-        let leaves = p.leaves();
+        let leaves = p.leaves_in_order();
         let assignment = match htp::verify::parse_assignment(&text, h.num_nodes(), leaves.len()) {
             Ok(a) => a,
             Err(e) => return malformed(format!("{assignment_path}: {e}")),
